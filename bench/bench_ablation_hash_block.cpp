@@ -1,0 +1,60 @@
+// Ablation: chained hash block size (Section 2.4).
+//
+// The paper serializes chunk hashing at 128-bit (4-value) block granularity,
+// seeding each block with the previous digest. Larger blocks amortize the
+// Murmur3F finalization over more values at the cost of a coarser chain.
+// Google-benchmark binary measuring chunk-hashing throughput per block size.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+#include "hash/chunk_hasher.hpp"
+
+namespace {
+
+using namespace repro;
+
+const std::vector<float>& chunk_values() {
+  static const std::vector<float> values =
+      sim::generate_field(64 * 1024, 17);  // 256 KiB of F32
+  return values;
+}
+
+void BM_ChunkHash_BlockSize(benchmark::State& state) {
+  hash::HashParams params;
+  params.error_bound = 1e-6;
+  params.values_per_block = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const hash::Digest128 digest = hash::hash_chunk_f32(chunk_values(), params);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chunk_values().size() * 4));
+}
+
+void BM_ChunkHash_Bitwise(benchmark::State& state) {
+  // Reference point: bitwise (non-error-bounded) hashing of the same bytes.
+  const auto* bytes =
+      reinterpret_cast<const std::uint8_t*>(chunk_values().data());
+  const std::span<const std::uint8_t> data(bytes, chunk_values().size() * 4);
+  for (auto _ : state) {
+    const hash::Digest128 digest = hash::hash_chunk_bytes(
+        data, static_cast<std::uint32_t>(state.range(0)) * 4);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ChunkHash_BlockSize)
+    ->Arg(4)      // the paper's 128-bit granularity
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ChunkHash_Bitwise)->Arg(4)->Arg(256)->Unit(
+    benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,207 @@
+// Shared infrastructure for the figure/table reproduction harnesses.
+//
+// Scaling: the paper's checkpoints are 7-563 GB on Polaris; these harnesses
+// default to MB-scale files so the full suite runs in minutes on one core.
+// Set REPRO_BENCH_SCALE=<n> to multiply workload sizes when more fidelity is
+// wanted. Absolute GB/s will not match the paper (documented in
+// EXPERIMENTS.md); the *shape* comparisons printed after each table are what
+// the reproduction checks.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ckpt/format.hpp"
+#include "ckpt/history.hpp"
+#include "common/fs.hpp"
+#include "common/table.hpp"
+#include "merkle/tree.hpp"
+#include "sim/workload.hpp"
+
+namespace repro::bench {
+
+/// Workload-size multiplier from the environment (default 1).
+inline std::uint64_t scale_factor() {
+  if (const char* env = std::getenv("REPRO_BENCH_SCALE")) {
+    const long value = std::atol(env);
+    if (value > 0) return static_cast<std::uint64_t>(value);
+  }
+  return 1;
+}
+
+/// One multi-magnitude divergence layer: `fraction` of regions perturbed at
+/// `magnitude`.
+struct DivergenceLayer {
+  double magnitude;
+  double fraction;
+};
+
+/// The layered divergence profile used by the sweep harnesses. Mirrors the
+/// error-bound sensitivity of HACC run pairs in Figure 7a: each decade of
+/// error bound exposes another slice of the checkpoint, so tightening eps
+/// from 1e-3 to 1e-7 raises the flagged fraction from a few percent toward
+/// most of the file.
+inline std::vector<DivergenceLayer> layered_profile() {
+  return {
+      {2e-3, 0.04},  // flagged by every bound
+      {2e-4, 0.08},  // flagged at eps <= 1e-4
+      {2e-5, 0.12},  // flagged at eps <= 1e-5
+      {2e-6, 0.20},  // flagged at eps <= 1e-6
+      {2e-7, 0.35},  // flagged only at eps = 1e-7
+      // Near-boundary layers: deltas in [0.45, 0.9] cells of one decade.
+      // Values whose draw lands above half a cell cross the quantization
+      // line while staying inside the error bound — the conservative hash's
+      // false positives (Figure 7b). Small fractions keep FPR in the
+      // paper's <= ~0.175 range.
+      {9e-5, 0.012},  // false positives at eps = 1e-4
+      {9e-6, 0.012},  // false positives at eps = 1e-5
+  };
+}
+
+struct PairFiles {
+  std::filesystem::path run_a;
+  std::filesystem::path run_b;
+  std::uint64_t data_bytes = 0;
+  /// Raw field values, kept for ground-truth computations (Figure 7).
+  std::vector<float> values_a;
+  std::vector<float> values_b;
+};
+
+/// Write a checkpoint file holding one F32 field "DATA" of `values`.
+inline void write_single_field_checkpoint(const std::filesystem::path& path,
+                                          const std::vector<float>& values,
+                                          const std::string& run_id) {
+  ckpt::CheckpointWriter writer("bench", run_id, 1, 0);
+  repro::Status status = writer.add_field_f32("DATA", values);
+  if (status.is_ok()) status = writer.write(path);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "bench setup failed: %s\n",
+                 status.to_string().c_str());
+    std::exit(1);
+  }
+}
+
+/// Create a run pair of `num_values` F32 values with the layered divergence
+/// profile applied to run B.
+///
+/// Base values are snapped onto the coarsest (1e-3) quantization grid, whose
+/// cell centers coincide with the centers of every finer decade grid. That
+/// makes the workload behave like HACC's: a region perturbed by delta is
+/// flagged exactly at the bounds below delta, while bounds well above delta
+/// see both runs in the same quantization cell (no false positive from the
+/// perturbation itself). Without the snap, sub-bound perturbations at 0.2x
+/// the bound cross cell boundaries with probability ~0.2 per value and every
+/// chunk gets flagged at every bound.
+inline PairFiles make_layered_pair(const repro::TempDir& dir,
+                                   std::uint64_t num_values,
+                                   const std::string& tag,
+                                   std::uint64_t seed = 1) {
+  PairFiles pair;
+  pair.values_a = sim::generate_field(num_values, seed);
+  for (float& value : pair.values_a) {
+    value = static_cast<float>(
+        std::llround(static_cast<double>(value) / 1e-3) * 1e-3);
+  }
+  pair.values_b = pair.values_a;
+  std::uint64_t layer_seed = seed * 1000;
+  for (const DivergenceLayer& layer : layered_profile()) {
+    sim::DivergenceSpec spec;
+    spec.region_fraction = layer.fraction;
+    spec.region_values = 1024;  // one 4 KiB chunk per region
+    spec.magnitude = layer.magnitude;
+    spec.seed = ++layer_seed;
+    sim::apply_divergence(pair.values_b, spec);
+  }
+  pair.data_bytes = num_values * sizeof(float);
+  pair.run_a = dir.file(tag + "-a.ckpt");
+  pair.run_b = dir.file(tag + "-b.ckpt");
+  write_single_field_checkpoint(pair.run_a, pair.values_a, "run-a");
+  write_single_field_checkpoint(pair.run_b, pair.values_b, "run-b");
+  // Flush the freshly written files now so the first measured cold-cache
+  // eviction does not pay their dirty-page writeback.
+  (void)repro::evict_page_cache(pair.run_a);
+  (void)repro::evict_page_cache(pair.run_b);
+  return pair;
+}
+
+/// Build (once) the Merkle sidecars for `pair` at a (chunk, eps) config and
+/// return a CheckpointPair pointing at them. Metadata files are keyed by
+/// config so sweeps reuse them.
+inline ckpt::CheckpointPair metadata_for(const PairFiles& pair,
+                                         std::uint64_t chunk_bytes,
+                                         double eps) {
+  merkle::TreeParams params;
+  params.chunk_bytes = chunk_bytes;
+  params.hash.error_bound = eps;
+
+  auto sidecar = [&](const std::filesystem::path& ckpt_path,
+                     const std::vector<float>& values) {
+    const std::filesystem::path meta_path =
+        ckpt_path.string() + ".c" + std::to_string(chunk_bytes) + ".e" +
+        repro::strprintf("%g", eps) + ".rmrk";
+    if (!std::filesystem::exists(meta_path)) {
+      const auto tree =
+          merkle::TreeBuilder(params, par::Exec::parallel())
+              .build(std::span<const std::uint8_t>(
+                  reinterpret_cast<const std::uint8_t*>(values.data()),
+                  values.size() * sizeof(float)));
+      if (!tree.is_ok() || !tree.value().save(meta_path).is_ok()) {
+        std::fprintf(stderr, "bench metadata build failed\n");
+        std::exit(1);
+      }
+    }
+    return meta_path;
+  };
+
+  ckpt::CheckpointPair out;
+  out.run_a.checkpoint_path = pair.run_a;
+  out.run_a.metadata_path = sidecar(pair.run_a, pair.values_a);
+  out.run_b.checkpoint_path = pair.run_b;
+  out.run_b.metadata_path = sidecar(pair.run_b, pair.values_b);
+  return out;
+}
+
+/// Median of `reps` samples from a measurement functor — virtualized disks
+/// produce occasional multi-x latency spikes that a single shot would turn
+/// into table noise.
+template <typename Fn>
+double median_of(int reps, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) samples.push_back(fn());
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Throughput in GB/s (binary) for `2 * data_bytes` over `seconds`.
+inline double throughput_gbs(std::uint64_t data_bytes, double seconds) {
+  if (seconds <= 0) return 0;
+  return 2.0 * static_cast<double>(data_bytes) /
+         static_cast<double>(repro::kGiB) / seconds;
+}
+
+inline std::string gbs(double value) {
+  return repro::strprintf("%.2f", value);
+}
+
+/// Banner shared by all harnesses.
+inline void print_banner(const char* experiment, const char* paper_ref,
+                         const char* note) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s  (%s)\n", experiment, paper_ref);
+  std::printf("%s\n", note);
+  std::printf("scale factor: %llu  (set REPRO_BENCH_SCALE to grow "
+              "workloads)\n",
+              static_cast<unsigned long long>(scale_factor()));
+  std::printf("==============================================================="
+              "=\n\n");
+}
+
+}  // namespace repro::bench

@@ -1,0 +1,103 @@
+// Figure 6 reproduction: comparison runtime broken into the five phase
+// timers (setup / read / deserialization / compare-tree / compare-direct)
+// at a tight (1e-7) and a loose (1e-3) error bound, across chunk sizes.
+//
+// Paper shape claims checked (Section 3.4.2):
+//   * Tree deserialization + tree comparison are negligible.
+//   * At the tight bound the verification (compare-direct) phase dominates
+//     and shrinks as chunks grow (better I/O pattern).
+//   * At the loose bound total runtime is much smaller and varies little
+//     with chunk size.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "compare/comparator.hpp"
+
+namespace {
+
+using namespace repro;
+
+cmp::CompareReport run_ours(const bench::PairFiles& pair, double eps,
+                            std::uint64_t chunk_bytes) {
+  const ckpt::CheckpointPair with_metadata =
+      bench::metadata_for(pair, chunk_bytes, eps);
+  cmp::CompareOptions options;
+  options.error_bound = eps;
+  options.evict_cache = true;
+  options.build_metadata_if_missing = false;
+  auto report = cmp::compare_pair(with_metadata, options);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "compare failed: %s\n",
+                 report.status().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(report).value();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Figure 6: comparison runtime breakdown by phase (milliseconds)",
+      "Tan et al., Figure 6 a-b",
+      "One sub-table per error bound; rows are chunk sizes.");
+
+  const std::uint64_t values = (8ULL << 20) * bench::scale_factor();
+  TempDir dir{"fig6"};
+  const bench::PairFiles pair = bench::make_layered_pair(dir, values, "f6");
+  std::printf("checkpoint size: %s\n\n", format_size(pair.data_bytes).c_str());
+
+  const std::vector<std::uint64_t> chunks{4 * kKiB, 16 * kKiB, 64 * kKiB,
+                                          128 * kKiB, 256 * kKiB, 512 * kKiB};
+
+  bool shapes_ok = true;
+  double tight_total_small_chunk = 0;
+  double tight_total_large_chunk = 0;
+  double loose_total_max = 0;
+
+  for (const double eps : {1e-7, 1e-3}) {
+    std::printf("--- error bound %g ---\n", eps);
+    TextTable table({"Chunk size", "Setup", "Read", "Deserialize",
+                     "Compare tree", "Compare direct", "Total"});
+    for (const std::uint64_t chunk : chunks) {
+      const cmp::CompareReport report = run_ours(pair, eps, chunk);
+      auto ms = [&](const char* phase) {
+        return strprintf("%.2f", report.timers.seconds(phase) * 1e3);
+      };
+      table.add_row({format_size(chunk), ms(cmp::kPhaseSetup),
+                     ms(cmp::kPhaseRead), ms(cmp::kPhaseDeserialize),
+                     ms(cmp::kPhaseCompareTree), ms(cmp::kPhaseCompareDirect),
+                     strprintf("%.2f", report.total_seconds * 1e3)});
+
+      // Negligible-metadata claim.
+      const double metadata_phases =
+          report.timers.seconds(cmp::kPhaseDeserialize) +
+          report.timers.seconds(cmp::kPhaseCompareTree);
+      if (metadata_phases > 0.25 * report.total_seconds) shapes_ok = false;
+
+      if (eps == 1e-7 && chunk == chunks.front()) {
+        tight_total_small_chunk = report.total_seconds;
+      }
+      if (eps == 1e-7 && chunk == chunks.back()) {
+        tight_total_large_chunk = report.total_seconds;
+      }
+      if (eps == 1e-3) {
+        loose_total_max = std::max(loose_total_max, report.total_seconds);
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+
+  if (loose_total_max > tight_total_small_chunk) shapes_ok = false;
+
+  std::printf("shape check (%s):\n"
+              "  [1] deserialize + compare-tree are a small fraction of "
+              "total\n"
+              "  [2] loose-bound totals < tight-bound totals (max loose "
+              "%.2f ms vs tight@4K %.2f ms; tight@512K %.2f ms)\n",
+              shapes_ok ? "PASS" : "CHECK FAILED", loose_total_max * 1e3,
+              tight_total_small_chunk * 1e3, tight_total_large_chunk * 1e3);
+  return 0;
+}

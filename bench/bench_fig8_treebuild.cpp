@@ -1,0 +1,69 @@
+// Figure 8 reproduction: Merkle tree construction cost, serial-reference
+// ("CPU") vs bulk-parallel executor (the paper's GPU arm), across chunk
+// sizes 4 KB .. 32 KB. Google-benchmark binary.
+//
+// Paper shape claims (Section 3.4.4):
+//   * Chunk size does not materially affect construction time (the same
+//     bytes are hashed regardless).
+//   * The optimized backend is never slower than the reference. The paper's
+//     4-orders-of-magnitude gap needs a real A100; on a host CPU the gap is
+//     bounded by core count (documented in EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+#include "merkle/tree.hpp"
+
+namespace {
+
+using namespace repro;
+
+const std::vector<std::uint8_t>& field_bytes() {
+  static const std::vector<std::uint8_t> bytes = [] {
+    const std::uint64_t values = (2ULL << 20) * bench::scale_factor();
+    const auto field = sim::generate_field(values, 8);
+    const auto* data = reinterpret_cast<const std::uint8_t*>(field.data());
+    return std::vector<std::uint8_t>(data, data + field.size() * 4);
+  }();
+  return bytes;
+}
+
+void build_tree(benchmark::State& state, par::Exec exec) {
+  const std::uint64_t chunk_bytes = static_cast<std::uint64_t>(state.range(0));
+  merkle::TreeParams params;
+  params.chunk_bytes = chunk_bytes;
+  params.hash.error_bound = 1e-7;  // paper uses 1e-7 here
+  const merkle::TreeBuilder builder(params, exec);
+  for (auto _ : state) {
+    auto tree = builder.build(field_bytes());
+    if (!tree.is_ok()) state.SkipWithError("build failed");
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(field_bytes().size()));
+  state.counters["chunk_bytes"] = static_cast<double>(chunk_bytes);
+}
+
+void BM_TreeBuild_SerialReference(benchmark::State& state) {
+  build_tree(state, par::Exec::serial());
+}
+
+void BM_TreeBuild_ParallelExecutor(benchmark::State& state) {
+  build_tree(state, par::Exec::parallel());
+}
+
+}  // namespace
+
+BENCHMARK(BM_TreeBuild_SerialReference)
+    ->Arg(4 * 1024)
+    ->Arg(8 * 1024)
+    ->Arg(16 * 1024)
+    ->Arg(32 * 1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TreeBuild_ParallelExecutor)
+    ->Arg(4 * 1024)
+    ->Arg(8 * 1024)
+    ->Arg(16 * 1024)
+    ->Arg(32 * 1024)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

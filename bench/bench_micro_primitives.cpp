@@ -1,0 +1,93 @@
+// Micro-benchmarks of the hot primitives: Murmur3F, the error-bounded
+// quantizer, element-wise comparison, and pruned tree comparison. Useful
+// for regressions; not tied to a specific paper figure.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/bench_common.hpp"
+#include "compare/elementwise.hpp"
+#include "hash/murmur3.hpp"
+#include "hash/quantize.hpp"
+#include "merkle/compare.hpp"
+
+namespace {
+
+using namespace repro;
+
+void BM_Murmur3F(benchmark::State& state) {
+  const std::vector<std::uint8_t> data(
+      static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::murmur3f(data, 1));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Murmur3F)->Arg(16)->Arg(256)->Arg(4096)->Arg(1 << 20);
+
+void BM_Quantize(benchmark::State& state) {
+  const auto values = sim::generate_field(4096, 3);
+  for (auto _ : state) {
+    std::int64_t acc = 0;
+    for (const float v : values) acc ^= hash::quantize(v, 1e-6);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          4096);
+}
+BENCHMARK(BM_Quantize);
+
+void BM_ElementwiseCompare(benchmark::State& state) {
+  const auto a = sim::generate_field(static_cast<std::uint64_t>(state.range(0)),
+                                     5);
+  auto b = a;
+  sim::apply_divergence(b, {.region_fraction = 0.05, .region_values = 512,
+                            .magnitude = 1e-4});
+  const std::span<const std::uint8_t> bytes_a(
+      reinterpret_cast<const std::uint8_t*>(a.data()), a.size() * 4);
+  const std::span<const std::uint8_t> bytes_b(
+      reinterpret_cast<const std::uint8_t*>(b.data()), b.size() * 4);
+  cmp::ElementwiseOptions options;
+  options.exec = par::Exec::serial();
+  for (auto _ : state) {
+    const auto result = cmp::compare_region(
+        bytes_a, bytes_b, merkle::ValueKind::kF32, 1e-5, 0, options, nullptr);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.size() * 4));
+}
+BENCHMARK(BM_ElementwiseCompare)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_TreeCompare(benchmark::State& state) {
+  static const auto trees = [] {
+    const auto a = sim::generate_field(1 << 20, 7);
+    auto b = a;
+    sim::apply_divergence(b, {.region_fraction = 0.01, .region_values = 1024,
+                              .magnitude = 1e-3});
+    merkle::TreeParams params;
+    params.chunk_bytes = 4096;
+    params.hash.error_bound = 1e-5;
+    merkle::TreeBuilder builder(params, par::Exec::parallel());
+    auto as_bytes = [](const std::vector<float>& v) {
+      return std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(v.data()), v.size() * 4);
+    };
+    return std::pair{builder.build(as_bytes(a)).value(),
+                     builder.build(as_bytes(b)).value()};
+  }();
+  merkle::TreeCompareOptions options;
+  options.exec = par::Exec::serial();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        merkle::compare_trees(trees.first, trees.second, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trees.first.num_chunks()));
+}
+BENCHMARK(BM_TreeCompare);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Table 1 reproduction: content of HACC checkpoints.
+//
+// Runs the haccette mini-app at three problem sizes, captures a checkpoint,
+// and prints the field inventory (name, type, description) plus the
+// size-per-problem table. The paper's absolute sizes (28 GB - 563 GB) follow
+// the same 28 bytes/particle formula; we print both the measured mini-scale
+// sizes and the formula extrapolated to the paper's particle counts.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "ckpt/format.hpp"
+#include "common/bytes.hpp"
+#include "common/table.hpp"
+#include "sim/hacc_lite.hpp"
+
+namespace {
+
+const char* field_description(const std::string& name) {
+  if (name == "X") return "x coordinate";
+  if (name == "Y") return "y coordinate";
+  if (name == "Z") return "z coordinate";
+  if (name == "VX") return "x velocity";
+  if (name == "VY") return "y velocity";
+  if (name == "VZ") return "z velocity";
+  if (name == "PHI") return "grav. potential";
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace repro;
+
+  bench::print_banner(
+      "Table 1: Content of HACC checkpoints", "Tan et al., Table 1",
+      "haccette substitutes HACC; field layout and per-particle size match.");
+
+  // One small simulation to demonstrate the real capture path.
+  sim::SimConfig config;
+  config.num_particles = 4096 * bench::scale_factor();
+  config.mesh_dim = 16;
+  config.box_size = 16.0;
+  config.steps = 2;
+  sim::HaccLite app(config);
+  repro::Status status = app.initialize();
+  if (status.is_ok()) status = app.step();
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 status.to_string().c_str());
+    return 1;
+  }
+  ckpt::CheckpointWriter writer("haccette", "run-1", 1, 0);
+  status = app.add_checkpoint_fields(writer);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "capture failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
+
+  TextTable fields({"Field", "Type", "Description"});
+  for (const auto& field : writer.info().fields) {
+    fields.add_row({field.name,
+                    std::string{merkle::value_kind_name(field.kind)} == "f32"
+                        ? "F32"
+                        : std::string{merkle::value_kind_name(field.kind)},
+                    field_description(field.name)});
+  }
+  fields.print();
+  std::printf("\n");
+
+  // Size table: measured at mini scale, extrapolated at paper scale.
+  TextTable sizes({"#Particles", "#Nodes", "Chkpt Size", "Source"});
+  const std::uint64_t mini = config.num_particles;
+  sizes.add_row({std::to_string(mini), "1",
+                 format_size(writer.info().data_bytes()), "measured"});
+  struct PaperRow {
+    const char* particles;
+    double count;
+    const char* nodes;
+  };
+  for (const PaperRow& row :
+       {PaperRow{"0.5 B", 0.5e9, "2"}, PaperRow{"1 B", 1e9, "2"},
+        PaperRow{"2 B", 2e9, "2"}, PaperRow{"17 B", 17e9, "128"}}) {
+    const auto bytes = static_cast<std::uint64_t>(
+        row.count * static_cast<double>(sim::HaccLite::checkpoint_bytes(1)));
+    sizes.add_row({row.particles, row.nodes, format_size(bytes),
+                   "formula (28 B/particle)"});
+  }
+  sizes.print();
+
+  std::printf(
+      "\nshape check: 7 F32 fields x 4 bytes = 28 bytes/particle, matching\n"
+      "the paper's 28 GB per 10^9 particles (Table 1 reports 28 GB for 1 B\n"
+      "particles, 56 GB for 2 B, 563 GB for 17 B; note the paper's 0.5 B\n"
+      "row lists the per-node aggregate of 7 GB x 2 nodes).\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// End-to-end reproduction of the paper's workflow on the haccette mini-app
+// (the HACC stand-in):
+//
+//   1. Run the simulation twice with nondeterminism injection (different
+//      per-run seeds model different GPU scheduling), capturing checkpoints
+//      every 10 iterations through the VELOC-lite async capture engine —
+//      Merkle metadata is built at capture time.
+//   2. Compare the two checkpoint histories and report when (iteration) and
+//      where (field, element) the runs diverged beyond the error bound.
+//
+// Build & run:  ./build/examples/hacc_repro
+#include <cstdio>
+
+#include "ckpt/capture.hpp"
+#include "common/fs.hpp"
+#include "common/table.hpp"
+#include "compare/comparator.hpp"
+#include "sim/hacc_lite.hpp"
+
+namespace {
+
+using namespace repro;
+
+constexpr double kErrorBound = 1e-6;
+
+merkle::TreeParams tree_params() {
+  merkle::TreeParams params;
+  params.chunk_bytes = 16 * kKiB;
+  params.hash.error_bound = kErrorBound;
+  return params;
+}
+
+/// One simulation run with checkpoint capture at iterations 10,20,...,50.
+Status simulate_and_capture(const ckpt::HistoryCatalog& catalog,
+                            const std::string& run_id,
+                            std::uint64_t run_seed) {
+  sim::SimConfig config;
+  config.num_particles = 16384;
+  config.mesh_dim = 16;
+  config.box_size = 32.0;
+  config.steps = 50;  // the paper's 50 P3M iterations
+  config.time_step = 0.02;
+  config.noise.enabled = true;
+  config.noise.run_seed = run_seed;       // differs between the two runs
+  config.noise.shuffle_deposit = true;    // reduction-order nondeterminism
+  config.noise.jitter_magnitude = 2e-6;   // scheduling-noise stand-in
+
+  TempDir node_local{"hacc-repro-local"};  // plays the NVMe tier
+  ckpt::CaptureOptions capture_options;
+  capture_options.tree = tree_params();
+  ckpt::CaptureEngine engine(node_local.path(), catalog, capture_options);
+
+  sim::HaccLite app(config);
+  REPRO_RETURN_IF_ERROR(app.initialize());
+  const std::vector<std::uint64_t> schedule{10, 20, 30, 40, 50};
+  REPRO_RETURN_IF_ERROR(
+      app.run(schedule, [&](std::uint64_t iteration) {
+        ckpt::CheckpointWriter writer("haccette", run_id, iteration,
+                                      /*rank=*/0);
+        REPRO_RETURN_IF_ERROR(app.add_checkpoint_fields(writer));
+        return engine.capture(writer);  // async flush to the "PFS"
+      }));
+  REPRO_RETURN_IF_ERROR(engine.wait_all());
+
+  const auto& stats = engine.stats();
+  std::printf("  %s: %llu checkpoints, %s data + %s metadata, "
+              "foreground blocked %.1f ms\n",
+              run_id.c_str(),
+              static_cast<unsigned long long>(stats.checkpoints_captured),
+              format_size(stats.bytes_captured).c_str(),
+              format_size(stats.metadata_bytes).c_str(),
+              stats.foreground_seconds * 1e3);
+  return Status::ok();
+}
+
+}  // namespace
+
+int main() {
+  TempDir pfs{"hacc-repro-pfs"};
+  ckpt::HistoryCatalog catalog{pfs.path()};
+
+  std::printf("simulating two runs of haccette (16384 particles, 50 "
+              "iterations, nondeterministic deposit order + jitter)...\n");
+  for (const auto& [run, seed] :
+       std::initializer_list<std::pair<const char*, std::uint64_t>>{
+           {"run-1", 1001}, {"run-2", 2002}}) {
+    const Status status = simulate_and_capture(catalog, run, seed);
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "simulation failed: %s\n",
+                   status.to_string().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("\ncomparing checkpoint histories (error bound %g)...\n",
+              kErrorBound);
+  cmp::HistoryOptions options;
+  options.pair_options.error_bound = kErrorBound;
+  options.pair_options.tree = tree_params();
+  options.pair_options.collect_diffs = true;
+  options.pair_options.max_diffs = 3;
+
+  const auto history =
+      cmp::compare_histories(catalog, "run-1", "run-2", options);
+  if (!history.is_ok()) {
+    std::fprintf(stderr, "history comparison failed: %s\n",
+                 history.status().to_string().c_str());
+    return 1;
+  }
+
+  TextTable table({"iteration", "values > eps", "chunks flagged",
+                   "data re-read", "throughput"});
+  for (const auto& [pair, report] : history.value().pairs) {
+    table.add_row(
+        {std::to_string(pair.run_a.iteration),
+         std::to_string(report.values_exceeding),
+         std::to_string(report.chunks_flagged) + "/" +
+             std::to_string(report.chunks_total),
+         strprintf("%.1f%%", 100.0 * report.fraction_data_flagged()),
+         format_throughput(report.throughput_bytes_per_second())});
+  }
+  table.print();
+
+  if (history.value().first_divergent_iteration.has_value()) {
+    std::printf("\nruns diverge beyond eps=%g starting at iteration %llu — "
+                "the naive end-result comparison would only have seen the "
+                "final state.\n",
+                kErrorBound,
+                static_cast<unsigned long long>(
+                    *history.value().first_divergent_iteration));
+    const auto& last = history.value().pairs.back().second;
+    if (!last.diffs.empty()) {
+      std::printf("sample divergent values at the last checkpoint:\n");
+      for (const auto& diff : last.diffs) {
+        std::printf("  %s[%llu]: %.8f vs %.8f\n", diff.field.c_str(),
+                    static_cast<unsigned long long>(diff.element_index),
+                    diff.value_a, diff.value_b);
+      }
+    }
+  } else {
+    std::printf("\nhistories agree within eps=%g at every captured "
+                "iteration.\n",
+                kErrorBound);
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "baseline/allclose.hpp"
+
+#include <cmath>
+
+#include "ckpt/format.hpp"
+#include "common/fs.hpp"
+#include "common/log.hpp"
+
+namespace repro::baseline {
+
+repro::Result<AllCloseReport> allclose_files(
+    const std::filesystem::path& checkpoint_a,
+    const std::filesystem::path& checkpoint_b,
+    const AllCloseOptions& options) {
+  if (options.evict_cache) {
+    for (const auto& path : {checkpoint_a, checkpoint_b}) {
+      const repro::Status status = repro::evict_page_cache(path);
+      if (!status.is_ok()) {
+        REPRO_LOG_WARN << "cache eviction failed: " << status.to_string();
+      }
+    }
+  }
+
+  Stopwatch total;
+  AllCloseReport report;
+
+  REPRO_ASSIGN_OR_RETURN(const ckpt::CheckpointReader reader_a,
+                         ckpt::CheckpointReader::open(checkpoint_a));
+  REPRO_ASSIGN_OR_RETURN(const ckpt::CheckpointReader reader_b,
+                         ckpt::CheckpointReader::open(checkpoint_b));
+  if (reader_a.data_bytes() != reader_b.data_bytes()) {
+    return repro::failed_precondition(
+        "checkpoints cover different data sizes");
+  }
+  report.data_bytes = reader_a.data_bytes();
+
+  // Monolithic loads — the defining (and performance-limiting) property of
+  // the numpy.allclose workflow.
+  REPRO_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> data_a,
+                         reader_a.read_data());
+  REPRO_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> data_b,
+                         reader_b.read_data());
+
+  // Element-wise |a-b| <= atol + rtol*|b|, per field so mixed-kind
+  // checkpoints are interpreted correctly. NaN anywhere => not close
+  // (NumPy's default equal_nan=False).
+  for (const auto& field : reader_a.info().fields) {
+    const std::uint64_t offset = field.data_offset;
+    const std::uint64_t count = field.element_count;
+    auto close_pair = [&](double a, double b) {
+      if (std::isnan(a) || std::isnan(b)) return false;
+      return std::abs(a - b) <= options.atol + options.rtol * std::abs(b);
+    };
+    switch (field.kind) {
+      case merkle::ValueKind::kF32: {
+        const auto* va = reinterpret_cast<const float*>(data_a.data() + offset);
+        const auto* vb = reinterpret_cast<const float*>(data_b.data() + offset);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          if (!close_pair(va[i], vb[i])) ++report.values_exceeding;
+        }
+        break;
+      }
+      case merkle::ValueKind::kF64: {
+        const auto* va =
+            reinterpret_cast<const double*>(data_a.data() + offset);
+        const auto* vb =
+            reinterpret_cast<const double*>(data_b.data() + offset);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          if (!close_pair(va[i], vb[i])) ++report.values_exceeding;
+        }
+        break;
+      }
+      case merkle::ValueKind::kBytes: {
+        for (std::uint64_t i = 0; i < count; ++i) {
+          if (data_a[offset + i] != data_b[offset + i]) {
+            ++report.values_exceeding;
+          }
+        }
+        break;
+      }
+    }
+    report.values_compared += count;
+  }
+
+  report.all_close = report.values_exceeding == 0;
+  report.total_seconds = total.seconds();
+  return report;
+}
+
+}  // namespace repro::baseline

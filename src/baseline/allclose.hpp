@@ -1,0 +1,45 @@
+// The AllClose baseline (Section 3.2.1): NumPy-style whole-array closeness
+// check, re-implemented with NumPy's exact semantics.
+//
+// This is "how a domain scientist may compare results": load both arrays in
+// full (one monolithic read each, no streaming, no async I/O), test
+// |a - b| <= atol + rtol * |b| element-wise, and report only *whether* the
+// runs agree — not where they differ. The paper fixes rtol = 0 to isolate
+// the absolute-bound comparison.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+
+#include "common/status.hpp"
+#include "compare/report.hpp"
+
+namespace repro::baseline {
+
+struct AllCloseOptions {
+  double atol = 1e-6;
+  double rtol = 0.0;
+  /// Cold-cache protocol (vmtouch -e equivalent).
+  bool evict_cache = false;
+};
+
+struct AllCloseReport {
+  bool all_close = true;
+  std::uint64_t values_compared = 0;
+  std::uint64_t values_exceeding = 0;
+  std::uint64_t data_bytes = 0;  ///< per run
+  double total_seconds = 0;
+
+  [[nodiscard]] double throughput_bytes_per_second() const noexcept {
+    return total_seconds > 0
+               ? 2.0 * static_cast<double>(data_bytes) / total_seconds
+               : 0.0;
+  }
+};
+
+/// Compare two checkpoints' data sections the NumPy way.
+repro::Result<AllCloseReport> allclose_files(
+    const std::filesystem::path& checkpoint_a,
+    const std::filesystem::path& checkpoint_b, const AllCloseOptions& options);
+
+}  // namespace repro::baseline

@@ -1,0 +1,88 @@
+#include "ckpt/capture.hpp"
+
+#include "common/fs.hpp"
+#include "common/log.hpp"
+
+namespace repro::ckpt {
+
+CaptureEngine::CaptureEngine(std::filesystem::path local_dir,
+                             HistoryCatalog catalog, CaptureOptions options)
+    : local_dir_(std::move(local_dir)),
+      catalog_(std::move(catalog)),
+      options_(std::move(options)) {
+  std::filesystem::create_directories(local_dir_);
+}
+
+CaptureEngine::~CaptureEngine() {
+  const repro::Status status = wait_all();
+  if (!status.is_ok()) {
+    REPRO_LOG_ERROR << "capture flush failed during shutdown: "
+                    << status.to_string();
+  }
+}
+
+repro::Status CaptureEngine::capture(const CheckpointWriter& writer) {
+  Stopwatch foreground;
+  const CheckpointInfo& info = writer.info();
+
+  // Level 1: node-local write (the only part the application waits for).
+  const auto local_name = info.run_id + "-iter" +
+                          std::to_string(info.iteration) + "-rank" +
+                          std::to_string(info.rank) + ".ckpt";
+  const auto local_path = local_dir_ / local_name;
+  REPRO_RETURN_IF_ERROR(writer.write(local_path));
+
+  // Capture-time Merkle metadata from the resident bytes (Algorithm 1 runs
+  // "during application execution ... at checkpoint time").
+  std::vector<std::uint8_t> metadata;
+  if (options_.build_metadata) {
+    merkle::TreeBuilder builder(options_.tree, options_.exec);
+    REPRO_ASSIGN_OR_RETURN(const merkle::MerkleTree tree,
+                           builder.build(writer.data_section()));
+    metadata = tree.serialize();
+  }
+
+  stats_.foreground_seconds += foreground.seconds();
+  stats_.checkpoints_captured += 1;
+  stats_.bytes_captured += writer.data_section().size();
+  stats_.metadata_bytes += metadata.size();
+
+  // Level 2: background flush to the PFS.
+  flusher_.submit([this, local_path, metadata = std::move(metadata),
+                   run_id = info.run_id, iteration = info.iteration,
+                   rank = info.rank] {
+    Stopwatch flush;
+    repro::Status status;
+    auto ref_result = catalog_.make_ref(run_id, iteration, rank);
+    if (!ref_result.is_ok()) {
+      status = ref_result.status();
+    } else {
+      const CheckpointRef& ref = ref_result.value();
+      std::error_code ec;
+      std::filesystem::copy_file(
+          local_path, ref.checkpoint_path,
+          std::filesystem::copy_options::overwrite_existing, ec);
+      if (ec) {
+        status = repro::io_error("flush to PFS failed: " + ec.message());
+      } else if (!metadata.empty()) {
+        status = repro::write_file(ref.metadata_path, metadata)
+                     .with_context("flushing merkle metadata");
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.flush_seconds += flush.seconds();
+    if (flush_status_.is_ok() && !status.is_ok()) {
+      flush_status_ = std::move(status);
+    }
+  });
+
+  return repro::Status::ok();
+}
+
+repro::Status CaptureEngine::wait_all() {
+  flusher_.wait_idle();
+  std::lock_guard<std::mutex> lock(mu_);
+  return flush_status_;
+}
+
+}  // namespace repro::ckpt

@@ -1,0 +1,230 @@
+#include "ckpt/delta_store.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/bytes.hpp"
+#include "common/fs.hpp"
+#include "merkle/compare.hpp"
+
+namespace repro::ckpt {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x544C4452;  // "RDLT"
+constexpr std::uint32_t kVersion = 1;
+
+/// Delta/base file payload: header + chunk records.
+struct DeltaHeader {
+  std::uint64_t iteration;
+  std::uint64_t data_bytes;   ///< full checkpoint size
+  std::uint64_t chunk_bytes;
+  std::uint64_t chunk_count;  ///< records in this file
+  bool is_base;
+};
+
+void encode_delta(const DeltaHeader& header,
+                  std::span<const std::uint64_t> chunks,
+                  std::span<const std::uint8_t> data,
+                  std::uint64_t chunk_bytes,
+                  std::vector<std::uint8_t>& out) {
+  ByteWriter writer(out);
+  writer.put_u32(kMagic);
+  writer.put_u32(kVersion);
+  writer.put_u8(header.is_base ? 1 : 0);
+  writer.put_u64(header.iteration);
+  writer.put_u64(header.data_bytes);
+  writer.put_u64(header.chunk_bytes);
+  writer.put_u64(chunks.size());
+  for (const std::uint64_t chunk : chunks) {
+    const std::uint64_t begin = chunk * chunk_bytes;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + chunk_bytes, data.size());
+    writer.put_u64(chunk);
+    writer.put_u64(end - begin);
+    writer.put_bytes(data.subspan(begin, end - begin));
+  }
+}
+
+repro::Status apply_delta(std::span<const std::uint8_t> file,
+                          std::vector<std::uint8_t>& data,
+                          DeltaHeader* header_out) {
+  ByteReader reader(file);
+  REPRO_ASSIGN_OR_RETURN(const std::uint32_t magic, reader.get_u32());
+  if (magic != kMagic) return repro::corrupt_data("bad delta magic");
+  REPRO_ASSIGN_OR_RETURN(const std::uint32_t version, reader.get_u32());
+  if (version != kVersion) return repro::unsupported("bad delta version");
+  DeltaHeader header{};
+  REPRO_ASSIGN_OR_RETURN(const std::uint8_t is_base, reader.get_u8());
+  header.is_base = is_base != 0;
+  REPRO_ASSIGN_OR_RETURN(header.iteration, reader.get_u64());
+  REPRO_ASSIGN_OR_RETURN(header.data_bytes, reader.get_u64());
+  REPRO_ASSIGN_OR_RETURN(header.chunk_bytes, reader.get_u64());
+  REPRO_ASSIGN_OR_RETURN(header.chunk_count, reader.get_u64());
+
+  if (header.is_base) {
+    data.assign(header.data_bytes, 0);
+  } else if (data.size() != header.data_bytes) {
+    return repro::corrupt_data("delta applied to wrong-size base");
+  }
+  for (std::uint64_t i = 0; i < header.chunk_count; ++i) {
+    REPRO_ASSIGN_OR_RETURN(const std::uint64_t chunk, reader.get_u64());
+    REPRO_ASSIGN_OR_RETURN(const std::uint64_t length, reader.get_u64());
+    const std::uint64_t begin = chunk * header.chunk_bytes;
+    if (begin + length > data.size()) {
+      return repro::corrupt_data("delta chunk out of range");
+    }
+    REPRO_RETURN_IF_ERROR(
+        reader.get_bytes(std::span<std::uint8_t>(data.data() + begin, length)));
+  }
+  if (header_out != nullptr) *header_out = header;
+  return repro::Status::ok();
+}
+
+}  // namespace
+
+std::filesystem::path DeltaStore::data_path(std::uint64_t iteration,
+                                            bool base) const {
+  return dir_ / ((base ? "base.iter" : "delta.iter") +
+                 std::to_string(iteration) + ".rdlt");
+}
+
+std::filesystem::path DeltaStore::tree_path(std::uint64_t iteration) const {
+  return dir_ / ("iter" + std::to_string(iteration) + ".rmrk");
+}
+
+repro::Result<DeltaStore> DeltaStore::open(std::filesystem::path root,
+                                           std::string run_id,
+                                           std::uint32_t rank,
+                                           DeltaStoreOptions options) {
+  REPRO_RETURN_IF_ERROR(merkle::validate(options.tree));
+  const std::filesystem::path dir =
+      root / run_id / ("rank" + std::to_string(rank));
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return repro::io_error("mkdir " + dir.string() + ": " + ec.message());
+  }
+  return DeltaStore(dir, std::move(options));
+}
+
+repro::Status DeltaStore::append(std::uint64_t iteration,
+                                 std::span<const std::uint8_t> data) {
+  if (!iterations_.empty() && iteration <= iterations_.back()) {
+    return repro::invalid_argument(
+        "iterations must be appended in increasing order");
+  }
+
+  merkle::TreeBuilder builder(options_.tree, options_.exec);
+  REPRO_ASSIGN_OR_RETURN(merkle::MerkleTree new_tree, builder.build(data));
+
+  const bool is_base = iterations_.empty();
+  std::vector<std::uint64_t> changed;
+  if (is_base) {
+    changed.resize(new_tree.num_chunks());
+    for (std::uint64_t chunk = 0; chunk < new_tree.num_chunks(); ++chunk) {
+      changed[chunk] = chunk;
+    }
+    effective_.assign(data.begin(), data.end());
+    effective_tree_ = std::move(new_tree);
+  } else {
+    if (effective_.size() != data.size()) {
+      return repro::failed_precondition(
+          "checkpoint size changed between iterations");
+    }
+    // Diff against the *effective* state so elision never drifts more than
+    // one error bound from the captured data.
+    merkle::TreeCompareOptions compare_options;
+    compare_options.exec = options_.exec;
+    REPRO_ASSIGN_OR_RETURN(
+        changed,
+        merkle::compare_trees(effective_tree_, new_tree, compare_options));
+    for (const std::uint64_t chunk : changed) {
+      const auto [begin, end] = new_tree.chunk_range(chunk);
+      std::copy(data.begin() + static_cast<std::ptrdiff_t>(begin),
+                data.begin() + static_cast<std::ptrdiff_t>(end),
+                effective_.begin() + static_cast<std::ptrdiff_t>(begin));
+    }
+    // Only the stored chunks' paths changed: incremental update instead of
+    // a full O(n) rebuild.
+    REPRO_RETURN_IF_ERROR(
+        builder.update_leaves(effective_tree_, effective_, changed));
+  }
+
+  DeltaHeader header{iteration, data.size(), options_.tree.chunk_bytes,
+                     changed.size(), is_base};
+  std::vector<std::uint8_t> file;
+  encode_delta(header, changed, effective_, options_.tree.chunk_bytes, file);
+  REPRO_RETURN_IF_ERROR(repro::write_file(data_path(iteration, is_base), file)
+                            .with_context("writing delta"));
+  REPRO_RETURN_IF_ERROR(effective_tree_.save(tree_path(iteration)));
+
+  stats_.captures += 1;
+  stats_.raw_bytes += data.size();
+  stats_.stored_bytes += file.size();
+  stats_.metadata_bytes += effective_tree_.metadata_bytes();
+  stats_.chunks_total += effective_tree_.num_chunks();
+  stats_.chunks_stored += changed.size();
+
+  iterations_.push_back(iteration);
+  return repro::Status::ok();
+}
+
+repro::Result<std::vector<std::uint8_t>> DeltaStore::reconstruct(
+    std::uint64_t iteration) const {
+  const auto end = std::find(iterations_.begin(), iterations_.end(), iteration);
+  if (end == iterations_.end()) {
+    return repro::not_found("iteration " + std::to_string(iteration) +
+                            " not in delta store");
+  }
+  std::vector<std::uint8_t> data;
+  for (auto it = iterations_.begin(); it <= end; ++it) {
+    const bool is_base = it == iterations_.begin();
+    REPRO_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> file,
+                           repro::read_file(data_path(*it, is_base)));
+    REPRO_RETURN_IF_ERROR(apply_delta(file, data, nullptr));
+  }
+  return data;
+}
+
+repro::Result<merkle::MerkleTree> DeltaStore::tree(
+    std::uint64_t iteration) const {
+  return merkle::MerkleTree::load(tree_path(iteration));
+}
+
+repro::Result<DeltaStore> DeltaStore::load(std::filesystem::path root,
+                                           std::string run_id,
+                                           std::uint32_t rank,
+                                           DeltaStoreOptions options) {
+  REPRO_ASSIGN_OR_RETURN(DeltaStore store,
+                         open(std::move(root), std::move(run_id), rank,
+                              std::move(options)));
+  // Scan iteration numbers from the tree sidecars.
+  std::error_code ec;
+  std::vector<std::uint64_t> iterations;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(store.dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("iter") || !name.ends_with(".rmrk")) continue;
+    std::uint64_t iteration = 0;
+    const auto* begin = name.data() + 4;
+    const auto* end = name.data() + name.size() - 5;
+    const auto [ptr, parse_ec] = std::from_chars(begin, end, iteration);
+    if (parse_ec != std::errc{} || ptr != end) continue;
+    iterations.push_back(iteration);
+  }
+  if (ec) {
+    return repro::io_error("scanning " + store.dir_.string() + ": " +
+                           ec.message());
+  }
+  std::sort(iterations.begin(), iterations.end());
+  store.iterations_ = std::move(iterations);
+  if (!store.iterations_.empty()) {
+    REPRO_ASSIGN_OR_RETURN(store.effective_tree_,
+                           store.tree(store.iterations_.back()));
+    REPRO_ASSIGN_OR_RETURN(store.effective_,
+                           store.reconstruct(store.iterations_.back()));
+  }
+  return store;
+}
+
+}  // namespace repro::ckpt

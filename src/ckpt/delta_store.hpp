@@ -1,0 +1,119 @@
+// Delta-compacted checkpoint history (the paper's second future-work item,
+// Section 5: "compact the checkpoints online to reduce the I/O overhead and
+// storage costs for the checkpoint history").
+//
+// The Merkle trees built at capture time tell us, for free, which chunks
+// changed since the previous capture of the same rank. The DeltaStore
+// exploits that: the first capture is stored in full; every later capture
+// stores only the chunks whose error-bounded digest differs from the
+// previous iteration's, plus the (tiny) tree. Reconstructing iteration j
+// replays deltas over the base — and because the *unstored* chunks were
+// proven unchanged within the error bound, the reconstruction is exact for
+// stored chunks and within-bound for elided ones. The store diffs each new
+// capture against the *effective* (reconstructable) state, not the previous
+// raw capture, so elision error never accumulates beyond one error bound no
+// matter how long the history grows. For bitwise-exact reconstruction,
+// capture with ValueKind::kBytes (bitwise hashing).
+//
+// Layout under the store root:
+//   <run>/rank<i>/base.iter<j0>.rdlt       full snapshot (first capture)
+//   <run>/rank<i>/delta.iter<j>.rdlt       changed chunks vs previous
+//   <run>/rank<i>/iter<j>.rmrk             tree of iteration j
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "merkle/tree.hpp"
+#include "par/exec.hpp"
+
+namespace repro::ckpt {
+
+struct DeltaStoreOptions {
+  merkle::TreeParams tree;
+  par::Exec exec = par::Exec::parallel();
+};
+
+struct DeltaStoreStats {
+  std::uint64_t captures = 0;
+  std::uint64_t raw_bytes = 0;      ///< sum of full checkpoint sizes
+  std::uint64_t stored_bytes = 0;   ///< bytes actually written (data files)
+  std::uint64_t metadata_bytes = 0; ///< tree sidecars
+  std::uint64_t chunks_total = 0;
+  std::uint64_t chunks_stored = 0;
+
+  [[nodiscard]] double compaction_ratio() const noexcept {
+    return stored_bytes > 0
+               ? static_cast<double>(raw_bytes) /
+                     static_cast<double>(stored_bytes)
+               : 0.0;
+  }
+};
+
+/// One rank's delta-compacted capture stream within a run.
+class DeltaStore {
+ public:
+  /// Opens (creating directories) the stream for (run_id, rank) under
+  /// `root`. Appending and reconstruction can be interleaved freely.
+  static repro::Result<DeltaStore> open(std::filesystem::path root,
+                                        std::string run_id,
+                                        std::uint32_t rank,
+                                        DeltaStoreOptions options);
+
+  /// Append the checkpoint of `iteration` (strictly increasing). Stores the
+  /// full data on the first call, changed chunks only afterwards.
+  repro::Status append(std::uint64_t iteration,
+                       std::span<const std::uint8_t> data);
+
+  /// Reconstruct the full data of a previously appended iteration.
+  [[nodiscard]] repro::Result<std::vector<std::uint8_t>> reconstruct(
+      std::uint64_t iteration) const;
+
+  /// Load the tree stored for an iteration: the tree of the *effective*
+  /// state reconstruct() returns (per-chunk within one error bound of the
+  /// captured data). Usable directly with merkle::compare_trees —
+  /// cross-run comparison needs no reconstruction.
+  [[nodiscard]] repro::Result<merkle::MerkleTree> tree(
+      std::uint64_t iteration) const;
+
+  /// Iterations appended so far, ascending.
+  [[nodiscard]] const std::vector<std::uint64_t>& iterations() const noexcept {
+    return iterations_;
+  }
+
+  [[nodiscard]] const DeltaStoreStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Re-open an existing stream from disk (scans the directory).
+  static repro::Result<DeltaStore> load(std::filesystem::path root,
+                                        std::string run_id,
+                                        std::uint32_t rank,
+                                        DeltaStoreOptions options);
+
+ private:
+  DeltaStore(std::filesystem::path dir, DeltaStoreOptions options)
+      : dir_(std::move(dir)), options_(std::move(options)) {}
+
+  [[nodiscard]] std::filesystem::path data_path(std::uint64_t iteration,
+                                                bool base) const;
+  [[nodiscard]] std::filesystem::path tree_path(
+      std::uint64_t iteration) const;
+
+  std::filesystem::path dir_;
+  DeltaStoreOptions options_;
+  std::vector<std::uint64_t> iterations_;
+  /// The reconstructable state after the latest append (diff baseline) and
+  /// its tree. Kept in memory so every delta is computed against what a
+  /// reader will actually see.
+  std::vector<std::uint8_t> effective_;
+  merkle::MerkleTree effective_tree_;
+  DeltaStoreStats stats_;
+};
+
+}  // namespace repro::ckpt

@@ -1,0 +1,125 @@
+#include "ckpt/history.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace repro::ckpt {
+
+namespace {
+
+/// Parse "<prefix><number>" -> number.
+bool parse_tagged(std::string_view text, std::string_view prefix,
+                  std::uint64_t* out) {
+  if (text.size() <= prefix.size() || !text.starts_with(prefix)) return false;
+  const auto* begin = text.data() + prefix.size();
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+CheckpointRef HistoryCatalog::ref(const std::string& run_id,
+                                  std::uint64_t iteration,
+                                  std::uint32_t rank) const {
+  CheckpointRef out;
+  out.run_id = run_id;
+  out.iteration = iteration;
+  out.rank = rank;
+  const auto dir = root_ / run_id / ("iter" + std::to_string(iteration));
+  out.checkpoint_path = dir / ("rank" + std::to_string(rank) + ".ckpt");
+  out.metadata_path = dir / ("rank" + std::to_string(rank) + ".rmrk");
+  return out;
+}
+
+repro::Result<CheckpointRef> HistoryCatalog::make_ref(
+    const std::string& run_id, std::uint64_t iteration,
+    std::uint32_t rank) const {
+  CheckpointRef out = ref(run_id, iteration, rank);
+  std::error_code ec;
+  std::filesystem::create_directories(out.checkpoint_path.parent_path(), ec);
+  if (ec) {
+    return repro::io_error("mkdir " +
+                           out.checkpoint_path.parent_path().string() + ": " +
+                           ec.message());
+  }
+  return out;
+}
+
+repro::Result<std::vector<std::string>> HistoryCatalog::runs() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    if (entry.is_directory()) out.push_back(entry.path().filename().string());
+  }
+  if (ec) {
+    return repro::io_error("scanning " + root_.string() + ": " + ec.message());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+repro::Result<std::vector<CheckpointRef>> HistoryCatalog::checkpoints(
+    const std::string& run_id) const {
+  const auto run_dir = root_ / run_id;
+  if (!std::filesystem::is_directory(run_dir)) {
+    return repro::not_found("no run directory: " + run_dir.string());
+  }
+  std::vector<CheckpointRef> out;
+  std::error_code ec;
+  for (const auto& iter_entry :
+       std::filesystem::directory_iterator(run_dir, ec)) {
+    if (!iter_entry.is_directory()) continue;
+    std::uint64_t iteration = 0;
+    if (!parse_tagged(iter_entry.path().filename().string(), "iter",
+                      &iteration)) {
+      continue;
+    }
+    for (const auto& rank_entry :
+         std::filesystem::directory_iterator(iter_entry.path())) {
+      const auto filename = rank_entry.path().filename().string();
+      if (!filename.ends_with(".ckpt")) continue;
+      std::uint64_t rank = 0;
+      if (!parse_tagged(filename.substr(0, filename.size() - 5), "rank",
+                        &rank)) {
+        continue;
+      }
+      out.push_back(ref(run_id, iteration, static_cast<std::uint32_t>(rank)));
+    }
+  }
+  if (ec) {
+    return repro::io_error("scanning " + run_dir.string() + ": " +
+                           ec.message());
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.iteration, a.rank) < std::tie(b.iteration, b.rank);
+  });
+  return out;
+}
+
+repro::Result<std::vector<CheckpointPair>> HistoryCatalog::pair_runs(
+    const std::string& run_a, const std::string& run_b) const {
+  REPRO_ASSIGN_OR_RETURN(const std::vector<CheckpointRef> list_a,
+                         checkpoints(run_a));
+  REPRO_ASSIGN_OR_RETURN(const std::vector<CheckpointRef> list_b,
+                         checkpoints(run_b));
+  if (list_a.size() != list_b.size()) {
+    return repro::failed_precondition(
+        "histories differ in checkpoint count (" +
+        std::to_string(list_a.size()) + " vs " + std::to_string(list_b.size()) +
+        ")");
+  }
+  std::vector<CheckpointPair> pairs;
+  pairs.reserve(list_a.size());
+  for (std::size_t i = 0; i < list_a.size(); ++i) {
+    if (list_a[i].iteration != list_b[i].iteration ||
+        list_a[i].rank != list_b[i].rank) {
+      return repro::failed_precondition(
+          "histories are not aligned at entry " + std::to_string(i));
+    }
+    pairs.push_back({list_a[i], list_b[i]});
+  }
+  return pairs;
+}
+
+}  // namespace repro::ckpt

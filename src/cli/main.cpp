@@ -1,0 +1,640 @@
+// repro-cli: offline capture and comparison tool (the paper's contribution
+// (2) exposes the runtime both as a library API and as a command line tool).
+//
+//   repro-cli simulate  --out DIR --run ID [--particles N --steps S ...]
+//   repro-cli tree      CKPT [--chunk 64K --eps 1e-6 --out FILE.rmrk]
+//   repro-cli compare   A.ckpt B.ckpt [--eps 1e-6 --backend uring ...]
+//   repro-cli history   ROOT RUN_A RUN_B [--eps 1e-6 --stop-early]
+//   repro-cli inspect   FILE.(ckpt|rmrk)
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "baseline/allclose.hpp"
+#include "baseline/direct.hpp"
+#include "ckpt/capture.hpp"
+#include "ckpt/delta_store.hpp"
+#include "cli/args.hpp"
+#include "common/bytes.hpp"
+#include "common/fs.hpp"
+#include "common/table.hpp"
+#include "compare/comparator.hpp"
+#include "compare/fields.hpp"
+#include "merkle/compare.hpp"
+#include "merkle/proof.hpp"
+#include "sim/hacc_lite.hpp"
+
+namespace repro::cli {
+namespace {
+
+void print_usage() {
+  std::puts(
+      "repro-cli — scalable capture and comparison of intermediate "
+      "multi-run results\n"
+      "\n"
+      "  repro-cli simulate --out DIR --run ID [--particles N] [--steps S]\n"
+      "            [--mesh M] [--capture-every K] [--noise-seed S]\n"
+      "            [--jitter X] [--chunk 64K] [--eps 1e-6]\n"
+      "      run the haccette mini-app, capturing checkpoints + metadata\n"
+      "\n"
+      "  repro-cli tree CKPT [--chunk 64K] [--eps 1e-6] [--block 4]\n"
+      "            [--out FILE.rmrk]\n"
+      "      build Merkle metadata for an existing checkpoint\n"
+      "\n"
+      "  repro-cli compare A.ckpt B.ckpt [--eps 1e-6] [--chunk 64K]\n"
+      "            [--backend uring|mmap|pread|threads] [--diffs N]\n"
+      "            [--method ours|direct|allclose]\n"
+      "      compare two checkpoints within the error bound\n"
+      "\n"
+      "  repro-cli history ROOT RUN_A RUN_B [--eps 1e-6] [--stop-early]\n"
+      "      compare two runs' checkpoint histories, report first "
+      "divergence\n"
+      "\n"
+      "  repro-cli inspect FILE\n"
+      "      print checkpoint or metadata file structure\n"
+      "\n"
+      "  repro-cli fields A.ckpt B.ckpt [--bounds X=1e-6,PHI=1e-2]\n"
+      "            [--default-eps 1e-6] [--chunk 16K]\n"
+      "      compare field by field under per-field error bounds\n"
+      "\n"
+      "  repro-cli prove CKPT --index I [--chunk 64K] [--eps 1e-6]\n"
+      "            [--out FILE.rprf]\n"
+      "      emit an inclusion proof for chunk I (prints the root to pin)\n"
+      "\n"
+      "  repro-cli verify PROOF.rprf CKPT --root HEX [--chunk 64K]\n"
+      "            [--eps 1e-6]\n"
+      "      check a chunk of CKPT against a pinned root via the proof\n"
+      "\n"
+      "  repro-cli delta append ROOT RUN RANK ITER CKPT [--chunk 64K]\n"
+      "            [--eps 1e-6]\n"
+      "  repro-cli delta reconstruct ROOT RUN RANK ITER OUT.bin ...\n"
+      "  repro-cli delta stats ROOT RUN RANK ...\n"
+      "      delta-compacted checkpoint history store\n");
+}
+
+int fail(const repro::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+repro::Result<merkle::TreeParams> tree_params_from(const Args& args) {
+  merkle::TreeParams params;
+  REPRO_ASSIGN_OR_RETURN(params.chunk_bytes,
+                         args.get_size("chunk", 64 * repro::kKiB));
+  REPRO_ASSIGN_OR_RETURN(params.hash.error_bound, args.get_f64("eps", 1e-6));
+  REPRO_ASSIGN_OR_RETURN(const std::uint64_t block, args.get_u64("block", 4));
+  params.hash.values_per_block = static_cast<std::uint32_t>(block);
+  return params;
+}
+
+int cmd_simulate(const Args& args) {
+  if (!args.has("out") || !args.has("run")) {
+    std::fprintf(stderr, "simulate requires --out DIR and --run ID\n");
+    return 2;
+  }
+  sim::SimConfig config;
+  auto particles = args.get_u64("particles", 1ULL << 15);
+  if (!particles.is_ok()) return fail(particles.status());
+  config.num_particles = particles.value();
+  auto steps = args.get_u64("steps", 50);
+  if (!steps.is_ok()) return fail(steps.status());
+  config.steps = static_cast<std::uint32_t>(steps.value());
+  auto mesh = args.get_u64("mesh", 32);
+  if (!mesh.is_ok()) return fail(mesh.status());
+  config.mesh_dim = static_cast<std::uint32_t>(mesh.value());
+  auto seed = args.get_u64("seed", 12345);
+  if (!seed.is_ok()) return fail(seed.status());
+  config.seed = seed.value();
+
+  auto noise_seed = args.get_u64("noise-seed", 0);
+  if (!noise_seed.is_ok()) return fail(noise_seed.status());
+  auto jitter = args.get_f64("jitter", 0.0);
+  if (!jitter.is_ok()) return fail(jitter.status());
+  if (noise_seed.value() != 0 || jitter.value() > 0) {
+    config.noise.enabled = true;
+    config.noise.run_seed = noise_seed.value();
+    config.noise.jitter_magnitude = jitter.value();
+  }
+
+  auto capture_every = args.get_u64("capture-every", 10);
+  if (!capture_every.is_ok()) return fail(capture_every.status());
+  std::vector<std::uint64_t> capture_iterations;
+  for (std::uint64_t it = capture_every.value(); it <= config.steps;
+       it += capture_every.value()) {
+    capture_iterations.push_back(it);
+  }
+
+  auto tree = tree_params_from(args);
+  if (!tree.is_ok()) return fail(tree.status());
+
+  const std::string run_id = args.get("run", "run");
+  ckpt::HistoryCatalog catalog{args.get("out", ".")};
+  ckpt::CaptureOptions capture_options;
+  capture_options.tree = tree.value();
+  repro::TempDir local{"repro-cli-local"};
+  ckpt::CaptureEngine engine(local.path(), catalog, capture_options);
+
+  sim::HaccLite app(config);
+  repro::Status status = app.initialize();
+  if (!status.is_ok()) return fail(status);
+
+  status = app.run(capture_iterations, [&](std::uint64_t iteration) {
+    ckpt::CheckpointWriter writer("haccette", run_id, iteration, /*rank=*/0);
+    REPRO_RETURN_IF_ERROR(app.add_checkpoint_fields(writer));
+    return engine.capture(writer);
+  });
+  if (!status.is_ok()) return fail(status);
+  status = engine.wait_all();
+  if (!status.is_ok()) return fail(status);
+
+  const auto& stats = engine.stats();
+  std::printf("captured %llu checkpoints (%s data, %s metadata) to %s\n",
+              static_cast<unsigned long long>(stats.checkpoints_captured),
+              repro::format_size(stats.bytes_captured).c_str(),
+              repro::format_size(stats.metadata_bytes).c_str(),
+              catalog.root().c_str());
+  return 0;
+}
+
+int cmd_tree(const Args& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr, "tree requires a checkpoint path\n");
+    return 2;
+  }
+  const std::filesystem::path ckpt_path = args.positional()[1];
+  auto params = tree_params_from(args);
+  if (!params.is_ok()) return fail(params.status());
+
+  auto reader = ckpt::CheckpointReader::open(ckpt_path);
+  if (!reader.is_ok()) return fail(reader.status());
+  auto data = reader.value().read_data();
+  if (!data.is_ok()) return fail(data.status());
+
+  merkle::TreeBuilder builder(params.value(), par::Exec::parallel());
+  auto tree = builder.build(data.value());
+  if (!tree.is_ok()) return fail(tree.status());
+
+  const std::filesystem::path out =
+      args.get("out", ckpt_path.string() + ".rmrk");
+  const repro::Status saved = tree.value().save(out);
+  if (!saved.is_ok()) return fail(saved);
+
+  std::printf("wrote %s: %llu chunks of %s, eps=%g, %s metadata (%.2f%% of "
+              "checkpoint)\n",
+              out.c_str(),
+              static_cast<unsigned long long>(tree.value().num_chunks()),
+              repro::format_size(params.value().chunk_bytes).c_str(),
+              params.value().hash.error_bound,
+              repro::format_size(tree.value().metadata_bytes()).c_str(),
+              100.0 * static_cast<double>(tree.value().metadata_bytes()) /
+                  static_cast<double>(data.value().size()));
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  if (args.positional().size() < 3) {
+    std::fprintf(stderr, "compare requires two checkpoint paths\n");
+    return 2;
+  }
+  const std::filesystem::path path_a = args.positional()[1];
+  const std::filesystem::path path_b = args.positional()[2];
+  auto eps = args.get_f64("eps", 1e-6);
+  if (!eps.is_ok()) return fail(eps.status());
+  const std::string method = args.get("method", "ours");
+
+  if (method == "allclose") {
+    baseline::AllCloseOptions options;
+    options.atol = eps.value();
+    auto report = baseline::allclose_files(path_a, path_b, options);
+    if (!report.is_ok()) return fail(report.status());
+    std::printf("allclose: %s (%llu of %llu values exceed %g) in %.3fs "
+                "(%s)\n",
+                report.value().all_close ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(
+                    report.value().values_exceeding),
+                static_cast<unsigned long long>(
+                    report.value().values_compared),
+                options.atol, report.value().total_seconds,
+                repro::format_throughput(
+                    report.value().throughput_bytes_per_second())
+                    .c_str());
+    return report.value().all_close ? 0 : 3;
+  }
+
+  auto backend = io::parse_backend(args.get("backend", "uring"));
+  if (!backend.is_ok()) return fail(backend.status());
+  auto diffs = args.get_u64("diffs", 10);
+  if (!diffs.is_ok()) return fail(diffs.status());
+
+  cmp::CompareReport report;
+  if (method == "direct") {
+    baseline::DirectOptions options;
+    options.error_bound = eps.value();
+    options.backend = backend.value();
+    options.collect_diffs = diffs.value() > 0;
+    options.max_diffs = diffs.value();
+    auto result = baseline::direct_compare(path_a, path_b, options);
+    if (!result.is_ok()) return fail(result.status());
+    report = std::move(result).value();
+  } else if (method == "ours") {
+    cmp::CompareOptions options;
+    options.error_bound = eps.value();
+    options.backend = backend.value();
+    options.collect_diffs = diffs.value() > 0;
+    options.max_diffs = diffs.value();
+    auto params = tree_params_from(args);
+    if (!params.is_ok()) return fail(params.status());
+    options.tree = params.value();
+    auto result = cmp::compare_files(path_a, path_b, options);
+    if (!result.is_ok()) return fail(result.status());
+    report = std::move(result).value();
+  } else {
+    std::fprintf(stderr, "unknown --method '%s'\n", method.c_str());
+    return 2;
+  }
+
+  std::printf("%s: %llu values exceed eps=%g", method.c_str(),
+              static_cast<unsigned long long>(report.values_exceeding),
+              eps.value());
+  if (report.chunks_total > 0) {
+    std::printf(" (%llu/%llu chunks flagged, %.2f%% of data re-read)",
+                static_cast<unsigned long long>(report.chunks_flagged),
+                static_cast<unsigned long long>(report.chunks_total),
+                100.0 * report.fraction_data_flagged());
+  }
+  std::printf("\nruntime %.3fs, throughput %s\n", report.total_seconds,
+              repro::format_throughput(report.throughput_bytes_per_second())
+                  .c_str());
+  for (const auto& name : report.timers.names()) {
+    std::printf("  %-16s %.4fs\n", name.c_str(),
+                report.timers.seconds(name));
+  }
+  if (!report.diffs.empty()) {
+    std::printf("sample differences:\n");
+    for (const auto& diff : report.diffs) {
+      std::printf("  %s[%llu]: %.8g vs %.8g\n",
+                  diff.field.empty() ? "?" : diff.field.c_str(),
+                  static_cast<unsigned long long>(diff.element_index),
+                  diff.value_a, diff.value_b);
+    }
+  }
+  return report.values_exceeding == 0 ? 0 : 3;
+}
+
+int cmd_history(const Args& args) {
+  if (args.positional().size() < 4) {
+    std::fprintf(stderr, "history requires ROOT RUN_A RUN_B\n");
+    return 2;
+  }
+  ckpt::HistoryCatalog catalog{args.positional()[1]};
+  auto eps = args.get_f64("eps", 1e-6);
+  if (!eps.is_ok()) return fail(eps.status());
+
+  cmp::HistoryOptions options;
+  options.pair_options.error_bound = eps.value();
+  options.stop_at_first_divergence = args.has("stop-early");
+  auto params = tree_params_from(args);
+  if (!params.is_ok()) return fail(params.status());
+  options.pair_options.tree = params.value();
+
+  auto history = cmp::compare_histories(catalog, args.positional()[2],
+                                        args.positional()[3], options);
+  if (!history.is_ok()) return fail(history.status());
+
+  repro::TextTable table({"iteration", "rank", "values>eps", "chunks flagged",
+                          "data re-read"});
+  for (const auto& [pair, report] : history.value().pairs) {
+    table.add_row({std::to_string(pair.run_a.iteration),
+                   std::to_string(pair.run_a.rank),
+                   std::to_string(report.values_exceeding),
+                   std::to_string(report.chunks_flagged) + "/" +
+                       std::to_string(report.chunks_total),
+                   repro::strprintf("%.2f%%",
+                                    100.0 * report.fraction_data_flagged())});
+  }
+  table.print();
+  if (history.value().first_divergent_iteration.has_value()) {
+    std::printf("first divergence: iteration %llu (rank %u)\n",
+                static_cast<unsigned long long>(
+                    *history.value().first_divergent_iteration),
+                *history.value().first_divergent_rank);
+    return 3;
+  }
+  std::printf("histories agree within eps=%g\n", eps.value());
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr, "inspect requires a file path\n");
+    return 2;
+  }
+  const std::filesystem::path path = args.positional()[1];
+  if (path.extension() == ".rmrk") {
+    auto tree = merkle::MerkleTree::load(path);
+    if (!tree.is_ok()) return fail(tree.status());
+    const auto& t = tree.value();
+    std::printf("merkle metadata %s\n", path.c_str());
+    std::printf("  data size     %s\n",
+                repro::format_size(t.data_bytes()).c_str());
+    std::printf("  chunk size    %s\n",
+                repro::format_size(t.params().chunk_bytes).c_str());
+    std::printf("  value kind    %.*s\n",
+                static_cast<int>(
+                    merkle::value_kind_name(t.params().value_kind).size()),
+                merkle::value_kind_name(t.params().value_kind).data());
+    std::printf("  error bound   %g\n", t.params().hash.error_bound);
+    std::printf("  chunks        %llu (depth %u)\n",
+                static_cast<unsigned long long>(t.num_chunks()),
+                t.layout().depth);
+    std::printf("  root digest   %s\n", t.root().hex().c_str());
+    return 0;
+  }
+
+  auto reader = ckpt::CheckpointReader::open(path);
+  if (!reader.is_ok()) return fail(reader.status());
+  const auto& info = reader.value().info();
+  std::printf("checkpoint %s\n", path.c_str());
+  std::printf("  application   %s\n  run           %s\n",
+              info.application.c_str(), info.run_id.c_str());
+  std::printf("  iteration     %llu\n  rank          %u\n",
+              static_cast<unsigned long long>(info.iteration), info.rank);
+  repro::TextTable table({"field", "type", "elements", "bytes"});
+  for (const auto& field : info.fields) {
+    table.add_row({field.name, std::string{merkle::value_kind_name(field.kind)},
+                   std::to_string(field.element_count),
+                   repro::format_size(field.byte_size())});
+  }
+  table.print();
+  return 0;
+}
+
+/// Parse "X=1e-6,PHI=1e-2" into a field->bound map.
+repro::Result<std::map<std::string, double, std::less<>>> parse_bounds(
+    const std::string& text) {
+  std::map<std::string, double, std::less<>> bounds;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t comma = std::min(text.find(',', pos), text.size());
+    const std::size_t equals = text.find('=', pos);
+    if (equals == std::string::npos || equals >= comma) {
+      return repro::invalid_argument(
+          "--bounds expects FIELD=EPS[,FIELD=EPS...]");
+    }
+    const std::string name = text.substr(pos, equals - pos);
+    try {
+      bounds[name] = std::stod(text.substr(equals + 1, comma - equals - 1));
+    } catch (const std::exception&) {
+      return repro::invalid_argument("bad bound for field " + name);
+    }
+    pos = comma + 1;
+  }
+  return bounds;
+}
+
+int cmd_fields(const Args& args) {
+  if (args.positional().size() < 3) {
+    std::fprintf(stderr, "fields requires two checkpoint paths\n");
+    return 2;
+  }
+  cmp::FieldCompareOptions options;
+  auto default_eps = args.get_f64("default-eps", 1e-6);
+  if (!default_eps.is_ok()) return fail(default_eps.status());
+  options.default_bound = default_eps.value();
+  auto chunk = args.get_size("chunk", 16 * repro::kKiB);
+  if (!chunk.is_ok()) return fail(chunk.status());
+  options.chunk_bytes = chunk.value();
+  if (args.has("bounds")) {
+    auto bounds = parse_bounds(args.get("bounds", ""));
+    if (!bounds.is_ok()) return fail(bounds.status());
+    options.field_bounds = std::move(bounds).value();
+  }
+  auto backend = io::parse_backend(args.get("backend", "uring"));
+  if (!backend.is_ok()) return fail(backend.status());
+  options.backend = backend.value();
+
+  const auto report = cmp::compare_fields(args.positional()[1],
+                                          args.positional()[2], options);
+  if (!report.is_ok()) return fail(report.status());
+
+  repro::TextTable table({"field", "eps", "values>eps", "chunks flagged",
+                          "data re-read"});
+  for (const auto& field : report.value().fields) {
+    table.add_row({field.field, repro::strprintf("%g", field.error_bound),
+                   std::to_string(field.values_exceeding),
+                   std::to_string(field.chunks_flagged) + "/" +
+                       std::to_string(field.chunks_total),
+                   repro::format_size(field.bytes_read_per_file)});
+  }
+  table.print();
+  std::printf("verdict: %s (%.3fs)\n",
+              report.value().identical_within_bounds()
+                  ? "all fields within their bounds"
+                  : "DIVERGED",
+              report.value().total_seconds);
+  return report.value().identical_within_bounds() ? 0 : 3;
+}
+
+int cmd_prove(const Args& args) {
+  if (args.positional().size() < 2 || !args.has("index")) {
+    std::fprintf(stderr, "prove requires a checkpoint path and --index\n");
+    return 2;
+  }
+  auto index = args.get_u64("index", 0);
+  if (!index.is_ok()) return fail(index.status());
+  auto params = tree_params_from(args);
+  if (!params.is_ok()) return fail(params.status());
+
+  auto reader = ckpt::CheckpointReader::open(args.positional()[1]);
+  if (!reader.is_ok()) return fail(reader.status());
+  auto data = reader.value().read_data();
+  if (!data.is_ok()) return fail(data.status());
+  auto tree = merkle::TreeBuilder(params.value(), par::Exec::parallel())
+                  .build(data.value());
+  if (!tree.is_ok()) return fail(tree.status());
+
+  auto proof = merkle::prove_inclusion(tree.value(), index.value());
+  if (!proof.is_ok()) return fail(proof.status());
+  const std::filesystem::path out = args.get(
+      "out", args.positional()[1] + ".chunk" +
+                 std::to_string(index.value()) + ".rprf");
+  const repro::Status saved =
+      repro::write_file(out, proof.value().serialize());
+  if (!saved.is_ok()) return fail(saved);
+  std::printf("proof for chunk %llu written to %s (%zu bytes)\n"
+              "pin this root: %s\n",
+              static_cast<unsigned long long>(index.value()), out.c_str(),
+              proof.value().serialize().size(),
+              tree.value().root().hex().c_str());
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  if (args.positional().size() < 3 || !args.has("root")) {
+    std::fprintf(stderr,
+                 "verify requires PROOF CKPT and --root HEX\n");
+    return 2;
+  }
+  const std::string root_hex = args.get("root", "");
+  if (root_hex.size() != 32) {
+    std::fprintf(stderr, "--root must be 32 hex chars\n");
+    return 2;
+  }
+  hash::Digest128 root;
+  try {
+    root.lo = std::stoull(root_hex.substr(0, 16), nullptr, 16);
+    root.hi = std::stoull(root_hex.substr(16, 16), nullptr, 16);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "--root is not valid hex\n");
+    return 2;
+  }
+  auto params = tree_params_from(args);
+  if (!params.is_ok()) return fail(params.status());
+
+  auto proof_bytes = repro::read_file(args.positional()[1]);
+  if (!proof_bytes.is_ok()) return fail(proof_bytes.status());
+  auto proof = merkle::InclusionProof::deserialize(proof_bytes.value());
+  if (!proof.is_ok()) return fail(proof.status());
+
+  auto reader = ckpt::CheckpointReader::open(args.positional()[2]);
+  if (!reader.is_ok()) return fail(reader.status());
+  auto data = reader.value().read_data();
+  if (!data.is_ok()) return fail(data.status());
+  const std::uint64_t begin =
+      proof.value().chunk * params.value().chunk_bytes;
+  if (begin >= data.value().size()) {
+    std::fprintf(stderr, "proof's chunk lies outside this checkpoint\n");
+    return 2;
+  }
+  const std::uint64_t length = std::min<std::uint64_t>(
+      params.value().chunk_bytes, data.value().size() - begin);
+  const repro::Status status = merkle::verify_chunk_data(
+      proof.value(),
+      std::span<const std::uint8_t>(data.value().data() + begin, length),
+      params.value(), root);
+  if (status.is_ok()) {
+    std::printf("OK: chunk %llu of %s belongs to root %s (within eps)\n",
+                static_cast<unsigned long long>(proof.value().chunk),
+                args.positional()[2].c_str(), root_hex.c_str());
+    return 0;
+  }
+  std::printf("REJECTED: %s\n", status.to_string().c_str());
+  return 3;
+}
+
+int cmd_delta(const Args& args) {
+  if (args.positional().size() < 5) {
+    std::fprintf(stderr,
+                 "delta requires a subcommand, store root, run and rank\n");
+    return 2;
+  }
+  const std::string& action = args.positional()[1];
+  const std::filesystem::path root = args.positional()[2];
+  const std::string run = args.positional()[3];
+  std::uint64_t rank = 0;
+  try {
+    rank = std::stoull(args.positional()[4]);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "RANK must be an integer\n");
+    return 2;
+  }
+  auto params = tree_params_from(args);
+  if (!params.is_ok()) return fail(params.status());
+  ckpt::DeltaStoreOptions options;
+  options.tree = params.value();
+
+  auto store = ckpt::DeltaStore::load(root, run,
+                                      static_cast<std::uint32_t>(rank),
+                                      options);
+  if (!store.is_ok()) return fail(store.status());
+
+  if (action == "stats") {
+    const ckpt::DeltaStoreStats& stats = store.value().stats();
+    // load() only recovers iteration numbers, not historical stats; report
+    // what is recoverable: the iteration list and on-disk footprint.
+    std::uint64_t on_disk = 0;
+    for (const auto& entry : std::filesystem::recursive_directory_iterator(
+             root / run / ("rank" + std::to_string(rank)))) {
+      if (entry.is_regular_file()) on_disk += entry.file_size();
+    }
+    std::printf("delta store %s/%s/rank%llu: %zu iterations, %s on disk\n",
+                root.c_str(), run.c_str(),
+                static_cast<unsigned long long>(rank),
+                store.value().iterations().size(),
+                repro::format_size(on_disk).c_str());
+    if (stats.captures > 0) {
+      std::printf("session stats: %.2fx compaction\n",
+                  stats.compaction_ratio());
+    }
+    return 0;
+  }
+
+  if (args.positional().size() < 7) {
+    std::fprintf(stderr, "delta %s requires ITER and a file path\n",
+                 action.c_str());
+    return 2;
+  }
+  std::uint64_t iteration = 0;
+  try {
+    iteration = std::stoull(args.positional()[5]);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "ITER must be an integer\n");
+    return 2;
+  }
+  const std::filesystem::path file = args.positional()[6];
+
+  if (action == "append") {
+    auto reader = ckpt::CheckpointReader::open(file);
+    if (!reader.is_ok()) return fail(reader.status());
+    auto data = reader.value().read_data();
+    if (!data.is_ok()) return fail(data.status());
+    const repro::Status status =
+        store.value().append(iteration, data.value());
+    if (!status.is_ok()) return fail(status);
+    const auto& stats = store.value().stats();
+    std::printf("appended iteration %llu: %s raw -> %s stored this "
+                "session\n",
+                static_cast<unsigned long long>(iteration),
+                repro::format_size(stats.raw_bytes).c_str(),
+                repro::format_size(stats.stored_bytes).c_str());
+    return 0;
+  }
+  if (action == "reconstruct") {
+    auto data = store.value().reconstruct(iteration);
+    if (!data.is_ok()) return fail(data.status());
+    const repro::Status status = repro::write_file(file, data.value());
+    if (!status.is_ok()) return fail(status);
+    std::printf("reconstructed iteration %llu -> %s (%s)\n",
+                static_cast<unsigned long long>(iteration), file.c_str(),
+                repro::format_size(data.value().size()).c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown delta subcommand '%s'\n", action.c_str());
+  return 2;
+}
+
+int run(int argc, const char* const* argv) {
+  auto args = Args::parse(argc - 1, argv + 1);
+  if (!args.is_ok()) return fail(args.status());
+  if (args.value().positional().empty()) {
+    print_usage();
+    return 2;
+  }
+  const std::string& command = args.value().positional().front();
+  if (command == "simulate") return cmd_simulate(args.value());
+  if (command == "tree") return cmd_tree(args.value());
+  if (command == "compare") return cmd_compare(args.value());
+  if (command == "history") return cmd_history(args.value());
+  if (command == "inspect") return cmd_inspect(args.value());
+  if (command == "fields") return cmd_fields(args.value());
+  if (command == "prove") return cmd_prove(args.value());
+  if (command == "verify") return cmd_verify(args.value());
+  if (command == "delta") return cmd_delta(args.value());
+  print_usage();
+  return 2;
+}
+
+}  // namespace
+}  // namespace repro::cli
+
+int main(int argc, char** argv) { return repro::cli::run(argc, argv); }

@@ -1,0 +1,96 @@
+#include "cluster/distributed.hpp"
+
+#include <limits>
+#include <mutex>
+
+#include "cluster/world.hpp"
+#include "common/timer.hpp"
+
+namespace repro::cluster {
+
+repro::Result<DistributedReport> distributed_history_compare(
+    const ckpt::HistoryCatalog& catalog, const std::string& run_a,
+    const std::string& run_b, const DistributedOptions& options) {
+  REPRO_ASSIGN_OR_RETURN(const std::vector<ckpt::CheckpointPair> pairs,
+                         catalog.pair_runs(run_a, run_b));
+
+  constexpr std::uint64_t kNoDivergence =
+      std::numeric_limits<std::uint64_t>::max();
+
+  DistributedReport report;
+  std::mutex report_mu;
+  Stopwatch wall;
+
+  const repro::Status status = World::run(
+      options.world_size, [&](Rank& rank) -> repro::Status {
+        cmp::CompareOptions pair_options = options.pair_options;
+        pair_options.exec = par::Exec::serial();
+        pair_options.tree_compare.exec = par::Exec::serial();
+
+        // Rank-local accumulation over a round-robin slice of the worklist.
+        std::uint64_t pairs_compared = 0;
+        std::uint64_t values_compared = 0;
+        std::uint64_t values_exceeding = 0;
+        std::uint64_t bytes_read = 0;
+        std::uint64_t total_bytes = 0;
+        std::uint64_t first_divergence = kNoDivergence;
+        // A failing pair must NOT return before the collectives below run,
+        // or the other ranks deadlock at the barrier (the MPI hazard).
+        repro::Status local_status;
+        for (std::size_t i = rank.rank(); i < pairs.size();
+             i += rank.size()) {
+          auto pair_result = cmp::compare_pair(pairs[i], pair_options);
+          if (!pair_result.is_ok()) {
+            local_status = pair_result.status();
+            break;
+          }
+          const cmp::CompareReport& pair_report = pair_result.value();
+          pairs_compared += 1;
+          values_compared += pair_report.values_compared;
+          values_exceeding += pair_report.values_exceeding;
+          bytes_read += pair_report.bytes_read_per_file;
+          total_bytes += pair_report.data_bytes;
+          if (!pair_report.identical_within_bound()) {
+            first_divergence =
+                std::min(first_divergence, pairs[i].run_a.iteration);
+          }
+        }
+
+        // Aggregate the verdict exactly once, on every rank (allreduce).
+        const std::uint64_t all_pairs = rank.allreduce_sum(pairs_compared);
+        const std::uint64_t all_values = rank.allreduce_sum(values_compared);
+        const std::uint64_t all_exceeding =
+            rank.allreduce_sum(values_exceeding);
+        const std::uint64_t all_bytes = rank.allreduce_sum(bytes_read);
+        const std::uint64_t all_total = rank.allreduce_sum(total_bytes);
+        const std::uint64_t earliest = rank.allreduce_min(first_divergence);
+        const std::uint64_t failed_ranks =
+            rank.allreduce_sum(local_status.is_ok() ? std::uint64_t{0}
+                                                    : std::uint64_t{1});
+        if (!local_status.is_ok()) return local_status;
+        if (failed_ranks > 0) {
+          // Another rank failed and reports the error; this rank's partial
+          // aggregate must not be published.
+          return repro::Status::ok();
+        }
+
+        if (rank.rank() == 0) {
+          std::lock_guard<std::mutex> lock(report_mu);
+          report.pairs_compared = all_pairs;
+          report.values_compared = all_values;
+          report.values_exceeding = all_exceeding;
+          report.bytes_read_per_file = all_bytes;
+          report.total_bytes = all_total;
+          if (earliest != kNoDivergence) {
+            report.first_divergent_iteration = earliest;
+          }
+        }
+        return repro::Status::ok();
+      });
+  REPRO_RETURN_IF_ERROR(status);
+
+  report.wall_seconds = wall.seconds();
+  return report;
+}
+
+}  // namespace repro::cluster

@@ -1,0 +1,40 @@
+// Distributed history comparison: the multi-rank version of
+// cmp::compare_histories, mirroring how the paper's runtime consumes a
+// 512-checkpoint history on 128 nodes — every rank owns a slice of the
+// (iteration, rank) pair worklist, and collectives aggregate the verdict.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ckpt/history.hpp"
+#include "common/status.hpp"
+#include "compare/comparator.hpp"
+
+namespace repro::cluster {
+
+struct DistributedOptions {
+  unsigned world_size = 4;
+  cmp::CompareOptions pair_options;
+};
+
+struct DistributedReport {
+  std::uint64_t pairs_compared = 0;
+  std::uint64_t values_compared = 0;
+  std::uint64_t values_exceeding = 0;
+  std::uint64_t bytes_read_per_file = 0;
+  std::uint64_t total_bytes = 0;  ///< per-run checkpoint bytes
+  /// Earliest divergent iteration across every rank's slice (allreduce-min).
+  std::optional<std::uint64_t> first_divergent_iteration;
+  double wall_seconds = 0;
+};
+
+/// Compare two runs' histories with `world_size` ranks round-robining the
+/// pair worklist; per-rank compute executors are serial (one "process" per
+/// rank, as in the paper's setup).
+repro::Result<DistributedReport> distributed_history_compare(
+    const ckpt::HistoryCatalog& catalog, const std::string& run_a,
+    const std::string& run_b, const DistributedOptions& options);
+
+}  // namespace repro::cluster

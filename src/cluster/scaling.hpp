@@ -1,0 +1,62 @@
+// Multi-process scaling harness (Section 3.4.6).
+//
+// The paper's strong-scaling study spreads many independent checkpoint-pair
+// comparisons over MPI ranks (four per node). Pair comparisons share
+// nothing, so the scaling structure is preserved by a process-pool model:
+// N worker "processes" (OS threads, each with a serial compute executor and
+// its own I/O backends) drain a shared worklist of pairs. The aggregate and
+// per-process throughput definitions match Figure 10.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baseline/direct.hpp"
+#include "ckpt/history.hpp"
+#include "common/status.hpp"
+#include "compare/comparator.hpp"
+
+namespace repro::cluster {
+
+enum class Method : std::uint8_t {
+  kOurs = 0,    ///< Merkle-pruned two-stage comparison
+  kDirect = 1,  ///< optimized full element-wise streaming baseline
+};
+
+struct ScalingOptions {
+  unsigned num_processes = 4;
+  Method method = Method::kOurs;
+  /// Per-pair options; the compute executor inside is overridden to serial
+  /// (each simulated process is single-threaded, as in the paper's
+  /// one-GPU-stream-per-process setup).
+  cmp::CompareOptions ours;
+  baseline::DirectOptions direct;
+};
+
+struct ScalingResult {
+  double wall_seconds = 0;
+  std::uint64_t pairs_compared = 0;
+  std::uint64_t total_bytes = 0;  ///< per-run checkpoint bytes summed
+  std::uint64_t values_compared = 0;
+  std::uint64_t values_exceeding = 0;
+  std::uint64_t bytes_read_per_file = 0;
+
+  /// Figure 10 throughput: compared data (both runs) over wall time.
+  [[nodiscard]] double aggregate_throughput() const noexcept {
+    return wall_seconds > 0
+               ? 2.0 * static_cast<double>(total_bytes) / wall_seconds
+               : 0.0;
+  }
+  [[nodiscard]] double per_process_throughput(
+      unsigned num_processes) const noexcept {
+    return num_processes > 0 ? aggregate_throughput() / num_processes : 0.0;
+  }
+};
+
+/// Drain `pairs` with `options.num_processes` workers. Errors on the first
+/// failed comparison.
+repro::Result<ScalingResult> run_scaling(
+    std::span<const ckpt::CheckpointPair> pairs, const ScalingOptions& options);
+
+}  // namespace repro::cluster

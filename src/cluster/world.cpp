@@ -1,0 +1,94 @@
+#include "cluster/world.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+namespace repro::cluster {
+
+unsigned Rank::size() const noexcept { return world_.size_; }
+
+void Rank::barrier() { world_.barrier_.arrive_and_wait(); }
+
+namespace {
+
+/// Shared collective pattern: deposit into the slot array, rendezvous,
+/// reduce locally (every rank computes the same result from the same
+/// snapshot), rendezvous again so the slots can be reused.
+template <typename T, typename Reduce>
+T collective(std::vector<T>& slots, std::barrier<>& barrier, unsigned rank,
+             T value, Reduce&& reduce) {
+  slots[rank] = value;
+  barrier.arrive_and_wait();
+  const T result = reduce(slots);
+  barrier.arrive_and_wait();
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t Rank::allreduce_sum(std::uint64_t value) {
+  return collective(world_.u64_slots_, world_.barrier_, rank_, value,
+                    [](const std::vector<std::uint64_t>& slots) {
+                      return std::accumulate(slots.begin(), slots.end(),
+                                             std::uint64_t{0});
+                    });
+}
+
+double Rank::allreduce_sum(double value) {
+  return collective(world_.f64_slots_, world_.barrier_, rank_, value,
+                    [](const std::vector<double>& slots) {
+                      // Fixed summation order: the allreduce itself must not
+                      // be a nondeterminism source in a reproducibility tool.
+                      double total = 0;
+                      for (const double slot : slots) total += slot;
+                      return total;
+                    });
+}
+
+std::uint64_t Rank::allreduce_min(std::uint64_t value) {
+  return collective(world_.u64_slots_, world_.barrier_, rank_, value,
+                    [](const std::vector<std::uint64_t>& slots) {
+                      return *std::min_element(slots.begin(), slots.end());
+                    });
+}
+
+std::uint64_t Rank::allreduce_max(std::uint64_t value) {
+  return collective(world_.u64_slots_, world_.barrier_, rank_, value,
+                    [](const std::vector<std::uint64_t>& slots) {
+                      return *std::max_element(slots.begin(), slots.end());
+                    });
+}
+
+std::uint64_t Rank::broadcast(std::uint64_t value, unsigned root) {
+  return collective(world_.u64_slots_, world_.barrier_, rank_, value,
+                    [root](const std::vector<std::uint64_t>& slots) {
+                      return slots[root];
+                    });
+}
+
+repro::Status World::run(unsigned size,
+                         const std::function<repro::Status(Rank&)>& fn) {
+  if (size == 0) return repro::invalid_argument("world size must be >= 1");
+  World world(size);
+
+  std::mutex mu;
+  repro::Status first_error;
+  std::vector<std::thread> threads;
+  threads.reserve(size);
+  for (unsigned r = 0; r < size; ++r) {
+    threads.emplace_back([&world, &fn, &mu, &first_error, r] {
+      Rank rank(world, r);
+      repro::Status status = fn(rank);
+      if (!status.is_ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.is_ok()) first_error = std::move(status);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  return first_error;
+}
+
+}  // namespace repro::cluster

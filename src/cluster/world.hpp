@@ -1,0 +1,68 @@
+// MPI-substitute rank world.
+//
+// The paper's runtime distributes pair comparisons over MPI ranks (four per
+// node) and aggregates results. This module provides the same programming
+// model at laptop scale: N rank threads with the collectives the comparison
+// workflow needs (barrier, allreduce, broadcast). Collectives are
+// rendezvous-synchronized exactly like their MPI counterparts, so code
+// written against Rank ports to MPI by renaming calls.
+#pragma once
+
+#include <barrier>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace repro::cluster {
+
+class World;
+
+/// Per-rank handle passed to the rank function. Valid only inside
+/// World::run. All collectives must be called by every rank (same order,
+/// same kinds) — like MPI, mismatched collectives deadlock.
+class Rank {
+ public:
+  [[nodiscard]] unsigned rank() const noexcept { return rank_; }
+  [[nodiscard]] unsigned size() const noexcept;
+
+  /// Block until every rank reaches the barrier.
+  void barrier();
+
+  std::uint64_t allreduce_sum(std::uint64_t value);
+  double allreduce_sum(double value);
+  std::uint64_t allreduce_min(std::uint64_t value);
+  std::uint64_t allreduce_max(std::uint64_t value);
+
+  /// Every rank receives `root`'s value.
+  std::uint64_t broadcast(std::uint64_t value, unsigned root);
+
+ private:
+  friend class World;
+  Rank(World& world, unsigned rank) : world_(world), rank_(rank) {}
+
+  World& world_;
+  unsigned rank_;
+};
+
+/// A fixed-size group of rank threads executing one function.
+class World {
+ public:
+  /// Run `fn` on `size` concurrent ranks; returns the first non-OK status
+  /// any rank produced (all ranks always run to completion).
+  static repro::Status run(unsigned size,
+                           const std::function<repro::Status(Rank&)>& fn);
+
+ private:
+  friend class Rank;
+  explicit World(unsigned size)
+      : size_(size), barrier_(size), u64_slots_(size), f64_slots_(size) {}
+
+  unsigned size_;
+  std::barrier<> barrier_;
+  std::vector<std::uint64_t> u64_slots_;
+  std::vector<double> f64_slots_;
+};
+
+}  // namespace repro::cluster

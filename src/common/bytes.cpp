@@ -1,0 +1,99 @@
+#include "common/bytes.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace repro {
+
+Result<std::uint64_t> parse_size(std::string_view text) {
+  if (text.empty()) return invalid_argument("empty size string");
+  std::uint64_t value = 0;
+  std::size_t pos = 0;
+  bool saw_digit = false;
+  while (pos < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos])) != 0) {
+    const std::uint64_t digit = static_cast<std::uint64_t>(text[pos] - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return invalid_argument("size overflows u64: " + std::string{text});
+    }
+    value = value * 10 + digit;
+    saw_digit = true;
+    ++pos;
+  }
+  if (!saw_digit) {
+    return invalid_argument("size must start with digits: " +
+                            std::string{text});
+  }
+  std::uint64_t multiplier = 1;
+  if (pos < text.size()) {
+    switch (std::toupper(static_cast<unsigned char>(text[pos]))) {
+      case 'K': multiplier = kKiB; break;
+      case 'M': multiplier = kMiB; break;
+      case 'G': multiplier = kGiB; break;
+      case 'B': multiplier = 1; break;
+      default:
+        return invalid_argument("unknown size suffix in: " +
+                                std::string{text});
+    }
+    ++pos;
+    // Optional trailing 'B' / 'iB'.
+    if (pos < text.size() &&
+        std::toupper(static_cast<unsigned char>(text[pos])) == 'I') {
+      ++pos;
+    }
+    if (pos < text.size() &&
+        std::toupper(static_cast<unsigned char>(text[pos])) == 'B') {
+      ++pos;
+    }
+    if (pos != text.size()) {
+      return invalid_argument("trailing junk in size: " + std::string{text});
+    }
+  }
+  if (multiplier != 1 && value > UINT64_MAX / multiplier) {
+    return invalid_argument("size overflows u64: " + std::string{text});
+  }
+  return value * multiplier;
+}
+
+namespace {
+
+std::string trim_decimal(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", value);
+  std::string text{buf};
+  while (!text.empty() && text.back() == '0') text.pop_back();
+  if (!text.empty() && text.back() == '.') text.pop_back();
+  return text;
+}
+
+}  // namespace
+
+std::string format_size(std::uint64_t bytes) {
+  if (bytes >= kGiB) {
+    return trim_decimal(static_cast<double>(bytes) / static_cast<double>(kGiB)) + " GB";
+  }
+  if (bytes >= kMiB) {
+    return trim_decimal(static_cast<double>(bytes) / static_cast<double>(kMiB)) + " MB";
+  }
+  if (bytes >= kKiB) {
+    return trim_decimal(static_cast<double>(bytes) / static_cast<double>(kKiB)) + " KB";
+  }
+  return std::to_string(bytes) + " B";
+}
+
+std::string format_throughput(double bytes_per_second) {
+  const double gib = static_cast<double>(kGiB);
+  const double mib = static_cast<double>(kMiB);
+  char buf[64];
+  if (bytes_per_second >= gib) {
+    std::snprintf(buf, sizeof buf, "%.2f GB/s", bytes_per_second / gib);
+  } else if (bytes_per_second >= mib) {
+    std::snprintf(buf, sizeof buf, "%.2f MB/s", bytes_per_second / mib);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f KB/s",
+                  bytes_per_second / static_cast<double>(kKiB));
+  }
+  return std::string{buf};
+}
+
+}  // namespace repro

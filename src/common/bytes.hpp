@@ -1,0 +1,132 @@
+// Byte-size parsing/formatting and small binary (de)serialization helpers
+// shared by the checkpoint format and Merkle metadata codecs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace repro {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/// Parse "4096", "4K", "4KB", "2M", "1G" (case-insensitive, binary units).
+Result<std::uint64_t> parse_size(std::string_view text);
+
+/// "4 KB", "1.5 MB", "28 GB" — binary units, trimmed to <= 2 decimals.
+std::string format_size(std::uint64_t bytes);
+
+/// "12.34 GB/s" style throughput string.
+std::string format_throughput(double bytes_per_second);
+
+/// ceil(a / b) for positive integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Round `value` up to the next power of two. Values above 2^63 (which has
+/// no representable successor) saturate to 2^63 — callers that can receive
+/// untrusted sizes must range-check first (the metadata codecs do).
+constexpr std::uint64_t next_pow2(std::uint64_t value) noexcept {
+  if (value <= 1) return 1;
+  if (value > (std::uint64_t{1} << 63)) return std::uint64_t{1} << 63;
+  return std::uint64_t{1} << (64 - __builtin_clzll(value - 1));
+}
+
+constexpr bool is_pow2(std::uint64_t value) noexcept {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// Append-only little-endian binary encoder.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void put_u8(std::uint8_t v) { out_.push_back(v); }
+
+  void put_u32(std::uint32_t v) { put_raw(&v, sizeof v); }
+  void put_u64(std::uint64_t v) { put_raw(&v, sizeof v); }
+  void put_f64(double v) { put_raw(&v, sizeof v); }
+
+  void put_bytes(std::span<const std::uint8_t> bytes) {
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Length-prefixed (u32) string.
+  void put_string(std::string_view text) {
+    put_u32(static_cast<std::uint32_t>(text.size()));
+    const auto* data = reinterpret_cast<const std::uint8_t*>(text.data());
+    out_.insert(out_.end(), data, data + text.size());
+  }
+
+ private:
+  void put_raw(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), bytes, bytes + size);
+  }
+
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Bounds-checked little-endian binary decoder.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+  Result<std::uint8_t> get_u8() {
+    if (remaining() < 1) return short_read();
+    return data_[pos_++];
+  }
+
+  Result<std::uint32_t> get_u32() { return get_raw<std::uint32_t>(); }
+  Result<std::uint64_t> get_u64() { return get_raw<std::uint64_t>(); }
+  Result<double> get_f64() { return get_raw<double>(); }
+
+  Status get_bytes(std::span<std::uint8_t> out) {
+    if (remaining() < out.size()) return short_read_status();
+    std::memcpy(out.data(), data_.data() + pos_, out.size());
+    pos_ += out.size();
+    return Status::ok();
+  }
+
+  Result<std::string> get_string() {
+    auto len = get_u32();
+    if (!len.is_ok()) return len.status();
+    if (remaining() < len.value()) return Result<std::string>(short_read_status());
+    std::string text(reinterpret_cast<const char*>(data_.data() + pos_),
+                     len.value());
+    pos_ += len.value();
+    return text;
+  }
+
+ private:
+  template <typename T>
+  Result<T> get_raw() {
+    if (remaining() < sizeof(T)) return Result<T>(short_read_status());
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  static Status short_read_status() {
+    return corrupt_data("short read while decoding binary payload");
+  }
+  Result<std::uint8_t> short_read() { return short_read_status(); }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace repro

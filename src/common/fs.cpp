@@ -1,0 +1,122 @@
+#include "common/fs.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <random>
+
+#include "common/log.hpp"
+
+namespace repro {
+
+namespace {
+
+/// RAII fd wrapper local to this translation unit.
+class Fd {
+ public:
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool ok() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+Status write_file(const std::filesystem::path& path,
+                  std::span<const std::uint8_t> data) {
+  Fd fd(::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644));
+  if (!fd.ok()) {
+    return io_error_errno("open for write: " + path.string(), errno);
+  }
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd.get(), data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error_errno("write: " + path.string(), errno);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Result<std::vector<std::uint8_t>> read_file(
+    const std::filesystem::path& path) {
+  Fd fd(::open(path.c_str(), O_RDONLY));
+  if (!fd.ok()) {
+    return io_error_errno("open for read: " + path.string(), errno);
+  }
+  const off_t end = ::lseek(fd.get(), 0, SEEK_END);
+  if (end < 0) return io_error_errno("lseek: " + path.string(), errno);
+  if (::lseek(fd.get(), 0, SEEK_SET) < 0) {
+    return io_error_errno("lseek: " + path.string(), errno);
+  }
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(end));
+  std::size_t got = 0;
+  while (got < data.size()) {
+    const ssize_t n = ::read(fd.get(), data.data() + got, data.size() - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error_errno("read: " + path.string(), errno);
+    }
+    if (n == 0) {
+      return io_error("unexpected EOF reading " + path.string());
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return data;
+}
+
+Result<std::uint64_t> file_size(const std::filesystem::path& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) return io_error("stat: " + path.string() + ": " + ec.message());
+  return static_cast<std::uint64_t>(size);
+}
+
+Status evict_page_cache(const std::filesystem::path& path) {
+  Fd fd(::open(path.c_str(), O_RDONLY));
+  if (!fd.ok()) {
+    return io_error_errno("open for eviction: " + path.string(), errno);
+  }
+  // Dirty pages are not dropped by DONTNEED, so flush first.
+  if (::fdatasync(fd.get()) != 0) {
+    return io_error_errno("fdatasync: " + path.string(), errno);
+  }
+  if (::posix_fadvise(fd.get(), 0, 0, POSIX_FADV_DONTNEED) != 0) {
+    return io_error("posix_fadvise(DONTNEED) failed for " + path.string());
+  }
+  return Status::ok();
+}
+
+TempDir::TempDir(std::string_view tag) {
+  static std::atomic<std::uint64_t> counter{0};
+  std::random_device rd;
+  const std::uint64_t nonce =
+      (static_cast<std::uint64_t>(rd()) << 32) ^ counter.fetch_add(1);
+  path_ = std::filesystem::temp_directory_path() /
+          (std::string{tag} + "-" + std::to_string(::getpid()) + "-" +
+           std::to_string(nonce));
+  std::filesystem::create_directories(path_);
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);
+  if (ec) {
+    REPRO_LOG_WARN << "failed to remove temp dir " << path_.string() << ": "
+                   << ec.message();
+  }
+}
+
+}  // namespace repro

@@ -1,0 +1,52 @@
+// Filesystem helpers: whole-file read/write, unique temp directories for
+// tests/benches, and page-cache eviction (the vmtouch -e equivalent the paper
+// uses between cold-cache measurements).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace repro {
+
+/// Write the whole buffer to `path` (truncating). Parent dir must exist.
+Status write_file(const std::filesystem::path& path,
+                  std::span<const std::uint8_t> data);
+
+/// Read the whole file into a byte vector.
+Result<std::vector<std::uint8_t>> read_file(const std::filesystem::path& path);
+
+/// File size in bytes.
+Result<std::uint64_t> file_size(const std::filesystem::path& path);
+
+/// Drop `path`'s pages from the OS page cache (POSIX_FADV_DONTNEED after
+/// fsync) so a following read is cold, mirroring the paper's `vmtouch -e`.
+Status evict_page_cache(const std::filesystem::path& path);
+
+/// Creates a unique directory under the system temp dir and removes it (and
+/// everything inside) on destruction. Used by tests and benches.
+class TempDir {
+ public:
+  /// `tag` is embedded in the directory name for debuggability.
+  explicit TempDir(std::string_view tag = "reprokit");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+  /// path() / relative.
+  [[nodiscard]] std::filesystem::path file(std::string_view relative) const {
+    return path_ / relative;
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace repro

@@ -1,0 +1,56 @@
+// Minimal leveled logger. Thread-safe, writes to stderr, level settable at
+// runtime (REPRO_LOG_LEVEL env var or set_log_level()). Bench harnesses keep
+// stdout clean for tabular results and route diagnostics here.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace repro {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+
+bool log_enabled(LogLevel level) noexcept;
+void log_emit(LogLevel level, std::string_view message);
+
+/// Stream-style one-shot log line; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace repro
+
+#define REPRO_LOG(level)                                 \
+  if (::repro::detail::log_enabled(::repro::LogLevel::level)) \
+  ::repro::detail::LogLine(::repro::LogLevel::level)
+
+#define REPRO_LOG_DEBUG REPRO_LOG(kDebug)
+#define REPRO_LOG_INFO REPRO_LOG(kInfo)
+#define REPRO_LOG_WARN REPRO_LOG(kWarn)
+#define REPRO_LOG_ERROR REPRO_LOG(kError)

@@ -1,0 +1,24 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace repro {
+
+double Xoshiro256::next_gaussian() noexcept {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 1e-300);  // avoid log(0)
+  const double u2 = next_double();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  spare_ = radius * std::sin(angle);
+  have_spare_ = true;
+  return radius * std::cos(angle);
+}
+
+}  // namespace repro

@@ -1,0 +1,81 @@
+// Deterministic, seedable random number generation.
+//
+// Reproducibility experiments need bit-stable pseudo-randomness across
+// platforms, so we avoid std::mt19937 distribution differences and ship
+// splitmix64 (seeding) + xoshiro256** (bulk generation), both with published
+// reference outputs we test against.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace repro {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator (Blackman & Vigna).
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 mix(seed);
+    for (auto& word : state_) word = mix.next();
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() noexcept {
+    return static_cast<float>(next() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform integer in [0, bound) (bound > 0). Uses Lemire's method.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // 128-bit multiply keeps the distribution unbiased enough for workload
+    // generation (we accept the tiny modulo bias of the fast path).
+    __uint128_t product = static_cast<__uint128_t>(next()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  /// Standard normal via Box-Muller (deterministic, branch-stable).
+  double next_gaussian() noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace repro

@@ -1,0 +1,74 @@
+#include "common/status.hpp"
+
+#include <cstring>
+
+namespace repro {
+
+std::string_view status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kCorruptData: return "CORRUPT_DATA";
+    case StatusCode::kUnsupported: return "UNSUPPORTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out{status_code_name(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status Status::with_context(std::string_view context) const {
+  if (is_ok()) return *this;
+  std::string msg{context};
+  msg += ": ";
+  msg += message_;
+  return Status{code_, std::move(msg)};
+}
+
+Status invalid_argument(std::string message) {
+  return Status{StatusCode::kInvalidArgument, std::move(message)};
+}
+Status not_found(std::string message) {
+  return Status{StatusCode::kNotFound, std::move(message)};
+}
+Status already_exists(std::string message) {
+  return Status{StatusCode::kAlreadyExists, std::move(message)};
+}
+Status out_of_range(std::string message) {
+  return Status{StatusCode::kOutOfRange, std::move(message)};
+}
+Status failed_precondition(std::string message) {
+  return Status{StatusCode::kFailedPrecondition, std::move(message)};
+}
+Status io_error(std::string message) {
+  return Status{StatusCode::kIoError, std::move(message)};
+}
+Status io_error_errno(std::string message, int errno_value) {
+  message += ": ";
+  message += std::strerror(errno_value);
+  return Status{StatusCode::kIoError, std::move(message)};
+}
+Status corrupt_data(std::string message) {
+  return Status{StatusCode::kCorruptData, std::move(message)};
+}
+Status unsupported(std::string message) {
+  return Status{StatusCode::kUnsupported, std::move(message)};
+}
+Status internal_error(std::string message) {
+  return Status{StatusCode::kInternal, std::move(message)};
+}
+
+}  // namespace repro

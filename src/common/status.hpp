@@ -1,0 +1,122 @@
+// Lightweight Status / Result error-handling vocabulary used across reprokit.
+//
+// The comparison runtime is I/O-heavy, and most failures (missing checkpoint,
+// short read, corrupt metadata) are expected conditions the caller must be
+// able to branch on, so we use value-returned status objects rather than
+// exceptions on those paths. Programming errors still use assertions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace repro {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kCorruptData,
+  kUnsupported,
+  kInternal,
+};
+
+/// Human-readable name of a status code, e.g. "IO_ERROR".
+std::string_view status_code_name(StatusCode code) noexcept;
+
+/// A success-or-error value. Cheap to copy on the success path (no message
+/// allocation); errors carry a code and a contextual message.
+class Status {
+ public:
+  Status() noexcept = default;  // OK
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Returns a copy of this status with `context` prepended to the message.
+  [[nodiscard]] Status with_context(std::string_view context) const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+Status invalid_argument(std::string message);
+Status not_found(std::string message);
+Status already_exists(std::string message);
+Status out_of_range(std::string message);
+Status failed_precondition(std::string message);
+Status io_error(std::string message);
+/// io_error with strerror(errno_value) appended.
+Status io_error_errno(std::string message, int errno_value);
+Status corrupt_data(std::string message);
+Status unsupported(std::string message);
+Status internal_error(std::string message);
+
+/// Result<T>: either a value or an error Status. Minimal std::expected
+/// stand-in (libstdc++ 12 does not ship <expected>).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  /// Error status; OK when the result holds a value.
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T&& value() && { return *std::move(value_); }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return value_ ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace repro
+
+/// Propagate an error Status from an expression that yields a Status.
+#define REPRO_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::repro::Status _repro_status = (expr);           \
+    if (!_repro_status.is_ok()) return _repro_status; \
+  } while (false)
+
+#define REPRO_DETAIL_CONCAT_INNER(a, b) a##b
+#define REPRO_DETAIL_CONCAT(a, b) REPRO_DETAIL_CONCAT_INNER(a, b)
+
+#define REPRO_DETAIL_ASSIGN_OR_RETURN(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.is_ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+/// Evaluate an expression yielding Result<T>; on success bind the value to
+/// `lhs` (which may declare a new variable), otherwise return the error
+/// Status.
+#define REPRO_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  REPRO_DETAIL_ASSIGN_OR_RETURN(                                           \
+      REPRO_DETAIL_CONCAT(_repro_result_, __LINE__), lhs, expr)

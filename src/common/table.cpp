@@ -1,0 +1,64 @@
+#include "common/table.hpp"
+
+#include <cstdarg>
+#include <algorithm>
+
+namespace repro {
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      line += cell;
+      if (c + 1 < widths.size()) {
+        line.append(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  std::size_t rule_width = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule_width += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(rule_width, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TextTable::print(std::FILE* out) const {
+  const std::string text = to_string();
+  std::fwrite(text.data(), 1, text.size(), out);
+}
+
+std::string strprintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace repro

@@ -1,0 +1,33 @@
+// Column-aligned plain-text table printer used by every bench binary to emit
+// rows in the layout of the paper's tables and figures.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Render with single-space-padded columns and a dashed header rule.
+  [[nodiscard]] std::string to_string() const;
+
+  void print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace repro

@@ -1,0 +1,37 @@
+#include "common/timer.hpp"
+
+namespace repro {
+
+void TimerSet::add(std::string_view name, double seconds) {
+  auto it = phases_.find(name);
+  if (it == phases_.end()) {
+    order_.emplace_back(name);
+    phases_.emplace(std::string{name}, seconds);
+  } else {
+    it->second += seconds;
+  }
+}
+
+double TimerSet::seconds(std::string_view name) const {
+  auto it = phases_.find(name);
+  return it == phases_.end() ? 0.0 : it->second;
+}
+
+double TimerSet::total_seconds() const {
+  double total = 0.0;
+  for (const auto& [name, secs] : phases_) total += secs;
+  return total;
+}
+
+void TimerSet::merge(const TimerSet& other) {
+  for (const auto& name : other.order_) {
+    add(name, other.seconds(name));
+  }
+}
+
+void TimerSet::clear() {
+  phases_.clear();
+  order_.clear();
+}
+
+}  // namespace repro

@@ -1,0 +1,96 @@
+// Wall-clock timing utilities.
+//
+// TimerSet mirrors the paper's Figure 6 instrumentation: named accumulating
+// phase timers (setup / read / deserialization / compare-tree / compare-direct)
+// that a comparison run charges as it moves through its stages.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro {
+
+/// Monotonic wall clock returning seconds as double.
+class WallClock {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  static clock::time_point now() noexcept { return clock::now(); }
+
+  static double seconds_since(clock::time_point start) noexcept {
+    return std::chrono::duration<double>(now() - start).count();
+  }
+};
+
+/// Accumulates elapsed seconds under string keys. Not thread-safe by design:
+/// each comparison pipeline owns one TimerSet; cross-rank aggregation merges
+/// finished sets.
+class TimerSet {
+ public:
+  /// Adds `seconds` to the named phase.
+  void add(std::string_view name, double seconds);
+
+  /// Total accumulated seconds for a phase (0 if never charged).
+  [[nodiscard]] double seconds(std::string_view name) const;
+
+  /// Sum over every phase.
+  [[nodiscard]] double total_seconds() const;
+
+  /// Phase names in insertion order.
+  [[nodiscard]] const std::vector<std::string>& names() const {
+    return order_;
+  }
+
+  /// Merge another set into this one (phase-wise sum).
+  void merge(const TimerSet& other);
+
+  void clear();
+
+ private:
+  std::map<std::string, double, std::less<>> phases_;
+  std::vector<std::string> order_;
+};
+
+/// RAII timer charging a TimerSet phase on destruction (or stop()).
+class PhaseTimer {
+ public:
+  PhaseTimer(TimerSet& set, std::string name)
+      : set_(&set), name_(std::move(name)), start_(WallClock::now()) {}
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  ~PhaseTimer() { stop(); }
+
+  /// Charge now; subsequent stops are no-ops.
+  void stop() {
+    if (set_ != nullptr) {
+      set_->add(name_, WallClock::seconds_since(start_));
+      set_ = nullptr;
+    }
+  }
+
+ private:
+  TimerSet* set_;
+  std::string name_;
+  WallClock::clock::time_point start_;
+};
+
+/// Simple stopwatch for benches.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(WallClock::now()) {}
+  void reset() { start_ = WallClock::now(); }
+  [[nodiscard]] double seconds() const {
+    return WallClock::seconds_since(start_);
+  }
+
+ private:
+  WallClock::clock::time_point start_;
+};
+
+}  // namespace repro

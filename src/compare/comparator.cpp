@@ -1,0 +1,257 @@
+#include "compare/comparator.hpp"
+
+#include <algorithm>
+
+#include "common/fs.hpp"
+#include "common/log.hpp"
+
+namespace repro::cmp {
+
+namespace {
+
+/// All-fields-same-kind detection: the tree interprets the data section as
+/// one typed array, so mixed-kind checkpoints degrade to bitwise hashing.
+merkle::ValueKind dominant_kind(const ckpt::CheckpointInfo& info) {
+  if (info.fields.empty()) return merkle::ValueKind::kBytes;
+  const merkle::ValueKind kind = info.fields.front().kind;
+  for (const auto& field : info.fields) {
+    if (field.kind != kind) return merkle::ValueKind::kBytes;
+  }
+  return kind;
+}
+
+/// Load the sidecar metadata, or build (and persist) it when permitted.
+repro::Result<merkle::MerkleTree> load_or_build_tree(
+    const ckpt::CheckpointReader& reader,
+    const std::filesystem::path& metadata_path, const CompareOptions& options,
+    TimerSet& timers, std::uint64_t* metadata_bytes_read) {
+  if (std::filesystem::exists(metadata_path)) {
+    std::vector<std::uint8_t> bytes;
+    {
+      PhaseTimer timer(timers, kPhaseRead);
+      REPRO_ASSIGN_OR_RETURN(bytes, repro::read_file(metadata_path));
+    }
+    *metadata_bytes_read += bytes.size();
+    PhaseTimer timer(timers, kPhaseDeserialize);
+    return merkle::MerkleTree::deserialize(bytes);
+  }
+
+  if (!options.build_metadata_if_missing) {
+    return repro::not_found("no merkle metadata at " + metadata_path.string());
+  }
+
+  // Offline mode: derive the tree now. Charged to the read phase since it
+  // replaces the metadata read with a bulk read + hash.
+  PhaseTimer timer(timers, kPhaseRead);
+  merkle::TreeParams params = options.tree;
+  params.hash.error_bound = options.error_bound;
+  params.value_kind = dominant_kind(reader.info());
+  REPRO_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> data,
+                         reader.read_data());
+  merkle::TreeBuilder builder(params, options.exec);
+  REPRO_ASSIGN_OR_RETURN(merkle::MerkleTree tree, builder.build(data));
+  const repro::Status saved = tree.save(metadata_path);
+  if (!saved.is_ok()) {
+    REPRO_LOG_WARN << "could not persist metadata sidecar: "
+                   << saved.to_string();
+  }
+  return tree;
+}
+
+repro::Result<std::unique_ptr<io::IoBackend>> open_stage2_backend(
+    const std::filesystem::path& path, const CompareOptions& options) {
+  auto result =
+      io::open_backend(path, options.backend, options.backend_options);
+  if (!result.is_ok() && options.backend_fallback &&
+      result.status().code() == repro::StatusCode::kUnsupported) {
+    return io::open_backend(path, io::BackendKind::kThreadAsync,
+                            options.backend_options);
+  }
+  return result;
+}
+
+}  // namespace
+
+repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
+                                          const CompareOptions& options) {
+  Stopwatch total;
+  CompareReport report;
+
+  if (options.evict_cache) {
+    for (const auto& path :
+         {pair.run_a.checkpoint_path, pair.run_b.checkpoint_path,
+          pair.run_a.metadata_path, pair.run_b.metadata_path}) {
+      if (std::filesystem::exists(path)) {
+        const repro::Status status = repro::evict_page_cache(path);
+        if (!status.is_ok()) {
+          REPRO_LOG_WARN << "cache eviction failed: " << status.to_string();
+        }
+      }
+    }
+  }
+
+  // --- setup: open checkpoint headers and stage-2 I/O backends.
+  std::optional<ckpt::CheckpointReader> reader_a;
+  std::optional<ckpt::CheckpointReader> reader_b;
+  std::unique_ptr<io::IoBackend> backend_a;
+  std::unique_ptr<io::IoBackend> backend_b;
+  {
+    PhaseTimer timer(report.timers, kPhaseSetup);
+    REPRO_ASSIGN_OR_RETURN(
+        auto opened_a, ckpt::CheckpointReader::open(pair.run_a.checkpoint_path));
+    REPRO_ASSIGN_OR_RETURN(
+        auto opened_b, ckpt::CheckpointReader::open(pair.run_b.checkpoint_path));
+    reader_a.emplace(std::move(opened_a));
+    reader_b.emplace(std::move(opened_b));
+    if (reader_a->data_bytes() != reader_b->data_bytes()) {
+      return repro::failed_precondition(
+          "checkpoints cover different data sizes");
+    }
+    REPRO_ASSIGN_OR_RETURN(
+        backend_a, open_stage2_backend(pair.run_a.checkpoint_path, options));
+    REPRO_ASSIGN_OR_RETURN(
+        backend_b, open_stage2_backend(pair.run_b.checkpoint_path, options));
+  }
+  report.data_bytes = reader_a->data_bytes();
+
+  // --- read + deserialization: the Merkle metadata.
+  REPRO_ASSIGN_OR_RETURN(
+      const merkle::MerkleTree tree_a,
+      load_or_build_tree(*reader_a, pair.run_a.metadata_path, options,
+                         report.timers, &report.metadata_bytes_read));
+  REPRO_ASSIGN_OR_RETURN(
+      const merkle::MerkleTree tree_b,
+      load_or_build_tree(*reader_b, pair.run_b.metadata_path, options,
+                         report.timers, &report.metadata_bytes_read));
+
+  if (tree_a.params().hash.error_bound != options.error_bound) {
+    return repro::failed_precondition(
+        "metadata was captured with error bound " +
+        std::to_string(tree_a.params().hash.error_bound) +
+        " but the comparison requests " + std::to_string(options.error_bound) +
+        "; re-capture or rebuild metadata");
+  }
+
+  // --- compare_tree: stage 1, pruned BFS.
+  std::vector<std::uint64_t> candidates;
+  {
+    PhaseTimer timer(report.timers, kPhaseCompareTree);
+    merkle::TreeCompareOptions tree_options = options.tree_compare;
+    tree_options.exec = options.exec;
+    merkle::TreeCompareStats stats;
+    REPRO_ASSIGN_OR_RETURN(candidates,
+                           merkle::compare_trees(tree_a, tree_b, tree_options,
+                                                 &stats));
+    report.tree_nodes_visited = stats.nodes_visited;
+  }
+  report.chunks_total = tree_a.num_chunks();
+  report.chunks_flagged = candidates.size();
+
+  // --- compare_direct: stage 2, stream candidates + verify.
+  if (!candidates.empty()) {
+    PhaseTimer timer(report.timers, kPhaseCompareDirect);
+
+    io::StreamOptions stream_options = options.stream;
+    stream_options.base_offset_a = reader_a->data_offset();
+    stream_options.base_offset_b = reader_b->data_offset();
+
+    io::PairedChunkStreamer streamer(
+        *backend_a, *backend_b, tree_a.params().chunk_bytes,
+        tree_a.data_bytes(), candidates, stream_options);
+
+    const merkle::ValueKind kind = tree_a.params().value_kind;
+    const std::uint32_t vsize = merkle::value_size(kind);
+    ElementwiseOptions element_options;
+    element_options.exec = options.exec;
+    element_options.collect_diffs = options.collect_diffs;
+    element_options.max_diffs = options.max_diffs;
+
+    std::vector<ElementDiff> raw_diffs;
+    while (io::ChunkSlice* slice = streamer.next()) {
+      for (const auto& placement : slice->placements) {
+        const std::uint64_t base_value =
+            placement.chunk * tree_a.params().chunk_bytes / vsize;
+        const auto result = compare_region(
+            std::span<const std::uint8_t>(
+                slice->data_a.data() + placement.buffer_offset,
+                placement.length),
+            std::span<const std::uint8_t>(
+                slice->data_b.data() + placement.buffer_offset,
+                placement.length),
+            kind, options.error_bound, base_value, element_options,
+            options.collect_diffs ? &raw_diffs : nullptr);
+        report.values_compared += result.values_compared;
+        report.values_exceeding += result.values_exceeding;
+      }
+    }
+    REPRO_RETURN_IF_ERROR(streamer.status());
+    report.bytes_read_per_file = streamer.bytes_read_per_file();
+
+    // Map raw value indices back onto checkpoint fields.
+    if (options.collect_diffs) {
+      report.diffs.reserve(raw_diffs.size());
+      for (const auto& raw : raw_diffs) {
+        DiffRecord record;
+        record.value_index = raw.value_index;
+        record.value_a = raw.value_a;
+        record.value_b = raw.value_b;
+        const std::uint64_t byte_offset = raw.value_index * vsize;
+        if (const auto* field = reader_a->info().field_at(byte_offset)) {
+          record.field = field->name;
+          record.element_index =
+              (byte_offset - field->data_offset) / vsize;
+        }
+        report.diffs.push_back(std::move(record));
+      }
+    }
+  }
+
+  report.total_seconds = total.seconds();
+  return report;
+}
+
+repro::Result<CompareReport> compare_files(
+    const std::filesystem::path& checkpoint_a,
+    const std::filesystem::path& checkpoint_b,
+    const CompareOptions& options) {
+  // Sidecar lookup: "<file>.ckpt.rmrk" (bare-file convention) or
+  // "<file>.rmrk" (catalog convention, extension replaced).
+  auto sidecar_for = [](const std::filesystem::path& checkpoint) {
+    std::filesystem::path appended = checkpoint.string() + ".rmrk";
+    if (std::filesystem::exists(appended)) return appended;
+    std::filesystem::path replaced = checkpoint;
+    replaced.replace_extension(".rmrk");
+    if (std::filesystem::exists(replaced)) return replaced;
+    return appended;  // default target when neither exists yet
+  };
+  ckpt::CheckpointPair pair;
+  pair.run_a.checkpoint_path = checkpoint_a;
+  pair.run_a.metadata_path = sidecar_for(checkpoint_a);
+  pair.run_b.checkpoint_path = checkpoint_b;
+  pair.run_b.metadata_path = sidecar_for(checkpoint_b);
+  return compare_pair(pair, options);
+}
+
+repro::Result<HistoryReport> compare_histories(
+    const ckpt::HistoryCatalog& catalog, const std::string& run_a,
+    const std::string& run_b, const HistoryOptions& options) {
+  Stopwatch total;
+  REPRO_ASSIGN_OR_RETURN(const std::vector<ckpt::CheckpointPair> pairs,
+                         catalog.pair_runs(run_a, run_b));
+  HistoryReport history;
+  for (const auto& pair : pairs) {
+    REPRO_ASSIGN_OR_RETURN(CompareReport report,
+                           compare_pair(pair, options.pair_options));
+    const bool diverged = !report.identical_within_bound();
+    if (diverged && !history.first_divergent_iteration.has_value()) {
+      history.first_divergent_iteration = pair.run_a.iteration;
+      history.first_divergent_rank = pair.run_a.rank;
+    }
+    history.pairs.emplace_back(pair, std::move(report));
+    if (diverged && options.stop_at_first_divergence) break;
+  }
+  history.total_seconds = total.seconds();
+  return history;
+}
+
+}  // namespace repro::cmp

@@ -1,0 +1,101 @@
+// The headline runtime: Merkle-pruned, error-bounded, streamed checkpoint
+// comparison (Sections 2.2-2.5).
+//
+// compare_pair() runs the full two-stage pipeline on one (iteration, rank)
+// checkpoint pair:
+//   setup            open checkpoints + I/O backends
+//   read             load both runs' Merkle metadata (or build it when the
+//                    capture ran without metadata)
+//   deserialization  decode the trees
+//   compare_tree     pruned BFS -> candidate chunk list
+//   compare_direct   stream candidate chunks from both files, element-wise
+//                    verify within the error bound
+// The five phases are charged into CompareReport::timers exactly as in the
+// paper's Figure 6 breakdown.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+
+#include "ckpt/format.hpp"
+#include "ckpt/history.hpp"
+#include "common/status.hpp"
+#include "compare/report.hpp"
+#include "io/backend.hpp"
+#include "io/stream.hpp"
+#include "merkle/compare.hpp"
+#include "merkle/tree.hpp"
+#include "par/exec.hpp"
+
+namespace repro::cmp {
+
+struct CompareOptions {
+  /// Error bound applied by stage 2's element-wise verification. Stage 1
+  /// uses the bound baked into the metadata at capture time; mixing bounds
+  /// is rejected (the hash guarantee only covers its own bound).
+  double error_bound = 1e-6;
+
+  /// Backend for stage 2's scattered reads.
+  io::BackendKind backend = io::BackendKind::kUring;
+  /// Fall back (uring -> threads) instead of failing when unavailable.
+  bool backend_fallback = true;
+  io::BackendOptions backend_options;
+
+  io::StreamOptions stream;
+  merkle::TreeCompareOptions tree_compare;
+  par::Exec exec = par::Exec::parallel();
+
+  /// When a checkpoint has no .rmrk sidecar, build the tree on the fly with
+  /// these parameters (offline mode); error_bound overrides tree.hash.
+  merkle::TreeParams tree;
+  bool build_metadata_if_missing = true;
+
+  /// Collect located diffs (field + element index) up to max_diffs.
+  bool collect_diffs = false;
+  std::size_t max_diffs = 1024;
+
+  /// Drop both files (and metadata) from the page cache first — the
+  /// cold-cache protocol the paper enforces with `vmtouch -e`.
+  bool evict_cache = false;
+};
+
+/// Compare one aligned checkpoint pair (same iteration, same rank).
+repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
+                                          const CompareOptions& options);
+
+/// Convenience overload for bare file paths: metadata sidecars are looked
+/// up at `<path>.rmrk` next to each checkpoint.
+repro::Result<CompareReport> compare_files(
+    const std::filesystem::path& checkpoint_a,
+    const std::filesystem::path& checkpoint_b, const CompareOptions& options);
+
+/// First-divergence search over two runs' full histories: compares pairs in
+/// (iteration, rank) order and reports the earliest iteration at which any
+/// rank exceeds the bound — the "identify divergence early in the execution
+/// path" use case of the introduction.
+struct HistoryReport {
+  std::vector<std::pair<ckpt::CheckpointPair, CompareReport>> pairs;
+  /// Earliest iteration with a difference; empty if histories agree.
+  std::optional<std::uint64_t> first_divergent_iteration;
+  std::optional<std::uint32_t> first_divergent_rank;
+  double total_seconds = 0;
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& [pair, report] : pairs) total += report.data_bytes;
+    return total;
+  }
+};
+
+struct HistoryOptions {
+  CompareOptions pair_options;
+  /// Stop at the first divergent iteration instead of comparing the whole
+  /// history (early-exit mode).
+  bool stop_at_first_divergence = false;
+};
+
+repro::Result<HistoryReport> compare_histories(
+    const ckpt::HistoryCatalog& catalog, const std::string& run_a,
+    const std::string& run_b, const HistoryOptions& options);
+
+}  // namespace repro::cmp

@@ -1,0 +1,108 @@
+#include "compare/elementwise.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+
+namespace repro::cmp {
+
+namespace {
+
+template <typename Float>
+ElementwiseResult compare_typed(std::span<const std::uint8_t> run_a,
+                                std::span<const std::uint8_t> run_b,
+                                double eps, std::uint64_t base_value_index,
+                                const ElementwiseOptions& options,
+                                std::vector<ElementDiff>* diffs) {
+  const auto* values_a = reinterpret_cast<const Float*>(run_a.data());
+  const auto* values_b = reinterpret_cast<const Float*>(run_b.data());
+  const std::uint64_t count = run_a.size() / sizeof(Float);
+
+  ElementwiseResult result;
+  result.values_compared = count;
+
+  // NaN semantics match the quantizer: NaN vs NaN is reproducible, NaN vs
+  // finite is a difference.
+  auto differs = [eps](double a, double b) {
+    const bool nan_a = std::isnan(a);
+    const bool nan_b = std::isnan(b);
+    if (nan_a || nan_b) return nan_a != nan_b;
+    return std::abs(a - b) > eps;
+  };
+
+  if (!options.collect_diffs || diffs == nullptr) {
+    result.values_exceeding =
+        options.exec.reduce_sum<std::uint64_t>(0, count, [&](std::uint64_t i) {
+          return differs(static_cast<double>(values_a[i]),
+                         static_cast<double>(values_b[i]))
+                     ? std::uint64_t{1}
+                     : std::uint64_t{0};
+        });
+    return result;
+  }
+
+  std::atomic<std::uint64_t> exceeding{0};
+  std::mutex diff_mu;
+  options.exec.for_blocks(0, count, [&](std::uint64_t lo, std::uint64_t hi) {
+    std::vector<ElementDiff> local;
+    std::uint64_t local_count = 0;
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      const auto a = static_cast<double>(values_a[i]);
+      const auto b = static_cast<double>(values_b[i]);
+      if (!differs(a, b)) continue;
+      ++local_count;
+      local.push_back({base_value_index + i, a, b});
+    }
+    exceeding.fetch_add(local_count, std::memory_order_relaxed);
+    if (!local.empty()) {
+      std::lock_guard<std::mutex> lock(diff_mu);
+      for (auto& record : local) {
+        if (diffs->size() >= options.max_diffs) break;
+        diffs->push_back(record);
+      }
+    }
+  });
+  result.values_exceeding = exceeding.load();
+  return result;
+}
+
+}  // namespace
+
+ElementwiseResult compare_region(std::span<const std::uint8_t> run_a,
+                                 std::span<const std::uint8_t> run_b,
+                                 merkle::ValueKind kind, double eps,
+                                 std::uint64_t base_value_index,
+                                 const ElementwiseOptions& options,
+                                 std::vector<ElementDiff>* diffs) {
+  switch (kind) {
+    case merkle::ValueKind::kF32:
+      return compare_typed<float>(run_a, run_b, eps, base_value_index,
+                                  options, diffs);
+    case merkle::ValueKind::kF64:
+      return compare_typed<double>(run_a, run_b, eps, base_value_index,
+                                   options, diffs);
+    case merkle::ValueKind::kBytes: {
+      ElementwiseResult result;
+      const std::uint64_t count = run_a.size();
+      result.values_compared = count;
+      result.values_exceeding = options.exec.reduce_sum<std::uint64_t>(
+          0, count, [&](std::uint64_t i) {
+            return run_a[i] != run_b[i] ? std::uint64_t{1} : std::uint64_t{0};
+          });
+      if (options.collect_diffs && diffs != nullptr) {
+        for (std::uint64_t i = 0;
+             i < count && diffs->size() < options.max_diffs; ++i) {
+          if (run_a[i] != run_b[i]) {
+            diffs->push_back({base_value_index + i,
+                              static_cast<double>(run_a[i]),
+                              static_cast<double>(run_b[i])});
+          }
+        }
+      }
+      return result;
+    }
+  }
+  return {};
+}
+
+}  // namespace repro::cmp

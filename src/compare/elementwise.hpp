@@ -1,0 +1,49 @@
+// Element-wise error-bounded comparison kernel.
+//
+// The innermost loop of both the Direct baseline and stage 2 of our method:
+// given two buffers holding the same region from two runs, count (and
+// optionally locate) values with |a - b| > eps. Parallelized over the
+// executor like every other bulk kernel.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "merkle/tree.hpp"
+#include "par/exec.hpp"
+
+namespace repro::cmp {
+
+struct ElementDiff {
+  std::uint64_t value_index = 0;  ///< global index within the data section
+  double value_a = 0;
+  double value_b = 0;
+};
+
+struct ElementwiseResult {
+  std::uint64_t values_compared = 0;
+  std::uint64_t values_exceeding = 0;
+};
+
+struct ElementwiseOptions {
+  par::Exec exec = par::Exec::parallel();
+  /// Collect per-value diff records (capped at max_diffs); counting alone
+  /// is cheaper and is what the throughput benches use.
+  bool collect_diffs = false;
+  std::size_t max_diffs = 1024;
+};
+
+/// Compare two equal-length byte regions holding `kind`-typed values with
+/// absolute bound `eps`. `base_value_index` offsets the reported indices so
+/// callers can map chunk-local hits back to checkpoint positions. Appends
+/// to `diffs` when collecting. For ValueKind::kBytes, "exceeding" means
+/// bitwise-unequal bytes and eps is ignored.
+ElementwiseResult compare_region(std::span<const std::uint8_t> run_a,
+                                 std::span<const std::uint8_t> run_b,
+                                 merkle::ValueKind kind, double eps,
+                                 std::uint64_t base_value_index,
+                                 const ElementwiseOptions& options,
+                                 std::vector<ElementDiff>* diffs);
+
+}  // namespace repro::cmp

@@ -1,0 +1,90 @@
+// Per-field error-bounded comparison.
+//
+// compare_pair() applies one ε to a whole checkpoint. Domain tolerances are
+// usually per variable: positions to 1e-6, velocities to 1e-4, potential to
+// 1e-3. This extension builds (or loads, sidecar "<ckpt>.rmrb") one Merkle
+// tree per field — each at its own bound and chunk size — and runs the
+// two-stage comparison field by field, so a loose-tolerance field prunes to
+// nothing while a tight one is still verified exactly. Reports keep the
+// per-field structure (which field diverged is the scientific question).
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ckpt/format.hpp"
+#include "ckpt/history.hpp"
+#include "common/status.hpp"
+#include "compare/report.hpp"
+#include "io/backend.hpp"
+#include "io/read_planner.hpp"
+#include "merkle/bundle.hpp"
+#include "par/exec.hpp"
+
+namespace repro::cmp {
+
+struct FieldCompareOptions {
+  /// Per-field absolute error bounds; fields not listed use default_bound.
+  std::map<std::string, double, std::less<>> field_bounds;
+  double default_bound = 1e-6;
+
+  std::uint64_t chunk_bytes = 16 * 1024;
+  std::uint32_t values_per_block = 4;
+
+  io::BackendKind backend = io::BackendKind::kUring;
+  bool backend_fallback = true;
+  io::BackendOptions backend_options;
+  io::PlanOptions plan;
+  par::Exec exec = par::Exec::parallel();
+
+  bool build_metadata_if_missing = true;
+  bool collect_diffs = false;
+  std::size_t max_diffs = 1024;
+};
+
+struct FieldReport {
+  std::string field;
+  double error_bound = 0;
+  std::uint64_t chunks_total = 0;
+  std::uint64_t chunks_flagged = 0;
+  std::uint64_t values_compared = 0;
+  std::uint64_t values_exceeding = 0;
+  std::uint64_t bytes_read_per_file = 0;
+};
+
+struct FieldsReport {
+  std::vector<FieldReport> fields;
+  std::vector<DiffRecord> diffs;  ///< capped sample across all fields
+  double total_seconds = 0;
+
+  [[nodiscard]] bool identical_within_bounds() const noexcept {
+    for (const auto& field : fields) {
+      if (field.values_exceeding > 0) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t total_exceeding() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& field : fields) total += field.values_exceeding;
+    return total;
+  }
+};
+
+/// Compare two checkpoints field by field under per-field bounds. Metadata
+/// bundles are looked up at "<ckpt>.rmrb" (built and persisted when absent
+/// and build_metadata_if_missing is set).
+repro::Result<FieldsReport> compare_fields(
+    const std::filesystem::path& checkpoint_a,
+    const std::filesystem::path& checkpoint_b,
+    const FieldCompareOptions& options);
+
+/// Build the per-field metadata bundle for one checkpoint (capture-time
+/// path; the offline path calls this implicitly).
+repro::Result<merkle::TreeBundle> build_field_bundle(
+    const ckpt::CheckpointInfo& info, std::span<const std::uint8_t> data,
+    const FieldCompareOptions& options);
+
+}  // namespace repro::cmp

@@ -1,0 +1,73 @@
+// Result structures reported by the comparison runtimes (our method, Direct
+// and AllClose share the summary shape so benches can tabulate them
+// uniformly).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "compare/elementwise.hpp"
+
+namespace repro::cmp {
+
+/// Phase names charged into CompareReport::timers — the five timers of the
+/// paper's Figure 6 breakdown.
+inline constexpr const char* kPhaseSetup = "setup";
+inline constexpr const char* kPhaseRead = "read";
+inline constexpr const char* kPhaseDeserialize = "deserialization";
+inline constexpr const char* kPhaseCompareTree = "compare_tree";
+inline constexpr const char* kPhaseCompareDirect = "compare_direct";
+
+/// A located difference, mapped back to the checkpoint field it lives in.
+struct DiffRecord {
+  std::string field;               ///< e.g. "VX"
+  std::uint64_t element_index = 0; ///< index within the field
+  std::uint64_t value_index = 0;   ///< index within the whole data section
+  double value_a = 0;
+  double value_b = 0;
+};
+
+struct CompareReport {
+  /// Size of one run's compared data section.
+  std::uint64_t data_bytes = 0;
+
+  // Stage 1 (metadata) — zero for the baselines.
+  std::uint64_t chunks_total = 0;
+  std::uint64_t chunks_flagged = 0;
+  std::uint64_t metadata_bytes_read = 0;
+  std::uint64_t tree_nodes_visited = 0;
+
+  // Stage 2 (verification).
+  std::uint64_t values_compared = 0;
+  std::uint64_t values_exceeding = 0;
+  /// Bulk checkpoint bytes streamed from *each* file (payload + coalescing
+  /// waste) — the quantity Figure 7a normalizes by data_bytes.
+  std::uint64_t bytes_read_per_file = 0;
+
+  std::vector<DiffRecord> diffs;  ///< capped sample when collection is on
+
+  TimerSet timers;
+  double total_seconds = 0;
+
+  [[nodiscard]] bool identical_within_bound() const noexcept {
+    return values_exceeding == 0;
+  }
+
+  /// Paper throughput metric: compared data (both runs) over total runtime.
+  [[nodiscard]] double throughput_bytes_per_second() const noexcept {
+    return total_seconds > 0
+               ? 2.0 * static_cast<double>(data_bytes) / total_seconds
+               : 0.0;
+  }
+
+  /// Fraction of the checkpoint marked potentially changed (Figure 7a).
+  [[nodiscard]] double fraction_data_flagged() const noexcept {
+    return chunks_total > 0 ? static_cast<double>(chunks_flagged) /
+                                  static_cast<double>(chunks_total)
+                            : 0.0;
+  }
+};
+
+}  // namespace repro::cmp

@@ -1,0 +1,86 @@
+#include "hash/chunk_hasher.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "hash/murmur3.hpp"
+#include "hash/quantize.hpp"
+
+namespace repro::hash {
+
+repro::Status validate(const HashParams& params) {
+  if (!(params.error_bound > 0.0) || !std::isfinite(params.error_bound)) {
+    return repro::invalid_argument("error_bound must be positive and finite");
+  }
+  if (params.values_per_block < 1 || params.values_per_block > 4096) {
+    return repro::invalid_argument("values_per_block must be in [1, 4096]");
+  }
+  return repro::Status::ok();
+}
+
+namespace {
+
+// Shared implementation for F32/F64: quantize a block of values into a
+// stack buffer of lattice indices, hash it seeded by the previous digest.
+template <typename Float>
+Digest128 hash_chunk_impl(std::span<const Float> values,
+                          const HashParams& params,
+                          std::uint64_t seed) noexcept {
+  constexpr std::size_t kMaxBlock = 4096;
+  std::array<std::int64_t, kMaxBlock> lattice;
+  const std::size_t block_values =
+      std::min<std::size_t>(params.values_per_block, kMaxBlock);
+
+  Digest128 digest{seed, seed};
+  std::uint64_t block_seed = seed;
+  std::size_t pos = 0;
+  while (pos < values.size()) {
+    const std::size_t count = std::min(block_values, values.size() - pos);
+    for (std::size_t i = 0; i < count; ++i) {
+      lattice[i] = quantize(static_cast<double>(values[pos + i]),
+                            params.error_bound);
+    }
+    digest = murmur3f(
+        std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(lattice.data()),
+            count * sizeof(std::int64_t)),
+        block_seed);
+    block_seed = digest.fold();
+    pos += count;
+  }
+  return digest;
+}
+
+}  // namespace
+
+Digest128 hash_chunk_f32(std::span<const float> values,
+                         const HashParams& params,
+                         std::uint64_t seed) noexcept {
+  return hash_chunk_impl<float>(values, params, seed);
+}
+
+Digest128 hash_chunk_f64(std::span<const double> values,
+                         const HashParams& params,
+                         std::uint64_t seed) noexcept {
+  return hash_chunk_impl<double>(values, params, seed);
+}
+
+Digest128 hash_chunk_bytes(std::span<const std::uint8_t> bytes,
+                           std::uint32_t block_bytes,
+                           std::uint64_t seed) noexcept {
+  if (block_bytes == 0) block_bytes = 16;
+  Digest128 digest{seed, seed};
+  std::uint64_t block_seed = seed;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t count =
+        std::min<std::size_t>(block_bytes, bytes.size() - pos);
+    digest = murmur3f(bytes.subspan(pos, count), block_seed);
+    block_seed = digest.fold();
+    pos += count;
+  }
+  return digest;
+}
+
+}  // namespace repro::hash

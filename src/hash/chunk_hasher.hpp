@@ -1,0 +1,52 @@
+// Error-bounded block-chained chunk hashing (Section 2.4).
+//
+// A checkpoint is split into chunks (the Merkle leaves). Within a chunk,
+// values are processed in fixed-size blocks; each block is quantized onto
+// the ε-grid and hashed with Murmur3F, seeded by the digest of the previous
+// block, so the final digest reflects every value in the chunk. The paper
+// uses 128-bit blocks (4 F32 values); the block size is configurable and an
+// ablation bench sweeps it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/status.hpp"
+#include "hash/digest.hpp"
+
+namespace repro::hash {
+
+struct HashParams {
+  /// Absolute error bound ε two values may differ by and still be considered
+  /// reproducible. Must be > 0.
+  double error_bound = 1e-6;
+
+  /// Values per chained hash block. 4 F32 values = the paper's 128-bit
+  /// block granularity.
+  std::uint32_t values_per_block = 4;
+
+  friend bool operator==(const HashParams&, const HashParams&) = default;
+};
+
+/// Validates params (ε > 0, finite; block size in [1, 4096]).
+repro::Status validate(const HashParams& params);
+
+/// Digest of one chunk of F32 values under the error-bounded scheme.
+/// `seed` feeds the first block (0 unless the caller chains across chunks).
+Digest128 hash_chunk_f32(std::span<const float> values,
+                         const HashParams& params,
+                         std::uint64_t seed = 0) noexcept;
+
+/// Digest of one chunk of F64 values (same scheme at double precision).
+Digest128 hash_chunk_f64(std::span<const double> values,
+                         const HashParams& params,
+                         std::uint64_t seed = 0) noexcept;
+
+/// Bitwise (non-error-bounded) chunk digest for opaque byte payloads, also
+/// block-chained. Used for integer/metadata regions of a checkpoint where
+/// "reproducible" means "identical".
+Digest128 hash_chunk_bytes(std::span<const std::uint8_t> bytes,
+                           std::uint32_t block_bytes,
+                           std::uint64_t seed = 0) noexcept;
+
+}  // namespace repro::hash

@@ -1,0 +1,15 @@
+#include "hash/digest.hpp"
+
+#include <cstdio>
+
+namespace repro::hash {
+
+std::string Digest128::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi));
+  return std::string{buf};
+}
+
+}  // namespace repro::hash

@@ -1,0 +1,28 @@
+// 128-bit hash digest value type (the "D = 16 bytes" of the paper's metadata
+// size formula).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace repro::hash {
+
+struct Digest128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const Digest128&, const Digest128&) = default;
+  auto operator<=>(const Digest128&) const = default;
+
+  /// Fold to 64 bits — used to seed the next block in chained hashing.
+  [[nodiscard]] std::uint64_t fold() const noexcept { return lo ^ hi; }
+
+  /// 32 lowercase hex chars, lo printed first (matches SMHasher byte order
+  /// for little-endian u64 pairs).
+  [[nodiscard]] std::string hex() const;
+};
+
+inline constexpr std::size_t kDigestBytes = 16;
+
+}  // namespace repro::hash

@@ -1,0 +1,55 @@
+// Error-bounded conservative rounding (the paper's normalize → round →
+// rescale step, Section 2.4).
+//
+// Two runs' values a and b must hash identically whenever they agree within
+// the user's absolute error bound ε — *approximately* — and must hash
+// differently whenever |a − b| > ε — *always* (the conservative guarantee:
+// no false negatives, Section 3.4.3). We realize this by snapping every
+// value onto the ε-grid: q(x) = round_to_nearest(x / ε) as a 64-bit lattice
+// index. If q(a) == q(b) then both lie in the same half-open unit cell, so
+// |a − b| < ε; contrapositive: |a − b| > ε ⇒ q(a) ≠ q(b) ⇒ the containing
+// chunks hash differently. Values within ε of each other may still straddle
+// a cell boundary — those are the false positives Figure 7b quantifies.
+//
+// Caveat (documented, tested with a relative margin): x / ε is itself one
+// floating-point rounding, so pairs within ~1 ulp of exactly ε apart can be
+// classified either way. Scientific ε values (1e-3 … 1e-7) sit far above
+// that noise floor for F32 data.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace repro::hash {
+
+/// Lattice index of `value` on the ε-grid. NaNs map to a dedicated sentinel
+/// (so NaN compares equal to NaN — a run that produces NaN in both runs is
+/// "reproducible" at that site); ±Inf map to saturating sentinels. Finite
+/// values whose quotient overflows the lattice saturate likewise.
+inline std::int64_t quantize(double value, double error_bound) noexcept {
+  constexpr std::int64_t kNanSentinel =
+      std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kPosSaturate =
+      std::numeric_limits<std::int64_t>::max() - 1;
+  constexpr std::int64_t kNegSaturate =
+      std::numeric_limits<std::int64_t>::min() + 2;
+  if (std::isnan(value)) return kNanSentinel;
+  const double scaled = value / error_bound;
+  if (scaled >= static_cast<double>(kPosSaturate)) return kPosSaturate;
+  if (scaled <= static_cast<double>(kNegSaturate)) return kNegSaturate;
+  return std::llround(scaled);
+}
+
+/// The paper phrases rounding as normalize → round → rescale, producing a
+/// float representative rather than a lattice index. Equivalent classifier;
+/// provided for fidelity and used by tests to cross-check `quantize`.
+inline double round_to_grid(double value, double error_bound) noexcept {
+  if (std::isnan(value)) return std::numeric_limits<double>::quiet_NaN();
+  const double scaled = value / error_bound;  // normalize
+  const double rounded = std::round(scaled);  // round (half away from zero,
+                                              // same tie-break as llround)
+  return rounded * error_bound;               // rescale
+}
+
+}  // namespace repro::hash

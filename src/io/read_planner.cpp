@@ -1,0 +1,58 @@
+#include "io/read_planner.hpp"
+
+#include <algorithm>
+
+namespace repro::io {
+
+ReadPlan plan_chunk_reads(std::span<const std::uint64_t> chunks,
+                          std::uint64_t chunk_bytes, std::uint64_t data_bytes,
+                          const PlanOptions& options) {
+  ReadPlan plan;
+  plan.extents.reserve(chunks.size());
+  plan.placements.reserve(chunks.size());
+
+  auto chunk_begin = [&](std::uint64_t chunk) { return chunk * chunk_bytes; };
+  auto chunk_end = [&](std::uint64_t chunk) {
+    return std::min(chunk_begin(chunk) + chunk_bytes, data_bytes);
+  };
+
+  std::uint64_t buffer_cursor = 0;
+  std::size_t i = 0;
+  while (i < chunks.size()) {
+    // Grow one extent while chunks are adjacent or within the gap tolerance.
+    const std::uint64_t extent_file_begin = chunk_begin(chunks[i]);
+    std::uint64_t extent_file_end = chunk_end(chunks[i]);
+    const std::uint64_t extent_buffer_offset = buffer_cursor;
+
+    plan.placements.push_back(
+        {chunks[i], buffer_cursor, extent_file_end - extent_file_begin});
+    plan.payload_bytes += extent_file_end - extent_file_begin;
+
+    std::size_t j = i + 1;
+    while (j < chunks.size()) {
+      const std::uint64_t next_begin = chunk_begin(chunks[j]);
+      if (next_begin > extent_file_end + options.coalesce_gap_bytes) break;
+      const std::uint64_t gap = next_begin - extent_file_end;
+      const std::uint64_t next_end = chunk_end(chunks[j]);
+      plan.waste_bytes += gap;
+      plan.placements.push_back(
+          {chunks[j],
+           extent_buffer_offset + (next_begin - extent_file_begin),
+           next_end - next_begin});
+      plan.payload_bytes += next_end - next_begin;
+      extent_file_end = next_end;
+      ++j;
+    }
+
+    const std::uint64_t extent_length = extent_file_end - extent_file_begin;
+    plan.extents.push_back(
+        {extent_file_begin, extent_length, extent_buffer_offset});
+    buffer_cursor += extent_length;
+    i = j;
+  }
+
+  plan.buffer_bytes = buffer_cursor;
+  return plan;
+}
+
+}  // namespace repro::io

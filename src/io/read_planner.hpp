@@ -1,0 +1,52 @@
+// Scattered-read planning (the "Low-Latency Optimizations for Scattered I/O"
+// design principle).
+//
+// Stage 2 receives a sorted list of candidate chunk indices. Runs of
+// consecutive chunks are contiguous on disk, and near-misses separated by a
+// small gap can still be cheaper to read as one extent than as two seeks —
+// the planner merges both cases (gap tolerance configurable; the coalescing
+// ablation bench sweeps it). Each plan entry remembers where every chunk's
+// payload lands inside the destination buffer, gaps included.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace repro::io {
+
+/// One merged file extent plus the buffer range it fills.
+struct ReadExtent {
+  std::uint64_t file_offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t buffer_offset = 0;
+};
+
+/// Where one candidate chunk's payload lives in the slice buffer.
+struct ChunkPlacement {
+  std::uint64_t chunk = 0;          ///< chunk index within the checkpoint
+  std::uint64_t buffer_offset = 0;  ///< payload start within the buffer
+  std::uint64_t length = 0;         ///< payload bytes (tail chunk may be short)
+};
+
+struct ReadPlan {
+  std::vector<ReadExtent> extents;
+  std::vector<ChunkPlacement> placements;
+  std::uint64_t buffer_bytes = 0;  ///< total destination buffer size
+  std::uint64_t payload_bytes = 0; ///< chunk bytes actually wanted
+  std::uint64_t waste_bytes = 0;   ///< gap bytes read only to merge extents
+};
+
+struct PlanOptions {
+  /// Merge two chunk ranges when the file gap between them is <= this many
+  /// bytes. 0 merges only strictly adjacent chunks.
+  std::uint64_t coalesce_gap_bytes = 0;
+};
+
+/// Build a plan for reading `chunks` (sorted, unique) of a checkpoint of
+/// `data_bytes` split into `chunk_bytes` chunks.
+ReadPlan plan_chunk_reads(std::span<const std::uint64_t> chunks,
+                          std::uint64_t chunk_bytes, std::uint64_t data_bytes,
+                          const PlanOptions& options = {});
+
+}  // namespace repro::io

@@ -1,0 +1,135 @@
+#include "io/stream.hpp"
+
+#include <algorithm>
+
+namespace repro::io {
+
+PairedChunkStreamer::PairedChunkStreamer(IoBackend& run_a, IoBackend& run_b,
+                                         std::uint64_t chunk_bytes,
+                                         std::uint64_t data_bytes,
+                                         std::vector<std::uint64_t> chunks,
+                                         StreamOptions options)
+    : run_a_(run_a),
+      run_b_(run_b),
+      chunk_bytes_(chunk_bytes),
+      data_bytes_(data_bytes),
+      chunks_(std::move(chunks)),
+      options_(options) {
+  // Pre-allocate the slice pool (Figure 3: "pre-allocate buffers").
+  const unsigned depth = std::max(2U, options_.depth);
+  for (unsigned i = 0; i < depth; ++i) {
+    free_slots_.push_back(std::make_unique<ChunkSlice>());
+  }
+  producer_ = std::thread([this] { producer_loop(); });
+}
+
+PairedChunkStreamer::~PairedChunkStreamer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  slot_freed_.notify_all();
+  producer_.join();
+}
+
+std::unique_ptr<ChunkSlice> PairedChunkStreamer::acquire_free_slot() {
+  std::unique_lock<std::mutex> lock(mu_);
+  slot_freed_.wait(lock,
+                   [this] { return stopping_ || !free_slots_.empty(); });
+  if (stopping_) return nullptr;
+  auto slot = std::move(free_slots_.front());
+  free_slots_.pop_front();
+  return slot;
+}
+
+void PairedChunkStreamer::producer_loop() {
+  const std::uint64_t slice_target =
+      std::max(options_.slice_bytes, chunk_bytes_);
+
+  std::size_t pos = 0;
+  repro::Status status;
+  while (pos < chunks_.size() && status.is_ok()) {
+    // Take chunks until the payload reaches the slice target.
+    std::size_t end = pos;
+    std::uint64_t payload = 0;
+    while (end < chunks_.size() && payload < slice_target) {
+      const std::uint64_t begin_byte = chunks_[end] * chunk_bytes_;
+      payload += std::min(chunk_bytes_, data_bytes_ - begin_byte);
+      ++end;
+    }
+
+    auto slot = acquire_free_slot();
+    if (slot == nullptr) return;  // stopping
+
+    const ReadPlan plan = plan_chunk_reads(
+        std::span<const std::uint64_t>(chunks_.data() + pos, end - pos),
+        chunk_bytes_, data_bytes_, options_.plan);
+
+    slot->placements = plan.placements;
+    slot->payload_bytes = plan.payload_bytes;
+    slot->waste_bytes = plan.waste_bytes;
+    slot->data_a.resize(plan.buffer_bytes);
+    slot->data_b.resize(plan.buffer_bytes);
+
+    // Issue both runs' scattered reads; the backend overlaps the requests.
+    std::vector<ReadRequest> requests;
+    requests.reserve(plan.extents.size());
+    auto build_requests = [&](std::vector<std::uint8_t>& buffer,
+                              std::uint64_t base_offset) {
+      requests.clear();
+      for (const auto& extent : plan.extents) {
+        requests.push_back(
+            {base_offset + extent.file_offset,
+             std::span<std::uint8_t>(buffer.data() + extent.buffer_offset,
+                                     extent.length)});
+      }
+    };
+    build_requests(slot->data_a, options_.base_offset_a);
+    status = run_a_.read_batch(requests);
+    if (status.is_ok()) {
+      build_requests(slot->data_b, options_.base_offset_b);
+      status = run_b_.read_batch(requests);
+    }
+    bytes_read_.fetch_add(plan.buffer_bytes, std::memory_order_relaxed);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (status.is_ok()) {
+        filled_.push_back(std::move(slot));
+      } else {
+        status_ = status;
+        free_slots_.push_back(std::move(slot));
+      }
+    }
+    slice_ready_.notify_one();
+    pos = end;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    producer_done_ = true;
+  }
+  slice_ready_.notify_all();
+}
+
+ChunkSlice* PairedChunkStreamer::next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Recycle the slice the consumer just finished with.
+  if (consumer_slice_ != nullptr) {
+    free_slots_.push_back(std::move(consumer_slice_));
+    slot_freed_.notify_one();
+  }
+  slice_ready_.wait(lock,
+                    [this] { return producer_done_ || !filled_.empty(); });
+  if (filled_.empty()) return nullptr;
+  consumer_slice_ = std::move(filled_.front());
+  filled_.pop_front();
+  return consumer_slice_.get();
+}
+
+repro::Status PairedChunkStreamer::status() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+}  // namespace repro::io

@@ -1,0 +1,104 @@
+// Asynchronous paired-chunk streaming (Section 2.3 stage 2, Figure 3).
+//
+// The verification stage must read the same candidate chunks from *both*
+// runs' checkpoint files and compare them element-wise. To overlap I/O with
+// compute, a producer thread keeps filling pre-allocated slice buffers
+// (scattered reads planned by read_planner, issued through any IoBackend)
+// while the consumer compares the previous slice — the paper's multi-level
+// pipeline, with "transfer to GPU memory" collapsing into "buffer handoff"
+// on a host-only build.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "io/backend.hpp"
+#include "io/read_planner.hpp"
+
+namespace repro::io {
+
+struct StreamOptions {
+  /// Target payload bytes per slice (clamped to >= one chunk).
+  std::uint64_t slice_bytes = 8ULL << 20;
+  /// Slices in flight (>= 2 to get any overlap).
+  unsigned depth = 2;
+  PlanOptions plan;
+  /// File offset where the chunked data region starts in each file (chunk 0
+  /// lives at this offset). Checkpoint headers differ in size across runs
+  /// only in degenerate cases, but the streamer does not assume alignment.
+  std::uint64_t base_offset_a = 0;
+  std::uint64_t base_offset_b = 0;
+};
+
+/// One filled slice: both runs' bytes for a set of candidate chunks.
+/// `placements[i]` locates chunk payloads inside data_a / data_b (identical
+/// layout for both).
+struct ChunkSlice {
+  std::vector<ChunkPlacement> placements;
+  std::vector<std::uint8_t> data_a;
+  std::vector<std::uint8_t> data_b;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t waste_bytes = 0;
+};
+
+class PairedChunkStreamer {
+ public:
+  /// `chunks` must be sorted unique chunk indices of a checkpoint of
+  /// `data_bytes` bytes chunked every `chunk_bytes`. Both backends must be
+  /// open over files of `data_bytes` bytes.
+  PairedChunkStreamer(IoBackend& run_a, IoBackend& run_b,
+                      std::uint64_t chunk_bytes, std::uint64_t data_bytes,
+                      std::vector<std::uint64_t> chunks,
+                      StreamOptions options = {});
+  ~PairedChunkStreamer();
+
+  PairedChunkStreamer(const PairedChunkStreamer&) = delete;
+  PairedChunkStreamer& operator=(const PairedChunkStreamer&) = delete;
+
+  /// Next filled slice, blocking while the producer reads. Returns nullptr
+  /// once every chunk has been delivered (or on error — check status()).
+  /// The returned slice stays valid until the following next() call, which
+  /// recycles its buffers.
+  ChunkSlice* next();
+
+  /// OK while streaming; the first I/O error once next() returned nullptr.
+  [[nodiscard]] repro::Status status();
+
+  /// Total bytes read from each file so far (payload + coalescing waste).
+  [[nodiscard]] std::uint64_t bytes_read_per_file() const noexcept {
+    return bytes_read_;
+  }
+
+ private:
+  void producer_loop();
+  std::unique_ptr<ChunkSlice> acquire_free_slot();
+
+  IoBackend& run_a_;
+  IoBackend& run_b_;
+  const std::uint64_t chunk_bytes_;
+  const std::uint64_t data_bytes_;
+  const std::vector<std::uint64_t> chunks_;
+  const StreamOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable slot_freed_;
+  std::condition_variable slice_ready_;
+  std::deque<std::unique_ptr<ChunkSlice>> free_slots_;
+  std::deque<std::unique_ptr<ChunkSlice>> filled_;
+  bool producer_done_ = false;
+  bool stopping_ = false;
+  repro::Status status_;
+  std::unique_ptr<ChunkSlice> consumer_slice_;  // slice lent to the consumer
+  std::atomic<std::uint64_t> bytes_read_{0};
+
+  std::thread producer_;
+};
+
+}  // namespace repro::io

@@ -1,0 +1,324 @@
+#include "io/uring_backend.hpp"
+
+#include <fcntl.h>
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace repro::io {
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int sys_io_uring_enter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+template <typename T>
+T* ring_ptr(void* base, std::uint32_t offset) {
+  return reinterpret_cast<T*>(static_cast<std::uint8_t*>(base) + offset);
+}
+
+std::uint32_t load_acquire(const std::uint32_t* ptr) {
+  return __atomic_load_n(ptr, __ATOMIC_ACQUIRE);
+}
+
+void store_release(std::uint32_t* ptr, std::uint32_t value) {
+  __atomic_store_n(ptr, value, __ATOMIC_RELEASE);
+}
+
+/// Owns the ring fd and the three ring mappings.
+class Ring {
+ public:
+  Ring() = default;
+  ~Ring() { close(); }
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+
+  repro::Status init(unsigned entries) {
+    io_uring_params params;
+    std::memset(&params, 0, sizeof params);
+    ring_fd_ = sys_io_uring_setup(entries, &params);
+    if (ring_fd_ < 0) {
+      return repro::unsupported(std::string{"io_uring_setup failed: "} +
+                                std::strerror(errno));
+    }
+
+    sq_entries_ = params.sq_entries;
+    cq_entries_ = params.cq_entries;
+
+    const std::size_t sq_ring_bytes =
+        params.sq_off.array + params.sq_entries * sizeof(std::uint32_t);
+    const std::size_t cq_ring_bytes =
+        params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+
+    if ((params.features & IORING_FEAT_SINGLE_MMAP) != 0) {
+      const std::size_t bytes = std::max(sq_ring_bytes, cq_ring_bytes);
+      sq_ring_ = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_,
+                        IORING_OFF_SQ_RING);
+      if (sq_ring_ == MAP_FAILED) {
+        return repro::io_error_errno("mmap sq ring", errno);
+      }
+      sq_ring_bytes_ = bytes;
+      cq_ring_ = sq_ring_;
+      cq_ring_bytes_ = 0;  // shared mapping, unmapped via sq_ring_
+    } else {
+      sq_ring_ = ::mmap(nullptr, sq_ring_bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_,
+                        IORING_OFF_SQ_RING);
+      if (sq_ring_ == MAP_FAILED) {
+        return repro::io_error_errno("mmap sq ring", errno);
+      }
+      sq_ring_bytes_ = sq_ring_bytes;
+      cq_ring_ = ::mmap(nullptr, cq_ring_bytes, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_,
+                        IORING_OFF_CQ_RING);
+      if (cq_ring_ == MAP_FAILED) {
+        return repro::io_error_errno("mmap cq ring", errno);
+      }
+      cq_ring_bytes_ = cq_ring_bytes;
+    }
+
+    const std::size_t sqe_bytes = params.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = static_cast<io_uring_sqe*>(
+        ::mmap(nullptr, sqe_bytes, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) {
+      return repro::io_error_errno("mmap sqes", errno);
+    }
+    sqe_bytes_ = sqe_bytes;
+
+    sq_head_ = ring_ptr<std::uint32_t>(sq_ring_, params.sq_off.head);
+    sq_tail_ = ring_ptr<std::uint32_t>(sq_ring_, params.sq_off.tail);
+    sq_mask_ = *ring_ptr<std::uint32_t>(sq_ring_, params.sq_off.ring_mask);
+    sq_array_ = ring_ptr<std::uint32_t>(sq_ring_, params.sq_off.array);
+
+    cq_head_ = ring_ptr<std::uint32_t>(cq_ring_, params.cq_off.head);
+    cq_tail_ = ring_ptr<std::uint32_t>(cq_ring_, params.cq_off.tail);
+    cq_mask_ = *ring_ptr<std::uint32_t>(cq_ring_, params.cq_off.ring_mask);
+    cqes_ = ring_ptr<io_uring_cqe>(cq_ring_, params.cq_off.cqes);
+    return repro::Status::ok();
+  }
+
+  [[nodiscard]] unsigned sq_entries() const noexcept { return sq_entries_; }
+
+  /// Free SQE slots right now.
+  [[nodiscard]] unsigned sq_space() const noexcept {
+    return sq_entries_ - (*sq_tail_ - load_acquire(sq_head_));
+  }
+
+  /// Queue one positional read; caller must ensure sq_space() > 0.
+  void push_read(int fd, void* dest, std::uint32_t len, std::uint64_t offset,
+                 std::uint64_t user_data) noexcept {
+    const std::uint32_t tail = *sq_tail_;
+    const std::uint32_t index = tail & sq_mask_;
+    io_uring_sqe* sqe = &sqes_[index];
+    std::memset(sqe, 0, sizeof *sqe);
+    sqe->opcode = IORING_OP_READ;
+    sqe->fd = fd;
+    sqe->addr = reinterpret_cast<std::uint64_t>(dest);
+    sqe->len = len;
+    sqe->off = offset;
+    sqe->user_data = user_data;
+    sq_array_[index] = index;
+    store_release(sq_tail_, tail + 1);
+    ++pending_submit_;
+  }
+
+  /// Submit queued SQEs and wait for at least `min_complete` completions.
+  repro::Status enter(unsigned min_complete) {
+    const int rc = sys_io_uring_enter(ring_fd_, pending_submit_, min_complete,
+                                      IORING_ENTER_GETEVENTS);
+    if (rc < 0) {
+      if (errno == EINTR) return enter(min_complete);
+      return repro::io_error_errno("io_uring_enter", errno);
+    }
+    pending_submit_ -= static_cast<unsigned>(rc);
+    return repro::Status::ok();
+  }
+
+  /// Pop one completion if available.
+  bool pop_completion(io_uring_cqe* out) noexcept {
+    const std::uint32_t head = *cq_head_;
+    if (head == load_acquire(cq_tail_)) return false;
+    *out = cqes_[head & cq_mask_];
+    store_release(cq_head_, head + 1);
+    return true;
+  }
+
+ private:
+  void close() {
+    if (sqes_ != nullptr && sqes_ != MAP_FAILED) ::munmap(sqes_, sqe_bytes_);
+    if (cq_ring_bytes_ > 0 && cq_ring_ != nullptr && cq_ring_ != MAP_FAILED) {
+      ::munmap(cq_ring_, cq_ring_bytes_);
+    }
+    if (sq_ring_ != nullptr && sq_ring_ != MAP_FAILED) {
+      ::munmap(sq_ring_, sq_ring_bytes_);
+    }
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  int ring_fd_ = -1;
+  unsigned sq_entries_ = 0;
+  unsigned cq_entries_ = 0;
+  unsigned pending_submit_ = 0;
+
+  void* sq_ring_ = nullptr;
+  std::size_t sq_ring_bytes_ = 0;
+  void* cq_ring_ = nullptr;
+  std::size_t cq_ring_bytes_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sqe_bytes_ = 0;
+
+  std::uint32_t* sq_head_ = nullptr;
+  std::uint32_t* sq_tail_ = nullptr;
+  std::uint32_t sq_mask_ = 0;
+  std::uint32_t* sq_array_ = nullptr;
+  std::uint32_t* cq_head_ = nullptr;
+  std::uint32_t* cq_tail_ = nullptr;
+  std::uint32_t cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+};
+
+class UringBackend final : public IoBackend {
+ public:
+  ~UringBackend() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  repro::Status open_file(const std::filesystem::path& path,
+                          unsigned queue_depth) {
+    fd_ = ::open(path.c_str(), O_RDONLY);
+    if (fd_ < 0) {
+      return repro::io_error_errno("open: " + path.string(), errno);
+    }
+    const off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0) {
+      return repro::io_error_errno("lseek: " + path.string(), errno);
+    }
+    size_ = static_cast<std::uint64_t>(end);
+    path_ = path.string();
+    return ring_.init(std::max(1U, queue_depth));
+  }
+
+  [[nodiscard]] std::uint64_t size() const noexcept override { return size_; }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "io_uring";
+  }
+
+  repro::Status read_at(std::uint64_t offset,
+                        std::span<std::uint8_t> dest) override {
+    ReadRequest request{offset, dest};
+    return read_batch(std::span<ReadRequest>(&request, 1));
+  }
+
+  repro::Status read_batch(std::span<ReadRequest> requests) override {
+    for (const auto& request : requests) {
+      if (request.offset + request.dest.size() > size_) {
+        return repro::out_of_range("read past EOF of " + path_);
+      }
+    }
+
+    // Per-request progress; short reads are resubmitted for the remainder.
+    struct Progress {
+      std::uint64_t done = 0;
+    };
+    std::vector<Progress> progress(requests.size());
+
+    std::size_t next_to_queue = 0;   // first request not yet queued
+    std::size_t outstanding = 0;     // queued but not finished
+    std::size_t finished = 0;
+    std::vector<std::size_t> retry;  // short-read continuations
+
+    while (finished < requests.size()) {
+      // Fill the submission queue: continuations first, then fresh requests.
+      while (ring_.sq_space() > 0 &&
+             (!retry.empty() || next_to_queue < requests.size())) {
+        std::size_t index;
+        if (!retry.empty()) {
+          index = retry.back();
+          retry.pop_back();
+        } else {
+          index = next_to_queue++;
+        }
+        ReadRequest& request = requests[index];
+        const std::uint64_t done = progress[index].done;
+        if (request.dest.size() == done) {  // zero-length request
+          ++finished;
+          continue;
+        }
+        ring_.push_read(fd_, request.dest.data() + done,
+                        static_cast<std::uint32_t>(request.dest.size() - done),
+                        request.offset + done, index);
+        ++outstanding;
+      }
+
+      // One syscall submits the whole batch and waits for >= 1 completion.
+      REPRO_RETURN_IF_ERROR(ring_.enter(outstanding > 0 ? 1 : 0));
+
+      io_uring_cqe cqe;
+      while (ring_.pop_completion(&cqe)) {
+        --outstanding;
+        const std::size_t index = static_cast<std::size_t>(cqe.user_data);
+        if (cqe.res < 0) {
+          return repro::io_error_errno("io_uring read: " + path_, -cqe.res);
+        }
+        if (cqe.res == 0) {
+          return repro::io_error("unexpected EOF in " + path_);
+        }
+        progress[index].done += static_cast<std::uint64_t>(cqe.res);
+        if (progress[index].done < requests[index].dest.size()) {
+          retry.push_back(index);  // short read: continue where it stopped
+        } else {
+          ++finished;
+        }
+      }
+    }
+    return repro::Status::ok();
+  }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+  std::string path_;
+  Ring ring_;
+};
+
+}  // namespace
+
+bool uring_available() noexcept {
+  static const bool available = [] {
+    io_uring_params params;
+    std::memset(&params, 0, sizeof params);
+    const int fd = sys_io_uring_setup(2, &params);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return available;
+}
+
+repro::Result<std::unique_ptr<IoBackend>> open_uring_backend(
+    const std::filesystem::path& path, const BackendOptions& options) {
+  if (!uring_available()) {
+    return repro::unsupported("io_uring not available in this environment");
+  }
+  auto backend = std::make_unique<UringBackend>();
+  REPRO_RETURN_IF_ERROR(backend->open_file(path, options.queue_depth));
+  return std::unique_ptr<IoBackend>{std::move(backend)};
+}
+
+}  // namespace repro::io

@@ -1,0 +1,23 @@
+// io_uring backend implemented against the raw kernel ABI (Section 2.5.2).
+//
+// No liburing dependency: we issue io_uring_setup/io_uring_enter syscalls
+// ourselves and mmap the submission/completion rings. The paper leans on
+// io_uring precisely because stage 2's candidate chunks are many small reads
+// at scattered offsets — the ring lets us enqueue a whole batch with one
+// syscall instead of one context switch per read.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+
+#include "common/status.hpp"
+#include "io/backend.hpp"
+
+namespace repro::io {
+
+/// Open `path` with an io_uring-backed IoBackend. Returns kUnsupported when
+/// io_uring_setup fails (old kernel / seccomp).
+repro::Result<std::unique_ptr<IoBackend>> open_uring_backend(
+    const std::filesystem::path& path, const BackendOptions& options);
+
+}  // namespace repro::io

@@ -1,0 +1,90 @@
+#include "merkle/bundle.hpp"
+
+#include "common/bytes.hpp"
+#include "common/fs.hpp"
+
+namespace repro::merkle {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x42524D52;  // "RMRB"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+repro::Status TreeBundle::add(std::string name, MerkleTree tree) {
+  if (find(name) != nullptr) {
+    return repro::already_exists("bundle already holds a tree named " + name);
+  }
+  entries_.emplace_back(std::move(name), std::move(tree));
+  return repro::Status::ok();
+}
+
+const MerkleTree* TreeBundle::find(std::string_view name) const {
+  for (const auto& [entry_name, tree] : entries_) {
+    if (entry_name == name) return &tree;
+  }
+  return nullptr;
+}
+
+std::uint64_t TreeBundle::metadata_bytes() const noexcept {
+  std::uint64_t total = 16;
+  for (const auto& [name, tree] : entries_) {
+    total += 8 + name.size() + tree.metadata_bytes();
+  }
+  return total;
+}
+
+std::vector<std::uint8_t> TreeBundle::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(metadata_bytes());
+  ByteWriter writer(out);
+  writer.put_u32(kMagic);
+  writer.put_u32(kVersion);
+  writer.put_u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& [name, tree] : entries_) {
+    writer.put_string(name);
+    const auto tree_bytes = tree.serialize();
+    writer.put_u64(tree_bytes.size());
+    writer.put_bytes(tree_bytes);
+  }
+  return out;
+}
+
+repro::Status TreeBundle::save(const std::filesystem::path& path) const {
+  return repro::write_file(path, serialize())
+      .with_context("saving merkle bundle");
+}
+
+repro::Result<TreeBundle> TreeBundle::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader reader(bytes);
+  REPRO_ASSIGN_OR_RETURN(const std::uint32_t magic, reader.get_u32());
+  if (magic != kMagic) return repro::corrupt_data("bad bundle magic");
+  REPRO_ASSIGN_OR_RETURN(const std::uint32_t version, reader.get_u32());
+  if (version != kVersion) {
+    return repro::unsupported("unknown bundle version");
+  }
+  REPRO_ASSIGN_OR_RETURN(const std::uint32_t count, reader.get_u32());
+  TreeBundle bundle;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    REPRO_ASSIGN_OR_RETURN(std::string name, reader.get_string());
+    REPRO_ASSIGN_OR_RETURN(const std::uint64_t tree_size, reader.get_u64());
+    if (tree_size > reader.remaining()) {
+      return repro::corrupt_data("bundle entry exceeds file size");
+    }
+    std::vector<std::uint8_t> tree_bytes(tree_size);
+    REPRO_RETURN_IF_ERROR(reader.get_bytes(tree_bytes));
+    REPRO_ASSIGN_OR_RETURN(MerkleTree tree,
+                           MerkleTree::deserialize(tree_bytes));
+    REPRO_RETURN_IF_ERROR(bundle.add(std::move(name), std::move(tree)));
+  }
+  return bundle;
+}
+
+repro::Result<TreeBundle> TreeBundle::load(
+    const std::filesystem::path& path) {
+  REPRO_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> bytes,
+                         repro::read_file(path));
+  return deserialize(bytes);
+}
+
+}  // namespace repro::merkle

@@ -1,0 +1,49 @@
+// Named-tree bundles ("RMRB" format): one Merkle tree per checkpoint field
+// in a single metadata file.
+//
+// The paper's runtime treats a checkpoint as one typed array under one error
+// bound. In practice domain experts hold *per-variable* tolerances — a
+// cosmologist may accept 1e-4 on velocities but demand 1e-6 on positions.
+// A bundle stores an independently parameterized tree per field, enabling
+// per-field bounds (src/compare/fields.hpp) while keeping the one-sidecar-
+// per-checkpoint layout.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "merkle/tree.hpp"
+
+namespace repro::merkle {
+
+class TreeBundle {
+ public:
+  TreeBundle() = default;
+
+  /// Add a named tree; names must be unique within the bundle.
+  repro::Status add(std::string name, MerkleTree tree);
+
+  [[nodiscard]] const MerkleTree* find(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const std::vector<std::pair<std::string, MerkleTree>>&
+  entries() const noexcept {
+    return entries_;
+  }
+
+  [[nodiscard]] std::uint64_t metadata_bytes() const noexcept;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  repro::Status save(const std::filesystem::path& path) const;
+  static repro::Result<TreeBundle> deserialize(
+      std::span<const std::uint8_t> bytes);
+  static repro::Result<TreeBundle> load(const std::filesystem::path& path);
+
+ private:
+  std::vector<std::pair<std::string, MerkleTree>> entries_;
+};
+
+}  // namespace repro::merkle

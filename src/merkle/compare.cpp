@@ -1,0 +1,101 @@
+#include "merkle/compare.hpp"
+
+#include <algorithm>
+
+namespace repro::merkle {
+
+std::uint32_t auto_start_level(const TreeLayout& layout, std::size_t ways) {
+  const std::uint64_t want = 4 * std::max<std::uint64_t>(ways, 1);
+  std::uint32_t level = 0;
+  while (level < layout.depth &&
+         (std::uint64_t{1} << level) < want) {
+    ++level;
+  }
+  return level;
+}
+
+repro::Result<std::vector<std::uint64_t>> compare_trees(
+    const MerkleTree& run_a, const MerkleTree& run_b,
+    const TreeCompareOptions& options, TreeCompareStats* stats) {
+  if (run_a.params() != run_b.params()) {
+    return repro::failed_precondition(
+        "merkle trees built with different parameters");
+  }
+  if (run_a.data_bytes() != run_b.data_bytes()) {
+    return repro::failed_precondition(
+        "merkle trees cover different data sizes (" +
+        std::to_string(run_a.data_bytes()) + " vs " +
+        std::to_string(run_b.data_bytes()) + ")");
+  }
+
+  const TreeLayout& layout = run_a.layout();
+  TreeCompareStats local_stats;
+  std::vector<std::uint64_t> diff_leaves;
+
+  std::uint32_t level =
+      options.start_level < 0
+          ? auto_start_level(layout, options.exec.ways())
+          : std::min<std::uint32_t>(
+                static_cast<std::uint32_t>(options.start_level),
+                layout.depth);
+
+  // Seed frontier: every node of the start level.
+  std::vector<std::uint64_t> frontier;
+  frontier.reserve(std::size_t{1} << level);
+  for (std::uint64_t node = TreeLayout::level_begin(level);
+       node < TreeLayout::level_end(level); ++node) {
+    frontier.push_back(node);
+  }
+
+  std::vector<std::uint8_t> mismatch;
+  while (!frontier.empty()) {
+    ++local_stats.levels_traversed;
+    local_stats.nodes_visited += frontier.size();
+
+    // Parallel hash comparison of the whole frontier (the per-level kernel).
+    mismatch.assign(frontier.size(), 0);
+    options.exec.for_each(0, frontier.size(), [&](std::uint64_t i) {
+      const std::uint64_t node = frontier[i];
+      mismatch[i] = run_a.node(node) != run_b.node(node) ? 1 : 0;
+    });
+
+    // Serial compaction between levels (the only synchronization point).
+    if (level == layout.depth) {
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        if (mismatch[i] == 0) continue;
+        const std::uint64_t leaf = layout.node_leaf(frontier[i]);
+        if (leaf < layout.num_leaves) diff_leaves.push_back(leaf);
+      }
+      break;
+    }
+
+    std::vector<std::uint64_t> next;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      if (mismatch[i] != 0) {
+        next.push_back(TreeLayout::left_child(frontier[i]));
+        next.push_back(TreeLayout::right_child(frontier[i]));
+      } else {
+        ++local_stats.subtrees_pruned;
+      }
+    }
+    frontier = std::move(next);
+    ++level;
+  }
+
+  std::sort(diff_leaves.begin(), diff_leaves.end());
+  if (stats != nullptr) *stats = local_stats;
+  return diff_leaves;
+}
+
+std::vector<std::uint64_t> compare_leaves_bruteforce(const MerkleTree& run_a,
+                                                     const MerkleTree& run_b) {
+  std::vector<std::uint64_t> diff;
+  const std::uint64_t count =
+      std::min(run_a.num_chunks(), run_b.num_chunks());
+  for (std::uint64_t chunk = 0; chunk < count; ++chunk) {
+    if (run_a.leaf(chunk) != run_b.leaf(chunk)) diff.push_back(chunk);
+  }
+  return diff;
+}
+
+}  // namespace repro::merkle

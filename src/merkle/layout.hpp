@@ -1,0 +1,69 @@
+// Flat-array complete-binary-tree layout (Section 2.5.1).
+//
+// The paper stores Merkle trees as a flattened array because the tree shape
+// never changes after construction and array indexing gives the GPU-friendly
+// access pattern. We pad the leaf count to the next power of two so every
+// leaf sits on one level and the parent/child arithmetic stays branch-free;
+// padding leaves carry a fixed sentinel digest, identical in both runs'
+// trees, so the BFS prunes them on the first touch.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace repro::merkle {
+
+struct TreeLayout {
+  std::uint64_t num_leaves = 0;     ///< real chunks
+  std::uint64_t padded_leaves = 0;  ///< next_pow2(num_leaves)
+  std::uint32_t depth = 0;          ///< leaves live on this level; root = 0
+
+  static TreeLayout for_leaves(std::uint64_t num_leaves) noexcept {
+    TreeLayout layout;
+    layout.num_leaves = num_leaves;
+    layout.padded_leaves = repro::next_pow2(num_leaves == 0 ? 1 : num_leaves);
+    layout.depth = 0;
+    while ((std::uint64_t{1} << layout.depth) < layout.padded_leaves) {
+      ++layout.depth;
+    }
+    return layout;
+  }
+
+  [[nodiscard]] std::uint64_t num_nodes() const noexcept {
+    return 2 * padded_leaves - 1;
+  }
+
+  /// First node index of `level` (root = level 0).
+  [[nodiscard]] static std::uint64_t level_begin(std::uint32_t level) noexcept {
+    return (std::uint64_t{1} << level) - 1;
+  }
+  /// One past the last node index of `level`.
+  [[nodiscard]] static std::uint64_t level_end(std::uint32_t level) noexcept {
+    return (std::uint64_t{1} << (level + 1)) - 1;
+  }
+
+  [[nodiscard]] static std::uint64_t parent(std::uint64_t node) noexcept {
+    return (node - 1) / 2;
+  }
+  [[nodiscard]] static std::uint64_t left_child(std::uint64_t node) noexcept {
+    return 2 * node + 1;
+  }
+  [[nodiscard]] static std::uint64_t right_child(std::uint64_t node) noexcept {
+    return 2 * node + 2;
+  }
+
+  /// Node index of leaf `i` (i < padded_leaves).
+  [[nodiscard]] std::uint64_t leaf_node(std::uint64_t leaf) const noexcept {
+    return padded_leaves - 1 + leaf;
+  }
+  /// Leaf index of a node on the deepest level.
+  [[nodiscard]] std::uint64_t node_leaf(std::uint64_t node) const noexcept {
+    return node - (padded_leaves - 1);
+  }
+  [[nodiscard]] bool is_leaf_node(std::uint64_t node) const noexcept {
+    return node >= padded_leaves - 1;
+  }
+};
+
+}  // namespace repro::merkle

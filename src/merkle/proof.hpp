@@ -1,0 +1,59 @@
+// Merkle inclusion proofs.
+//
+// The CI-gate use case (paper Section 5) stores golden metadata and compares
+// whole trees. Inclusion proofs push that further: with only the golden
+// *root* (16 bytes) pinned — in a build file, a signed release note, a
+// database row — any party holding the checkpoint can later prove or check
+// that one specific chunk belonged to the blessed state, without the full
+// metadata. This is the classic Merkle audit-path mechanism (BitTorrent,
+// Cassandra anti-entropy) applied to error-bounded scientific data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "hash/digest.hpp"
+#include "merkle/tree.hpp"
+
+namespace repro::merkle {
+
+/// Audit path for one chunk: the sibling digest at every level from the
+/// leaf up to (excluding) the root, plus enough context to recompute and
+/// compare.
+struct InclusionProof {
+  std::uint64_t chunk = 0;
+  /// Digest of the chunk's data under the tree's hash params.
+  hash::Digest128 leaf;
+  /// Sibling digests, deepest first (leaf's sibling ... root's child's
+  /// sibling). Bit i of `chunk-path` — whether our node was a left or right
+  /// child — is recomputed from the leaf index, so only digests are stored.
+  std::vector<hash::Digest128> siblings;
+  /// Tree shape, needed to recompute child order during verification.
+  std::uint64_t num_leaves = 0;
+
+  /// Serialized size: ~16 bytes per tree level.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static repro::Result<InclusionProof> deserialize(
+      std::span<const std::uint8_t> bytes);
+};
+
+/// Extract the proof for `chunk` from a full tree.
+repro::Result<InclusionProof> prove_inclusion(const MerkleTree& tree,
+                                              std::uint64_t chunk);
+
+/// Recompute the root from the proof and compare against `expected_root`.
+/// Returns OK if the proof binds (leaf, chunk) to the root; kFailedPrecondition
+/// if the recomputed root differs; kInvalidArgument for malformed proofs.
+repro::Status verify_inclusion(const InclusionProof& proof,
+                               const hash::Digest128& expected_root);
+
+/// Convenience: hash `chunk_data` under `params` and verify it against the
+/// root via the proof — the "does this piece of data belong to the blessed
+/// checkpoint?" one-call form.
+repro::Status verify_chunk_data(const InclusionProof& proof,
+                                std::span<const std::uint8_t> chunk_data,
+                                const TreeParams& params,
+                                const hash::Digest128& expected_root);
+
+}  // namespace repro::merkle

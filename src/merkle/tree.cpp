@@ -1,0 +1,261 @@
+#include "merkle/tree.hpp"
+
+#include <cstring>
+
+#include "common/fs.hpp"
+#include "hash/murmur3.hpp"
+
+namespace repro::merkle {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4B524D52;  // "RMRK"
+constexpr std::uint32_t kVersion = 1;
+}  // namespace
+
+std::uint32_t value_size(ValueKind kind) noexcept {
+  switch (kind) {
+    case ValueKind::kF32: return 4;
+    case ValueKind::kF64: return 8;
+    case ValueKind::kBytes: return 1;
+  }
+  return 1;
+}
+
+std::string_view value_kind_name(ValueKind kind) noexcept {
+  switch (kind) {
+    case ValueKind::kF32: return "f32";
+    case ValueKind::kF64: return "f64";
+    case ValueKind::kBytes: return "bytes";
+  }
+  return "?";
+}
+
+repro::Status validate(const TreeParams& params) {
+  if (params.chunk_bytes == 0) {
+    return repro::invalid_argument("chunk_bytes must be > 0");
+  }
+  if (params.chunk_bytes % value_size(params.value_kind) != 0) {
+    return repro::invalid_argument(
+        "chunk_bytes must be a multiple of the value size");
+  }
+  return hash::validate(params.hash);
+}
+
+hash::Digest128 padding_digest() noexcept {
+  // Any fixed constant works as long as both runs use the same one; derive
+  // it from a tag string so it cannot collide with Digest{seed,seed} of an
+  // empty real chunk.
+  static const hash::Digest128 digest = [] {
+    const char tag[] = "reprokit-merkle-padding-leaf";
+    return hash::murmur3f(
+        std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(tag), sizeof(tag) - 1),
+        0x5eedu);
+  }();
+  return digest;
+}
+
+std::uint64_t MerkleTree::metadata_bytes() const noexcept {
+  // Header fields (see serialize()) + digests.
+  return 64 + layout_.num_nodes() * hash::kDigestBytes;
+}
+
+std::vector<std::uint8_t> MerkleTree::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(metadata_bytes());
+  ByteWriter writer(out);
+  writer.put_u32(kMagic);
+  writer.put_u32(kVersion);
+  writer.put_u64(data_bytes_);
+  writer.put_u64(params_.chunk_bytes);
+  writer.put_u8(static_cast<std::uint8_t>(params_.value_kind));
+  writer.put_f64(params_.hash.error_bound);
+  writer.put_u32(params_.hash.values_per_block);
+  writer.put_u64(layout_.num_leaves);
+  writer.put_u64(nodes_.size());
+  for (const auto& digest : nodes_) {
+    writer.put_u64(digest.lo);
+    writer.put_u64(digest.hi);
+  }
+  return out;
+}
+
+repro::Status MerkleTree::save(const std::filesystem::path& path) const {
+  const auto bytes = serialize();
+  return repro::write_file(path, bytes)
+      .with_context("saving merkle metadata");
+}
+
+repro::Result<MerkleTree> MerkleTree::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader reader(bytes);
+  REPRO_ASSIGN_OR_RETURN(const std::uint32_t magic, reader.get_u32());
+  if (magic != kMagic) {
+    return repro::corrupt_data("bad merkle metadata magic");
+  }
+  REPRO_ASSIGN_OR_RETURN(const std::uint32_t version, reader.get_u32());
+  if (version != kVersion) {
+    return repro::unsupported("unknown merkle metadata version " +
+                              std::to_string(version));
+  }
+  MerkleTree tree;
+  REPRO_ASSIGN_OR_RETURN(tree.data_bytes_, reader.get_u64());
+  REPRO_ASSIGN_OR_RETURN(tree.params_.chunk_bytes, reader.get_u64());
+  REPRO_ASSIGN_OR_RETURN(const std::uint8_t kind, reader.get_u8());
+  if (kind > static_cast<std::uint8_t>(ValueKind::kBytes)) {
+    return repro::corrupt_data("bad value kind in merkle metadata");
+  }
+  tree.params_.value_kind = static_cast<ValueKind>(kind);
+  REPRO_ASSIGN_OR_RETURN(tree.params_.hash.error_bound, reader.get_f64());
+  REPRO_ASSIGN_OR_RETURN(tree.params_.hash.values_per_block, reader.get_u32());
+  std::uint64_t num_leaves = 0;
+  REPRO_ASSIGN_OR_RETURN(num_leaves, reader.get_u64());
+  // Untrusted input: an absurd leaf count would overflow the layout math
+  // (and ask for an absurd allocation below) before the node-count check.
+  if (num_leaves > (std::uint64_t{1} << 50)) {
+    return repro::corrupt_data("implausible leaf count in merkle metadata");
+  }
+  tree.layout_ = TreeLayout::for_leaves(num_leaves);
+  REPRO_ASSIGN_OR_RETURN(const std::uint64_t num_nodes, reader.get_u64());
+  if (num_nodes != tree.layout_.num_nodes()) {
+    return repro::corrupt_data("node count inconsistent with leaf count");
+  }
+  // The digests must actually fit in the remaining payload; checking before
+  // the resize keeps a crafted header from forcing a huge allocation.
+  if (num_nodes > reader.remaining() / hash::kDigestBytes) {
+    return repro::corrupt_data("merkle metadata truncated");
+  }
+  REPRO_RETURN_IF_ERROR(validate(tree.params_));
+  tree.nodes_.resize(num_nodes);
+  for (auto& digest : tree.nodes_) {
+    REPRO_ASSIGN_OR_RETURN(digest.lo, reader.get_u64());
+    REPRO_ASSIGN_OR_RETURN(digest.hi, reader.get_u64());
+  }
+  return tree;
+}
+
+repro::Result<MerkleTree> MerkleTree::load(
+    const std::filesystem::path& path) {
+  REPRO_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> bytes,
+                         repro::read_file(path));
+  return deserialize(bytes);
+}
+
+hash::Digest128 TreeBuilder::hash_chunk(std::span<const std::uint8_t> data,
+                                        const MerkleTree& tree,
+                                        std::uint64_t chunk) const {
+  const auto [begin, end] = tree.chunk_range(chunk);
+  const std::uint8_t* base = data.data() + begin;
+  const std::uint64_t bytes = end - begin;
+  const std::uint32_t vsize = value_size(params_.value_kind);
+  switch (params_.value_kind) {
+    case ValueKind::kF32:
+      return hash::hash_chunk_f32(
+          std::span<const float>(reinterpret_cast<const float*>(base),
+                                 bytes / vsize),
+          params_.hash);
+    case ValueKind::kF64:
+      return hash::hash_chunk_f64(
+          std::span<const double>(reinterpret_cast<const double*>(base),
+                                  bytes / vsize),
+          params_.hash);
+    case ValueKind::kBytes:
+      return hash::hash_chunk_bytes(std::span<const std::uint8_t>(base, bytes),
+                                    params_.hash.values_per_block * 4);
+  }
+  return {};
+}
+
+repro::Result<MerkleTree> TreeBuilder::build(
+    std::span<const std::uint8_t> data) const {
+  REPRO_RETURN_IF_ERROR(validate(params_));
+
+  MerkleTree tree;
+  tree.params_ = params_;
+  tree.data_bytes_ = data.size();
+  const std::uint64_t num_chunks =
+      data.empty() ? 0 : repro::ceil_div(data.size(), params_.chunk_bytes);
+  tree.layout_ = TreeLayout::for_leaves(num_chunks);
+  tree.nodes_.assign(tree.layout_.num_nodes(), padding_digest());
+
+  const TreeLayout& layout = tree.layout_;
+  auto* nodes = tree.nodes_.data();
+
+  // Leaf level: every chunk hashed independently (Algorithm 1, first loop).
+  exec_.for_each(0, num_chunks, [&](std::uint64_t chunk) {
+    nodes[layout.leaf_node(chunk)] = hash_chunk(data, tree, chunk);
+  });
+
+  // Internal levels, bottom-up; nodes within a level are independent
+  // (Algorithm 1, second loop — synchronization only between levels).
+  for (std::uint32_t level = layout.depth; level-- > 0;) {
+    const std::uint64_t begin = TreeLayout::level_begin(level);
+    const std::uint64_t end = TreeLayout::level_end(level);
+    exec_.for_each(begin, end, [&](std::uint64_t node_index) {
+      hash::Digest128 pair[2] = {nodes[TreeLayout::left_child(node_index)],
+                                 nodes[TreeLayout::right_child(node_index)]};
+      nodes[node_index] = hash::murmur3f(
+          std::span<const std::uint8_t>(
+              reinterpret_cast<const std::uint8_t*>(pair), sizeof pair));
+    });
+  }
+
+  return tree;
+}
+
+repro::Status TreeBuilder::update_leaves(
+    MerkleTree& tree, std::span<const std::uint8_t> data,
+    std::span<const std::uint64_t> changed_chunks) const {
+  REPRO_RETURN_IF_ERROR(validate(params_));
+  if (tree.params_ != params_) {
+    return repro::failed_precondition(
+        "tree was built with different parameters");
+  }
+  if (tree.data_bytes_ != data.size()) {
+    return repro::failed_precondition(
+        "incremental update cannot change the data size");
+  }
+  const TreeLayout& layout = tree.layout_;
+  for (const std::uint64_t chunk : changed_chunks) {
+    if (chunk >= layout.num_leaves) {
+      return repro::out_of_range("changed chunk " + std::to_string(chunk) +
+                                 " outside the tree");
+    }
+  }
+  auto* nodes = tree.nodes_.data();
+
+  // Rehash the dirty leaves in parallel.
+  exec_.for_each(0, changed_chunks.size(), [&](std::uint64_t i) {
+    const std::uint64_t chunk = changed_chunks[i];
+    nodes[layout.leaf_node(chunk)] = hash_chunk(data, tree, chunk);
+  });
+
+  // Propagate upward level by level. The dirty frontier only shrinks, so a
+  // simple dedup per level keeps the work at O(k) nodes per level.
+  std::vector<std::uint64_t> dirty;
+  dirty.reserve(changed_chunks.size());
+  for (const std::uint64_t chunk : changed_chunks) {
+    dirty.push_back(layout.leaf_node(chunk));
+  }
+  while (!dirty.empty() && dirty.front() != 0) {
+    std::vector<std::uint64_t> parents;
+    parents.reserve(dirty.size());
+    for (const std::uint64_t node : dirty) {
+      const std::uint64_t parent = TreeLayout::parent(node);
+      if (parents.empty() || parents.back() != parent) {
+        parents.push_back(parent);  // input sorted => parents sorted
+      }
+    }
+    exec_.for_each(0, parents.size(), [&](std::uint64_t i) {
+      const std::uint64_t node = parents[i];
+      hash::Digest128 pair[2] = {nodes[TreeLayout::left_child(node)],
+                                 nodes[TreeLayout::right_child(node)]};
+      nodes[node] = hash::murmur3f(std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(pair), sizeof pair));
+    });
+    dirty = std::move(parents);
+  }
+  return repro::Status::ok();
+}
+
+}  // namespace repro::merkle

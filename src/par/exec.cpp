@@ -1,0 +1,47 @@
+#include "par/exec.hpp"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace repro::par {
+
+void Exec::run_blocks(
+    std::uint64_t begin, std::uint64_t end,
+    const std::function<void(std::uint64_t, std::uint64_t)>& block) const {
+  const std::uint64_t count = end - begin;
+  const std::uint64_t num_blocks =
+      std::min<std::uint64_t>(ways_, count);
+  const std::uint64_t base = count / num_blocks;
+  const std::uint64_t extra = count % num_blocks;
+
+  // Block b covers base indices, the first `extra` blocks one more.
+  auto block_range = [&](std::uint64_t b) {
+    const std::uint64_t lo =
+        begin + b * base + std::min<std::uint64_t>(b, extra);
+    const std::uint64_t len = base + (b < extra ? 1 : 0);
+    return std::pair<std::uint64_t, std::uint64_t>{lo, lo + len};
+  };
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t pending = static_cast<std::size_t>(num_blocks) - 1;
+
+  for (std::uint64_t b = 1; b < num_blocks; ++b) {
+    auto [lo, hi] = block_range(b);
+    pool_->submit([&, lo, hi] {
+      block(lo, hi);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--pending == 0) done_cv.notify_one();
+    });
+  }
+
+  // The calling thread executes block 0 — on a 1-core machine this keeps the
+  // pool from being pure overhead.
+  auto [lo0, hi0] = block_range(0);
+  block(lo0, hi0);
+
+  std::unique_lock<std::mutex> lock(mu);
+  done_cv.wait(lock, [&] { return pending == 0; });
+}
+
+}  // namespace repro::par

@@ -1,0 +1,106 @@
+// Kokkos-substitute bulk-parallel execution engine.
+//
+// The paper expresses its kernels (chunk hashing, per-level Merkle build,
+// level-synchronous BFS, element-wise verification) as data-parallel loops
+// over index ranges via Kokkos, targeting GPUs. We express the same kernels
+// against this Exec abstraction with two backends:
+//   * Exec::serial()   — reference, single-thread (the paper's "CPU" arm)
+//   * Exec::parallel() — thread-pool backend (stands in for the GPU arm)
+// Swapping the Exec swaps the backend without touching kernel code, which is
+// the property the paper gets from Kokkos.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "par/thread_pool.hpp"
+
+namespace repro::par {
+
+class Exec {
+ public:
+  /// Single-threaded reference backend.
+  static Exec serial() { return Exec{nullptr, 1}; }
+
+  /// Pool backend with the default process-wide pool.
+  static Exec parallel() {
+    return Exec{&default_pool(), default_pool().size()};
+  }
+
+  /// Pool backend capped at `max_ways` concurrent blocks.
+  static Exec parallel(std::size_t max_ways) {
+    return Exec{&default_pool(),
+                max_ways == 0 ? std::size_t{1} : max_ways};
+  }
+
+  [[nodiscard]] bool is_serial() const noexcept { return pool_ == nullptr; }
+  [[nodiscard]] std::size_t ways() const noexcept { return ways_; }
+
+  /// parallel_for over [begin, end): calls body(i) for every index. The
+  /// range is split into at most `ways()` contiguous blocks; the calling
+  /// thread participates so a 1-way Exec degenerates to a plain loop.
+  template <typename Body>
+  void for_each(std::uint64_t begin, std::uint64_t end, Body&& body) const {
+    if (end <= begin) return;
+    if (is_serial() || ways_ == 1 || end - begin == 1) {
+      for (std::uint64_t i = begin; i < end; ++i) body(i);
+      return;
+    }
+    run_blocks(begin, end, [&body](std::uint64_t lo, std::uint64_t hi) {
+      for (std::uint64_t i = lo; i < hi; ++i) body(i);
+    });
+  }
+
+  /// parallel_for over blocks: body(lo, hi) per contiguous block. Use when
+  /// the kernel wants to amortize per-call setup across a block.
+  template <typename BlockBody>
+  void for_blocks(std::uint64_t begin, std::uint64_t end,
+                  BlockBody&& body) const {
+    if (end <= begin) return;
+    if (is_serial() || ways_ == 1) {
+      body(begin, end);
+      return;
+    }
+    run_blocks(begin, end, std::forward<BlockBody>(body));
+  }
+
+  /// parallel_reduce: sums body(i) over [begin, end) with operator+.
+  /// T must be default-constructible to its additive identity.
+  template <typename T, typename Body>
+  T reduce_sum(std::uint64_t begin, std::uint64_t end, Body&& body) const {
+    if (end <= begin) return T{};
+    if (is_serial() || ways_ == 1) {
+      T acc{};
+      for (std::uint64_t i = begin; i < end; ++i) acc = acc + body(i);
+      return acc;
+    }
+    std::vector<T> partials(ways_);
+    std::atomic<std::size_t> next_slot{0};
+    run_blocks(begin, end, [&](std::uint64_t lo, std::uint64_t hi) {
+      T acc{};
+      for (std::uint64_t i = lo; i < hi; ++i) acc = acc + body(i);
+      partials[next_slot.fetch_add(1, std::memory_order_relaxed)] =
+          std::move(acc);
+    });
+    T total{};
+    for (auto& partial : partials) total = total + partial;
+    return total;
+  }
+
+ private:
+  Exec(ThreadPool* pool, std::size_t ways) : pool_(pool), ways_(ways) {}
+
+  /// Split [begin, end) into <= ways_ blocks and run them; the caller runs
+  /// one block itself and waits for the rest.
+  void run_blocks(
+      std::uint64_t begin, std::uint64_t end,
+      const std::function<void(std::uint64_t, std::uint64_t)>& block) const;
+
+  ThreadPool* pool_;  // nullptr => serial
+  std::size_t ways_;
+};
+
+}  // namespace repro::par

@@ -1,0 +1,55 @@
+// Configuration of the haccette mini-app (the HACC substitute).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+
+namespace repro::sim {
+
+/// Sources of run-to-run nondeterminism, modeled after what the paper
+/// attributes HACC's divergence to (concurrency-dependent floating-point
+/// reduction order) plus a tunable jitter term so experiments can dial the
+/// divergence magnitude against the swept error bounds.
+struct NoiseConfig {
+  /// Master switch. Off => the mini-app is bit-deterministic.
+  bool enabled = false;
+
+  /// Per-run seed (give each run a different value). Drives the deposit
+  /// permutation and the jitter stream.
+  std::uint64_t run_seed = 0;
+
+  /// Permute the mass-deposit accumulation order. This is the *real*
+  /// nondeterminism mechanism: floating-point addition is not associative,
+  /// so a different order yields slightly different mesh densities, which
+  /// gravity then amplifies across steps.
+  bool shuffle_deposit = true;
+
+  /// Extra per-particle force jitter, uniform in [-magnitude, magnitude].
+  /// Models scheduling-dependent error at a controllable scale; 0 disables.
+  double jitter_magnitude = 0.0;
+
+  /// Fraction of particles receiving a larger "hotspot" kick each step —
+  /// produces the spatially clustered divergences (a halo forming in one
+  /// run but not the other) that motivate locating differences.
+  double hotspot_fraction = 0.0;
+  double hotspot_magnitude = 0.0;
+};
+
+struct SimConfig {
+  std::uint64_t num_particles = 1ULL << 15;
+  std::uint32_t mesh_dim = 32;   ///< cells per side (power of two)
+  double box_size = 64.0;        ///< periodic box edge length
+  double time_step = 0.05;
+  std::uint32_t steps = 50;      ///< the paper runs 50 P3M iterations
+  double gravitational_constant = 0.8;
+  /// Short-range particle-particle correction radius (in box units);
+  /// 0 disables the PP phase (pure PM).
+  double pp_cutoff = 0.0;
+  std::uint64_t seed = 12345;    ///< initial conditions (same for all runs)
+  NoiseConfig noise;
+};
+
+repro::Status validate(const SimConfig& config);
+
+}  // namespace repro::sim

@@ -1,0 +1,89 @@
+#include "sim/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/bytes.hpp"
+
+namespace repro::sim {
+
+repro::Status fft_inplace(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0 || !repro::is_pow2(n)) {
+    return repro::invalid_argument("FFT length must be a power of two");
+  }
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen{std::cos(angle), std::sin(angle)};
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& value : data) value *= scale;
+  }
+  return repro::Status::ok();
+}
+
+repro::Status fft3d_inplace(std::span<Complex> cube, std::uint32_t n,
+                            bool inverse) {
+  const std::size_t total = static_cast<std::size_t>(n) * n * n;
+  if (cube.size() != total) {
+    return repro::invalid_argument("cube size must be n^3");
+  }
+  if (!repro::is_pow2(n)) {
+    return repro::invalid_argument("mesh dimension must be a power of two");
+  }
+
+  std::vector<Complex> line(n);
+  auto idx = [n](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return (static_cast<std::size_t>(x) * n + y) * n + z;
+  };
+
+  // Transform along z (contiguous lines).
+  for (std::uint32_t x = 0; x < n; ++x) {
+    for (std::uint32_t y = 0; y < n; ++y) {
+      REPRO_RETURN_IF_ERROR(
+          fft_inplace(cube.subspan(idx(x, y, 0), n), inverse));
+    }
+  }
+  // Transform along y.
+  for (std::uint32_t x = 0; x < n; ++x) {
+    for (std::uint32_t z = 0; z < n; ++z) {
+      for (std::uint32_t y = 0; y < n; ++y) line[y] = cube[idx(x, y, z)];
+      REPRO_RETURN_IF_ERROR(fft_inplace(line, inverse));
+      for (std::uint32_t y = 0; y < n; ++y) cube[idx(x, y, z)] = line[y];
+    }
+  }
+  // Transform along x.
+  for (std::uint32_t y = 0; y < n; ++y) {
+    for (std::uint32_t z = 0; z < n; ++z) {
+      for (std::uint32_t x = 0; x < n; ++x) line[x] = cube[idx(x, y, z)];
+      REPRO_RETURN_IF_ERROR(fft_inplace(line, inverse));
+      for (std::uint32_t x = 0; x < n; ++x) cube[idx(x, y, z)] = line[x];
+    }
+  }
+  return repro::Status::ok();
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,25 @@
+// Radix-2 complex FFT (iterative Cooley-Tukey) and a 3D transform built on
+// it. Self-contained so the particle-mesh Poisson solve needs no external
+// FFT library. Sizes are restricted to powers of two.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace repro::sim {
+
+using Complex = std::complex<double>;
+
+/// In-place FFT of a power-of-two-length signal. `inverse` applies the
+/// conjugate transform and divides by N (full round trip is the identity).
+repro::Status fft_inplace(std::span<Complex> data, bool inverse);
+
+/// 3D FFT over an n*n*n cube stored row-major (index = (x*n + y)*n + z).
+repro::Status fft3d_inplace(std::span<Complex> cube, std::uint32_t n,
+                            bool inverse);
+
+}  // namespace repro::sim

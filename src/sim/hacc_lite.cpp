@@ -1,0 +1,288 @@
+#include "sim/hacc_lite.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace repro::sim {
+
+repro::Status validate(const SimConfig& config) {
+  if (config.num_particles == 0) {
+    return repro::invalid_argument("num_particles must be > 0");
+  }
+  if (!repro::is_pow2(config.mesh_dim) || config.mesh_dim < 4) {
+    return repro::invalid_argument("mesh_dim must be a power of two >= 4");
+  }
+  if (!(config.box_size > 0)) {
+    return repro::invalid_argument("box_size must be > 0");
+  }
+  if (!(config.time_step > 0)) {
+    return repro::invalid_argument("time_step must be > 0");
+  }
+  if (config.pp_cutoff < 0 || config.pp_cutoff > config.box_size / 2) {
+    return repro::invalid_argument("pp_cutoff must be in [0, box/2]");
+  }
+  return repro::Status::ok();
+}
+
+HaccLite::HaccLite(SimConfig config)
+    : config_(config),
+      solver_(config.mesh_dim, config.box_size,
+              config.gravitational_constant),
+      noise_rng_(config.noise.run_seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+repro::Status HaccLite::initialize() {
+  REPRO_RETURN_IF_ERROR(validate(config_));
+  const std::size_t count = config_.num_particles;
+  particles_.resize(count);
+  ax_.resize(count);
+  ay_.resize(count);
+  az_.resize(count);
+  deposit_order_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    deposit_order_[i] = static_cast<std::uint32_t>(i);
+  }
+
+  // Zel'dovich-flavoured ICs: lattice positions + seeded random
+  // displacement, small Gaussian velocities. Identical for every run with
+  // the same config.seed — nondeterminism enters only through stepping.
+  Xoshiro256 rng(config_.seed);
+  const auto side = static_cast<std::size_t>(
+      std::ceil(std::cbrt(static_cast<double>(count))));
+  const double spacing = config_.box_size / static_cast<double>(side);
+  const double displacement = 0.35 * spacing;
+  const double velocity_scale = 0.05 * spacing / config_.time_step * 0.1;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t gx = i % side;
+    const std::size_t gy = (i / side) % side;
+    const std::size_t gz = i / (side * side) % side;
+    auto jitter = [&] { return (rng.next_double() * 2.0 - 1.0) * displacement; };
+    auto wrap = [&](double v) {
+      v = std::fmod(v, config_.box_size);
+      return v < 0 ? v + config_.box_size : v;
+    };
+    particles_.x[i] = wrap((gx + 0.5) * spacing + jitter());
+    particles_.y[i] = wrap((gy + 0.5) * spacing + jitter());
+    particles_.z[i] = wrap((gz + 0.5) * spacing + jitter());
+    particles_.vx[i] = rng.next_gaussian() * velocity_scale;
+    particles_.vy[i] = rng.next_gaussian() * velocity_scale;
+    particles_.vz[i] = rng.next_gaussian() * velocity_scale;
+    particles_.phi[i] = 0.0;
+  }
+  iteration_ = 0;
+  return repro::Status::ok();
+}
+
+void HaccLite::apply_pp_correction(std::vector<double>& ax,
+                                   std::vector<double>& ay,
+                                   std::vector<double>& az) const {
+  // Short-range pairwise softened attraction inside pp_cutoff, found via a
+  // uniform cell list (cell edge >= cutoff). This is the "PP" of P3M; at
+  // mini-app scale it mainly adds realistic local coupling.
+  const double cutoff = config_.pp_cutoff;
+  const double cutoff2 = cutoff * cutoff;
+  const double box = config_.box_size;
+  const auto cells = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(box / cutoff));
+  const double cell_edge = box / cells;
+  const double soften2 = 1e-4 * cutoff2;
+  const double strength = 0.1 * config_.gravitational_constant;
+
+  const std::size_t count = particles_.size();
+  auto cell_of = [&](double v) {
+    auto c = static_cast<std::uint32_t>(v / cell_edge);
+    return c >= cells ? cells - 1 : c;
+  };
+  auto cell_index = [&](std::uint32_t cx, std::uint32_t cy, std::uint32_t cz) {
+    return (static_cast<std::size_t>(cx) * cells + cy) * cells + cz;
+  };
+
+  // Bucket particles.
+  std::vector<std::vector<std::uint32_t>> buckets(
+      static_cast<std::size_t>(cells) * cells * cells);
+  for (std::size_t p = 0; p < count; ++p) {
+    buckets[cell_index(cell_of(particles_.x[p]), cell_of(particles_.y[p]),
+                       cell_of(particles_.z[p]))]
+        .push_back(static_cast<std::uint32_t>(p));
+  }
+
+  auto min_image = [&](double d) {
+    if (d > box / 2) return d - box;
+    if (d < -box / 2) return d + box;
+    return d;
+  };
+
+  // Neighbor offsets along one axis, deduplicated so a grid narrower than
+  // three cells does not visit (and double-count) the same cell twice.
+  auto axis_neighbors = [&](std::uint32_t c) {
+    std::vector<std::uint32_t> out;
+    for (int d = -1; d <= 1; ++d) {
+      const auto n = static_cast<std::uint32_t>(
+          (static_cast<long>(c) + d + cells) % static_cast<long>(cells));
+      if (std::find(out.begin(), out.end(), n) == out.end()) out.push_back(n);
+    }
+    return out;
+  };
+
+  for (std::size_t p = 0; p < count; ++p) {
+    const std::uint32_t cx = cell_of(particles_.x[p]);
+    const std::uint32_t cy = cell_of(particles_.y[p]);
+    const std::uint32_t cz = cell_of(particles_.z[p]);
+    for (const std::uint32_t nx : axis_neighbors(cx)) {
+      for (const std::uint32_t ny : axis_neighbors(cy)) {
+        for (const std::uint32_t nz : axis_neighbors(cz)) {
+          for (const std::uint32_t q : buckets[cell_index(nx, ny, nz)]) {
+            if (q == p) continue;
+            const double rx = min_image(particles_.x[q] - particles_.x[p]);
+            const double ry = min_image(particles_.y[q] - particles_.y[p]);
+            const double rz = min_image(particles_.z[q] - particles_.z[p]);
+            const double r2 = rx * rx + ry * ry + rz * rz;
+            if (r2 > cutoff2) continue;
+            const double inv_r3 =
+                1.0 / ((r2 + soften2) * std::sqrt(r2 + soften2));
+            ax[p] += strength * rx * inv_r3;
+            ay[p] += strength * ry * inv_r3;
+            az[p] += strength * rz * inv_r3;
+          }
+        }
+      }
+    }
+  }
+}
+
+repro::Status HaccLite::step() {
+  const std::size_t count = particles_.size();
+  const NoiseConfig& noise = config_.noise;
+
+  // Deposit order: natural (deterministic) or permuted (models the
+  // concurrency-dependent reduction order).
+  std::span<const std::uint32_t> order;
+  if (noise.enabled && noise.shuffle_deposit) {
+    // Fisher-Yates with the per-run noise stream.
+    for (std::size_t i = count; i > 1; --i) {
+      const std::size_t j = noise_rng_.next_below(i);
+      std::swap(deposit_order_[i - 1], deposit_order_[j]);
+    }
+    order = deposit_order_;
+  }
+
+  solver_.deposit(particles_, order);
+  REPRO_RETURN_IF_ERROR(solver_.solve_potential());
+  solver_.gather(particles_, ax_, ay_, az_, particles_.phi);
+
+  if (config_.pp_cutoff > 0) apply_pp_correction(ax_, ay_, az_);
+
+  if (noise.enabled && noise.jitter_magnitude > 0) {
+    for (std::size_t p = 0; p < count; ++p) {
+      ax_[p] += (noise_rng_.next_double() * 2 - 1) * noise.jitter_magnitude;
+      ay_[p] += (noise_rng_.next_double() * 2 - 1) * noise.jitter_magnitude;
+      az_[p] += (noise_rng_.next_double() * 2 - 1) * noise.jitter_magnitude;
+    }
+  }
+  if (noise.enabled && noise.hotspot_fraction > 0 &&
+      noise.hotspot_magnitude > 0) {
+    const auto kicks = static_cast<std::size_t>(
+        noise.hotspot_fraction * static_cast<double>(count));
+    for (std::size_t k = 0; k < kicks; ++k) {
+      const std::size_t p = noise_rng_.next_below(count);
+      ax_[p] += (noise_rng_.next_double() * 2 - 1) * noise.hotspot_magnitude;
+      ay_[p] += (noise_rng_.next_double() * 2 - 1) * noise.hotspot_magnitude;
+      az_[p] += (noise_rng_.next_double() * 2 - 1) * noise.hotspot_magnitude;
+    }
+  }
+
+  // Leapfrog kick + drift with periodic wrap.
+  const double dt = config_.time_step;
+  const double box = config_.box_size;
+  auto wrap = [box](double v) {
+    v = std::fmod(v, box);
+    return v < 0 ? v + box : v;
+  };
+  for (std::size_t p = 0; p < count; ++p) {
+    particles_.vx[p] += ax_[p] * dt;
+    particles_.vy[p] += ay_[p] * dt;
+    particles_.vz[p] += az_[p] * dt;
+    particles_.x[p] = wrap(particles_.x[p] + particles_.vx[p] * dt);
+    particles_.y[p] = wrap(particles_.y[p] + particles_.vy[p] * dt);
+    particles_.z[p] = wrap(particles_.z[p] + particles_.vz[p] * dt);
+  }
+  ++iteration_;
+  return repro::Status::ok();
+}
+
+repro::Status HaccLite::run(
+    std::span<const std::uint64_t> capture_iterations,
+    const std::function<repro::Status(std::uint64_t)>& hook) {
+  for (std::uint32_t s = 0; s < config_.steps; ++s) {
+    REPRO_RETURN_IF_ERROR(step());
+    if (hook && std::find(capture_iterations.begin(),
+                          capture_iterations.end(),
+                          iteration_) != capture_iterations.end()) {
+      REPRO_RETURN_IF_ERROR(hook(iteration_));
+    }
+  }
+  return repro::Status::ok();
+}
+
+repro::Status HaccLite::add_checkpoint_fields(
+    ckpt::CheckpointWriter& writer) const {
+  const std::size_t count = particles_.size();
+  std::vector<float> f32(count);
+  auto narrow = [&](const std::vector<double>& src) {
+    for (std::size_t i = 0; i < count; ++i) {
+      f32[i] = static_cast<float>(src[i]);
+    }
+    return std::span<const float>(f32);
+  };
+  REPRO_RETURN_IF_ERROR(writer.add_field_f32("X", narrow(particles_.x)));
+  REPRO_RETURN_IF_ERROR(writer.add_field_f32("Y", narrow(particles_.y)));
+  REPRO_RETURN_IF_ERROR(writer.add_field_f32("Z", narrow(particles_.z)));
+  REPRO_RETURN_IF_ERROR(writer.add_field_f32("VX", narrow(particles_.vx)));
+  REPRO_RETURN_IF_ERROR(writer.add_field_f32("VY", narrow(particles_.vy)));
+  REPRO_RETURN_IF_ERROR(writer.add_field_f32("VZ", narrow(particles_.vz)));
+  REPRO_RETURN_IF_ERROR(writer.add_field_f32("PHI", narrow(particles_.phi)));
+  return repro::Status::ok();
+}
+
+repro::Status HaccLite::restore_from_checkpoint(
+    const ckpt::CheckpointReader& reader) {
+  const std::size_t count = config_.num_particles;
+  if (reader.data_bytes() != checkpoint_bytes(count)) {
+    return repro::failed_precondition(
+        "checkpoint holds a different particle count");
+  }
+  // Allocate state without re-randomizing it.
+  particles_.resize(count);
+  ax_.resize(count);
+  ay_.resize(count);
+  az_.resize(count);
+  deposit_order_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    deposit_order_[i] = static_cast<std::uint32_t>(i);
+  }
+
+  auto load_field = [&](const char* name,
+                        std::vector<double>& dest) -> repro::Status {
+    REPRO_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> bytes,
+                           reader.read_field(name));
+    if (bytes.size() != count * sizeof(float)) {
+      return repro::corrupt_data(std::string("field ") + name +
+                                 " has unexpected size");
+    }
+    const auto* values = reinterpret_cast<const float*>(bytes.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      dest[i] = static_cast<double>(values[i]);
+    }
+    return repro::Status::ok();
+  };
+  REPRO_RETURN_IF_ERROR(load_field("X", particles_.x));
+  REPRO_RETURN_IF_ERROR(load_field("Y", particles_.y));
+  REPRO_RETURN_IF_ERROR(load_field("Z", particles_.z));
+  REPRO_RETURN_IF_ERROR(load_field("VX", particles_.vx));
+  REPRO_RETURN_IF_ERROR(load_field("VY", particles_.vy));
+  REPRO_RETURN_IF_ERROR(load_field("VZ", particles_.vz));
+  REPRO_RETURN_IF_ERROR(load_field("PHI", particles_.phi));
+  iteration_ = reader.info().iteration;
+  return repro::Status::ok();
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,78 @@
+// haccette: a self-contained P3M N-body mini-app standing in for HACC.
+//
+// The comparison runtime only ever sees checkpoint files of F32 particle
+// fields (Table 1: X, Y, Z, VX, VY, VZ, PHI), so what the substitute must
+// reproduce is (a) that field layout and (b) HACC's run-to-run divergence
+// character: tiny floating-point reduction-order differences that chaotic
+// gravitational dynamics amplify into spatially clustered discrepancies.
+// haccette implements the same algorithmic skeleton HACC's evaluation used
+// (particle-particle particle-mesh over 50 iterations) at laptop scale, with
+// the nondeterminism injectable and tunable (NoiseConfig).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ckpt/format.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "sim/config.hpp"
+#include "sim/mesh.hpp"
+
+namespace repro::sim {
+
+class HaccLite {
+ public:
+  explicit HaccLite(SimConfig config);
+
+  /// Deterministic initial conditions from config.seed: particles on a
+  /// jittered lattice with Gaussian velocities (identical for both runs).
+  repro::Status initialize();
+
+  /// One leapfrog step: PM deposit/solve/gather (+ optional PP correction),
+  /// kick, drift with periodic wrap. Applies configured nondeterminism.
+  repro::Status step();
+
+  /// Run `steps` iterations, invoking `hook(iteration)` after each
+  /// iteration listed in `capture_iterations` completes.
+  repro::Status run(std::span<const std::uint64_t> capture_iterations,
+                    const std::function<repro::Status(std::uint64_t)>& hook);
+
+  /// Populate a checkpoint writer with the Table 1 fields (F32).
+  repro::Status add_checkpoint_fields(ckpt::CheckpointWriter& writer) const;
+
+  /// Suspend-resume (the checkpointing use case the paper's Section 1
+  /// cites): restore particle state from a previously captured checkpoint
+  /// and continue stepping from its iteration. The checkpoint must come
+  /// from a simulation of the same particle count. Note the F32 capture
+  /// narrows the internal F64 state, so a resumed run reproduces the
+  /// original at F32 precision, not bitwise in F64 (tested both ways).
+  repro::Status restore_from_checkpoint(const ckpt::CheckpointReader& reader);
+
+  [[nodiscard]] const Particles& particles() const noexcept {
+    return particles_;
+  }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint64_t iteration() const noexcept { return iteration_; }
+
+  /// Data-section bytes of a checkpoint of this problem size (7 F32 fields).
+  [[nodiscard]] static std::uint64_t checkpoint_bytes(
+      std::uint64_t num_particles) noexcept {
+    return num_particles * 7 * sizeof(float);
+  }
+
+ private:
+  void apply_pp_correction(std::vector<double>& ax, std::vector<double>& ay,
+                           std::vector<double>& az) const;
+
+  SimConfig config_;
+  PmSolver solver_;
+  Particles particles_;
+  Xoshiro256 noise_rng_;
+  std::uint64_t iteration_ = 0;
+  std::vector<std::uint32_t> deposit_order_;
+  std::vector<double> ax_, ay_, az_;
+};
+
+}  // namespace repro::sim

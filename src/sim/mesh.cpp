@@ -1,0 +1,168 @@
+#include "sim/mesh.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace repro::sim {
+
+void Particles::resize(std::size_t n) {
+  x.resize(n);
+  y.resize(n);
+  z.resize(n);
+  vx.resize(n);
+  vy.resize(n);
+  vz.resize(n);
+  phi.resize(n);
+}
+
+PmSolver::PmSolver(std::uint32_t mesh_dim, double box_size,
+                   double gravitational_constant)
+    : n_(mesh_dim),
+      box_(box_size),
+      cell_(box_size / mesh_dim),
+      gravity_(gravitational_constant),
+      density_(static_cast<std::size_t>(mesh_dim) * mesh_dim * mesh_dim),
+      potential_(density_.size()),
+      work_(density_.size()) {}
+
+namespace {
+
+/// CIC weights for one coordinate: cell index, neighbor index, weights.
+struct CicAxis {
+  std::uint32_t i0, i1;
+  double w0, w1;
+};
+
+CicAxis cic_axis(double position, double cell, std::uint32_t n) noexcept {
+  const double scaled = position / cell - 0.5;  // cell-centered grid
+  double base = std::floor(scaled);
+  const double frac = scaled - base;
+  long i = static_cast<long>(base);
+  // Periodic wrap (positions are kept in [0, box), so i is in [-1, n-1]).
+  const std::uint32_t i0 =
+      static_cast<std::uint32_t>((i % static_cast<long>(n) + n) %
+                                 static_cast<long>(n));
+  const std::uint32_t i1 = (i0 + 1) % n;
+  return {i0, i1, 1.0 - frac, frac};
+}
+
+}  // namespace
+
+void PmSolver::deposit(const Particles& particles,
+                       std::span<const std::uint32_t> order) {
+  std::fill(density_.begin(), density_.end(), 0.0);
+  const std::size_t count = particles.size();
+  // Mean density subtracted later via the k=0 mode; each particle deposits
+  // unit mass spread over its 8 surrounding cells.
+  for (std::size_t step = 0; step < count; ++step) {
+    const std::size_t p = order.empty() ? step : order[step];
+    const CicAxis ax = cic_axis(particles.x[p], cell_, n_);
+    const CicAxis ay = cic_axis(particles.y[p], cell_, n_);
+    const CicAxis az = cic_axis(particles.z[p], cell_, n_);
+    density_[idx(ax.i0, ay.i0, az.i0)] += ax.w0 * ay.w0 * az.w0;
+    density_[idx(ax.i0, ay.i0, az.i1)] += ax.w0 * ay.w0 * az.w1;
+    density_[idx(ax.i0, ay.i1, az.i0)] += ax.w0 * ay.w1 * az.w0;
+    density_[idx(ax.i0, ay.i1, az.i1)] += ax.w0 * ay.w1 * az.w1;
+    density_[idx(ax.i1, ay.i0, az.i0)] += ax.w1 * ay.w0 * az.w0;
+    density_[idx(ax.i1, ay.i0, az.i1)] += ax.w1 * ay.w0 * az.w1;
+    density_[idx(ax.i1, ay.i1, az.i0)] += ax.w1 * ay.w1 * az.w0;
+    density_[idx(ax.i1, ay.i1, az.i1)] += ax.w1 * ay.w1 * az.w1;
+  }
+  // Convert counts to density contrast per cell volume.
+  const double cell_volume = cell_ * cell_ * cell_;
+  for (auto& value : density_) value /= cell_volume;
+}
+
+repro::Status PmSolver::solve_potential() {
+  for (std::size_t i = 0; i < density_.size(); ++i) {
+    work_[i] = Complex{density_[i], 0.0};
+  }
+  REPRO_RETURN_IF_ERROR(fft3d_inplace(work_, n_, /*inverse=*/false));
+
+  // Discrete Green's function: phi_k = -4 pi G rho_k / k_eff^2 with
+  // k_eff^2 = (2/h)^2 * sum_axis sin^2(pi m / n) — the eigenvalues of the
+  // 7-point Laplacian, consistent with the finite-difference force gather.
+  const double four_pi_g = 4.0 * std::numbers::pi * gravity_;
+  const double inv_h2 = 1.0 / (cell_ * cell_);
+  auto sin2 = [this](std::uint32_t m) {
+    const double s = std::sin(std::numbers::pi * m / n_);
+    return s * s;
+  };
+  for (std::uint32_t x = 0; x < n_; ++x) {
+    for (std::uint32_t y = 0; y < n_; ++y) {
+      for (std::uint32_t z = 0; z < n_; ++z) {
+        const std::size_t i = idx(x, y, z);
+        if (x == 0 && y == 0 && z == 0) {
+          work_[i] = Complex{0.0, 0.0};  // remove mean (Jeans swindle)
+          continue;
+        }
+        const double k_eff2 = 4.0 * inv_h2 * (sin2(x) + sin2(y) + sin2(z));
+        work_[i] *= -four_pi_g / k_eff2;
+      }
+    }
+  }
+
+  REPRO_RETURN_IF_ERROR(fft3d_inplace(work_, n_, /*inverse=*/true));
+  for (std::size_t i = 0; i < potential_.size(); ++i) {
+    potential_[i] = work_[i].real();
+  }
+  return repro::Status::ok();
+}
+
+void PmSolver::gather(const Particles& particles, std::span<double> ax_out,
+                      std::span<double> ay_out, std::span<double> az_out,
+                      std::span<double> phi_out) const {
+  const double inv_2h = 1.0 / (2.0 * cell_);
+  auto wrap = [this](std::uint32_t i, int d) {
+    return static_cast<std::uint32_t>(
+        (static_cast<long>(i) + d + n_) % static_cast<long>(n_));
+  };
+  // Acceleration at a grid point: a = -grad(phi), central differences.
+  auto accel = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z,
+                   double* out) {
+    out[0] = -(potential_[idx(wrap(x, 1), y, z)] -
+               potential_[idx(wrap(x, -1), y, z)]) *
+             inv_2h;
+    out[1] = -(potential_[idx(x, wrap(y, 1), z)] -
+               potential_[idx(x, wrap(y, -1), z)]) *
+             inv_2h;
+    out[2] = -(potential_[idx(x, y, wrap(z, 1))] -
+               potential_[idx(x, y, wrap(z, -1))]) *
+             inv_2h;
+  };
+
+  const std::size_t count = particles.size();
+  for (std::size_t p = 0; p < count; ++p) {
+    const CicAxis cx = cic_axis(particles.x[p], cell_, n_);
+    const CicAxis cy = cic_axis(particles.y[p], cell_, n_);
+    const CicAxis cz = cic_axis(particles.z[p], cell_, n_);
+
+    double acc[3] = {0, 0, 0};
+    double phi = 0;
+    const std::uint32_t xs[2] = {cx.i0, cx.i1};
+    const std::uint32_t ys[2] = {cy.i0, cy.i1};
+    const std::uint32_t zs[2] = {cz.i0, cz.i1};
+    const double wx[2] = {cx.w0, cx.w1};
+    const double wy[2] = {cy.w0, cy.w1};
+    const double wz[2] = {cz.w0, cz.w1};
+    for (int a = 0; a < 2; ++a) {
+      for (int b = 0; b < 2; ++b) {
+        for (int c = 0; c < 2; ++c) {
+          const double w = wx[a] * wy[b] * wz[c];
+          double cell_acc[3];
+          accel(xs[a], ys[b], zs[c], cell_acc);
+          acc[0] += w * cell_acc[0];
+          acc[1] += w * cell_acc[1];
+          acc[2] += w * cell_acc[2];
+          phi += w * potential_[idx(xs[a], ys[b], zs[c])];
+        }
+      }
+    }
+    ax_out[p] = acc[0];
+    ay_out[p] = acc[1];
+    az_out[p] = acc[2];
+    phi_out[p] = phi;
+  }
+}
+
+}  // namespace repro::sim

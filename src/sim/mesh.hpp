@@ -1,0 +1,71 @@
+// Particle-mesh gravity solver: cloud-in-cell mass deposit, FFT Poisson
+// solve with the discrete (sin^2) Green's function, finite-difference
+// forces, and cloud-in-cell gather back to particles. The "PM" in P3M.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sim/config.hpp"
+#include "sim/fft.hpp"
+
+namespace repro::sim {
+
+/// SoA particle state (positions/velocities in box units, phi is the
+/// gathered gravitational potential — the fields of Table 1).
+struct Particles {
+  std::vector<double> x, y, z;
+  std::vector<double> vx, vy, vz;
+  std::vector<double> phi;
+
+  [[nodiscard]] std::size_t size() const noexcept { return x.size(); }
+  void resize(std::size_t n);
+};
+
+class PmSolver {
+ public:
+  PmSolver(std::uint32_t mesh_dim, double box_size,
+           double gravitational_constant);
+
+  /// CIC-deposit particle mass onto the density mesh. `order` optionally
+  /// permutes the accumulation sequence (nullptr = natural order); with
+  /// floating-point '+', different orders give slightly different meshes —
+  /// the modeled nondeterminism source.
+  void deposit(const Particles& particles,
+               std::span<const std::uint32_t> order);
+
+  /// FFT Poisson solve of the deposited density into the potential mesh.
+  repro::Status solve_potential();
+
+  /// CIC-gather potential and finite-difference accelerations at each
+  /// particle position into (ax, ay, az, phi).
+  void gather(const Particles& particles, std::span<double> ax,
+              std::span<double> ay, std::span<double> az,
+              std::span<double> phi) const;
+
+  [[nodiscard]] std::uint32_t mesh_dim() const noexcept { return n_; }
+  [[nodiscard]] std::span<const double> density() const noexcept {
+    return density_;
+  }
+  [[nodiscard]] std::span<const double> potential() const noexcept {
+    return potential_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(std::uint32_t x, std::uint32_t y,
+                                std::uint32_t z) const noexcept {
+    return (static_cast<std::size_t>(x) * n_ + y) * n_ + z;
+  }
+
+  std::uint32_t n_;
+  double box_;
+  double cell_;  ///< box_ / n_
+  double gravity_;
+  std::vector<double> density_;
+  std::vector<double> potential_;
+  std::vector<Complex> work_;
+};
+
+}  // namespace repro::sim

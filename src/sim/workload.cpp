@@ -1,0 +1,78 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+
+namespace repro::sim {
+
+std::vector<float> generate_field(std::uint64_t count, std::uint64_t seed) {
+  std::vector<float> values(count);
+  repro::Xoshiro256 rng(seed);
+  // Three incommensurate modes + noise keeps neighbouring chunks distinct
+  // (so hash pruning cannot cheat via repeated content).
+  const double f1 = 2 * std::numbers::pi / 937.0;
+  const double f2 = 2 * std::numbers::pi / 104729.0;
+  const double f3 = 2 * std::numbers::pi / 17.0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto t = static_cast<double>(i);
+    const double smooth =
+        std::sin(t * f1) + 0.5 * std::sin(t * f2) + 0.25 * std::sin(t * f3);
+    values[i] = static_cast<float>(smooth + 0.05 * rng.next_gaussian());
+  }
+  return values;
+}
+
+void apply_divergence(std::span<float> values, const DivergenceSpec& spec) {
+  if (values.empty() || spec.region_fraction <= 0 || spec.magnitude <= 0) {
+    return;
+  }
+  const std::uint64_t region = std::max<std::uint64_t>(1, spec.region_values);
+  const std::uint64_t num_regions =
+      (values.size() + region - 1) / region;
+  auto touched = static_cast<std::uint64_t>(
+      std::llround(spec.region_fraction * static_cast<double>(num_regions)));
+  touched = std::min(touched, num_regions);
+  if (touched == 0) return;
+
+  // Choose `touched` distinct regions via partial Fisher-Yates.
+  std::vector<std::uint64_t> regions(num_regions);
+  for (std::uint64_t i = 0; i < num_regions; ++i) regions[i] = i;
+  repro::Xoshiro256 rng(spec.seed);
+  for (std::uint64_t i = 0; i < touched; ++i) {
+    const std::uint64_t j = i + rng.next_below(num_regions - i);
+    std::swap(regions[i], regions[j]);
+  }
+
+  for (std::uint64_t r = 0; r < touched; ++r) {
+    const std::uint64_t begin = regions[r] * region;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + region, values.size());
+    for (std::uint64_t i = begin; i < end; ++i) {
+      // Amplitude in [magnitude/2, magnitude], random sign: decisively
+      // above eps when eps <= magnitude/2, decisively below when
+      // eps >= magnitude (modulo F32 representation error).
+      const double amplitude =
+          spec.magnitude * (0.5 + 0.5 * rng.next_double());
+      const double sign = rng.next_double() < 0.5 ? -1.0 : 1.0;
+      values[i] = static_cast<float>(static_cast<double>(values[i]) +
+                                     sign * amplitude);
+    }
+  }
+}
+
+std::uint64_t count_exceeding(std::span<const float> run_a,
+                              std::span<const float> run_b, double bound) {
+  const std::size_t count = std::min(run_a.size(), run_b.size());
+  std::uint64_t exceeding = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double delta = std::abs(static_cast<double>(run_a[i]) -
+                                  static_cast<double>(run_b[i]));
+    if (delta > bound) ++exceeding;
+  }
+  return exceeding;
+}
+
+}  // namespace repro::sim

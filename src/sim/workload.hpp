@@ -1,0 +1,43 @@
+// Synthetic divergence workloads for the benchmark harnesses.
+//
+// The paper's figures sweep error bounds against checkpoints whose
+// run-to-run deltas have a particular statistical shape (HACC's divergence
+// is small-magnitude and spatially clustered). Driving every bench cell
+// through the full mini-app would be slow and hard to control, so benches
+// use this generator: run B is derived from run A by perturbing a chosen
+// fraction of contiguous regions at chosen magnitudes. The mini-app remains
+// the end-to-end path for the examples and integration tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace repro::sim {
+
+struct DivergenceSpec {
+  /// Fraction of the checkpoint's contiguous regions to perturb, in [0, 1].
+  double region_fraction = 0.01;
+  /// Values per perturbed contiguous region (clustering knob).
+  std::uint64_t region_values = 1024;
+  /// Perturbation amplitude: each touched value moves by a uniform draw
+  /// from [magnitude/2, magnitude] (signed), so a sweep with error bound
+  /// eps < magnitude/2 must flag every touched value and eps > magnitude
+  /// must flag none.
+  double magnitude = 1e-4;
+  std::uint64_t seed = 7;
+};
+
+/// Smooth pseudo-physical base field: mixture of sinusoidal modes plus
+/// seeded noise, values O(1) (so absolute error bounds 1e-3..1e-7 bite the
+/// way they do on HACC coordinates).
+std::vector<float> generate_field(std::uint64_t count, std::uint64_t seed);
+
+/// Derive run B from run A in place.
+void apply_divergence(std::span<float> values, const DivergenceSpec& spec);
+
+/// Count of values whose |a - b| exceeds `bound` (ground truth helper).
+std::uint64_t count_exceeding(std::span<const float> run_a,
+                              std::span<const float> run_b, double bound);
+
+}  // namespace repro::sim

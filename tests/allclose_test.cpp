@@ -1,0 +1,122 @@
+#include "baseline/allclose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "ckpt/format.hpp"
+#include "common/fs.hpp"
+#include "sim/workload.hpp"
+
+namespace repro::baseline {
+namespace {
+
+void write_ckpt(const std::filesystem::path& path,
+                const std::vector<float>& x) {
+  ckpt::CheckpointWriter writer("test", "run", 1, 0);
+  ASSERT_TRUE(writer.add_field_f32("X", x).is_ok());
+  ASSERT_TRUE(writer.write(path).is_ok());
+}
+
+TEST(AllClose, IdenticalFilesPass) {
+  repro::TempDir dir{"allclose-test"};
+  const auto x = sim::generate_field(10000, 1);
+  write_ckpt(dir.file("a.ckpt"), x);
+  write_ckpt(dir.file("b.ckpt"), x);
+  const auto report =
+      allclose_files(dir.file("a.ckpt"), dir.file("b.ckpt"), {.atol = 1e-7});
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report.value().all_close);
+  EXPECT_EQ(report.value().values_compared, 10000U);
+  EXPECT_EQ(report.value().values_exceeding, 0U);
+  EXPECT_GT(report.value().total_seconds, 0.0);
+}
+
+TEST(AllClose, DetectsDivergenceButOnlyCounts) {
+  repro::TempDir dir{"allclose-test"};
+  const auto x = sim::generate_field(10000, 2);
+  auto x_b = x;
+  sim::apply_divergence(x_b, {.region_fraction = 0.1, .region_values = 100,
+                              .magnitude = 1e-3});
+  write_ckpt(dir.file("a.ckpt"), x);
+  write_ckpt(dir.file("b.ckpt"), x_b);
+  const auto report =
+      allclose_files(dir.file("a.ckpt"), dir.file("b.ckpt"), {.atol = 1e-5});
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_FALSE(report.value().all_close);
+  EXPECT_EQ(report.value().values_exceeding,
+            sim::count_exceeding(x, x_b, 1e-5));
+}
+
+TEST(AllClose, AtolSemanticsInclusive) {
+  // NumPy: close iff |a-b| <= atol + rtol|b|. Exactly-atol must pass.
+  repro::TempDir dir{"allclose-test"};
+  write_ckpt(dir.file("a.ckpt"), {0.0f});
+  write_ckpt(dir.file("b.ckpt"), {0.5f});
+  EXPECT_TRUE(allclose_files(dir.file("a.ckpt"), dir.file("b.ckpt"),
+                             {.atol = 0.5})
+                  .value()
+                  .all_close);
+  EXPECT_FALSE(allclose_files(dir.file("a.ckpt"), dir.file("b.ckpt"),
+                              {.atol = 0.499})
+                   .value()
+                   .all_close);
+}
+
+TEST(AllClose, RtolScalesWithMagnitude) {
+  repro::TempDir dir{"allclose-test"};
+  write_ckpt(dir.file("a.ckpt"), {100.0f, 0.001f});
+  write_ckpt(dir.file("b.ckpt"), {101.0f, 0.002f});
+  // rtol=0.02 tolerates the 1% drift at 100 but not the 2x at 0.001...
+  AllCloseOptions options;
+  options.atol = 0.0;
+  options.rtol = 0.02;
+  const auto report =
+      allclose_files(dir.file("a.ckpt"), dir.file("b.ckpt"), options);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().values_exceeding, 1U);
+}
+
+TEST(AllClose, NanIsNeverClose) {
+  repro::TempDir dir{"allclose-test"};
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  write_ckpt(dir.file("a.ckpt"), {nan, 1.0f});
+  write_ckpt(dir.file("b.ckpt"), {nan, 1.0f});
+  // NumPy default equal_nan=False: NaN vs NaN fails.
+  const auto report =
+      allclose_files(dir.file("a.ckpt"), dir.file("b.ckpt"), {.atol = 1.0});
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_FALSE(report.value().all_close);
+  EXPECT_EQ(report.value().values_exceeding, 1U);
+}
+
+TEST(AllClose, SizeMismatchRejected) {
+  repro::TempDir dir{"allclose-test"};
+  write_ckpt(dir.file("a.ckpt"), sim::generate_field(100, 3));
+  write_ckpt(dir.file("b.ckpt"), sim::generate_field(200, 3));
+  EXPECT_FALSE(
+      allclose_files(dir.file("a.ckpt"), dir.file("b.ckpt"), {}).is_ok());
+}
+
+TEST(AllClose, MissingFileRejected) {
+  repro::TempDir dir{"allclose-test"};
+  write_ckpt(dir.file("a.ckpt"), sim::generate_field(100, 4));
+  EXPECT_FALSE(
+      allclose_files(dir.file("a.ckpt"), dir.file("missing.ckpt"), {})
+          .is_ok());
+}
+
+TEST(AllClose, ThroughputIsPositive) {
+  repro::TempDir dir{"allclose-test"};
+  const auto x = sim::generate_field(50000, 5);
+  write_ckpt(dir.file("a.ckpt"), x);
+  write_ckpt(dir.file("b.ckpt"), x);
+  const auto report =
+      allclose_files(dir.file("a.ckpt"), dir.file("b.ckpt"), {});
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_GT(report.value().throughput_bytes_per_second(), 0.0);
+  EXPECT_EQ(report.value().data_bytes, 200000U);
+}
+
+}  // namespace
+}  // namespace repro::baseline

@@ -1,0 +1,163 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace repro {
+namespace {
+
+TEST(ParseSize, PlainNumbers) {
+  EXPECT_EQ(parse_size("0").value(), 0U);
+  EXPECT_EQ(parse_size("4096").value(), 4096U);
+  EXPECT_EQ(parse_size("123456789").value(), 123456789U);
+}
+
+TEST(ParseSize, BinarySuffixes) {
+  EXPECT_EQ(parse_size("4K").value(), 4096U);
+  EXPECT_EQ(parse_size("4k").value(), 4096U);
+  EXPECT_EQ(parse_size("4KB").value(), 4096U);
+  EXPECT_EQ(parse_size("4KiB").value(), 4096U);
+  EXPECT_EQ(parse_size("2M").value(), 2 * kMiB);
+  EXPECT_EQ(parse_size("1G").value(), kGiB);
+  EXPECT_EQ(parse_size("512B").value(), 512U);
+}
+
+TEST(ParseSize, Rejections) {
+  EXPECT_FALSE(parse_size("").is_ok());
+  EXPECT_FALSE(parse_size("K").is_ok());
+  EXPECT_FALSE(parse_size("4X").is_ok());
+  EXPECT_FALSE(parse_size("4KX").is_ok());
+  EXPECT_FALSE(parse_size("4K4").is_ok());
+  EXPECT_FALSE(parse_size("-4K").is_ok());
+}
+
+TEST(ParseSize, OverflowDetected) {
+  EXPECT_FALSE(parse_size("99999999999999999999999").is_ok());
+  EXPECT_FALSE(parse_size("18446744073709551615G").is_ok());
+}
+
+TEST(FormatSize, Units) {
+  EXPECT_EQ(format_size(0), "0 B");
+  EXPECT_EQ(format_size(512), "512 B");
+  EXPECT_EQ(format_size(4096), "4 KB");
+  EXPECT_EQ(format_size(kMiB + kMiB / 2), "1.5 MB");
+  EXPECT_EQ(format_size(28 * kGiB), "28 GB");
+}
+
+TEST(FormatSize, RoundTripsParse) {
+  for (const std::uint64_t bytes : {4 * kKiB, 64 * kKiB, 2 * kMiB, 7 * kGiB}) {
+    const std::string text = format_size(bytes);
+    // "4 KB" -> "4KB" for the parser.
+    std::string compact;
+    for (const char c : text) {
+      if (c != ' ') compact += c;
+    }
+    EXPECT_EQ(parse_size(compact).value(), bytes) << text;
+  }
+}
+
+TEST(FormatThroughput, Units) {
+  EXPECT_EQ(format_throughput(2.0 * static_cast<double>(kGiB)), "2.00 GB/s");
+  EXPECT_EQ(format_throughput(3.5 * static_cast<double>(kMiB)), "3.50 MB/s");
+  EXPECT_EQ(format_throughput(10.0 * static_cast<double>(kKiB)),
+            "10.00 KB/s");
+}
+
+TEST(CeilDiv, Basics) {
+  EXPECT_EQ(ceil_div(0, 4), 0U);
+  EXPECT_EQ(ceil_div(1, 4), 1U);
+  EXPECT_EQ(ceil_div(4, 4), 1U);
+  EXPECT_EQ(ceil_div(5, 4), 2U);
+  EXPECT_EQ(ceil_div(8, 4), 2U);
+}
+
+TEST(NextPow2, Basics) {
+  EXPECT_EQ(next_pow2(0), 1U);
+  EXPECT_EQ(next_pow2(1), 1U);
+  EXPECT_EQ(next_pow2(2), 2U);
+  EXPECT_EQ(next_pow2(3), 4U);
+  EXPECT_EQ(next_pow2(4), 4U);
+  EXPECT_EQ(next_pow2(5), 8U);
+  EXPECT_EQ(next_pow2(1023), 1024U);
+  EXPECT_EQ(next_pow2(1025), 2048U);
+  EXPECT_EQ(next_pow2(std::uint64_t{1} << 62), std::uint64_t{1} << 62);
+}
+
+TEST(IsPow2, Basics) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 40));
+  EXPECT_FALSE(is_pow2((1ULL << 40) + 1));
+}
+
+TEST(ByteCodec, RoundTripScalars) {
+  std::vector<std::uint8_t> buffer;
+  ByteWriter writer(buffer);
+  writer.put_u8(0xAB);
+  writer.put_u32(0xDEADBEEF);
+  writer.put_u64(0x0123456789ABCDEFULL);
+  writer.put_f64(3.14159);
+  writer.put_string("hello");
+
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.get_u8().value(), 0xAB);
+  EXPECT_EQ(reader.get_u32().value(), 0xDEADBEEFU);
+  EXPECT_EQ(reader.get_u64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(reader.get_f64().value(), 3.14159);
+  EXPECT_EQ(reader.get_string().value(), "hello");
+  EXPECT_EQ(reader.remaining(), 0U);
+}
+
+TEST(ByteCodec, EmptyString) {
+  std::vector<std::uint8_t> buffer;
+  ByteWriter writer(buffer);
+  writer.put_string("");
+  ByteReader reader(buffer);
+  EXPECT_EQ(reader.get_string().value(), "");
+}
+
+TEST(ByteCodec, RawBytes) {
+  std::vector<std::uint8_t> buffer;
+  ByteWriter writer(buffer);
+  const std::uint8_t payload[4] = {1, 2, 3, 4};
+  writer.put_bytes(payload);
+  ByteReader reader(buffer);
+  std::uint8_t out[4] = {};
+  ASSERT_TRUE(reader.get_bytes(out).is_ok());
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[3], 4);
+}
+
+TEST(ByteCodec, ShortReadIsError) {
+  std::vector<std::uint8_t> buffer{1, 2};
+  ByteReader reader(buffer);
+  EXPECT_FALSE(reader.get_u64().is_ok());
+  EXPECT_EQ(reader.get_u64().status().code(), StatusCode::kCorruptData);
+}
+
+TEST(ByteCodec, StringLengthBeyondBufferIsError) {
+  std::vector<std::uint8_t> buffer;
+  ByteWriter writer(buffer);
+  writer.put_u32(100);  // claims 100 bytes follow; none do
+  ByteReader reader(buffer);
+  EXPECT_FALSE(reader.get_string().is_ok());
+}
+
+TEST(ByteCodec, SpecialFloatValues) {
+  std::vector<std::uint8_t> buffer;
+  ByteWriter writer(buffer);
+  writer.put_f64(std::numeric_limits<double>::infinity());
+  writer.put_f64(-0.0);
+  ByteReader reader(buffer);
+  EXPECT_TRUE(std::isinf(reader.get_f64().value()));
+  const double neg_zero = reader.get_f64().value();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+}
+
+}  // namespace
+}  // namespace repro

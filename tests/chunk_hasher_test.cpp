@@ -1,0 +1,171 @@
+#include "hash/chunk_hasher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hash/quantize.hpp"
+
+namespace repro::hash {
+namespace {
+
+std::vector<float> random_chunk(std::size_t count, std::uint64_t seed) {
+  repro::Xoshiro256 rng(seed);
+  std::vector<float> values(count);
+  for (auto& v : values) {
+    v = static_cast<float>((rng.next_double() * 2 - 1) * 10.0);
+  }
+  return values;
+}
+
+TEST(ValidateHashParams, AcceptsDefaults) {
+  EXPECT_TRUE(validate(HashParams{}).is_ok());
+}
+
+TEST(ValidateHashParams, RejectsBadErrorBound) {
+  EXPECT_FALSE(validate(HashParams{.error_bound = 0.0}).is_ok());
+  EXPECT_FALSE(validate(HashParams{.error_bound = -1e-6}).is_ok());
+  EXPECT_FALSE(validate(HashParams{
+      .error_bound = std::numeric_limits<double>::infinity()}).is_ok());
+  EXPECT_FALSE(validate(HashParams{
+      .error_bound = std::numeric_limits<double>::quiet_NaN()}).is_ok());
+}
+
+TEST(ValidateHashParams, RejectsBadBlockSize) {
+  EXPECT_FALSE(validate(HashParams{.values_per_block = 0}).is_ok());
+  EXPECT_FALSE(validate(HashParams{.values_per_block = 5000}).is_ok());
+  EXPECT_TRUE(validate(HashParams{.values_per_block = 4096}).is_ok());
+}
+
+TEST(ChunkHasher, Deterministic) {
+  const auto chunk = random_chunk(1000, 1);
+  const HashParams params{.error_bound = 1e-5};
+  EXPECT_EQ(hash_chunk_f32(chunk, params), hash_chunk_f32(chunk, params));
+}
+
+TEST(ChunkHasher, EmptyChunkUsesSeed) {
+  const HashParams params;
+  EXPECT_EQ(hash_chunk_f32({}, params, 0), (Digest128{0, 0}));
+  EXPECT_EQ(hash_chunk_f32({}, params, 9), (Digest128{9, 9}));
+}
+
+TEST(ChunkHasher, SeedPropagates) {
+  const auto chunk = random_chunk(100, 2);
+  const HashParams params;
+  EXPECT_NE(hash_chunk_f32(chunk, params, 1), hash_chunk_f32(chunk, params, 2));
+}
+
+TEST(ChunkHasher, PerturbationAboveBoundChangesDigest) {
+  auto chunk = random_chunk(512, 3);
+  const HashParams params{.error_bound = 1e-5};
+  const Digest128 base = hash_chunk_f32(chunk, params);
+  for (const std::size_t victim : {0UL, 3UL, 4UL, 255UL, 511UL}) {
+    const float original = chunk[victim];
+    chunk[victim] += 1e-3f;  // 100x the bound
+    EXPECT_NE(hash_chunk_f32(chunk, params), base) << "victim " << victim;
+    chunk[victim] = original;
+  }
+  EXPECT_EQ(hash_chunk_f32(chunk, params), base);
+}
+
+TEST(ChunkHasher, ValuesInSameCellHashIdentically) {
+  // Construct run B by nudging each value *within its own grid cell*: both
+  // runs quantize identically, so the digests must match even though the
+  // raw bytes differ.
+  const double eps = 1e-4;
+  const HashParams params{.error_bound = eps};
+  auto run_a = random_chunk(1024, 4);
+  auto run_b = run_a;
+  for (auto& v : run_b) {
+    const double center = static_cast<double>(quantize(v, eps)) * eps;
+    v = static_cast<float>(center + 0.2 * eps);  // stays inside the cell
+  }
+  for (auto& v : run_a) {
+    const double center = static_cast<double>(quantize(v, eps)) * eps;
+    v = static_cast<float>(center - 0.2 * eps);
+  }
+  EXPECT_EQ(hash_chunk_f32(run_a, params), hash_chunk_f32(run_b, params));
+}
+
+TEST(ChunkHasher, OrderSensitive) {
+  // Block chaining makes the digest depend on value order — two chunks with
+  // the same multiset of values but different layouts must differ.
+  std::vector<float> forward(64);
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    forward[i] = static_cast<float>(i);
+  }
+  std::vector<float> reversed(forward.rbegin(), forward.rend());
+  const HashParams params;
+  EXPECT_NE(hash_chunk_f32(forward, params), hash_chunk_f32(reversed, params));
+}
+
+TEST(ChunkHasher, BlockSizeChangesDigest) {
+  const auto chunk = random_chunk(256, 5);
+  const Digest128 small_blocks =
+      hash_chunk_f32(chunk, {.error_bound = 1e-5, .values_per_block = 4});
+  const Digest128 large_blocks =
+      hash_chunk_f32(chunk, {.error_bound = 1e-5, .values_per_block = 64});
+  EXPECT_NE(small_blocks, large_blocks);
+}
+
+TEST(ChunkHasher, TailBlockHandled) {
+  // 10 values with 4-value blocks leaves a 2-value tail; all lengths near
+  // the block boundary must produce distinct, stable digests.
+  const HashParams params{.values_per_block = 4};
+  const auto chunk = random_chunk(10, 6);
+  std::vector<Digest128> digests;
+  for (std::size_t len = 7; len <= 10; ++len) {
+    digests.push_back(
+        hash_chunk_f32(std::span<const float>(chunk.data(), len), params));
+  }
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    for (std::size_t j = i + 1; j < digests.size(); ++j) {
+      EXPECT_NE(digests[i], digests[j]);
+    }
+  }
+}
+
+TEST(ChunkHasher, ErrorBoundChangesDigest) {
+  const auto chunk = random_chunk(128, 7);
+  EXPECT_NE(hash_chunk_f32(chunk, {.error_bound = 1e-4}),
+            hash_chunk_f32(chunk, {.error_bound = 1e-5}));
+}
+
+TEST(ChunkHasherF64, SameGuaranteesAtDoublePrecision) {
+  repro::Xoshiro256 rng(8);
+  std::vector<double> run_a(256);
+  for (auto& v : run_a) v = (rng.next_double() * 2 - 1) * 5.0;
+  auto run_b = run_a;
+  const HashParams params{.error_bound = 1e-9};
+  EXPECT_EQ(hash_chunk_f64(run_a, params), hash_chunk_f64(run_b, params));
+  run_b[100] += 1e-7;
+  EXPECT_NE(hash_chunk_f64(run_a, params), hash_chunk_f64(run_b, params));
+}
+
+TEST(ChunkHasherBytes, BitwiseSensitivity) {
+  std::vector<std::uint8_t> bytes(300, 0xCC);
+  const Digest128 base = hash_chunk_bytes(bytes, 16);
+  bytes[299] ^= 0x01;
+  EXPECT_NE(hash_chunk_bytes(bytes, 16), base);
+}
+
+TEST(ChunkHasherBytes, ZeroBlockSizeDefaults) {
+  const std::vector<std::uint8_t> bytes(64, 0x1);
+  EXPECT_EQ(hash_chunk_bytes(bytes, 0), hash_chunk_bytes(bytes, 16));
+}
+
+TEST(ChunkHasher, NanValuesAreStable) {
+  std::vector<float> chunk(16, 1.0f);
+  chunk[3] = std::numeric_limits<float>::quiet_NaN();
+  const HashParams params;
+  EXPECT_EQ(hash_chunk_f32(chunk, params), hash_chunk_f32(chunk, params));
+  // NaN vs finite must differ.
+  auto other = chunk;
+  other[3] = 1.0f;
+  EXPECT_NE(hash_chunk_f32(chunk, params), hash_chunk_f32(other, params));
+}
+
+}  // namespace
+}  // namespace repro::hash

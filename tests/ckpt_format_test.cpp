@@ -1,0 +1,182 @@
+#include "ckpt/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/fs.hpp"
+#include "common/rng.hpp"
+
+namespace repro::ckpt {
+namespace {
+
+std::vector<float> random_values(std::size_t count, std::uint64_t seed) {
+  repro::Xoshiro256 rng(seed);
+  std::vector<float> values(count);
+  for (auto& v : values) v = rng.next_float() * 100.0f;
+  return values;
+}
+
+CheckpointWriter sample_writer() {
+  CheckpointWriter writer("haccette", "run-1", 20, 3);
+  EXPECT_TRUE(writer.add_field_f32("X", random_values(1000, 1)).is_ok());
+  EXPECT_TRUE(writer.add_field_f32("Y", random_values(1000, 2)).is_ok());
+  EXPECT_TRUE(writer.add_field_f32("PHI", random_values(1000, 3)).is_ok());
+  return writer;
+}
+
+TEST(CheckpointWriter, TracksFieldLayout) {
+  const CheckpointWriter writer = sample_writer();
+  const CheckpointInfo& info = writer.info();
+  ASSERT_EQ(info.fields.size(), 3U);
+  EXPECT_EQ(info.fields[0].name, "X");
+  EXPECT_EQ(info.fields[0].data_offset, 0U);
+  EXPECT_EQ(info.fields[1].data_offset, 4000U);
+  EXPECT_EQ(info.fields[2].data_offset, 8000U);
+  EXPECT_EQ(info.data_bytes(), 12000U);
+  EXPECT_EQ(writer.data_section().size(), 12000U);
+}
+
+TEST(CheckpointWriter, RejectsDuplicateFieldNames) {
+  CheckpointWriter writer("app", "run", 0, 0);
+  ASSERT_TRUE(writer.add_field_f32("X", random_values(10, 1)).is_ok());
+  const repro::Status status = writer.add_field_f32("X", random_values(10, 2));
+  EXPECT_EQ(status.code(), repro::StatusCode::kAlreadyExists);
+}
+
+TEST(CheckpointWriter, MixedKindsTracked) {
+  CheckpointWriter writer("app", "run", 0, 0);
+  std::vector<double> doubles(100, 3.25);
+  std::vector<std::uint8_t> blob(50, 0xEE);
+  ASSERT_TRUE(writer.add_field_f32("f", random_values(10, 1)).is_ok());
+  ASSERT_TRUE(writer.add_field_f64("d", doubles).is_ok());
+  ASSERT_TRUE(writer.add_field_bytes("b", blob).is_ok());
+  EXPECT_EQ(writer.info().data_bytes(), 40U + 800U + 50U);
+  EXPECT_EQ(writer.info().fields[1].kind, merkle::ValueKind::kF64);
+  EXPECT_EQ(writer.info().fields[2].kind, merkle::ValueKind::kBytes);
+}
+
+TEST(FieldAt, LocatesContainingField) {
+  const CheckpointWriter writer = sample_writer();
+  const CheckpointInfo& info = writer.info();
+  EXPECT_EQ(info.field_at(0)->name, "X");
+  EXPECT_EQ(info.field_at(3999)->name, "X");
+  EXPECT_EQ(info.field_at(4000)->name, "Y");
+  EXPECT_EQ(info.field_at(11999)->name, "PHI");
+  EXPECT_EQ(info.field_at(12000), nullptr);
+}
+
+TEST(HeaderCodec, RoundTrip) {
+  const CheckpointWriter writer = sample_writer();
+  const auto header = encode_header(writer.info());
+  ASSERT_TRUE(header.is_ok());
+  EXPECT_EQ(header.value().size(), kHeaderBytes);
+  const auto decoded = decode_header(header.value());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().application, "haccette");
+  EXPECT_EQ(decoded.value().run_id, "run-1");
+  EXPECT_EQ(decoded.value().iteration, 20U);
+  EXPECT_EQ(decoded.value().rank, 3U);
+  ASSERT_EQ(decoded.value().fields.size(), 3U);
+  EXPECT_EQ(decoded.value().fields[2].name, "PHI");
+  EXPECT_EQ(decoded.value().fields[2].element_count, 1000U);
+}
+
+TEST(HeaderCodec, RejectsOversizedHeader) {
+  CheckpointWriter writer("app", "run", 0, 0);
+  // ~200 fields with long names blow past the 4 KiB header region.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(writer
+                    .add_field_f32("field-with-a-rather-long-name-" +
+                                       std::to_string(i),
+                                   random_values(1, i))
+                    .is_ok());
+  }
+  EXPECT_FALSE(encode_header(writer.info()).is_ok());
+}
+
+TEST(HeaderCodec, RejectsBadMagic) {
+  std::vector<std::uint8_t> header(kHeaderBytes, 0);
+  EXPECT_EQ(decode_header(header).status().code(),
+            repro::StatusCode::kCorruptData);
+}
+
+TEST(CheckpointFile, WriteOpenRoundTrip) {
+  repro::TempDir dir{"ckpt-test"};
+  const CheckpointWriter writer = sample_writer();
+  const auto path = dir.file("test.ckpt");
+  ASSERT_TRUE(writer.write(path).is_ok());
+
+  EXPECT_EQ(repro::file_size(path).value(), kHeaderBytes + 12000U);
+
+  const auto reader = CheckpointReader::open(path);
+  ASSERT_TRUE(reader.is_ok()) << reader.status().to_string();
+  EXPECT_EQ(reader.value().info().application, "haccette");
+  EXPECT_EQ(reader.value().data_offset(), kHeaderBytes);
+  EXPECT_EQ(reader.value().data_bytes(), 12000U);
+
+  const auto data = reader.value().read_data();
+  ASSERT_TRUE(data.is_ok());
+  ASSERT_EQ(data.value().size(), 12000U);
+  EXPECT_EQ(0, std::memcmp(data.value().data(), writer.data_section().data(),
+                           12000));
+}
+
+TEST(CheckpointFile, ReadFieldExtractsPayload) {
+  repro::TempDir dir{"ckpt-test"};
+  const CheckpointWriter writer = sample_writer();
+  const auto path = dir.file("test.ckpt");
+  ASSERT_TRUE(writer.write(path).is_ok());
+  const auto reader = CheckpointReader::open(path).value();
+
+  const auto field = reader.read_field("Y");
+  ASSERT_TRUE(field.is_ok());
+  ASSERT_EQ(field.value().size(), 4000U);
+  EXPECT_EQ(0, std::memcmp(field.value().data(),
+                           writer.data_section().data() + 4000, 4000));
+
+  EXPECT_EQ(reader.read_field("NOPE").status().code(),
+            repro::StatusCode::kNotFound);
+}
+
+TEST(CheckpointFile, OpenMissingFails) {
+  repro::TempDir dir{"ckpt-test"};
+  EXPECT_FALSE(CheckpointReader::open(dir.file("missing.ckpt")).is_ok());
+}
+
+TEST(CheckpointFile, OpenTruncatedFails) {
+  repro::TempDir dir{"ckpt-test"};
+  const auto path = dir.file("short.ckpt");
+  ASSERT_TRUE(
+      repro::write_file(path, std::vector<std::uint8_t>(100, 1)).is_ok());
+  EXPECT_EQ(CheckpointReader::open(path).status().code(),
+            repro::StatusCode::kCorruptData);
+}
+
+TEST(CheckpointFile, SizeMismatchDetected) {
+  repro::TempDir dir{"ckpt-test"};
+  const CheckpointWriter writer = sample_writer();
+  const auto path = dir.file("padded.ckpt");
+  ASSERT_TRUE(writer.write(path).is_ok());
+  // Append junk: file size no longer matches header + data.
+  auto bytes = repro::read_file(path).value();
+  bytes.push_back(0xFF);
+  ASSERT_TRUE(repro::write_file(path, bytes).is_ok());
+  EXPECT_EQ(CheckpointReader::open(path).status().code(),
+            repro::StatusCode::kCorruptData);
+}
+
+TEST(CheckpointFile, EmptyCheckpointRoundTrips) {
+  repro::TempDir dir{"ckpt-test"};
+  CheckpointWriter writer("app", "run", 1, 2);
+  const auto path = dir.file("empty.ckpt");
+  ASSERT_TRUE(writer.write(path).is_ok());
+  const auto reader = CheckpointReader::open(path);
+  ASSERT_TRUE(reader.is_ok());
+  EXPECT_EQ(reader.value().data_bytes(), 0U);
+  EXPECT_TRUE(reader.value().info().fields.empty());
+}
+
+}  // namespace
+}  // namespace repro::ckpt

@@ -1,0 +1,239 @@
+// End-to-end tests of the repro-cli binary (spawned as a subprocess), the
+// paper's "offline (using a command line tool)" mode. The binary path is
+// injected at configure time via REPRO_CLI_BINARY.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "common/fs.hpp"
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_cli(const std::string& arguments) {
+  const std::string command =
+      std::string(REPRO_CLI_BINARY) + " " + arguments + " 2>&1";
+  CommandResult result;
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  std::size_t got = 0;
+  while ((got = std::fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), got);
+  }
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  CliTest() : dir_{"cli-test"} {}
+
+  std::string pfs() const { return dir_.path().string(); }
+
+  void simulate(const std::string& run, const std::string& extra = "") {
+    const CommandResult result = run_cli(
+        "simulate --out " + pfs() + " --run " + run +
+        " --particles 4096 --steps 10 --capture-every 5 --mesh 16 " + extra);
+    ASSERT_EQ(result.exit_code, 0) << result.output;
+  }
+
+  repro::TempDir dir_;
+};
+
+TEST_F(CliTest, NoArgumentsPrintsUsage) {
+  const CommandResult result = run_cli("");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("repro-cli"), std::string::npos);
+  EXPECT_NE(result.output.find("simulate"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandPrintsUsage) {
+  EXPECT_EQ(run_cli("frobnicate").exit_code, 2);
+}
+
+TEST_F(CliTest, SimulateCapturesHistory) {
+  simulate("run-1");
+  EXPECT_TRUE(std::filesystem::exists(dir_.path() / "run-1" / "iter5" /
+                                      "rank0.ckpt"));
+  EXPECT_TRUE(std::filesystem::exists(dir_.path() / "run-1" / "iter10" /
+                                      "rank0.rmrk"));
+}
+
+TEST_F(CliTest, HistoryAgreesForDeterministicRuns) {
+  simulate("run-1");
+  simulate("run-2");
+  const CommandResult result =
+      run_cli("history " + pfs() + " run-1 run-2 --eps 1e-06");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("histories agree"), std::string::npos);
+}
+
+TEST_F(CliTest, HistoryDetectsNondeterminism) {
+  simulate("run-1", "--noise-seed 11 --jitter 1e-4");
+  simulate("run-2", "--noise-seed 22 --jitter 1e-4");
+  const CommandResult result =
+      run_cli("history " + pfs() + " run-1 run-2 --eps 1e-06");
+  EXPECT_EQ(result.exit_code, 3) << result.output;
+  EXPECT_NE(result.output.find("first divergence: iteration 5"),
+            std::string::npos)
+      << result.output;
+}
+
+TEST_F(CliTest, CompareMethodsAgreeOnExitCode) {
+  simulate("run-1", "--noise-seed 11 --jitter 1e-4");
+  simulate("run-2", "--noise-seed 22 --jitter 1e-4");
+  const std::string pair = pfs() + "/run-1/iter10/rank0.ckpt " + pfs() +
+                           "/run-2/iter10/rank0.ckpt";
+  for (const char* method : {"ours", "direct", "allclose"}) {
+    const CommandResult result = run_cli("compare " + pair + " --eps 1e-06 " +
+                                         "--method " + std::string{method});
+    EXPECT_EQ(result.exit_code, 3) << method << ": " << result.output;
+  }
+  // Same file against itself: all methods report agreement.
+  const std::string self = pfs() + "/run-1/iter10/rank0.ckpt " + pfs() +
+                           "/run-1/iter10/rank0.ckpt";
+  for (const char* method : {"ours", "direct", "allclose"}) {
+    EXPECT_EQ(run_cli("compare " + self + " --eps 1e-06 --method " +
+                      std::string{method})
+                  .exit_code,
+              0)
+        << method;
+  }
+}
+
+TEST_F(CliTest, CompareShowsLocalizedDiffs) {
+  simulate("run-1", "--noise-seed 11 --jitter 1e-4");
+  simulate("run-2", "--noise-seed 22 --jitter 1e-4");
+  const CommandResult result = run_cli(
+      "compare " + pfs() + "/run-1/iter10/rank0.ckpt " + pfs() +
+      "/run-2/iter10/rank0.ckpt --eps 1e-06 --diffs 3");
+  EXPECT_EQ(result.exit_code, 3);
+  EXPECT_NE(result.output.find("sample differences"), std::string::npos);
+  EXPECT_NE(result.output.find("chunks flagged"), std::string::npos);
+}
+
+TEST_F(CliTest, TreeAndInspect) {
+  simulate("run-1");
+  const std::string ckpt = pfs() + "/run-1/iter5/rank0.ckpt";
+  const CommandResult tree =
+      run_cli("tree " + ckpt + " --chunk 4K --eps 1e-05 --out " + pfs() +
+              "/custom.rmrk");
+  EXPECT_EQ(tree.exit_code, 0) << tree.output;
+  EXPECT_NE(tree.output.find("chunks"), std::string::npos);
+
+  const CommandResult inspect_ckpt = run_cli("inspect " + ckpt);
+  EXPECT_EQ(inspect_ckpt.exit_code, 0);
+  EXPECT_NE(inspect_ckpt.output.find("PHI"), std::string::npos);
+  EXPECT_NE(inspect_ckpt.output.find("haccette"), std::string::npos);
+
+  const CommandResult inspect_tree =
+      run_cli("inspect " + pfs() + "/custom.rmrk");
+  EXPECT_EQ(inspect_tree.exit_code, 0);
+  EXPECT_NE(inspect_tree.output.find("root digest"), std::string::npos);
+  EXPECT_NE(inspect_tree.output.find("error bound"), std::string::npos);
+}
+
+TEST_F(CliTest, CompareMissingFileFailsCleanly) {
+  const CommandResult result =
+      run_cli("compare /nonexistent/a.ckpt /nonexistent/b.ckpt");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("error:"), std::string::npos);
+}
+
+TEST_F(CliTest, FieldsPerBoundVerdicts) {
+  simulate("run-1", "--noise-seed 11 --jitter 1e-4");
+  simulate("run-2", "--noise-seed 22 --jitter 1e-4");
+  const std::string pair = pfs() + "/run-1/iter10/rank0.ckpt " + pfs() +
+                           "/run-2/iter10/rank0.ckpt";
+  // Sloppy bounds everywhere: passes.
+  const CommandResult loose =
+      run_cli("fields " + pair + " --default-eps 10 --chunk 4K");
+  EXPECT_EQ(loose.exit_code, 0) << loose.output;
+  EXPECT_NE(loose.output.find("all fields within"), std::string::npos);
+  // Tight bound on one field only: that field diverges. Different bounds
+  // need fresh sidecars, so use the iteration-5 pair (the iteration-10
+  // .rmrb bundles were built at the loose bounds and are correctly refused
+  // for reuse).
+  const std::string other_pair = pfs() + "/run-1/iter5/rank0.ckpt " + pfs() +
+                                 "/run-2/iter5/rank0.ckpt";
+  const CommandResult tight = run_cli(
+      "fields " + other_pair +
+      " --default-eps 10 --bounds VX=1e-9 --chunk 4K");
+  EXPECT_EQ(tight.exit_code, 3) << tight.output;
+  EXPECT_NE(tight.output.find("DIVERGED"), std::string::npos);
+}
+
+TEST_F(CliTest, ProveAndVerifyRoundTrip) {
+  simulate("run-1");
+  const std::string ckpt = pfs() + "/run-1/iter10/rank0.ckpt";
+  const std::string proof = pfs() + "/chunk3.rprf";
+  const CommandResult prove = run_cli("prove " + ckpt +
+                                      " --index 3 --chunk 4K --eps 1e-05 "
+                                      "--out " + proof);
+  ASSERT_EQ(prove.exit_code, 0) << prove.output;
+  // Extract the printed root.
+  const auto pin = prove.output.find("pin this root: ");
+  ASSERT_NE(pin, std::string::npos);
+  const std::string root = prove.output.substr(pin + 15, 32);
+
+  const CommandResult ok = run_cli("verify " + proof + " " + ckpt +
+                                   " --root " + root +
+                                   " --chunk 4K --eps 1e-05");
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+  EXPECT_NE(ok.output.find("OK: chunk 3"), std::string::npos);
+
+  // Wrong root rejected.
+  std::string wrong_root = root;
+  wrong_root[0] = wrong_root[0] == 'a' ? 'b' : 'a';
+  const CommandResult bad = run_cli("verify " + proof + " " + ckpt +
+                                    " --root " + wrong_root +
+                                    " --chunk 4K --eps 1e-05");
+  EXPECT_EQ(bad.exit_code, 3) << bad.output;
+  EXPECT_NE(bad.output.find("REJECTED"), std::string::npos);
+}
+
+TEST_F(CliTest, DeltaAppendReconstructRoundTrip) {
+  simulate("run-1");
+  const std::string store = pfs() + "/delta";
+  const std::string base_args = "delta append " + store + " run-1 0 ";
+  for (const int iteration : {5, 10}) {
+    const CommandResult append = run_cli(
+        base_args + std::to_string(iteration) + " " + pfs() +
+        "/run-1/iter" + std::to_string(iteration) +
+        "/rank0.ckpt --chunk 4K --eps 1e-05");
+    ASSERT_EQ(append.exit_code, 0) << append.output;
+  }
+  const CommandResult stats =
+      run_cli("delta stats " + store + " run-1 0 --chunk 4K --eps 1e-05");
+  EXPECT_EQ(stats.exit_code, 0) << stats.output;
+  EXPECT_NE(stats.output.find("2 iterations"), std::string::npos)
+      << stats.output;
+
+  const std::string out = pfs() + "/restored.bin";
+  const CommandResult reconstruct = run_cli(
+      "delta reconstruct " + store + " run-1 0 5 " + out +
+      " --chunk 4K --eps 1e-05");
+  EXPECT_EQ(reconstruct.exit_code, 0) << reconstruct.output;
+  EXPECT_TRUE(std::filesystem::exists(out));
+  // The reconstructed bytes equal the original data section's size.
+  EXPECT_EQ(std::filesystem::file_size(out),
+            std::filesystem::file_size(pfs() + "/run-1/iter5/rank0.ckpt") -
+                4096);
+}
+
+TEST_F(CliTest, BadFlagValueFailsCleanly) {
+  EXPECT_EQ(run_cli("simulate --out " + pfs() +
+                    " --run r --particles banana")
+                .exit_code,
+            1);
+}
+
+}  // namespace

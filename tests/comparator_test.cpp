@@ -1,0 +1,288 @@
+#include "compare/comparator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/direct.hpp"
+#include "common/fs.hpp"
+#include "sim/workload.hpp"
+
+namespace repro::cmp {
+namespace {
+
+merkle::TreeParams tree_params(double eps, std::uint64_t chunk_bytes = 4096) {
+  merkle::TreeParams params;
+  params.chunk_bytes = chunk_bytes;
+  params.hash.error_bound = eps;
+  return params;
+}
+
+/// Write a checkpoint (fields X and PHI) and its capture-time metadata.
+void write_checkpoint_with_metadata(const std::filesystem::path& path,
+                                    const std::vector<float>& x,
+                                    const std::vector<float>& phi,
+                                    const merkle::TreeParams& params) {
+  ckpt::CheckpointWriter writer("test", "run", 1, 0);
+  ASSERT_TRUE(writer.add_field_f32("X", x).is_ok());
+  ASSERT_TRUE(writer.add_field_f32("PHI", phi).is_ok());
+  ASSERT_TRUE(writer.write(path).is_ok());
+  const auto tree = merkle::TreeBuilder(params, par::Exec::serial())
+                        .build(writer.data_section());
+  ASSERT_TRUE(tree.is_ok());
+  ASSERT_TRUE(tree.value().save(path.string() + ".rmrk").is_ok());
+}
+
+class ComparatorTest : public ::testing::Test {
+ protected:
+  ComparatorTest() : dir_{"comparator-test"} {}
+
+  CompareOptions options(double eps) const {
+    CompareOptions opts;
+    opts.error_bound = eps;
+    opts.tree = tree_params(eps);
+    opts.backend = io::BackendKind::kPread;
+    return opts;
+  }
+
+  repro::TempDir dir_;
+};
+
+TEST_F(ComparatorTest, IdenticalCheckpointsReadNoBulkData) {
+  const auto x = sim::generate_field(20000, 1);
+  const auto phi = sim::generate_field(20000, 2);
+  const auto params = tree_params(1e-5);
+  write_checkpoint_with_metadata(dir_.file("a.ckpt"), x, phi, params);
+  write_checkpoint_with_metadata(dir_.file("b.ckpt"), x, phi, params);
+
+  const auto report =
+      compare_files(dir_.file("a.ckpt"), dir_.file("b.ckpt"), options(1e-5));
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_TRUE(report.value().identical_within_bound());
+  EXPECT_EQ(report.value().chunks_flagged, 0U);
+  EXPECT_EQ(report.value().values_compared, 0U);
+  // The headline property: agreement proven from metadata alone.
+  EXPECT_EQ(report.value().bytes_read_per_file, 0U);
+  EXPECT_GT(report.value().metadata_bytes_read, 0U);
+}
+
+TEST_F(ComparatorTest, AgreesWithDirectAndGroundTruth) {
+  const double eps = 1e-5;
+  const auto x = sim::generate_field(50000, 3);
+  auto x_b = x;
+  sim::DivergenceSpec spec;
+  spec.region_fraction = 0.07;
+  spec.region_values = 800;
+  spec.magnitude = 1e-3;
+  sim::apply_divergence(x_b, spec);
+  const auto phi = sim::generate_field(50000, 4);
+
+  const auto params = tree_params(eps);
+  write_checkpoint_with_metadata(dir_.file("a.ckpt"), x, phi, params);
+  write_checkpoint_with_metadata(dir_.file("b.ckpt"), x_b, phi, params);
+
+  const auto ours =
+      compare_files(dir_.file("a.ckpt"), dir_.file("b.ckpt"), options(eps));
+  ASSERT_TRUE(ours.is_ok()) << ours.status().to_string();
+
+  baseline::DirectOptions direct_options;
+  direct_options.error_bound = eps;
+  direct_options.backend = io::BackendKind::kPread;
+  const auto direct = baseline::direct_compare(
+      dir_.file("a.ckpt"), dir_.file("b.ckpt"), direct_options);
+  ASSERT_TRUE(direct.is_ok()) << direct.status().to_string();
+
+  const std::uint64_t truth = sim::count_exceeding(x, x_b, eps);
+  EXPECT_GT(truth, 0U);
+  EXPECT_EQ(ours.value().values_exceeding, truth);
+  EXPECT_EQ(direct.value().values_exceeding, truth);
+  // Stage 2 must have read strictly less than the full checkpoint.
+  EXPECT_LT(ours.value().bytes_read_per_file, ours.value().data_bytes);
+  EXPECT_GT(ours.value().chunks_flagged, 0U);
+  EXPECT_LT(ours.value().chunks_flagged, ours.value().chunks_total);
+}
+
+TEST_F(ComparatorTest, DiffsMappedToFieldsAndElements) {
+  const double eps = 1e-5;
+  auto x = sim::generate_field(5000, 5);
+  auto phi = sim::generate_field(5000, 6);
+  const auto params = tree_params(eps, 1024);
+  write_checkpoint_with_metadata(dir_.file("a.ckpt"), x, phi, params);
+  x[123] += 1.0f;     // X[123]
+  phi[4000] -= 2.0f;  // PHI[4000]
+  write_checkpoint_with_metadata(dir_.file("b.ckpt"), x, phi, params);
+
+  CompareOptions opts = options(eps);
+  opts.tree = params;
+  opts.collect_diffs = true;
+  const auto report =
+      compare_files(dir_.file("a.ckpt"), dir_.file("b.ckpt"), opts);
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_EQ(report.value().diffs.size(), 2U);
+  auto diffs = report.value().diffs;
+  std::sort(diffs.begin(), diffs.end(), [](const auto& a, const auto& b) {
+    return a.value_index < b.value_index;
+  });
+  EXPECT_EQ(diffs[0].field, "X");
+  EXPECT_EQ(diffs[0].element_index, 123U);
+  EXPECT_EQ(diffs[1].field, "PHI");
+  EXPECT_EQ(diffs[1].element_index, 4000U);
+}
+
+TEST_F(ComparatorTest, ErrorBoundMismatchRejected) {
+  const auto x = sim::generate_field(1000, 7);
+  const auto phi = sim::generate_field(1000, 8);
+  write_checkpoint_with_metadata(dir_.file("a.ckpt"), x, phi,
+                                 tree_params(1e-5));
+  write_checkpoint_with_metadata(dir_.file("b.ckpt"), x, phi,
+                                 tree_params(1e-5));
+  const auto report =
+      compare_files(dir_.file("a.ckpt"), dir_.file("b.ckpt"), options(1e-3));
+  ASSERT_FALSE(report.is_ok());
+  EXPECT_EQ(report.status().code(), repro::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ComparatorTest, MissingMetadataIsBuiltAndPersisted) {
+  const auto x = sim::generate_field(10000, 9);
+  const auto phi = sim::generate_field(10000, 10);
+  for (const char* name : {"a.ckpt", "b.ckpt"}) {
+    ckpt::CheckpointWriter writer("test", "run", 1, 0);
+    ASSERT_TRUE(writer.add_field_f32("X", x).is_ok());
+    ASSERT_TRUE(writer.add_field_f32("PHI", phi).is_ok());
+    ASSERT_TRUE(writer.write(dir_.file(name)).is_ok());
+  }
+  const auto report =
+      compare_files(dir_.file("a.ckpt"), dir_.file("b.ckpt"), options(1e-5));
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_TRUE(report.value().identical_within_bound());
+  // Sidecars were persisted for next time.
+  EXPECT_TRUE(std::filesystem::exists(dir_.file("a.ckpt.rmrk")));
+  EXPECT_TRUE(std::filesystem::exists(dir_.file("b.ckpt.rmrk")));
+}
+
+TEST_F(ComparatorTest, MissingMetadataRejectedWhenBuildDisabled) {
+  const auto x = sim::generate_field(100, 11);
+  ckpt::CheckpointWriter writer("test", "run", 1, 0);
+  ASSERT_TRUE(writer.add_field_f32("X", x).is_ok());
+  ASSERT_TRUE(writer.write(dir_.file("a.ckpt")).is_ok());
+  ASSERT_TRUE(writer.write(dir_.file("b.ckpt")).is_ok());
+  CompareOptions opts = options(1e-5);
+  opts.build_metadata_if_missing = false;
+  EXPECT_EQ(compare_files(dir_.file("a.ckpt"), dir_.file("b.ckpt"), opts)
+                .status()
+                .code(),
+            repro::StatusCode::kNotFound);
+}
+
+TEST_F(ComparatorTest, AllBackendsReportTheSameDiffCount) {
+  const double eps = 1e-5;
+  const auto x = sim::generate_field(30000, 12);
+  auto x_b = x;
+  sim::apply_divergence(x_b, {.region_fraction = 0.1, .region_values = 256,
+                              .magnitude = 1e-3});
+  const auto phi = sim::generate_field(30000, 13);
+  const auto params = tree_params(eps);
+  write_checkpoint_with_metadata(dir_.file("a.ckpt"), x, phi, params);
+  write_checkpoint_with_metadata(dir_.file("b.ckpt"), x_b, phi, params);
+
+  std::vector<std::uint64_t> counts;
+  for (const auto backend :
+       {io::BackendKind::kPread, io::BackendKind::kMmap,
+        io::BackendKind::kUring, io::BackendKind::kThreadAsync}) {
+    if (backend == io::BackendKind::kUring && !io::uring_available()) {
+      continue;
+    }
+    CompareOptions opts = options(eps);
+    opts.backend = backend;
+    opts.backend_fallback = false;
+    const auto report =
+        compare_files(dir_.file("a.ckpt"), dir_.file("b.ckpt"), opts);
+    ASSERT_TRUE(report.is_ok())
+        << io::backend_name(backend) << ": " << report.status().to_string();
+    counts.push_back(report.value().values_exceeding);
+  }
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i], counts[0]);
+  }
+  EXPECT_GT(counts[0], 0U);
+}
+
+TEST_F(ComparatorTest, TimersChargeTheFivePhases) {
+  const auto x = sim::generate_field(20000, 14);
+  auto x_b = x;
+  sim::apply_divergence(x_b, {.region_fraction = 0.2, .region_values = 512,
+                              .magnitude = 1e-3});
+  const auto phi = sim::generate_field(20000, 15);
+  const auto params = tree_params(1e-5);
+  write_checkpoint_with_metadata(dir_.file("a.ckpt"), x, phi, params);
+  write_checkpoint_with_metadata(dir_.file("b.ckpt"), x_b, phi, params);
+  const auto report =
+      compare_files(dir_.file("a.ckpt"), dir_.file("b.ckpt"), options(1e-5));
+  ASSERT_TRUE(report.is_ok());
+  const TimerSet& timers = report.value().timers;
+  for (const char* phase : {kPhaseSetup, kPhaseRead, kPhaseDeserialize,
+                            kPhaseCompareTree, kPhaseCompareDirect}) {
+    EXPECT_GT(timers.seconds(phase), 0.0) << phase;
+  }
+  EXPECT_LE(timers.total_seconds(), report.value().total_seconds + 1e-6);
+}
+
+TEST_F(ComparatorTest, SizeMismatchRejected) {
+  const auto params = tree_params(1e-5);
+  write_checkpoint_with_metadata(dir_.file("a.ckpt"),
+                                 sim::generate_field(1000, 16),
+                                 sim::generate_field(1000, 17), params);
+  write_checkpoint_with_metadata(dir_.file("b.ckpt"),
+                                 sim::generate_field(2000, 16),
+                                 sim::generate_field(2000, 17), params);
+  EXPECT_EQ(compare_files(dir_.file("a.ckpt"), dir_.file("b.ckpt"),
+                          options(1e-5))
+                .status()
+                .code(),
+            repro::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ComparatorTest, HistoriesFirstDivergence) {
+  ckpt::HistoryCatalog catalog{dir_.path()};
+  const auto params = tree_params(1e-5);
+  // Iterations 10, 20, 30; runs agree at 10, diverge from 20 on.
+  for (const std::uint64_t iteration : {10U, 20U, 30U}) {
+    auto x = sim::generate_field(5000, iteration);
+    const auto phi = sim::generate_field(5000, iteration + 100);
+    for (const char* run : {"run-a", "run-b"}) {
+      auto x_run = x;
+      if (iteration >= 20 && std::string{run} == "run-b") {
+        sim::apply_divergence(
+            x_run, {.region_fraction = 0.05, .region_values = 100,
+                    .magnitude = 1e-3, .seed = iteration});
+      }
+      const auto ref = catalog.make_ref(run, iteration, 0);
+      ASSERT_TRUE(ref.is_ok());
+      ckpt::CheckpointWriter writer("test", run, iteration, 0);
+      ASSERT_TRUE(writer.add_field_f32("X", x_run).is_ok());
+      ASSERT_TRUE(writer.add_field_f32("PHI", phi).is_ok());
+      ASSERT_TRUE(writer.write(ref.value().checkpoint_path).is_ok());
+      const auto tree = merkle::TreeBuilder(params, par::Exec::serial())
+                            .build(writer.data_section());
+      ASSERT_TRUE(tree.is_ok());
+      ASSERT_TRUE(tree.value().save(ref.value().metadata_path).is_ok());
+    }
+  }
+
+  HistoryOptions history_options;
+  history_options.pair_options = options(1e-5);
+  const auto history =
+      compare_histories(catalog, "run-a", "run-b", history_options);
+  ASSERT_TRUE(history.is_ok()) << history.status().to_string();
+  ASSERT_TRUE(history.value().first_divergent_iteration.has_value());
+  EXPECT_EQ(*history.value().first_divergent_iteration, 20U);
+  EXPECT_EQ(history.value().pairs.size(), 3U);
+
+  // Early-exit mode stops after the divergent pair.
+  history_options.stop_at_first_divergence = true;
+  const auto early =
+      compare_histories(catalog, "run-a", "run-b", history_options);
+  ASSERT_TRUE(early.is_ok());
+  EXPECT_EQ(early.value().pairs.size(), 2U);
+}
+
+}  // namespace
+}  // namespace repro::cmp

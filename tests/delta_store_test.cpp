@@ -1,0 +1,231 @@
+#include "ckpt/delta_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/fs.hpp"
+#include "common/rng.hpp"
+#include "merkle/compare.hpp"
+#include "sim/workload.hpp"
+
+namespace repro::ckpt {
+namespace {
+
+DeltaStoreOptions options_f32(double eps = 1e-5) {
+  DeltaStoreOptions options;
+  options.tree.chunk_bytes = 1024;
+  options.tree.hash.error_bound = eps;
+  options.exec = par::Exec::serial();
+  return options;
+}
+
+DeltaStoreOptions options_bytes() {
+  DeltaStoreOptions options;
+  options.tree.chunk_bytes = 1024;
+  options.tree.value_kind = merkle::ValueKind::kBytes;
+  options.exec = par::Exec::serial();
+  return options;
+}
+
+std::span<const std::uint8_t> as_bytes(const std::vector<float>& values) {
+  return {reinterpret_cast<const std::uint8_t*>(values.data()),
+          values.size() * sizeof(float)};
+}
+
+TEST(DeltaStore, BaseRoundTripsExactly) {
+  TempDir dir{"delta-test"};
+  auto store = DeltaStore::open(dir.path(), "run", 0, options_bytes());
+  ASSERT_TRUE(store.is_ok());
+  const auto values = sim::generate_field(10000, 1);
+  ASSERT_TRUE(store.value().append(10, as_bytes(values)).is_ok());
+  const auto restored = store.value().reconstruct(10);
+  ASSERT_TRUE(restored.is_ok());
+  ASSERT_EQ(restored.value().size(), values.size() * 4);
+  EXPECT_EQ(0, std::memcmp(restored.value().data(), values.data(),
+                           restored.value().size()));
+}
+
+TEST(DeltaStore, BytesKindIsBitExactAcrossIterations) {
+  TempDir dir{"delta-test"};
+  auto store = DeltaStore::open(dir.path(), "run", 0, options_bytes());
+  ASSERT_TRUE(store.is_ok());
+  repro::Xoshiro256 rng(2);
+  auto values = sim::generate_field(20000, 2);
+  std::vector<std::vector<float>> snapshots;
+  for (const std::uint64_t iteration : {10U, 20U, 30U, 40U}) {
+    // Mutate a few scattered values each "iteration".
+    for (int k = 0; k < 50; ++k) {
+      values[rng.next_below(values.size())] += 0.5f;
+    }
+    snapshots.push_back(values);
+    ASSERT_TRUE(store.value().append(iteration, as_bytes(values)).is_ok());
+  }
+  const std::uint64_t iterations[] = {10, 20, 30, 40};
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    const auto restored = store.value().reconstruct(iterations[i]);
+    ASSERT_TRUE(restored.is_ok());
+    EXPECT_EQ(0, std::memcmp(restored.value().data(), snapshots[i].data(),
+                             restored.value().size()))
+        << "iteration " << iterations[i];
+  }
+}
+
+TEST(DeltaStore, UnchangedIterationStoresAlmostNothing) {
+  TempDir dir{"delta-test"};
+  auto store = DeltaStore::open(dir.path(), "run", 0, options_bytes());
+  ASSERT_TRUE(store.is_ok());
+  const auto values = sim::generate_field(50000, 3);
+  ASSERT_TRUE(store.value().append(10, as_bytes(values)).is_ok());
+  const std::uint64_t after_base = store.value().stats().stored_bytes;
+  ASSERT_TRUE(store.value().append(20, as_bytes(values)).is_ok());
+  const std::uint64_t delta_bytes =
+      store.value().stats().stored_bytes - after_base;
+  EXPECT_LT(delta_bytes, 128U);  // header only, no chunk payloads
+  EXPECT_GT(store.value().stats().compaction_ratio(), 1.9);
+}
+
+TEST(DeltaStore, StoresOnlyChangedChunks) {
+  TempDir dir{"delta-test"};
+  auto store = DeltaStore::open(dir.path(), "run", 0, options_bytes());
+  ASSERT_TRUE(store.is_ok());
+  auto values = sim::generate_field(50000, 4);  // ~196 chunks of 1 KiB
+  ASSERT_TRUE(store.value().append(10, as_bytes(values)).is_ok());
+  // Change exactly 3 chunks.
+  values[0] += 1.0f;
+  values[256 * 10] += 1.0f;
+  values[256 * 50] += 1.0f;
+  ASSERT_TRUE(store.value().append(20, as_bytes(values)).is_ok());
+  const DeltaStoreStats& stats = store.value().stats();
+  const std::uint64_t total_chunks = stats.chunks_total / 2;  // per capture
+  EXPECT_EQ(stats.chunks_stored, total_chunks + 3);
+}
+
+TEST(DeltaStore, F32ElisionStaysWithinOneBound) {
+  // With an error-bounded grid, sub-bound drift is elided; the reconstructed
+  // value must stay within one bound of the captured value — even after many
+  // iterations of accumulated sub-bound drift (the effective-state diffing
+  // guarantee).
+  const double eps = 1e-3;
+  TempDir dir{"delta-test"};
+  auto store = DeltaStore::open(dir.path(), "run", 0, options_f32(eps));
+  ASSERT_TRUE(store.is_ok());
+
+  // Start on grid centers so sub-bound drift is genuinely elidable.
+  auto values = sim::generate_field(20000, 5);
+  for (auto& v : values) {
+    v = static_cast<float>(std::llround(static_cast<double>(v) / eps) * eps);
+  }
+  std::vector<std::vector<float>> snapshots;
+  for (std::uint64_t iteration = 1; iteration <= 8; ++iteration) {
+    for (auto& v : values) {
+      v += 1e-5f;  // sub-bound drift each step; accumulates to 8e-5 << eps
+    }
+    snapshots.push_back(values);
+    ASSERT_TRUE(store.value().append(iteration, as_bytes(values)).is_ok());
+  }
+
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    const auto restored = store.value().reconstruct(i + 1);
+    ASSERT_TRUE(restored.is_ok());
+    const auto* floats =
+        reinterpret_cast<const float*>(restored.value().data());
+    for (std::size_t v = 0; v < snapshots[i].size(); ++v) {
+      EXPECT_NEAR(floats[v], snapshots[i][v], eps) << "iter " << i + 1;
+    }
+  }
+  // And the elision actually saved storage.
+  EXPECT_GT(store.value().stats().compaction_ratio(), 4.0);
+}
+
+TEST(DeltaStore, TreeUsableForCrossRunComparison) {
+  TempDir dir{"delta-test"};
+  auto store_a = DeltaStore::open(dir.path(), "run-a", 0, options_bytes());
+  auto store_b = DeltaStore::open(dir.path(), "run-b", 0, options_bytes());
+  ASSERT_TRUE(store_a.is_ok());
+  ASSERT_TRUE(store_b.is_ok());
+  auto values = sim::generate_field(20000, 6);
+  ASSERT_TRUE(store_a.value().append(10, as_bytes(values)).is_ok());
+  values[100] += 1.0f;
+  ASSERT_TRUE(store_b.value().append(10, as_bytes(values)).is_ok());
+
+  const auto tree_a = store_a.value().tree(10);
+  const auto tree_b = store_b.value().tree(10);
+  ASSERT_TRUE(tree_a.is_ok());
+  ASSERT_TRUE(tree_b.is_ok());
+  const auto diff = merkle::compare_trees(tree_a.value(), tree_b.value());
+  ASSERT_TRUE(diff.is_ok());
+  ASSERT_EQ(diff.value().size(), 1U);
+  EXPECT_EQ(diff.value().front(), 100U * 4 / 1024);
+}
+
+TEST(DeltaStore, RejectsOutOfOrderIterations) {
+  TempDir dir{"delta-test"};
+  auto store = DeltaStore::open(dir.path(), "run", 0, options_bytes());
+  ASSERT_TRUE(store.is_ok());
+  const auto values = sim::generate_field(1000, 7);
+  ASSERT_TRUE(store.value().append(20, as_bytes(values)).is_ok());
+  EXPECT_FALSE(store.value().append(20, as_bytes(values)).is_ok());
+  EXPECT_FALSE(store.value().append(10, as_bytes(values)).is_ok());
+}
+
+TEST(DeltaStore, RejectsSizeChange) {
+  TempDir dir{"delta-test"};
+  auto store = DeltaStore::open(dir.path(), "run", 0, options_bytes());
+  ASSERT_TRUE(store.is_ok());
+  ASSERT_TRUE(
+      store.value().append(10, as_bytes(sim::generate_field(1000, 8))).is_ok());
+  EXPECT_FALSE(
+      store.value().append(20, as_bytes(sim::generate_field(500, 8))).is_ok());
+}
+
+TEST(DeltaStore, ReconstructUnknownIterationFails) {
+  TempDir dir{"delta-test"};
+  auto store = DeltaStore::open(dir.path(), "run", 0, options_bytes());
+  ASSERT_TRUE(store.is_ok());
+  EXPECT_EQ(store.value().reconstruct(99).status().code(),
+            repro::StatusCode::kNotFound);
+}
+
+TEST(DeltaStore, LoadResumesExistingStream) {
+  TempDir dir{"delta-test"};
+  auto values = sim::generate_field(20000, 9);
+  {
+    auto store = DeltaStore::open(dir.path(), "run", 0, options_bytes());
+    ASSERT_TRUE(store.is_ok());
+    ASSERT_TRUE(store.value().append(10, as_bytes(values)).is_ok());
+    values[50] += 1.0f;
+    ASSERT_TRUE(store.value().append(20, as_bytes(values)).is_ok());
+  }
+  // Re-open from disk and keep appending.
+  auto resumed = DeltaStore::load(dir.path(), "run", 0, options_bytes());
+  ASSERT_TRUE(resumed.is_ok()) << resumed.status().to_string();
+  EXPECT_EQ(resumed.value().iterations(),
+            (std::vector<std::uint64_t>{10, 20}));
+  values[60] += 1.0f;
+  ASSERT_TRUE(resumed.value().append(30, as_bytes(values)).is_ok());
+  const auto restored = resumed.value().reconstruct(30);
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_EQ(0, std::memcmp(restored.value().data(), values.data(),
+                           restored.value().size()));
+}
+
+TEST(DeltaStore, MultipleRanksIsolated) {
+  TempDir dir{"delta-test"};
+  auto store_0 = DeltaStore::open(dir.path(), "run", 0, options_bytes());
+  auto store_1 = DeltaStore::open(dir.path(), "run", 1, options_bytes());
+  ASSERT_TRUE(store_0.is_ok());
+  ASSERT_TRUE(store_1.is_ok());
+  const auto values_0 = sim::generate_field(1000, 10);
+  const auto values_1 = sim::generate_field(1000, 11);
+  ASSERT_TRUE(store_0.value().append(10, as_bytes(values_0)).is_ok());
+  ASSERT_TRUE(store_1.value().append(10, as_bytes(values_1)).is_ok());
+  EXPECT_EQ(0, std::memcmp(store_0.value().reconstruct(10).value().data(),
+                           values_0.data(), values_0.size() * 4));
+  EXPECT_EQ(0, std::memcmp(store_1.value().reconstruct(10).value().data(),
+                           values_1.data(), values_1.size() * 4));
+}
+
+}  // namespace
+}  // namespace repro::ckpt

@@ -1,0 +1,147 @@
+#include "baseline/direct.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ckpt/format.hpp"
+#include "common/fs.hpp"
+#include "sim/workload.hpp"
+
+namespace repro::baseline {
+namespace {
+
+void write_ckpt(const std::filesystem::path& path,
+                const std::vector<float>& x, const std::vector<float>& phi) {
+  ckpt::CheckpointWriter writer("test", "run", 1, 0);
+  ASSERT_TRUE(writer.add_field_f32("X", x).is_ok());
+  ASSERT_TRUE(writer.add_field_f32("PHI", phi).is_ok());
+  ASSERT_TRUE(writer.write(path).is_ok());
+}
+
+class DirectTest : public ::testing::Test {
+ protected:
+  DirectTest() : dir_{"direct-test"} {}
+
+  DirectOptions options(double eps) const {
+    DirectOptions opts;
+    opts.error_bound = eps;
+    opts.backend = io::BackendKind::kPread;
+    return opts;
+  }
+
+  repro::TempDir dir_;
+};
+
+TEST_F(DirectTest, IdenticalFilesZeroDiffsButFullRead) {
+  const auto x = sim::generate_field(30000, 1);
+  const auto phi = sim::generate_field(30000, 2);
+  write_ckpt(dir_.file("a.ckpt"), x, phi);
+  write_ckpt(dir_.file("b.ckpt"), x, phi);
+  const auto report =
+      direct_compare(dir_.file("a.ckpt"), dir_.file("b.ckpt"), options(1e-7));
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().values_exceeding, 0U);
+  EXPECT_EQ(report.value().values_compared, 60000U);
+  // The defining cost of Direct: 100% of the data is read even when the
+  // runs agree.
+  EXPECT_EQ(report.value().bytes_read_per_file, report.value().data_bytes);
+  // No metadata stage.
+  EXPECT_EQ(report.value().chunks_total, 0U);
+  EXPECT_EQ(report.value().metadata_bytes_read, 0U);
+}
+
+TEST_F(DirectTest, CountsMatchGroundTruth) {
+  const double eps = 1e-5;
+  const auto x = sim::generate_field(40000, 3);
+  auto x_b = x;
+  sim::apply_divergence(x_b, {.region_fraction = 0.15, .region_values = 300,
+                              .magnitude = 1e-3});
+  const auto phi = sim::generate_field(40000, 4);
+  write_ckpt(dir_.file("a.ckpt"), x, phi);
+  write_ckpt(dir_.file("b.ckpt"), x_b, phi);
+  const auto report =
+      direct_compare(dir_.file("a.ckpt"), dir_.file("b.ckpt"), options(eps));
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().values_exceeding,
+            sim::count_exceeding(x, x_b, eps));
+}
+
+TEST_F(DirectTest, CollectsLocatedDiffs) {
+  auto x = sim::generate_field(5000, 5);
+  const auto phi = sim::generate_field(5000, 6);
+  write_ckpt(dir_.file("a.ckpt"), x, phi);
+  x[77] += 1.0f;
+  write_ckpt(dir_.file("b.ckpt"), x, phi);
+  DirectOptions opts = options(1e-5);
+  opts.collect_diffs = true;
+  const auto report =
+      direct_compare(dir_.file("a.ckpt"), dir_.file("b.ckpt"), opts);
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_EQ(report.value().diffs.size(), 1U);
+  EXPECT_EQ(report.value().diffs[0].field, "X");
+  EXPECT_EQ(report.value().diffs[0].element_index, 77U);
+}
+
+TEST_F(DirectTest, AllBackendsAgree) {
+  const double eps = 1e-5;
+  const auto x = sim::generate_field(20000, 7);
+  auto x_b = x;
+  sim::apply_divergence(x_b, {.region_fraction = 0.1, .region_values = 128,
+                              .magnitude = 1e-3});
+  const auto phi = sim::generate_field(20000, 8);
+  write_ckpt(dir_.file("a.ckpt"), x, phi);
+  write_ckpt(dir_.file("b.ckpt"), x_b, phi);
+
+  const std::uint64_t truth = sim::count_exceeding(x, x_b, eps);
+  for (const auto backend :
+       {io::BackendKind::kPread, io::BackendKind::kMmap,
+        io::BackendKind::kUring, io::BackendKind::kThreadAsync}) {
+    if (backend == io::BackendKind::kUring && !io::uring_available()) {
+      continue;
+    }
+    DirectOptions opts = options(eps);
+    opts.backend = backend;
+    opts.backend_fallback = false;
+    const auto report =
+        direct_compare(dir_.file("a.ckpt"), dir_.file("b.ckpt"), opts);
+    ASSERT_TRUE(report.is_ok()) << io::backend_name(backend);
+    EXPECT_EQ(report.value().values_exceeding, truth)
+        << io::backend_name(backend);
+  }
+}
+
+TEST_F(DirectTest, TimeChargedToCompareDirect) {
+  const auto x = sim::generate_field(10000, 9);
+  const auto phi = sim::generate_field(10000, 10);
+  write_ckpt(dir_.file("a.ckpt"), x, phi);
+  write_ckpt(dir_.file("b.ckpt"), x, phi);
+  const auto report =
+      direct_compare(dir_.file("a.ckpt"), dir_.file("b.ckpt"), options(1e-6));
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_GT(report.value().timers.seconds(cmp::kPhaseCompareDirect), 0.0);
+  EXPECT_GT(report.value().timers.seconds(cmp::kPhaseSetup), 0.0);
+}
+
+TEST_F(DirectTest, SizeMismatchRejected) {
+  write_ckpt(dir_.file("a.ckpt"), sim::generate_field(100, 11),
+             sim::generate_field(100, 12));
+  write_ckpt(dir_.file("b.ckpt"), sim::generate_field(200, 11),
+             sim::generate_field(200, 12));
+  EXPECT_FALSE(
+      direct_compare(dir_.file("a.ckpt"), dir_.file("b.ckpt"), options(1e-5))
+          .is_ok());
+}
+
+TEST_F(DirectTest, EmptyCheckpointsAgree) {
+  for (const char* name : {"a.ckpt", "b.ckpt"}) {
+    ckpt::CheckpointWriter writer("test", "run", 1, 0);
+    ASSERT_TRUE(writer.write(dir_.file(name)).is_ok());
+  }
+  const auto report =
+      direct_compare(dir_.file("a.ckpt"), dir_.file("b.ckpt"), options(1e-5));
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().values_compared, 0U);
+  EXPECT_EQ(report.value().values_exceeding, 0U);
+}
+
+}  // namespace
+}  // namespace repro::baseline

@@ -1,0 +1,140 @@
+#include "par/exec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace repro::par {
+namespace {
+
+class ExecBackends : public ::testing::TestWithParam<bool> {
+ protected:
+  Exec make_exec() const {
+    return GetParam() ? Exec::parallel() : Exec::serial();
+  }
+};
+
+TEST_P(ExecBackends, ForEachVisitsEveryIndexExactlyOnce) {
+  const Exec exec = make_exec();
+  for (const std::uint64_t count : {0ULL, 1ULL, 2ULL, 7ULL, 64ULL, 1000ULL}) {
+    std::vector<std::atomic<int>> visits(count);
+    exec.for_each(0, count, [&](std::uint64_t i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::uint64_t i = 0; i < count; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << " count " << count;
+    }
+  }
+}
+
+TEST_P(ExecBackends, ForEachRespectsNonZeroBegin) {
+  const Exec exec = make_exec();
+  std::vector<std::atomic<int>> visits(100);
+  exec.for_each(40, 60, [&](std::uint64_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(visits[i].load(), (i >= 40 && i < 60) ? 1 : 0);
+  }
+}
+
+TEST_P(ExecBackends, EmptyRangeIsNoop) {
+  const Exec exec = make_exec();
+  bool called = false;
+  exec.for_each(10, 10, [&](std::uint64_t) { called = true; });
+  exec.for_each(10, 5, [&](std::uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST_P(ExecBackends, ForBlocksPartitionsRange) {
+  const Exec exec = make_exec();
+  for (const std::uint64_t count : {1ULL, 5ULL, 17ULL, 256ULL, 1001ULL}) {
+    std::mutex mu;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> blocks;
+    exec.for_blocks(0, count, [&](std::uint64_t lo, std::uint64_t hi) {
+      std::lock_guard<std::mutex> lock(mu);
+      blocks.emplace_back(lo, hi);
+    });
+    std::sort(blocks.begin(), blocks.end());
+    // Blocks must tile [0, count) without gaps or overlaps.
+    std::uint64_t cursor = 0;
+    for (const auto& [lo, hi] : blocks) {
+      EXPECT_EQ(lo, cursor);
+      EXPECT_GT(hi, lo);
+      cursor = hi;
+    }
+    EXPECT_EQ(cursor, count);
+  }
+}
+
+TEST_P(ExecBackends, ReduceSumMatchesSerialSum) {
+  const Exec exec = make_exec();
+  for (const std::uint64_t count : {0ULL, 1ULL, 10ULL, 999ULL, 100000ULL}) {
+    const std::uint64_t sum = exec.reduce_sum<std::uint64_t>(
+        0, count, [](std::uint64_t i) { return i * i; });
+    std::uint64_t expected = 0;
+    for (std::uint64_t i = 0; i < count; ++i) expected += i * i;
+    EXPECT_EQ(sum, expected) << "count " << count;
+  }
+}
+
+TEST_P(ExecBackends, ReduceSumWithOffsetRange) {
+  const Exec exec = make_exec();
+  const std::uint64_t sum = exec.reduce_sum<std::uint64_t>(
+      100, 200, [](std::uint64_t i) { return i; });
+  EXPECT_EQ(sum, (100ULL + 199ULL) * 100ULL / 2ULL);
+}
+
+TEST_P(ExecBackends, ReduceSumDoubleAccumulation) {
+  const Exec exec = make_exec();
+  const double sum = exec.reduce_sum<double>(
+      0, 1000, [](std::uint64_t) { return 0.5; });
+  EXPECT_DOUBLE_EQ(sum, 500.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SerialAndParallel, ExecBackends,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Parallel" : "Serial";
+                         });
+
+TEST(Exec, SerialReportsSerial) {
+  EXPECT_TRUE(Exec::serial().is_serial());
+  EXPECT_EQ(Exec::serial().ways(), 1U);
+  EXPECT_FALSE(Exec::parallel().is_serial());
+  EXPECT_GE(Exec::parallel().ways(), 2U);
+}
+
+TEST(Exec, CappedParallelism) {
+  const Exec exec = Exec::parallel(3);
+  EXPECT_EQ(exec.ways(), 3U);
+  // A zero cap degrades to 1 way rather than dividing by zero.
+  EXPECT_EQ(Exec::parallel(0).ways(), 1U);
+}
+
+TEST(Exec, CappedParallelLimitsConcurrentBlocks) {
+  const Exec exec = Exec::parallel(2);
+  std::mutex mu;
+  int blocks = 0;
+  exec.for_blocks(0, 1000, [&](std::uint64_t, std::uint64_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++blocks;
+  });
+  EXPECT_LE(blocks, 2);
+}
+
+TEST(Exec, LargeRangeStress) {
+  const Exec exec = Exec::parallel();
+  std::atomic<std::uint64_t> sum{0};
+  exec.for_each(0, 1 << 20, [&](std::uint64_t i) {
+    if ((i & 0xFFF) == 0) sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  std::uint64_t expected = 0;
+  for (std::uint64_t i = 0; i < (1 << 20); i += 0x1000) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace repro::par

@@ -1,0 +1,163 @@
+#include "sim/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace repro::sim {
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  repro::Xoshiro256 rng(seed);
+  std::vector<Complex> signal(n);
+  for (auto& sample : signal) {
+    sample = Complex{rng.next_double() * 2 - 1, rng.next_double() * 2 - 1};
+  }
+  return signal;
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> data(3);
+  EXPECT_FALSE(fft_inplace(data, false).is_ok());
+  std::vector<Complex> empty;
+  EXPECT_FALSE(fft_inplace(empty, false).is_ok());
+}
+
+TEST(Fft, SizeOneIsIdentity) {
+  std::vector<Complex> data{Complex{3.0, -2.0}};
+  ASSERT_TRUE(fft_inplace(data, false).is_ok());
+  EXPECT_DOUBLE_EQ(data[0].real(), 3.0);
+  EXPECT_DOUBLE_EQ(data[0].imag(), -2.0);
+}
+
+TEST(Fft, ImpulseTransformsToFlatSpectrum) {
+  std::vector<Complex> data(16, Complex{0, 0});
+  data[0] = Complex{1, 0};
+  ASSERT_TRUE(fft_inplace(data, false).is_ok());
+  for (const auto& bin : data) {
+    EXPECT_NEAR(bin.real(), 1.0, 1e-12);
+    EXPECT_NEAR(bin.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ConstantTransformsToDcBin) {
+  std::vector<Complex> data(32, Complex{2.0, 0});
+  ASSERT_TRUE(fft_inplace(data, false).is_ok());
+  EXPECT_NEAR(data[0].real(), 64.0, 1e-10);
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(data[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft, SingleToneLandsInItsBin) {
+  constexpr std::size_t n = 64;
+  constexpr int k = 5;
+  std::vector<Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2 * std::numbers::pi * k * i / n;
+    data[i] = Complex{std::cos(phase), std::sin(phase)};
+  }
+  ASSERT_TRUE(fft_inplace(data, false).is_ok());
+  for (std::size_t bin = 0; bin < n; ++bin) {
+    EXPECT_NEAR(std::abs(data[bin]), bin == k ? n : 0.0, 1e-9) << bin;
+  }
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  for (const std::size_t n : {2UL, 8UL, 64UL, 1024UL}) {
+    auto data = random_signal(n, n);
+    const auto original = data;
+    ASSERT_TRUE(fft_inplace(data, false).is_ok());
+    ASSERT_TRUE(fft_inplace(data, true).is_ok());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+      EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+    }
+  }
+}
+
+TEST(Fft, Linearity) {
+  constexpr std::size_t n = 128;
+  auto a = random_signal(n, 1);
+  auto b = random_signal(n, 2);
+  std::vector<Complex> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  ASSERT_TRUE(fft_inplace(a, false).is_ok());
+  ASSERT_TRUE(fft_inplace(b, false).is_ok());
+  ASSERT_TRUE(fft_inplace(sum, false).is_ok());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Complex expected = 2.0 * a[i] + 3.0 * b[i];
+    EXPECT_NEAR(std::abs(sum[i] - expected), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalEnergyConserved) {
+  constexpr std::size_t n = 256;
+  auto data = random_signal(n, 3);
+  double time_energy = 0;
+  for (const auto& sample : data) time_energy += std::norm(sample);
+  ASSERT_TRUE(fft_inplace(data, false).is_ok());
+  double freq_energy = 0;
+  for (const auto& bin : data) freq_energy += std::norm(bin);
+  EXPECT_NEAR(freq_energy / n, time_energy, 1e-8 * time_energy);
+}
+
+TEST(Fft3d, RejectsWrongCubeSize) {
+  std::vector<Complex> cube(10);
+  EXPECT_FALSE(fft3d_inplace(cube, 4, false).is_ok());
+}
+
+TEST(Fft3d, RoundTrip) {
+  constexpr std::uint32_t n = 8;
+  auto cube = random_signal(static_cast<std::size_t>(n) * n * n, 4);
+  const auto original = cube;
+  ASSERT_TRUE(fft3d_inplace(cube, n, false).is_ok());
+  ASSERT_TRUE(fft3d_inplace(cube, n, true).is_ok());
+  for (std::size_t i = 0; i < cube.size(); ++i) {
+    EXPECT_NEAR(std::abs(cube[i] - original[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft3d, ConstantCubeConcentratesInDc) {
+  constexpr std::uint32_t n = 4;
+  std::vector<Complex> cube(64, Complex{1.0, 0});
+  ASSERT_TRUE(fft3d_inplace(cube, n, false).is_ok());
+  EXPECT_NEAR(cube[0].real(), 64.0, 1e-10);
+  for (std::size_t i = 1; i < cube.size(); ++i) {
+    EXPECT_NEAR(std::abs(cube[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft3d, PlaneWaveLandsInItsMode) {
+  constexpr std::uint32_t n = 8;
+  std::vector<Complex> cube(512);
+  // e^{2 pi i (x + 2y + 3z) / n}: mode (1, 2, 3).
+  for (std::uint32_t x = 0; x < n; ++x) {
+    for (std::uint32_t y = 0; y < n; ++y) {
+      for (std::uint32_t z = 0; z < n; ++z) {
+        const double phase =
+            2 * std::numbers::pi * (1.0 * x + 2.0 * y + 3.0 * z) / n;
+        cube[(static_cast<std::size_t>(x) * n + y) * n + z] =
+            Complex{std::cos(phase), std::sin(phase)};
+      }
+    }
+  }
+  ASSERT_TRUE(fft3d_inplace(cube, n, false).is_ok());
+  for (std::uint32_t x = 0; x < n; ++x) {
+    for (std::uint32_t y = 0; y < n; ++y) {
+      for (std::uint32_t z = 0; z < n; ++z) {
+        const std::size_t index = (static_cast<std::size_t>(x) * n + y) * n + z;
+        const double expected =
+            (x == 1 && y == 2 && z == 3) ? 512.0 : 0.0;
+        EXPECT_NEAR(std::abs(cube[index]), expected, 1e-8);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro::sim

@@ -1,0 +1,84 @@
+#include "common/fs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro {
+namespace {
+
+TEST(TempDir, CreatesAndCleansUp) {
+  std::filesystem::path kept;
+  {
+    TempDir dir{"fs-test"};
+    kept = dir.path();
+    EXPECT_TRUE(std::filesystem::is_directory(kept));
+    ASSERT_TRUE(write_file(dir.file("inner.bin"),
+                           std::vector<std::uint8_t>{1, 2, 3})
+                    .is_ok());
+  }
+  EXPECT_FALSE(std::filesystem::exists(kept));
+}
+
+TEST(TempDir, UniquePaths) {
+  TempDir a{"fs-test"};
+  TempDir b{"fs-test"};
+  EXPECT_NE(a.path(), b.path());
+}
+
+TEST(Files, WriteReadRoundTrip) {
+  TempDir dir{"fs-test"};
+  std::vector<std::uint8_t> payload(100000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  const auto path = dir.file("round.bin");
+  ASSERT_TRUE(write_file(path, payload).is_ok());
+  const auto read = read_file(path);
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_EQ(read.value(), payload);
+}
+
+TEST(Files, WriteEmptyFile) {
+  TempDir dir{"fs-test"};
+  const auto path = dir.file("empty.bin");
+  ASSERT_TRUE(write_file(path, {}).is_ok());
+  EXPECT_EQ(repro::file_size(path).value(), 0U);
+  EXPECT_TRUE(read_file(path).value().empty());
+}
+
+TEST(Files, OverwriteTruncates) {
+  TempDir dir{"fs-test"};
+  const auto path = dir.file("trunc.bin");
+  ASSERT_TRUE(write_file(path, std::vector<std::uint8_t>(1000, 7)).is_ok());
+  ASSERT_TRUE(write_file(path, std::vector<std::uint8_t>(10, 9)).is_ok());
+  EXPECT_EQ(repro::file_size(path).value(), 10U);
+}
+
+TEST(Files, ReadMissingFileFails) {
+  TempDir dir{"fs-test"};
+  const auto result = read_file(dir.file("missing.bin"));
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(Files, FileSizeMissingFails) {
+  TempDir dir{"fs-test"};
+  EXPECT_FALSE(repro::file_size(dir.file("missing.bin")).is_ok());
+}
+
+TEST(Files, EvictPageCacheSucceedsOnRealFile) {
+  TempDir dir{"fs-test"};
+  const auto path = dir.file("evict.bin");
+  ASSERT_TRUE(
+      write_file(path, std::vector<std::uint8_t>(1 << 20, 42)).is_ok());
+  EXPECT_TRUE(evict_page_cache(path).is_ok());
+  // File must still read back intact after eviction.
+  EXPECT_EQ(read_file(path).value().size(), 1U << 20);
+}
+
+TEST(Files, EvictPageCacheMissingFileFails) {
+  TempDir dir{"fs-test"};
+  EXPECT_FALSE(evict_page_cache(dir.file("missing.bin")).is_ok());
+}
+
+}  // namespace
+}  // namespace repro

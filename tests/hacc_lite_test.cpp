@@ -1,0 +1,342 @@
+#include "sim/hacc_lite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fs.hpp"
+
+namespace repro::sim {
+namespace {
+
+SimConfig small_config() {
+  SimConfig config;
+  config.num_particles = 512;
+  config.mesh_dim = 8;
+  config.box_size = 8.0;
+  config.steps = 5;
+  config.time_step = 0.02;
+  return config;
+}
+
+TEST(SimConfigValidation, AcceptsDefaults) {
+  EXPECT_TRUE(validate(SimConfig{}).is_ok());
+}
+
+TEST(SimConfigValidation, Rejections) {
+  SimConfig config = small_config();
+  config.num_particles = 0;
+  EXPECT_FALSE(validate(config).is_ok());
+
+  config = small_config();
+  config.mesh_dim = 12;  // not a power of two
+  EXPECT_FALSE(validate(config).is_ok());
+
+  config = small_config();
+  config.mesh_dim = 2;  // too small
+  EXPECT_FALSE(validate(config).is_ok());
+
+  config = small_config();
+  config.box_size = 0;
+  EXPECT_FALSE(validate(config).is_ok());
+
+  config = small_config();
+  config.time_step = -1;
+  EXPECT_FALSE(validate(config).is_ok());
+
+  config = small_config();
+  config.pp_cutoff = 100.0;  // > box/2
+  EXPECT_FALSE(validate(config).is_ok());
+}
+
+TEST(HaccLite, InitialConditionsInsideBox) {
+  HaccLite app(small_config());
+  ASSERT_TRUE(app.initialize().is_ok());
+  const Particles& particles = app.particles();
+  EXPECT_EQ(particles.size(), 512U);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    EXPECT_GE(particles.x[i], 0.0);
+    EXPECT_LT(particles.x[i], 8.0);
+    EXPECT_GE(particles.y[i], 0.0);
+    EXPECT_LT(particles.y[i], 8.0);
+    EXPECT_GE(particles.z[i], 0.0);
+    EXPECT_LT(particles.z[i], 8.0);
+  }
+}
+
+TEST(HaccLite, SameSeedSameInitialConditions) {
+  HaccLite a(small_config());
+  HaccLite b(small_config());
+  ASSERT_TRUE(a.initialize().is_ok());
+  ASSERT_TRUE(b.initialize().is_ok());
+  for (std::size_t i = 0; i < a.particles().size(); ++i) {
+    EXPECT_EQ(a.particles().x[i], b.particles().x[i]);
+    EXPECT_EQ(a.particles().vx[i], b.particles().vx[i]);
+  }
+}
+
+TEST(HaccLite, DifferentSeedDifferentInitialConditions) {
+  SimConfig other = small_config();
+  other.seed = 999;
+  HaccLite a(small_config());
+  HaccLite b(other);
+  ASSERT_TRUE(a.initialize().is_ok());
+  ASSERT_TRUE(b.initialize().is_ok());
+  EXPECT_NE(a.particles().x[0], b.particles().x[0]);
+}
+
+TEST(HaccLite, DeterministicWithoutNoise) {
+  // The cornerstone for reproducibility experiments: with injection off,
+  // two runs are BIT-IDENTICAL after any number of steps.
+  HaccLite a(small_config());
+  HaccLite b(small_config());
+  ASSERT_TRUE(a.initialize().is_ok());
+  ASSERT_TRUE(b.initialize().is_ok());
+  for (int step = 0; step < 5; ++step) {
+    ASSERT_TRUE(a.step().is_ok());
+    ASSERT_TRUE(b.step().is_ok());
+  }
+  for (std::size_t i = 0; i < a.particles().size(); ++i) {
+    EXPECT_EQ(a.particles().x[i], b.particles().x[i]) << i;
+    EXPECT_EQ(a.particles().vx[i], b.particles().vx[i]) << i;
+    EXPECT_EQ(a.particles().phi[i], b.particles().phi[i]) << i;
+  }
+}
+
+TEST(HaccLite, ShuffledDepositDiverges) {
+  SimConfig config_a = small_config();
+  config_a.noise.enabled = true;
+  config_a.noise.run_seed = 1;
+  SimConfig config_b = config_a;
+  config_b.noise.run_seed = 2;
+
+  HaccLite a(config_a);
+  HaccLite b(config_b);
+  ASSERT_TRUE(a.initialize().is_ok());
+  ASSERT_TRUE(b.initialize().is_ok());
+  for (int step = 0; step < 5; ++step) {
+    ASSERT_TRUE(a.step().is_ok());
+    ASSERT_TRUE(b.step().is_ok());
+  }
+  // Reduction-order noise is tiny per step but must make *some* bits differ.
+  bool any_differ = false;
+  double max_delta = 0;
+  for (std::size_t i = 0; i < a.particles().size(); ++i) {
+    if (a.particles().x[i] != b.particles().x[i]) any_differ = true;
+    max_delta =
+        std::max(max_delta, std::abs(a.particles().x[i] - b.particles().x[i]));
+  }
+  EXPECT_TRUE(any_differ);
+  EXPECT_LT(max_delta, 0.1);  // still physically close
+}
+
+TEST(HaccLite, JitterMagnitudeControlsDivergence) {
+  auto run_pair_delta = [](double jitter) {
+    SimConfig config_a = small_config();
+    config_a.noise.enabled = true;
+    config_a.noise.shuffle_deposit = false;
+    config_a.noise.jitter_magnitude = jitter;
+    config_a.noise.run_seed = 1;
+    SimConfig config_b = config_a;
+    config_b.noise.run_seed = 2;
+    HaccLite a(config_a);
+    HaccLite b(config_b);
+    EXPECT_TRUE(a.initialize().is_ok());
+    EXPECT_TRUE(b.initialize().is_ok());
+    for (int step = 0; step < 3; ++step) {
+      EXPECT_TRUE(a.step().is_ok());
+      EXPECT_TRUE(b.step().is_ok());
+    }
+    double max_delta = 0;
+    for (std::size_t i = 0; i < a.particles().size(); ++i) {
+      max_delta = std::max(
+          max_delta, std::abs(a.particles().vx[i] - b.particles().vx[i]));
+    }
+    return max_delta;
+  };
+  const double small_jitter = run_pair_delta(1e-8);
+  const double large_jitter = run_pair_delta(1e-3);
+  EXPECT_GT(large_jitter, small_jitter * 100);
+}
+
+TEST(HaccLite, RunInvokesHookAtCaptureIterations) {
+  SimConfig config = small_config();
+  config.steps = 10;
+  HaccLite app(config);
+  ASSERT_TRUE(app.initialize().is_ok());
+  std::vector<std::uint64_t> seen;
+  const std::vector<std::uint64_t> schedule{3, 7, 10};
+  ASSERT_TRUE(app.run(schedule, [&](std::uint64_t iteration) {
+                  seen.push_back(iteration);
+                  return repro::Status::ok();
+                })
+                  .is_ok());
+  EXPECT_EQ(seen, schedule);
+  EXPECT_EQ(app.iteration(), 10U);
+}
+
+TEST(HaccLite, HookErrorAbortsRun) {
+  SimConfig config = small_config();
+  config.steps = 10;
+  HaccLite app(config);
+  ASSERT_TRUE(app.initialize().is_ok());
+  const std::vector<std::uint64_t> schedule{2};
+  const repro::Status status =
+      app.run(schedule, [](std::uint64_t) {
+        return repro::io_error("flush failed");
+      });
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(app.iteration(), 2U);
+}
+
+TEST(HaccLite, CheckpointFieldsMatchTable1) {
+  HaccLite app(small_config());
+  ASSERT_TRUE(app.initialize().is_ok());
+  ASSERT_TRUE(app.step().is_ok());
+  ckpt::CheckpointWriter writer("haccette", "run", 1, 0);
+  ASSERT_TRUE(app.add_checkpoint_fields(writer).is_ok());
+  const auto& fields = writer.info().fields;
+  ASSERT_EQ(fields.size(), 7U);
+  const char* expected[] = {"X", "Y", "Z", "VX", "VY", "VZ", "PHI"};
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(fields[i].name, expected[i]);
+    EXPECT_EQ(fields[i].kind, merkle::ValueKind::kF32);
+    EXPECT_EQ(fields[i].element_count, 512U);
+  }
+  EXPECT_EQ(writer.info().data_bytes(), HaccLite::checkpoint_bytes(512));
+}
+
+TEST(HaccLite, ParticlesStayInBoxAfterStepping) {
+  SimConfig config = small_config();
+  config.steps = 10;
+  HaccLite app(config);
+  ASSERT_TRUE(app.initialize().is_ok());
+  ASSERT_TRUE(app.run({}, nullptr).is_ok());
+  for (std::size_t i = 0; i < app.particles().size(); ++i) {
+    EXPECT_GE(app.particles().x[i], 0.0);
+    EXPECT_LT(app.particles().x[i], config.box_size);
+  }
+}
+
+TEST(HaccLite, PpCorrectionRunsAndStaysFinite) {
+  SimConfig config = small_config();
+  config.pp_cutoff = 1.0;
+  config.steps = 3;
+  HaccLite app(config);
+  ASSERT_TRUE(app.initialize().is_ok());
+  ASSERT_TRUE(app.run({}, nullptr).is_ok());
+  for (std::size_t i = 0; i < app.particles().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(app.particles().vx[i]));
+    EXPECT_TRUE(std::isfinite(app.particles().phi[i]));
+  }
+}
+
+TEST(HaccLite, HotspotNoiseKicksSubsetHarder) {
+  SimConfig config = small_config();
+  config.noise.enabled = true;
+  config.noise.shuffle_deposit = false;
+  config.noise.hotspot_fraction = 0.05;
+  config.noise.hotspot_magnitude = 1.0;
+  config.noise.run_seed = 3;
+  SimConfig quiet = small_config();
+
+  HaccLite noisy(config);
+  HaccLite clean(quiet);
+  ASSERT_TRUE(noisy.initialize().is_ok());
+  ASSERT_TRUE(clean.initialize().is_ok());
+  ASSERT_TRUE(noisy.step().is_ok());
+  ASSERT_TRUE(clean.step().is_ok());
+
+  int large_kicks = 0;
+  for (std::size_t i = 0; i < noisy.particles().size(); ++i) {
+    if (std::abs(noisy.particles().vx[i] - clean.particles().vx[i]) > 1e-4) {
+      ++large_kicks;
+    }
+  }
+  EXPECT_GT(large_kicks, 0);
+  EXPECT_LT(large_kicks, 200);  // only a subset, not everyone
+}
+
+TEST(HaccLiteRestart, ResumedRunTracksUninterruptedRun) {
+  // Suspend-resume: run A goes 10 steps straight; run B restores from A's
+  // iteration-5 checkpoint and finishes the remaining 5 steps. The F32
+  // capture quantizes the F64 state, so B tracks A within a small bound
+  // (not bitwise) — exactly the situation the error-bounded comparison is
+  // built for.
+  SimConfig straight_config = small_config();
+  straight_config.steps = 10;
+  HaccLite run_a(straight_config);
+  ASSERT_TRUE(run_a.initialize().is_ok());
+  repro::TempDir dir{"hacc-restart"};
+  const auto mid_path = dir.file("mid.ckpt");
+  const std::vector<std::uint64_t> schedule{5};
+  ASSERT_TRUE(run_a.run(schedule, [&](std::uint64_t) {
+                  ckpt::CheckpointWriter writer("haccette", "a", 5, 0);
+                  REPRO_RETURN_IF_ERROR(run_a.add_checkpoint_fields(writer));
+                  return writer.write(mid_path);
+                })
+                  .is_ok());
+  ASSERT_EQ(run_a.iteration(), 10U);
+
+  SimConfig resume_config = small_config();
+  resume_config.steps = 5;  // the remaining half
+  HaccLite run_b(resume_config);
+  const auto reader = ckpt::CheckpointReader::open(mid_path);
+  ASSERT_TRUE(reader.is_ok());
+  ASSERT_TRUE(run_b.restore_from_checkpoint(reader.value()).is_ok());
+  EXPECT_EQ(run_b.iteration(), 5U);
+  ASSERT_TRUE(run_b.run({}, nullptr).is_ok());
+  EXPECT_EQ(run_b.iteration(), 10U);
+
+  double max_delta = 0;
+  for (std::size_t i = 0; i < run_a.particles().size(); ++i) {
+    max_delta = std::max(max_delta, std::abs(run_a.particles().x[i] -
+                                             run_b.particles().x[i]));
+  }
+  EXPECT_LT(max_delta, 1e-2);  // tracks within F32-quantization drift
+  EXPECT_GT(max_delta, 0.0);   // but is not bitwise identical (F32 capture)
+}
+
+TEST(HaccLiteRestart, RestoreRejectsWrongParticleCount) {
+  HaccLite source(small_config());
+  ASSERT_TRUE(source.initialize().is_ok());
+  repro::TempDir dir{"hacc-restart"};
+  ckpt::CheckpointWriter writer("haccette", "a", 1, 0);
+  ASSERT_TRUE(source.add_checkpoint_fields(writer).is_ok());
+  const auto path = dir.file("ckpt.ckpt");
+  ASSERT_TRUE(writer.write(path).is_ok());
+
+  SimConfig bigger = small_config();
+  bigger.num_particles = 1024;  // checkpoint holds 512
+  HaccLite target(bigger);
+  const auto reader = ckpt::CheckpointReader::open(path);
+  ASSERT_TRUE(reader.is_ok());
+  EXPECT_EQ(target.restore_from_checkpoint(reader.value()).code(),
+            repro::StatusCode::kFailedPrecondition);
+}
+
+TEST(HaccLiteRestart, RestoredStateMatchesCheckpointBitwise) {
+  HaccLite source(small_config());
+  ASSERT_TRUE(source.initialize().is_ok());
+  ASSERT_TRUE(source.step().is_ok());
+  repro::TempDir dir{"hacc-restart"};
+  ckpt::CheckpointWriter writer("haccette", "a", 1, 0);
+  ASSERT_TRUE(source.add_checkpoint_fields(writer).is_ok());
+  const auto path = dir.file("ckpt.ckpt");
+  ASSERT_TRUE(writer.write(path).is_ok());
+
+  HaccLite restored(small_config());
+  const auto reader = ckpt::CheckpointReader::open(path);
+  ASSERT_TRUE(reader.is_ok());
+  ASSERT_TRUE(restored.restore_from_checkpoint(reader.value()).is_ok());
+  // Restored state equals the F32-narrowed source state exactly.
+  for (std::size_t i = 0; i < source.particles().size(); ++i) {
+    EXPECT_EQ(static_cast<float>(source.particles().x[i]),
+              static_cast<float>(restored.particles().x[i]));
+    EXPECT_EQ(static_cast<float>(source.particles().phi[i]),
+              static_cast<float>(restored.particles().phi[i]));
+  }
+}
+
+}  // namespace
+}  // namespace repro::sim

@@ -1,0 +1,201 @@
+// End-to-end pipeline tests: haccette simulation -> VELOC-lite capture with
+// Merkle metadata -> history comparison, cross-validated against the Direct
+// and AllClose baselines. This is the paper's full workflow at mini scale.
+#include <gtest/gtest.h>
+
+#include "baseline/allclose.hpp"
+#include "baseline/direct.hpp"
+#include "ckpt/capture.hpp"
+#include "cluster/scaling.hpp"
+#include "common/fs.hpp"
+#include "compare/comparator.hpp"
+#include "sim/hacc_lite.hpp"
+
+namespace repro {
+namespace {
+
+constexpr double kEps = 1e-6;
+
+merkle::TreeParams tree_params() {
+  merkle::TreeParams params;
+  params.chunk_bytes = 4096;
+  params.hash.error_bound = kEps;
+  return params;
+}
+
+sim::SimConfig sim_config(std::uint64_t noise_seed, double jitter) {
+  sim::SimConfig config;
+  config.num_particles = 4096;
+  config.mesh_dim = 16;
+  config.box_size = 16.0;
+  config.steps = 12;
+  config.time_step = 0.02;
+  if (noise_seed != 0) {
+    config.noise.enabled = true;
+    config.noise.run_seed = noise_seed;
+    config.noise.jitter_magnitude = jitter;
+  }
+  return config;
+}
+
+/// Run haccette and capture checkpoints at iterations 4, 8, 12.
+void run_and_capture(const ckpt::HistoryCatalog& catalog,
+                     const std::string& run_id, std::uint64_t noise_seed,
+                     double jitter) {
+  TempDir local{"integration-local"};
+  ckpt::CaptureOptions capture_options;
+  capture_options.tree = tree_params();
+  capture_options.exec = par::Exec::serial();
+  ckpt::CaptureEngine engine(local.path(), catalog, capture_options);
+
+  sim::HaccLite app(sim_config(noise_seed, jitter));
+  ASSERT_TRUE(app.initialize().is_ok());
+  const std::vector<std::uint64_t> schedule{4, 8, 12};
+  ASSERT_TRUE(app.run(schedule, [&](std::uint64_t iteration) {
+                  ckpt::CheckpointWriter writer("haccette", run_id, iteration,
+                                                0);
+                  REPRO_RETURN_IF_ERROR(app.add_checkpoint_fields(writer));
+                  return engine.capture(writer);
+                })
+                  .is_ok());
+  ASSERT_TRUE(engine.wait_all().is_ok());
+}
+
+cmp::HistoryOptions history_options() {
+  cmp::HistoryOptions options;
+  options.pair_options.error_bound = kEps;
+  options.pair_options.tree = tree_params();
+  options.pair_options.backend = io::BackendKind::kPread;
+  return options;
+}
+
+TEST(Integration, DeterministicRunsProvedIdenticalFromMetadataAlone) {
+  TempDir pfs{"integration-pfs"};
+  ckpt::HistoryCatalog catalog{pfs.path()};
+  run_and_capture(catalog, "run-1", 0, 0.0);
+  run_and_capture(catalog, "run-2", 0, 0.0);
+
+  const auto history =
+      cmp::compare_histories(catalog, "run-1", "run-2", history_options());
+  ASSERT_TRUE(history.is_ok()) << history.status().to_string();
+  EXPECT_FALSE(history.value().first_divergent_iteration.has_value());
+  ASSERT_EQ(history.value().pairs.size(), 3U);
+  for (const auto& [pair, report] : history.value().pairs) {
+    EXPECT_TRUE(report.identical_within_bound());
+    // The ideal case (Section 3.4.3): zero checkpoint bytes re-read.
+    EXPECT_EQ(report.bytes_read_per_file, 0U);
+  }
+}
+
+TEST(Integration, NondeterministicRunsDivergenceDetectedAndLocalized) {
+  TempDir pfs{"integration-pfs"};
+  ckpt::HistoryCatalog catalog{pfs.path()};
+  run_and_capture(catalog, "run-1", 11, 1e-4);
+  run_and_capture(catalog, "run-2", 22, 1e-4);
+
+  cmp::HistoryOptions options = history_options();
+  options.pair_options.collect_diffs = true;
+  const auto history =
+      cmp::compare_histories(catalog, "run-1", "run-2", options);
+  ASSERT_TRUE(history.is_ok()) << history.status().to_string();
+  ASSERT_TRUE(history.value().first_divergent_iteration.has_value());
+  EXPECT_EQ(*history.value().first_divergent_iteration, 4U);
+
+  // Divergence grows over iterations (chaotic amplification).
+  const auto& pairs = history.value().pairs;
+  ASSERT_EQ(pairs.size(), 3U);
+  EXPECT_GT(pairs[2].second.values_exceeding,
+            pairs[0].second.values_exceeding);
+
+  // Located diffs carry Table 1 field names.
+  bool found_named_field = false;
+  for (const auto& diff : pairs[2].second.diffs) {
+    if (!diff.field.empty()) {
+      found_named_field = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_named_field);
+}
+
+TEST(Integration, OursMatchesDirectAndAllCloseOnSimData) {
+  TempDir pfs{"integration-pfs"};
+  ckpt::HistoryCatalog catalog{pfs.path()};
+  run_and_capture(catalog, "run-1", 11, 1e-4);
+  run_and_capture(catalog, "run-2", 22, 1e-4);
+
+  const auto pair = catalog.pair_runs("run-1", "run-2").value().back();
+
+  cmp::CompareOptions ours_options = history_options().pair_options;
+  const auto ours = cmp::compare_pair(pair, ours_options);
+  ASSERT_TRUE(ours.is_ok()) << ours.status().to_string();
+
+  baseline::DirectOptions direct_options;
+  direct_options.error_bound = kEps;
+  direct_options.backend = io::BackendKind::kPread;
+  const auto direct =
+      baseline::direct_compare(pair.run_a.checkpoint_path,
+                               pair.run_b.checkpoint_path, direct_options);
+  ASSERT_TRUE(direct.is_ok());
+
+  baseline::AllCloseOptions allclose_options;
+  allclose_options.atol = kEps;
+  const auto allclose =
+      baseline::allclose_files(pair.run_a.checkpoint_path,
+                               pair.run_b.checkpoint_path, allclose_options);
+  ASSERT_TRUE(allclose.is_ok());
+
+  // All three methods agree on the exact number of out-of-bound values.
+  EXPECT_EQ(ours.value().values_exceeding, direct.value().values_exceeding);
+  EXPECT_EQ(ours.value().values_exceeding,
+            allclose.value().values_exceeding);
+  EXPECT_GT(ours.value().values_exceeding, 0U);
+
+  // And ours did it reading no more than Direct (usually far less).
+  EXPECT_LE(ours.value().bytes_read_per_file,
+            direct.value().bytes_read_per_file);
+}
+
+TEST(Integration, ScalingRunnerOverSimHistory) {
+  TempDir pfs{"integration-pfs"};
+  ckpt::HistoryCatalog catalog{pfs.path()};
+  run_and_capture(catalog, "run-1", 11, 1e-4);
+  run_and_capture(catalog, "run-2", 22, 1e-4);
+  const auto pairs = catalog.pair_runs("run-1", "run-2").value();
+
+  cluster::ScalingOptions options;
+  options.num_processes = 2;
+  options.method = cluster::Method::kOurs;
+  options.ours = history_options().pair_options;
+  const auto result = cluster::run_scaling(pairs, options);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().pairs_compared, 3U);
+  EXPECT_GT(result.value().aggregate_throughput(), 0.0);
+}
+
+TEST(Integration, CiGateWorkflow) {
+  // The conclusion's CI use case: store a golden tree for the expected
+  // result; a code change that shifts results beyond the bound is caught
+  // from metadata alone.
+  TempDir pfs{"integration-pfs"};
+  ckpt::HistoryCatalog catalog{pfs.path()};
+  run_and_capture(catalog, "golden", 0, 0.0);
+
+  // "New build" with identical numerics: gate passes.
+  run_and_capture(catalog, "candidate-good", 0, 0.0);
+  const auto good = cmp::compare_histories(catalog, "golden",
+                                           "candidate-good",
+                                           history_options());
+  ASSERT_TRUE(good.is_ok());
+  EXPECT_FALSE(good.value().first_divergent_iteration.has_value());
+
+  // "Regressed build" (jitter models a numerics-affecting change): caught.
+  run_and_capture(catalog, "candidate-bad", 33, 1e-3);
+  const auto bad = cmp::compare_histories(catalog, "golden", "candidate-bad",
+                                          history_options());
+  ASSERT_TRUE(bad.is_ok());
+  EXPECT_TRUE(bad.value().first_divergent_iteration.has_value());
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,206 @@
+#include "merkle/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/workload.hpp"
+
+namespace repro::merkle {
+namespace {
+
+TreeParams test_params(std::uint64_t chunk_bytes = 1024) {
+  TreeParams params;
+  params.chunk_bytes = chunk_bytes;
+  params.hash.error_bound = 1e-5;
+  return params;
+}
+
+std::span<const std::uint8_t> as_bytes(const std::vector<float>& values) {
+  return {reinterpret_cast<const std::uint8_t*>(values.data()),
+          values.size() * sizeof(float)};
+}
+
+MerkleTree build(const std::vector<float>& values, const TreeParams& params) {
+  return TreeBuilder(params, par::Exec::serial()).build(as_bytes(values))
+      .value();
+}
+
+/// Perturb `chunks` (value regions of chunk granularity) well above the
+/// bound and return the expected flagged chunk set.
+std::set<std::uint64_t> perturb_chunks(std::vector<float>& values,
+                                       std::uint64_t chunk_bytes,
+                                       const std::vector<std::uint64_t>& chunks) {
+  const std::uint64_t chunk_values = chunk_bytes / sizeof(float);
+  std::set<std::uint64_t> expected;
+  for (const std::uint64_t chunk : chunks) {
+    const std::uint64_t victim = chunk * chunk_values;
+    if (victim < values.size()) {
+      values[victim] += 1.0f;
+      expected.insert(chunk);
+    }
+  }
+  return expected;
+}
+
+TEST(CompareTrees, IdenticalTreesNoDiffs) {
+  const auto values = sim::generate_field(8192, 1);
+  const MerkleTree a = build(values, test_params());
+  const MerkleTree b = build(values, test_params());
+  TreeCompareStats stats;
+  const auto diffs = compare_trees(a, b, {}, &stats);
+  ASSERT_TRUE(diffs.is_ok());
+  EXPECT_TRUE(diffs.value().empty());
+  EXPECT_GT(stats.nodes_visited, 0U);
+}
+
+TEST(CompareTrees, FlagsExactlyThePerturbedChunks) {
+  const auto base = sim::generate_field(16384, 2);  // 64 KiB -> 64 chunks
+  auto changed = base;
+  const auto expected =
+      perturb_chunks(changed, 1024, {0, 7, 8, 31, 32, 63});
+  const MerkleTree a = build(base, test_params());
+  const MerkleTree b = build(changed, test_params());
+  const auto diffs = compare_trees(a, b);
+  ASSERT_TRUE(diffs.is_ok());
+  EXPECT_EQ(std::set<std::uint64_t>(diffs.value().begin(),
+                                    diffs.value().end()),
+            expected);
+}
+
+TEST(CompareTrees, ResultIsSorted) {
+  const auto base = sim::generate_field(16384, 3);
+  auto changed = base;
+  perturb_chunks(changed, 1024, {50, 3, 17, 44, 9});
+  const auto diffs = compare_trees(build(base, test_params()),
+                                   build(changed, test_params()));
+  ASSERT_TRUE(diffs.is_ok());
+  EXPECT_TRUE(std::is_sorted(diffs.value().begin(), diffs.value().end()));
+}
+
+TEST(CompareTrees, RejectsMismatchedParams) {
+  const auto values = sim::generate_field(4096, 4);
+  const MerkleTree a = build(values, test_params(1024));
+  const MerkleTree b = build(values, test_params(2048));
+  EXPECT_EQ(compare_trees(a, b).status().code(),
+            repro::StatusCode::kFailedPrecondition);
+
+  TreeParams other_eps = test_params(1024);
+  other_eps.hash.error_bound = 1e-3;
+  const MerkleTree c = build(values, other_eps);
+  EXPECT_FALSE(compare_trees(a, c).is_ok());
+}
+
+TEST(CompareTrees, RejectsMismatchedDataSizes) {
+  const auto big = sim::generate_field(4096, 5);
+  const auto small = sim::generate_field(2048, 5);
+  EXPECT_FALSE(compare_trees(build(big, test_params()),
+                             build(small, test_params()))
+                   .is_ok());
+}
+
+TEST(CompareTrees, PaddingLeavesNeverReported) {
+  // 5 real chunks padded to 8: perturb the last real chunk and confirm no
+  // phantom indices >= 5 appear.
+  const auto base = sim::generate_field(1280, 6);  // 5 KiB
+  auto changed = base;
+  perturb_chunks(changed, 1024, {4});
+  const auto diffs = compare_trees(build(base, test_params()),
+                                   build(changed, test_params()));
+  ASSERT_TRUE(diffs.is_ok());
+  ASSERT_EQ(diffs.value().size(), 1U);
+  EXPECT_EQ(diffs.value().front(), 4U);
+}
+
+TEST(CompareTrees, AllChunksChanged) {
+  const auto base = sim::generate_field(8192, 7);
+  std::vector<float> changed(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) changed[i] = base[i] + 2.0f;
+  const auto diffs = compare_trees(build(base, test_params()),
+                                   build(changed, test_params()));
+  ASSERT_TRUE(diffs.is_ok());
+  EXPECT_EQ(diffs.value().size(), 32U);  // 32 KiB / 1 KiB
+}
+
+TEST(AutoStartLevel, ScalesWithWaysAndClamps) {
+  const TreeLayout deep = TreeLayout::for_leaves(1 << 16);
+  EXPECT_EQ(auto_start_level(deep, 1), 2U);    // 2^2 = 4 >= 4*1
+  EXPECT_EQ(auto_start_level(deep, 8), 5U);    // 2^5 = 32 >= 32
+  EXPECT_EQ(auto_start_level(deep, 1000), 12U);
+  const TreeLayout shallow = TreeLayout::for_leaves(4);
+  EXPECT_LE(auto_start_level(shallow, 1000), shallow.depth);
+}
+
+// The core exactness property: for every start level, the pruned BFS must
+// return exactly the leaves a brute-force scan finds.
+class StartLevelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StartLevelSweep, BfsEqualsBruteForce) {
+  repro::Xoshiro256 rng(100 + GetParam());
+  for (const std::size_t value_count : {700UL, 4096UL, 16384UL, 20000UL}) {
+    const auto base = sim::generate_field(value_count, rng.next());
+    auto changed = base;
+    // Random chunk subset perturbed.
+    std::vector<std::uint64_t> victims;
+    const std::uint64_t num_chunks =
+        (value_count * 4 + 1023) / 1024;
+    for (std::uint64_t c = 0; c < num_chunks; ++c) {
+      if (rng.next_double() < 0.3) victims.push_back(c);
+    }
+    perturb_chunks(changed, 1024, victims);
+
+    const MerkleTree a = build(base, test_params());
+    const MerkleTree b = build(changed, test_params());
+
+    TreeCompareOptions options;
+    options.start_level = GetParam();
+    options.exec = par::Exec::parallel();
+    const auto bfs = compare_trees(a, b, options);
+    ASSERT_TRUE(bfs.is_ok());
+    EXPECT_EQ(bfs.value(), compare_leaves_bruteforce(a, b))
+        << "values=" << value_count << " start_level=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, StartLevelSweep,
+                         ::testing::Values(-1, 0, 1, 2, 3, 4, 5, 30),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return info.param < 0
+                                      ? std::string{"Auto"}
+                                      : "L" + std::to_string(info.param);
+                         });
+
+TEST(CompareTrees, PruningReducesVisitsWhenDataAgrees) {
+  const auto values = sim::generate_field(1 << 16, 8);  // 256 chunks
+  const MerkleTree a = build(values, test_params());
+  const MerkleTree b = build(values, test_params());
+  TreeCompareOptions options;
+  options.start_level = 0;  // root
+  TreeCompareStats stats;
+  ASSERT_TRUE(compare_trees(a, b, options, &stats).is_ok());
+  // Identical trees from the root: exactly one node visited.
+  EXPECT_EQ(stats.nodes_visited, 1U);
+  EXPECT_EQ(stats.subtrees_pruned, 1U);
+}
+
+TEST(CompareTrees, StatsCountVisitsAndLevels) {
+  const auto base = sim::generate_field(16384, 9);
+  auto changed = base;
+  perturb_chunks(changed, 1024, {10});
+  TreeCompareOptions options;
+  options.start_level = 0;
+  TreeCompareStats stats;
+  const auto diffs = compare_trees(build(base, test_params()),
+                                   build(changed, test_params()), options,
+                                   &stats);
+  ASSERT_TRUE(diffs.is_ok());
+  // One divergent path root->leaf: ~2 visits per level.
+  const TreeLayout layout = TreeLayout::for_leaves(64);
+  EXPECT_EQ(stats.levels_traversed, layout.depth + 1U);
+  EXPECT_LE(stats.nodes_visited, 2U * (layout.depth + 1));
+}
+
+}  // namespace
+}  // namespace repro::merkle

@@ -1,0 +1,110 @@
+#include "merkle/layout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::merkle {
+namespace {
+
+TEST(TreeLayout, SingleLeaf) {
+  const TreeLayout layout = TreeLayout::for_leaves(1);
+  EXPECT_EQ(layout.padded_leaves, 1U);
+  EXPECT_EQ(layout.depth, 0U);
+  EXPECT_EQ(layout.num_nodes(), 1U);
+  EXPECT_EQ(layout.leaf_node(0), 0U);
+  EXPECT_TRUE(layout.is_leaf_node(0));
+}
+
+TEST(TreeLayout, PowerOfTwoLeaves) {
+  const TreeLayout layout = TreeLayout::for_leaves(8);
+  EXPECT_EQ(layout.padded_leaves, 8U);
+  EXPECT_EQ(layout.depth, 3U);
+  EXPECT_EQ(layout.num_nodes(), 15U);
+}
+
+TEST(TreeLayout, NonPowerOfTwoPads) {
+  const TreeLayout layout = TreeLayout::for_leaves(5);
+  EXPECT_EQ(layout.num_leaves, 5U);
+  EXPECT_EQ(layout.padded_leaves, 8U);
+  EXPECT_EQ(layout.depth, 3U);
+}
+
+TEST(TreeLayout, ZeroLeavesDegeneratesToOne) {
+  const TreeLayout layout = TreeLayout::for_leaves(0);
+  EXPECT_EQ(layout.padded_leaves, 1U);
+  EXPECT_EQ(layout.num_nodes(), 1U);
+}
+
+TEST(TreeLayout, LevelRanges) {
+  EXPECT_EQ(TreeLayout::level_begin(0), 0U);
+  EXPECT_EQ(TreeLayout::level_end(0), 1U);
+  EXPECT_EQ(TreeLayout::level_begin(1), 1U);
+  EXPECT_EQ(TreeLayout::level_end(1), 3U);
+  EXPECT_EQ(TreeLayout::level_begin(3), 7U);
+  EXPECT_EQ(TreeLayout::level_end(3), 15U);
+}
+
+TEST(TreeLayout, ParentChildInverse) {
+  for (std::uint64_t node = 0; node < 127; ++node) {
+    EXPECT_EQ(TreeLayout::parent(TreeLayout::left_child(node)), node);
+    EXPECT_EQ(TreeLayout::parent(TreeLayout::right_child(node)), node);
+    EXPECT_EQ(TreeLayout::right_child(node),
+              TreeLayout::left_child(node) + 1);
+  }
+}
+
+TEST(TreeLayout, LevelsTileTheTree) {
+  const TreeLayout layout = TreeLayout::for_leaves(64);
+  std::uint64_t cursor = 0;
+  for (std::uint32_t level = 0; level <= layout.depth; ++level) {
+    EXPECT_EQ(TreeLayout::level_begin(level), cursor);
+    cursor = TreeLayout::level_end(level);
+  }
+  EXPECT_EQ(cursor, layout.num_nodes());
+}
+
+TEST(TreeLayout, LeafNodeRoundTrip) {
+  const TreeLayout layout = TreeLayout::for_leaves(37);
+  for (std::uint64_t leaf = 0; leaf < layout.padded_leaves; ++leaf) {
+    const std::uint64_t node = layout.leaf_node(leaf);
+    EXPECT_TRUE(layout.is_leaf_node(node));
+    EXPECT_EQ(layout.node_leaf(node), leaf);
+    EXPECT_LT(node, layout.num_nodes());
+  }
+}
+
+TEST(TreeLayout, InternalNodesAreNotLeaves) {
+  const TreeLayout layout = TreeLayout::for_leaves(16);
+  for (std::uint64_t node = 0; node < layout.padded_leaves - 1; ++node) {
+    EXPECT_FALSE(layout.is_leaf_node(node)) << node;
+  }
+}
+
+TEST(TreeLayout, ChildrenOfInternalNodesStayInside) {
+  const TreeLayout layout = TreeLayout::for_leaves(32);
+  for (std::uint64_t node = 0; node < layout.padded_leaves - 1; ++node) {
+    EXPECT_LT(TreeLayout::right_child(node), layout.num_nodes());
+  }
+}
+
+class LayoutSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LayoutSweep, InvariantsHoldForLeafCount) {
+  const std::uint64_t leaves = GetParam();
+  const TreeLayout layout = TreeLayout::for_leaves(leaves);
+  EXPECT_GE(layout.padded_leaves, std::max<std::uint64_t>(leaves, 1));
+  EXPECT_LT(layout.padded_leaves, 2 * std::max<std::uint64_t>(leaves, 1));
+  EXPECT_EQ(layout.num_nodes(), 2 * layout.padded_leaves - 1);
+  EXPECT_EQ(std::uint64_t{1} << layout.depth, layout.padded_leaves);
+  // Deepest level holds exactly the padded leaves.
+  EXPECT_EQ(TreeLayout::level_end(layout.depth) -
+                TreeLayout::level_begin(layout.depth),
+            layout.padded_leaves);
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafCounts, LayoutSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                                           31, 33, 100, 1000, 4095, 4096,
+                                           4097));
+
+}  // namespace
+}  // namespace repro::merkle

@@ -1,0 +1,198 @@
+#include "merkle/proof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sim/workload.hpp"
+
+namespace repro::merkle {
+namespace {
+
+TreeParams params_of(std::uint64_t chunk_bytes = 1024) {
+  TreeParams params;
+  params.chunk_bytes = chunk_bytes;
+  params.hash.error_bound = 1e-5;
+  return params;
+}
+
+std::span<const std::uint8_t> as_bytes(const std::vector<float>& values) {
+  return {reinterpret_cast<const std::uint8_t*>(values.data()),
+          values.size() * sizeof(float)};
+}
+
+MerkleTree build(const std::vector<float>& values,
+                 const TreeParams& params = params_of()) {
+  return TreeBuilder(params, par::Exec::serial()).build(as_bytes(values))
+      .value();
+}
+
+TEST(InclusionProof, EveryChunkVerifiesAgainstRoot) {
+  const auto values = sim::generate_field(13000, 1);  // 51 chunks, not pow2
+  const MerkleTree tree = build(values);
+  for (std::uint64_t chunk = 0; chunk < tree.num_chunks(); ++chunk) {
+    const auto proof = prove_inclusion(tree, chunk);
+    ASSERT_TRUE(proof.is_ok()) << chunk;
+    EXPECT_TRUE(verify_inclusion(proof.value(), tree.root()).is_ok())
+        << chunk;
+    EXPECT_EQ(proof.value().siblings.size(), tree.layout().depth);
+  }
+}
+
+TEST(InclusionProof, SingleChunkTreeHasEmptyPath) {
+  const auto values = sim::generate_field(100, 2);  // one chunk
+  const MerkleTree tree = build(values);
+  const auto proof = prove_inclusion(tree, 0);
+  ASSERT_TRUE(proof.is_ok());
+  EXPECT_TRUE(proof.value().siblings.empty());
+  EXPECT_TRUE(verify_inclusion(proof.value(), tree.root()).is_ok());
+}
+
+TEST(InclusionProof, OutOfRangeChunkRejected) {
+  const auto values = sim::generate_field(1000, 3);
+  const MerkleTree tree = build(values);
+  EXPECT_FALSE(prove_inclusion(tree, tree.num_chunks()).is_ok());
+}
+
+TEST(InclusionProof, WrongRootRejected) {
+  const auto values = sim::generate_field(5000, 4);
+  const MerkleTree tree = build(values);
+  const auto proof = prove_inclusion(tree, 7).value();
+  hash::Digest128 wrong_root = tree.root();
+  wrong_root.lo ^= 1;
+  const repro::Status status = verify_inclusion(proof, wrong_root);
+  EXPECT_EQ(status.code(), repro::StatusCode::kFailedPrecondition);
+}
+
+TEST(InclusionProof, TamperedLeafRejected) {
+  const auto values = sim::generate_field(5000, 5);
+  const MerkleTree tree = build(values);
+  auto proof = prove_inclusion(tree, 3).value();
+  proof.leaf.hi ^= 0xFF;
+  EXPECT_FALSE(verify_inclusion(proof, tree.root()).is_ok());
+}
+
+TEST(InclusionProof, TamperedSiblingRejected) {
+  const auto values = sim::generate_field(5000, 6);
+  const MerkleTree tree = build(values);
+  auto proof = prove_inclusion(tree, 3).value();
+  ASSERT_FALSE(proof.siblings.empty());
+  proof.siblings[1].lo ^= 0x10;
+  EXPECT_FALSE(verify_inclusion(proof, tree.root()).is_ok());
+}
+
+TEST(InclusionProof, ProofForOneChunkDoesNotVerifyAnother) {
+  const auto values = sim::generate_field(9000, 7);
+  const MerkleTree tree = build(values);
+  auto proof = prove_inclusion(tree, 2).value();
+  proof.chunk = 3;  // claim a different position
+  EXPECT_FALSE(verify_inclusion(proof, tree.root()).is_ok());
+}
+
+TEST(InclusionProof, WrongDepthRejected) {
+  const auto values = sim::generate_field(9000, 8);
+  const MerkleTree tree = build(values);
+  auto proof = prove_inclusion(tree, 0).value();
+  proof.siblings.pop_back();
+  EXPECT_EQ(verify_inclusion(proof, tree.root()).code(),
+            repro::StatusCode::kInvalidArgument);
+}
+
+TEST(InclusionProof, SerializationRoundTrip) {
+  const auto values = sim::generate_field(20000, 9);
+  const MerkleTree tree = build(values);
+  const auto proof = prove_inclusion(tree, 42).value();
+  const auto bytes = proof.serialize();
+  const auto restored = InclusionProof::deserialize(bytes);
+  ASSERT_TRUE(restored.is_ok());
+  EXPECT_EQ(restored.value().chunk, 42U);
+  EXPECT_EQ(restored.value().leaf, proof.leaf);
+  EXPECT_EQ(restored.value().siblings, proof.siblings);
+  EXPECT_TRUE(verify_inclusion(restored.value(), tree.root()).is_ok());
+}
+
+TEST(InclusionProof, DeserializeRejectsGarbage) {
+  std::vector<std::uint8_t> garbage(100, 0xAB);
+  EXPECT_FALSE(InclusionProof::deserialize(garbage).is_ok());
+  EXPECT_FALSE(InclusionProof::deserialize({}).is_ok());
+}
+
+TEST(InclusionProof, ProofSizeIsLogarithmic) {
+  const auto values = sim::generate_field(1 << 18, 10);  // 1024 chunks
+  const MerkleTree tree = build(values);
+  const auto proof = prove_inclusion(tree, 100).value();
+  // depth = 10 levels -> ~10 digests; far smaller than full metadata.
+  EXPECT_EQ(proof.siblings.size(), 10U);
+  EXPECT_LT(proof.serialize().size(), 256U);
+  EXPECT_GT(tree.metadata_bytes(), 30000U);
+}
+
+TEST(VerifyChunkData, BindsDataToRoot) {
+  const auto params = params_of();
+  const auto values = sim::generate_field(10000, 11);
+  const MerkleTree tree = build(values, params);
+  const auto proof = prove_inclusion(tree, 5).value();
+
+  const auto [begin, end] = tree.chunk_range(5);
+  const std::span<const std::uint8_t> chunk_data =
+      as_bytes(values).subspan(begin, end - begin);
+  EXPECT_TRUE(
+      verify_chunk_data(proof, chunk_data, params, tree.root()).is_ok());
+}
+
+TEST(VerifyChunkData, WithinBoundDataStillVerifies) {
+  // The error-bounded twist on the classic mechanism: data that drifted
+  // within the bound (same quantization cells) still proves inclusion.
+  const auto params = params_of();
+  const double eps = params.hash.error_bound;
+  auto values = sim::generate_field(10000, 12);
+  for (auto& v : values) {
+    v = static_cast<float>(std::llround(static_cast<double>(v) / eps) * eps);
+  }
+  const MerkleTree tree = build(values, params);
+  const auto proof = prove_inclusion(tree, 5).value();
+
+  auto drifted = values;
+  for (auto& v : drifted) {
+    v = static_cast<float>(static_cast<double>(v) + 0.2 * eps);
+  }
+  const auto [begin, end] = tree.chunk_range(5);
+  EXPECT_TRUE(verify_chunk_data(proof,
+                                as_bytes(drifted).subspan(begin, end - begin),
+                                params, tree.root())
+                  .is_ok());
+}
+
+TEST(VerifyChunkData, OutOfBoundDataRejected) {
+  const auto params = params_of();
+  auto values = sim::generate_field(10000, 13);
+  const MerkleTree tree = build(values, params);
+  const auto proof = prove_inclusion(tree, 5).value();
+
+  values[5 * 256 + 3] += 1.0f;  // well beyond the bound
+  const auto [begin, end] = tree.chunk_range(5);
+  const repro::Status status = verify_chunk_data(
+      proof, as_bytes(values).subspan(begin, end - begin), params,
+      tree.root());
+  EXPECT_EQ(status.code(), repro::StatusCode::kFailedPrecondition);
+}
+
+TEST(InclusionProof, RandomizedSweepOverShapesAndChunks) {
+  repro::Xoshiro256 rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t count = 500 + rng.next_below(30000);
+    const auto values = sim::generate_field(count, rng.next());
+    const MerkleTree tree = build(values);
+    for (int probes = 0; probes < 5; ++probes) {
+      const std::uint64_t chunk = rng.next_below(tree.num_chunks());
+      const auto proof = prove_inclusion(tree, chunk);
+      ASSERT_TRUE(proof.is_ok());
+      EXPECT_TRUE(verify_inclusion(proof.value(), tree.root()).is_ok())
+          << "count=" << count << " chunk=" << chunk;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro::merkle

@@ -1,0 +1,183 @@
+#include "compare/online.hpp"
+
+#include "compare/comparator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/fs.hpp"
+#include "merkle/tree.hpp"
+#include "sim/workload.hpp"
+
+namespace repro::cmp {
+namespace {
+
+constexpr double kEps = 1e-5;
+
+merkle::TreeParams tree_params() {
+  merkle::TreeParams params;
+  params.chunk_bytes = 4096;
+  params.hash.error_bound = kEps;
+  return params;
+}
+
+/// Store a reference checkpoint + capture-time metadata in the catalog.
+void store_reference(const ckpt::HistoryCatalog& catalog,
+                     std::uint64_t iteration,
+                     const std::vector<float>& values) {
+  const auto ref = catalog.make_ref("reference", iteration, 0);
+  ASSERT_TRUE(ref.is_ok());
+  ckpt::CheckpointWriter writer("test", "reference", iteration, 0);
+  ASSERT_TRUE(writer.add_field_f32("X", values).is_ok());
+  ASSERT_TRUE(writer.write(ref.value().checkpoint_path).is_ok());
+  const auto tree = merkle::TreeBuilder(tree_params(), par::Exec::serial())
+                        .build(writer.data_section());
+  ASSERT_TRUE(tree.is_ok());
+  ASSERT_TRUE(tree.value().save(ref.value().metadata_path).is_ok());
+}
+
+ckpt::CheckpointWriter live_writer(std::uint64_t iteration,
+                                   const std::vector<float>& values) {
+  ckpt::CheckpointWriter writer("test", "live", iteration, 0);
+  EXPECT_TRUE(writer.add_field_f32("X", values).is_ok());
+  return writer;
+}
+
+OnlineOptions online_options() {
+  OnlineOptions options;
+  options.error_bound = kEps;
+  options.tree = tree_params();
+  options.backend = io::BackendKind::kPread;
+  return options;
+}
+
+class OnlineTest : public ::testing::Test {
+ protected:
+  OnlineTest() : dir_{"online-test"}, catalog_{dir_.path()} {}
+  repro::TempDir dir_;
+  ckpt::HistoryCatalog catalog_;
+};
+
+TEST_F(OnlineTest, MatchingLiveDataReadsNothing) {
+  const auto values = sim::generate_field(30000, 1);
+  store_reference(catalog_, 10, values);
+
+  OnlineComparator monitor(catalog_, "reference", online_options());
+  const auto report = monitor.check(live_writer(10, values));
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_TRUE(report.value().identical_within_bound());
+  EXPECT_EQ(report.value().bytes_read_per_file, 0U);
+  EXPECT_EQ(monitor.reference_bytes_read(), 0U);
+  EXPECT_FALSE(monitor.first_divergent_iteration().has_value());
+}
+
+TEST_F(OnlineTest, DivergenceDetectedAndCountedExactly) {
+  const auto values = sim::generate_field(30000, 2);
+  store_reference(catalog_, 10, values);
+
+  auto live = values;
+  sim::apply_divergence(live, {.region_fraction = 0.05, .region_values = 200,
+                               .magnitude = 1e-3});
+  const std::uint64_t truth = sim::count_exceeding(values, live, kEps);
+
+  OnlineComparator monitor(catalog_, "reference", online_options());
+  const auto report = monitor.check(live_writer(10, live));
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().values_exceeding, truth);
+  EXPECT_GT(truth, 0U);
+  // Only the flagged fraction of the reference was read.
+  EXPECT_GT(monitor.reference_bytes_read(), 0U);
+  EXPECT_LT(monitor.reference_bytes_read(), values.size() * 4);
+  EXPECT_EQ(monitor.first_divergent_iteration(), 10U);
+}
+
+TEST_F(OnlineTest, DiffsLocalized) {
+  auto values = sim::generate_field(10000, 3);
+  store_reference(catalog_, 10, values);
+  values[777] += 1.0f;
+
+  OnlineOptions options = online_options();
+  options.collect_diffs = true;
+  OnlineComparator monitor(catalog_, "reference", options);
+  const auto report = monitor.check(live_writer(10, values));
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_EQ(report.value().diffs.size(), 1U);
+  EXPECT_EQ(report.value().diffs[0].field, "X");
+  EXPECT_EQ(report.value().diffs[0].element_index, 777U);
+}
+
+TEST_F(OnlineTest, TracksHistoryAcrossIterations) {
+  OnlineComparator monitor(catalog_, "reference", online_options());
+  for (const std::uint64_t iteration : {10U, 20U, 30U}) {
+    auto values = sim::generate_field(10000, iteration);
+    store_reference(catalog_, iteration, values);
+    if (iteration >= 20) {
+      sim::apply_divergence(values,
+                            {.region_fraction = 0.02, .region_values = 100,
+                             .magnitude = 1e-3, .seed = iteration});
+    }
+    const auto report = monitor.check(live_writer(iteration, values));
+    ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  }
+  ASSERT_EQ(monitor.history().size(), 3U);
+  EXPECT_EQ(monitor.first_divergent_iteration(), 20U);
+  EXPECT_TRUE(std::get<2>(monitor.history()[0]).identical_within_bound());
+  EXPECT_FALSE(std::get<2>(monitor.history()[1]).identical_within_bound());
+}
+
+TEST_F(OnlineTest, MissingReferenceIterationFails) {
+  OnlineComparator monitor(catalog_, "reference", online_options());
+  const auto values = sim::generate_field(1000, 4);
+  EXPECT_FALSE(monitor.check(live_writer(99, values)).is_ok());
+}
+
+TEST_F(OnlineTest, MismatchedBoundRejected) {
+  const auto values = sim::generate_field(10000, 5);
+  store_reference(catalog_, 10, values);
+  OnlineOptions options = online_options();
+  options.error_bound = 1e-3;  // reference captured at 1e-5
+  options.tree.hash.error_bound = 1e-3;
+  OnlineComparator monitor(catalog_, "reference", options);
+  const auto report = monitor.check(live_writer(10, values));
+  ASSERT_FALSE(report.is_ok());
+  EXPECT_EQ(report.status().code(), repro::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(OnlineTest, SizeMismatchRejected) {
+  store_reference(catalog_, 10, sim::generate_field(10000, 6));
+  OnlineComparator monitor(catalog_, "reference", online_options());
+  EXPECT_FALSE(
+      monitor.check(live_writer(10, sim::generate_field(5000, 6))).is_ok());
+}
+
+TEST_F(OnlineTest, AgreesWithOfflineComparator) {
+  const auto values = sim::generate_field(40000, 7);
+  store_reference(catalog_, 10, values);
+  auto live = values;
+  sim::apply_divergence(live, {.region_fraction = 0.1, .region_values = 300,
+                               .magnitude = 1e-3});
+
+  // Online result.
+  OnlineComparator monitor(catalog_, "reference", online_options());
+  const auto online = monitor.check(live_writer(10, live));
+  ASSERT_TRUE(online.is_ok());
+
+  // Offline result over the same pair (live written to disk).
+  const auto live_path = dir_.file("live.ckpt");
+  const ckpt::CheckpointWriter writer = live_writer(10, live);
+  ASSERT_TRUE(writer.write(live_path).is_ok());
+  CompareOptions offline_options;
+  offline_options.error_bound = kEps;
+  offline_options.tree = tree_params();
+  offline_options.backend = io::BackendKind::kPread;
+  const auto offline = compare_files(
+      catalog_.ref("reference", 10, 0).checkpoint_path, live_path,
+      offline_options);
+  ASSERT_TRUE(offline.is_ok()) << offline.status().to_string();
+
+  EXPECT_EQ(online.value().values_exceeding,
+            offline.value().values_exceeding);
+  EXPECT_EQ(online.value().chunks_flagged, offline.value().chunks_flagged);
+}
+
+}  // namespace
+}  // namespace repro::cmp

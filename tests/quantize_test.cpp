@@ -1,0 +1,139 @@
+#include "hash/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace repro::hash {
+namespace {
+
+TEST(Quantize, IdenticalValuesSameCell) {
+  for (const double eps : {1e-3, 1e-5, 1e-7}) {
+    EXPECT_EQ(quantize(0.12345, eps), quantize(0.12345, eps));
+    EXPECT_EQ(quantize(-42.0, eps), quantize(-42.0, eps));
+    EXPECT_EQ(quantize(0.0, eps), quantize(-0.0, eps));
+  }
+}
+
+TEST(Quantize, ZeroMapsToZeroCell) {
+  EXPECT_EQ(quantize(0.0, 1e-6), 0);
+}
+
+TEST(Quantize, CellIndexScalesWithValue) {
+  EXPECT_EQ(quantize(5e-6, 1e-6), 5);
+  EXPECT_EQ(quantize(-5e-6, 1e-6), -5);
+  EXPECT_EQ(quantize(1.0, 0.5), 2);
+}
+
+TEST(Quantize, NanIsReproducibleWithItself) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(quantize(nan, 1e-6), quantize(nan, 1e-6));
+  EXPECT_NE(quantize(nan, 1e-6), quantize(0.0, 1e-6));
+  EXPECT_NE(quantize(nan, 1e-6), quantize(1e9, 1e-6));
+}
+
+TEST(Quantize, InfinitiesSaturateDistinctly) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(quantize(inf, 1e-6), quantize(inf, 1e-6));
+  EXPECT_EQ(quantize(-inf, 1e-6), quantize(-inf, 1e-6));
+  EXPECT_NE(quantize(inf, 1e-6), quantize(-inf, 1e-6));
+  EXPECT_NE(quantize(inf, 1e-6), quantize(0.0, 1e-6));
+}
+
+TEST(Quantize, HugeFiniteValuesSaturateWithoutUB) {
+  const double huge = 1e300;
+  EXPECT_EQ(quantize(huge, 1e-7), quantize(huge * 2, 1e-7));  // both saturate
+  EXPECT_NE(quantize(huge, 1e-7), quantize(-huge, 1e-7));
+}
+
+// The conservative guarantee (Section 3.4.3: "the hash function correctly
+// identifies all chunks that contain changes that exceed the error bound"):
+// |a - b| > eps  =>  different cells. A 1-ulp relative margin accounts for
+// the rounding of a/eps itself (documented in quantize.hpp).
+class QuantizeConservative : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantizeConservative, RandomPairsNeverFalseNegative) {
+  const double eps = GetParam();
+  repro::Xoshiro256 rng(2024);
+  int tested = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const double a = (rng.next_double() * 2 - 1) * 100.0;
+    // Deltas spanning far below to far above eps.
+    const double scale = std::pow(10.0, rng.next_double() * 4 - 2);
+    const double b = a + (rng.next_double() < 0.5 ? -1 : 1) * eps * scale;
+    if (std::abs(a - b) > eps * (1 + 1e-9)) {
+      EXPECT_NE(quantize(a, eps), quantize(b, eps))
+          << "a=" << a << " b=" << b << " eps=" << eps;
+      ++tested;
+    }
+  }
+  EXPECT_GT(tested, 10000);  // the sweep actually exercised the guarantee
+}
+
+TEST_P(QuantizeConservative, AdversarialPairsJustOverBound) {
+  const double eps = GetParam();
+  repro::Xoshiro256 rng(99);
+  for (int i = 0; i < 50000; ++i) {
+    const double a = (rng.next_double() * 2 - 1) * 10.0;
+    const double b = a + (rng.next_double() < 0.5 ? -1 : 1) * eps * 1.0001;
+    if (std::abs(a - b) > eps * (1 + 1e-9)) {
+      EXPECT_NE(quantize(a, eps), quantize(b, eps));
+    }
+  }
+}
+
+TEST_P(QuantizeConservative, PairsWellWithinBoundUsuallyCollide) {
+  // Not a guarantee (cell-boundary straddles are the false positives of
+  // Figure 7b), but for deltas << eps the collision rate must be high.
+  const double eps = GetParam();
+  repro::Xoshiro256 rng(7);
+  int same = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double a = (rng.next_double() * 2 - 1) * 10.0;
+    const double b = a + (rng.next_double() * 2 - 1) * eps * 0.01;
+    if (quantize(a, eps) == quantize(b, eps)) ++same;
+  }
+  EXPECT_GT(same, kTrials * 95 / 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(ErrorBounds, QuantizeConservative,
+                         ::testing::Values(1e-3, 1e-4, 1e-5, 1e-6, 1e-7),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "eps1em" +
+                                  std::to_string(-static_cast<int>(
+                                      std::log10(info.param) - 0.5));
+                         });
+
+TEST(RoundToGrid, AgreesWithQuantize) {
+  repro::Xoshiro256 rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const double v = (rng.next_double() * 2 - 1) * 50.0;
+    const double eps =
+        std::pow(10.0, -static_cast<int>(rng.next_below(5) + 3));
+    const double grid = round_to_grid(v, eps);
+    // The rescaled representative must sit on the cell the index names.
+    EXPECT_NEAR(grid, static_cast<double>(quantize(v, eps)) * eps,
+                eps * 1e-6);
+  }
+}
+
+TEST(RoundToGrid, NanPassesThrough) {
+  EXPECT_TRUE(std::isnan(
+      round_to_grid(std::numeric_limits<double>::quiet_NaN(), 1e-6)));
+}
+
+TEST(RoundToGrid, IdempotentOnGridPoints) {
+  for (const double eps : {1e-3, 1e-5}) {
+    for (int k = -10; k <= 10; ++k) {
+      const double on_grid = k * eps;
+      EXPECT_NEAR(round_to_grid(on_grid, eps), on_grid, eps * 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro::hash

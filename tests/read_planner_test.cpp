@@ -1,0 +1,135 @@
+#include "io/read_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace repro::io {
+namespace {
+
+constexpr std::uint64_t kChunk = 1024;
+
+TEST(ReadPlanner, EmptyInputEmptyPlan) {
+  const ReadPlan plan = plan_chunk_reads({}, kChunk, 100 * kChunk);
+  EXPECT_TRUE(plan.extents.empty());
+  EXPECT_TRUE(plan.placements.empty());
+  EXPECT_EQ(plan.buffer_bytes, 0U);
+  EXPECT_EQ(plan.payload_bytes, 0U);
+}
+
+TEST(ReadPlanner, SingleChunk) {
+  const std::vector<std::uint64_t> chunks{5};
+  const ReadPlan plan = plan_chunk_reads(chunks, kChunk, 100 * kChunk);
+  ASSERT_EQ(plan.extents.size(), 1U);
+  EXPECT_EQ(plan.extents[0].file_offset, 5 * kChunk);
+  EXPECT_EQ(plan.extents[0].length, kChunk);
+  EXPECT_EQ(plan.extents[0].buffer_offset, 0U);
+  ASSERT_EQ(plan.placements.size(), 1U);
+  EXPECT_EQ(plan.placements[0].chunk, 5U);
+  EXPECT_EQ(plan.placements[0].buffer_offset, 0U);
+  EXPECT_EQ(plan.placements[0].length, kChunk);
+  EXPECT_EQ(plan.waste_bytes, 0U);
+}
+
+TEST(ReadPlanner, AdjacentChunksMergeIntoOneExtent) {
+  const std::vector<std::uint64_t> chunks{3, 4, 5};
+  const ReadPlan plan = plan_chunk_reads(chunks, kChunk, 100 * kChunk);
+  ASSERT_EQ(plan.extents.size(), 1U);
+  EXPECT_EQ(plan.extents[0].file_offset, 3 * kChunk);
+  EXPECT_EQ(plan.extents[0].length, 3 * kChunk);
+  ASSERT_EQ(plan.placements.size(), 3U);
+  EXPECT_EQ(plan.placements[1].buffer_offset, kChunk);
+  EXPECT_EQ(plan.placements[2].buffer_offset, 2 * kChunk);
+  EXPECT_EQ(plan.waste_bytes, 0U);
+  EXPECT_EQ(plan.payload_bytes, 3 * kChunk);
+}
+
+TEST(ReadPlanner, DisjointChunksSeparateExtents) {
+  const std::vector<std::uint64_t> chunks{0, 10, 20};
+  const ReadPlan plan = plan_chunk_reads(chunks, kChunk, 100 * kChunk);
+  ASSERT_EQ(plan.extents.size(), 3U);
+  EXPECT_EQ(plan.buffer_bytes, 3 * kChunk);
+  EXPECT_EQ(plan.waste_bytes, 0U);
+}
+
+TEST(ReadPlanner, GapToleranceMergesNearMisses) {
+  // Chunks 0 and 2 leave a 1-chunk gap; a gap tolerance >= chunk size
+  // merges them and accounts the gap as waste.
+  const std::vector<std::uint64_t> chunks{0, 2};
+  PlanOptions options;
+  options.coalesce_gap_bytes = kChunk;
+  const ReadPlan plan = plan_chunk_reads(chunks, kChunk, 100 * kChunk, options);
+  ASSERT_EQ(plan.extents.size(), 1U);
+  EXPECT_EQ(plan.extents[0].length, 3 * kChunk);
+  EXPECT_EQ(plan.waste_bytes, kChunk);
+  EXPECT_EQ(plan.payload_bytes, 2 * kChunk);
+  EXPECT_EQ(plan.buffer_bytes, 3 * kChunk);
+  // Placement of chunk 2 must skip the gap inside the buffer.
+  EXPECT_EQ(plan.placements[1].buffer_offset, 2 * kChunk);
+}
+
+TEST(ReadPlanner, GapBeyondToleranceDoesNotMerge) {
+  const std::vector<std::uint64_t> chunks{0, 2};
+  PlanOptions options;
+  options.coalesce_gap_bytes = kChunk - 1;
+  const ReadPlan plan = plan_chunk_reads(chunks, kChunk, 100 * kChunk, options);
+  EXPECT_EQ(plan.extents.size(), 2U);
+  EXPECT_EQ(plan.waste_bytes, 0U);
+}
+
+TEST(ReadPlanner, TailChunkIsShort) {
+  // data = 2.5 chunks; chunk 2 is the 512-byte tail.
+  const std::vector<std::uint64_t> chunks{1, 2};
+  const ReadPlan plan = plan_chunk_reads(chunks, kChunk, 2 * kChunk + 512);
+  ASSERT_EQ(plan.extents.size(), 1U);
+  EXPECT_EQ(plan.extents[0].length, kChunk + 512);
+  EXPECT_EQ(plan.placements[1].length, 512U);
+  EXPECT_EQ(plan.payload_bytes, kChunk + 512);
+}
+
+TEST(ReadPlanner, ExtentsAreSortedAndNonOverlapping) {
+  std::vector<std::uint64_t> chunks;
+  for (std::uint64_t c = 0; c < 100; c += 3) chunks.push_back(c);
+  const ReadPlan plan = plan_chunk_reads(chunks, kChunk, 200 * kChunk);
+  for (std::size_t i = 1; i < plan.extents.size(); ++i) {
+    EXPECT_GT(plan.extents[i].file_offset,
+              plan.extents[i - 1].file_offset + plan.extents[i - 1].length -
+                  1);
+    EXPECT_EQ(plan.extents[i].buffer_offset,
+              plan.extents[i - 1].buffer_offset + plan.extents[i - 1].length);
+  }
+}
+
+TEST(ReadPlanner, PlacementsCoverEveryRequestedChunkOnce) {
+  const std::vector<std::uint64_t> chunks{1, 2, 3, 7, 9, 10, 50};
+  const ReadPlan plan = plan_chunk_reads(chunks, kChunk, 100 * kChunk);
+  ASSERT_EQ(plan.placements.size(), chunks.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(plan.placements[i].chunk, chunks[i]);
+  }
+}
+
+TEST(ReadPlanner, BufferBytesEqualsExtentSum) {
+  const std::vector<std::uint64_t> chunks{0, 1, 5, 6, 7, 30};
+  PlanOptions options;
+  options.coalesce_gap_bytes = 2 * kChunk;
+  const ReadPlan plan = plan_chunk_reads(chunks, kChunk, 100 * kChunk, options);
+  std::uint64_t extent_sum = 0;
+  for (const auto& extent : plan.extents) extent_sum += extent.length;
+  EXPECT_EQ(plan.buffer_bytes, extent_sum);
+  EXPECT_EQ(plan.payload_bytes + plan.waste_bytes, extent_sum);
+}
+
+TEST(ReadPlanner, LargeGapToleranceMergesEverything) {
+  const std::vector<std::uint64_t> chunks{0, 40, 99};
+  PlanOptions options;
+  options.coalesce_gap_bytes = 1ULL << 40;
+  const ReadPlan plan = plan_chunk_reads(chunks, kChunk, 100 * kChunk, options);
+  ASSERT_EQ(plan.extents.size(), 1U);
+  EXPECT_EQ(plan.extents[0].length, 100 * kChunk);
+  EXPECT_EQ(plan.payload_bytes, 3 * kChunk);
+  EXPECT_EQ(plan.waste_bytes, 97 * kChunk);
+}
+
+}  // namespace
+}  // namespace repro::io

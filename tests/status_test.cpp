@@ -1,0 +1,130 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_TRUE(static_cast<bool>(status));
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status status = io_error("disk on fire");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(status.message(), "disk on fire");
+  EXPECT_EQ(status.to_string(), "IO_ERROR: disk on fire");
+}
+
+TEST(Status, FactoryCodes) {
+  EXPECT_EQ(invalid_argument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(already_exists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(out_of_range("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(failed_precondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(corrupt_data("x").code(), StatusCode::kCorruptData);
+  EXPECT_EQ(unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(internal_error("x").code(), StatusCode::kInternal);
+}
+
+TEST(Status, WithContextPrepends) {
+  const Status status = not_found("thing").with_context("loading config");
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "loading config: thing");
+}
+
+TEST(Status, WithContextOnOkIsNoop) {
+  EXPECT_TRUE(Status::ok().with_context("anything").is_ok());
+}
+
+TEST(Status, ErrnoVariantAppendsStrerror) {
+  const Status status = io_error_errno("open", ENOENT);
+  EXPECT_NE(status.message().find("open: "), std::string::npos);
+  EXPECT_NE(status.message().find("No such file"), std::string::npos);
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_EQ(status_code_name(StatusCode::kOk), "OK");
+  EXPECT_EQ(status_code_name(StatusCode::kIoError), "IO_ERROR");
+  EXPECT_EQ(status_code_name(StatusCode::kCorruptData), "CORRUPT_DATA");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result{42};
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result{not_found("nope")};
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(Result, ValueOrReturnsValueOnSuccess) {
+  Result<int> result{7};
+  EXPECT_EQ(result.value_or(-1), 7);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> result{std::string(1000, 'x')};
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved.size(), 1000U);
+}
+
+namespace macros {
+
+Status fails() { return invalid_argument("bad"); }
+Status succeeds() { return Status::ok(); }
+
+Status chain_ok() {
+  REPRO_RETURN_IF_ERROR(succeeds());
+  REPRO_RETURN_IF_ERROR(succeeds());
+  return Status::ok();
+}
+
+Status chain_fail() {
+  REPRO_RETURN_IF_ERROR(succeeds());
+  REPRO_RETURN_IF_ERROR(fails());
+  return internal_error("unreached");
+}
+
+Result<int> half(int v) {
+  if (v % 2 != 0) return invalid_argument("odd");
+  return v / 2;
+}
+
+Result<int> quarter(int v) {
+  REPRO_ASSIGN_OR_RETURN(const int h, half(v));
+  REPRO_ASSIGN_OR_RETURN(const int q, half(h));
+  return q;
+}
+
+}  // namespace macros
+
+TEST(StatusMacros, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(macros::chain_ok().is_ok());
+  const Status status = macros::chain_fail();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad");
+}
+
+TEST(StatusMacros, AssignOrReturnBindsTwiceInOneScope) {
+  const Result<int> ok = macros::quarter(8);
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 2);
+
+  const Result<int> err = macros::quarter(6);  // 6/2 = 3 is odd
+  ASSERT_FALSE(err.is_ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace repro

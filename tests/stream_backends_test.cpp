@@ -1,0 +1,108 @@
+// The paired streaming pipeline across every I/O backend: the data it
+// delivers must be byte-identical regardless of which backend serves the
+// scattered reads (stream_test.cpp covers the pipeline mechanics on pread).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "common/fs.hpp"
+#include "common/rng.hpp"
+#include "io/stream.hpp"
+
+namespace repro::io {
+namespace {
+
+constexpr std::uint64_t kChunk = 4096;
+
+class StreamBackends : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == BackendKind::kUring && !uring_available()) {
+      GTEST_SKIP() << "io_uring unavailable";
+    }
+    dir_ = std::make_unique<TempDir>("stream-backends");
+    Xoshiro256 rng(17);
+    content_a_.resize(48 * kChunk + 321);
+    content_b_.resize(content_a_.size());
+    for (std::size_t i = 0; i < content_a_.size(); ++i) {
+      content_a_[i] = static_cast<std::uint8_t>(rng.next());
+      content_b_[i] = static_cast<std::uint8_t>(rng.next());
+    }
+    ASSERT_TRUE(write_file(dir_->file("a.bin"), content_a_).is_ok());
+    ASSERT_TRUE(write_file(dir_->file("b.bin"), content_b_).is_ok());
+    backend_a_ = open_backend(dir_->file("a.bin"), GetParam()).value();
+    backend_b_ = open_backend(dir_->file("b.bin"), GetParam()).value();
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::vector<std::uint8_t> content_a_, content_b_;
+  std::unique_ptr<IoBackend> backend_a_, backend_b_;
+};
+
+TEST_P(StreamBackends, ScatteredChunksDeliveredExactly) {
+  std::vector<std::uint64_t> chunks;
+  for (std::uint64_t chunk = 0; chunk * kChunk < content_a_.size();
+       chunk += 2) {
+    chunks.push_back(chunk);  // every other chunk, including the tail
+  }
+  StreamOptions options;
+  options.slice_bytes = 8 * kChunk;
+  PairedChunkStreamer streamer(*backend_a_, *backend_b_, kChunk,
+                               content_a_.size(), chunks, options);
+  std::set<std::uint64_t> delivered;
+  while (ChunkSlice* slice = streamer.next()) {
+    for (const auto& placement : slice->placements) {
+      EXPECT_TRUE(delivered.insert(placement.chunk).second);
+      const std::uint64_t offset = placement.chunk * kChunk;
+      EXPECT_EQ(0,
+                std::memcmp(slice->data_a.data() + placement.buffer_offset,
+                            content_a_.data() + offset, placement.length));
+      EXPECT_EQ(0,
+                std::memcmp(slice->data_b.data() + placement.buffer_offset,
+                            content_b_.data() + offset, placement.length));
+    }
+  }
+  EXPECT_TRUE(streamer.status().is_ok()) << streamer.status().to_string();
+  EXPECT_EQ(delivered.size(), chunks.size());
+}
+
+TEST_P(StreamBackends, CoalescedPlanMatchesStrictPlan) {
+  std::vector<std::uint64_t> chunks{0, 2, 4, 10, 11, 30, 47};
+  auto digest_of = [&](const PlanOptions& plan) {
+    StreamOptions options;
+    options.plan = plan;
+    PairedChunkStreamer streamer(*backend_a_, *backend_b_, kChunk,
+                                 content_a_.size(), chunks, options);
+    std::vector<std::uint8_t> all;
+    while (ChunkSlice* slice = streamer.next()) {
+      for (const auto& placement : slice->placements) {
+        all.insert(all.end(),
+                   slice->data_a.begin() +
+                       static_cast<std::ptrdiff_t>(placement.buffer_offset),
+                   slice->data_a.begin() +
+                       static_cast<std::ptrdiff_t>(placement.buffer_offset +
+                                                   placement.length));
+      }
+    }
+    EXPECT_TRUE(streamer.status().is_ok());
+    return all;
+  };
+  PlanOptions strict;
+  PlanOptions coalesced;
+  coalesced.coalesce_gap_bytes = 4 * kChunk;
+  EXPECT_EQ(digest_of(strict), digest_of(coalesced));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, StreamBackends,
+    ::testing::Values(BackendKind::kPread, BackendKind::kMmap,
+                      BackendKind::kUring, BackendKind::kThreadAsync),
+    [](const ::testing::TestParamInfo<BackendKind>& info) {
+      std::string name{backend_name(info.param)};
+      std::erase(name, '_');
+      return name;
+    });
+
+}  // namespace
+}  // namespace repro::io

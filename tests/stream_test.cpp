@@ -1,0 +1,172 @@
+#include "io/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "common/fs.hpp"
+#include "common/rng.hpp"
+
+namespace repro::io {
+namespace {
+
+constexpr std::uint64_t kChunk = 4096;
+
+class StreamFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<repro::TempDir>("stream-test");
+    repro::Xoshiro256 rng(3);
+    content_a_.resize(64 * kChunk + 1000);  // non-multiple tail
+    content_b_.resize(content_a_.size());
+    for (std::size_t i = 0; i < content_a_.size(); ++i) {
+      content_a_[i] = static_cast<std::uint8_t>(rng.next());
+      content_b_[i] = static_cast<std::uint8_t>(rng.next());
+    }
+    path_a_ = dir_->file("a.bin");
+    path_b_ = dir_->file("b.bin");
+    ASSERT_TRUE(repro::write_file(path_a_, content_a_).is_ok());
+    ASSERT_TRUE(repro::write_file(path_b_, content_b_).is_ok());
+    backend_a_ = open_backend(path_a_, BackendKind::kPread).value();
+    backend_b_ = open_backend(path_b_, BackendKind::kPread).value();
+  }
+
+  void verify_chunks(const std::vector<std::uint64_t>& chunks,
+                     StreamOptions options = {}) {
+    PairedChunkStreamer streamer(*backend_a_, *backend_b_, kChunk,
+                                 content_a_.size(), chunks, options);
+    std::set<std::uint64_t> delivered;
+    while (ChunkSlice* slice = streamer.next()) {
+      ASSERT_EQ(slice->data_a.size(), slice->data_b.size());
+      for (const auto& placement : slice->placements) {
+        EXPECT_TRUE(delivered.insert(placement.chunk).second)
+            << "chunk delivered twice: " << placement.chunk;
+        const std::uint64_t file_offset = placement.chunk * kChunk;
+        ASSERT_LE(placement.buffer_offset + placement.length,
+                  slice->data_a.size());
+        EXPECT_EQ(0, std::memcmp(slice->data_a.data() + placement.buffer_offset,
+                                 content_a_.data() + file_offset,
+                                 placement.length));
+        EXPECT_EQ(0, std::memcmp(slice->data_b.data() + placement.buffer_offset,
+                                 content_b_.data() + file_offset,
+                                 placement.length));
+      }
+    }
+    EXPECT_TRUE(streamer.status().is_ok()) << streamer.status().to_string();
+    EXPECT_EQ(delivered.size(), chunks.size());
+  }
+
+  std::unique_ptr<repro::TempDir> dir_;
+  std::vector<std::uint8_t> content_a_, content_b_;
+  std::filesystem::path path_a_, path_b_;
+  std::unique_ptr<IoBackend> backend_a_, backend_b_;
+};
+
+TEST_F(StreamFixture, EmptyChunkListEndsImmediately) {
+  PairedChunkStreamer streamer(*backend_a_, *backend_b_, kChunk,
+                               content_a_.size(), {});
+  EXPECT_EQ(streamer.next(), nullptr);
+  EXPECT_TRUE(streamer.status().is_ok());
+  EXPECT_EQ(streamer.bytes_read_per_file(), 0U);
+}
+
+TEST_F(StreamFixture, SingleChunk) { verify_chunks({7}); }
+
+TEST_F(StreamFixture, AllChunksInOrder) {
+  std::vector<std::uint64_t> chunks;
+  for (std::uint64_t c = 0; c * kChunk < content_a_.size(); ++c) {
+    chunks.push_back(c);
+  }
+  verify_chunks(chunks);
+}
+
+TEST_F(StreamFixture, ScatteredSubset) {
+  verify_chunks({0, 3, 4, 5, 17, 30, 31, 63});
+}
+
+TEST_F(StreamFixture, TailChunkPartial) {
+  // Chunk 64 is the 1000-byte tail.
+  verify_chunks({64});
+}
+
+TEST_F(StreamFixture, SmallSlicesForceManyBatches) {
+  StreamOptions options;
+  options.slice_bytes = kChunk;  // one chunk per slice
+  std::vector<std::uint64_t> chunks{1, 5, 9, 13, 17, 21, 25, 29};
+  verify_chunks(chunks, options);
+}
+
+TEST_F(StreamFixture, DeepPipelineDelivers) {
+  StreamOptions options;
+  options.slice_bytes = 2 * kChunk;
+  options.depth = 4;
+  std::vector<std::uint64_t> chunks;
+  for (std::uint64_t c = 0; c < 60; c += 2) chunks.push_back(c);
+  verify_chunks(chunks, options);
+}
+
+TEST_F(StreamFixture, CoalescingGapStillDeliversExactPayloads) {
+  StreamOptions options;
+  options.plan.coalesce_gap_bytes = 4 * kChunk;
+  verify_chunks({0, 2, 4, 6, 20, 22, 40}, options);
+}
+
+TEST_F(StreamFixture, BytesReadAccountsCoalescingWaste) {
+  StreamOptions options;
+  options.plan.coalesce_gap_bytes = kChunk;
+  const std::vector<std::uint64_t> chunks{0, 2};  // merged with 1-chunk gap
+  PairedChunkStreamer streamer(*backend_a_, *backend_b_, kChunk,
+                               content_a_.size(), chunks, options);
+  while (streamer.next() != nullptr) {
+  }
+  EXPECT_EQ(streamer.bytes_read_per_file(), 3 * kChunk);
+}
+
+TEST_F(StreamFixture, BaseOffsetShiftsReads) {
+  // Interpret the file as chunked data starting 512 bytes in.
+  StreamOptions options;
+  options.base_offset_a = 512;
+  options.base_offset_b = 512;
+  PairedChunkStreamer streamer(*backend_a_, *backend_b_, kChunk,
+                               content_a_.size() - 512, {1}, options);
+  ChunkSlice* slice = streamer.next();
+  ASSERT_NE(slice, nullptr);
+  EXPECT_EQ(0, std::memcmp(slice->data_a.data(),
+                           content_a_.data() + 512 + kChunk, kChunk));
+  EXPECT_EQ(streamer.next(), nullptr);
+  EXPECT_TRUE(streamer.status().is_ok());
+}
+
+TEST_F(StreamFixture, ErrorFromBackendSurfacesInStatus) {
+  // Chunk index far past EOF produces an out-of-range read.
+  PairedChunkStreamer streamer(*backend_a_, *backend_b_, kChunk,
+                               content_a_.size() + 10 * kChunk, {70});
+  while (streamer.next() != nullptr) {
+  }
+  EXPECT_FALSE(streamer.status().is_ok());
+}
+
+TEST_F(StreamFixture, DestructionMidStreamDoesNotHang) {
+  StreamOptions options;
+  options.slice_bytes = kChunk;
+  std::vector<std::uint64_t> chunks;
+  for (std::uint64_t c = 0; c < 60; ++c) chunks.push_back(c);
+  PairedChunkStreamer streamer(*backend_a_, *backend_b_, kChunk,
+                               content_a_.size(), chunks, options);
+  ASSERT_NE(streamer.next(), nullptr);  // consume one slice, then abandon
+}
+
+TEST_F(StreamFixture, PayloadAndWasteReported) {
+  StreamOptions options;
+  options.plan.coalesce_gap_bytes = kChunk;
+  PairedChunkStreamer streamer(*backend_a_, *backend_b_, kChunk,
+                               content_a_.size(), {0, 2}, options);
+  ChunkSlice* slice = streamer.next();
+  ASSERT_NE(slice, nullptr);
+  EXPECT_EQ(slice->payload_bytes, 2 * kChunk);
+  EXPECT_EQ(slice->waste_bytes, kChunk);
+}
+
+}  // namespace
+}  // namespace repro::io

@@ -1,0 +1,58 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-name", "22"});
+  const std::string text = table.to_string();
+  // Header line, rule line, two rows.
+  int newlines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++newlines;
+  }
+  EXPECT_EQ(newlines, 4);
+  // Both data rows start at column 0 and the value column is aligned: the
+  // header "name" must be padded to the width of "longer-name".
+  EXPECT_NE(text.find("name         value"), std::string::npos) << text;
+  EXPECT_NE(text.find("longer-name  22"), std::string::npos);
+}
+
+TEST(TextTable, HandlesShortRows) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"1"});  // missing cells render empty
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("1"), std::string::npos);
+}
+
+TEST(TextTable, ExtraCellsIgnored) {
+  TextTable table({"a"});
+  table.add_row({"1", "overflow"});
+  const std::string text = table.to_string();
+  EXPECT_EQ(text.find("overflow"), std::string::npos);
+}
+
+TEST(TextTable, EmptyTableRendersHeaderAndRule) {
+  TextTable table({"only"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("only"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Strprintf, FormatsLikePrintf) {
+  EXPECT_EQ(strprintf("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(strprintf("%.2f GB/s", 12.345), "12.35 GB/s");
+  EXPECT_EQ(strprintf("%s", ""), "");
+}
+
+TEST(Strprintf, LongOutput) {
+  const std::string long_string(5000, 'y');
+  EXPECT_EQ(strprintf("%s", long_string.c_str()).size(), 5000U);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,84 @@
+#include "common/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace repro {
+namespace {
+
+TEST(TimerSet, AccumulatesByName) {
+  TimerSet timers;
+  timers.add("read", 1.0);
+  timers.add("read", 0.5);
+  timers.add("setup", 0.25);
+  EXPECT_DOUBLE_EQ(timers.seconds("read"), 1.5);
+  EXPECT_DOUBLE_EQ(timers.seconds("setup"), 0.25);
+  EXPECT_DOUBLE_EQ(timers.seconds("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(timers.total_seconds(), 1.75);
+}
+
+TEST(TimerSet, PreservesInsertionOrder) {
+  TimerSet timers;
+  timers.add("c", 1);
+  timers.add("a", 1);
+  timers.add("b", 1);
+  timers.add("a", 1);  // re-add must not duplicate
+  ASSERT_EQ(timers.names().size(), 3U);
+  EXPECT_EQ(timers.names()[0], "c");
+  EXPECT_EQ(timers.names()[1], "a");
+  EXPECT_EQ(timers.names()[2], "b");
+}
+
+TEST(TimerSet, MergeSumsPhases) {
+  TimerSet a;
+  a.add("x", 1.0);
+  a.add("y", 2.0);
+  TimerSet b;
+  b.add("y", 3.0);
+  b.add("z", 4.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.seconds("x"), 1.0);
+  EXPECT_DOUBLE_EQ(a.seconds("y"), 5.0);
+  EXPECT_DOUBLE_EQ(a.seconds("z"), 4.0);
+}
+
+TEST(TimerSet, ClearEmpties) {
+  TimerSet timers;
+  timers.add("x", 1.0);
+  timers.clear();
+  EXPECT_TRUE(timers.names().empty());
+  EXPECT_DOUBLE_EQ(timers.total_seconds(), 0.0);
+}
+
+TEST(PhaseTimer, ChargesOnDestruction) {
+  TimerSet timers;
+  {
+    PhaseTimer timer(timers, "sleep");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(timers.seconds("sleep"), 0.009);
+  EXPECT_LT(timers.seconds("sleep"), 1.0);
+}
+
+TEST(PhaseTimer, StopIsIdempotent) {
+  TimerSet timers;
+  PhaseTimer timer(timers, "phase");
+  timer.stop();
+  const double first = timers.seconds("phase");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.stop();  // must not add more time
+  EXPECT_DOUBLE_EQ(timers.seconds("phase"), first);
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double first = watch.seconds();
+  EXPECT_GE(first, 0.009);
+  watch.reset();
+  EXPECT_LT(watch.seconds(), first);
+}
+
+}  // namespace
+}  // namespace repro

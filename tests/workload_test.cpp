@@ -1,0 +1,154 @@
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+namespace repro::sim {
+namespace {
+
+TEST(GenerateField, DeterministicAndSeedSensitive) {
+  const auto a1 = generate_field(1000, 1);
+  const auto a2 = generate_field(1000, 1);
+  const auto b = generate_field(1000, 2);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+
+TEST(GenerateField, ValuesAreOrderOne) {
+  const auto field = generate_field(10000, 3);
+  for (const float v : field) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_LT(std::abs(v), 10.0f);
+  }
+}
+
+TEST(GenerateField, NeighbouringRegionsDiffer) {
+  // Chunk pruning must not be able to prune via repeated content.
+  const auto field = generate_field(8192, 4);
+  for (std::size_t chunk = 0; chunk + 2048 <= 8192; chunk += 1024) {
+    EXPECT_NE(0, std::memcmp(field.data() + chunk, field.data() + chunk + 1024,
+                             1024 * sizeof(float)));
+  }
+}
+
+TEST(ApplyDivergence, NoopCases) {
+  auto values = generate_field(1000, 5);
+  const auto original = values;
+  apply_divergence(values, {.region_fraction = 0.0});
+  EXPECT_EQ(values, original);
+  apply_divergence(values, {.region_fraction = 0.5, .magnitude = 0.0});
+  EXPECT_EQ(values, original);
+  std::vector<float> empty;
+  apply_divergence(empty, {.region_fraction = 1.0});  // must not crash
+}
+
+TEST(ApplyDivergence, TouchesRequestedFraction) {
+  const auto base = generate_field(100000, 6);
+  auto diverged = base;
+  DivergenceSpec spec;
+  spec.region_fraction = 0.25;
+  spec.region_values = 100;  // 1000 regions -> 250 touched -> 25000 values
+  spec.magnitude = 1e-3;
+  apply_divergence(diverged, spec);
+  const std::uint64_t touched = count_exceeding(base, diverged, 1e-9);
+  EXPECT_EQ(touched, 25000U);
+}
+
+TEST(ApplyDivergence, FullFraction) {
+  const auto base = generate_field(10000, 7);
+  auto diverged = base;
+  apply_divergence(diverged,
+                   {.region_fraction = 1.0, .region_values = 64,
+                    .magnitude = 1e-2});
+  EXPECT_EQ(count_exceeding(base, diverged, 1e-9), 10000U);
+}
+
+TEST(ApplyDivergence, PerturbationMagnitudeBracketed) {
+  // Deltas land in [magnitude/2, magnitude] (modulo F32 representation):
+  // an error bound below magnitude/2 flags everything touched, a bound
+  // above magnitude flags nothing.
+  const auto base = generate_field(50000, 8);
+  auto diverged = base;
+  DivergenceSpec spec;
+  spec.region_fraction = 0.1;
+  spec.region_values = 500;
+  spec.magnitude = 1e-3;
+  apply_divergence(diverged, spec);
+
+  const std::uint64_t touched = count_exceeding(base, diverged, 1e-9);
+  EXPECT_EQ(touched, 5000U);
+  EXPECT_EQ(count_exceeding(base, diverged, spec.magnitude / 2 * 0.9),
+            touched);
+  EXPECT_EQ(count_exceeding(base, diverged, spec.magnitude * 1.05), 0U);
+}
+
+TEST(ApplyDivergence, RegionsAreContiguous) {
+  const auto base = generate_field(10000, 9);
+  auto diverged = base;
+  DivergenceSpec spec;
+  spec.region_fraction = 0.02;  // 100 regions of 100 -> 2 regions
+  spec.region_values = 100;
+  spec.magnitude = 1e-2;
+  apply_divergence(diverged, spec);
+
+  // Count transitions between "same" and "different": contiguous regions
+  // produce at most 2 transitions per region.
+  int transitions = 0;
+  bool in_region = false;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const bool differs = base[i] != diverged[i];
+    if (differs != in_region) {
+      ++transitions;
+      in_region = differs;
+    }
+  }
+  EXPECT_LE(transitions, 2 * 2);
+  EXPECT_GT(transitions, 0);
+}
+
+TEST(ApplyDivergence, SeedSelectsDifferentRegions) {
+  const auto base = generate_field(100000, 10);
+  auto run1 = base;
+  auto run2 = base;
+  DivergenceSpec spec;
+  spec.region_fraction = 0.05;
+  spec.region_values = 1000;
+  spec.magnitude = 1e-3;
+  spec.seed = 1;
+  apply_divergence(run1, spec);
+  spec.seed = 2;
+  apply_divergence(run2, spec);
+  // Different seeds must not pick the exact same region set.
+  EXPECT_NE(0, std::memcmp(run1.data(), run2.data(),
+                           base.size() * sizeof(float)));
+}
+
+TEST(ApplyDivergence, Deterministic) {
+  const auto base = generate_field(10000, 11);
+  auto run1 = base;
+  auto run2 = base;
+  const DivergenceSpec spec{.region_fraction = 0.1, .region_values = 128,
+                            .magnitude = 1e-4, .seed = 42};
+  apply_divergence(run1, spec);
+  apply_divergence(run2, spec);
+  EXPECT_EQ(run1, run2);
+}
+
+TEST(CountExceeding, ExactSemantics) {
+  const std::vector<float> a{0.0f, 1.0f, 2.0f, 3.0f};
+  const std::vector<float> b{0.0f, 1.05f, 2.0f, 2.5f};
+  EXPECT_EQ(count_exceeding(a, b, 0.01), 2U);
+  EXPECT_EQ(count_exceeding(a, b, 0.1), 1U);
+  EXPECT_EQ(count_exceeding(a, b, 1.0), 0U);
+}
+
+TEST(CountExceeding, HandlesLengthMismatch) {
+  const std::vector<float> a{1.0f, 2.0f, 3.0f};
+  const std::vector<float> b{1.0f};
+  EXPECT_EQ(count_exceeding(a, b, 0.5), 0U);  // only the common prefix
+}
+
+}  // namespace
+}  // namespace repro::sim
