@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_coalescing"
+  "../bench/bench_ablation_coalescing.pdb"
+  "CMakeFiles/bench_ablation_coalescing.dir/bench_ablation_coalescing.cpp.o"
+  "CMakeFiles/bench_ablation_coalescing.dir/bench_ablation_coalescing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

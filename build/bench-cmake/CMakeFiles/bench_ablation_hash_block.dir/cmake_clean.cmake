@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_hash_block"
+  "../bench/bench_ablation_hash_block.pdb"
+  "CMakeFiles/bench_ablation_hash_block.dir/bench_ablation_hash_block.cpp.o"
+  "CMakeFiles/bench_ablation_hash_block.dir/bench_ablation_hash_block.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hash_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

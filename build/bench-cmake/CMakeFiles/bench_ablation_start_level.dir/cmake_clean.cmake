@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_start_level"
+  "../bench/bench_ablation_start_level.pdb"
+  "CMakeFiles/bench_ablation_start_level.dir/bench_ablation_start_level.cpp.o"
+  "CMakeFiles/bench_ablation_start_level.dir/bench_ablation_start_level.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_start_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_deltastore.cpp" "bench-cmake/CMakeFiles/bench_ext_deltastore.dir/bench_ext_deltastore.cpp.o" "gcc" "bench-cmake/CMakeFiles/bench_ext_deltastore.dir/bench_ext_deltastore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ckpt/CMakeFiles/repro_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/merkle/CMakeFiles/repro_merkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/repro_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/repro_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

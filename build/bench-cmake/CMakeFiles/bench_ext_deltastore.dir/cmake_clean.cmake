@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_deltastore"
+  "../bench/bench_ext_deltastore.pdb"
+  "CMakeFiles/bench_ext_deltastore.dir/bench_ext_deltastore.cpp.o"
+  "CMakeFiles/bench_ext_deltastore.dir/bench_ext_deltastore.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_deltastore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_effectiveness"
+  "../bench/bench_fig7_effectiveness.pdb"
+  "CMakeFiles/bench_fig7_effectiveness.dir/bench_fig7_effectiveness.cpp.o"
+  "CMakeFiles/bench_fig7_effectiveness.dir/bench_fig7_effectiveness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

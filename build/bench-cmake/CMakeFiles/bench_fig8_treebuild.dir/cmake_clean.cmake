@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_treebuild"
+  "../bench/bench_fig8_treebuild.pdb"
+  "CMakeFiles/bench_fig8_treebuild.dir/bench_fig8_treebuild.cpp.o"
+  "CMakeFiles/bench_fig8_treebuild.dir/bench_fig8_treebuild.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_treebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

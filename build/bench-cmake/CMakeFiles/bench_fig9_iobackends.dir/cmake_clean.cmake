@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_iobackends"
+  "../bench/bench_fig9_iobackends.pdb"
+  "CMakeFiles/bench_fig9_iobackends.dir/bench_fig9_iobackends.cpp.o"
+  "CMakeFiles/bench_fig9_iobackends.dir/bench_fig9_iobackends.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_iobackends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_checkpoints"
+  "../bench/bench_table1_checkpoints.pdb"
+  "CMakeFiles/bench_table1_checkpoints.dir/bench_table1_checkpoints.cpp.o"
+  "CMakeFiles/bench_table1_checkpoints.dir/bench_table1_checkpoints.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_checkpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

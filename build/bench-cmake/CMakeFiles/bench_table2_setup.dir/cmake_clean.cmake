@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_setup"
+  "../bench/bench_table2_setup.pdb"
+  "CMakeFiles/bench_table2_setup.dir/bench_table2_setup.cpp.o"
+  "CMakeFiles/bench_table2_setup.dir/bench_table2_setup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

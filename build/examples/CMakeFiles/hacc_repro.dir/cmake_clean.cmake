@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hacc_repro.dir/hacc_repro.cpp.o"
+  "CMakeFiles/hacc_repro.dir/hacc_repro.cpp.o.d"
+  "hacc_repro"
+  "hacc_repro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hacc_repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_scattered.dir/io_scattered.cpp.o"
+  "CMakeFiles/io_scattered.dir/io_scattered.cpp.o.d"
+  "io_scattered"
+  "io_scattered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_scattered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

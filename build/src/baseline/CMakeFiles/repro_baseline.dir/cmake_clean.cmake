@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_baseline.dir/allclose.cpp.o"
+  "CMakeFiles/repro_baseline.dir/allclose.cpp.o.d"
+  "CMakeFiles/repro_baseline.dir/direct.cpp.o"
+  "CMakeFiles/repro_baseline.dir/direct.cpp.o.d"
+  "librepro_baseline.a"
+  "librepro_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckpt/capture.cpp" "src/ckpt/CMakeFiles/repro_ckpt.dir/capture.cpp.o" "gcc" "src/ckpt/CMakeFiles/repro_ckpt.dir/capture.cpp.o.d"
+  "/root/repo/src/ckpt/delta_store.cpp" "src/ckpt/CMakeFiles/repro_ckpt.dir/delta_store.cpp.o" "gcc" "src/ckpt/CMakeFiles/repro_ckpt.dir/delta_store.cpp.o.d"
+  "/root/repo/src/ckpt/format.cpp" "src/ckpt/CMakeFiles/repro_ckpt.dir/format.cpp.o" "gcc" "src/ckpt/CMakeFiles/repro_ckpt.dir/format.cpp.o.d"
+  "/root/repo/src/ckpt/history.cpp" "src/ckpt/CMakeFiles/repro_ckpt.dir/history.cpp.o" "gcc" "src/ckpt/CMakeFiles/repro_ckpt.dir/history.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/merkle/CMakeFiles/repro_merkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/repro_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/repro_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_ckpt.dir/capture.cpp.o"
+  "CMakeFiles/repro_ckpt.dir/capture.cpp.o.d"
+  "CMakeFiles/repro_ckpt.dir/delta_store.cpp.o"
+  "CMakeFiles/repro_ckpt.dir/delta_store.cpp.o.d"
+  "CMakeFiles/repro_ckpt.dir/format.cpp.o"
+  "CMakeFiles/repro_ckpt.dir/format.cpp.o.d"
+  "CMakeFiles/repro_ckpt.dir/history.cpp.o"
+  "CMakeFiles/repro_ckpt.dir/history.cpp.o.d"
+  "librepro_ckpt.a"
+  "librepro_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro-cli.dir/main.cpp.o"
+  "CMakeFiles/repro-cli.dir/main.cpp.o.d"
+  "repro-cli"
+  "repro-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_cli_args.dir/args.cpp.o"
+  "CMakeFiles/repro_cli_args.dir/args.cpp.o.d"
+  "librepro_cli_args.a"
+  "librepro_cli_args.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_cli_args.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

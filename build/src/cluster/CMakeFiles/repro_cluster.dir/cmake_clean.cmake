@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_cluster.dir/distributed.cpp.o"
+  "CMakeFiles/repro_cluster.dir/distributed.cpp.o.d"
+  "CMakeFiles/repro_cluster.dir/scaling.cpp.o"
+  "CMakeFiles/repro_cluster.dir/scaling.cpp.o.d"
+  "CMakeFiles/repro_cluster.dir/world.cpp.o"
+  "CMakeFiles/repro_cluster.dir/world.cpp.o.d"
+  "librepro_cluster.a"
+  "librepro_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

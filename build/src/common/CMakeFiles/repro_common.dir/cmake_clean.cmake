@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_common.dir/bytes.cpp.o"
+  "CMakeFiles/repro_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/repro_common.dir/fs.cpp.o"
+  "CMakeFiles/repro_common.dir/fs.cpp.o.d"
+  "CMakeFiles/repro_common.dir/log.cpp.o"
+  "CMakeFiles/repro_common.dir/log.cpp.o.d"
+  "CMakeFiles/repro_common.dir/rng.cpp.o"
+  "CMakeFiles/repro_common.dir/rng.cpp.o.d"
+  "CMakeFiles/repro_common.dir/status.cpp.o"
+  "CMakeFiles/repro_common.dir/status.cpp.o.d"
+  "CMakeFiles/repro_common.dir/table.cpp.o"
+  "CMakeFiles/repro_common.dir/table.cpp.o.d"
+  "CMakeFiles/repro_common.dir/timer.cpp.o"
+  "CMakeFiles/repro_common.dir/timer.cpp.o.d"
+  "librepro_common.a"
+  "librepro_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

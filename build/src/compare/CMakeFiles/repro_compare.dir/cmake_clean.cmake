@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_compare.dir/comparator.cpp.o"
+  "CMakeFiles/repro_compare.dir/comparator.cpp.o.d"
+  "CMakeFiles/repro_compare.dir/elementwise.cpp.o"
+  "CMakeFiles/repro_compare.dir/elementwise.cpp.o.d"
+  "CMakeFiles/repro_compare.dir/fields.cpp.o"
+  "CMakeFiles/repro_compare.dir/fields.cpp.o.d"
+  "CMakeFiles/repro_compare.dir/online.cpp.o"
+  "CMakeFiles/repro_compare.dir/online.cpp.o.d"
+  "librepro_compare.a"
+  "librepro_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/chunk_hasher.cpp" "src/hash/CMakeFiles/repro_hash.dir/chunk_hasher.cpp.o" "gcc" "src/hash/CMakeFiles/repro_hash.dir/chunk_hasher.cpp.o.d"
+  "/root/repo/src/hash/digest.cpp" "src/hash/CMakeFiles/repro_hash.dir/digest.cpp.o" "gcc" "src/hash/CMakeFiles/repro_hash.dir/digest.cpp.o.d"
+  "/root/repo/src/hash/murmur3.cpp" "src/hash/CMakeFiles/repro_hash.dir/murmur3.cpp.o" "gcc" "src/hash/CMakeFiles/repro_hash.dir/murmur3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_hash.dir/chunk_hasher.cpp.o"
+  "CMakeFiles/repro_hash.dir/chunk_hasher.cpp.o.d"
+  "CMakeFiles/repro_hash.dir/digest.cpp.o"
+  "CMakeFiles/repro_hash.dir/digest.cpp.o.d"
+  "CMakeFiles/repro_hash.dir/murmur3.cpp.o"
+  "CMakeFiles/repro_hash.dir/murmur3.cpp.o.d"
+  "librepro_hash.a"
+  "librepro_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/backend.cpp" "src/io/CMakeFiles/repro_io.dir/backend.cpp.o" "gcc" "src/io/CMakeFiles/repro_io.dir/backend.cpp.o.d"
+  "/root/repo/src/io/read_planner.cpp" "src/io/CMakeFiles/repro_io.dir/read_planner.cpp.o" "gcc" "src/io/CMakeFiles/repro_io.dir/read_planner.cpp.o.d"
+  "/root/repo/src/io/stream.cpp" "src/io/CMakeFiles/repro_io.dir/stream.cpp.o" "gcc" "src/io/CMakeFiles/repro_io.dir/stream.cpp.o.d"
+  "/root/repo/src/io/uring_backend.cpp" "src/io/CMakeFiles/repro_io.dir/uring_backend.cpp.o" "gcc" "src/io/CMakeFiles/repro_io.dir/uring_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/repro_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

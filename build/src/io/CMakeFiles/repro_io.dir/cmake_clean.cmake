@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_io.dir/backend.cpp.o"
+  "CMakeFiles/repro_io.dir/backend.cpp.o.d"
+  "CMakeFiles/repro_io.dir/read_planner.cpp.o"
+  "CMakeFiles/repro_io.dir/read_planner.cpp.o.d"
+  "CMakeFiles/repro_io.dir/stream.cpp.o"
+  "CMakeFiles/repro_io.dir/stream.cpp.o.d"
+  "CMakeFiles/repro_io.dir/uring_backend.cpp.o"
+  "CMakeFiles/repro_io.dir/uring_backend.cpp.o.d"
+  "librepro_io.a"
+  "librepro_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

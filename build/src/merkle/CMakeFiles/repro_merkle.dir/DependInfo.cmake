@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/merkle/bundle.cpp" "src/merkle/CMakeFiles/repro_merkle.dir/bundle.cpp.o" "gcc" "src/merkle/CMakeFiles/repro_merkle.dir/bundle.cpp.o.d"
+  "/root/repo/src/merkle/compare.cpp" "src/merkle/CMakeFiles/repro_merkle.dir/compare.cpp.o" "gcc" "src/merkle/CMakeFiles/repro_merkle.dir/compare.cpp.o.d"
+  "/root/repo/src/merkle/proof.cpp" "src/merkle/CMakeFiles/repro_merkle.dir/proof.cpp.o" "gcc" "src/merkle/CMakeFiles/repro_merkle.dir/proof.cpp.o.d"
+  "/root/repo/src/merkle/tree.cpp" "src/merkle/CMakeFiles/repro_merkle.dir/tree.cpp.o" "gcc" "src/merkle/CMakeFiles/repro_merkle.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/repro_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/repro_par.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

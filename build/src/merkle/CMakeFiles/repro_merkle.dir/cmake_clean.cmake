@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_merkle.dir/bundle.cpp.o"
+  "CMakeFiles/repro_merkle.dir/bundle.cpp.o.d"
+  "CMakeFiles/repro_merkle.dir/compare.cpp.o"
+  "CMakeFiles/repro_merkle.dir/compare.cpp.o.d"
+  "CMakeFiles/repro_merkle.dir/proof.cpp.o"
+  "CMakeFiles/repro_merkle.dir/proof.cpp.o.d"
+  "CMakeFiles/repro_merkle.dir/tree.cpp.o"
+  "CMakeFiles/repro_merkle.dir/tree.cpp.o.d"
+  "librepro_merkle.a"
+  "librepro_merkle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_merkle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sim.dir/fft.cpp.o"
+  "CMakeFiles/repro_sim.dir/fft.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/hacc_lite.cpp.o"
+  "CMakeFiles/repro_sim.dir/hacc_lite.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/mesh.cpp.o"
+  "CMakeFiles/repro_sim.dir/mesh.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/workload.cpp.o"
+  "CMakeFiles/repro_sim.dir/workload.cpp.o.d"
+  "librepro_sim.a"
+  "librepro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allclose_test.dir/allclose_test.cpp.o"
+  "CMakeFiles/allclose_test.dir/allclose_test.cpp.o.d"
+  "allclose_test"
+  "allclose_test.pdb"
+  "allclose_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allclose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunk_hasher_test.dir/chunk_hasher_test.cpp.o"
+  "CMakeFiles/chunk_hasher_test.dir/chunk_hasher_test.cpp.o.d"
+  "chunk_hasher_test"
+  "chunk_hasher_test.pdb"
+  "chunk_hasher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunk_hasher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparator_sweep_test.dir/comparator_sweep_test.cpp.o"
+  "CMakeFiles/comparator_sweep_test.dir/comparator_sweep_test.cpp.o.d"
+  "comparator_sweep_test"
+  "comparator_sweep_test.pdb"
+  "comparator_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparator_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_store_test.dir/delta_store_test.cpp.o"
+  "CMakeFiles/delta_store_test.dir/delta_store_test.cpp.o.d"
+  "delta_store_test"
+  "delta_store_test.pdb"
+  "delta_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

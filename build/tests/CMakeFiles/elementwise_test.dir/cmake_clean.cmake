@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elementwise_test.dir/elementwise_test.cpp.o"
+  "CMakeFiles/elementwise_test.dir/elementwise_test.cpp.o.d"
+  "elementwise_test"
+  "elementwise_test.pdb"
+  "elementwise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elementwise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

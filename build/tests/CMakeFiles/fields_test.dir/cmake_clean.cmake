@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fields_test.dir/fields_test.cpp.o"
+  "CMakeFiles/fields_test.dir/fields_test.cpp.o.d"
+  "fields_test"
+  "fields_test.pdb"
+  "fields_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fields_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

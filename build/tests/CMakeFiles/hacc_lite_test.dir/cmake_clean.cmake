@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hacc_lite_test.dir/hacc_lite_test.cpp.o"
+  "CMakeFiles/hacc_lite_test.dir/hacc_lite_test.cpp.o.d"
+  "hacc_lite_test"
+  "hacc_lite_test.pdb"
+  "hacc_lite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hacc_lite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_backend_test.dir/io_backend_test.cpp.o"
+  "CMakeFiles/io_backend_test.dir/io_backend_test.cpp.o.d"
+  "io_backend_test"
+  "io_backend_test.pdb"
+  "io_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merkle_compare_test.dir/merkle_compare_test.cpp.o"
+  "CMakeFiles/merkle_compare_test.dir/merkle_compare_test.cpp.o.d"
+  "merkle_compare_test"
+  "merkle_compare_test.pdb"
+  "merkle_compare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merkle_compare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

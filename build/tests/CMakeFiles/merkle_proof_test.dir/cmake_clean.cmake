@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merkle_proof_test.dir/merkle_proof_test.cpp.o"
+  "CMakeFiles/merkle_proof_test.dir/merkle_proof_test.cpp.o.d"
+  "merkle_proof_test"
+  "merkle_proof_test.pdb"
+  "merkle_proof_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merkle_proof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

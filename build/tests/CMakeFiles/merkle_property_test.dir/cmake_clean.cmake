@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merkle_property_test.dir/merkle_property_test.cpp.o"
+  "CMakeFiles/merkle_property_test.dir/merkle_property_test.cpp.o.d"
+  "merkle_property_test"
+  "merkle_property_test.pdb"
+  "merkle_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merkle_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

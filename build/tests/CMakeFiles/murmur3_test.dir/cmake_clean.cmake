@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murmur3_test.dir/murmur3_test.cpp.o"
+  "CMakeFiles/murmur3_test.dir/murmur3_test.cpp.o.d"
+  "murmur3_test"
+  "murmur3_test.pdb"
+  "murmur3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murmur3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

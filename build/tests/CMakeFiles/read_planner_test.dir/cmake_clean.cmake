@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_planner_test.dir/read_planner_test.cpp.o"
+  "CMakeFiles/read_planner_test.dir/read_planner_test.cpp.o.d"
+  "read_planner_test"
+  "read_planner_test.pdb"
+  "read_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_backends_test.dir/stream_backends_test.cpp.o"
+  "CMakeFiles/stream_backends_test.dir/stream_backends_test.cpp.o.d"
+  "stream_backends_test"
+  "stream_backends_test.pdb"
+  "stream_backends_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_backends_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
