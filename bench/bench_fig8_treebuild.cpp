@@ -8,9 +8,12 @@
 //   * The optimized backend is never slower than the reference. The paper's
 //     4-orders-of-magnitude gap needs a real A100; on a host CPU the gap is
 //     bounded by core count (documented in EXPERIMENTS.md).
+//
+// Supports `--json <path>` for machine-readable results (bench_json.hpp).
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 #include "merkle/tree.hpp"
 
 namespace {
@@ -66,4 +69,6 @@ BENCHMARK(BM_TreeBuild_ParallelExecutor)
     ->Arg(32 * 1024)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return repro::bench::run_benchmarks_with_json(argc, argv);
+}

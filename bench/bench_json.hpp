@@ -1,0 +1,132 @@
+// --json <path> support for the google-benchmark binaries.
+//
+// google-benchmark's own --benchmark_out flag redirects the console stream;
+// the harness wants both: human-readable console output for the log AND a
+// machine-readable summary on disk for the plotting scripts. JsonTeeReporter
+// keeps the stock console output and, at Finalize(), writes every run as a
+// flat JSON array — one object per benchmark with per-iteration times and
+// all user counters.
+//
+// This header must NOT be included from bench_common.hpp: several bench
+// binaries are plain main() programs that do not link google-benchmark.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace repro::bench {
+
+/// Extracts `--json <path>` or `--json=<path>` from argv, compacting the
+/// array so google-benchmark never sees the flag. Returns the path, or ""
+/// when the flag is absent.
+inline std::string extract_json_path(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Entry entry;
+      entry.name = run.benchmark_name();
+      entry.iterations = run.iterations;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      entry.real_time_ms = run.real_accumulated_time / iters * 1e3;
+      entry.cpu_time_ms = run.cpu_accumulated_time / iters * 1e3;
+      for (const auto& [name, counter] : run.counters) {
+        entry.counters.emplace_back(name, counter.value);
+        if (name == "bytes_per_second") {
+          entry.mb_per_second = counter.value / 1e6;
+        }
+      }
+      entries_.push_back(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void Finalize() override {
+    ConsoleReporter::Finalize();
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   path_.c_str());
+      return;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out << "  {\"name\": \"" << escape(e.name)
+          << "\", \"iterations\": " << e.iterations
+          << ", \"real_time_ms\": " << e.real_time_ms
+          << ", \"cpu_time_ms\": " << e.cpu_time_ms;
+      if (e.mb_per_second > 0) {
+        out << ", \"mb_per_second\": " << e.mb_per_second;
+      }
+      for (const auto& [name, value] : e.counters) {
+        out << ", \"" << escape(name) << "\": " << value;
+      }
+      out << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    std::fprintf(stderr, "wrote %zu benchmark results to %s\n",
+                 entries_.size(), path_.c_str());
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::int64_t iterations = 0;
+    double real_time_ms = 0;
+    double cpu_time_ms = 0;
+    double mb_per_second = 0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  static std::string escape(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (const char c : in) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<Entry> entries_;
+};
+
+/// Shared main() body for benchmark binaries that support --json.
+inline int run_benchmarks_with_json(int argc, char** argv) {
+  const std::string json_path = extract_json_path(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTeeReporter reporter(json_path);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace repro::bench

@@ -1,12 +1,30 @@
 // Micro-benchmarks of the hot primitives: Murmur3F, the error-bounded
-// quantizer, element-wise comparison, and pruned tree comparison. Useful
-// for regressions; not tied to a specific paper figure.
+// quantizer (per-element and batched-kernel forms), the fused
+// quantize+hash chunk pass, element-wise comparison, and pruned tree
+// comparison. Useful for regressions; not tied to a specific paper figure.
+//
+// Doubles as the ctest perf-smoke target: main() always runs a kernel
+// equivalence check (batched kernels vs. the scalar reference on
+// adversarial inputs) and exits non-zero on any mismatch. The smoke test
+// gates on *correctness* of the dispatched kernels, never on timing — CI
+// machines are too noisy for wall-clock assertions.
+//
+// Supports `--json <path>` for machine-readable results (bench_json.hpp).
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cmath>
+#include <cstdio>
+#include <limits>
+#include <span>
+
+#include "common/rng.hpp"
 
 #include "bench/bench_common.hpp"
+#include "bench/bench_json.hpp"
 #include "compare/elementwise.hpp"
+#include "hash/chunk_hasher.hpp"
+#include "hash/kernels.hpp"
 #include "hash/murmur3.hpp"
 #include "hash/quantize.hpp"
 #include "merkle/compare.hpp"
@@ -37,6 +55,75 @@ void BM_Quantize(benchmark::State& state) {
                           4096);
 }
 BENCHMARK(BM_Quantize);
+
+// The batched kernel under both backends. With kScalar this measures the
+// per-element reference loop through the same entry point; the gap between
+// the two rows is the kernel speedup on this machine.
+void BM_QuantizeBlock(benchmark::State& state) {
+  const auto backend = static_cast<hash::KernelBackend>(state.range(0));
+  const hash::KernelBackend saved = hash::kernel_backend();
+  hash::set_kernel_backend(backend);
+  const auto values = sim::generate_field(1 << 16, 3);
+  std::vector<std::int64_t> lattice(values.size());
+  for (auto _ : state) {
+    hash::quantize_block_f32(values.data(), values.size(), 1e-6,
+                             lattice.data());
+    benchmark::DoNotOptimize(lattice.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size() * 4));
+  state.SetLabel(std::string(hash::active_kernel_name()));
+  hash::set_kernel_backend(saved);
+}
+BENCHMARK(BM_QuantizeBlock)
+    ->Arg(static_cast<int>(hash::KernelBackend::kScalar))
+    ->Arg(static_cast<int>(hash::KernelBackend::kAuto));
+
+// Faithful replica of the pre-kernel chunk hot path: quantize one hash
+// block at a time into a small lattice buffer, then byte-span Murmur3F per
+// block. Kept as the baseline the fused pass is measured against.
+void BM_ChunkHash_Legacy(benchmark::State& state) {
+  const auto values = sim::generate_field(1 << 16, 9);
+  const hash::HashParams params{.error_bound = 1e-6, .values_per_block = 64};
+  for (auto _ : state) {
+    std::array<std::int64_t, 64> lattice;
+    hash::Digest128 digest;
+    std::uint64_t block_seed = 0;
+    std::size_t pos = 0;
+    while (pos < values.size()) {
+      const std::size_t count =
+          std::min<std::size_t>(params.values_per_block, values.size() - pos);
+      for (std::size_t i = 0; i < count; ++i) {
+        lattice[i] = hash::quantize(values[pos + i], params.error_bound);
+      }
+      digest = hash::murmur3f(
+          std::span<const std::uint8_t>(
+              reinterpret_cast<const std::uint8_t*>(lattice.data()),
+              count * sizeof(std::int64_t)),
+          block_seed);
+      block_seed = digest.fold();
+      pos += count;
+    }
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size() * 4));
+}
+BENCHMARK(BM_ChunkHash_Legacy);
+
+void BM_ChunkHash_Fused(benchmark::State& state) {
+  const auto values = sim::generate_field(1 << 16, 9);
+  const hash::HashParams params{.error_bound = 1e-6, .values_per_block = 64};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash::hash_chunk_f32(values, params));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size() * 4));
+  state.SetLabel(std::string(hash::active_kernel_name()));
+}
+BENCHMARK(BM_ChunkHash_Fused);
 
 void BM_ElementwiseCompare(benchmark::State& state) {
   const auto a = sim::generate_field(static_cast<std::uint64_t>(state.range(0)),
@@ -88,6 +175,69 @@ void BM_TreeCompare(benchmark::State& state) {
 }
 BENCHMARK(BM_TreeCompare);
 
+// Kernel-equivalence smoke check: dispatched kernels vs. the per-element
+// scalar reference on random + adversarial inputs, plus digest equality
+// across backends. Runs unconditionally before the benchmarks so the ctest
+// perf_smoke target fails on a real kernel bug on THIS machine's ISA.
+int kernel_smoke_check() {
+  int failures = 0;
+  auto check = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "kernel smoke FAILED: %s (backend %s)\n", what,
+                   std::string(hash::active_kernel_name()).c_str());
+      ++failures;
+    }
+  };
+
+  std::vector<double> values(8192);
+  Xoshiro256 rng(42);
+  for (auto& v : values) v = (rng.next_double() * 2 - 1) * 100.0;
+  values[3] = std::numeric_limits<double>::quiet_NaN();
+  values[64] = std::numeric_limits<double>::infinity();
+  values[65] = -std::numeric_limits<double>::infinity();
+  values[129] = 1e300;
+  values[130] = -1e300;
+  values[200] = 1.5e-6;  // exact half-cell tie at eps 1e-6
+  values[201] = -2.5e-6;
+  std::vector<float> values32(values.begin(), values.end());
+
+  for (const double eps : {1e-6, 0.125}) {
+    std::vector<std::int64_t> got(values.size());
+    hash::quantize_block_f64(values.data(), values.size(), eps, got.data());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (got[i] != hash::quantize(values[i], eps)) {
+        check(false, "quantize_block_f64 vs quantize");
+        break;
+      }
+    }
+    hash::quantize_block_f32(values32.data(), values32.size(), eps,
+                             got.data());
+    for (std::size_t i = 0; i < values32.size(); ++i) {
+      if (got[i] !=
+          hash::quantize(static_cast<double>(values32[i]), eps)) {
+        check(false, "quantize_block_f32 vs quantize");
+        break;
+      }
+    }
+  }
+
+  const hash::HashParams params{.error_bound = 1e-6, .values_per_block = 64};
+  hash::set_kernel_backend(hash::KernelBackend::kScalar);
+  const hash::Digest128 scalar_digest = hash::hash_chunk_f32(values32, params);
+  hash::set_kernel_backend(hash::KernelBackend::kAuto);
+  const hash::Digest128 auto_digest = hash::hash_chunk_f32(values32, params);
+  check(scalar_digest == auto_digest, "chunk digest scalar vs dispatched");
+
+  if (failures == 0) {
+    std::fprintf(stderr, "kernel smoke OK (dispatched backend: %s)\n",
+                 std::string(hash::active_kernel_name()).c_str());
+  }
+  return failures;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (kernel_smoke_check() != 0) return 1;
+  return repro::bench::run_benchmarks_with_json(argc, argv);
+}

@@ -165,6 +165,7 @@ repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
     element_options.exec = options.exec;
     element_options.collect_diffs = options.collect_diffs;
     element_options.max_diffs = options.max_diffs;
+    element_options.dynamic_grain = options.dynamic_grain;
 
     std::vector<ElementDiff> raw_diffs;
     while (io::ChunkSlice* slice = streamer.next()) {

@@ -54,6 +54,10 @@ struct CompareOptions {
   bool collect_diffs = false;
   std::size_t max_diffs = 1024;
 
+  /// Dynamic-scheduling grain (values per claim) for stage 2's element-wise
+  /// verification; 0 = auto. See docs/PERF.md.
+  std::uint64_t dynamic_grain = 0;
+
   /// Drop both files (and metadata) from the page cache first — the
   /// cold-cache protocol the paper enforces with `vmtouch -e`.
   bool evict_cache = false;

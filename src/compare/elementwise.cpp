@@ -4,6 +4,8 @@
 #include <cmath>
 #include <mutex>
 
+#include "hash/kernels.hpp"
+
 namespace repro::cmp {
 
 namespace {
@@ -22,7 +24,8 @@ ElementwiseResult compare_typed(std::span<const std::uint8_t> run_a,
   result.values_compared = count;
 
   // NaN semantics match the quantizer: NaN vs NaN is reproducible, NaN vs
-  // finite is a difference.
+  // finite is a difference. The batched kernel implements the same rule;
+  // this scalar copy only runs when locating diffs within a flagged block.
   auto differs = [eps](double a, double b) {
     const bool nan_a = std::isnan(a);
     const bool nan_b = std::isnan(b);
@@ -30,38 +33,45 @@ ElementwiseResult compare_typed(std::span<const std::uint8_t> run_a,
     return std::abs(a - b) > eps;
   };
 
+  // Both paths: dynamically claimed blocks (chunk worklists skew per-block
+  // cost), counted by the batched ε-compare kernel.
+  std::atomic<std::uint64_t> exceeding{0};
   if (!options.collect_diffs || diffs == nullptr) {
-    result.values_exceeding =
-        options.exec.reduce_sum<std::uint64_t>(0, count, [&](std::uint64_t i) {
-          return differs(static_cast<double>(values_a[i]),
-                         static_cast<double>(values_b[i]))
-                     ? std::uint64_t{1}
-                     : std::uint64_t{0};
+    options.exec.for_blocks_dynamic(
+        0, count, options.dynamic_grain,
+        [&](std::uint64_t lo, std::uint64_t hi) {
+          exceeding.fetch_add(
+              hash::count_diffs(values_a + lo, values_b + lo, hi - lo, eps),
+              std::memory_order_relaxed);
         });
+    result.values_exceeding = exceeding.load();
     return result;
   }
 
-  std::atomic<std::uint64_t> exceeding{0};
   std::mutex diff_mu;
-  options.exec.for_blocks(0, count, [&](std::uint64_t lo, std::uint64_t hi) {
-    std::vector<ElementDiff> local;
-    std::uint64_t local_count = 0;
-    for (std::uint64_t i = lo; i < hi; ++i) {
-      const auto a = static_cast<double>(values_a[i]);
-      const auto b = static_cast<double>(values_b[i]);
-      if (!differs(a, b)) continue;
-      ++local_count;
-      local.push_back({base_value_index + i, a, b});
-    }
-    exceeding.fetch_add(local_count, std::memory_order_relaxed);
-    if (!local.empty()) {
-      std::lock_guard<std::mutex> lock(diff_mu);
-      for (auto& record : local) {
-        if (diffs->size() >= options.max_diffs) break;
-        diffs->push_back(record);
-      }
-    }
-  });
+  options.exec.for_blocks_dynamic(
+      0, count, options.dynamic_grain,
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        // Count first with the kernel; only blocks with hits pay the scalar
+        // locate loop (most blocks of a mostly-reproducible pair are clean).
+        const std::uint64_t hits =
+            hash::count_diffs(values_a + lo, values_b + lo, hi - lo, eps);
+        if (hits == 0) return;
+        exceeding.fetch_add(hits, std::memory_order_relaxed);
+        std::vector<ElementDiff> local;
+        local.reserve(static_cast<std::size_t>(hits));
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          const auto a = static_cast<double>(values_a[i]);
+          const auto b = static_cast<double>(values_b[i]);
+          if (!differs(a, b)) continue;
+          local.push_back({base_value_index + i, a, b});
+        }
+        std::lock_guard<std::mutex> lock(diff_mu);
+        for (auto& record : local) {
+          if (diffs->size() >= options.max_diffs) break;
+          diffs->push_back(record);
+        }
+      });
   result.values_exceeding = exceeding.load();
   return result;
 }

@@ -32,6 +32,10 @@ struct ElementwiseOptions {
   /// is cheaper and is what the throughput benches use.
   bool collect_diffs = false;
   std::size_t max_diffs = 1024;
+  /// Values per dynamically claimed work unit (0 = auto). Stage-2 worklists
+  /// skew per-block cost, so workers claim grains from a shared counter
+  /// instead of receiving one static slice each. See docs/PERF.md.
+  std::uint64_t dynamic_grain = 0;
 };
 
 /// Compare two equal-length byte regions holding `kind`-typed values with

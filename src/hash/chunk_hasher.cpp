@@ -4,8 +4,8 @@
 #include <array>
 #include <cmath>
 
+#include "hash/kernels.hpp"
 #include "hash/murmur3.hpp"
-#include "hash/quantize.hpp"
 
 namespace repro::hash {
 
@@ -21,33 +21,39 @@ repro::Status validate(const HashParams& params) {
 
 namespace {
 
-// Shared implementation for F32/F64: quantize a block of values into a
-// stack buffer of lattice indices, hash it seeded by the previous digest.
+// Shared implementation for F32/F64: one streaming pass per chunk. A batch
+// of up to kMaxBlock values (always a whole number of hash blocks, except
+// the final partial) is quantized in a single kernel call, then the chained
+// Murmur3F walks the lattice words block by block — the input floats are
+// read exactly once and the lattice exactly once. Digests are identical to
+// the original per-block quantize+hash loop: the batch boundaries fall on
+// hash-block boundaries, so the (data, seed) sequence fed to the hash is
+// unchanged.
 template <typename Float>
 Digest128 hash_chunk_impl(std::span<const Float> values,
                           const HashParams& params,
                           std::uint64_t seed) noexcept {
   constexpr std::size_t kMaxBlock = 4096;
-  std::array<std::int64_t, kMaxBlock> lattice;
+  alignas(64) std::array<std::int64_t, kMaxBlock> lattice;
   const std::size_t block_values =
       std::min<std::size_t>(params.values_per_block, kMaxBlock);
+  const std::size_t batch_cap = kMaxBlock - kMaxBlock % block_values;
 
   Digest128 digest{seed, seed};
   std::uint64_t block_seed = seed;
   std::size_t pos = 0;
   while (pos < values.size()) {
-    const std::size_t count = std::min(block_values, values.size() - pos);
-    for (std::size_t i = 0; i < count; ++i) {
-      lattice[i] = quantize(static_cast<double>(values[pos + i]),
-                            params.error_bound);
+    const std::size_t batch = std::min(batch_cap, values.size() - pos);
+    quantize_block(values.data() + pos, batch, params.error_bound,
+                   lattice.data());
+    for (std::size_t off = 0; off < batch; off += block_values) {
+      const std::size_t count = std::min(block_values, batch - off);
+      digest = murmur3f_words(
+          reinterpret_cast<const std::uint64_t*>(lattice.data() + off), count,
+          block_seed);
+      block_seed = digest.fold();
     }
-    digest = murmur3f(
-        std::span<const std::uint8_t>(
-            reinterpret_cast<const std::uint8_t*>(lattice.data()),
-            count * sizeof(std::int64_t)),
-        block_seed);
-    block_seed = digest.fold();
-    pos += count;
+    pos += batch;
   }
   return digest;
 }

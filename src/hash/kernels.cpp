@@ -1,0 +1,193 @@
+#include "hash/kernels.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "hash/kernels_impl.hpp"
+#include "hash/quantize.hpp"
+
+namespace repro::hash {
+
+#if defined(REPRO_KERNELS_AVX2) || defined(REPRO_KERNELS_AVX512)
+// Defined in kernels_avx2.cpp / kernels_avx512.cpp, compiled with the
+// matching -m flags. Only called after __builtin_cpu_supports says so.
+namespace isa {
+#if defined(REPRO_KERNELS_AVX2)
+void quantize_avx2_f32(const float*, std::size_t, double,
+                       std::int64_t*) noexcept;
+void quantize_avx2_f64(const double*, std::size_t, double,
+                       std::int64_t*) noexcept;
+std::uint64_t count_diffs_avx2_f32(const float*, const float*, std::size_t,
+                                   double) noexcept;
+std::uint64_t count_diffs_avx2_f64(const double*, const double*, std::size_t,
+                                   double) noexcept;
+#endif
+#if defined(REPRO_KERNELS_AVX512)
+void quantize_avx512_f32(const float*, std::size_t, double,
+                         std::int64_t*) noexcept;
+void quantize_avx512_f64(const double*, std::size_t, double,
+                         std::int64_t*) noexcept;
+std::uint64_t count_diffs_avx512_f32(const float*, const float*, std::size_t,
+                                     double) noexcept;
+std::uint64_t count_diffs_avx512_f64(const double*, const double*,
+                                     std::size_t, double) noexcept;
+#endif
+}  // namespace isa
+#endif
+
+namespace {
+
+struct KernelTable {
+  void (*quantize_f32)(const float*, std::size_t, double,
+                       std::int64_t*) noexcept;
+  void (*quantize_f64)(const double*, std::size_t, double,
+                       std::int64_t*) noexcept;
+  std::uint64_t (*diffs_f32)(const float*, const float*, std::size_t,
+                             double) noexcept;
+  std::uint64_t (*diffs_f64)(const double*, const double*, std::size_t,
+                             double) noexcept;
+  std::string_view name;
+};
+
+// ---- scalar reference (the pre-batching per-element code path) ----
+
+void quantize_scalar_f32(const float* in, std::size_t count,
+                         double error_bound, std::int64_t* out) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = quantize(static_cast<double>(in[i]), error_bound);
+  }
+}
+
+void quantize_scalar_f64(const double* in, std::size_t count,
+                         double error_bound, std::int64_t* out) noexcept {
+  for (std::size_t i = 0; i < count; ++i) out[i] = quantize(in[i], error_bound);
+}
+
+template <typename Float>
+std::uint64_t diffs_scalar(const Float* a, const Float* b, std::size_t count,
+                           double eps) noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double x = static_cast<double>(a[i]);
+    const double y = static_cast<double>(b[i]);
+    const bool nan_x = std::isnan(x);
+    const bool nan_y = std::isnan(y);
+    if (nan_x || nan_y) {
+      total += nan_x != nan_y ? 1 : 0;
+    } else {
+      total += std::abs(x - y) > eps ? 1 : 0;
+    }
+  }
+  return total;
+}
+
+std::uint64_t diffs_scalar_f32(const float* a, const float* b,
+                               std::size_t count, double eps) noexcept {
+  return diffs_scalar(a, b, count, eps);
+}
+
+std::uint64_t diffs_scalar_f64(const double* a, const double* b,
+                               std::size_t count, double eps) noexcept {
+  return diffs_scalar(a, b, count, eps);
+}
+
+// ---- portable batched kernel (compiled at the build's baseline ISA) ----
+
+void quantize_portable_f32(const float* in, std::size_t count,
+                           double error_bound, std::int64_t* out) noexcept {
+  quantize_batch(in, count, error_bound, out);
+}
+
+void quantize_portable_f64(const double* in, std::size_t count,
+                           double error_bound, std::int64_t* out) noexcept {
+  quantize_batch(in, count, error_bound, out);
+}
+
+std::uint64_t diffs_portable_f32(const float* a, const float* b,
+                                 std::size_t count, double eps) noexcept {
+  return count_diffs_batch(a, b, count, eps);
+}
+
+std::uint64_t diffs_portable_f64(const double* a, const double* b,
+                                 std::size_t count, double eps) noexcept {
+  return count_diffs_batch(a, b, count, eps);
+}
+
+constexpr KernelTable kScalarTable{quantize_scalar_f32, quantize_scalar_f64,
+                                   diffs_scalar_f32, diffs_scalar_f64,
+                                   "scalar"};
+
+#if defined(__x86_64__) || defined(__i386__)
+constexpr std::string_view kPortableName = "sse2";
+#else
+constexpr std::string_view kPortableName = "generic";
+#endif
+
+constexpr KernelTable kPortableTable{quantize_portable_f32,
+                                     quantize_portable_f64,
+                                     diffs_portable_f32, diffs_portable_f64,
+                                     kPortableName};
+
+const KernelTable& auto_table() {
+  static const KernelTable table = [] {
+#if defined(REPRO_KERNELS_AVX512)
+    if (__builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl")) {
+      return KernelTable{isa::quantize_avx512_f32, isa::quantize_avx512_f64,
+                         isa::count_diffs_avx512_f32,
+                         isa::count_diffs_avx512_f64, "avx512"};
+    }
+#endif
+#if defined(REPRO_KERNELS_AVX2)
+    if (__builtin_cpu_supports("avx2")) {
+      return KernelTable{isa::quantize_avx2_f32, isa::quantize_avx2_f64,
+                         isa::count_diffs_avx2_f32, isa::count_diffs_avx2_f64,
+                         "avx2"};
+    }
+#endif
+    return kPortableTable;
+  }();
+  return table;
+}
+
+std::atomic<KernelBackend> g_backend{KernelBackend::kAuto};
+
+const KernelTable& active_table() {
+  return g_backend.load(std::memory_order_relaxed) == KernelBackend::kScalar
+             ? kScalarTable
+             : auto_table();
+}
+
+}  // namespace
+
+void set_kernel_backend(KernelBackend backend) noexcept {
+  g_backend.store(backend, std::memory_order_relaxed);
+}
+
+KernelBackend kernel_backend() noexcept {
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+std::string_view active_kernel_name() noexcept { return active_table().name; }
+
+void quantize_block_f32(const float* in, std::size_t count, double error_bound,
+                        std::int64_t* out) noexcept {
+  active_table().quantize_f32(in, count, error_bound, out);
+}
+
+void quantize_block_f64(const double* in, std::size_t count,
+                        double error_bound, std::int64_t* out) noexcept {
+  active_table().quantize_f64(in, count, error_bound, out);
+}
+
+std::uint64_t count_diffs_f32(const float* a, const float* b,
+                              std::size_t count, double eps) noexcept {
+  return active_table().diffs_f32(a, b, count, eps);
+}
+
+std::uint64_t count_diffs_f64(const double* a, const double* b,
+                              std::size_t count, double eps) noexcept {
+  return active_table().diffs_f64(a, b, count, eps);
+}
+
+}  // namespace repro::hash

@@ -1,0 +1,70 @@
+// Batched, SIMD-friendly quantize and ε-compare kernels.
+//
+// The capture-time hot path (Section 2.4: hash every chunk of every
+// checkpoint, inline with the write) spends nearly all its cycles quantizing
+// values onto the ε-grid and feeding the lattice words to Murmur3F. These
+// kernels process a block at a time so the compiler can vectorize the finite
+// fast path; NaN/±Inf/saturation fall back to the scalar quantize() in a
+// per-stripe fixup pass.
+//
+// Digest-stability guarantee: every backend produces *bit-identical* lattice
+// indices (and therefore digests) to the scalar quantize() reference, for
+// every input. Metadata written by any build of this library is comparable
+// with metadata written by any other — switching CPUs must never flag a
+// reproducible run as divergent. tests/kernels_test.cpp enforces this with
+// randomized, adversarial, and golden-digest checks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace repro::hash {
+
+/// Which kernel implementation the block entry points use.
+enum class KernelBackend : std::uint8_t {
+  kScalar = 0,  ///< per-element reference loop (the pre-batching code path)
+  kAuto = 1,    ///< best batched kernel for this CPU (runtime-dispatched)
+};
+
+/// Process-wide backend selection (defaults to kAuto). Only tests and
+/// benches should switch this; results are identical either way.
+void set_kernel_backend(KernelBackend backend) noexcept;
+KernelBackend kernel_backend() noexcept;
+
+/// Name of the implementation the current backend resolves to:
+/// "scalar", "generic", "sse2", "avx2", or "avx512".
+std::string_view active_kernel_name() noexcept;
+
+/// out[i] = quantize(in[i], error_bound) for i in [0, count).
+void quantize_block_f32(const float* in, std::size_t count,
+                        double error_bound, std::int64_t* out) noexcept;
+void quantize_block_f64(const double* in, std::size_t count,
+                        double error_bound, std::int64_t* out) noexcept;
+
+/// Number of positions where two runs differ under the comparator's rules
+/// (NaN vs NaN reproducible, NaN vs finite a difference, else |a - b| > eps).
+std::uint64_t count_diffs_f32(const float* a, const float* b,
+                              std::size_t count, double eps) noexcept;
+std::uint64_t count_diffs_f64(const double* a, const double* b,
+                              std::size_t count, double eps) noexcept;
+
+/// Type-dispatched conveniences for templated callers.
+inline void quantize_block(const float* in, std::size_t count,
+                           double error_bound, std::int64_t* out) noexcept {
+  quantize_block_f32(in, count, error_bound, out);
+}
+inline void quantize_block(const double* in, std::size_t count,
+                           double error_bound, std::int64_t* out) noexcept {
+  quantize_block_f64(in, count, error_bound, out);
+}
+inline std::uint64_t count_diffs(const float* a, const float* b,
+                                 std::size_t count, double eps) noexcept {
+  return count_diffs_f32(a, b, count, eps);
+}
+inline std::uint64_t count_diffs(const double* a, const double* b,
+                                 std::size_t count, double eps) noexcept {
+  return count_diffs_f64(a, b, count, eps);
+}
+
+}  // namespace repro::hash

@@ -1,0 +1,30 @@
+// AVX2 instantiation of the batched kernels. This file (and only this file)
+// is compiled with -mavx2; kernels.cpp calls these entry points after
+// checking __builtin_cpu_supports("avx2"). The loop bodies come from
+// kernels_impl.hpp and are anonymous-namespace so this TU's AVX2 copies
+// cannot be merged with the portable ones (see the header comment there).
+#include "hash/kernels_impl.hpp"
+
+namespace repro::hash::isa {
+
+void quantize_avx2_f32(const float* in, std::size_t count, double error_bound,
+                       std::int64_t* out) noexcept {
+  quantize_batch(in, count, error_bound, out);
+}
+
+void quantize_avx2_f64(const double* in, std::size_t count,
+                       double error_bound, std::int64_t* out) noexcept {
+  quantize_batch(in, count, error_bound, out);
+}
+
+std::uint64_t count_diffs_avx2_f32(const float* a, const float* b,
+                                   std::size_t count, double eps) noexcept {
+  return count_diffs_batch(a, b, count, eps);
+}
+
+std::uint64_t count_diffs_avx2_f64(const double* a, const double* b,
+                                   std::size_t count, double eps) noexcept {
+  return count_diffs_batch(a, b, count, eps);
+}
+
+}  // namespace repro::hash::isa

@@ -1,0 +1,31 @@
+// AVX-512 instantiation of the batched kernels, compiled with
+// -mavx512f -mavx512dq -mavx512vl. AVX-512DQ is the prize: vcvttpd2qq gives
+// a vector double→int64 conversion, so the whole quantize loop — divide,
+// round, tie-fix, range-mask, convert — vectorizes with no scalar tail.
+// kernels.cpp dispatches here only after __builtin_cpu_supports checks for
+// avx512dq and avx512vl.
+#include "hash/kernels_impl.hpp"
+
+namespace repro::hash::isa {
+
+void quantize_avx512_f32(const float* in, std::size_t count,
+                         double error_bound, std::int64_t* out) noexcept {
+  quantize_batch(in, count, error_bound, out);
+}
+
+void quantize_avx512_f64(const double* in, std::size_t count,
+                         double error_bound, std::int64_t* out) noexcept {
+  quantize_batch(in, count, error_bound, out);
+}
+
+std::uint64_t count_diffs_avx512_f32(const float* a, const float* b,
+                                     std::size_t count, double eps) noexcept {
+  return count_diffs_batch(a, b, count, eps);
+}
+
+std::uint64_t count_diffs_avx512_f64(const double* a, const double* b,
+                                     std::size_t count, double eps) noexcept {
+  return count_diffs_batch(a, b, count, eps);
+}
+
+}  // namespace repro::hash::isa

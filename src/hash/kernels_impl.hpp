@@ -1,0 +1,104 @@
+// Shared loop bodies for the batched quantize / ε-compare kernels.
+//
+// This header is compiled into several translation units, each built with a
+// different instruction-set baseline (generic/SSE2, AVX2, AVX-512); the
+// dispatcher in kernels.cpp picks one at runtime. Everything here therefore
+// lives in an anonymous namespace: each TU must get its *own* copy of these
+// functions, compiled with that TU's ISA flags. With external linkage the
+// linker would be free to merge the instantiations and could hand the
+// portable entry point an AVX-512 body — SIGILL on older hardware.
+//
+// Semantics contract: every function here must match its scalar reference
+// (quantize(), the comparator's differs()) element for element, for every
+// input including NaN, ±Inf, saturating magnitudes, and exact grid ties.
+// The digest-stability guarantee of the whole system rests on this; see
+// docs/PERF.md and tests/kernels_test.cpp.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "hash/quantize.hpp"
+
+namespace repro::hash {
+namespace {
+
+// Values per stripe: small enough for the stack, large enough that the
+// per-stripe slow-path check amortizes away.
+inline constexpr std::size_t kKernelStripe = 64;
+
+/// Batched quantize: out[i] = quantize(in[i], error_bound) for every i.
+///
+/// Pass 1 is a branch-free, auto-vectorizable loop handling the finite fast
+/// path: one division (kept — a reciprocal multiply is only bit-identical
+/// when ε is a power of two, and digests must not move), an
+/// llround-equivalent rounding (nearbyint + exact half-tie fixup; the
+/// subtraction `scaled - r0` is exact by the Sterbenz lemma so ties are
+/// detected exactly), and a lattice-range check that NaN/±Inf/saturating
+/// values fail. Slow lanes are marked NaN and resolved by a scalar fixup
+/// pass that calls quantize() itself — bit-identical by construction.
+template <typename Float>
+inline void quantize_batch(const Float* in, std::size_t count,
+                           double error_bound, std::int64_t* out) noexcept {
+  const double pos_limit = static_cast<double>(kPosSaturate);
+  const double neg_limit = static_cast<double>(kNegSaturate);
+  double rounded[kKernelStripe];
+  for (std::size_t base = 0; base < count; base += kKernelStripe) {
+    const std::size_t n = std::min(kKernelStripe, count - base);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double scaled = static_cast<double>(in[base + i]) / error_bound;
+      const double r0 = std::nearbyint(scaled);  // ties to even
+      const double tie = scaled - r0;            // exact: |tie| <= 0.5
+      // llround rounds ties away from zero; nearbyint rounded this tie
+      // toward zero exactly when the residual points away from zero on the
+      // value's own side (+0.5 for positive, -0.5 for negative).
+      const double away = (tie == 0.5) & (scaled > 0.0)
+                              ? 1.0
+                              : ((tie == -0.5) & (scaled < 0.0) ? -1.0 : 0.0);
+      // NaN fails both compares, ±Inf and saturating quotients fail one.
+      const bool fast = (scaled > neg_limit) & (scaled < pos_limit);
+      rounded[i] =
+          fast ? (r0 + away) : std::numeric_limits<double>::quiet_NaN();
+    }
+    int slow_lanes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = rounded[i];
+      const bool ok = (r == r);
+      slow_lanes += ok ? 0 : 1;
+      out[base + i] = static_cast<std::int64_t>(ok ? r : 0.0);
+    }
+    if (slow_lanes != 0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rounded[i] != rounded[i]) {
+          out[base + i] =
+              quantize(static_cast<double>(in[base + i]), error_bound);
+        }
+      }
+    }
+  }
+}
+
+/// Batched ε-comparison: number of positions where the two runs differ under
+/// the comparator's rules (NaN vs NaN is reproducible, NaN vs anything else
+/// is a difference, otherwise |a - b| > eps). Branch-free and
+/// auto-vectorizable; both NaN ⇒ fabs(NaN) > eps is false and the NaN-state
+/// mismatch is false, so the element counts as reproducible.
+template <typename Float>
+inline std::uint64_t count_diffs_batch(const Float* a, const Float* b,
+                                       std::size_t count,
+                                       double eps) noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double x = static_cast<double>(a[i]);
+    const double y = static_cast<double>(b[i]);
+    const bool nan_mismatch = (x != x) != (y != y);
+    const bool exceeds = std::fabs(x - y) > eps;
+    total += (nan_mismatch | exceeds) ? 1u : 0u;
+  }
+  return total;
+}
+
+}  // namespace
+}  // namespace repro::hash

@@ -5,6 +5,9 @@
 namespace repro::hash {
 namespace {
 
+constexpr std::uint64_t c1 = 0x87c37b91114253d5ULL;
+constexpr std::uint64_t c2 = 0x4cf5ad432745937fULL;
+
 constexpr std::uint64_t rotl64(std::uint64_t x, int r) noexcept {
   return (x << r) | (x >> (64 - r));
 }
@@ -24,6 +27,39 @@ std::uint64_t load_u64(const std::uint8_t* p) noexcept {
   return v;
 }
 
+/// One 16-byte body block: mix (k1, k2) into (h1, h2).
+inline void mix_block(std::uint64_t& h1, std::uint64_t& h2, std::uint64_t k1,
+                      std::uint64_t k2) noexcept {
+  k1 *= c1;
+  k1 = rotl64(k1, 31);
+  k1 *= c2;
+  h1 ^= k1;
+  h1 = rotl64(h1, 27);
+  h1 += h2;
+  h1 = h1 * 5 + 0x52dce729;
+
+  k2 *= c2;
+  k2 = rotl64(k2, 33);
+  k2 *= c1;
+  h2 ^= k2;
+  h2 = rotl64(h2, 31);
+  h2 += h1;
+  h2 = h2 * 5 + 0x38495ab5;
+}
+
+inline Digest128 finalize(std::uint64_t h1, std::uint64_t h2,
+                          std::uint64_t len) noexcept {
+  h1 ^= len;
+  h2 ^= len;
+  h1 += h2;
+  h2 += h1;
+  h1 = fmix64(h1);
+  h2 = fmix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return Digest128{h1, h2};
+}
+
 }  // namespace
 
 Digest128 murmur3f(std::span<const std::uint8_t> data,
@@ -35,29 +71,9 @@ Digest128 murmur3f(std::span<const std::uint8_t> data,
   std::uint64_t h1 = seed;
   std::uint64_t h2 = seed;
 
-  constexpr std::uint64_t c1 = 0x87c37b91114253d5ULL;
-  constexpr std::uint64_t c2 = 0x4cf5ad432745937fULL;
-
   // Body: 16-byte blocks.
   for (std::size_t i = 0; i < nblocks; ++i) {
-    std::uint64_t k1 = load_u64(bytes + i * 16);
-    std::uint64_t k2 = load_u64(bytes + i * 16 + 8);
-
-    k1 *= c1;
-    k1 = rotl64(k1, 31);
-    k1 *= c2;
-    h1 ^= k1;
-    h1 = rotl64(h1, 27);
-    h1 += h2;
-    h1 = h1 * 5 + 0x52dce729;
-
-    k2 *= c2;
-    k2 = rotl64(k2, 33);
-    k2 *= c1;
-    h2 ^= k2;
-    h2 = rotl64(h2, 31);
-    h2 += h1;
-    h2 = h2 * 5 + 0x38495ab5;
+    mix_block(h1, h2, load_u64(bytes + i * 16), load_u64(bytes + i * 16 + 8));
   }
 
   // Tail: remaining 0-15 bytes.
@@ -95,17 +111,31 @@ Digest128 murmur3f(std::span<const std::uint8_t> data,
     case 0: break;
   }
 
-  // Finalization.
-  h1 ^= static_cast<std::uint64_t>(len);
-  h2 ^= static_cast<std::uint64_t>(len);
-  h1 += h2;
-  h2 += h1;
-  h1 = fmix64(h1);
-  h2 = fmix64(h2);
-  h1 += h2;
-  h2 += h1;
+  return finalize(h1, h2, static_cast<std::uint64_t>(len));
+}
 
-  return Digest128{h1, h2};
+Digest128 murmur3f_words(const std::uint64_t* words, std::size_t count,
+                         std::uint64_t seed) noexcept {
+  std::uint64_t h1 = seed;
+  std::uint64_t h2 = seed;
+
+  const std::size_t npairs = count / 2;
+  for (std::size_t i = 0; i < npairs; ++i) {
+    mix_block(h1, h2, words[2 * i], words[2 * i + 1]);
+  }
+
+  // An odd trailing word is the byte-path's len&15 == 8 tail: the eight
+  // tail-byte xors reassemble exactly one little-endian u64 into k1 (k2
+  // stays zero), so a single word load replaces the byte switch.
+  if (count & 1) {
+    std::uint64_t k1 = words[count - 1];
+    k1 *= c1;
+    k1 = rotl64(k1, 31);
+    k1 *= c2;
+    h1 ^= k1;
+  }
+
+  return finalize(h1, h2, static_cast<std::uint64_t>(count) * 8);
 }
 
 }  // namespace repro::hash

@@ -20,6 +20,13 @@ namespace repro::hash {
 Digest128 murmur3f(std::span<const std::uint8_t> data,
                    std::uint64_t seed = 0) noexcept;
 
+/// Bulk path for word-aligned payloads (the chunk hasher's lattice blocks):
+/// bit-identical to murmur3f over the same bytes on a little-endian host,
+/// but consumes whole 64-bit words, so an odd trailing word is one load
+/// instead of the byte-at-a-time tail switch.
+Digest128 murmur3f_words(const std::uint64_t* words, std::size_t count,
+                         std::uint64_t seed = 0) noexcept;
+
 /// Convenience overload for typed buffers.
 template <typename T>
 Digest128 murmur3f_of(const T& value, std::uint64_t seed = 0) noexcept {

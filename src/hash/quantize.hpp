@@ -23,17 +23,20 @@
 
 namespace repro::hash {
 
+/// Lattice sentinels, shared with the batched kernels in kernels.hpp so the
+/// block and per-value paths are bit-identical by construction.
+inline constexpr std::int64_t kNanSentinel =
+    std::numeric_limits<std::int64_t>::min();
+inline constexpr std::int64_t kPosSaturate =
+    std::numeric_limits<std::int64_t>::max() - 1;
+inline constexpr std::int64_t kNegSaturate =
+    std::numeric_limits<std::int64_t>::min() + 2;
+
 /// Lattice index of `value` on the ε-grid. NaNs map to a dedicated sentinel
 /// (so NaN compares equal to NaN — a run that produces NaN in both runs is
 /// "reproducible" at that site); ±Inf map to saturating sentinels. Finite
 /// values whose quotient overflows the lattice saturate likewise.
 inline std::int64_t quantize(double value, double error_bound) noexcept {
-  constexpr std::int64_t kNanSentinel =
-      std::numeric_limits<std::int64_t>::min();
-  constexpr std::int64_t kPosSaturate =
-      std::numeric_limits<std::int64_t>::max() - 1;
-  constexpr std::int64_t kNegSaturate =
-      std::numeric_limits<std::int64_t>::min() + 2;
   if (std::isnan(value)) return kNanSentinel;
   const double scaled = value / error_bound;
   if (scaled >= static_cast<double>(kPosSaturate)) return kPosSaturate;

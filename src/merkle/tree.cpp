@@ -182,7 +182,9 @@ repro::Result<MerkleTree> TreeBuilder::build(
   auto* nodes = tree.nodes_.data();
 
   // Leaf level: every chunk hashed independently (Algorithm 1, first loop).
-  exec_.for_each(0, num_chunks, [&](std::uint64_t chunk) {
+  // Dynamically claimed: a short final chunk or NaN-heavy slow-path chunks
+  // would otherwise convoy the statically partitioned workers.
+  exec_.for_each_dynamic(0, num_chunks, leaf_grain_, [&](std::uint64_t chunk) {
     nodes[layout.leaf_node(chunk)] = hash_chunk(data, tree, chunk);
   });
 
@@ -224,11 +226,13 @@ repro::Status TreeBuilder::update_leaves(
   }
   auto* nodes = tree.nodes_.data();
 
-  // Rehash the dirty leaves in parallel.
-  exec_.for_each(0, changed_chunks.size(), [&](std::uint64_t i) {
-    const std::uint64_t chunk = changed_chunks[i];
-    nodes[layout.leaf_node(chunk)] = hash_chunk(data, tree, chunk);
-  });
+  // Rehash the dirty leaves in parallel (dynamically claimed — dirty sets
+  // mix full and tail chunks, so per-leaf cost is uneven).
+  exec_.for_each_dynamic(
+      0, changed_chunks.size(), leaf_grain_, [&](std::uint64_t i) {
+        const std::uint64_t chunk = changed_chunks[i];
+        nodes[layout.leaf_node(chunk)] = hash_chunk(data, tree, chunk);
+      });
 
   // Propagate upward level by level. The dirty frontier only shrinks, so a
   // simple dedup per level keeps the work at O(k) nodes per level.

@@ -105,6 +105,18 @@ class TreeBuilder {
   TreeBuilder(TreeParams params, par::Exec exec)
       : params_(std::move(params)), exec_(exec) {}
 
+  /// Scheduling grain for the dynamically claimed leaf-hash pass, in chunks
+  /// per claim (0 = auto: leaves / (8 * ways)). A builder knob, not a tree
+  /// parameter — it cannot affect the digests, only how leaf work is dealt
+  /// to workers. See docs/PERF.md.
+  TreeBuilder& set_leaf_grain(std::uint64_t chunks_per_claim) noexcept {
+    leaf_grain_ = chunks_per_claim;
+    return *this;
+  }
+  [[nodiscard]] std::uint64_t leaf_grain() const noexcept {
+    return leaf_grain_;
+  }
+
   /// Build over an in-memory buffer (used at capture time, when the
   /// checkpoint bytes are still resident).
   repro::Result<MerkleTree> build(std::span<const std::uint8_t> data) const;
@@ -128,6 +140,7 @@ class TreeBuilder {
 
   TreeParams params_;
   par::Exec exec_;
+  std::uint64_t leaf_grain_ = 0;  // 0 = auto
 };
 
 }  // namespace repro::merkle

@@ -1,5 +1,7 @@
 #include "par/exec.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 
@@ -8,6 +10,10 @@ namespace repro::par {
 void Exec::run_blocks(
     std::uint64_t begin, std::uint64_t end,
     const std::function<void(std::uint64_t, std::uint64_t)>& block) const {
+  // The public entry points all reject empty ranges, but guard here too: an
+  // empty range would make num_blocks 0 and count / num_blocks divide by
+  // zero (and end - begin underflow for an inverted one).
+  if (end <= begin) return;
   const std::uint64_t count = end - begin;
   const std::uint64_t num_blocks =
       std::min<std::uint64_t>(ways_, count);
@@ -40,6 +46,50 @@ void Exec::run_blocks(
   auto [lo0, hi0] = block_range(0);
   block(lo0, hi0);
 
+  std::unique_lock<std::mutex> lock(mu);
+  done_cv.wait(lock, [&] { return pending == 0; });
+}
+
+void Exec::run_dynamic(
+    std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+    const std::function<void(std::uint64_t, std::uint64_t)>& block) const {
+  if (end <= begin) return;
+  const std::uint64_t count = end - begin;
+  if (grain == 0) {
+    // Default: 8 claims per worker — fine enough to absorb 8x cost skew
+    // between chunks, coarse enough that the atomic RMW is noise.
+    grain = std::max<std::uint64_t>(1, count / (8 * ways_));
+  }
+
+  auto drain = [&block, end, grain](std::atomic<std::uint64_t>& next) {
+    for (;;) {
+      const std::uint64_t lo =
+          next.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) break;
+      block(lo, std::min(lo + grain, end));
+    }
+  };
+
+  std::atomic<std::uint64_t> next{begin};
+  const std::uint64_t claims = (count + grain - 1) / grain;
+  const std::uint64_t helpers =
+      std::min<std::uint64_t>(ways_, claims) - 1;
+  if (helpers == 0) {
+    drain(next);
+    return;
+  }
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t pending = static_cast<std::size_t>(helpers);
+  for (std::uint64_t w = 0; w < helpers; ++w) {
+    pool_->submit([&] {
+      drain(next);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--pending == 0) done_cv.notify_one();
+    });
+  }
+  drain(next);
   std::unique_lock<std::mutex> lock(mu);
   done_cv.wait(lock, [&] { return pending == 0; });
 }

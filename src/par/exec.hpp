@@ -67,6 +67,46 @@ class Exec {
     run_blocks(begin, end, std::forward<BlockBody>(body));
   }
 
+  /// Dynamically scheduled parallel_for: workers repeatedly claim the next
+  /// `grain` indices from a shared atomic counter instead of receiving one
+  /// pre-cut block each. Use when per-index cost is skewed (candidate-pruned
+  /// chunk lists, mixed dirty/clean chunks): the static split convoys every
+  /// worker behind the unluckiest one, dynamic claiming keeps all lanes fed.
+  /// `grain` 0 picks a default of range / (8 * ways). Costs one atomic RMW
+  /// per grain, so keep grains a few microseconds of work or more.
+  template <typename Body>
+  void for_each_dynamic(std::uint64_t begin, std::uint64_t end,
+                        std::uint64_t grain, Body&& body) const {
+    if (end <= begin) return;
+    if (is_serial() || ways_ == 1 || end - begin == 1) {
+      for (std::uint64_t i = begin; i < end; ++i) body(i);
+      return;
+    }
+    run_dynamic(begin, end, grain,
+                [&body](std::uint64_t lo, std::uint64_t hi) {
+                  for (std::uint64_t i = lo; i < hi; ++i) body(i);
+                });
+  }
+
+  /// Dynamically scheduled for_blocks: body(lo, hi) per claimed grain.
+  /// Blocks never exceed `grain` indices (when non-zero) on any backend.
+  template <typename BlockBody>
+  void for_blocks_dynamic(std::uint64_t begin, std::uint64_t end,
+                          std::uint64_t grain, BlockBody&& body) const {
+    if (end <= begin) return;
+    if (is_serial() || ways_ == 1) {
+      if (grain == 0) {
+        body(begin, end);
+        return;
+      }
+      for (std::uint64_t lo = begin; lo < end; lo += grain) {
+        body(lo, lo + grain < end ? lo + grain : end);
+      }
+      return;
+    }
+    run_dynamic(begin, end, grain, std::forward<BlockBody>(body));
+  }
+
   /// parallel_reduce: sums body(i) over [begin, end) with operator+.
   /// T must be default-constructible to its additive identity.
   template <typename T, typename Body>
@@ -97,6 +137,12 @@ class Exec {
   /// one block itself and waits for the rest.
   void run_blocks(
       std::uint64_t begin, std::uint64_t end,
+      const std::function<void(std::uint64_t, std::uint64_t)>& block) const;
+
+  /// Atomic-counter work queue over [begin, end): up to ways_ workers
+  /// (including the caller) claim `grain`-sized ranges until exhausted.
+  void run_dynamic(
+      std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
       const std::function<void(std::uint64_t, std::uint64_t)>& block) const;
 
   ThreadPool* pool_;  // nullptr => serial

@@ -125,6 +125,91 @@ TEST(Exec, CappedParallelLimitsConcurrentBlocks) {
   EXPECT_LE(blocks, 2);
 }
 
+TEST_P(ExecBackends, ForEachDynamicVisitsEveryIndexExactlyOnce) {
+  const Exec exec = make_exec();
+  for (const std::uint64_t count : {0ULL, 1ULL, 2ULL, 7ULL, 64ULL, 1000ULL}) {
+    for (const std::uint64_t grain : {0ULL, 1ULL, 7ULL, 10000ULL}) {
+      std::vector<std::atomic<int>> visits(count);
+      exec.for_each_dynamic(0, count, grain, [&](std::uint64_t i) {
+        visits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (std::uint64_t i = 0; i < count; ++i) {
+        EXPECT_EQ(visits[i].load(), 1)
+            << "index " << i << " count " << count << " grain " << grain;
+      }
+    }
+  }
+}
+
+TEST_P(ExecBackends, ForEachDynamicRespectsNonZeroBegin) {
+  const Exec exec = make_exec();
+  std::vector<std::atomic<int>> visits(100);
+  exec.for_each_dynamic(40, 60, 3, [&](std::uint64_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(visits[i].load(), (i >= 40 && i < 60) ? 1 : 0);
+  }
+}
+
+TEST_P(ExecBackends, ForEachDynamicEmptyRangeIsNoop) {
+  const Exec exec = make_exec();
+  bool called = false;
+  exec.for_each_dynamic(10, 10, 4, [&](std::uint64_t) { called = true; });
+  exec.for_each_dynamic(10, 5, 4, [&](std::uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST_P(ExecBackends, ForBlocksDynamicTilesRange) {
+  const Exec exec = make_exec();
+  for (const std::uint64_t count : {1ULL, 5ULL, 17ULL, 256ULL, 1001ULL}) {
+    for (const std::uint64_t grain : {0ULL, 1ULL, 13ULL, 5000ULL}) {
+      std::mutex mu;
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> blocks;
+      exec.for_blocks_dynamic(
+          0, count, grain, [&](std::uint64_t lo, std::uint64_t hi) {
+            std::lock_guard<std::mutex> lock(mu);
+            blocks.emplace_back(lo, hi);
+          });
+      std::sort(blocks.begin(), blocks.end());
+      std::uint64_t cursor = 0;
+      for (const auto& [lo, hi] : blocks) {
+        EXPECT_EQ(lo, cursor) << "count " << count << " grain " << grain;
+        EXPECT_GT(hi, lo);
+        if (grain > 0) EXPECT_LE(hi - lo, grain);
+        cursor = hi;
+      }
+      EXPECT_EQ(cursor, count) << "count " << count << " grain " << grain;
+    }
+  }
+}
+
+TEST(Exec, DynamicWithCappedWaysVisitsEverything) {
+  const Exec exec = Exec::parallel(2);
+  constexpr std::uint64_t kCount = 4096;
+  std::vector<std::atomic<int>> visits(kCount);
+  exec.for_each_dynamic(0, kCount, 5, [&](std::uint64_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+// Regression: run_blocks used to divide by a zero block count when the
+// range was empty; empty and inverted ranges must be no-ops on every
+// entry point that funnels into it.
+TEST(Exec, StaticEntryPointsHandleEmptyAndInvertedRanges) {
+  const Exec exec = Exec::parallel();
+  bool called = false;
+  exec.for_blocks(7, 7, [&](std::uint64_t, std::uint64_t) { called = true; });
+  exec.for_blocks(7, 3, [&](std::uint64_t, std::uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+  EXPECT_EQ(exec.reduce_sum<std::uint64_t>(
+                9, 4, [](std::uint64_t i) { return i; }),
+            0u);
+}
+
 TEST(Exec, LargeRangeStress) {
   const Exec exec = Exec::parallel();
   std::atomic<std::uint64_t> sum{0};

@@ -1,0 +1,342 @@
+// Kernel-equivalence suite for the batched quantize / ε-compare kernels.
+//
+// The contract under test (docs/PERF.md): every backend — the per-element
+// scalar reference and whatever kAuto dispatches to on this CPU — produces
+// bit-identical lattice indices, diff counts, and chunk digests, for every
+// input including NaN, ±Inf, saturating magnitudes, denormals, and values
+// parked exactly on ε-grid half-cell boundaries. Golden digests pin the
+// whole stack to the pre-batching implementation: metadata captured before
+// this kernel layer existed must still compare clean.
+#include "hash/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hash/chunk_hasher.hpp"
+#include "hash/murmur3.hpp"
+#include "hash/quantize.hpp"
+
+namespace repro::hash {
+namespace {
+
+class BackendGuard {
+ public:
+  explicit BackendGuard(KernelBackend backend) : saved_(kernel_backend()) {
+    set_kernel_backend(backend);
+  }
+  ~BackendGuard() { set_kernel_backend(saved_); }
+
+ private:
+  KernelBackend saved_;
+};
+
+std::vector<float> adversarial_f32(double eps) {
+  std::vector<float> v = {
+      0.0f,
+      -0.0f,
+      1.0f,
+      -1.0f,
+      std::numeric_limits<float>::quiet_NaN(),
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      std::numeric_limits<float>::max(),
+      std::numeric_limits<float>::lowest(),
+      std::numeric_limits<float>::min(),
+      std::numeric_limits<float>::denorm_min(),
+      -std::numeric_limits<float>::denorm_min(),
+      3e38f,
+      -3e38f,
+  };
+  // Values straddling ε-grid cell boundaries: k·ε and (k + 1/2)·ε and one
+  // float ulp to either side.
+  for (int k : {-3, -2, -1, 0, 1, 2, 3, 1000, -1000}) {
+    for (double cells : {static_cast<double>(k), k + 0.5}) {
+      const float center = static_cast<float>(cells * eps);
+      v.push_back(center);
+      v.push_back(std::nextafter(center, std::numeric_limits<float>::max()));
+      v.push_back(
+          std::nextafter(center, std::numeric_limits<float>::lowest()));
+    }
+  }
+  return v;
+}
+
+std::vector<double> adversarial_f64(double eps) {
+  std::vector<double> v = {
+      0.0,
+      -0.0,
+      1.0,
+      -1.0,
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::lowest(),
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      1e300,
+      -1e300,
+      // Quotients just inside / at / beyond the lattice saturation rails.
+      9.2e18 * eps,
+      -9.2e18 * eps,
+      9.3e18 * eps,
+      -9.3e18 * eps,
+  };
+  for (int k : {-5, -4, -3, -2, -1, 0, 1, 2, 3, 4, 5, 999983, -999983}) {
+    for (double cells : {static_cast<double>(k), k + 0.5}) {
+      const double center = cells * eps;
+      v.push_back(center);
+      v.push_back(std::nextafter(center, std::numeric_limits<double>::max()));
+      v.push_back(
+          std::nextafter(center, std::numeric_limits<double>::lowest()));
+    }
+  }
+  return v;
+}
+
+template <typename Float>
+void expect_block_matches_scalar(const std::vector<Float>& values,
+                                 double eps, const char* label) {
+  std::vector<std::int64_t> got(values.size());
+  quantize_block(values.data(), values.size(), eps, got.data());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::int64_t want = quantize(static_cast<double>(values[i]), eps);
+    ASSERT_EQ(want, got[i])
+        << label << " backend=" << active_kernel_name() << " eps=" << eps
+        << " i=" << i << " value=" << values[i];
+  }
+}
+
+class KernelBackends : public ::testing::TestWithParam<KernelBackend> {};
+
+INSTANTIATE_TEST_SUITE_P(ScalarAndAuto, KernelBackends,
+                         ::testing::Values(KernelBackend::kScalar,
+                                           KernelBackend::kAuto),
+                         [](const ::testing::TestParamInfo<KernelBackend>& i) {
+                           return i.param == KernelBackend::kScalar ? "Scalar"
+                                                                    : "Auto";
+                         });
+
+TEST_P(KernelBackends, QuantizeBlockMatchesScalarOnRandomValues) {
+  BackendGuard guard(GetParam());
+  repro::Xoshiro256 rng(2026);
+  for (const double eps : {1e-3, 1e-5, 1e-7, 0.125, 3.0}) {
+    std::vector<float> f32(4099);  // odd size: exercises stripe tails
+    std::vector<double> f64(4099);
+    for (auto& x : f32) {
+      x = static_cast<float>((rng.next_double() * 2 - 1) * 100.0);
+    }
+    for (auto& x : f64) x = (rng.next_double() * 2 - 1) * 100.0;
+    expect_block_matches_scalar(f32, eps, "random-f32");
+    expect_block_matches_scalar(f64, eps, "random-f64");
+  }
+}
+
+TEST_P(KernelBackends, QuantizeBlockMatchesScalarOnAdversarialValues) {
+  BackendGuard guard(GetParam());
+  // Power-of-two bounds make (k + 1/2)·ε an exact half-cell tie, forcing
+  // the llround-vs-rint tie handling; decade bounds cover the common case.
+  for (const double eps : {1e-4, 1e-6, 0.25, 1.0, 0x1p-20}) {
+    expect_block_matches_scalar(adversarial_f32(eps), eps, "adversarial-f32");
+    expect_block_matches_scalar(adversarial_f64(eps), eps, "adversarial-f64");
+  }
+}
+
+TEST_P(KernelBackends, QuantizeBlockHandlesTinyAndEmptyBlocks) {
+  BackendGuard guard(GetParam());
+  const std::vector<double> values = {1.25, -0.75, 0.5};
+  quantize_block_f64(values.data(), 0, 1e-3, nullptr);  // count 0: no touch
+  for (std::size_t n = 1; n <= values.size(); ++n) {
+    std::vector<std::int64_t> got(n);
+    quantize_block_f64(values.data(), n, 1e-3, got.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[i], quantize(values[i], 1e-3));
+    }
+  }
+}
+
+TEST_P(KernelBackends, CountDiffsMatchesComparatorSemantics) {
+  BackendGuard guard(GetParam());
+  const double eps = 1e-4;
+  repro::Xoshiro256 rng(77);
+  std::vector<double> a(2048);
+  for (auto& x : a) x = (rng.next_double() * 2 - 1) * 10.0;
+  std::vector<double> b = a;
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    switch (rng.next_below(6)) {
+      case 0: b[i] += 3 * eps; ++expected; break;          // above bound
+      case 1: b[i] += 0.3 * eps; break;                    // inside bound
+      case 2: b[i] = std::numeric_limits<double>::quiet_NaN(); ++expected;
+        break;                                             // NaN vs finite
+      case 3:
+        a[i] = b[i] = std::numeric_limits<double>::quiet_NaN();
+        break;                                             // NaN vs NaN: same
+      case 4: b[i] = std::numeric_limits<double>::infinity(); ++expected;
+        break;                                             // Inf vs finite
+      default: break;                                      // identical
+    }
+  }
+  EXPECT_EQ(count_diffs_f64(a.data(), b.data(), a.size(), eps), expected);
+
+  std::vector<float> fa(a.begin(), a.end());
+  std::vector<float> fb(b.begin(), b.end());
+  std::uint64_t expected32 = 0;
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    const double x = fa[i];
+    const double y = fb[i];
+    const bool nx = std::isnan(x);
+    const bool ny = std::isnan(y);
+    expected32 += (nx || ny) ? (nx != ny) : (std::abs(x - y) > eps);
+  }
+  EXPECT_EQ(count_diffs_f32(fa.data(), fb.data(), fa.size(), eps),
+            expected32);
+}
+
+TEST(Kernels, BackendsProduceIdenticalChunkDigests) {
+  repro::Xoshiro256 rng(11);
+  std::vector<float> f32(10000);
+  for (auto& x : f32) x = static_cast<float>((rng.next_double() * 2 - 1) * 5);
+  f32[17] = std::numeric_limits<float>::quiet_NaN();
+  f32[4097] = std::numeric_limits<float>::infinity();
+  std::vector<double> f64(5000);
+  for (auto& x : f64) x = (rng.next_double() * 2 - 1) * 5;
+  f64[999] = -std::numeric_limits<double>::infinity();
+
+  for (const std::uint32_t vpb : {1u, 4u, 64u, 1000u, 4096u}) {
+    const HashParams params{.error_bound = 1e-6, .values_per_block = vpb};
+    Digest128 scalar32, auto32, scalar64, auto64;
+    {
+      BackendGuard guard(KernelBackend::kScalar);
+      scalar32 = hash_chunk_f32(f32, params);
+      scalar64 = hash_chunk_f64(f64, params);
+    }
+    {
+      BackendGuard guard(KernelBackend::kAuto);
+      auto32 = hash_chunk_f32(f32, params);
+      auto64 = hash_chunk_f64(f64, params);
+    }
+    EXPECT_EQ(scalar32, auto32) << "vpb=" << vpb;
+    EXPECT_EQ(scalar64, auto64) << "vpb=" << vpb;
+  }
+}
+
+// ---- golden digests ----
+//
+// Computed with the pre-kernel implementation (per-value quantize() feeding
+// byte-span murmur3f per block) at commit c2962f8. Any change here means
+// previously captured Merkle metadata no longer compares clean against
+// fresh captures — a format break, not a refactor.
+
+std::vector<float> golden_values_f32() {
+  Xoshiro256 rng(0xC0FFEE);
+  std::vector<float> v(1024);
+  for (auto& x : v) x = (rng.next_float() * 2.0f - 1.0f) * 50.0f;
+  v[7] = std::numeric_limits<float>::quiet_NaN();
+  v[13] = std::numeric_limits<float>::infinity();
+  v[21] = -std::numeric_limits<float>::infinity();
+  v[33] = 3e38f;
+  v[47] = -3e38f;
+  v[101] = 0.0f;
+  v[103] = -0.0f;
+  v[201] = 1.5e-5f;
+  v[203] = -2.5e-5f;
+  v[301] = 1e-30f;
+  v[401] = std::numeric_limits<float>::denorm_min();
+  return v;
+}
+
+std::vector<double> golden_values_f64() {
+  Xoshiro256 rng(0xBEEF);
+  std::vector<double> v(1024);
+  for (auto& x : v) x = (rng.next_double() * 2.0 - 1.0) * 50.0;
+  v[7] = std::numeric_limits<double>::quiet_NaN();
+  v[13] = std::numeric_limits<double>::infinity();
+  v[21] = -std::numeric_limits<double>::infinity();
+  v[33] = 1e300;
+  v[47] = -1e300;
+  v[101] = 0.0;
+  v[103] = -0.0;
+  v[201] = 1.5e-9;  // exact half-cell tie at eps = 1e-9
+  v[203] = -2.5e-9;
+  v[301] = 4.5;     // exact tie at eps = 1.0
+  v[401] = std::numeric_limits<double>::denorm_min();
+  return v;
+}
+
+class GoldenDigests : public ::testing::TestWithParam<KernelBackend> {};
+
+INSTANTIATE_TEST_SUITE_P(ScalarAndAuto, GoldenDigests,
+                         ::testing::Values(KernelBackend::kScalar,
+                                           KernelBackend::kAuto),
+                         [](const ::testing::TestParamInfo<KernelBackend>& i) {
+                           return i.param == KernelBackend::kScalar ? "Scalar"
+                                                                    : "Auto";
+                         });
+
+TEST_P(GoldenDigests, ChunkDigestsUnchangedFromPreKernelImplementation) {
+  BackendGuard guard(GetParam());
+  const auto f32 = golden_values_f32();
+  const auto f64 = golden_values_f64();
+
+  EXPECT_EQ(hash_chunk_f32(f32, {.error_bound = 1e-5, .values_per_block = 4}),
+            (Digest128{0xe088a75dae7e64e0ULL, 0xea61e4681aaf1a20ULL}));
+  EXPECT_EQ(
+      hash_chunk_f32(f32, {.error_bound = 1e-3, .values_per_block = 64}),
+      (Digest128{0xc7460e76d050e419ULL, 0x4a04f04483ea4798ULL}));
+  EXPECT_EQ(
+      hash_chunk_f32(f32, {.error_bound = 1e-7, .values_per_block = 4096}),
+      (Digest128{0x9e886bca55094f71ULL, 0xb49bb36d085dd159ULL}));
+  EXPECT_EQ(hash_chunk_f32(f32, {.error_bound = 1e-5, .values_per_block = 4},
+                           0x9E3779B9ULL),
+            (Digest128{0xeab3a7edd1b17da5ULL, 0xfb92b62cca142338ULL}));
+  EXPECT_EQ(hash_chunk_f32(std::span<const float>(f32.data(), 1000),
+                           {.error_bound = 1e-5, .values_per_block = 7}),
+            (Digest128{0x6dae1ac64a8adec5ULL, 0xb89c1ae412bc4b50ULL}));
+
+  EXPECT_EQ(hash_chunk_f64(f64, {.error_bound = 1e-9, .values_per_block = 4}),
+            (Digest128{0x52d674da3e7febc0ULL, 0x0ce6e6ea70ca0b80ULL}));
+  EXPECT_EQ(hash_chunk_f64(f64, {.error_bound = 1.0, .values_per_block = 16}),
+            (Digest128{0x023a8b2a7aa9291bULL, 0xe75ba831129b8730ULL}));
+  EXPECT_EQ(hash_chunk_f64(std::span<const double>(f64.data(), 777),
+                           {.error_bound = 1e-12, .values_per_block = 333}),
+            (Digest128{0x7127fadde99cce0aULL, 0x1d851721bfbb94f7ULL}));
+}
+
+// ---- bulk murmur word path ----
+
+TEST(Murmur3fWords, BitIdenticalToByteSpanPath) {
+  repro::Xoshiro256 rng(123);
+  for (std::size_t words = 0; words <= 33; ++words) {
+    std::vector<std::uint64_t> data(words);
+    for (auto& w : data) w = rng.next();
+    for (const std::uint64_t seed : {0ULL, 1ULL, 0xFFFFFFFFFFFFULL}) {
+      EXPECT_EQ(murmur3f_words(data.data(), data.size(), seed),
+                murmur3f(std::span<const std::uint8_t>(
+                             reinterpret_cast<const std::uint8_t*>(
+                                 data.data()),
+                             data.size() * 8),
+                         seed))
+          << "words=" << words << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Kernels, BackendSwitchRoundTrips) {
+  const KernelBackend before = kernel_backend();
+  set_kernel_backend(KernelBackend::kScalar);
+  EXPECT_EQ(kernel_backend(), KernelBackend::kScalar);
+  EXPECT_EQ(active_kernel_name(), "scalar");
+  set_kernel_backend(KernelBackend::kAuto);
+  EXPECT_EQ(kernel_backend(), KernelBackend::kAuto);
+  EXPECT_FALSE(active_kernel_name().empty());
+  EXPECT_NE(active_kernel_name(), "scalar");
+  set_kernel_backend(before);
+}
+
+}  // namespace
+}  // namespace repro::hash

@@ -72,6 +72,25 @@ TEST(TreeBuilder, DeterministicAcrossBackends) {
   }
 }
 
+TEST(TreeBuilder, LeafGrainDoesNotAffectTree) {
+  const auto data = random_f32_bytes(10000, 1);
+  const TreeBuilder reference(small_params(), par::Exec::parallel());
+  const auto want = reference.build(data);
+  ASSERT_TRUE(want.is_ok());
+  for (const std::uint64_t grain : {1ULL, 3ULL, 1000000ULL}) {
+    TreeBuilder builder(small_params(), par::Exec::parallel());
+    builder.set_leaf_grain(grain);
+    EXPECT_EQ(builder.leaf_grain(), grain);
+    const auto got = builder.build(data);
+    ASSERT_TRUE(got.is_ok());
+    ASSERT_EQ(got.value().nodes().size(), want.value().nodes().size());
+    for (std::size_t i = 0; i < want.value().nodes().size(); ++i) {
+      ASSERT_EQ(got.value().node(i), want.value().node(i))
+          << "node " << i << " grain " << grain;
+    }
+  }
+}
+
 TEST(TreeBuilder, ChunkCountMatchesCeilDiv) {
   const auto data = random_f32_bytes(1000, 2);  // 4000 bytes
   const auto tree =
