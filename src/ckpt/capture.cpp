@@ -42,10 +42,14 @@ repro::Status CaptureEngine::capture(const CheckpointWriter& writer) {
     metadata = tree.serialize();
   }
 
-  stats_.foreground_seconds += foreground.seconds();
-  stats_.checkpoints_captured += 1;
-  stats_.bytes_captured += writer.data_section().size();
-  stats_.metadata_bytes += metadata.size();
+  {
+    // The flusher thread updates stats_ concurrently; both sides lock.
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.foreground_seconds += foreground.seconds();
+    stats_.checkpoints_captured += 1;
+    stats_.bytes_captured += writer.data_section().size();
+    stats_.metadata_bytes += metadata.size();
+  }
 
   // Level 2: background flush to the PFS.
   flusher_.submit([this, local_path, metadata = std::move(metadata),
@@ -58,13 +62,11 @@ repro::Status CaptureEngine::capture(const CheckpointWriter& writer) {
       status = ref_result.status();
     } else {
       const CheckpointRef& ref = ref_result.value();
-      std::error_code ec;
-      std::filesystem::copy_file(
-          local_path, ref.checkpoint_path,
-          std::filesystem::copy_options::overwrite_existing, ec);
-      if (ec) {
-        status = repro::io_error("flush to PFS failed: " + ec.message());
-      } else if (!metadata.empty()) {
+      // Atomic publishes: a crash mid-flush leaves at most an orphaned
+      // temp file (invisible to the catalog), never a torn .ckpt/.rmrk.
+      status = repro::copy_file_atomic(local_path, ref.checkpoint_path)
+                   .with_context("flushing checkpoint to PFS");
+      if (status.is_ok() && !metadata.empty()) {
         status = repro::write_file(ref.metadata_path, metadata)
                      .with_context("flushing merkle metadata");
       }
@@ -83,6 +85,11 @@ repro::Status CaptureEngine::wait_all() {
   flusher_.wait_idle();
   std::lock_guard<std::mutex> lock(mu_);
   return flush_status_;
+}
+
+CaptureStats CaptureEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 }  // namespace repro::ckpt

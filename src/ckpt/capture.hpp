@@ -60,7 +60,9 @@ class CaptureEngine {
   /// Block until every enqueued flush has landed on the PFS.
   repro::Status wait_all();
 
-  [[nodiscard]] const CaptureStats& stats() const noexcept { return stats_; }
+  /// Snapshot of the counters. By value: the foreground thread and the
+  /// background flusher both update stats_, so a reference would race.
+  [[nodiscard]] CaptureStats stats() const;
   [[nodiscard]] const HistoryCatalog& catalog() const noexcept {
     return catalog_;
   }
@@ -70,7 +72,7 @@ class CaptureEngine {
   HistoryCatalog catalog_;
   CaptureOptions options_;
   par::ThreadPool flusher_{1};  ///< background flush thread (one, ordered)
-  std::mutex mu_;               ///< guards flush-side stats/status
+  mutable std::mutex mu_;       ///< guards stats_ and flush_status_
   repro::Status flush_status_;
   CaptureStats stats_;
 };

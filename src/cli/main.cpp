@@ -269,6 +269,14 @@ int cmd_compare(const Args& args) {
     std::printf("  %-16s %.4fs\n", name.c_str(),
                 report.timers.seconds(name));
   }
+  if (report.io_recovery_active()) {
+    std::printf("io recovery: %llu retries, %llu short reads, "
+                "%llu interrupts, %llu backend fallbacks\n",
+                static_cast<unsigned long long>(report.io_retries),
+                static_cast<unsigned long long>(report.io_short_reads),
+                static_cast<unsigned long long>(report.io_interrupts),
+                static_cast<unsigned long long>(report.io_fallbacks));
+  }
   if (!report.diffs.empty()) {
     std::printf("sample differences:\n");
     for (const auto& diff : report.diffs) {

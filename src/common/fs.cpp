@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <mutex>
 #include <random>
 
 #include "common/log.hpp"
@@ -29,18 +30,28 @@ class Fd {
   int fd_;
 };
 
-}  // namespace
+std::mutex g_publish_failure_mu;
+unsigned g_fail_next_publishes = 0;
+std::string g_fail_publish_substring;
 
-Status write_file(const std::filesystem::path& path,
-                  std::span<const std::uint8_t> data) {
-  Fd fd(::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644));
-  if (!fd.ok()) {
-    return io_error_errno("open for write: " + path.string(), errno);
+/// Consume one forced publish failure if armed and `path` matches.
+bool consume_forced_publish_failure(const std::filesystem::path& path) {
+  std::lock_guard<std::mutex> lock(g_publish_failure_mu);
+  if (g_fail_next_publishes == 0) return false;
+  if (!g_fail_publish_substring.empty() &&
+      path.string().find(g_fail_publish_substring) == std::string::npos) {
+    return false;
   }
+  --g_fail_next_publishes;
+  return true;
+}
+
+Status write_all(int fd, const std::filesystem::path& path,
+                 std::span<const std::uint8_t> data) {
   std::size_t written = 0;
   while (written < data.size()) {
     const ssize_t n =
-        ::write(fd.get(), data.data() + written, data.size() - written);
+        ::write(fd, data.data() + written, data.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       return io_error_errno("write: " + path.string(), errno);
@@ -48,6 +59,106 @@ Status write_file(const std::filesystem::path& path,
     written += static_cast<std::size_t>(n);
   }
   return Status::ok();
+}
+
+/// Same-directory temp name for publishing `path`. The prefix is filtered
+/// out by every catalog scan (they match on final suffixes like ".ckpt"),
+/// so a crash-orphaned temp file is invisible to readers.
+std::filesystem::path temp_sibling(const std::filesystem::path& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  return path.parent_path() /
+         (path.filename().string() + ".tmp-" + std::to_string(::getpid()) +
+          "-" + std::to_string(counter.fetch_add(1)));
+}
+
+/// fsync the temp file, rename it over `path`, and fsync the parent
+/// directory so the rename itself survives a crash.
+Status publish_temp(int temp_fd, const std::filesystem::path& temp,
+                    const std::filesystem::path& path) {
+  if (::fsync(temp_fd) != 0) {
+    return io_error_errno("fsync: " + temp.string(), errno);
+  }
+  if (consume_forced_publish_failure(path)) {
+    return io_error("publish aborted before rename (testing hook): " +
+                    path.string());
+  }
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    return io_error_errno(
+        "rename: " + temp.string() + " -> " + path.string(), errno);
+  }
+  // Best-effort: some filesystems refuse O_RDONLY fsync on directories.
+  Fd dir(::open(path.parent_path().c_str(), O_RDONLY | O_DIRECTORY));
+  if (dir.ok()) ::fsync(dir.get());
+  return Status::ok();
+}
+
+/// Removes the temp file if publish failed partway (not on the simulated
+/// crash path, which must leave the orphan behind like a real crash).
+void unlink_quiet(const std::filesystem::path& temp) {
+  std::error_code ec;
+  std::filesystem::remove(temp, ec);
+}
+
+}  // namespace
+
+Status write_file(const std::filesystem::path& path,
+                  std::span<const std::uint8_t> data) {
+  const std::filesystem::path temp = temp_sibling(path);
+  Fd fd(::open(temp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644));
+  if (!fd.ok()) {
+    return io_error_errno("open for write: " + temp.string(), errno);
+  }
+  Status status = write_all(fd.get(), temp, data);
+  if (status.is_ok()) status = publish_temp(fd.get(), temp, path);
+  if (!status.is_ok() &&
+      status.message().find("testing hook") == std::string::npos) {
+    unlink_quiet(temp);
+  }
+  return status;
+}
+
+Status copy_file_atomic(const std::filesystem::path& src,
+                        const std::filesystem::path& dst) {
+  Fd in(::open(src.c_str(), O_RDONLY));
+  if (!in.ok()) {
+    return io_error_errno("open for read: " + src.string(), errno);
+  }
+  const std::filesystem::path temp = temp_sibling(dst);
+  Fd out(::open(temp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644));
+  if (!out.ok()) {
+    return io_error_errno("open for write: " + temp.string(), errno);
+  }
+  std::vector<std::uint8_t> buffer(1U << 20);
+  while (true) {
+    const ssize_t n = ::read(in.get(), buffer.data(), buffer.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      unlink_quiet(temp);
+      return io_error_errno("read: " + src.string(), errno);
+    }
+    if (n == 0) break;
+    Status status = write_all(
+        out.get(), temp,
+        std::span<const std::uint8_t>(buffer.data(),
+                                      static_cast<std::size_t>(n)));
+    if (!status.is_ok()) {
+      unlink_quiet(temp);
+      return status;
+    }
+  }
+  Status status = publish_temp(out.get(), temp, dst);
+  if (!status.is_ok() &&
+      status.message().find("testing hook") == std::string::npos) {
+    unlink_quiet(temp);
+  }
+  return status;
+}
+
+void set_fail_next_publishes_for_testing(unsigned count,
+                                         std::string path_substring) {
+  std::lock_guard<std::mutex> lock(g_publish_failure_mu);
+  g_fail_next_publishes = count;
+  g_fail_publish_substring = std::move(path_substring);
 }
 
 Result<std::vector<std::uint8_t>> read_file(

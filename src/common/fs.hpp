@@ -13,9 +13,27 @@
 
 namespace repro {
 
-/// Write the whole buffer to `path` (truncating). Parent dir must exist.
+/// Write the whole buffer to `path`, crash-consistently: the bytes go to a
+/// same-directory temp file which is fsync'd and atomically renamed over
+/// `path` (then the directory entry is made durable too). A reader — or a
+/// restart after a crash at any point — sees either the old content or the
+/// complete new content, never a torn prefix. Parent dir must exist.
 Status write_file(const std::filesystem::path& path,
                   std::span<const std::uint8_t> data);
+
+/// Copy `src` to `dst` with the same temp + fsync + rename publish protocol
+/// as write_file, streaming in bounded buffers (no whole-file allocation).
+Status copy_file_atomic(const std::filesystem::path& src,
+                        const std::filesystem::path& dst);
+
+/// Test-only: make the next `count` atomic publishes (write_file /
+/// copy_file_atomic) fail *after* the temp file is written but *before* the
+/// rename — simulating a crash mid-publish. The orphaned temp file is left
+/// behind, as a real crash would leave it. A non-empty `path_substring`
+/// restricts the failures to destinations containing it (so a test can
+/// crash the PFS flush without tripping unrelated writes).
+void set_fail_next_publishes_for_testing(unsigned count,
+                                         std::string path_substring = "");
 
 /// Read the whole file into a byte vector.
 Result<std::vector<std::uint8_t>> read_file(const std::filesystem::path& path);

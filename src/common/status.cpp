@@ -15,6 +15,7 @@ std::string_view status_code_name(StatusCode code) noexcept {
     case StatusCode::kIoError: return "IO_ERROR";
     case StatusCode::kCorruptData: return "CORRUPT_DATA";
     case StatusCode::kUnsupported: return "UNSUPPORTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";
@@ -66,6 +67,9 @@ Status corrupt_data(std::string message) {
 }
 Status unsupported(std::string message) {
   return Status{StatusCode::kUnsupported, std::move(message)};
+}
+Status unavailable(std::string message) {
+  return Status{StatusCode::kUnavailable, std::move(message)};
 }
 Status internal_error(std::string message) {
   return Status{StatusCode::kInternal, std::move(message)};

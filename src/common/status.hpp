@@ -24,6 +24,10 @@ enum class StatusCode : std::uint8_t {
   kIoError,
   kCorruptData,
   kUnsupported,
+  /// Transient failure (interrupted syscall, injected fault, flaky device):
+  /// the operation may succeed if retried. Retry loops branch on this code;
+  /// everything else is treated as permanent.
+  kUnavailable,
   kInternal,
 };
 
@@ -68,6 +72,7 @@ Status io_error(std::string message);
 Status io_error_errno(std::string message, int errno_value);
 Status corrupt_data(std::string message);
 Status unsupported(std::string message);
+Status unavailable(std::string message);
 Status internal_error(std::string message);
 
 /// Result<T>: either a value or an error Status. Minimal std::expected

@@ -59,11 +59,18 @@ repro::Result<merkle::MerkleTree> load_or_build_tree(
 }
 
 repro::Result<std::unique_ptr<io::IoBackend>> open_stage2_backend(
-    const std::filesystem::path& path, const CompareOptions& options) {
+    const std::filesystem::path& path, const CompareOptions& options,
+    std::uint64_t* fallbacks) {
   auto result =
       io::open_backend(path, options.backend, options.backend_options);
   if (!result.is_ok() && options.backend_fallback &&
       result.status().code() == repro::StatusCode::kUnsupported) {
+    REPRO_LOG_WARN << io::backend_name(options.backend)
+                   << " backend unavailable ("
+                   << result.status().message()
+                   << "); falling back to the threads backend for "
+                   << path.string();
+    ++*fallbacks;
     return io::open_backend(path, io::BackendKind::kThreadAsync,
                             options.backend_options);
   }
@@ -108,9 +115,11 @@ repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
           "checkpoints cover different data sizes");
     }
     REPRO_ASSIGN_OR_RETURN(
-        backend_a, open_stage2_backend(pair.run_a.checkpoint_path, options));
+        backend_a, open_stage2_backend(pair.run_a.checkpoint_path, options,
+                                       &report.io_fallbacks));
     REPRO_ASSIGN_OR_RETURN(
-        backend_b, open_stage2_backend(pair.run_b.checkpoint_path, options));
+        backend_b, open_stage2_backend(pair.run_b.checkpoint_path, options,
+                                       &report.io_fallbacks));
   }
   report.data_bytes = reader_a->data_bytes();
 
@@ -187,6 +196,12 @@ repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
     }
     REPRO_RETURN_IF_ERROR(streamer.status());
     report.bytes_read_per_file = streamer.bytes_read_per_file();
+
+    const io::IoStats io_stats = backend_a->stats() + backend_b->stats();
+    report.io_retries += io_stats.retries + streamer.batch_retries();
+    report.io_short_reads += io_stats.short_reads;
+    report.io_interrupts += io_stats.interrupts;
+    report.io_fallbacks += io_stats.fallbacks;
 
     // Map raw value indices back onto checkpoint fields.
     if (options.collect_diffs) {

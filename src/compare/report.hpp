@@ -46,6 +46,18 @@ struct CompareReport {
   /// waste) — the quantity Figure 7a normalizes by data_bytes.
   std::uint64_t bytes_read_per_file = 0;
 
+  // I/O recovery activity during stage 2, summed over both runs' backends
+  // and the streamer. Zero across the board on a healthy filesystem; any
+  // nonzero value means the comparison recovered from transient faults.
+  std::uint64_t io_retries = 0;      ///< syscall-level + whole-batch retries
+  std::uint64_t io_short_reads = 0;  ///< reads continued after a short count
+  std::uint64_t io_interrupts = 0;   ///< EINTR/EAGAIN absorbed
+  std::uint64_t io_fallbacks = 0;    ///< backend degradations (uring→threads)
+
+  [[nodiscard]] bool io_recovery_active() const noexcept {
+    return io_retries + io_short_reads + io_interrupts + io_fallbacks > 0;
+  }
+
   std::vector<DiffRecord> diffs;  ///< capped sample when collection is on
 
   TimerSet timers;

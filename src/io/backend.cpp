@@ -8,6 +8,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "common/log.hpp"
 #include "io/uring_backend.hpp"
 #include "par/thread_pool.hpp"
 
@@ -40,7 +41,9 @@ class FdBackendBase : public IoBackend {
     if (fd_ >= 0) ::close(fd_);
   }
 
-  repro::Status open_file(const std::filesystem::path& path) {
+  repro::Status open_file(const std::filesystem::path& path,
+                          const RetryPolicy& retry) {
+    retry_ = retry;
     fd_ = ::open(path.c_str(), O_RDONLY);
     if (fd_ < 0) {
       return repro::io_error_errno("open: " + path.string(), errno);
@@ -56,9 +59,16 @@ class FdBackendBase : public IoBackend {
 
   [[nodiscard]] std::uint64_t size() const noexcept override { return size_; }
 
+  [[nodiscard]] IoStats stats() const noexcept override {
+    return counters_.snapshot();
+  }
+
  protected:
   repro::Status check_bounds(const ReadRequest& request) const {
-    if (request.offset + request.dest.size() > size_) {
+    // Overflow-safe form: `offset + len > size` wraps for huge offsets and
+    // would wrongly pass (offset == UINT64_MAX - 1 once did).
+    if (request.dest.size() > size_ ||
+        request.offset > size_ - request.dest.size()) {
       return repro::out_of_range(
           "read past EOF of " + path_ + " (offset " +
           std::to_string(request.offset) + " len " +
@@ -68,19 +78,42 @@ class FdBackendBase : public IoBackend {
     return repro::Status::ok();
   }
 
-  /// Full pread loop (handles partial reads / EINTR).
+  /// Full pread loop: continues short reads, absorbs bounded EINTR/EAGAIN
+  /// storms, and gives transient EIO-class errors a capped, backed-off
+  /// number of retries before failing.
   repro::Status pread_full(std::uint64_t offset,
                            std::span<std::uint8_t> dest) const {
     std::size_t got = 0;
+    unsigned interrupts = 0;
+    unsigned attempts = 1;
     while (got < dest.size()) {
       const ssize_t n = ::pread(fd_, dest.data() + got, dest.size() - got,
                                 static_cast<off_t>(offset + got));
       if (n < 0) {
-        if (errno == EINTR) continue;
+        if (errno_is_interrupt(errno)) {
+          counters_.interrupts.fetch_add(1, std::memory_order_relaxed);
+          if (++interrupts > retry_.max_interrupts) {
+            return repro::io_error("pread interrupted " +
+                                   std::to_string(interrupts) +
+                                   " times without progress: " + path_);
+          }
+          continue;
+        }
+        if (retry_.retry_transient_io && errno_is_transient_io(errno) &&
+            attempts < retry_.max_attempts) {
+          counters_.retries.fetch_add(1, std::memory_order_relaxed);
+          backoff_sleep(retry_, attempts);
+          ++attempts;
+          continue;
+        }
         return repro::io_error_errno("pread: " + path_, errno);
       }
       if (n == 0) return repro::io_error("unexpected EOF in " + path_);
+      if (static_cast<std::size_t>(n) < dest.size() - got) {
+        counters_.short_reads.fetch_add(1, std::memory_order_relaxed);
+      }
       got += static_cast<std::size_t>(n);
+      interrupts = 0;  // progress ends the storm
     }
     return repro::Status::ok();
   }
@@ -88,6 +121,8 @@ class FdBackendBase : public IoBackend {
   int fd_ = -1;
   std::uint64_t size_ = 0;
   std::string path_;
+  RetryPolicy retry_;
+  mutable IoStatsCounters counters_;
 };
 
 class PreadBackend final : public FdBackendBase {
@@ -205,12 +240,12 @@ repro::Result<std::unique_ptr<IoBackend>> open_backend(
   switch (kind) {
     case BackendKind::kPread: {
       auto backend = std::make_unique<PreadBackend>();
-      REPRO_RETURN_IF_ERROR(backend->open_file(path));
+      REPRO_RETURN_IF_ERROR(backend->open_file(path, options.retry));
       return std::unique_ptr<IoBackend>{std::move(backend)};
     }
     case BackendKind::kMmap: {
       auto backend = std::make_unique<MmapBackend>();
-      REPRO_RETURN_IF_ERROR(backend->open_file(path));
+      REPRO_RETURN_IF_ERROR(backend->open_file(path, options.retry));
       REPRO_RETURN_IF_ERROR(backend->map());
       return std::unique_ptr<IoBackend>{std::move(backend)};
     }
@@ -218,7 +253,7 @@ repro::Result<std::unique_ptr<IoBackend>> open_backend(
       return open_uring_backend(path, options);
     case BackendKind::kThreadAsync: {
       auto backend = std::make_unique<ThreadAsyncBackend>(options.io_threads);
-      REPRO_RETURN_IF_ERROR(backend->open_file(path));
+      REPRO_RETURN_IF_ERROR(backend->open_file(path, options.retry));
       return std::unique_ptr<IoBackend>{std::move(backend)};
     }
   }
@@ -228,7 +263,16 @@ repro::Result<std::unique_ptr<IoBackend>> open_backend(
 repro::Result<std::unique_ptr<IoBackend>> open_best(
     const std::filesystem::path& path, const BackendOptions& options) {
   if (uring_available()) {
-    return open_backend(path, BackendKind::kUring, options);
+    auto result = open_backend(path, BackendKind::kUring, options);
+    // Setup can still fail after a successful probe (fd limits, seccomp
+    // races): degrade rather than failing the comparison.
+    if (result.is_ok() ||
+        result.status().code() != repro::StatusCode::kUnsupported) {
+      return result;
+    }
+    REPRO_LOG_WARN << "io_uring setup failed (" << result.status().message()
+                   << "); falling back to the threads backend for "
+                   << path.string();
   }
   return open_backend(path, BackendKind::kThreadAsync, options);
 }

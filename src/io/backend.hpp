@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "io/retry.hpp"
 
 namespace repro::io {
 
@@ -56,6 +57,11 @@ class IoBackend {
   /// requests internally (queue depth / thread team); returns once every
   /// request has completed.
   virtual repro::Status read_batch(std::span<ReadRequest> requests) = 0;
+
+  /// Recovery counters accumulated over this backend's lifetime: retries,
+  /// continued short reads, absorbed interrupts, fallback switches. All
+  /// zero in a healthy run.
+  [[nodiscard]] virtual IoStats stats() const noexcept { return {}; }
 };
 
 struct BackendOptions {
@@ -63,6 +69,8 @@ struct BackendOptions {
   unsigned queue_depth = 64;
   /// Threads in the kThreadAsync team.
   unsigned io_threads = 4;
+  /// Bounds every backend's transient-fault recovery (docs/ROBUSTNESS.md).
+  RetryPolicy retry;
 };
 
 /// Open `path` read-only with the requested backend. kUring falls back with

@@ -1,0 +1,149 @@
+#include "io/fault.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace repro::io {
+
+namespace {
+
+/// splitmix64 finaliser: cheap, well-mixed, and stable across platforms —
+/// the fault schedule must not depend on std::hash implementation details.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+[[nodiscard]] std::uint64_t fault_key(std::uint64_t seed, std::uint64_t offset,
+                                      std::uint64_t len) noexcept {
+  return mix64(mix64(seed ^ offset) ^ len);
+}
+
+/// Maps the key to [0, 1) for comparison against the plan's probabilities.
+[[nodiscard]] double unit_interval(std::uint64_t key) noexcept {
+  return static_cast<double>(key >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjectingBackend::FaultInjectingBackend(std::unique_ptr<IoBackend> inner,
+                                             FaultPlan plan)
+    : inner_(std::move(inner)),
+      plan_(plan),
+      name_("fault+" + std::string{inner_->name()}) {}
+
+FaultInjectingBackend::FaultKind FaultInjectingBackend::classify(
+    std::uint64_t key) const noexcept {
+  // Stacked thresholds: one uniform draw per request, so the fault kinds are
+  // mutually exclusive and each appears with its configured probability.
+  const double draw = unit_interval(mix64(key));
+  double threshold = plan_.short_read_prob;
+  if (draw < threshold) return FaultKind::kShortRead;
+  threshold += plan_.interrupt_prob;
+  if (draw < threshold) return FaultKind::kInterrupt;
+  threshold += plan_.transient_eio_prob;
+  if (draw < threshold) return FaultKind::kTransientEio;
+  threshold += plan_.hard_error_prob;
+  if (draw < threshold) return FaultKind::kHardError;
+  threshold += plan_.bitflip_prob;
+  if (draw < threshold) return FaultKind::kBitflip;
+  return FaultKind::kNone;
+}
+
+repro::Status FaultInjectingBackend::read_one(const ReadRequest& request) {
+  const std::uint64_t key =
+      fault_key(plan_.seed, request.offset, request.dest.size());
+  const FaultKind kind = classify(key);
+
+  unsigned attempt = 0;
+  if (kind != FaultKind::kNone) {
+    std::lock_guard<std::mutex> lock(mu_);
+    attempt = attempts_[key]++;
+  }
+
+  switch (kind) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kShortRead: {
+      if (attempt > 0) break;  // retry goes through
+      // Deliver a prefix and poison the tail: a caller that ignores the
+      // error status and consumes the buffer anyway will diverge loudly.
+      const std::size_t prefix = request.dest.size() / 2;
+      REPRO_RETURN_IF_ERROR(
+          inner_->read_at(request.offset, request.dest.subspan(0, prefix)));
+      std::fill(request.dest.begin() + static_cast<std::ptrdiff_t>(prefix),
+                request.dest.end(), std::uint8_t{0xEE});
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counts_.short_reads;
+      }
+      return repro::unavailable(
+          "injected short read at offset " + std::to_string(request.offset) +
+          " (" + std::to_string(prefix) + "/" +
+          std::to_string(request.dest.size()) + " bytes)");
+    }
+    case FaultKind::kInterrupt: {
+      if (attempt >= plan_.storm_length) break;  // storm over
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counts_.interrupts;
+      }
+      return repro::unavailable(
+          "injected interrupt at offset " + std::to_string(request.offset) +
+          " (storm " + std::to_string(attempt + 1) + "/" +
+          std::to_string(plan_.storm_length) + ")");
+    }
+    case FaultKind::kTransientEio: {
+      if (attempt > 0) break;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counts_.transient_eios;
+      }
+      return repro::unavailable("injected transient EIO at offset " +
+                                std::to_string(request.offset));
+    }
+    case FaultKind::kHardError: {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counts_.hard_errors;
+      }
+      return repro::io_error("injected hard EIO at offset " +
+                             std::to_string(request.offset));
+    }
+    case FaultKind::kBitflip: {
+      REPRO_RETURN_IF_ERROR(inner_->read_at(request.offset, request.dest));
+      if (!request.dest.empty() && attempt == 0) {
+        const std::size_t byte = mix64(key ^ 0xb17f11bULL) % request.dest.size();
+        const unsigned bit = static_cast<unsigned>(mix64(key ^ 0xb17ULL) % 8);
+        request.dest[byte] ^= static_cast<std::uint8_t>(1U << bit);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counts_.bitflips;
+      }
+      return repro::Status::ok();
+    }
+  }
+
+  return inner_->read_at(request.offset, request.dest);
+}
+
+repro::Status FaultInjectingBackend::read_at(std::uint64_t offset,
+                                             std::span<std::uint8_t> dest) {
+  return read_one(ReadRequest{offset, dest});
+}
+
+repro::Status FaultInjectingBackend::read_batch(
+    std::span<ReadRequest> requests) {
+  for (const auto& request : requests) {
+    REPRO_RETURN_IF_ERROR(read_one(request));
+  }
+  return repro::Status::ok();
+}
+
+FaultInjectingBackend::InjectionCounts FaultInjectingBackend::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+}  // namespace repro::io

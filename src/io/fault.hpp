@@ -1,0 +1,108 @@
+// Deterministic fault injection for the I/O layer.
+//
+// FaultInjectingBackend decorates any IoBackend and injects the failure
+// modes a PFS-backed comparison meets in the wild — short reads, EINTR /
+// EAGAIN storms, one-shot transient EIO, hard EIO, silent bit flips — so
+// every backend's recovery path, the streamer's bounded retry loop above
+// it, and the "clean error on permanent faults" contract are all testable
+// without a faulty disk.
+//
+// Injection is seeded and keyed on (offset, length), not call order, so a
+// given request sees the same fault schedule no matter how the backend
+// reorders a batch, and a retried request deterministically progresses
+// through its storm and then succeeds. Transient faults surface as
+// StatusCode::kUnavailable (the code retry loops branch on); hard faults as
+// kIoError; bit flips return OK with corrupted bytes — the one failure mode
+// only the comparison itself can catch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.hpp"
+#include "io/backend.hpp"
+
+namespace repro::io {
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Probability a request's first attempt delivers only a prefix (the rest
+  /// of the buffer poisoned) and fails with a retryable kUnavailable.
+  double short_read_prob = 0;
+  /// Probability of an EINTR/EAGAIN storm: `storm_length` consecutive
+  /// retryable failures before the request goes through.
+  double interrupt_prob = 0;
+  unsigned storm_length = 3;
+  /// Probability of one transient EIO before success.
+  double transient_eio_prob = 0;
+  /// Probability of a hard, non-retryable EIO (every attempt fails).
+  double hard_error_prob = 0;
+  /// Probability of a silent single-bit flip in the delivered bytes.
+  double bitflip_prob = 0;
+};
+
+class FaultInjectingBackend final : public IoBackend {
+ public:
+  FaultInjectingBackend(std::unique_ptr<IoBackend> inner, FaultPlan plan);
+
+  struct InjectionCounts {
+    std::uint64_t short_reads = 0;
+    std::uint64_t interrupts = 0;
+    std::uint64_t transient_eios = 0;
+    std::uint64_t hard_errors = 0;
+    std::uint64_t bitflips = 0;
+
+    [[nodiscard]] std::uint64_t total() const noexcept {
+      return short_reads + interrupts + transient_eios + hard_errors +
+             bitflips;
+    }
+  };
+
+  [[nodiscard]] std::uint64_t size() const noexcept override {
+    return inner_->size();
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] IoStats stats() const noexcept override {
+    return inner_->stats();
+  }
+
+  repro::Status read_at(std::uint64_t offset,
+                        std::span<std::uint8_t> dest) override;
+  /// Requests run in order; the first injected failure aborts the batch
+  /// (matching the real backends' abort-on-error semantics), so a caller's
+  /// whole-batch retry re-runs every request and each request's fault
+  /// schedule advances deterministically.
+  repro::Status read_batch(std::span<ReadRequest> requests) override;
+
+  /// Faults delivered so far, by kind.
+  [[nodiscard]] InjectionCounts injected() const;
+
+  [[nodiscard]] IoBackend& inner() noexcept { return *inner_; }
+
+ private:
+  enum class FaultKind : std::uint8_t {
+    kNone,
+    kShortRead,
+    kInterrupt,
+    kTransientEio,
+    kHardError,
+    kBitflip,
+  };
+
+  [[nodiscard]] FaultKind classify(std::uint64_t key) const noexcept;
+  repro::Status read_one(const ReadRequest& request);
+
+  std::unique_ptr<IoBackend> inner_;
+  FaultPlan plan_;
+  std::string name_;
+  mutable std::mutex mu_;  ///< guards attempts_ and counts_
+  std::unordered_map<std::uint64_t, unsigned> attempts_;
+  InjectionCounts counts_;
+};
+
+}  // namespace repro::io

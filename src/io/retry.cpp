@@ -1,0 +1,29 @@
+#include "io/retry.hpp"
+
+#include <cerrno>
+
+#include <chrono>
+#include <thread>
+
+namespace repro::io {
+
+bool errno_is_interrupt(int errno_value) noexcept {
+  return errno_value == EINTR || errno_value == EAGAIN ||
+         errno_value == EWOULDBLOCK;
+}
+
+bool errno_is_transient_io(int errno_value) noexcept {
+  return errno_value == EIO || errno_value == ENOMEM ||
+         errno_value == ENOBUFS;
+}
+
+void backoff_sleep(const RetryPolicy& policy, unsigned attempt) noexcept {
+  if (policy.backoff_initial_us == 0 || attempt == 0) return;
+  const unsigned shift = attempt - 1 < 16U ? attempt - 1 : 16U;
+  std::uint64_t delay = static_cast<std::uint64_t>(policy.backoff_initial_us)
+                        << shift;
+  if (delay > policy.backoff_max_us) delay = policy.backoff_max_us;
+  std::this_thread::sleep_for(std::chrono::microseconds(delay));
+}
+
+}  // namespace repro::io

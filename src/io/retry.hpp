@@ -1,0 +1,97 @@
+// Shared retry vocabulary for the I/O layer.
+//
+// Stage 2's scattered reads meet transient faults in the wild: EINTR/EAGAIN
+// storms under signal-heavy MPI runtimes, the occasional EIO from a flaky
+// PFS path, short reads near stripe boundaries. The "no false negatives"
+// contract of the comparison means every such fault must either be recovered
+// or surfaced as a clean error — never silently dropped or retried forever.
+// RetryPolicy bounds the recovery (attempt caps, capped exponential backoff)
+// and IoStats counts every recovery action so the compare report can show
+// how hard the I/O layer had to work (see docs/ROBUSTNESS.md).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace repro::io {
+
+struct RetryPolicy {
+  /// Total attempts per transient-fault site, first try included.
+  unsigned max_attempts = 4;
+  /// Backoff before retry r (1-based) is min(initial << (r-1), max) µs.
+  unsigned backoff_initial_us = 100;
+  unsigned backoff_max_us = 20000;
+  /// Consecutive EINTR/EAGAIN results tolerated before giving up. These do
+  /// not consume max_attempts: an interrupted syscall made no progress and
+  /// carries no evidence of a failing device.
+  unsigned max_interrupts = 256;
+  /// Retry transient EIO-class failures (off = fail fast on the first EIO).
+  bool retry_transient_io = true;
+
+  /// Fail-fast policy: a single attempt, no tolerance for interrupts.
+  [[nodiscard]] static RetryPolicy none() noexcept {
+    RetryPolicy policy;
+    policy.max_attempts = 1;
+    policy.max_interrupts = 0;
+    policy.retry_transient_io = false;
+    return policy;
+  }
+};
+
+/// Recovery counters published by every IoBackend (IoBackend::stats()) and
+/// aggregated into CompareReport. All zero in a healthy run.
+struct IoStats {
+  std::uint64_t retries = 0;      ///< re-issued reads after transient errors
+  std::uint64_t short_reads = 0;  ///< partial transfers continued
+  std::uint64_t interrupts = 0;   ///< EINTR/EAGAIN results absorbed
+  std::uint64_t fallbacks = 0;    ///< io_uring -> threads degradations
+
+  IoStats& operator+=(const IoStats& other) noexcept {
+    retries += other.retries;
+    short_reads += other.short_reads;
+    interrupts += other.interrupts;
+    fallbacks += other.fallbacks;
+    return *this;
+  }
+
+  friend IoStats operator+(IoStats lhs, const IoStats& rhs) noexcept {
+    lhs += rhs;
+    return lhs;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return retries + short_reads + interrupts + fallbacks;
+  }
+};
+
+/// Thread-safe counter block backing IoStats. The thread-async backend's
+/// I/O team bumps these concurrently; snapshots use relaxed loads (counters
+/// are monotonic and read after the batch completes).
+struct IoStatsCounters {
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> short_reads{0};
+  std::atomic<std::uint64_t> interrupts{0};
+  std::atomic<std::uint64_t> fallbacks{0};
+
+  [[nodiscard]] IoStats snapshot() const noexcept {
+    IoStats out;
+    out.retries = retries.load(std::memory_order_relaxed);
+    out.short_reads = short_reads.load(std::memory_order_relaxed);
+    out.interrupts = interrupts.load(std::memory_order_relaxed);
+    out.fallbacks = fallbacks.load(std::memory_order_relaxed);
+    return out;
+  }
+};
+
+/// "The call was interrupted / would block": retried without consuming
+/// backoff attempts (EINTR, EAGAIN/EWOULDBLOCK).
+[[nodiscard]] bool errno_is_interrupt(int errno_value) noexcept;
+
+/// Plausibly transient device/medium errors worth a bounded, backed-off
+/// retry (EIO, ENOMEM, ENOBUFS).
+[[nodiscard]] bool errno_is_transient_io(int errno_value) noexcept;
+
+/// Sleep the capped exponential backoff for retry `attempt` (1-based).
+void backoff_sleep(const RetryPolicy& policy, unsigned attempt) noexcept;
+
+}  // namespace repro::io

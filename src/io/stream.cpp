@@ -32,6 +32,30 @@ PairedChunkStreamer::~PairedChunkStreamer() {
   producer_.join();
 }
 
+repro::Status PairedChunkStreamer::read_batch_with_retry(
+    IoBackend& backend, std::span<ReadRequest> requests) {
+  // The whole batch is re-issued: backends abort a batch on the first
+  // failure, and re-reading already-delivered requests is idempotent.
+  unsigned attempts = 1;
+  while (true) {
+    repro::Status status = backend.read_batch(requests);
+    if (status.is_ok() ||
+        status.code() != repro::StatusCode::kUnavailable ||
+        attempts >= options_.retry.max_attempts) {
+      if (!status.is_ok() &&
+          status.code() == repro::StatusCode::kUnavailable) {
+        return repro::io_error("batch retries exhausted after " +
+                               std::to_string(attempts) + " attempts: " +
+                               std::string{status.message()});
+      }
+      return status;
+    }
+    batch_retries_.fetch_add(1, std::memory_order_relaxed);
+    backoff_sleep(options_.retry, attempts);
+    ++attempts;
+  }
+}
+
 std::unique_ptr<ChunkSlice> PairedChunkStreamer::acquire_free_slot() {
   std::unique_lock<std::mutex> lock(mu_);
   slot_freed_.wait(lock,
@@ -85,10 +109,10 @@ void PairedChunkStreamer::producer_loop() {
       }
     };
     build_requests(slot->data_a, options_.base_offset_a);
-    status = run_a_.read_batch(requests);
+    status = read_batch_with_retry(run_a_, requests);
     if (status.is_ok()) {
       build_requests(slot->data_b, options_.base_offset_b);
-      status = run_b_.read_batch(requests);
+      status = read_batch_with_retry(run_b_, requests);
     }
     bytes_read_.fetch_add(plan.buffer_bytes, std::memory_order_relaxed);
 

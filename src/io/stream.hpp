@@ -35,6 +35,9 @@ struct StreamOptions {
   /// only in degenerate cases, but the streamer does not assume alignment.
   std::uint64_t base_offset_a = 0;
   std::uint64_t base_offset_b = 0;
+  /// Whole-batch retry budget for kUnavailable failures surfaced by the
+  /// backend (syscall-level transients are already retried below it).
+  RetryPolicy retry;
 };
 
 /// One filled slice: both runs' bytes for a set of candidate chunks.
@@ -76,8 +79,15 @@ class PairedChunkStreamer {
     return bytes_read_;
   }
 
+  /// Whole-batch retries the producer issued after kUnavailable failures.
+  [[nodiscard]] std::uint64_t batch_retries() const noexcept {
+    return batch_retries_.load(std::memory_order_relaxed);
+  }
+
  private:
   void producer_loop();
+  repro::Status read_batch_with_retry(IoBackend& backend,
+                                      std::span<ReadRequest> requests);
   std::unique_ptr<ChunkSlice> acquire_free_slot();
 
   IoBackend& run_a_;
@@ -97,6 +107,7 @@ class PairedChunkStreamer {
   repro::Status status_;
   std::unique_ptr<ChunkSlice> consumer_slice_;  // slice lent to the consumer
   std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> batch_retries_{0};
 
   std::thread producer_;
 };

@@ -6,15 +6,33 @@
 #include <sys/syscall.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/log.hpp"
+#include "io/retry.hpp"
 
 namespace repro::io {
 namespace {
+
+std::atomic<bool> g_force_setup_failure{false};
+std::atomic<unsigned> g_force_submit_failures{0};
+
+bool consume_forced_submit_failure() noexcept {
+  unsigned current = g_force_submit_failures.load(std::memory_order_relaxed);
+  while (current > 0) {
+    if (g_force_submit_failures.compare_exchange_weak(
+            current, current - 1, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
 
 int sys_io_uring_setup(unsigned entries, io_uring_params* params) {
   return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
@@ -139,15 +157,40 @@ class Ring {
   }
 
   /// Submit queued SQEs and wait for at least `min_complete` completions.
-  repro::Status enter(unsigned min_complete) {
-    const int rc = sys_io_uring_enter(ring_fd_, pending_submit_, min_complete,
-                                      IORING_ENTER_GETEVENTS);
-    if (rc < 0) {
-      if (errno == EINTR) return enter(min_complete);
+  /// Interrupted submits are retried in a loop (never recursively), and the
+  /// pending count is re-derived from the ring pointers first: the kernel
+  /// may have consumed part of the submission before the signal arrived, so
+  /// blindly resubmitting the stale count would over-report.
+  repro::Status enter(unsigned min_complete, unsigned max_interrupts,
+                      IoStatsCounters* counters) {
+    unsigned interrupts = 0;
+    for (;;) {
+      const int rc = sys_io_uring_enter(ring_fd_, pending_submit_,
+                                        min_complete, IORING_ENTER_GETEVENTS);
+      if (rc >= 0) {
+        pending_submit_ -= std::min(pending_submit_,
+                                    static_cast<unsigned>(rc));
+        return repro::Status::ok();
+      }
+      if (errno == EINTR || errno == EAGAIN) {
+        const unsigned unsubmitted = *sq_tail_ - load_acquire(sq_head_);
+        pending_submit_ = std::min(pending_submit_, unsubmitted);
+        counters->interrupts.fetch_add(1, std::memory_order_relaxed);
+        if (++interrupts > max_interrupts) {
+          return repro::io_error("io_uring_enter interrupted " +
+                                 std::to_string(interrupts) +
+                                 " times without progress");
+        }
+        continue;
+      }
       return repro::io_error_errno("io_uring_enter", errno);
     }
-    pending_submit_ -= static_cast<unsigned>(rc);
-    return repro::Status::ok();
+  }
+
+  /// SQEs pushed but not yet consumed by the kernel (re-derived from the
+  /// ring pointers, not the possibly stale pending_submit_ count).
+  [[nodiscard]] unsigned unsubmitted() const noexcept {
+    return *sq_tail_ - load_acquire(sq_head_);
   }
 
   /// Pop one completion if available.
@@ -200,7 +243,8 @@ class UringBackend final : public IoBackend {
   }
 
   repro::Status open_file(const std::filesystem::path& path,
-                          unsigned queue_depth) {
+                          const BackendOptions& options) {
+    options_ = options;
     fd_ = ::open(path.c_str(), O_RDONLY);
     if (fd_ < 0) {
       return repro::io_error_errno("open: " + path.string(), errno);
@@ -211,12 +255,18 @@ class UringBackend final : public IoBackend {
     }
     size_ = static_cast<std::uint64_t>(end);
     path_ = path.string();
-    return ring_.init(std::max(1U, queue_depth));
+    return ring_.init(std::max(1U, options.queue_depth));
   }
 
   [[nodiscard]] std::uint64_t size() const noexcept override { return size_; }
   [[nodiscard]] std::string_view name() const noexcept override {
     return "io_uring";
+  }
+
+  [[nodiscard]] IoStats stats() const noexcept override {
+    IoStats out = counters_.snapshot();
+    if (fallback_ != nullptr) out += fallback_->stats();
+    return out;
   }
 
   repro::Status read_at(std::uint64_t offset,
@@ -226,22 +276,30 @@ class UringBackend final : public IoBackend {
   }
 
   repro::Status read_batch(std::span<ReadRequest> requests) override {
+    if (fallback_ != nullptr) return fallback_->read_batch(requests);
+
     for (const auto& request : requests) {
-      if (request.offset + request.dest.size() > size_) {
+      // Overflow-safe bounds check (offset + len can wrap uint64).
+      if (request.dest.size() > size_ ||
+          request.offset > size_ - request.dest.size()) {
         return repro::out_of_range("read past EOF of " + path_);
       }
     }
 
-    // Per-request progress; short reads are resubmitted for the remainder.
+    // Per-request progress; short reads, oversized (> 4 GiB) requests and
+    // transient completion errors are resubmitted for the remainder.
     struct Progress {
       std::uint64_t done = 0;
+      unsigned interrupts = 0;  // -EINTR/-EAGAIN completions for this request
+      unsigned attempts = 1;    // transient -EIO retries consumed
     };
     std::vector<Progress> progress(requests.size());
+    const RetryPolicy& policy = options_.retry;
 
     std::size_t next_to_queue = 0;   // first request not yet queued
     std::size_t outstanding = 0;     // queued but not finished
     std::size_t finished = 0;
-    std::vector<std::size_t> retry;  // short-read continuations
+    std::vector<std::size_t> retry;  // continuations + transient retries
 
     while (finished < requests.size()) {
       // Fill the submission queue: continuations first, then fresh requests.
@@ -261,28 +319,56 @@ class UringBackend final : public IoBackend {
           continue;
         }
         ring_.push_read(fd_, request.dest.data() + done,
-                        static_cast<std::uint32_t>(request.dest.size() - done),
+                        clamp_uring_read_len(request.dest.size() - done),
                         request.offset + done, index);
         ++outstanding;
       }
 
       // One syscall submits the whole batch and waits for >= 1 completion.
-      REPRO_RETURN_IF_ERROR(ring_.enter(outstanding > 0 ? 1 : 0));
+      repro::Status entered =
+          consume_forced_submit_failure()
+              ? repro::io_error("io_uring_enter: forced submit failure "
+                                "(testing hook)")
+              : ring_.enter(outstanding > 0 ? 1 : 0, policy.max_interrupts,
+                            &counters_);
+      if (!entered.is_ok()) {
+        return degrade_to_threads(std::move(entered), outstanding, requests);
+      }
 
       io_uring_cqe cqe;
       while (ring_.pop_completion(&cqe)) {
         --outstanding;
         const std::size_t index = static_cast<std::size_t>(cqe.user_data);
         if (cqe.res < 0) {
-          return repro::io_error_errno("io_uring read: " + path_, -cqe.res);
+          const int err = -cqe.res;
+          if (errno_is_interrupt(err)) {
+            counters_.interrupts.fetch_add(1, std::memory_order_relaxed);
+            if (++progress[index].interrupts > policy.max_interrupts) {
+              return repro::io_error("io_uring read interrupted repeatedly: " +
+                                     path_);
+            }
+            retry.push_back(index);
+            continue;
+          }
+          if (policy.retry_transient_io && errno_is_transient_io(err) &&
+              progress[index].attempts < policy.max_attempts) {
+            counters_.retries.fetch_add(1, std::memory_order_relaxed);
+            backoff_sleep(policy, progress[index].attempts);
+            ++progress[index].attempts;
+            retry.push_back(index);
+            continue;
+          }
+          return repro::io_error_errno("io_uring read: " + path_, err);
         }
         if (cqe.res == 0) {
           return repro::io_error("unexpected EOF in " + path_);
         }
         progress[index].done += static_cast<std::uint64_t>(cqe.res);
         if (progress[index].done < requests[index].dest.size()) {
+          counters_.short_reads.fetch_add(1, std::memory_order_relaxed);
           retry.push_back(index);  // short read: continue where it stopped
         } else {
+          progress[index].interrupts = 0;
           ++finished;
         }
       }
@@ -291,10 +377,48 @@ class UringBackend final : public IoBackend {
   }
 
  private:
+  /// Mid-batch submit failure: switch this backend to a thread-async
+  /// fallback over the same file and re-issue the whole batch there (reads
+  /// are idempotent). Only safe once no submitted SQE is still in flight —
+  /// the kernel would otherwise write the buffers concurrently — so with
+  /// reads outstanding we drain the completion queue first and give up if
+  /// it does not empty.
+  repro::Status degrade_to_threads(repro::Status cause, std::size_t outstanding,
+                                   std::span<ReadRequest> requests) {
+    // SQEs the kernel never consumed are not in flight: they stay inert in
+    // the abandoned ring (a failed submit leaves them there), so only
+    // submitted-but-uncompleted reads can touch our buffers.
+    std::size_t in_flight =
+        outstanding -
+        std::min<std::size_t>(outstanding, ring_.unsubmitted());
+    io_uring_cqe cqe;
+    for (int spin = 0; in_flight > 0 && spin < 10000; ++spin) {
+      while (ring_.pop_completion(&cqe)) --in_flight;
+      if (in_flight > 0) std::this_thread::yield();
+    }
+    if (in_flight > 0) {
+      return cause.with_context("io_uring submit failed with reads in flight");
+    }
+    auto fallback = open_backend(path_, BackendKind::kThreadAsync, options_);
+    if (!fallback.is_ok()) {
+      return cause.with_context("io_uring submit failed and fallback open "
+                                "also failed (" +
+                                fallback.status().to_string() + ")");
+    }
+    REPRO_LOG_WARN << "io_uring submit failed (" << cause.to_string()
+                   << "); degrading to the threads backend for " << path_;
+    counters_.fallbacks.fetch_add(1, std::memory_order_relaxed);
+    fallback_ = std::move(fallback).value();
+    return fallback_->read_batch(requests);
+  }
+
   int fd_ = -1;
   std::uint64_t size_ = 0;
   std::string path_;
+  BackendOptions options_;
   Ring ring_;
+  IoStatsCounters counters_;
+  std::unique_ptr<IoBackend> fallback_;
 };
 
 }  // namespace
@@ -313,12 +437,23 @@ bool uring_available() noexcept {
 
 repro::Result<std::unique_ptr<IoBackend>> open_uring_backend(
     const std::filesystem::path& path, const BackendOptions& options) {
+  if (g_force_setup_failure.load(std::memory_order_relaxed)) {
+    return repro::unsupported("io_uring_setup failed (testing hook)");
+  }
   if (!uring_available()) {
     return repro::unsupported("io_uring not available in this environment");
   }
   auto backend = std::make_unique<UringBackend>();
-  REPRO_RETURN_IF_ERROR(backend->open_file(path, options.queue_depth));
+  REPRO_RETURN_IF_ERROR(backend->open_file(path, options));
   return std::unique_ptr<IoBackend>{std::move(backend)};
+}
+
+void set_uring_setup_failure_for_testing(bool enabled) noexcept {
+  g_force_setup_failure.store(enabled, std::memory_order_relaxed);
+}
+
+void set_uring_submit_failures_for_testing(unsigned count) noexcept {
+  g_force_submit_failures.store(count, std::memory_order_relaxed);
 }
 
 }  // namespace repro::io

@@ -7,6 +7,7 @@
 // syscall instead of one context switch per read.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <memory>
 
@@ -15,9 +16,31 @@
 
 namespace repro::io {
 
+/// io_uring SQE lengths are 32-bit; a single read is capped here and longer
+/// requests are split across the short-read continuation path. (1 GiB also
+/// matches the kernel's own per-read clamp, MAX_RW_COUNT.)
+inline constexpr std::uint64_t kMaxUringReadBytes = 1ULL << 30;
+
+/// Length of the next SQE for a request with `remaining` bytes to go.
+[[nodiscard]] constexpr std::uint32_t clamp_uring_read_len(
+    std::uint64_t remaining) noexcept {
+  return static_cast<std::uint32_t>(
+      remaining < kMaxUringReadBytes ? remaining : kMaxUringReadBytes);
+}
+
 /// Open `path` with an io_uring-backed IoBackend. Returns kUnsupported when
-/// io_uring_setup fails (old kernel / seccomp).
+/// io_uring_setup fails (old kernel / seccomp). A mid-batch submit failure
+/// later does not error the caller: the backend degrades to the thread-async
+/// backend over the same file (stats().fallbacks counts the switch).
 repro::Result<std::unique_ptr<IoBackend>> open_uring_backend(
     const std::filesystem::path& path, const BackendOptions& options);
+
+/// Test-only: make open_uring_backend report kUnsupported, as if
+/// io_uring_setup had failed, to exercise open-time fallback paths.
+void set_uring_setup_failure_for_testing(bool enabled) noexcept;
+
+/// Test-only: make the next `count` batch submissions fail with a hard
+/// error, to exercise the mid-batch uring -> threads degradation.
+void set_uring_submit_failures_for_testing(unsigned count) noexcept;
 
 }  // namespace repro::io

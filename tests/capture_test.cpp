@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common/fs.hpp"
 #include "common/rng.hpp"
 #include "merkle/compare.hpp"
@@ -131,6 +134,77 @@ TEST_F(CaptureTest, TwoRunsAreComparableViaMetadataAlone) {
   const auto diff = merkle::compare_trees(tree_a.value(), tree_b.value());
   ASSERT_TRUE(diff.is_ok());
   EXPECT_TRUE(diff.value().empty());
+}
+
+TEST_F(CaptureTest, CrashDuringFlushPublishesNothingTorn) {
+  // Simulated crash while the background flusher publishes to the PFS: the
+  // catalog must contain either a complete checkpoint or nothing — never a
+  // torn .ckpt or a .ckpt whose .rmrk is half-written.
+  CaptureEngine engine(local_.path(), catalog_, options());
+  // Scope the simulated crash to PFS-side publishes: the foreground local
+  // write must succeed, the background flush must die mid-publish.
+  set_fail_next_publishes_for_testing(1, pfs_.path().filename().string());
+  ASSERT_TRUE(engine.capture(make_writer("run-1", 10, 0, 11)).is_ok());
+  const Status flush_status = engine.wait_all();
+  set_fail_next_publishes_for_testing(0);
+
+  EXPECT_FALSE(flush_status.is_ok());
+  const CheckpointRef ref = catalog_.ref("run-1", 10, 0);
+  EXPECT_FALSE(std::filesystem::exists(ref.checkpoint_path));
+  EXPECT_FALSE(ref.has_metadata());
+  // No visible checkpoint anywhere under the PFS root: the only residue a
+  // crash may leave is a ".tmp-" orphan, which every catalog scan ignores.
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(pfs_.path())) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_FALSE(name.ends_with(".ckpt")) << name;
+    EXPECT_FALSE(name.ends_with(".rmrk")) << name;
+  }
+}
+
+TEST_F(CaptureTest, SecondCaptureSucceedsAfterCrashedFlush) {
+  // The engine records the first flush error but keeps serving; a fresh
+  // engine (as after restart) can publish the same checkpoint cleanly.
+  {
+    CaptureEngine engine(local_.path(), catalog_, options());
+    set_fail_next_publishes_for_testing(1, pfs_.path().filename().string());
+    ASSERT_TRUE(engine.capture(make_writer("run-1", 10, 0, 12)).is_ok());
+    EXPECT_FALSE(engine.wait_all().is_ok());
+    set_fail_next_publishes_for_testing(0);
+  }
+  CaptureEngine engine(local_.path(), catalog_, options());
+  ASSERT_TRUE(engine.capture(make_writer("run-1", 10, 0, 12)).is_ok());
+  ASSERT_TRUE(engine.wait_all().is_ok());
+  const CheckpointRef ref = catalog_.ref("run-1", 10, 0);
+  EXPECT_TRUE(std::filesystem::exists(ref.checkpoint_path));
+  EXPECT_TRUE(ref.has_metadata());
+}
+
+TEST_F(CaptureTest, StatsSnapshotRacesWithCapturesAndFlushes) {
+  // stats() used to hand out an unlocked reference while the flusher thread
+  // updated the struct; under TSan this test pins the fix (snapshot under
+  // the same mutex both writers take).
+  CaptureEngine engine(local_.path(), catalog_, options());
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    std::uint64_t last = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      const CaptureStats stats = engine.stats();
+      EXPECT_GE(stats.checkpoints_captured, last);
+      last = stats.checkpoints_captured;
+      std::this_thread::yield();
+    }
+  });
+  for (std::uint64_t iteration = 1; iteration <= 8; ++iteration) {
+    ASSERT_TRUE(
+        engine.capture(make_writer("run-1", iteration * 10, 0, iteration))
+            .is_ok());
+  }
+  ASSERT_TRUE(engine.wait_all().is_ok());
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(engine.stats().checkpoints_captured, 8U);
+  EXPECT_GT(engine.stats().flush_seconds, 0.0);
 }
 
 }  // namespace

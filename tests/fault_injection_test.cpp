@@ -4,9 +4,13 @@
 // hang, or silently wrong comparison result.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <numeric>
+
 #include "common/fs.hpp"
 #include "common/rng.hpp"
 #include "compare/comparator.hpp"
+#include "io/fault.hpp"
 #include "io/stream.hpp"
 #include "merkle/tree.hpp"
 #include "sim/workload.hpp"
@@ -185,6 +189,207 @@ TEST_F(FaultInjectionTest, DeltaOfCorruptFileIsCleanError) {
   // hash stage — the documented contract is that metadata must be captured
   // from the data it describes. This test pins that contract.
   EXPECT_EQ(report.value().chunks_flagged, 0U);
+}
+
+// --- Backend x fault matrix ------------------------------------------------
+//
+// Every IoBackend, wrapped in the FaultInjectingBackend, must stream byte-
+// identical results under every recoverable fault kind, and surface a clean
+// kIoError (no crash, no hang, no silent corruption) on non-retryable ones.
+
+enum class FaultMode {
+  kShortRead,
+  kInterruptStorm,
+  kTransientEio,
+  kBitflip,
+  kHardError,
+};
+
+const char* fault_mode_name(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kShortRead: return "ShortRead";
+    case FaultMode::kInterruptStorm: return "InterruptStorm";
+    case FaultMode::kTransientEio: return "TransientEio";
+    case FaultMode::kBitflip: return "Bitflip";
+    case FaultMode::kHardError: return "HardError";
+  }
+  return "?";
+}
+
+io::FaultPlan plan_for(FaultMode mode) {
+  io::FaultPlan plan;
+  plan.seed = 42;
+  switch (mode) {
+    case FaultMode::kShortRead: plan.short_read_prob = 1.0; break;
+    case FaultMode::kInterruptStorm: plan.interrupt_prob = 1.0; break;
+    case FaultMode::kTransientEio: plan.transient_eio_prob = 1.0; break;
+    case FaultMode::kBitflip: plan.bitflip_prob = 1.0; break;
+    case FaultMode::kHardError: plan.hard_error_prob = 1.0; break;
+  }
+  return plan;
+}
+
+class BackendFaultMatrixTest
+    : public ::testing::TestWithParam<std::tuple<io::BackendKind, FaultMode>> {
+ protected:
+  static constexpr std::uint64_t kChunkBytes = 4096;
+  static constexpr std::uint64_t kChunks = 16;
+  static constexpr std::uint64_t kDataBytes = kChunks * kChunkBytes;
+
+  BackendFaultMatrixTest() : dir_{"fault-matrix"} {
+    data_.resize(kDataBytes);
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+      data_[i] = static_cast<std::uint8_t>(i * 131 + 7);
+    }
+    EXPECT_TRUE(write_file(path(), data_).is_ok());
+  }
+
+  [[nodiscard]] std::filesystem::path path() const {
+    return dir_.file("data.bin");
+  }
+
+  /// Stream every chunk of run A through the streamer's retry loop and
+  /// reassemble the delivered bytes. One chunk per slice so each batch holds
+  /// one request and the whole-batch retry advances one fault schedule at a
+  /// time.
+  std::pair<Status, std::vector<std::uint8_t>> stream_all(io::IoBackend& a,
+                                                          io::IoBackend& b) {
+    std::vector<std::uint64_t> chunks(kChunks);
+    std::iota(chunks.begin(), chunks.end(), 0);
+    io::StreamOptions options;
+    options.slice_bytes = kChunkBytes;
+    options.retry.max_attempts = 16;
+    options.retry.backoff_initial_us = 1;
+    options.retry.backoff_max_us = 50;
+    io::PairedChunkStreamer streamer(a, b, kChunkBytes, kDataBytes, chunks,
+                                     options);
+    std::vector<std::uint8_t> out(kDataBytes, 0);
+    while (io::ChunkSlice* slice = streamer.next()) {
+      for (const auto& placement : slice->placements) {
+        std::memcpy(out.data() + placement.chunk * kChunkBytes,
+                    slice->data_a.data() + placement.buffer_offset,
+                    placement.length);
+      }
+    }
+    return {streamer.status(), std::move(out)};
+  }
+
+  TempDir dir_;
+  std::vector<std::uint8_t> data_;
+};
+
+TEST_P(BackendFaultMatrixTest, RecoversOrFailsCleanly) {
+  const auto [kind, mode] = GetParam();
+  if (kind == io::BackendKind::kUring && !io::uring_available()) {
+    GTEST_SKIP() << "io_uring unavailable in this environment";
+  }
+
+  auto inner = io::open_backend(path(), kind);
+  ASSERT_TRUE(inner.is_ok()) << inner.status().to_string();
+  io::FaultInjectingBackend faulty(std::move(inner).value(), plan_for(mode));
+  auto clean = io::open_backend(path(), io::BackendKind::kPread);
+  ASSERT_TRUE(clean.is_ok());
+
+  auto [status, bytes] = stream_all(faulty, *clean.value());
+
+  switch (mode) {
+    case FaultMode::kShortRead:
+    case FaultMode::kInterruptStorm:
+    case FaultMode::kTransientEio:
+      // Recoverable: the retry loop must converge on byte-identical output.
+      ASSERT_TRUE(status.is_ok()) << status.to_string();
+      EXPECT_EQ(bytes, data_);
+      EXPECT_GT(faulty.injected().total(), 0U);
+      break;
+    case FaultMode::kBitflip:
+      // Silent corruption: I/O succeeds but the payload differs — only the
+      // element-wise comparison downstream can catch this.
+      ASSERT_TRUE(status.is_ok()) << status.to_string();
+      EXPECT_NE(bytes, data_);
+      EXPECT_GT(faulty.injected().bitflips, 0U);
+      break;
+    case FaultMode::kHardError:
+      // Non-retryable: a clean error Status, not a hang or a crash.
+      ASSERT_FALSE(status.is_ok());
+      EXPECT_EQ(status.code(), StatusCode::kIoError);
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, BackendFaultMatrixTest,
+    ::testing::Combine(::testing::Values(io::BackendKind::kPread,
+                                         io::BackendKind::kMmap,
+                                         io::BackendKind::kUring,
+                                         io::BackendKind::kThreadAsync),
+                       ::testing::Values(FaultMode::kShortRead,
+                                         FaultMode::kInterruptStorm,
+                                         FaultMode::kTransientEio,
+                                         FaultMode::kBitflip,
+                                         FaultMode::kHardError)),
+    [](const ::testing::TestParamInfo<BackendFaultMatrixTest::ParamType>&
+           info) {
+      return std::string{io::backend_name(std::get<0>(info.param))} + "_" +
+             fault_mode_name(std::get<1>(info.param));
+    });
+
+TEST(FaultBackendTest, InjectionIsDeterministicAcrossInstances) {
+  TempDir dir{"fault-determinism"};
+  std::vector<std::uint8_t> data(8192, 0x5A);
+  ASSERT_TRUE(write_file(dir.file("d.bin"), data).is_ok());
+
+  io::FaultPlan plan;
+  plan.seed = 7;
+  plan.bitflip_prob = 0.5;
+
+  auto run_once = [&] {
+    auto inner = io::open_backend(dir.file("d.bin"), io::BackendKind::kPread);
+    EXPECT_TRUE(inner.is_ok());
+    io::FaultInjectingBackend faulty(std::move(inner).value(), plan);
+    std::vector<std::uint8_t> out(data.size());
+    for (std::uint64_t offset = 0; offset < data.size(); offset += 1024) {
+      EXPECT_TRUE(
+          faulty
+              .read_at(offset, std::span<std::uint8_t>(out.data() + offset,
+                                                       1024))
+              .is_ok());
+    }
+    return out;
+  };
+
+  EXPECT_EQ(run_once(), run_once());  // same seed, same flipped bits
+}
+
+TEST(FaultBackendTest, RetriesExhaustedSurfacesAsIoError) {
+  // A storm longer than the retry budget must end in a clean kIoError that
+  // mentions the exhaustion, not spin forever.
+  TempDir dir{"fault-exhaust"};
+  std::vector<std::uint8_t> data(4096, 1);
+  ASSERT_TRUE(write_file(dir.file("d.bin"), data).is_ok());
+
+  io::FaultPlan plan;
+  plan.interrupt_prob = 1.0;
+  plan.storm_length = 1000;  // never ends within the budget
+
+  auto inner_a = io::open_backend(dir.file("d.bin"), io::BackendKind::kPread);
+  auto inner_b = io::open_backend(dir.file("d.bin"), io::BackendKind::kPread);
+  ASSERT_TRUE(inner_a.is_ok());
+  ASSERT_TRUE(inner_b.is_ok());
+  io::FaultInjectingBackend faulty(std::move(inner_a).value(), plan);
+
+  std::vector<std::uint64_t> chunks{0};
+  io::StreamOptions options;
+  options.retry.max_attempts = 3;
+  options.retry.backoff_initial_us = 1;
+  options.retry.backoff_max_us = 10;
+  io::PairedChunkStreamer streamer(faulty, *inner_b.value(), 4096, 4096,
+                                   chunks, options);
+  while (streamer.next() != nullptr) {
+  }
+  const Status status = streamer.status();
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("retries exhausted"), std::string::npos);
 }
 
 }  // namespace

@@ -80,5 +80,92 @@ TEST(Files, EvictPageCacheMissingFileFails) {
   EXPECT_FALSE(evict_page_cache(dir.file("missing.bin")).is_ok());
 }
 
+// --- Crash-consistent publish ----------------------------------------------
+
+std::size_t count_entries(const std::filesystem::path& dir) {
+  std::size_t count = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator(dir)) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(AtomicWrite, CrashBeforeRenameLeavesTargetAbsent) {
+  // Simulated crash between temp-write and rename: the target path must not
+  // exist at all — a new file appears complete or not at all.
+  TempDir dir{"fs-test"};
+  const auto path = dir.file("published.bin");
+  set_fail_next_publishes_for_testing(1);
+  const Status status =
+      write_file(path, std::vector<std::uint8_t>(4096, 0x7F));
+  set_fail_next_publishes_for_testing(0);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  // The orphaned temp file (what a real crash leaves) is a sibling with a
+  // ".tmp-" infix — invisible to suffix-matching catalog scans.
+  bool found_orphan = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path())) {
+    found_orphan |= entry.path().filename().string().find(".tmp-") !=
+                    std::string::npos;
+  }
+  EXPECT_TRUE(found_orphan);
+}
+
+TEST(AtomicWrite, CrashDuringOverwriteKeepsOldContent) {
+  // Overwriting an existing file must never expose a torn state: after a
+  // crash mid-publish the old bytes are still fully there.
+  TempDir dir{"fs-test"};
+  const auto path = dir.file("stable.bin");
+  const std::vector<std::uint8_t> old_content(1000, 0xAA);
+  ASSERT_TRUE(write_file(path, old_content).is_ok());
+
+  set_fail_next_publishes_for_testing(1);
+  EXPECT_FALSE(
+      write_file(path, std::vector<std::uint8_t>(5000, 0xBB)).is_ok());
+  set_fail_next_publishes_for_testing(0);
+
+  EXPECT_EQ(read_file(path).value(), old_content);
+}
+
+TEST(AtomicWrite, SuccessLeavesNoTempFiles) {
+  TempDir dir{"fs-test"};
+  ASSERT_TRUE(
+      write_file(dir.file("a.bin"), std::vector<std::uint8_t>(100, 1))
+          .is_ok());
+  ASSERT_TRUE(
+      write_file(dir.file("a.bin"), std::vector<std::uint8_t>(200, 2))
+          .is_ok());
+  EXPECT_EQ(count_entries(dir.path()), 1U);
+}
+
+TEST(AtomicCopy, RoundTripAndCrashConsistency) {
+  TempDir dir{"fs-test"};
+  std::vector<std::uint8_t> payload(3 << 20);  // > one copy buffer
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 17 + 3);
+  }
+  const auto src = dir.file("src.bin");
+  const auto dst = dir.file("dst.bin");
+  ASSERT_TRUE(write_file(src, payload).is_ok());
+
+  // Crash mid-copy: destination absent, source untouched.
+  set_fail_next_publishes_for_testing(1);
+  EXPECT_FALSE(copy_file_atomic(src, dst).is_ok());
+  set_fail_next_publishes_for_testing(0);
+  EXPECT_FALSE(std::filesystem::exists(dst));
+
+  // Clean copy: byte-identical.
+  ASSERT_TRUE(copy_file_atomic(src, dst).is_ok());
+  EXPECT_EQ(read_file(dst).value(), payload);
+}
+
+TEST(AtomicCopy, MissingSourceFails) {
+  TempDir dir{"fs-test"};
+  EXPECT_FALSE(
+      copy_file_atomic(dir.file("missing.bin"), dir.file("out.bin")).is_ok());
+  EXPECT_FALSE(std::filesystem::exists(dir.file("out.bin")));
+}
+
 }  // namespace
 }  // namespace repro

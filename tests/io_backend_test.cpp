@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "common/fs.hpp"
 #include "common/rng.hpp"
+#include "io/uring_backend.hpp"
 
 namespace repro::io {
 namespace {
@@ -80,6 +82,25 @@ TEST_P(BackendTest, ReadPastEofRejected) {
   std::vector<std::uint8_t> buffer(10);
   EXPECT_FALSE(backend->read_at(content_.size() - 5, buffer).is_ok());
   EXPECT_FALSE(backend->read_at(content_.size() + 100, buffer).is_ok());
+}
+
+TEST_P(BackendTest, HugeOffsetOverflowRejected) {
+  // Regression: `offset + len > size` wraps for offsets near UINT64_MAX and
+  // once passed the bounds check, turning into a pread at a garbage offset.
+  const auto backend = open();
+  std::vector<std::uint8_t> buffer(16);
+  for (const std::uint64_t offset :
+       {std::numeric_limits<std::uint64_t>::max(),
+        std::numeric_limits<std::uint64_t>::max() - 1,
+        std::numeric_limits<std::uint64_t>::max() - buffer.size()}) {
+    const Status status = backend->read_at(offset, buffer);
+    ASSERT_FALSE(status.is_ok()) << "offset " << offset;
+    EXPECT_EQ(status.code(), repro::StatusCode::kOutOfRange);
+  }
+  // Same check on the batch path (uring validates before building SQEs).
+  std::vector<ReadRequest> requests{
+      {std::numeric_limits<std::uint64_t>::max() - 1, buffer}};
+  EXPECT_FALSE(backend->read_batch(requests).is_ok());
 }
 
 TEST_P(BackendTest, ZeroLengthReadSucceeds) {
@@ -182,6 +203,81 @@ TEST(OpenBest, ReturnsAWorkingBackend) {
   std::vector<std::uint8_t> buffer(8192);
   ASSERT_TRUE(result.value()->read_at(0, buffer).is_ok());
   EXPECT_EQ(buffer, content);
+}
+
+TEST(UringLen, ClampSplitsOversizedReads) {
+  // push_read once truncated >4GiB lengths through a uint32_t cast; reads
+  // are now clamped to kMaxUringReadBytes and continue via the short-read
+  // path.
+  EXPECT_EQ(clamp_uring_read_len(0), 0U);
+  EXPECT_EQ(clamp_uring_read_len(1), 1U);
+  EXPECT_EQ(clamp_uring_read_len(kMaxUringReadBytes - 1),
+            static_cast<std::uint32_t>(kMaxUringReadBytes - 1));
+  EXPECT_EQ(clamp_uring_read_len(kMaxUringReadBytes),
+            static_cast<std::uint32_t>(kMaxUringReadBytes));
+  EXPECT_EQ(clamp_uring_read_len(kMaxUringReadBytes + 1),
+            static_cast<std::uint32_t>(kMaxUringReadBytes));
+  EXPECT_EQ(clamp_uring_read_len((1ULL << 32) + 5),
+            static_cast<std::uint32_t>(kMaxUringReadBytes));
+  EXPECT_EQ(clamp_uring_read_len(std::numeric_limits<std::uint64_t>::max()),
+            static_cast<std::uint32_t>(kMaxUringReadBytes));
+}
+
+TEST(UringFallback, SetupFailureDegradesOpenBest) {
+  if (!uring_available()) GTEST_SKIP() << "io_uring unavailable";
+  repro::TempDir dir{"io-test"};
+  const auto content = patterned_bytes(8192);
+  const auto path = dir.file("fallback.bin");
+  ASSERT_TRUE(repro::write_file(path, content).is_ok());
+
+  set_uring_setup_failure_for_testing(true);
+  auto result = open_best(path);
+  set_uring_setup_failure_for_testing(false);
+
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value()->name(), "threads");
+  std::vector<std::uint8_t> buffer(8192);
+  ASSERT_TRUE(result.value()->read_at(0, buffer).is_ok());
+  EXPECT_EQ(buffer, content);
+}
+
+TEST(UringFallback, MidBatchSubmitFailureDegradesToThreads) {
+  if (!uring_available()) GTEST_SKIP() << "io_uring unavailable";
+  repro::TempDir dir{"io-test"};
+  const auto content = patterned_bytes(64 * 1024);
+  const auto path = dir.file("midbatch.bin");
+  ASSERT_TRUE(repro::write_file(path, content).is_ok());
+
+  auto result = open_backend(path, BackendKind::kUring);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const auto backend = std::move(result).value();
+
+  std::vector<std::vector<std::uint8_t>> buffers(32);
+  std::vector<ReadRequest> requests;
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    buffers[i].resize(2048);
+    requests.push_back({i * 2048, buffers[i]});
+  }
+
+  set_uring_submit_failures_for_testing(1);
+  const Status status = backend->read_batch(requests);
+  set_uring_submit_failures_for_testing(0);
+
+  // The batch must still succeed — served by the threads backend after the
+  // forced submit failure — with correct bytes and a counted fallback.
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(buffers[i].data(), content.data() + i * 2048,
+                             2048))
+        << "request " << i;
+  }
+  EXPECT_GE(backend->stats().fallbacks, 1U);
+
+  // Later batches keep flowing through the fallback backend.
+  std::vector<std::uint8_t> again(4096);
+  std::vector<ReadRequest> more{{0, again}};
+  ASSERT_TRUE(backend->read_batch(more).is_ok());
+  EXPECT_EQ(0, std::memcmp(again.data(), content.data(), again.size()));
 }
 
 TEST(Mmap, EmptyFileWorks) {
