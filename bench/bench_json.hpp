@@ -3,9 +3,10 @@
 // google-benchmark's own --benchmark_out flag redirects the console stream;
 // the harness wants both: human-readable console output for the log AND a
 // machine-readable summary on disk for the plotting scripts. JsonTeeReporter
-// keeps the stock console output and, at Finalize(), writes every run as a
-// flat JSON array — one object per benchmark with per-iteration times and
-// all user counters.
+// keeps the stock console output and, at Finalize(), writes one document
+// `{"benchmarks": [...], "metrics": {...}}`: per-benchmark timings and user
+// counters, plus the process-wide telemetry metrics snapshot (io.*,
+// merkle.*, ...) so a run's internal counters travel with its numbers.
 //
 // This header must NOT be included from bench_common.hpp: several bench
 // binaries are plain main() programs that do not link google-benchmark.
@@ -18,6 +19,8 @@
 #include <fstream>
 #include <string>
 #include <vector>
+
+#include "telemetry/metrics.hpp"
 
 namespace repro::bench {
 
@@ -74,7 +77,7 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
                    path_.c_str());
       return;
     }
-    out << "[\n";
+    out << "{\"benchmarks\": [\n";
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
       out << "  {\"name\": \"" << escape(e.name)
@@ -89,7 +92,9 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
       }
       out << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
     }
-    out << "]\n";
+    out << "],\n\"metrics\": "
+        << telemetry::MetricsRegistry::global().snapshot().to_json()
+        << "}\n";
     std::fprintf(stderr, "wrote %zu benchmark results to %s\n",
                  entries_.size(), path_.c_str());
   }

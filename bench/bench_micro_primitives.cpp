@@ -19,9 +19,12 @@
 #include <span>
 
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 
 #include "bench/bench_common.hpp"
 #include "bench/bench_json.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "compare/elementwise.hpp"
 #include "hash/chunk_hasher.hpp"
 #include "hash/kernels.hpp"
@@ -235,9 +238,73 @@ int kernel_smoke_check() {
   return failures;
 }
 
+// Guards the "compiled-in everywhere" telemetry design decision: with
+// tracing DISABLED, a span + counter on a realistic hot block (one 4 KiB
+// quantize kernel call) must cost < 3% over the bare kernel. Timing is
+// tamed for CI noise: calibrated ~2 ms batches, best-of-N minimum, and a
+// couple of full re-measurements before declaring failure.
+int telemetry_overhead_check() {
+  telemetry::Tracer::global().set_enabled(false);
+  static telemetry::Counter& counter =
+      telemetry::MetricsRegistry::global().counter("bench.overhead.blocks");
+
+  std::vector<double> values(4096);
+  Xoshiro256 rng(7);
+  for (auto& v : values) v = (rng.next_double() * 2 - 1) * 100.0;
+  std::vector<std::int64_t> out(values.size());
+  auto work = [&] {
+    hash::quantize_block_f64(values.data(), values.size(), 1e-6, out.data());
+    benchmark::DoNotOptimize(out.data());
+  };
+
+  // Calibrate the batch size to ~2 ms of work.
+  std::uint64_t batch = 64;
+  for (;;) {
+    Stopwatch watch;
+    for (std::uint64_t i = 0; i < batch; ++i) work();
+    const double seconds = watch.seconds();
+    if (seconds >= 2e-3 || batch >= (1ULL << 22)) break;
+    batch *= 2;
+  }
+
+  auto best_of = [&](auto&& body) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 7; ++rep) {
+      Stopwatch watch;
+      body();
+      best = std::min(best, watch.seconds());
+    }
+    return best;
+  };
+
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    const double base = best_of([&] {
+      for (std::uint64_t i = 0; i < batch; ++i) work();
+    });
+    const double instrumented = best_of([&] {
+      for (std::uint64_t i = 0; i < batch; ++i) {
+        telemetry::TraceSpan span("bench.block");
+        counter.add(1);
+        work();
+      }
+    });
+    const double overhead = instrumented / base - 1.0;
+    std::fprintf(stderr,
+                 "telemetry overhead (tracing disabled): %.2f%% "
+                 "(base %.3fms, instrumented %.3fms, batch %llu)\n",
+                 100.0 * overhead, base * 1e3, instrumented * 1e3,
+                 static_cast<unsigned long long>(batch));
+    if (overhead < 0.03) return 0;
+  }
+  std::fprintf(stderr,
+               "telemetry smoke FAILED: disabled-tracing overhead >= 3%%\n");
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (kernel_smoke_check() != 0) return 1;
+  if (telemetry_overhead_check() != 0) return 1;
   return repro::bench::run_benchmarks_with_json(argc, argv);
 }

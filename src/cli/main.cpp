@@ -23,9 +23,17 @@
 #include "merkle/compare.hpp"
 #include "merkle/proof.hpp"
 #include "sim/hacc_lite.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/report.hpp"
+#include "telemetry/trace.hpp"
 
 namespace repro::cli {
 namespace {
+
+/// Set by run() when --metrics-out is present; commands enrich it with
+/// their verdict, key numbers and phase timers. run() attaches the global
+/// metrics snapshot and publishes the document after the command returns.
+telemetry::RunReport* g_run_report = nullptr;
 
 void print_usage() {
   std::puts(
@@ -45,6 +53,11 @@ void print_usage() {
       "            [--backend uring|mmap|pread|threads] [--diffs N]\n"
       "            [--method ours|direct|allclose]\n"
       "      compare two checkpoints within the error bound\n"
+      "\n"
+      "  every subcommand also accepts:\n"
+      "    --trace-out PATH    write a Chrome trace-event JSON (Perfetto)\n"
+      "    --metrics-out PATH  write a structured run report with the\n"
+      "                        metrics snapshot, phase timers and verdict\n"
       "\n"
       "  repro-cli history ROOT RUN_A RUN_B [--eps 1e-6] [--stop-early]\n"
       "      compare two runs' checkpoint histories, report first "
@@ -276,6 +289,33 @@ int cmd_compare(const Args& args) {
                 static_cast<unsigned long long>(report.io_short_reads),
                 static_cast<unsigned long long>(report.io_interrupts),
                 static_cast<unsigned long long>(report.io_fallbacks));
+  } else {
+    std::printf("io clean; full counters via --metrics-out=PATH\n");
+  }
+
+  if (g_run_report != nullptr) {
+    g_run_report->set_verdict(report.values_exceeding == 0 ? "within-bound"
+                                                           : "diverged");
+    g_run_report->add_info("method", method);
+    g_run_report->add_info("file_a", path_a.string());
+    g_run_report->add_info("file_b", path_b.string());
+    g_run_report->add_value("error_bound", eps.value());
+    g_run_report->add_value("data_bytes",
+                            static_cast<double>(report.data_bytes));
+    g_run_report->add_value("chunks_total",
+                            static_cast<double>(report.chunks_total));
+    g_run_report->add_value("chunks_flagged",
+                            static_cast<double>(report.chunks_flagged));
+    g_run_report->add_value("values_compared",
+                            static_cast<double>(report.values_compared));
+    g_run_report->add_value("values_exceeding",
+                            static_cast<double>(report.values_exceeding));
+    g_run_report->add_value("io_retries",
+                            static_cast<double>(report.io_retries));
+    g_run_report->add_value("io_fallbacks",
+                            static_cast<double>(report.io_fallbacks));
+    g_run_report->add_value("total_seconds", report.total_seconds);
+    g_run_report->add_timers(report.timers);
   }
   if (!report.diffs.empty()) {
     std::printf("sample differences:\n");
@@ -321,7 +361,26 @@ int cmd_history(const Args& args) {
                                     100.0 * report.fraction_data_flagged())});
   }
   table.print();
-  if (history.value().first_divergent_iteration.has_value()) {
+  const bool diverged =
+      history.value().first_divergent_iteration.has_value();
+  if (g_run_report != nullptr) {
+    g_run_report->set_verdict(diverged ? "diverged" : "within-bound");
+    g_run_report->add_info("run_a", args.positional()[2]);
+    g_run_report->add_info("run_b", args.positional()[3]);
+    g_run_report->add_value("error_bound", eps.value());
+    g_run_report->add_value(
+        "pairs_compared", static_cast<double>(history.value().pairs.size()));
+    g_run_report->add_value("total_seconds", history.value().total_seconds);
+    if (diverged) {
+      g_run_report->add_value(
+          "first_divergent_iteration",
+          static_cast<double>(*history.value().first_divergent_iteration));
+    }
+    for (const auto& [pair, report] : history.value().pairs) {
+      g_run_report->add_timers(report.timers);
+    }
+  }
+  if (diverged) {
     std::printf("first divergence: iteration %llu (rank %u)\n",
                 static_cast<unsigned long long>(
                     *history.value().first_divergent_iteration),
@@ -621,6 +680,20 @@ int cmd_delta(const Args& args) {
   return 2;
 }
 
+int dispatch(const std::string& command, const Args& args) {
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "tree") return cmd_tree(args);
+  if (command == "compare") return cmd_compare(args);
+  if (command == "history") return cmd_history(args);
+  if (command == "inspect") return cmd_inspect(args);
+  if (command == "fields") return cmd_fields(args);
+  if (command == "prove") return cmd_prove(args);
+  if (command == "verify") return cmd_verify(args);
+  if (command == "delta") return cmd_delta(args);
+  print_usage();
+  return 2;
+}
+
 int run(int argc, const char* const* argv) {
   auto args = Args::parse(argc - 1, argv + 1);
   if (!args.is_ok()) return fail(args.status());
@@ -629,17 +702,40 @@ int run(int argc, const char* const* argv) {
     return 2;
   }
   const std::string& command = args.value().positional().front();
-  if (command == "simulate") return cmd_simulate(args.value());
-  if (command == "tree") return cmd_tree(args.value());
-  if (command == "compare") return cmd_compare(args.value());
-  if (command == "history") return cmd_history(args.value());
-  if (command == "inspect") return cmd_inspect(args.value());
-  if (command == "fields") return cmd_fields(args.value());
-  if (command == "prove") return cmd_prove(args.value());
-  if (command == "verify") return cmd_verify(args.value());
-  if (command == "delta") return cmd_delta(args.value());
-  print_usage();
-  return 2;
+
+  // Telemetry plumbing shared by every subcommand. Tracing must be enabled
+  // before any work runs; the outputs publish after the command finishes,
+  // whatever its exit code, so failed runs can still be diagnosed.
+  const std::string trace_out = args.value().get("trace-out", "");
+  const std::string metrics_out = args.value().get("metrics-out", "");
+  if (!trace_out.empty()) {
+    telemetry::Tracer::global().set_enabled(true);
+  }
+  telemetry::RunReport run_report(command);
+  if (!metrics_out.empty()) g_run_report = &run_report;
+
+  const int exit_code = dispatch(command, args.value());
+
+  g_run_report = nullptr;
+  if (!trace_out.empty()) {
+    telemetry::Tracer::global().set_enabled(false);
+    const repro::Status status =
+        telemetry::Tracer::global().write_chrome_trace(trace_out);
+    if (!status.is_ok()) return fail(status);
+    std::printf("trace written to %s (%llu spans; load in "
+                "https://ui.perfetto.dev)\n",
+                trace_out.c_str(),
+                static_cast<unsigned long long>(
+                    telemetry::Tracer::global().span_count()));
+  }
+  if (!metrics_out.empty()) {
+    run_report.add_value("exit_code", static_cast<double>(exit_code));
+    run_report.set_metrics(telemetry::MetricsRegistry::global().snapshot());
+    const repro::Status status = run_report.write_json(metrics_out);
+    if (!status.is_ok()) return fail(status);
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  return exit_code;
 }
 
 }  // namespace

@@ -1,11 +1,14 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <mutex>
 #include <string>
+#include <utility>
 
 namespace repro {
 namespace {
@@ -21,9 +24,30 @@ LogLevel initial_level() {
   return LogLevel::kWarn;
 }
 
+LogFormat initial_format() {
+  const char* env = std::getenv("REPRO_LOG_FORMAT");
+  if (env != nullptr && std::strcmp(env, "json") == 0) return LogFormat::kJson;
+  return LogFormat::kText;
+}
+
 std::atomic<int>& level_store() {
   static std::atomic<int> level{static_cast<int>(initial_level())};
   return level;
+}
+
+std::atomic<int>& format_store() {
+  static std::atomic<int> format{static_cast<int>(initial_format())};
+  return format;
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& sink_store() {
+  static LogSink sink;
+  return sink;
 }
 
 const char* level_tag(LogLevel level) {
@@ -37,6 +61,55 @@ const char* level_tag(LogLevel level) {
   return "?????";
 }
 
+const char* level_word(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "unknown";
+}
+
+/// ISO-8601 UTC with millisecond precision: 2026-08-06T12:34:56.789Z
+std::string iso8601_now() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(millis));
+  return buf;
+}
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept {
@@ -47,6 +120,20 @@ LogLevel log_level() noexcept {
   return static_cast<LogLevel>(level_store().load(std::memory_order_relaxed));
 }
 
+void set_log_format(LogFormat format) noexcept {
+  format_store().store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+LogFormat log_format() noexcept {
+  return static_cast<LogFormat>(
+      format_store().load(std::memory_order_relaxed));
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_store() = std::move(sink);
+}
+
 namespace detail {
 
 bool log_enabled(LogLevel level) noexcept {
@@ -54,11 +141,50 @@ bool log_enabled(LogLevel level) noexcept {
          level_store().load(std::memory_order_relaxed);
 }
 
+unsigned log_thread_id() noexcept {
+  static std::atomic<unsigned> next{1};
+  thread_local const unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string format_log_line(LogLevel level, std::string_view message) {
+  const std::string ts = iso8601_now();
+  const unsigned tid = log_thread_id();
+  std::string line;
+  line.reserve(ts.size() + message.size() + 48);
+  if (log_format() == LogFormat::kJson) {
+    line += "{\"ts\":\"";
+    line += ts;
+    line += "\",\"level\":\"";
+    line += level_word(level);
+    line += "\",\"tid\":";
+    line += std::to_string(tid);
+    line += ",\"message\":\"";
+    append_json_escaped(line, message);
+    line += "\"}";
+  } else {
+    line += '[';
+    line += ts;
+    line += " repro ";
+    line += level_tag(level);
+    line += " tid=";
+    line += std::to_string(tid);
+    line += "] ";
+    line += message;
+  }
+  return line;
+}
+
 void log_emit(LogLevel level, std::string_view message) {
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lock(mu);
-  std::fprintf(stderr, "[repro %s] %.*s\n", level_tag(level),
-               static_cast<int>(message.size()), message.data());
+  const std::string line = format_log_line(level, message);
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  LogSink& sink = sink_store();
+  if (sink) {
+    sink(level, line);
+    return;
+  }
+  std::fprintf(stderr, "%.*s\n", static_cast<int>(line.size()), line.data());
 }
 
 }  // namespace detail

@@ -1,9 +1,20 @@
 // Minimal leveled logger. Thread-safe, writes to stderr, level settable at
 // runtime (REPRO_LOG_LEVEL env var or set_log_level()). Bench harnesses keep
 // stdout clean for tabular results and route diagnostics here.
+//
+// Each line carries an ISO-8601 UTC timestamp (millisecond precision) and a
+// small per-process thread id, so interleaved pool/producer output stays
+// attributable. Two output formats:
+//   text (default):  [2026-08-06T12:34:56.789Z repro INFO  tid=3] message
+//   json  (REPRO_LOG_FORMAT=json or set_log_format(LogFormat::kJson)):
+//     {"ts":"2026-08-06T12:34:56.789Z","level":"info","tid":3,"message":"..."}
+// set_log_sink() redirects formatted lines away from stderr (tests, trace
+// collectors); passing nullptr restores stderr.
 #pragma once
 
+#include <functional>
 #include <sstream>
+#include <string>
 #include <string_view>
 
 namespace repro {
@@ -16,13 +27,35 @@ enum class LogLevel : int {
   kOff = 4,
 };
 
+enum class LogFormat : int {
+  kText = 0,
+  kJson = 1,
+};
+
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
+
+void set_log_format(LogFormat format) noexcept;
+LogFormat log_format() noexcept;
+
+/// Receives each fully-formatted log line (no trailing newline) plus its
+/// level. Replaces the stderr writer; pass nullptr to restore stderr.
+/// The sink runs under the logger's mutex — keep it quick and do not log
+/// from inside it.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+void set_log_sink(LogSink sink);
 
 namespace detail {
 
 bool log_enabled(LogLevel level) noexcept;
 void log_emit(LogLevel level, std::string_view message);
+
+/// Renders one line in the active format — exposed so tests can pin the
+/// format down without scraping stderr.
+std::string format_log_line(LogLevel level, std::string_view message);
+
+/// Small sequential id of the calling thread (1-based, process-local).
+unsigned log_thread_id() noexcept;
 
 /// Stream-style one-shot log line; emits on destruction.
 class LogLine {

@@ -24,6 +24,12 @@ double TimerSet::total_seconds() const {
 }
 
 void TimerSet::merge(const TimerSet& other) {
+  // Walk other.order_ (not the map) so phases unknown to this set are
+  // appended in the order the other set first saw them — report columns
+  // stay in pipeline order instead of alphabetizing. Self-merge would
+  // double every phase while iterating our own order vector; make it a
+  // no-op instead.
+  if (&other == this) return;
   for (const auto& name : other.order_) {
     add(name, other.seconds(name));
   }

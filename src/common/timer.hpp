@@ -45,7 +45,9 @@ class TimerSet {
     return order_;
   }
 
-  /// Merge another set into this one (phase-wise sum).
+  /// Merge another set into this one (phase-wise sum). Phases new to this
+  /// set keep the other set's relative insertion order; self-merge is a
+  /// no-op.
   void merge(const TimerSet& other);
 
   void clear();

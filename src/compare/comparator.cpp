@@ -4,10 +4,35 @@
 
 #include "common/fs.hpp"
 #include "common/log.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace repro::cmp {
 
 namespace {
+
+struct PairMetrics {
+  telemetry::Counter& pairs;
+  telemetry::Counter& chunks_total;
+  telemetry::Counter& chunks_flagged;
+  telemetry::Counter& values_compared;
+  telemetry::Counter& values_exceeding;
+  telemetry::Histogram& pair_seconds;
+
+  static PairMetrics& get() {
+    auto& registry = telemetry::MetricsRegistry::global();
+    static PairMetrics* metrics = new PairMetrics{
+        registry.counter("compare.pairs"),
+        registry.counter("compare.chunks.total"),
+        registry.counter("compare.chunks.flagged"),
+        registry.counter("compare.values.compared"),
+        registry.counter("compare.values.exceeding"),
+        registry.histogram("compare.pair.seconds",
+                           telemetry::latency_buckets_seconds()),
+    };
+    return *metrics;
+  }
+};
 
 /// All-fields-same-kind detection: the tree interprets the data section as
 /// one typed array, so mixed-kind checkpoints degrade to bitwise hashing.
@@ -83,6 +108,9 @@ repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
                                           const CompareOptions& options) {
   Stopwatch total;
   CompareReport report;
+  telemetry::TraceSpan pair_span("compare.pair");
+  pair_span.arg("file_a", pair.run_a.checkpoint_path.filename().string())
+      .arg("file_b", pair.run_b.checkpoint_path.filename().string());
 
   if (options.evict_cache) {
     for (const auto& path :
@@ -103,6 +131,7 @@ repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
   std::unique_ptr<io::IoBackend> backend_a;
   std::unique_ptr<io::IoBackend> backend_b;
   {
+    telemetry::TraceSpan span("compare.setup");
     PhaseTimer timer(report.timers, kPhaseSetup);
     REPRO_ASSIGN_OR_RETURN(
         auto opened_a, ckpt::CheckpointReader::open(pair.run_a.checkpoint_path));
@@ -124,6 +153,7 @@ repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
   report.data_bytes = reader_a->data_bytes();
 
   // --- read + deserialization: the Merkle metadata.
+  telemetry::TraceSpan metadata_span("compare.load_metadata");
   REPRO_ASSIGN_OR_RETURN(
       const merkle::MerkleTree tree_a,
       load_or_build_tree(*reader_a, pair.run_a.metadata_path, options,
@@ -132,6 +162,8 @@ repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
       const merkle::MerkleTree tree_b,
       load_or_build_tree(*reader_b, pair.run_b.metadata_path, options,
                          report.timers, &report.metadata_bytes_read));
+  metadata_span.arg("bytes", report.metadata_bytes_read);
+  metadata_span.end();
 
   if (tree_a.params().hash.error_bound != options.error_bound) {
     return repro::failed_precondition(
@@ -144,6 +176,7 @@ repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
   // --- compare_tree: stage 1, pruned BFS.
   std::vector<std::uint64_t> candidates;
   {
+    telemetry::TraceSpan span("compare.tree");
     PhaseTimer timer(report.timers, kPhaseCompareTree);
     merkle::TreeCompareOptions tree_options = options.tree_compare;
     tree_options.exec = options.exec;
@@ -158,6 +191,8 @@ repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
 
   // --- compare_direct: stage 2, stream candidates + verify.
   if (!candidates.empty()) {
+    telemetry::TraceSpan span("compare.stage2");
+    span.arg("candidates", static_cast<std::uint64_t>(candidates.size()));
     PhaseTimer timer(report.timers, kPhaseCompareDirect);
 
     io::StreamOptions stream_options = options.stream;
@@ -223,6 +258,15 @@ repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
   }
 
   report.total_seconds = total.seconds();
+  PairMetrics& metrics = PairMetrics::get();
+  metrics.pairs.increment();
+  metrics.chunks_total.add(report.chunks_total);
+  metrics.chunks_flagged.add(report.chunks_flagged);
+  metrics.values_compared.add(report.values_compared);
+  metrics.values_exceeding.add(report.values_exceeding);
+  metrics.pair_seconds.record(report.total_seconds);
+  pair_span.arg("chunks_flagged", report.chunks_flagged)
+      .arg("values_exceeding", report.values_exceeding);
   return report;
 }
 

@@ -9,8 +9,11 @@
 #include <mutex>
 
 #include "common/log.hpp"
+#include "common/timer.hpp"
 #include "io/uring_backend.hpp"
 #include "par/thread_pool.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace repro::io {
 
@@ -33,6 +36,66 @@ repro::Result<BackendKind> parse_backend(std::string_view name) {
 }
 
 namespace {
+
+/// Registry handles shared by every backend. The ad-hoc IoStatsCounters
+/// stay authoritative for per-backend CompareReport numbers; these global
+/// metrics aggregate the same events across all backends for --metrics-out.
+struct IoMetrics {
+  telemetry::Counter& read_ops;
+  telemetry::Counter& read_bytes;
+  telemetry::Counter& retries;
+  telemetry::Counter& short_reads;
+  telemetry::Counter& interrupts;
+  telemetry::Counter& batches;
+  telemetry::Histogram& batch_bytes;
+  telemetry::Histogram& batch_seconds;
+
+  static IoMetrics& get() {
+    auto& registry = telemetry::MetricsRegistry::global();
+    static IoMetrics* metrics = new IoMetrics{
+        registry.counter("io.read.ops"),
+        registry.counter("io.read.bytes"),
+        registry.counter("io.retry.count"),
+        registry.counter("io.short_read.count"),
+        registry.counter("io.interrupt.count"),
+        registry.counter("io.batch.count"),
+        registry.histogram("io.batch.bytes", telemetry::size_buckets_bytes()),
+        registry.histogram("io.batch.seconds",
+                           telemetry::latency_buckets_seconds()),
+    };
+    return *metrics;
+  }
+};
+
+std::uint64_t batch_total_bytes(std::span<const ReadRequest> requests) {
+  std::uint64_t total = 0;
+  for (const auto& request : requests) total += request.dest.size();
+  return total;
+}
+
+/// RAII wrapper for one read_batch call: opens an "io.batch" trace span and
+/// records batch count/size/latency metrics on scope exit.
+class BatchScope {
+ public:
+  BatchScope(std::string_view backend, std::span<const ReadRequest> requests)
+      : bytes_(batch_total_bytes(requests)), span_("io.batch") {
+    span_.arg("backend", backend)
+        .arg("requests", static_cast<std::uint64_t>(requests.size()))
+        .arg("bytes", bytes_);
+  }
+
+  ~BatchScope() {
+    IoMetrics& metrics = IoMetrics::get();
+    metrics.batches.increment();
+    metrics.batch_bytes.record(static_cast<double>(bytes_));
+    metrics.batch_seconds.record(watch_.seconds());
+  }
+
+ private:
+  std::uint64_t bytes_;
+  Stopwatch watch_;
+  telemetry::TraceSpan span_;
+};
 
 /// Shared open/size/close plumbing for fd-based backends.
 class FdBackendBase : public IoBackend {
@@ -83,6 +146,9 @@ class FdBackendBase : public IoBackend {
   /// number of retries before failing.
   repro::Status pread_full(std::uint64_t offset,
                            std::span<std::uint8_t> dest) const {
+    IoMetrics& metrics = IoMetrics::get();
+    metrics.read_ops.increment();
+    metrics.read_bytes.add(dest.size());
     std::size_t got = 0;
     unsigned interrupts = 0;
     unsigned attempts = 1;
@@ -92,6 +158,7 @@ class FdBackendBase : public IoBackend {
       if (n < 0) {
         if (errno_is_interrupt(errno)) {
           counters_.interrupts.fetch_add(1, std::memory_order_relaxed);
+          metrics.interrupts.increment();
           if (++interrupts > retry_.max_interrupts) {
             return repro::io_error("pread interrupted " +
                                    std::to_string(interrupts) +
@@ -102,6 +169,7 @@ class FdBackendBase : public IoBackend {
         if (retry_.retry_transient_io && errno_is_transient_io(errno) &&
             attempts < retry_.max_attempts) {
           counters_.retries.fetch_add(1, std::memory_order_relaxed);
+          metrics.retries.increment();
           backoff_sleep(retry_, attempts);
           ++attempts;
           continue;
@@ -111,6 +179,7 @@ class FdBackendBase : public IoBackend {
       if (n == 0) return repro::io_error("unexpected EOF in " + path_);
       if (static_cast<std::size_t>(n) < dest.size() - got) {
         counters_.short_reads.fetch_add(1, std::memory_order_relaxed);
+        metrics.short_reads.increment();
       }
       got += static_cast<std::size_t>(n);
       interrupts = 0;  // progress ends the storm
@@ -138,6 +207,7 @@ class PreadBackend final : public FdBackendBase {
   }
 
   repro::Status read_batch(std::span<ReadRequest> requests) override {
+    BatchScope batch("pread", requests);
     for (const auto& request : requests) {
       REPRO_RETURN_IF_ERROR(read_at(request.offset, request.dest));
     }
@@ -172,6 +242,9 @@ class MmapBackend final : public FdBackendBase {
   repro::Status read_at(std::uint64_t offset,
                         std::span<std::uint8_t> dest) override {
     REPRO_RETURN_IF_ERROR(check_bounds(ReadRequest{offset, dest}));
+    IoMetrics& metrics = IoMetrics::get();
+    metrics.read_ops.increment();
+    metrics.read_bytes.add(dest.size());
     if (dest.empty()) return repro::Status::ok();  // memcpy(null,...) is UB
     // Every touched page that is cold triggers a synchronous page fault —
     // exactly the cost Figure 9 attributes to the mmap backend.
@@ -181,6 +254,7 @@ class MmapBackend final : public FdBackendBase {
   }
 
   repro::Status read_batch(std::span<ReadRequest> requests) override {
+    BatchScope batch("mmap", requests);
     for (const auto& request : requests) {
       REPRO_RETURN_IF_ERROR(read_at(request.offset, request.dest));
     }
@@ -210,6 +284,7 @@ class ThreadAsyncBackend final : public FdBackendBase {
   }
 
   repro::Status read_batch(std::span<ReadRequest> requests) override {
+    BatchScope batch("threads", requests);
     for (const auto& request : requests) {
       REPRO_RETURN_IF_ERROR(check_bounds(request));
     }

@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace repro::io {
+namespace {
+
+struct StreamMetrics {
+  telemetry::Counter& slices;
+  telemetry::Counter& bytes;
+  telemetry::Counter& batch_retries;
+
+  static StreamMetrics& get() {
+    auto& registry = telemetry::MetricsRegistry::global();
+    static StreamMetrics* metrics = new StreamMetrics{
+        registry.counter("io.stream.slices"),
+        registry.counter("io.stream.bytes"),
+        registry.counter("io.batch_retry.count"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 PairedChunkStreamer::PairedChunkStreamer(IoBackend& run_a, IoBackend& run_b,
                                          std::uint64_t chunk_bytes,
@@ -20,7 +42,10 @@ PairedChunkStreamer::PairedChunkStreamer(IoBackend& run_a, IoBackend& run_b,
   for (unsigned i = 0; i < depth; ++i) {
     free_slots_.push_back(std::make_unique<ChunkSlice>());
   }
-  producer_ = std::thread([this] { producer_loop(); });
+  producer_ = std::thread([this] {
+    telemetry::Tracer::global().set_thread_name("io-producer");
+    producer_loop();
+  });
 }
 
 PairedChunkStreamer::~PairedChunkStreamer() {
@@ -51,6 +76,7 @@ repro::Status PairedChunkStreamer::read_batch_with_retry(
       return status;
     }
     batch_retries_.fetch_add(1, std::memory_order_relaxed);
+    StreamMetrics::get().batch_retries.increment();
     backoff_sleep(options_.retry, attempts);
     ++attempts;
   }
@@ -85,6 +111,7 @@ void PairedChunkStreamer::producer_loop() {
     auto slot = acquire_free_slot();
     if (slot == nullptr) return;  // stopping
 
+    telemetry::TraceSpan slice_span("stream.slice");
     const ReadPlan plan = plan_chunk_reads(
         std::span<const std::uint64_t>(chunks_.data() + pos, end - pos),
         chunk_bytes_, data_bytes_, options_.plan);
@@ -115,6 +142,14 @@ void PairedChunkStreamer::producer_loop() {
       status = read_batch_with_retry(run_b_, requests);
     }
     bytes_read_.fetch_add(plan.buffer_bytes, std::memory_order_relaxed);
+    StreamMetrics& metrics = StreamMetrics::get();
+    metrics.slices.increment();
+    // Both runs read the planned extents, so the slice moved 2x buffer_bytes.
+    metrics.bytes.add(2 * plan.buffer_bytes);
+    slice_span.arg("chunks", static_cast<std::uint64_t>(end - pos))
+        .arg("payload_bytes", plan.payload_bytes)
+        .arg("waste_bytes", plan.waste_bytes);
+    slice_span.end();
 
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -15,10 +15,44 @@
 
 #include "common/bytes.hpp"
 #include "common/log.hpp"
+#include "common/timer.hpp"
 #include "io/retry.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace repro::io {
 namespace {
+
+/// Global registry handles — same metric names as the other backends, so
+/// the registry aggregates across backend kinds (see io/backend.cpp).
+struct UringMetrics {
+  telemetry::Counter& read_ops;
+  telemetry::Counter& read_bytes;
+  telemetry::Counter& retries;
+  telemetry::Counter& short_reads;
+  telemetry::Counter& interrupts;
+  telemetry::Counter& fallbacks;
+  telemetry::Counter& batches;
+  telemetry::Histogram& batch_bytes;
+  telemetry::Histogram& batch_seconds;
+
+  static UringMetrics& get() {
+    auto& registry = telemetry::MetricsRegistry::global();
+    static UringMetrics* metrics = new UringMetrics{
+        registry.counter("io.read.ops"),
+        registry.counter("io.read.bytes"),
+        registry.counter("io.retry.count"),
+        registry.counter("io.short_read.count"),
+        registry.counter("io.interrupt.count"),
+        registry.counter("io.fallback.count"),
+        registry.counter("io.batch.count"),
+        registry.histogram("io.batch.bytes", telemetry::size_buckets_bytes()),
+        registry.histogram("io.batch.seconds",
+                           telemetry::latency_buckets_seconds()),
+    };
+    return *metrics;
+  }
+};
 
 std::atomic<bool> g_force_setup_failure{false};
 std::atomic<unsigned> g_force_submit_failures{0};
@@ -278,6 +312,24 @@ class UringBackend final : public IoBackend {
   repro::Status read_batch(std::span<ReadRequest> requests) override {
     if (fallback_ != nullptr) return fallback_->read_batch(requests);
 
+    UringMetrics& metrics = UringMetrics::get();
+    std::uint64_t total_bytes = 0;
+    for (const auto& request : requests) total_bytes += request.dest.size();
+    metrics.read_ops.add(requests.size());
+    metrics.read_bytes.add(total_bytes);
+    metrics.batches.increment();
+    metrics.batch_bytes.record(static_cast<double>(total_bytes));
+    Stopwatch batch_watch;
+    telemetry::TraceSpan batch_span("io.batch");
+    batch_span.arg("backend", std::string_view{"io_uring"})
+        .arg("requests", static_cast<std::uint64_t>(requests.size()))
+        .arg("bytes", total_bytes);
+    struct SecondsRecorder {
+      Stopwatch& watch;
+      telemetry::Histogram& hist;
+      ~SecondsRecorder() { hist.record(watch.seconds()); }
+    } seconds_recorder{batch_watch, metrics.batch_seconds};
+
     for (const auto& request : requests) {
       // Overflow-safe bounds check (offset + len can wrap uint64).
       if (request.dest.size() > size_ ||
@@ -343,6 +395,7 @@ class UringBackend final : public IoBackend {
           const int err = -cqe.res;
           if (errno_is_interrupt(err)) {
             counters_.interrupts.fetch_add(1, std::memory_order_relaxed);
+            metrics.interrupts.increment();
             if (++progress[index].interrupts > policy.max_interrupts) {
               return repro::io_error("io_uring read interrupted repeatedly: " +
                                      path_);
@@ -353,6 +406,7 @@ class UringBackend final : public IoBackend {
           if (policy.retry_transient_io && errno_is_transient_io(err) &&
               progress[index].attempts < policy.max_attempts) {
             counters_.retries.fetch_add(1, std::memory_order_relaxed);
+            metrics.retries.increment();
             backoff_sleep(policy, progress[index].attempts);
             ++progress[index].attempts;
             retry.push_back(index);
@@ -366,6 +420,7 @@ class UringBackend final : public IoBackend {
         progress[index].done += static_cast<std::uint64_t>(cqe.res);
         if (progress[index].done < requests[index].dest.size()) {
           counters_.short_reads.fetch_add(1, std::memory_order_relaxed);
+          metrics.short_reads.increment();
           retry.push_back(index);  // short read: continue where it stopped
         } else {
           progress[index].interrupts = 0;
@@ -408,6 +463,7 @@ class UringBackend final : public IoBackend {
     REPRO_LOG_WARN << "io_uring submit failed (" << cause.to_string()
                    << "); degrading to the threads backend for " << path_;
     counters_.fallbacks.fetch_add(1, std::memory_order_relaxed);
+    UringMetrics::get().fallbacks.increment();
     fallback_ = std::move(fallback).value();
     return fallback_->read_batch(requests);
   }

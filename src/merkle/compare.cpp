@@ -2,7 +2,31 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace repro::merkle {
+namespace {
+
+struct CompareMetrics {
+  telemetry::Counter& compares;
+  telemetry::Counter& nodes_visited;
+  telemetry::Counter& subtrees_pruned;
+  telemetry::Counter& levels;
+
+  static CompareMetrics& get() {
+    auto& registry = telemetry::MetricsRegistry::global();
+    static CompareMetrics* metrics = new CompareMetrics{
+        registry.counter("merkle.compare.count"),
+        registry.counter("merkle.compare.nodes_visited"),
+        registry.counter("merkle.compare.subtrees_pruned"),
+        registry.counter("merkle.compare.levels"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 std::uint32_t auto_start_level(const TreeLayout& layout, std::size_t ways) {
   const std::uint64_t want = 4 * std::max<std::uint64_t>(ways, 1);
@@ -47,8 +71,12 @@ repro::Result<std::vector<std::uint64_t>> compare_trees(
     frontier.push_back(node);
   }
 
+  telemetry::TraceSpan descent_span("merkle.compare");
   std::vector<std::uint8_t> mismatch;
   while (!frontier.empty()) {
+    telemetry::TraceSpan level_span("merkle.bfs.level");
+    level_span.arg("level", static_cast<std::uint64_t>(level))
+        .arg("frontier", static_cast<std::uint64_t>(frontier.size()));
     ++local_stats.levels_traversed;
     local_stats.nodes_visited += frontier.size();
 
@@ -66,9 +94,11 @@ repro::Result<std::vector<std::uint64_t>> compare_trees(
         const std::uint64_t leaf = layout.node_leaf(frontier[i]);
         if (leaf < layout.num_leaves) diff_leaves.push_back(leaf);
       }
+      level_span.arg("nodes_pruned", std::uint64_t{0});
       break;
     }
 
+    std::uint64_t pruned_this_level = 0;
     std::vector<std::uint64_t> next;
     for (std::size_t i = 0; i < frontier.size(); ++i) {
       if (mismatch[i] != 0) {
@@ -76,11 +106,21 @@ repro::Result<std::vector<std::uint64_t>> compare_trees(
         next.push_back(TreeLayout::right_child(frontier[i]));
       } else {
         ++local_stats.subtrees_pruned;
+        ++pruned_this_level;
       }
     }
+    level_span.arg("nodes_pruned", pruned_this_level);
     frontier = std::move(next);
     ++level;
   }
+
+  CompareMetrics& metrics = CompareMetrics::get();
+  metrics.compares.increment();
+  metrics.nodes_visited.add(local_stats.nodes_visited);
+  metrics.subtrees_pruned.add(local_stats.subtrees_pruned);
+  metrics.levels.add(local_stats.levels_traversed);
+  descent_span.arg("nodes_visited", local_stats.nodes_visited)
+      .arg("subtrees_pruned", local_stats.subtrees_pruned);
 
   std::sort(diff_leaves.begin(), diff_leaves.end());
   if (stats != nullptr) *stats = local_stats;

@@ -3,7 +3,10 @@
 #include <cstring>
 
 #include "common/fs.hpp"
+#include "common/timer.hpp"
 #include "hash/murmur3.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace repro::merkle {
 
@@ -175,6 +178,23 @@ repro::Result<MerkleTree> TreeBuilder::build(
   tree.data_bytes_ = data.size();
   const std::uint64_t num_chunks =
       data.empty() ? 0 : repro::ceil_div(data.size(), params_.chunk_bytes);
+
+  auto& registry = telemetry::MetricsRegistry::global();
+  static telemetry::Counter& builds = registry.counter("merkle.build.count");
+  static telemetry::Counter& build_bytes =
+      registry.counter("merkle.build.bytes");
+  static telemetry::Counter& build_chunks =
+      registry.counter("merkle.build.chunks");
+  static telemetry::Histogram& build_seconds = registry.histogram(
+      "merkle.build.seconds", telemetry::latency_buckets_seconds());
+  builds.increment();
+  build_bytes.add(data.size());
+  build_chunks.add(num_chunks);
+  repro::Stopwatch build_watch;
+  telemetry::TraceSpan build_span("merkle.build");
+  build_span.arg("bytes", static_cast<std::uint64_t>(data.size()))
+      .arg("chunks", num_chunks);
+
   tree.layout_ = TreeLayout::for_leaves(num_chunks);
   tree.nodes_.assign(tree.layout_.num_nodes(), padding_digest());
 
@@ -202,6 +222,7 @@ repro::Result<MerkleTree> TreeBuilder::build(
     });
   }
 
+  build_seconds.record(build_watch.seconds());
   return tree;
 }
 

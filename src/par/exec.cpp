@@ -5,7 +5,19 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace repro::par {
+namespace {
+
+telemetry::Counter& regions_counter() {
+  static telemetry::Counter& counter =
+      telemetry::MetricsRegistry::global().counter("par.exec.regions");
+  return counter;
+}
+
+}  // namespace
 
 void Exec::run_blocks(
     std::uint64_t begin, std::uint64_t end,
@@ -14,6 +26,10 @@ void Exec::run_blocks(
   // empty range would make num_blocks 0 and count / num_blocks divide by
   // zero (and end - begin underflow for an inverted one).
   if (end <= begin) return;
+  regions_counter().increment();
+  telemetry::TraceSpan region_span("exec.region");
+  region_span.arg("kind", std::string_view{"static"})
+      .arg("count", end - begin);
   const std::uint64_t count = end - begin;
   const std::uint64_t num_blocks =
       std::min<std::uint64_t>(ways_, count);
@@ -35,7 +51,11 @@ void Exec::run_blocks(
   for (std::uint64_t b = 1; b < num_blocks; ++b) {
     auto [lo, hi] = block_range(b);
     pool_->submit([&, lo, hi] {
-      block(lo, hi);
+      {
+        telemetry::TraceSpan span("exec.block");
+        span.arg("begin", lo).arg("end", hi);
+        block(lo, hi);
+      }
       std::lock_guard<std::mutex> lock(mu);
       if (--pending == 0) done_cv.notify_one();
     });
@@ -44,7 +64,11 @@ void Exec::run_blocks(
   // The calling thread executes block 0 — on a 1-core machine this keeps the
   // pool from being pure overhead.
   auto [lo0, hi0] = block_range(0);
-  block(lo0, hi0);
+  {
+    telemetry::TraceSpan span("exec.block");
+    span.arg("begin", lo0).arg("end", hi0);
+    block(lo0, hi0);
+  }
 
   std::unique_lock<std::mutex> lock(mu);
   done_cv.wait(lock, [&] { return pending == 0; });
@@ -54,6 +78,10 @@ void Exec::run_dynamic(
     std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
     const std::function<void(std::uint64_t, std::uint64_t)>& block) const {
   if (end <= begin) return;
+  regions_counter().increment();
+  telemetry::TraceSpan region_span("exec.region");
+  region_span.arg("kind", std::string_view{"dynamic"})
+      .arg("count", end - begin);
   const std::uint64_t count = end - begin;
   if (grain == 0) {
     // Default: 8 claims per worker — fine enough to absorb 8x cost skew
@@ -84,12 +112,18 @@ void Exec::run_dynamic(
   std::size_t pending = static_cast<std::size_t>(helpers);
   for (std::uint64_t w = 0; w < helpers; ++w) {
     pool_->submit([&] {
-      drain(next);
+      {
+        telemetry::TraceSpan span("exec.block");
+        drain(next);
+      }
       std::lock_guard<std::mutex> lock(mu);
       if (--pending == 0) done_cv.notify_one();
     });
   }
-  drain(next);
+  {
+    telemetry::TraceSpan span("exec.block");
+    drain(next);
+  }
   std::unique_lock<std::mutex> lock(mu);
   done_cv.wait(lock, [&] { return pending == 0; });
 }

@@ -1,6 +1,9 @@
 #include "par/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "telemetry/trace.hpp"
 
 namespace repro::par {
 
@@ -8,7 +11,11 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   num_threads = std::max<std::size_t>(num_threads, 1);
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      telemetry::Tracer::global().set_thread_name("pool-" +
+                                                  std::to_string(i));
+      worker_loop();
+    });
   }
 }
 
@@ -46,7 +53,10 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    {
+      telemetry::TraceSpan span("pool.task");
+      task();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

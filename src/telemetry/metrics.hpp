@@ -1,0 +1,229 @@
+// Lock-cheap metrics registry: named counters, gauges, and fixed-bucket
+// histograms.
+//
+// Hot paths (chunk hashing, io_uring completion handling, stage-2 element
+// compare) must be able to publish counts without taking a lock or bouncing
+// one cache line between cores. Every metric therefore spreads its state
+// over a small number of cache-line-padded shards; a thread picks its shard
+// once (thread-local assignment) and updates it with a relaxed atomic RMW.
+// Snapshots merge the shards — they pay the cross-core traffic exactly once,
+// when someone actually reads the metrics.
+//
+// Registration (MetricsRegistry::counter(...) etc.) takes a mutex and is
+// expected to happen once per site via a function-local static reference:
+//
+//   static telemetry::Counter& bytes =
+//       telemetry::MetricsRegistry::global().counter("io.read.bytes");
+//   bytes.add(request.size());
+//
+// Metric objects live for the process lifetime: references handed out stay
+// valid across snapshot() and reset() (reset zeroes in place).
+//
+// Naming convention: lowercase dotted paths, coarse-to-fine —
+// "<subsystem>.<object>.<unit-or-action>" (docs/OBSERVABILITY.md has the
+// full catalog).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::telemetry {
+
+/// Shards per metric. More than the typical pool size would waste cache;
+/// fewer threads than shards means zero sharing, more threads degrade
+/// gracefully to shared cells.
+inline constexpr std::size_t kMetricShards = 16;
+
+namespace detail {
+
+/// Stable per-thread shard slot: assigned round-robin on first use.
+std::size_t shard_index() noexcept;
+
+struct alignas(64) CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Relaxed add for atomic<double> without relying on C++20 floating-point
+/// fetch_add support (CAS loop; these sites are warm, not hot).
+inline void atomic_add(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_min(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_max(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+/// Monotonic counter. add() is a single relaxed fetch_add on a per-thread
+/// shard — safe and cheap from any thread, including I/O teams and the pool.
+class Counter {
+ public:
+  void add(std::uint64_t delta) noexcept {
+    cells_[detail::shard_index()].value.fetch_add(delta,
+                                                  std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+
+  /// Merged total over all shards (relaxed; exact once writers quiesce).
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() noexcept {
+    for (auto& cell : cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  detail::CounterCell cells_[kMetricShards];
+};
+
+/// Last-writer-wins double value (queue depths, configured sizes, ratios).
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0};
+};
+
+/// Snapshot of one histogram: cumulative-style fixed buckets plus summary
+/// statistics. buckets[i] counts samples <= bounds[i]; the final entry of
+/// `counts` (one longer than `bounds`) is the overflow bucket.
+struct HistogramData {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;  ///< meaningless when count == 0
+  double max = 0;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Fixed-bucket histogram (latencies, batch sizes). record() is two relaxed
+/// RMWs on the thread's shard plus a short CAS for the running sum.
+class Histogram {
+ public:
+  void record(double value) noexcept {
+    Shard& shard = shards_[detail::shard_index()];
+    shard.counts[bucket_for(value)].fetch_add(1, std::memory_order_relaxed);
+    detail::atomic_add(shard.sum, value);
+    detail::atomic_min(shard.min, value);
+    detail::atomic_max(shard.max, value);
+  }
+
+  [[nodiscard]] HistogramData snapshot() const;
+  [[nodiscard]] std::span<const double> bounds() const noexcept {
+    return bounds_;
+  }
+  void reset() noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::span<const double> bounds);
+
+  [[nodiscard]] std::size_t bucket_for(double value) const noexcept {
+    std::size_t bucket = 0;
+    while (bucket < bounds_.size() && value > bounds_[bucket]) ++bucket;
+    return bucket;
+  }
+
+  struct alignas(64) Shard {
+    std::vector<std::atomic<std::uint64_t>> counts;
+    std::atomic<double> sum{0};
+    std::atomic<double> min{0};
+    std::atomic<double> max{0};
+  };
+
+  std::vector<double> bounds_;  ///< sorted ascending upper bounds
+  std::vector<Shard> shards_;
+};
+
+/// Exponential latency buckets in seconds: 1us .. 10s.
+std::span<const double> latency_buckets_seconds() noexcept;
+/// Exponential size buckets in bytes: 4 KiB .. 1 GiB.
+std::span<const double> size_buckets_bytes() noexcept;
+
+/// Point-in-time merge of every registered metric, ready for JSON emission.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Process-wide registry (leaky singleton: safe from static destructors
+  /// and exiting threads). Tests may construct private registries.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named metric. The returned reference is valid for
+  /// the registry's lifetime. A histogram re-registered with different
+  /// bounds keeps its original bounds.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::span<const double> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric in place; outstanding references stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace repro::telemetry

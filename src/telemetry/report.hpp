@@ -1,0 +1,59 @@
+// Structured run reports: one JSON document per tool invocation merging a
+// metrics snapshot, TimerSet phase timings, and tool-specific verdict /
+// key-value context. The CLI wires this to `--metrics-out=PATH`; the bench
+// harness (bench_json.hpp) embeds the same metrics snapshot next to the
+// google-benchmark results so a run's counters travel with its numbers.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/timer.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace repro::telemetry {
+
+/// Builder for one run's JSON report. Sections are optional; an empty
+/// report still serializes as a valid document. Insertion order of info /
+/// value entries is preserved so reports diff cleanly run-to-run.
+class RunReport {
+ public:
+  explicit RunReport(std::string tool) : tool_(std::move(tool)) {}
+
+  void set_verdict(std::string verdict) { verdict_ = std::move(verdict); }
+
+  /// Free-form string context ("file_a": "...", "mode": "tree").
+  void add_info(std::string_view key, std::string_view value);
+
+  /// Numeric results ("chunks_flagged": 12, "total_seconds": 0.42).
+  void add_value(std::string_view key, double value);
+
+  /// Phase timings, emitted in the TimerSet's insertion order.
+  void add_timers(const TimerSet& timers) { timers_.merge(timers); }
+
+  void set_metrics(MetricsSnapshot snapshot) {
+    metrics_ = std::move(snapshot);
+    have_metrics_ = true;
+  }
+
+  [[nodiscard]] std::string to_json() const;
+
+  /// Serializes to `path` with the atomic-publish protocol.
+  [[nodiscard]] repro::Status write_json(
+      const std::filesystem::path& path) const;
+
+ private:
+  std::string tool_;
+  std::string verdict_;
+  std::vector<std::pair<std::string, std::string>> info_;
+  std::vector<std::pair<std::string, double>> values_;
+  TimerSet timers_;
+  MetricsSnapshot metrics_;
+  bool have_metrics_ = false;
+};
+
+}  // namespace repro::telemetry

@@ -1,0 +1,377 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/fs.hpp"
+#include "telemetry/json.hpp"
+
+namespace repro::telemetry {
+
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{false};
+
+std::uint64_t trace_now_ns() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           epoch)
+          .count());
+}
+
+namespace {
+
+/// One buffered span. Fixed-size payloads keep the ring allocation-free.
+struct TraceEvent {
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint8_t name_len = 0;
+  std::uint8_t args_len = 0;
+  char name[48];
+  char args[168];
+};
+
+std::size_t ring_capacity() noexcept {
+  static const std::size_t capacity = [] {
+    const char* env = std::getenv("REPRO_TRACE_BUFFER_EVENTS");
+    if (env != nullptr) {
+      const long parsed = std::atol(env);
+      if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    return std::size_t{16384};
+  }();
+  return capacity;
+}
+
+}  // namespace
+
+/// Per-thread span ring. The owning thread pushes under `mu` (uncontended
+/// in steady state); flush/clear lock the same mutex from the reader side.
+/// The ring storage is allocated lazily on the first span so threads that
+/// never trace (or runs with tracing off) pay only this struct.
+struct TraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> ring;
+  std::uint64_t recorded = 0;  ///< total spans pushed (monotonic)
+  std::uint64_t tid = 0;       ///< registration order, stable for the run
+  std::string name;            ///< optional thread name
+
+  void push(std::string_view span_name, std::uint64_t begin_ns,
+            std::uint64_t end_ns, std::string_view args_json) {
+    if (ring.empty()) ring.resize(ring_capacity());
+    TraceEvent& event = ring[recorded % ring.size()];
+    event.begin_ns = begin_ns;
+    event.end_ns = end_ns;
+    event.name_len = static_cast<std::uint8_t>(
+        std::min(span_name.size(), sizeof(event.name)));
+    std::memcpy(event.name, span_name.data(), event.name_len);
+    event.args_len = static_cast<std::uint8_t>(
+        std::min(args_json.size(), sizeof(event.args)));
+    std::memcpy(event.args, args_json.data(), event.args_len);
+    ++recorded;
+  }
+};
+
+namespace {
+
+thread_local TraceBuffer* t_buffer = nullptr;
+
+}  // namespace
+
+}  // namespace detail
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+detail::TraceBuffer& Tracer::thread_buffer() {
+  if (detail::t_buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto buffer = std::make_unique<detail::TraceBuffer>();
+    buffer->tid = buffers_.size();
+    detail::t_buffer = buffer.get();
+    buffers_.push_back(std::move(buffer));
+  }
+  return *detail::t_buffer;
+}
+
+void Tracer::set_thread_name(std::string_view name) {
+  detail::TraceBuffer& buffer = thread_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.name.assign(name);
+}
+
+void Tracer::record(std::string_view name, std::uint64_t begin_ns,
+                    std::uint64_t end_ns, std::string_view args_json) {
+  detail::TraceBuffer& buffer = thread_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.push(name, begin_ns, end_ns, args_json);
+}
+
+std::uint64_t Tracer::span_count() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += std::min<std::uint64_t>(buffer->recorded, buffer->ring.size());
+  }
+  return total;
+}
+
+std::uint64_t Tracer::dropped_spans() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    if (buffer->recorded > buffer->ring.size()) {
+      dropped += buffer->recorded - buffer->ring.size();
+    }
+  }
+  return dropped;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->recorded = 0;
+    buffer->ring.clear();
+    buffer->ring.shrink_to_fit();
+  }
+}
+
+namespace {
+
+struct ThreadSpans {
+  std::uint64_t tid = 0;
+  std::string name;
+  std::vector<detail::TraceEvent> spans;  ///< oldest -> newest
+};
+
+void append_ts_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1000.0);
+  out += buf;
+}
+
+/// Emits one thread's spans as properly nested "B"/"E" pairs. Spans are
+/// recorded at end time, so re-derive nesting: sort by (begin asc, end
+/// desc) — outermost first — then sweep with a stack, closing every span
+/// that ends before the next one begins. RAII guarantees spans on one
+/// thread are nested or disjoint; the `last_ts` clamp keeps the emitted
+/// stream monotonic even for pathological timestamps.
+void emit_thread_events(std::string& out, const ThreadSpans& thread,
+                        bool* first_event) {
+  struct SpanRef {
+    const detail::TraceEvent* event;
+    std::size_t order;
+  };
+  std::vector<SpanRef> spans;
+  spans.reserve(thread.spans.size());
+  for (std::size_t i = 0; i < thread.spans.size(); ++i) {
+    spans.push_back({&thread.spans[i], i});
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRef& a, const SpanRef& b) {
+              if (a.event->begin_ns != b.event->begin_ns) {
+                return a.event->begin_ns < b.event->begin_ns;
+              }
+              if (a.event->end_ns != b.event->end_ns) {
+                return a.event->end_ns > b.event->end_ns;
+              }
+              return a.order < b.order;
+            });
+
+  std::uint64_t last_ts = 0;
+  auto emit = [&](const detail::TraceEvent& event, bool is_begin) {
+    const std::uint64_t raw = is_begin ? event.begin_ns : event.end_ns;
+    last_ts = std::max(last_ts, raw);
+    out += *first_event ? "\n    " : ",\n    ";
+    *first_event = false;
+    out += "{\"name\": ";
+    json_append_string(out,
+                       std::string_view{event.name, event.name_len});
+    out += ", \"cat\": \"repro\", \"ph\": \"";
+    out += is_begin ? 'B' : 'E';
+    out += "\", \"ts\": ";
+    append_ts_us(out, last_ts);
+    out += ", \"pid\": 1, \"tid\": ";
+    json_append_number(out, thread.tid);
+    if (is_begin && event.args_len > 0) {
+      out += ", \"args\": {";
+      out.append(event.args, event.args_len);
+      out += '}';
+    }
+    out += '}';
+  };
+
+  std::vector<const detail::TraceEvent*> stack;
+  for (const SpanRef& ref : spans) {
+    while (!stack.empty() && stack.back()->end_ns <= ref.event->begin_ns) {
+      emit(*stack.back(), false);
+      stack.pop_back();
+    }
+    emit(*ref.event, true);
+    stack.push_back(ref.event);
+  }
+  while (!stack.empty()) {
+    emit(*stack.back(), false);
+    stack.pop_back();
+  }
+}
+
+}  // namespace
+
+std::string Tracer::chrome_trace_json() {
+  std::vector<ThreadSpans> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.reserve(buffers_.size());
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      ThreadSpans thread;
+      thread.tid = buffer->tid;
+      thread.name = buffer->name;
+      const std::size_t capacity = buffer->ring.size();
+      const std::size_t kept =
+          static_cast<std::size_t>(std::min<std::uint64_t>(
+              buffer->recorded, static_cast<std::uint64_t>(capacity)));
+      thread.spans.reserve(kept);
+      const std::uint64_t start = buffer->recorded - kept;
+      for (std::uint64_t i = start; i < buffer->recorded; ++i) {
+        thread.spans.push_back(buffer->ring[i % capacity]);
+      }
+      threads.push_back(std::move(thread));
+    }
+  }
+
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": "
+         "{\"droppedSpans\": ";
+  json_append_number(out, dropped_spans());
+  out += "},\n  \"traceEvents\": [";
+  bool first = true;
+
+  // Metadata: process name + per-thread names.
+  out += "\n    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"args\": {\"name\": \"reprokit\"}}";
+  first = false;
+  for (const ThreadSpans& thread : threads) {
+    out += ",\n    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": ";
+    json_append_number(out, thread.tid);
+    out += ", \"args\": {\"name\": ";
+    if (thread.name.empty()) {
+      json_append_string(out, "thread-" + std::to_string(thread.tid));
+    } else {
+      json_append_string(out, thread.name);
+    }
+    out += "}}";
+  }
+
+  for (const ThreadSpans& thread : threads) {
+    emit_thread_events(out, thread, &first);
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+repro::Status Tracer::write_chrome_trace(const std::filesystem::path& path) {
+  const std::string json = chrome_trace_json();
+  return repro::write_file(
+             path, std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(json.data()),
+                       json.size()))
+      .with_context("writing chrome trace");
+}
+
+bool TraceSpan::append_key(std::string_view key,
+                           std::size_t payload_reserve) noexcept {
+  const std::size_t need = 1 + key.size() + 3 + payload_reserve;
+  if (static_cast<std::size_t>(args_len_) + need > sizeof(args_)) {
+    return false;
+  }
+  std::size_t len = args_len_;
+  if (len > 0) args_[len++] = ',';
+  args_[len++] = '"';
+  std::memcpy(args_ + len, key.data(), key.size());
+  len += key.size();
+  args_[len++] = '"';
+  args_[len++] = ':';
+  args_len_ = static_cast<std::uint8_t>(len);
+  return true;
+}
+
+void TraceSpan::append_raw(std::string_view text) noexcept {
+  const std::size_t room = sizeof(args_) - args_len_;
+  const std::size_t take = std::min(text.size(), room);
+  std::memcpy(args_ + args_len_, text.data(), take);
+  args_len_ = static_cast<std::uint8_t>(args_len_ + take);
+}
+
+TraceSpan& TraceSpan::arg(std::string_view key, std::uint64_t value) noexcept {
+  if (!active_) return *this;
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof buf, "%llu",
+                              static_cast<unsigned long long>(value));
+  if (n > 0 && append_key(key, static_cast<std::size_t>(n))) {
+    append_raw({buf, static_cast<std::size_t>(n)});
+  }
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg(std::string_view key, std::int64_t value) noexcept {
+  if (!active_) return *this;
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof buf, "%lld",
+                              static_cast<long long>(value));
+  if (n > 0 && append_key(key, static_cast<std::size_t>(n))) {
+    append_raw({buf, static_cast<std::size_t>(n)});
+  }
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg(std::string_view key, double value) noexcept {
+  if (!active_) return *this;
+  char buf[40];
+  int n;
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    n = std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(value));
+  } else {
+    n = std::snprintf(buf, sizeof buf, "%.6g", value);
+  }
+  if (n > 0 && append_key(key, static_cast<std::size_t>(n))) {
+    append_raw({buf, static_cast<std::size_t>(n)});
+  }
+  return *this;
+}
+
+TraceSpan& TraceSpan::arg(std::string_view key,
+                          std::string_view value) noexcept {
+  if (!active_) return *this;
+  // Escape into a bounded scratch buffer; oversized values truncate.
+  char buf[96];
+  std::size_t len = 0;
+  buf[len++] = '"';
+  for (const char c : value) {
+    if (len + 3 >= sizeof(buf)) break;
+    if (c == '"' || c == '\\') buf[len++] = '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      buf[len++] = ' ';
+    } else {
+      buf[len++] = c;
+    }
+  }
+  buf[len++] = '"';
+  if (append_key(key, len)) append_raw({buf, len});
+  return *this;
+}
+
+}  // namespace repro::telemetry

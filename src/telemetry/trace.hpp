@@ -1,0 +1,130 @@
+// RAII span tracing with Chrome trace-event export.
+//
+// TraceSpan objects mark begin/end of a region of interest (a capture, a
+// Merkle build, one BFS level, one I/O batch) together with the recording
+// thread and small key=value args. Spans land in per-thread ring buffers;
+// nothing is shared on the hot path beyond one uncontended per-thread mutex
+// acquisition per completed span. When tracing is disabled (the default) a
+// span costs a single relaxed atomic load — cheap enough to leave the
+// instrumentation compiled in everywhere.
+//
+// Tracer::write_chrome_trace() flushes every thread's buffer as Chrome
+// trace-event JSON ("B"/"E" duration events), loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. The CLI wires this to
+// `--trace-out=PATH`; see docs/OBSERVABILITY.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace repro::telemetry {
+
+namespace detail {
+
+struct TraceBuffer;
+
+extern std::atomic<bool> g_trace_enabled;
+
+/// Nanoseconds on the steady clock since the process's trace epoch (first
+/// call). All spans share this epoch, so cross-thread ordering is honest.
+std::uint64_t trace_now_ns() noexcept;
+
+}  // namespace detail
+
+class Tracer {
+ public:
+  /// Process-wide tracer (leaky singleton, safe from exiting threads).
+  static Tracer& global();
+
+  void set_enabled(bool on) noexcept {
+    detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static bool enabled() noexcept {
+    return detail::g_trace_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Names the calling thread in trace output ("pool-3", "io-producer").
+  /// Cheap: does not allocate the thread's ring until its first span.
+  void set_thread_name(std::string_view name);
+
+  /// Spans currently buffered / overwritten because a ring filled up.
+  [[nodiscard]] std::uint64_t span_count();
+  [[nodiscard]] std::uint64_t dropped_spans();
+
+  /// Drops all buffered spans (ring memory is released).
+  void clear();
+
+  /// Chrome trace-event JSON document for everything buffered so far.
+  [[nodiscard]] std::string chrome_trace_json();
+
+  /// Writes chrome_trace_json() to `path` (atomic publish).
+  repro::Status write_chrome_trace(const std::filesystem::path& path);
+
+  /// Called by ~TraceSpan; not for direct use.
+  void record(std::string_view name, std::uint64_t begin_ns,
+              std::uint64_t end_ns, std::string_view args_json);
+
+ private:
+  Tracer() = default;
+  detail::TraceBuffer& thread_buffer();
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<detail::TraceBuffer>> buffers_;
+};
+
+/// RAII span: records [construction, destruction) of the enclosing scope
+/// under `name`. Args attach extra numbers/strings visible in Perfetto's
+/// span details. All methods are no-ops while tracing is disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name) noexcept {
+    if (!Tracer::enabled()) return;
+    active_ = true;
+    name_len_ = static_cast<std::uint8_t>(
+        std::min(name.size(), sizeof(name_)));
+    std::memcpy(name_, name.data(), name_len_);
+    begin_ns_ = detail::trace_now_ns();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { end(); }
+
+  TraceSpan& arg(std::string_view key, std::uint64_t value) noexcept;
+  TraceSpan& arg(std::string_view key, std::int64_t value) noexcept;
+  TraceSpan& arg(std::string_view key, double value) noexcept;
+  TraceSpan& arg(std::string_view key, std::string_view value) noexcept;
+
+  /// Ends the span now; the destructor becomes a no-op.
+  void end() noexcept {
+    if (!active_) return;
+    active_ = false;
+    Tracer::global().record(std::string_view{name_, name_len_}, begin_ns_,
+                            detail::trace_now_ns(),
+                            std::string_view{args_, args_len_});
+  }
+
+ private:
+  /// Appends `,"key":<payload>` if it fits; drops the arg otherwise.
+  bool append_key(std::string_view key, std::size_t payload_reserve) noexcept;
+  void append_raw(std::string_view text) noexcept;
+
+  bool active_ = false;
+  std::uint8_t name_len_ = 0;
+  std::uint8_t args_len_ = 0;
+  std::uint64_t begin_ns_ = 0;
+  char name_[48];
+  char args_[168];
+};
+
+}  // namespace repro::telemetry

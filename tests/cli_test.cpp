@@ -229,6 +229,79 @@ TEST_F(CliTest, DeltaAppendReconstructRoundTrip) {
                 4096);
 }
 
+TEST_F(CliTest, TelemetryOutputsProduceTraceAndMetrics) {
+  // Divergent runs so the comparison descends into stage 2 and the io.*
+  // counters see real batch traffic.
+  simulate("run-1", "--noise-seed 11 --jitter 1e-4");
+  simulate("run-2", "--noise-seed 22 --jitter 1e-4");
+  const std::string trace_path = pfs() + "/trace.json";
+  const std::string metrics_path = pfs() + "/metrics.json";
+  const CommandResult result = run_cli(
+      "compare " + pfs() + "/run-1/iter10/rank0.ckpt " + pfs() +
+      "/run-2/iter10/rank0.ckpt --eps 1e-06 --trace-out " + trace_path +
+      " --metrics-out " + metrics_path);
+  EXPECT_EQ(result.exit_code, 3) << result.output;
+  EXPECT_NE(result.output.find("trace written to"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("metrics written to"), std::string::npos)
+      << result.output;
+  ASSERT_TRUE(std::filesystem::exists(trace_path));
+  ASSERT_TRUE(std::filesystem::exists(metrics_path));
+
+  // Trace: Chrome trace-event shape with pipeline span names present.
+  const auto trace_bytes = repro::read_file(trace_path);
+  ASSERT_TRUE(trace_bytes.is_ok()) << trace_bytes.status().message();
+  const std::string trace(
+      reinterpret_cast<const char*>(trace_bytes.value().data()),
+      trace_bytes.value().size());
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  for (const char* span :
+       {"compare.pair", "merkle.compare", "merkle.bfs.level", "io.batch"}) {
+    EXPECT_NE(trace.find(std::string{"\""} + span + "\""), std::string::npos)
+        << "missing span " << span;
+  }
+
+  // Metrics report: verdict + nonzero io.*, merkle.*, compare.* counters.
+  const auto metrics_bytes = repro::read_file(metrics_path);
+  ASSERT_TRUE(metrics_bytes.is_ok()) << metrics_bytes.status().message();
+  const std::string metrics(
+      reinterpret_cast<const char*>(metrics_bytes.value().data()),
+      metrics_bytes.value().size());
+  EXPECT_NE(metrics.find("\"tool\": \"compare\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"verdict\": \"diverged\""), std::string::npos)
+      << metrics;
+  // A named counter is present AND nonzero.
+  const auto counter_positive = [&metrics](const std::string& name) {
+    const std::string needle = "\"" + name + "\": ";
+    const auto at = metrics.find(needle);
+    ASSERT_NE(at, std::string::npos) << "missing metric " << name;
+    const char digit = metrics[at + needle.size()];
+    ASSERT_TRUE(digit >= '1' && digit <= '9')
+        << name << " is zero or malformed";
+  };
+  counter_positive("io.read.ops");
+  counter_positive("io.read.bytes");
+  counter_positive("merkle.compare.count");
+  counter_positive("merkle.compare.nodes_visited");
+  counter_positive("compare.pairs");
+  counter_positive("compare.chunks.total");
+  EXPECT_NE(metrics.find("\"timers\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"exit_code\": 3"), std::string::npos) << metrics;
+}
+
+TEST_F(CliTest, CleanIoPrintsMetricsPointerNotRecoveryLine) {
+  simulate("run-1");
+  const CommandResult result = run_cli(
+      "compare " + pfs() + "/run-1/iter10/rank0.ckpt " + pfs() +
+      "/run-1/iter10/rank0.ckpt --eps 1e-06");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_EQ(result.output.find("io recovery"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("--metrics-out"), std::string::npos)
+      << result.output;
+}
+
 TEST_F(CliTest, BadFlagValueFailsCleanly) {
   EXPECT_EQ(run_cli("simulate --out " + pfs() +
                     " --run r --particles banana")

@@ -2,18 +2,28 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace repro {
 namespace {
 
-/// Restores the global log level after each test.
+/// Restores the global log level, format, and sink after each test.
 class LogTest : public ::testing::Test {
  protected:
-  void SetUp() override { previous_ = log_level(); }
-  void TearDown() override { set_log_level(previous_); }
+  void SetUp() override {
+    previous_ = log_level();
+    previous_format_ = log_format();
+  }
+  void TearDown() override {
+    set_log_level(previous_);
+    set_log_format(previous_format_);
+    set_log_sink(nullptr);
+  }
   LogLevel previous_ = LogLevel::kWarn;
+  LogFormat previous_format_ = LogFormat::kText;
 };
 
 TEST_F(LogTest, LevelRoundTrips) {
@@ -61,6 +71,88 @@ TEST_F(LogTest, EmitDoesNotCrashOnAllLevels) {
   REPRO_LOG_WARN << "warn " << std::string("three");
   REPRO_LOG_ERROR << "error " << 'c';
   SUCCEED();
+}
+
+TEST_F(LogTest, TextLineHasTimestampLevelAndThreadId) {
+  set_log_format(LogFormat::kText);
+  const std::string line =
+      detail::format_log_line(LogLevel::kInfo, "hello world");
+  // [2026-08-06T12:34:56.789Z repro INFO  tid=3] hello world
+  const std::regex shape(
+      R"(^\[\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z repro INFO  tid=\d+\] hello world$)");
+  EXPECT_TRUE(std::regex_match(line, shape)) << line;
+}
+
+TEST_F(LogTest, JsonLineIsStructured) {
+  set_log_format(LogFormat::kJson);
+  const std::string line =
+      detail::format_log_line(LogLevel::kWarn, "quote \" backslash \\ done");
+  const std::regex shape(
+      R"(^\{"ts":"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z","level":"warn","tid":\d+,)"
+      R"("message":"quote \\" backslash \\\\ done"\}$)");
+  EXPECT_TRUE(std::regex_match(line, shape)) << line;
+}
+
+TEST_F(LogTest, JsonEscapesControlCharacters) {
+  set_log_format(LogFormat::kJson);
+  const std::string line =
+      detail::format_log_line(LogLevel::kError, "a\nb\tc");
+  EXPECT_NE(line.find("a\\nb\\tc"), std::string::npos) << line;
+  // No raw control bytes may survive into the JSON document.
+  for (const char c : line) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST_F(LogTest, ThreadIdsAreStablePerThreadAndDistinct) {
+  const unsigned mine = detail::log_thread_id();
+  EXPECT_EQ(detail::log_thread_id(), mine);  // stable within a thread
+  EXPECT_GE(mine, 1u);                       // ids are 1-based
+  unsigned other = 0;
+  std::thread worker([&other] { other = detail::log_thread_id(); });
+  worker.join();
+  EXPECT_NE(other, mine);
+}
+
+TEST_F(LogTest, SinkCapturesFormattedLines) {
+  set_log_level(LogLevel::kInfo);
+  set_log_format(LogFormat::kText);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&captured](LogLevel level, std::string_view line) {
+    captured.emplace_back(level, std::string{line});
+  });
+  REPRO_LOG_INFO << "first " << 1;
+  REPRO_LOG_DEBUG << "suppressed";  // below threshold: sink must not fire
+  REPRO_LOG_ERROR << "second";
+  set_log_sink(nullptr);
+  REPRO_LOG_ERROR << "after restore";  // back on stderr, not captured
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kInfo);
+  EXPECT_NE(captured[0].second.find("first 1"), std::string::npos);
+  EXPECT_EQ(captured[0].second.find('\n'), std::string::npos);
+  EXPECT_EQ(captured[1].first, LogLevel::kError);
+  EXPECT_NE(captured[1].second.find("second"), std::string::npos);
+}
+
+TEST_F(LogTest, SinkSeesActiveFormat) {
+  set_log_level(LogLevel::kError);
+  set_log_format(LogFormat::kJson);
+  std::string captured;
+  set_log_sink([&captured](LogLevel, std::string_view line) {
+    captured = std::string{line};
+  });
+  REPRO_LOG_ERROR << "json payload";
+  ASSERT_FALSE(captured.empty());
+  EXPECT_EQ(captured.front(), '{');
+  EXPECT_NE(captured.find("\"message\":\"json payload\""), std::string::npos);
+}
+
+TEST_F(LogTest, FormatRoundTrips) {
+  set_log_format(LogFormat::kJson);
+  EXPECT_EQ(log_format(), LogFormat::kJson);
+  set_log_format(LogFormat::kText);
+  EXPECT_EQ(log_format(), LogFormat::kText);
 }
 
 TEST_F(LogTest, ConcurrentLoggingIsSafe) {

@@ -43,6 +43,37 @@ TEST(TimerSet, MergeSumsPhases) {
   EXPECT_DOUBLE_EQ(a.seconds("z"), 4.0);
 }
 
+TEST(TimerSet, MergeAppendsNewPhasesInOtherOrder) {
+  // Regression: phases only present in `other` must be appended to this
+  // set's order in the same relative order they held in `other`, not
+  // alphabetically and not interleaved.
+  TimerSet a;
+  a.add("setup", 1.0);
+  TimerSet b;
+  b.add("zeta", 1.0);
+  b.add("alpha", 2.0);
+  b.add("setup", 3.0);
+  b.add("mid", 4.0);
+  a.merge(b);
+  ASSERT_EQ(a.names().size(), 4U);
+  EXPECT_EQ(a.names()[0], "setup");
+  EXPECT_EQ(a.names()[1], "zeta");
+  EXPECT_EQ(a.names()[2], "alpha");
+  EXPECT_EQ(a.names()[3], "mid");
+  EXPECT_DOUBLE_EQ(a.seconds("setup"), 4.0);
+}
+
+TEST(TimerSet, SelfMergeIsNoOp) {
+  TimerSet timers;
+  timers.add("x", 1.0);
+  timers.add("y", 2.0);
+  timers.merge(timers);
+  ASSERT_EQ(timers.names().size(), 2U);
+  EXPECT_DOUBLE_EQ(timers.seconds("x"), 1.0);
+  EXPECT_DOUBLE_EQ(timers.seconds("y"), 2.0);
+  EXPECT_DOUBLE_EQ(timers.total_seconds(), 3.0);
+}
+
 TEST(TimerSet, ClearEmpties) {
   TimerSet timers;
   timers.add("x", 1.0);
