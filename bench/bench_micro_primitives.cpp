@@ -24,6 +24,7 @@
 #include "bench/bench_common.hpp"
 #include "bench/bench_json.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/resource_sampler.hpp"
 #include "telemetry/trace.hpp"
 #include "compare/elementwise.hpp"
 #include "hash/chunk_hasher.hpp"
@@ -301,10 +302,73 @@ int telemetry_overhead_check() {
   return 1;
 }
 
+// Guards the live resource-counter design (src/telemetry/resource_sampler):
+// a ResourceSampler ticking at its default period must cost < 2% on the hot
+// compare-path kernel, because `repro-cli --trace-out` keeps one running for
+// the whole comparison. Same noise taming as telemetry_overhead_check:
+// calibrated batches, best-of-N minima, bounded re-measurement.
+int resource_sampler_overhead_check() {
+  telemetry::Tracer::global().set_enabled(false);
+
+  std::vector<double> values(4096);
+  Xoshiro256 rng(11);
+  for (auto& v : values) v = (rng.next_double() * 2 - 1) * 100.0;
+  std::vector<std::int64_t> out(values.size());
+  auto work = [&] {
+    hash::quantize_block_f64(values.data(), values.size(), 1e-6, out.data());
+    benchmark::DoNotOptimize(out.data());
+  };
+
+  std::uint64_t batch = 64;
+  for (;;) {
+    Stopwatch watch;
+    for (std::uint64_t i = 0; i < batch; ++i) work();
+    const double seconds = watch.seconds();
+    if (seconds >= 2e-3 || batch >= (1ULL << 22)) break;
+    batch *= 2;
+  }
+
+  auto best_of = [&](auto&& body) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 7; ++rep) {
+      Stopwatch watch;
+      body();
+      best = std::min(best, watch.seconds());
+    }
+    return best;
+  };
+
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    const double base = best_of([&] {
+      for (std::uint64_t i = 0; i < batch; ++i) work();
+    });
+    double sampled = 0;
+    {
+      telemetry::ResourceSampler sampler;
+      sampler.start();  // default period, as repro-cli --trace-out runs it
+      sampled = best_of([&] {
+        for (std::uint64_t i = 0; i < batch; ++i) work();
+      });
+      sampler.stop();
+    }
+    const double overhead = sampled / base - 1.0;
+    std::fprintf(stderr,
+                 "resource sampler overhead (default period): %.2f%% "
+                 "(base %.3fms, sampled %.3fms, batch %llu)\n",
+                 100.0 * overhead, base * 1e3, sampled * 1e3,
+                 static_cast<unsigned long long>(batch));
+    if (overhead < 0.02) return 0;
+  }
+  std::fprintf(stderr,
+               "resource sampler smoke FAILED: sampling overhead >= 2%%\n");
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (kernel_smoke_check() != 0) return 1;
   if (telemetry_overhead_check() != 0) return 1;
+  if (resource_sampler_overhead_check() != 0) return 1;
   return repro::bench::run_benchmarks_with_json(argc, argv);
 }

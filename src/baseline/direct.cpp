@@ -1,5 +1,6 @@
 #include "baseline/direct.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "ckpt/format.hpp"
@@ -118,6 +119,13 @@ repro::Result<cmp::CompareReport> direct_compare(
     report.bytes_read_per_file = streamer.bytes_read_per_file();
 
     if (options.collect_diffs) {
+      // Same deterministic-sample contract as cmp::Comparator: the
+      // max_diffs smallest value indices, ascending, regardless of the
+      // dynamic schedule (compare_region already pruned to the smallest).
+      std::sort(raw_diffs.begin(), raw_diffs.end(),
+                [](const cmp::ElementDiff& a, const cmp::ElementDiff& b) {
+                  return a.value_index < b.value_index;
+                });
       for (const auto& raw : raw_diffs) {
         cmp::DiffRecord record;
         record.value_index = raw.value_index;

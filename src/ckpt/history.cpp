@@ -122,4 +122,35 @@ repro::Result<std::vector<CheckpointPair>> HistoryCatalog::pair_runs(
   return pairs;
 }
 
+repro::Result<PairingReport> HistoryCatalog::pair_runs_lenient(
+    const std::string& run_a, const std::string& run_b) const {
+  REPRO_ASSIGN_OR_RETURN(const std::vector<CheckpointRef> list_a,
+                         checkpoints(run_a));
+  REPRO_ASSIGN_OR_RETURN(const std::vector<CheckpointRef> list_b,
+                         checkpoints(run_b));
+
+  // Both lists are sorted by (iteration, rank): a single merge pass splits
+  // them into matched pairs and one-sided leftovers.
+  PairingReport report;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  const auto key = [](const CheckpointRef& ref) {
+    return std::make_pair(ref.iteration, ref.rank);
+  };
+  while (ia < list_a.size() && ib < list_b.size()) {
+    if (key(list_a[ia]) == key(list_b[ib])) {
+      report.pairs.push_back({list_a[ia], list_b[ib]});
+      ++ia;
+      ++ib;
+    } else if (key(list_a[ia]) < key(list_b[ib])) {
+      report.only_in_a.push_back(list_a[ia++]);
+    } else {
+      report.only_in_b.push_back(list_b[ib++]);
+    }
+  }
+  for (; ia < list_a.size(); ++ia) report.only_in_a.push_back(list_a[ia]);
+  for (; ib < list_b.size(); ++ib) report.only_in_b.push_back(list_b[ib]);
+  return report;
+}
+
 }  // namespace repro::ckpt

@@ -37,6 +37,20 @@ struct CheckpointPair {
   CheckpointRef run_b;
 };
 
+/// Lenient pairing outcome for ragged histories (crashed runs, partial
+/// copies, differing capture cadences): the aligned pairs plus whatever
+/// (iteration, rank) slots exist on only one side. Forensics tools compare
+/// the intersection and report the rest instead of refusing.
+struct PairingReport {
+  std::vector<CheckpointPair> pairs;      ///< sorted by (iteration, rank)
+  std::vector<CheckpointRef> only_in_a;   ///< present in run A only
+  std::vector<CheckpointRef> only_in_b;   ///< present in run B only
+
+  [[nodiscard]] bool ragged() const noexcept {
+    return !only_in_a.empty() || !only_in_b.empty();
+  }
+};
+
 class HistoryCatalog {
  public:
   explicit HistoryCatalog(std::filesystem::path root)
@@ -67,6 +81,12 @@ class HistoryCatalog {
   /// same (iteration, rank) set — the paper's model assumes aligned
   /// capture schedules.
   [[nodiscard]] repro::Result<std::vector<CheckpointPair>> pair_runs(
+      const std::string& run_a, const std::string& run_b) const;
+
+  /// Lenient variant: pairs the (iteration, rank) intersection and reports
+  /// one-sided checkpoints instead of erroring. Still errors on I/O
+  /// problems (unreadable run directories).
+  [[nodiscard]] repro::Result<PairingReport> pair_runs_lenient(
       const std::string& run_a, const std::string& run_b) const;
 
  private:

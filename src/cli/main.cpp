@@ -5,7 +5,13 @@
 //   repro-cli tree      CKPT [--chunk 64K --eps 1e-6 --out FILE.rmrk]
 //   repro-cli compare   A.ckpt B.ckpt [--eps 1e-6 --backend uring ...]
 //   repro-cli history   ROOT RUN_A RUN_B [--eps 1e-6 --stop-early]
+//   repro-cli timeline  ROOT RUN_A RUN_B [--json --ansi --ledger-out F]
 //   repro-cli inspect   FILE.(ckpt|rmrk)
+//
+// Exit codes follow the diff(1) convention so scripts can branch on the
+// verdict: 0 = within bound, 1 = divergence found, 2 = usage or runtime
+// error.
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -20,11 +26,14 @@
 #include "common/table.hpp"
 #include "compare/comparator.hpp"
 #include "compare/fields.hpp"
+#include "diverge/ledger.hpp"
+#include "diverge/timeline.hpp"
 #include "merkle/compare.hpp"
 #include "merkle/proof.hpp"
 #include "sim/hacc_lite.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"
+#include "telemetry/resource_sampler.hpp"
 #include "telemetry/trace.hpp"
 
 namespace repro::cli {
@@ -41,9 +50,11 @@ void print_usage() {
       "multi-run results\n"
       "\n"
       "  repro-cli simulate --out DIR --run ID [--particles N] [--steps S]\n"
-      "            [--mesh M] [--capture-every K] [--noise-seed S]\n"
-      "            [--jitter X] [--chunk 64K] [--eps 1e-6]\n"
-      "      run the haccette mini-app, capturing checkpoints + metadata\n"
+      "            [--mesh M] [--rank R] [--capture-every K]\n"
+      "            [--noise-seed S] [--noise-start N] [--jitter X]\n"
+      "            [--chunk 64K] [--eps 1e-6]\n"
+      "      run the haccette mini-app, capturing checkpoints + metadata;\n"
+      "      --noise-start delays nondeterminism until iteration N\n"
       "\n"
       "  repro-cli tree CKPT [--chunk 64K] [--eps 1e-6] [--block 4]\n"
       "            [--out FILE.rmrk]\n"
@@ -51,17 +62,25 @@ void print_usage() {
       "\n"
       "  repro-cli compare A.ckpt B.ckpt [--eps 1e-6] [--chunk 64K]\n"
       "            [--backend uring|mmap|pread|threads] [--diffs N]\n"
-      "            [--method ours|direct|allclose]\n"
+      "            [--method ours|direct|allclose] [--ledger-out FILE]\n"
       "      compare two checkpoints within the error bound\n"
       "\n"
       "  every subcommand also accepts:\n"
       "    --trace-out PATH    write a Chrome trace-event JSON (Perfetto)\n"
+      "                        with live resource counter samples (RSS,\n"
+      "                        CPU, io_uring depth; --sample-period-ms P)\n"
       "    --metrics-out PATH  write a structured run report with the\n"
       "                        metrics snapshot, phase timers and verdict\n"
       "\n"
       "  repro-cli history ROOT RUN_A RUN_B [--eps 1e-6] [--stop-early]\n"
+      "            [--ragged] [--ledger-out FILE]\n"
       "      compare two runs' checkpoint histories, report first "
       "divergence\n"
+      "\n"
+      "  repro-cli timeline ROOT RUN_A RUN_B [--eps 1e-6] [--json]\n"
+      "            [--ansi] [--heatmap-width W] [--ledger-out FILE]\n"
+      "      render an iteration x field divergence timeline with\n"
+      "      chunk-space heatmaps (tolerates ragged histories)\n"
       "\n"
       "  repro-cli inspect FILE\n"
       "      print checkpoint or metadata file structure\n"
@@ -82,12 +101,15 @@ void print_usage() {
       "            [--eps 1e-6]\n"
       "  repro-cli delta reconstruct ROOT RUN RANK ITER OUT.bin ...\n"
       "  repro-cli delta stats ROOT RUN RANK ...\n"
-      "      delta-compacted checkpoint history store\n");
+      "      delta-compacted checkpoint history store\n"
+      "\n"
+      "exit codes: 0 = within the error bound, 1 = divergence found,\n"
+      "            2 = usage or runtime error\n");
 }
 
 int fail(const repro::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
-  return 1;
+  return 2;
 }
 
 repro::Result<merkle::TreeParams> tree_params_from(const Args& args) {
@@ -117,16 +139,23 @@ int cmd_simulate(const Args& args) {
   config.mesh_dim = static_cast<std::uint32_t>(mesh.value());
   auto seed = args.get_u64("seed", 12345);
   if (!seed.is_ok()) return fail(seed.status());
-  config.seed = seed.value();
+  auto rank = args.get_u64("rank", 0);
+  if (!rank.is_ok()) return fail(rank.status());
+  // Each rank simulates a distinct particle population (seed offset), so a
+  // multi-rank history has per-rank payloads that still align across runs.
+  config.seed = seed.value() + rank.value();
 
   auto noise_seed = args.get_u64("noise-seed", 0);
   if (!noise_seed.is_ok()) return fail(noise_seed.status());
   auto jitter = args.get_f64("jitter", 0.0);
   if (!jitter.is_ok()) return fail(jitter.status());
+  auto noise_start = args.get_u64("noise-start", 0);
+  if (!noise_start.is_ok()) return fail(noise_start.status());
   if (noise_seed.value() != 0 || jitter.value() > 0) {
     config.noise.enabled = true;
-    config.noise.run_seed = noise_seed.value();
+    config.noise.run_seed = noise_seed.value() + rank.value();
     config.noise.jitter_magnitude = jitter.value();
+    config.noise.start_iteration = noise_start.value();
   }
 
   auto capture_every = args.get_u64("capture-every", 10);
@@ -152,7 +181,8 @@ int cmd_simulate(const Args& args) {
   if (!status.is_ok()) return fail(status);
 
   status = app.run(capture_iterations, [&](std::uint64_t iteration) {
-    ckpt::CheckpointWriter writer("haccette", run_id, iteration, /*rank=*/0);
+    ckpt::CheckpointWriter writer("haccette", run_id, iteration,
+                                  static_cast<std::uint32_t>(rank.value()));
     REPRO_RETURN_IF_ERROR(app.add_checkpoint_fields(writer));
     return engine.capture(writer);
   });
@@ -231,13 +261,14 @@ int cmd_compare(const Args& args) {
                 repro::format_throughput(
                     report.value().throughput_bytes_per_second())
                     .c_str());
-    return report.value().all_close ? 0 : 3;
+    return report.value().all_close ? 0 : 1;
   }
 
   auto backend = io::parse_backend(args.get("backend", "uring"));
   if (!backend.is_ok()) return fail(backend.status());
   auto diffs = args.get_u64("diffs", 10);
   if (!diffs.is_ok()) return fail(diffs.status());
+  const std::string ledger_out = args.get("ledger-out", "");
 
   cmp::CompareReport report;
   if (method == "direct") {
@@ -255,6 +286,7 @@ int cmd_compare(const Args& args) {
     options.backend = backend.value();
     options.collect_diffs = diffs.value() > 0;
     options.max_diffs = diffs.value();
+    options.collect_field_stats = !ledger_out.empty();
     auto params = tree_params_from(args);
     if (!params.is_ok()) return fail(params.status());
     options.tree = params.value();
@@ -326,7 +358,21 @@ int cmd_compare(const Args& args) {
                   diff.value_a, diff.value_b);
     }
   }
-  return report.values_exceeding == 0 ? 0 : 3;
+  if (!ledger_out.empty()) {
+    diverge::DivergenceLedger ledger(path_a.string(), path_b.string(),
+                                     eps.value());
+    ckpt::CheckpointPair pair;
+    pair.run_a.run_id = path_a.string();
+    pair.run_a.checkpoint_path = path_a;
+    pair.run_b.run_id = path_b.string();
+    pair.run_b.checkpoint_path = path_b;
+    ledger.add_pair(pair, report);
+    const repro::Status status = ledger.write_jsonl(ledger_out);
+    if (!status.is_ok()) return fail(status);
+    std::printf("ledger written to %s (%zu records)\n", ledger_out.c_str(),
+                ledger.records().size());
+  }
+  return report.values_exceeding == 0 ? 0 : 1;
 }
 
 int cmd_history(const Args& args) {
@@ -341,6 +387,9 @@ int cmd_history(const Args& args) {
   cmp::HistoryOptions options;
   options.pair_options.error_bound = eps.value();
   options.stop_at_first_divergence = args.has("stop-early");
+  options.allow_ragged = args.has("ragged");
+  const std::string ledger_out = args.get("ledger-out", "");
+  options.pair_options.collect_field_stats = !ledger_out.empty();
   auto params = tree_params_from(args);
   if (!params.is_ok()) return fail(params.status());
   options.pair_options.tree = params.value();
@@ -348,6 +397,17 @@ int cmd_history(const Args& args) {
   auto history = cmp::compare_histories(catalog, args.positional()[2],
                                         args.positional()[3], options);
   if (!history.is_ok()) return fail(history.status());
+
+  for (const auto& ref : history.value().only_in_a) {
+    std::fprintf(stderr, "warning: iter%llu/rank%u exists only in %s\n",
+                 static_cast<unsigned long long>(ref.iteration), ref.rank,
+                 args.positional()[2].c_str());
+  }
+  for (const auto& ref : history.value().only_in_b) {
+    std::fprintf(stderr, "warning: iter%llu/rank%u exists only in %s\n",
+                 static_cast<unsigned long long>(ref.iteration), ref.rank,
+                 args.positional()[3].c_str());
+  }
 
   repro::TextTable table({"iteration", "rank", "values>eps", "chunks flagged",
                           "data re-read"});
@@ -380,15 +440,107 @@ int cmd_history(const Args& args) {
       g_run_report->add_timers(report.timers);
     }
   }
+  if (!ledger_out.empty()) {
+    diverge::DivergenceLedger ledger(args.positional()[2],
+                                     args.positional()[3], eps.value());
+    ledger.add_history(history.value());
+    const repro::Status status = ledger.write_jsonl(ledger_out);
+    if (!status.is_ok()) return fail(status);
+    std::printf("ledger written to %s (%zu records)\n", ledger_out.c_str(),
+                ledger.records().size());
+  }
   if (diverged) {
     std::printf("first divergence: iteration %llu (rank %u)\n",
                 static_cast<unsigned long long>(
                     *history.value().first_divergent_iteration),
                 *history.value().first_divergent_rank);
-    return 3;
+    return 1;
   }
   std::printf("histories agree within eps=%g\n", eps.value());
   return 0;
+}
+
+int cmd_timeline(const Args& args) {
+  if (args.positional().size() < 4) {
+    std::fprintf(stderr, "timeline requires ROOT RUN_A RUN_B\n");
+    return 2;
+  }
+  ckpt::HistoryCatalog catalog{args.positional()[1]};
+  const std::string& run_a = args.positional()[2];
+  const std::string& run_b = args.positional()[3];
+  auto eps = args.get_f64("eps", 1e-6);
+  if (!eps.is_ok()) return fail(eps.status());
+  auto heatmap_width = args.get_u64("heatmap-width", 64);
+  if (!heatmap_width.is_ok()) return fail(heatmap_width.status());
+
+  // Forensics wants the whole picture: per-field stats always on, compare
+  // every surviving pair of a ragged history instead of refusing.
+  cmp::HistoryOptions options;
+  options.pair_options.error_bound = eps.value();
+  options.pair_options.collect_field_stats = true;
+  options.allow_ragged = true;
+  auto params = tree_params_from(args);
+  if (!params.is_ok()) return fail(params.status());
+  options.pair_options.tree = params.value();
+
+  auto history = cmp::compare_histories(catalog, run_a, run_b, options);
+  if (!history.is_ok()) return fail(history.status());
+
+  diverge::DivergenceLedger ledger(run_a, run_b, eps.value());
+  ledger.add_history(history.value());
+
+  const std::string ledger_out = args.get("ledger-out", "");
+  if (!ledger_out.empty()) {
+    const repro::Status status = ledger.write_jsonl(ledger_out);
+    if (!status.is_ok()) return fail(status);
+  }
+
+  for (const auto& ref : history.value().only_in_a) {
+    std::fprintf(stderr, "warning: iter%llu/rank%u exists only in %s\n",
+                 static_cast<unsigned long long>(ref.iteration), ref.rank,
+                 run_a.c_str());
+  }
+  for (const auto& ref : history.value().only_in_b) {
+    std::fprintf(stderr, "warning: iter%llu/rank%u exists only in %s\n",
+                 static_cast<unsigned long long>(ref.iteration), ref.rank,
+                 run_b.c_str());
+  }
+
+  diverge::TimelineOptions timeline_options;
+  timeline_options.json = args.has("json");
+  timeline_options.ansi = args.has("ansi");
+  timeline_options.heatmap_width =
+      static_cast<std::size_t>(heatmap_width.value());
+  const std::string rendered =
+      diverge::render_timeline(ledger, timeline_options);
+  std::fputs(rendered.c_str(), stdout);
+
+  const diverge::LedgerSummary summary = ledger.summarize();
+  const bool diverged = summary.first_divergent_iteration.has_value();
+  if (g_run_report != nullptr) {
+    g_run_report->set_verdict(diverged ? "diverged" : "within-bound");
+    g_run_report->add_info("run_a", run_a);
+    g_run_report->add_info("run_b", run_b);
+    g_run_report->add_value("error_bound", eps.value());
+    g_run_report->add_value(
+        "pairs_compared", static_cast<double>(history.value().pairs.size()));
+    g_run_report->add_value("ledger_records",
+                            static_cast<double>(ledger.records().size()));
+    if (diverged) {
+      g_run_report->add_value(
+          "first_divergent_iteration",
+          static_cast<double>(*summary.first_divergent_iteration));
+    }
+    for (const auto& [pair, report] : history.value().pairs) {
+      g_run_report->add_timers(report.timers);
+    }
+  }
+  if (!ledger_out.empty() && !timeline_options.json) {
+    // stdout stays pure JSON under --json; the ledger note would corrupt it.
+    std::printf("ledger written to %s (%zu records)\n", ledger_out.c_str(),
+                ledger.records().size());
+  }
+  return diverged ? 1 : 0;
 }
 
 int cmd_inspect(const Args& args) {
@@ -499,7 +651,7 @@ int cmd_fields(const Args& args) {
                   ? "all fields within their bounds"
                   : "DIVERGED",
               report.value().total_seconds);
-  return report.value().identical_within_bounds() ? 0 : 3;
+  return report.value().identical_within_bounds() ? 0 : 1;
 }
 
 int cmd_prove(const Args& args) {
@@ -586,7 +738,7 @@ int cmd_verify(const Args& args) {
     return 0;
   }
   std::printf("REJECTED: %s\n", status.to_string().c_str());
-  return 3;
+  return 1;
 }
 
 int cmd_delta(const Args& args) {
@@ -685,6 +837,7 @@ int dispatch(const std::string& command, const Args& args) {
   if (command == "tree") return cmd_tree(args);
   if (command == "compare") return cmd_compare(args);
   if (command == "history") return cmd_history(args);
+  if (command == "timeline") return cmd_timeline(args);
   if (command == "inspect") return cmd_inspect(args);
   if (command == "fields") return cmd_fields(args);
   if (command == "prove") return cmd_prove(args);
@@ -708,8 +861,17 @@ int run(int argc, const char* const* argv) {
   // whatever its exit code, so failed runs can still be diagnosed.
   const std::string trace_out = args.value().get("trace-out", "");
   const std::string metrics_out = args.value().get("metrics-out", "");
+  telemetry::ResourceSampler sampler;
   if (!trace_out.empty()) {
     telemetry::Tracer::global().set_enabled(true);
+    // Live resource counters ride along in every trace: RSS, CPU, I/O and
+    // the internal queue-depth gauges, as Chrome "C"-phase samples.
+    auto period = args.value().get_u64("sample-period-ms", 50);
+    if (!period.is_ok()) return fail(period.status());
+    telemetry::ResourceSampler::Options sampler_options;
+    sampler_options.period =
+        std::chrono::milliseconds(std::max<std::uint64_t>(1, period.value()));
+    sampler.start(sampler_options);
   }
   telemetry::RunReport run_report(command);
   if (!metrics_out.empty()) g_run_report = &run_report;
@@ -718,15 +880,18 @@ int run(int argc, const char* const* argv) {
 
   g_run_report = nullptr;
   if (!trace_out.empty()) {
+    sampler.stop();  // final sample lands before the trace is serialized
     telemetry::Tracer::global().set_enabled(false);
     const repro::Status status =
         telemetry::Tracer::global().write_chrome_trace(trace_out);
     if (!status.is_ok()) return fail(status);
-    std::printf("trace written to %s (%llu spans; load in "
-                "https://ui.perfetto.dev)\n",
+    std::printf("trace written to %s (%llu spans, %llu counter samples; "
+                "load in https://ui.perfetto.dev)\n",
                 trace_out.c_str(),
                 static_cast<unsigned long long>(
-                    telemetry::Tracer::global().span_count()));
+                    telemetry::Tracer::global().span_count()),
+                static_cast<unsigned long long>(
+                    telemetry::Tracer::global().counter_count()));
   }
   if (!metrics_out.empty()) {
     run_report.add_value("exit_code", static_cast<double>(exit_code));

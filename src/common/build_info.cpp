@@ -1,0 +1,53 @@
+#include "common/build_info.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace repro {
+
+namespace {
+
+std::mutex g_simd_mu;
+std::string& simd_level_storage() {
+  static std::string* level = new std::string("unknown");
+  return *level;
+}
+
+std::string compiler_id() {
+  char buf[64];
+#if defined(__clang__)
+  std::snprintf(buf, sizeof buf, "clang %d.%d.%d", __clang_major__,
+                __clang_minor__, __clang_patchlevel__);
+#elif defined(__GNUC__)
+  std::snprintf(buf, sizeof buf, "gcc %d.%d.%d", __GNUC__, __GNUC_MINOR__,
+                __GNUC_PATCHLEVEL__);
+#else
+  std::snprintf(buf, sizeof buf, "unknown");
+#endif
+  return buf;
+}
+
+}  // namespace
+
+BuildInfo build_info() {
+  BuildInfo info;
+  info.compiler = compiler_id();
+#if defined(REPRO_BUILD_TYPE)
+  info.build_type = REPRO_BUILD_TYPE;
+#else
+  info.build_type = "unspecified";
+#endif
+  info.version = std::string{kLibraryVersion};
+  {
+    std::lock_guard<std::mutex> lock(g_simd_mu);
+    info.simd_level = simd_level_storage();
+  }
+  return info;
+}
+
+void set_simd_dispatch_level(std::string_view level) {
+  std::lock_guard<std::mutex> lock(g_simd_mu);
+  simd_level_storage().assign(level);
+}
+
+}  // namespace repro

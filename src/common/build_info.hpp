@@ -1,0 +1,36 @@
+// Build provenance: which compiler, build type, library version, and SIMD
+// dispatch level produced an artifact. Divergence verdicts are only
+// attributable when the two sides' toolchains are known — a ledger or run
+// report from machine A must say enough about its build for machine B to
+// decide whether a mismatch is data or toolchain. Every RunReport and every
+// divergence-ledger header embeds this block (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace repro {
+
+/// Library version, bumped with format-affecting releases.
+inline constexpr std::string_view kLibraryVersion = "0.4.0";
+
+struct BuildInfo {
+  std::string compiler;    ///< e.g. "gcc 13.2.0" or "clang 17.0.6"
+  std::string build_type;  ///< CMake build type ("RelWithDebInfo", ...)
+  std::string version;     ///< kLibraryVersion
+  /// Kernel implementation the SIMD dispatcher actually selected on this
+  /// machine ("scalar", "sse2", "avx2", "avx512"); "unknown" until a
+  /// component that links the hash kernels registers it.
+  std::string simd_level;
+};
+
+/// Snapshot of the provenance for this process. compiler/build_type/version
+/// come from compile-time macros; simd_level reflects the most recent
+/// set_simd_dispatch_level() call.
+[[nodiscard]] BuildInfo build_info();
+
+/// Registers the runtime-dispatched kernel level. Called by the hash
+/// kernels on first dispatch and by tools at startup; thread-safe.
+void set_simd_dispatch_level(std::string_view level);
+
+}  // namespace repro

@@ -1,6 +1,7 @@
 #include "compare/comparator.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/fs.hpp"
 #include "common/log.hpp"
@@ -82,6 +83,16 @@ repro::Result<merkle::MerkleTree> load_or_build_tree(
   }
   return tree;
 }
+
+/// Running per-field severity totals while stage 2 streams; folded into
+/// CompareReport::field_divergences once the last slice is consumed.
+struct FieldAccum {
+  std::uint64_t values_compared = 0;
+  std::uint64_t values_exceeding = 0;
+  double max_abs_diff = 0;
+  double sum_sq_diff = 0;
+  double sum_sq_ref = 0;
+};
 
 repro::Result<std::unique_ptr<io::IoBackend>> open_stage2_backend(
     const std::filesystem::path& path, const CompareOptions& options,
@@ -190,6 +201,9 @@ repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
   report.chunks_flagged = candidates.size();
 
   // --- compare_direct: stage 2, stream candidates + verify.
+  const std::vector<ckpt::FieldInfo>& fields = reader_a->info().fields;
+  std::vector<FieldAccum> field_accum(
+      options.collect_field_stats ? fields.size() : 0);
   if (!candidates.empty()) {
     telemetry::TraceSpan span("compare.stage2");
     span.arg("candidates", static_cast<std::uint64_t>(candidates.size()));
@@ -209,24 +223,74 @@ repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
     element_options.exec = options.exec;
     element_options.collect_diffs = options.collect_diffs;
     element_options.max_diffs = options.max_diffs;
+    element_options.collect_stats = options.collect_field_stats;
     element_options.dynamic_grain = options.dynamic_grain;
 
     std::vector<ElementDiff> raw_diffs;
     while (io::ChunkSlice* slice = streamer.next()) {
       for (const auto& placement : slice->placements) {
-        const std::uint64_t base_value =
-            placement.chunk * tree_a.params().chunk_bytes / vsize;
-        const auto result = compare_region(
-            std::span<const std::uint8_t>(
-                slice->data_a.data() + placement.buffer_offset,
-                placement.length),
-            std::span<const std::uint8_t>(
-                slice->data_b.data() + placement.buffer_offset,
-                placement.length),
-            kind, options.error_bound, base_value, element_options,
-            options.collect_diffs ? &raw_diffs : nullptr);
-        report.values_compared += result.values_compared;
-        report.values_exceeding += result.values_exceeding;
+        const std::uint64_t begin_byte =
+            placement.chunk * tree_a.params().chunk_bytes;
+
+        // Compare one byte range of the placement, attributing its outcome
+        // to `accum` when per-field stats are on.
+        auto compare_segment = [&](std::uint64_t seg_byte,
+                                   std::uint64_t seg_len,
+                                   FieldAccum* accum) {
+          const std::uint64_t buffer_offset =
+              placement.buffer_offset + (seg_byte - begin_byte);
+          const auto result = compare_region(
+              std::span<const std::uint8_t>(
+                  slice->data_a.data() + buffer_offset, seg_len),
+              std::span<const std::uint8_t>(
+                  slice->data_b.data() + buffer_offset, seg_len),
+              kind, options.error_bound, seg_byte / vsize, element_options,
+              options.collect_diffs ? &raw_diffs : nullptr);
+          report.values_compared += result.values_compared;
+          report.values_exceeding += result.values_exceeding;
+          if (accum != nullptr) {
+            accum->values_compared += result.values_compared;
+            accum->values_exceeding += result.values_exceeding;
+            accum->max_abs_diff =
+                std::max(accum->max_abs_diff, result.max_abs_diff);
+            accum->sum_sq_diff += result.sum_sq_diff;
+            accum->sum_sq_ref += result.sum_sq_ref;
+          }
+        };
+
+        if (!options.collect_field_stats) {
+          compare_segment(begin_byte, placement.length, nullptr);
+          continue;
+        }
+
+        // Field attribution: split the placement (one chunk's bytes) at
+        // field boundaries. Chunks rarely straddle more than one boundary,
+        // so the split costs a couple of extra compare_region calls at most.
+        std::uint64_t off = begin_byte;
+        const std::uint64_t end_byte = begin_byte + placement.length;
+        while (off < end_byte) {
+          const ckpt::FieldInfo* field = reader_a->info().field_at(off);
+          std::uint64_t seg_end = end_byte;
+          FieldAccum* accum = nullptr;
+          if (field != nullptr) {
+            seg_end = std::min(end_byte,
+                               field->data_offset + field->byte_size());
+            accum = &field_accum[static_cast<std::size_t>(
+                field - fields.data())];
+          } else {
+            // Padding between fields: attribute to no field and stop at the
+            // next field start (fields are laid out in ascending order).
+            for (const auto& next : fields) {
+              if (next.data_offset > off) {
+                seg_end = std::min(seg_end, next.data_offset);
+                break;
+              }
+            }
+          }
+          if (seg_end <= off) break;  // malformed field table; stop splitting
+          compare_segment(off, seg_end - off, accum);
+          off = seg_end;
+        }
       }
     }
     REPRO_RETURN_IF_ERROR(streamer.status());
@@ -238,8 +302,17 @@ repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
     report.io_interrupts += io_stats.interrupts;
     report.io_fallbacks += io_stats.fallbacks;
 
-    // Map raw value indices back onto checkpoint fields.
+    // Map raw value indices back onto checkpoint fields. Sort-and-truncate
+    // first so the reported sample is the max_diffs smallest indices in
+    // ascending order — deterministic under the dynamic schedule.
     if (options.collect_diffs) {
+      std::sort(raw_diffs.begin(), raw_diffs.end(),
+                [](const ElementDiff& a, const ElementDiff& b) {
+                  return a.value_index < b.value_index;
+                });
+      if (raw_diffs.size() > options.max_diffs) {
+        raw_diffs.resize(options.max_diffs);
+      }
       report.diffs.reserve(raw_diffs.size());
       for (const auto& raw : raw_diffs) {
         DiffRecord record;
@@ -254,6 +327,46 @@ repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
         }
         report.diffs.push_back(std::move(record));
       }
+    }
+  }
+  report.flagged_chunks = std::move(candidates);
+
+  // Fold the per-field accumulators (and chunk-space geometry) into the
+  // report. Fields with no flagged chunks still get an entry: the timeline
+  // renders "clean" rows, and first-divergence aggregation needs the zeros.
+  if (options.collect_field_stats) {
+    const std::uint64_t chunk_bytes = tree_a.params().chunk_bytes;
+    report.field_divergences.reserve(fields.size());
+    for (std::size_t index = 0; index < fields.size(); ++index) {
+      const ckpt::FieldInfo& field = fields[index];
+      FieldDivergence divergence;
+      divergence.field = field.name;
+      if (field.byte_size() > 0 && chunk_bytes > 0) {
+        const std::uint64_t first_chunk = field.data_offset / chunk_bytes;
+        const std::uint64_t last_chunk =
+            (field.data_offset + field.byte_size() - 1) / chunk_bytes;
+        divergence.chunk_begin = first_chunk;
+        divergence.chunks_total = last_chunk - first_chunk + 1;
+        for (const std::uint64_t chunk : report.flagged_chunks) {
+          if (chunk < first_chunk || chunk > last_chunk) continue;
+          ++divergence.chunks_flagged;
+          if (!divergence.flagged_ranges.empty() &&
+              divergence.flagged_ranges.back().second + 1 == chunk) {
+            divergence.flagged_ranges.back().second = chunk;
+          } else {
+            divergence.flagged_ranges.emplace_back(chunk, chunk);
+          }
+        }
+      }
+      const FieldAccum& accum = field_accum[index];
+      divergence.values_compared = accum.values_compared;
+      divergence.values_exceeding = accum.values_exceeding;
+      divergence.max_abs_diff = accum.max_abs_diff;
+      divergence.rel_l2_error =
+          accum.sum_sq_ref > 0
+              ? std::sqrt(accum.sum_sq_diff / accum.sum_sq_ref)
+              : 0.0;
+      report.field_divergences.push_back(std::move(divergence));
     }
   }
 
@@ -296,9 +409,17 @@ repro::Result<HistoryReport> compare_histories(
     const ckpt::HistoryCatalog& catalog, const std::string& run_a,
     const std::string& run_b, const HistoryOptions& options) {
   Stopwatch total;
-  REPRO_ASSIGN_OR_RETURN(const std::vector<ckpt::CheckpointPair> pairs,
-                         catalog.pair_runs(run_a, run_b));
   HistoryReport history;
+  std::vector<ckpt::CheckpointPair> pairs;
+  if (options.allow_ragged) {
+    REPRO_ASSIGN_OR_RETURN(ckpt::PairingReport pairing,
+                           catalog.pair_runs_lenient(run_a, run_b));
+    pairs = std::move(pairing.pairs);
+    history.only_in_a = std::move(pairing.only_in_a);
+    history.only_in_b = std::move(pairing.only_in_b);
+  } else {
+    REPRO_ASSIGN_OR_RETURN(pairs, catalog.pair_runs(run_a, run_b));
+  }
   for (const auto& pair : pairs) {
     REPRO_ASSIGN_OR_RETURN(CompareReport report,
                            compare_pair(pair, options.pair_options));

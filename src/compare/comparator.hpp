@@ -50,9 +50,18 @@ struct CompareOptions {
   merkle::TreeParams tree;
   bool build_metadata_if_missing = true;
 
-  /// Collect located diffs (field + element index) up to max_diffs.
+  /// Collect located diffs (field + element index) up to max_diffs. The
+  /// sample is deterministic: the max_diffs smallest value indices, in
+  /// ascending order, independent of the dynamic schedule.
   bool collect_diffs = false;
   std::size_t max_diffs = 1024;
+
+  /// Split stage 2 at field boundaries and fill CompareReport::
+  /// field_divergences (per-field counts, max |a-b|, relative L2 over the
+  /// flagged regions). Costs a scalar pass over streamed chunks, so the
+  /// divergence-forensics paths (--ledger-out, repro-cli timeline) enable
+  /// it; plain compare leaves it off.
+  bool collect_field_stats = false;
 
   /// Dynamic-scheduling grain (values per claim) for stage 2's element-wise
   /// verification; 0 = auto. See docs/PERF.md.
@@ -82,6 +91,10 @@ struct HistoryReport {
   /// Earliest iteration with a difference; empty if histories agree.
   std::optional<std::uint64_t> first_divergent_iteration;
   std::optional<std::uint32_t> first_divergent_rank;
+  /// Checkpoints present in only one run; always empty unless
+  /// HistoryOptions::allow_ragged paired the runs leniently.
+  std::vector<ckpt::CheckpointRef> only_in_a;
+  std::vector<ckpt::CheckpointRef> only_in_b;
   double total_seconds = 0;
 
   [[nodiscard]] std::uint64_t total_bytes() const noexcept {
@@ -96,6 +109,11 @@ struct HistoryOptions {
   /// Stop at the first divergent iteration instead of comparing the whole
   /// history (early-exit mode).
   bool stop_at_first_divergence = false;
+  /// Compare the (iteration, rank) intersection of ragged histories and
+  /// report one-sided checkpoints in HistoryReport::only_in_a/_b, instead
+  /// of failing when the runs' capture sets differ (crashed run, partial
+  /// copy). Default keeps the strict aligned-schedule contract.
+  bool allow_ragged = false;
 };
 
 repro::Result<HistoryReport> compare_histories(

@@ -1,5 +1,6 @@
 #include "compare/elementwise.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <mutex>
@@ -9,6 +10,22 @@
 namespace repro::cmp {
 
 namespace {
+
+/// Bounds collection memory without breaking determinism: keeps the
+/// max_diffs records with the smallest value_index. Any record discarded
+/// here has >= max_diffs smaller-indexed records still present, so it could
+/// never survive the caller's final sort-and-truncate — the kept sample is
+/// independent of the dynamic schedule's arrival order.
+void prune_to_smallest(std::vector<ElementDiff>* diffs,
+                       std::size_t max_diffs) {
+  if (diffs->size() <= max_diffs) return;
+  auto mid = diffs->begin() + static_cast<std::ptrdiff_t>(max_diffs);
+  std::nth_element(diffs->begin(), mid, diffs->end(),
+                   [](const ElementDiff& a, const ElementDiff& b) {
+                     return a.value_index < b.value_index;
+                   });
+  diffs->resize(max_diffs);
+}
 
 template <typename Float>
 ElementwiseResult compare_typed(std::span<const std::uint8_t> run_a,
@@ -36,7 +53,8 @@ ElementwiseResult compare_typed(std::span<const std::uint8_t> run_a,
   // Both paths: dynamically claimed blocks (chunk worklists skew per-block
   // cost), counted by the batched ε-compare kernel.
   std::atomic<std::uint64_t> exceeding{0};
-  if (!options.collect_diffs || diffs == nullptr) {
+  const bool collecting = options.collect_diffs && diffs != nullptr;
+  if (!collecting && !options.collect_stats) {
     options.exec.for_blocks_dynamic(
         0, count, options.dynamic_grain,
         [&](std::uint64_t lo, std::uint64_t hi) {
@@ -48,30 +66,53 @@ ElementwiseResult compare_typed(std::span<const std::uint8_t> run_a,
     return result;
   }
 
-  std::mutex diff_mu;
+  std::mutex merge_mu;
   options.exec.for_blocks_dynamic(
       0, count, options.dynamic_grain,
       [&](std::uint64_t lo, std::uint64_t hi) {
-        // Count first with the kernel; only blocks with hits pay the scalar
-        // locate loop (most blocks of a mostly-reproducible pair are clean).
+        // Count first with the kernel; only blocks with hits (or a stats
+        // request, which needs every value) pay the scalar loop — most
+        // blocks of a mostly-reproducible pair are clean.
         const std::uint64_t hits =
             hash::count_diffs(values_a + lo, values_b + lo, hi - lo, eps);
-        if (hits == 0) return;
-        exceeding.fetch_add(hits, std::memory_order_relaxed);
+        if (hits != 0) exceeding.fetch_add(hits, std::memory_order_relaxed);
+        if (hits == 0 && !options.collect_stats) return;
+
         std::vector<ElementDiff> local;
-        local.reserve(static_cast<std::size_t>(hits));
+        if (collecting) local.reserve(static_cast<std::size_t>(hits));
+        double local_max = 0;
+        double local_sq_diff = 0;
+        double local_sq_ref = 0;
         for (std::uint64_t i = lo; i < hi; ++i) {
           const auto a = static_cast<double>(values_a[i]);
           const auto b = static_cast<double>(values_b[i]);
-          if (!differs(a, b)) continue;
-          local.push_back({base_value_index + i, a, b});
+          if (options.collect_stats && !std::isnan(a) && !std::isnan(b)) {
+            const double diff = a - b;
+            local_max = std::max(local_max, std::abs(diff));
+            local_sq_diff += diff * diff;
+            local_sq_ref += a * a;
+          }
+          if (collecting && hits != 0 && differs(a, b)) {
+            local.push_back({base_value_index + i, a, b});
+          }
         }
-        std::lock_guard<std::mutex> lock(diff_mu);
-        for (auto& record : local) {
-          if (diffs->size() >= options.max_diffs) break;
-          diffs->push_back(record);
+
+        std::lock_guard<std::mutex> lock(merge_mu);
+        result.max_abs_diff = std::max(result.max_abs_diff, local_max);
+        result.sum_sq_diff += local_sq_diff;
+        result.sum_sq_ref += local_sq_ref;
+        if (collecting && !local.empty()) {
+          diffs->insert(diffs->end(), local.begin(), local.end());
+          // Amortized prune: let the vector run to 2x the cap before paying
+          // the nth_element; callers sort-and-truncate the remainder.
+          if (diffs->size() > 2 * options.max_diffs) {
+            prune_to_smallest(diffs, options.max_diffs);
+          }
         }
       });
+  // Final prune restores the public cap: the amortized in-loop prune only
+  // fires past 2x, so the vector may still hold up to 2x max_diffs here.
+  if (collecting) prune_to_smallest(diffs, options.max_diffs);
   result.values_exceeding = exceeding.load();
   return result;
 }

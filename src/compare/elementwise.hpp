@@ -24,6 +24,14 @@ struct ElementDiff {
 struct ElementwiseResult {
   std::uint64_t values_compared = 0;
   std::uint64_t values_exceeding = 0;
+  /// Severity statistics, populated only when ElementwiseOptions::
+  /// collect_stats is set and the kind is a float type. NaN pairs are
+  /// excluded (their "difference" has no magnitude). sum_sq_ref sums run A's
+  /// squares — the denominator of the relative L2 error
+  /// sqrt(sum_sq_diff / sum_sq_ref) forensics tools report per field.
+  double max_abs_diff = 0;
+  double sum_sq_diff = 0;
+  double sum_sq_ref = 0;
 };
 
 struct ElementwiseOptions {
@@ -32,6 +40,10 @@ struct ElementwiseOptions {
   /// is cheaper and is what the throughput benches use.
   bool collect_diffs = false;
   std::size_t max_diffs = 1024;
+  /// Accumulate max |a-b| and the squared sums above. Forces a scalar pass
+  /// over every block (not just flagged ones), so divergence-forensics
+  /// callers opt in; the hot compare path leaves it off.
+  bool collect_stats = false;
   /// Values per dynamically claimed work unit (0 = auto). Stage-2 worklists
   /// skew per-block cost, so workers claim grains from a shared counter
   /// instead of receiving one static slice each. See docs/PERF.md.
@@ -42,7 +54,13 @@ struct ElementwiseOptions {
 /// absolute bound `eps`. `base_value_index` offsets the reported indices so
 /// callers can map chunk-local hits back to checkpoint positions. Appends
 /// to `diffs` when collecting. For ValueKind::kBytes, "exceeding" means
-/// bitwise-unequal bytes and eps is ignored.
+/// bitwise-unequal bytes and eps is ignored (and collect_stats reports
+/// nothing — byte payloads have no numeric severity).
+///
+/// Collection is deterministic regardless of the dynamic schedule: when
+/// `diffs` grows past the cap, the max_diffs records with the *smallest*
+/// value_index are kept, so repeated runs agree on the sample (callers
+/// sort-and-truncate once more at the end; see compare_pair).
 ElementwiseResult compare_region(std::span<const std::uint8_t> run_a,
                                  std::span<const std::uint8_t> run_b,
                                  merkle::ValueKind kind, double eps,

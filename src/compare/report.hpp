@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/timer.hpp"
@@ -27,6 +28,32 @@ struct DiffRecord {
   std::uint64_t value_index = 0;   ///< index within the whole data section
   double value_a = 0;
   double value_b = 0;
+};
+
+/// Per-field stage-2 outcome — the unit of the divergence ledger
+/// (src/diverge/). Populated when CompareOptions::collect_field_stats is
+/// set; severity statistics cover only the streamed (flagged) regions, which
+/// is exact for "which values exceed ε" but makes rel_l2_error a
+/// flagged-region quantity, not a whole-field norm (docs/FORMATS.md).
+struct FieldDivergence {
+  std::string field;
+  std::uint64_t chunk_begin = 0;     ///< first chunk overlapping this field
+  std::uint64_t chunks_total = 0;    ///< chunks overlapping this field
+  std::uint64_t chunks_flagged = 0;  ///< of those, flagged by stage 1
+  std::uint64_t values_compared = 0;
+  std::uint64_t values_exceeding = 0;
+  double max_abs_diff = 0;
+  /// sqrt(sum (a-b)^2 / sum a^2) over compared values; 0 when the reference
+  /// energy is zero.
+  double rel_l2_error = 0;
+  /// Flagged chunks overlapping this field, run-length encoded as inclusive
+  /// [first, last] runs in global chunk space — feeds the timeline heatmap
+  /// without storing one entry per chunk.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> flagged_ranges;
+
+  [[nodiscard]] bool diverged() const noexcept {
+    return values_exceeding > 0;
+  }
 };
 
 struct CompareReport {
@@ -59,6 +86,15 @@ struct CompareReport {
   }
 
   std::vector<DiffRecord> diffs;  ///< capped sample when collection is on
+
+  /// Stage-1 candidate chunk indices (sorted ascending). Always populated —
+  /// it is the list stage 2 streamed, handed to the report at zero cost so
+  /// forensics tools can render chunk-space mismatch maps without
+  /// re-walking the trees (merkle::flagged_bitmap densifies it).
+  std::vector<std::uint64_t> flagged_chunks;
+
+  /// Per-field breakdown; empty unless CompareOptions::collect_field_stats.
+  std::vector<FieldDivergence> field_divergences;
 
   TimerSet timers;
   double total_seconds = 0;

@@ -1,0 +1,143 @@
+// History-wide divergence ledger (the forensics core).
+//
+// A ledger is the durable record of one history comparison: one record per
+// (iteration, rank, field) summarizing how far that slice of the two runs
+// disagreed — chunks flagged vs. total, values exceeding ε, max |a-b|,
+// relative L2 error over the streamed regions, plus the pair-level I/O cost
+// (bytes read, wall seconds; repeated on each of the pair's field records
+// since I/O is not attributable per field).
+//
+// Persistence is versioned JSONL (docs/FORMATS.md, schema
+// "repro.divergence.ledger"): a header line carrying run ids, error bound
+// and build provenance, then one line per record. JSONL appends cleanly and
+// greps cleanly — both matter for artifacts that outlive the run that wrote
+// them. load() round-trips everything write_jsonl() emits.
+//
+// summarize() aggregates the records into the questions forensics actually
+// asks: which iteration did each field (and each rank) first diverge at, and
+// how did severity grow from there. `repro-cli timeline` renders the same
+// records as an iteration × field table with chunk-space heatmaps.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ckpt/history.hpp"
+#include "common/status.hpp"
+#include "compare/comparator.hpp"
+#include "compare/report.hpp"
+
+namespace repro::diverge {
+
+/// Current on-disk schema version (bumped on incompatible record changes).
+inline constexpr int kLedgerVersion = 1;
+inline constexpr std::string_view kLedgerSchema = "repro.divergence.ledger";
+
+/// One (iteration, rank, field) outcome. `field` is "*" for pairs compared
+/// without per-field stats (the whole checkpoint as one slice).
+struct LedgerRecord {
+  std::uint64_t iteration = 0;
+  std::uint32_t rank = 0;
+  std::string field;
+  std::uint64_t chunk_begin = 0;  ///< first chunk of the field's chunk range
+  std::uint64_t chunks_total = 0;
+  std::uint64_t chunks_flagged = 0;
+  std::uint64_t values_compared = 0;
+  std::uint64_t values_exceeding = 0;
+  double max_abs_diff = 0;
+  double rel_l2_error = 0;
+  /// Pair-level quantities, identical across one pair's field records.
+  std::uint64_t bytes_read = 0;
+  double wall_seconds = 0;
+  /// Inclusive [first, last] flagged chunk runs in global chunk space
+  /// (empty for "*" records and clean fields).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> flagged_ranges;
+
+  [[nodiscard]] bool diverged() const noexcept {
+    return values_exceeding > 0;
+  }
+};
+
+/// Per-field aggregation across the whole history.
+struct FieldSummary {
+  std::string field;
+  std::optional<std::uint64_t> first_divergent_iteration;
+  /// Lowest diverged rank at that first iteration.
+  std::optional<std::uint32_t> first_divergent_rank;
+  std::uint64_t records_diverged = 0;
+  double peak_max_abs_diff = 0;
+  /// max |a-b| at the first / latest diverged iteration (any rank): their
+  /// ratio is the severity growth over the recorded window.
+  double first_max_abs_diff = 0;
+  double last_max_abs_diff = 0;
+
+  /// last/first severity ratio; 1 = stable, > 1 = growing, 0 = undefined
+  /// (no divergence or zero first severity).
+  [[nodiscard]] double severity_growth() const noexcept {
+    return first_max_abs_diff > 0 ? last_max_abs_diff / first_max_abs_diff
+                                  : 0.0;
+  }
+};
+
+/// Per-rank first divergence (any field).
+struct RankSummary {
+  std::uint32_t rank = 0;
+  std::optional<std::uint64_t> first_divergent_iteration;
+};
+
+struct LedgerSummary {
+  std::optional<std::uint64_t> first_divergent_iteration;  ///< any field/rank
+  std::vector<FieldSummary> fields;  ///< sorted by field name
+  std::vector<RankSummary> ranks;    ///< sorted by rank
+};
+
+class DivergenceLedger {
+ public:
+  DivergenceLedger() = default;
+  DivergenceLedger(std::string run_a, std::string run_b, double error_bound)
+      : run_a_(std::move(run_a)),
+        run_b_(std::move(run_b)),
+        error_bound_(error_bound) {}
+
+  [[nodiscard]] const std::string& run_a() const noexcept { return run_a_; }
+  [[nodiscard]] const std::string& run_b() const noexcept { return run_b_; }
+  [[nodiscard]] double error_bound() const noexcept { return error_bound_; }
+  [[nodiscard]] const std::vector<LedgerRecord>& records() const noexcept {
+    return records_;
+  }
+
+  void add_record(LedgerRecord record) {
+    records_.push_back(std::move(record));
+  }
+
+  /// Folds one compared pair into records: one per field when the report
+  /// carries field_divergences, else a single "*" record for the pair.
+  void add_pair(const ckpt::CheckpointPair& pair,
+                const cmp::CompareReport& report);
+
+  /// Folds an entire history comparison (one add_pair per compared pair).
+  void add_history(const cmp::HistoryReport& history);
+
+  [[nodiscard]] LedgerSummary summarize() const;
+
+  /// Writes header + records as JSONL (atomic publish via the fs helpers).
+  [[nodiscard]] repro::Status write_jsonl(
+      const std::filesystem::path& path) const;
+
+  /// Parses a ledger written by write_jsonl(). Rejects unknown schemas and
+  /// future versions; tolerates unknown extra keys within a known version.
+  [[nodiscard]] static repro::Result<DivergenceLedger> load(
+      const std::filesystem::path& path);
+
+ private:
+  std::string run_a_;
+  std::string run_b_;
+  double error_bound_ = 0;
+  std::vector<LedgerRecord> records_;
+};
+
+}  // namespace repro::diverge

@@ -1,0 +1,46 @@
+// Divergence timeline rendering for `repro-cli timeline`.
+//
+// Turns a DivergenceLedger into the forensics view a human reads first:
+//
+//   * an iteration × field table (worst rank per cell) showing when each
+//     field started exceeding ε and how severe it got;
+//   * per-field / per-rank first-divergence and severity-growth summaries;
+//   * a chunk-space mismatch heatmap per flagged field — one row per
+//     iteration, chunk range bucketed into fixed-width columns, cell
+//     intensity = fraction of the bucket's chunks flagged by stage 1.
+//
+// Plain-ASCII by default; `ansi` adds a green→red color ramp. `json`
+// replaces the tables with a machine-readable document (schema
+// "repro.divergence.timeline"). docs/OBSERVABILITY.md walks through reading
+// the output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "diverge/ledger.hpp"
+
+namespace repro::diverge {
+
+struct TimelineOptions {
+  /// Color heatmap cells with ANSI escapes (for terminals); the ASCII
+  /// intensity ramp is always present so piped output stays readable.
+  bool ansi = false;
+  /// Emit a JSON document instead of the human tables.
+  bool json = false;
+  /// Columns per heatmap row; the field's chunk range is bucketed into this
+  /// many cells.
+  std::size_t heatmap_width = 64;
+};
+
+/// Renders the ledger. Pure function of the ledger contents — callers
+/// decide where it goes (stdout, a file, a test assertion).
+[[nodiscard]] std::string render_timeline(const DivergenceLedger& ledger,
+                                          const TimelineOptions& options);
+
+[[nodiscard]] inline std::string render_timeline(
+    const DivergenceLedger& ledger) {
+  return render_timeline(ledger, TimelineOptions{});
+}
+
+}  // namespace repro::diverge

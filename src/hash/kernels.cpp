@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "common/build_info.hpp"
 #include "hash/kernels_impl.hpp"
 #include "hash/quantize.hpp"
 
@@ -147,6 +148,11 @@ const KernelTable& auto_table() {
 #endif
     return kPortableTable;
   }();
+  // Register the dispatch decision as build provenance: run reports and
+  // divergence ledgers record which kernel level produced their digests.
+  static const bool registered =
+      (repro::set_simd_dispatch_level(table.name), true);
+  (void)registered;
   return table;
 }
 

@@ -12,6 +12,9 @@ struct StreamMetrics {
   telemetry::Counter& slices;
   telemetry::Counter& bytes;
   telemetry::Counter& batch_retries;
+  /// Bytes buffered in filled slices the consumer has not drained yet;
+  /// mirrored into traces by telemetry::ResourceSampler.
+  telemetry::Gauge& bytes_inflight;
 
   static StreamMetrics& get() {
     auto& registry = telemetry::MetricsRegistry::global();
@@ -19,10 +22,22 @@ struct StreamMetrics {
         registry.counter("io.stream.slices"),
         registry.counter("io.stream.bytes"),
         registry.counter("io.batch_retry.count"),
+        registry.gauge("io.stream.bytes_inflight"),
     };
     return *metrics;
   }
 };
+
+/// Recomputes the in-flight gauge; callers hold the streamer's mutex and
+/// the filled queue is at most `depth` entries, so the walk is trivial.
+template <typename FilledQueue>
+void update_bytes_inflight(const FilledQueue& filled) {
+  double total = 0;
+  for (const auto& slice : filled) {
+    total += static_cast<double>(slice->data_a.size() + slice->data_b.size());
+  }
+  StreamMetrics::get().bytes_inflight.set(total);
+}
 
 }  // namespace
 
@@ -159,6 +174,7 @@ void PairedChunkStreamer::producer_loop() {
         status_ = status;
         free_slots_.push_back(std::move(slot));
       }
+      update_bytes_inflight(filled_);
     }
     slice_ready_.notify_one();
     pos = end;
@@ -183,6 +199,7 @@ ChunkSlice* PairedChunkStreamer::next() {
   if (filled_.empty()) return nullptr;
   consumer_slice_ = std::move(filled_.front());
   filled_.pop_front();
+  update_bytes_inflight(filled_);
   return consumer_slice_.get();
 }
 

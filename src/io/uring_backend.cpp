@@ -35,6 +35,9 @@ struct UringMetrics {
   telemetry::Counter& batches;
   telemetry::Histogram& batch_bytes;
   telemetry::Histogram& batch_seconds;
+  /// Live SQEs submitted but not yet completed; mirrored into traces by
+  /// telemetry::ResourceSampler.
+  telemetry::Gauge& inflight;
 
   static UringMetrics& get() {
     auto& registry = telemetry::MetricsRegistry::global();
@@ -49,6 +52,7 @@ struct UringMetrics {
         registry.histogram("io.batch.bytes", telemetry::size_buckets_bytes()),
         registry.histogram("io.batch.seconds",
                            telemetry::latency_buckets_seconds()),
+        registry.gauge("io.uring.inflight"),
     };
     return *metrics;
   }
@@ -375,6 +379,7 @@ class UringBackend final : public IoBackend {
                         request.offset + done, index);
         ++outstanding;
       }
+      metrics.inflight.set(static_cast<double>(outstanding));
 
       // One syscall submits the whole batch and waits for >= 1 completion.
       repro::Status entered =
@@ -427,6 +432,7 @@ class UringBackend final : public IoBackend {
           ++finished;
         }
       }
+      metrics.inflight.set(static_cast<double>(outstanding));
     }
     return repro::Status::ok();
   }

@@ -138,4 +138,13 @@ std::vector<std::uint64_t> compare_leaves_bruteforce(const MerkleTree& run_a,
   return diff;
 }
 
+std::vector<bool> flagged_bitmap(std::span<const std::uint64_t> flagged,
+                                 std::uint64_t num_chunks) {
+  std::vector<bool> bitmap(static_cast<std::size_t>(num_chunks), false);
+  for (const std::uint64_t chunk : flagged) {
+    if (chunk < num_chunks) bitmap[static_cast<std::size_t>(chunk)] = true;
+  }
+  return bitmap;
+}
+
 }  // namespace repro::merkle

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.hpp"
@@ -44,5 +45,12 @@ std::vector<std::uint64_t> compare_leaves_bruteforce(const MerkleTree& run_a,
 /// Pick the auto start level: shallowest level whose width >= 4 * ways,
 /// clamped to the tree depth.
 std::uint32_t auto_start_level(const TreeLayout& layout, std::size_t ways);
+
+/// Expands a sorted flagged-chunk list (compare_trees output) into a dense
+/// per-chunk bitmap. Forensics tools (`repro-cli timeline`'s chunk-space
+/// heatmap) index this directly instead of binary-searching the list.
+/// Out-of-range indices are ignored.
+std::vector<bool> flagged_bitmap(std::span<const std::uint64_t> flagged,
+                                 std::uint64_t num_chunks);
 
 }  // namespace repro::merkle

@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <string>
 
+#include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
 namespace repro::par {
+
+namespace {
+
+/// Live queue depth, mirrored into traces by telemetry::ResourceSampler.
+telemetry::Gauge& queue_depth_gauge() {
+  static telemetry::Gauge& gauge =
+      telemetry::MetricsRegistry::global().gauge("par.pool.queue_depth");
+  return gauge;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   num_threads = std::max<std::size_t>(num_threads, 1);
@@ -32,6 +44,7 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    queue_depth_gauge().set(static_cast<double>(queue_.size()));
   }
   work_available_.notify_one();
 }
@@ -51,6 +64,7 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_gauge().set(static_cast<double>(queue_.size()));
       ++in_flight_;
     }
     {

@@ -19,6 +19,12 @@ struct NoiseConfig {
   /// permutation and the jitter stream.
   std::uint64_t run_seed = 0;
 
+  /// First iteration (1-based, matching capture iteration numbers) at which
+  /// noise kicks in; earlier steps are bit-deterministic. Lets experiments
+  /// inject divergence at a known point and check that comparison tools
+  /// recover exactly that first-divergence iteration. 0 = from the start.
+  std::uint64_t start_iteration = 0;
+
   /// Permute the mass-deposit accumulation order. This is the *real*
   /// nondeterminism mechanism: floating-point addition is not associative,
   /// so a different order yields slightly different mesh densities, which

@@ -152,11 +152,15 @@ void HaccLite::apply_pp_correction(std::vector<double>& ax,
 repro::Status HaccLite::step() {
   const std::size_t count = particles_.size();
   const NoiseConfig& noise = config_.noise;
+  // This step produces iteration_ + 1; noise before start_iteration stays
+  // dormant so runs agree bit-for-bit up to the injection point.
+  const bool noise_active =
+      noise.enabled && iteration_ + 1 >= noise.start_iteration;
 
   // Deposit order: natural (deterministic) or permuted (models the
   // concurrency-dependent reduction order).
   std::span<const std::uint32_t> order;
-  if (noise.enabled && noise.shuffle_deposit) {
+  if (noise_active && noise.shuffle_deposit) {
     // Fisher-Yates with the per-run noise stream.
     for (std::size_t i = count; i > 1; --i) {
       const std::size_t j = noise_rng_.next_below(i);
@@ -171,14 +175,14 @@ repro::Status HaccLite::step() {
 
   if (config_.pp_cutoff > 0) apply_pp_correction(ax_, ay_, az_);
 
-  if (noise.enabled && noise.jitter_magnitude > 0) {
+  if (noise_active && noise.jitter_magnitude > 0) {
     for (std::size_t p = 0; p < count; ++p) {
       ax_[p] += (noise_rng_.next_double() * 2 - 1) * noise.jitter_magnitude;
       ay_[p] += (noise_rng_.next_double() * 2 - 1) * noise.jitter_magnitude;
       az_[p] += (noise_rng_.next_double() * 2 - 1) * noise.jitter_magnitude;
     }
   }
-  if (noise.enabled && noise.hotspot_fraction > 0 &&
+  if (noise_active && noise.hotspot_fraction > 0 &&
       noise.hotspot_magnitude > 0) {
     const auto kicks = static_cast<std::size_t>(
         noise.hotspot_fraction * static_cast<double>(count));

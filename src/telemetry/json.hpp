@@ -1,6 +1,6 @@
 // Minimal JSON emission helpers shared by the telemetry writers (metrics
-// snapshots, Chrome trace events, run reports). Emission only — reprokit
-// never parses general JSON, so there is no parser here.
+// snapshots, Chrome trace events, run reports). Emission only — the matching
+// parser (used by the divergence-ledger load path) lives in json_parse.hpp.
 #pragma once
 
 #include <cmath>

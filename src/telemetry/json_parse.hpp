@@ -1,0 +1,53 @@
+// Minimal JSON parsing for reprokit's own artifacts.
+//
+// The emission helpers live in json.hpp; this is their counterpart, added
+// when the divergence ledger (docs/FORMATS.md) gained a load path: `repro-cli
+// timeline` and the ledger round-trip tests read back JSONL records the tool
+// itself wrote. The parser is a small recursive-descent over the full JSON
+// grammar (objects, arrays, strings with escapes, numbers, literals) with a
+// depth limit; it is not tuned for huge documents — ledger lines are short.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::telemetry {
+
+/// One parsed JSON value. A tagged aggregate rather than std::variant so
+/// call sites can chain `.object.at("x").number` without visitors.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+
+  /// Member lookup that tolerates missing keys and wrong kinds: returns
+  /// nullptr unless this is an object containing `key`.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Convenience accessors returning fallbacks on kind mismatch / absence —
+  /// ledger loading degrades field-by-field instead of failing wholesale.
+  [[nodiscard]] double number_or(std::string_view key,
+                                 double fallback) const;
+  [[nodiscard]] std::uint64_t u64_or(std::string_view key,
+                                     std::uint64_t fallback) const;
+  [[nodiscard]] std::string string_or(std::string_view key,
+                                      std::string_view fallback) const;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Returns nullopt on any syntax error.
+[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text);
+
+}  // namespace repro::telemetry

@@ -1,5 +1,6 @@
 #include "telemetry/report.hpp"
 
+#include "common/build_info.hpp"
 #include "common/fs.hpp"
 #include "telemetry/json.hpp"
 
@@ -22,6 +23,18 @@ std::string RunReport::to_json() const {
     out += ",\n  \"verdict\": ";
     json_append_string(out, verdict_);
   }
+  // Build provenance makes artifacts from different machines attributable:
+  // a cross-machine verdict mismatch can be triaged as toolchain vs. data.
+  const BuildInfo build = repro::build_info();
+  out += ",\n  \"provenance\": {\"compiler\": ";
+  json_append_string(out, build.compiler);
+  out += ", \"build_type\": ";
+  json_append_string(out, build.build_type);
+  out += ", \"version\": ";
+  json_append_string(out, build.version);
+  out += ", \"simd_level\": ";
+  json_append_string(out, build.simd_level);
+  out += "}";
   out += ",\n  \"info\": {";
   bool first = true;
   for (const auto& [key, value] : info_) {

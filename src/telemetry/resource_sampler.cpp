@@ -1,0 +1,181 @@
+#include "telemetry/resource_sampler.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#define REPRO_HAVE_RUSAGE 1
+#endif
+
+namespace repro::telemetry {
+
+namespace {
+
+#if defined(__linux__)
+
+/// Current RSS from /proc/self/statm (field 2, resident pages).
+double read_rss_bytes() {
+  std::FILE* file = std::fopen("/proc/self/statm", "r");
+  if (file == nullptr) return -1.0;
+  long size_pages = 0;
+  long resident_pages = 0;
+  const int parsed = std::fscanf(file, "%ld %ld", &size_pages, &resident_pages);
+  std::fclose(file);
+  if (parsed != 2) return -1.0;
+  const long page_size = ::sysconf(_SC_PAGESIZE);
+  if (page_size <= 0) return -1.0;
+  return static_cast<double>(resident_pages) * static_cast<double>(page_size);
+}
+
+/// Bytes through the block layer from /proc/self/io. The file needs no
+/// privileges for one's own process but may be absent (CONFIG_TASK_IO_ACCOUNTING
+/// off, some containers): report -1 rather than 0 so absent != idle.
+void read_io_bytes(double* read_bytes, double* written_bytes) {
+  *read_bytes = -1.0;
+  *written_bytes = -1.0;
+  std::FILE* file = std::fopen("/proc/self/io", "r");
+  if (file == nullptr) return;
+  char line[128];
+  while (std::fgets(line, sizeof line, file) != nullptr) {
+    unsigned long long value = 0;
+    if (std::sscanf(line, "read_bytes: %llu", &value) == 1) {
+      *read_bytes = static_cast<double>(value);
+    } else if (std::sscanf(line, "write_bytes: %llu", &value) == 1) {
+      *written_bytes = static_cast<double>(value);
+    }
+  }
+  std::fclose(file);
+}
+
+#else
+
+double read_rss_bytes() { return -1.0; }
+void read_io_bytes(double* read_bytes, double* written_bytes) {
+  *read_bytes = -1.0;
+  *written_bytes = -1.0;
+}
+
+#endif  // __linux__
+
+void read_cpu_seconds(double* user_seconds, double* sys_seconds) {
+  *user_seconds = -1.0;
+  *sys_seconds = -1.0;
+#if defined(REPRO_HAVE_RUSAGE)
+  struct rusage usage {};
+  if (::getrusage(RUSAGE_SELF, &usage) == 0) {
+    *user_seconds = static_cast<double>(usage.ru_utime.tv_sec) +
+                    static_cast<double>(usage.ru_utime.tv_usec) * 1e-6;
+    *sys_seconds = static_cast<double>(usage.ru_stime.tv_sec) +
+                   static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+  }
+#endif
+}
+
+/// Internal in-flight gauges the sampler mirrors into the trace. Referencing
+/// them here registers them at value 0 even before the owning subsystem runs,
+/// so counter tracks exist (flat at zero) in every trace.
+struct InternalGauges {
+  Gauge& uring_inflight;
+  Gauge& pool_queue_depth;
+  Gauge& stream_bytes_inflight;
+
+  static InternalGauges& get() {
+    static InternalGauges gauges{
+        MetricsRegistry::global().gauge("io.uring.inflight"),
+        MetricsRegistry::global().gauge("par.pool.queue_depth"),
+        MetricsRegistry::global().gauge("io.stream.bytes_inflight")};
+    return gauges;
+  }
+};
+
+}  // namespace
+
+ResourceSnapshot sample_process_resources() {
+  ResourceSnapshot snapshot;
+  snapshot.rss_bytes = read_rss_bytes();
+  read_cpu_seconds(&snapshot.user_cpu_seconds, &snapshot.sys_cpu_seconds);
+  read_io_bytes(&snapshot.read_bytes, &snapshot.written_bytes);
+  return snapshot;
+}
+
+void ResourceSampler::start(Options options) {
+  if (running_.load(std::memory_order_relaxed)) return;
+  options_ = options;
+  samples_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_relaxed);
+  sample_once();  // guarantee at least one sample even for instant commands
+  thread_ = std::thread([this] { run_loop(); });
+}
+
+void ResourceSampler::stop() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  sample_once();  // final reading so the trace's last tick is current
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void ResourceSampler::run_loop() {
+  Tracer::global().set_thread_name("resource-sampler");
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, options_.period,
+                     [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    sample_once();
+    lock.lock();
+  }
+}
+
+void ResourceSampler::sample_once() {
+  const ResourceSnapshot snapshot = sample_process_resources();
+  InternalGauges& internal = InternalGauges::get();
+
+  const struct {
+    const char* name;
+    double value;
+  } counters[] = {
+      {"res.rss_bytes", snapshot.rss_bytes},
+      {"res.cpu.user_seconds", snapshot.user_cpu_seconds},
+      {"res.cpu.sys_seconds", snapshot.sys_cpu_seconds},
+      {"res.io.read_bytes", snapshot.read_bytes},
+      {"res.io.written_bytes", snapshot.written_bytes},
+      {"io.uring.inflight", internal.uring_inflight.value()},
+      {"par.pool.queue_depth", internal.pool_queue_depth.value()},
+      {"io.stream.bytes_inflight", internal.stream_bytes_inflight.value()},
+  };
+
+  Tracer& tracer = Tracer::global();
+  MetricsRegistry& registry = MetricsRegistry::global();
+  for (const auto& counter : counters) {
+    if (counter.value < 0.0) continue;  // unavailable on this platform
+    if (options_.emit_trace_counters) {
+      tracer.record_counter(counter.name, counter.value);
+    }
+    // The io/par gauges already live in the registry; only the res.* process
+    // readings need a gauge mirror.
+    if (options_.emit_gauges &&
+        std::strncmp(counter.name, "res.", 4) == 0) {
+      registry.gauge(counter.name).set(counter.value);
+    }
+  }
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace repro::telemetry

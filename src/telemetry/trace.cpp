@@ -113,6 +113,28 @@ void Tracer::record(std::string_view name, std::uint64_t begin_ns,
   buffer.push(name, begin_ns, end_ns, args_json);
 }
 
+namespace {
+
+// Counter samples arrive at sampler rate; bound the buffer so a run that
+// forgets to stop its sampler cannot grow without limit. At the default
+// 50 ms period this covers ~54 minutes of samples per counter octet.
+constexpr std::size_t kMaxCounterSamples = 1 << 18;
+
+}  // namespace
+
+void Tracer::record_counter(std::string_view name, double value) {
+  if (!enabled()) return;
+  const std::uint64_t ts = detail::trace_now_ns();
+  std::lock_guard<std::mutex> lock(counter_mu_);
+  if (counters_.size() >= kMaxCounterSamples) return;
+  counters_.push_back({std::string{name}, ts, value});
+}
+
+std::uint64_t Tracer::counter_count() {
+  std::lock_guard<std::mutex> lock(counter_mu_);
+  return counters_.size();
+}
+
 std::uint64_t Tracer::span_count() {
   std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t total = 0;
@@ -143,6 +165,9 @@ void Tracer::clear() {
     buffer->ring.clear();
     buffer->ring.shrink_to_fit();
   }
+  std::lock_guard<std::mutex> counter_lock(counter_mu_);
+  counters_.clear();
+  counters_.shrink_to_fit();
 }
 
 namespace {
@@ -277,6 +302,30 @@ std::string Tracer::chrome_trace_json() {
 
   for (const ThreadSpans& thread : threads) {
     emit_thread_events(out, thread, &first);
+  }
+
+  // Counter samples ("C" phase). Chrome keys counter tracks by (pid, name),
+  // so all samples share pid 1; sort by timestamp since concurrent
+  // recorders can take their timestamps slightly out of lock order.
+  std::vector<CounterSample> counters;
+  {
+    std::lock_guard<std::mutex> counter_lock(counter_mu_);
+    counters = counters_;
+  }
+  std::stable_sort(counters.begin(), counters.end(),
+                   [](const CounterSample& a, const CounterSample& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  for (const CounterSample& sample : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"name\": ";
+    json_append_string(out, sample.name);
+    out += ", \"cat\": \"repro\", \"ph\": \"C\", \"ts\": ";
+    append_ts_us(out, sample.ts_ns);
+    out += ", \"pid\": 1, \"tid\": 0, \"args\": {\"value\": ";
+    json_append_number(out, sample.value);
+    out += "}}";
   }
   out += "\n  ]\n}\n";
   return out;

@@ -12,6 +12,11 @@
 // trace-event JSON ("B"/"E" duration events), loadable in Perfetto
 // (https://ui.perfetto.dev) or chrome://tracing. The CLI wires this to
 // `--trace-out=PATH`; see docs/OBSERVABILITY.md.
+//
+// Besides spans, the tracer buffers *counter samples* ("C" phase events):
+// timestamped numeric values such as RSS or io_uring in-flight depth, fed by
+// telemetry::ResourceSampler. Counters render as stacked area charts in the
+// trace viewer, aligned with the spans on the same timeline.
 #pragma once
 
 #include <atomic>
@@ -60,6 +65,15 @@ class Tracer {
   [[nodiscard]] std::uint64_t span_count();
   [[nodiscard]] std::uint64_t dropped_spans();
 
+  /// Buffers one counter sample (Chrome "C" phase) at the current trace
+  /// timestamp. Samples arrive at sampler rate (tens of Hz), so a plain
+  /// mutex-guarded vector is plenty; calls are no-ops while tracing is
+  /// disabled. `name` becomes the counter track's title in the viewer.
+  void record_counter(std::string_view name, double value);
+
+  /// Counter samples currently buffered (for tests / introspection).
+  [[nodiscard]] std::uint64_t counter_count();
+
   /// Drops all buffered spans (ring memory is released).
   void clear();
 
@@ -74,11 +88,19 @@ class Tracer {
               std::uint64_t end_ns, std::string_view args_json);
 
  private:
+  struct CounterSample {
+    std::string name;
+    std::uint64_t ts_ns = 0;
+    double value = 0.0;
+  };
+
   Tracer() = default;
   detail::TraceBuffer& thread_buffer();
 
   std::mutex mu_;
   std::vector<std::unique_ptr<detail::TraceBuffer>> buffers_;
+  std::mutex counter_mu_;
+  std::vector<CounterSample> counters_;
 };
 
 /// RAII span: records [construction, destruction) of the enclosing scope

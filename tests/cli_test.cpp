@@ -81,7 +81,7 @@ TEST_F(CliTest, HistoryDetectsNondeterminism) {
   simulate("run-2", "--noise-seed 22 --jitter 1e-4");
   const CommandResult result =
       run_cli("history " + pfs() + " run-1 run-2 --eps 1e-06");
-  EXPECT_EQ(result.exit_code, 3) << result.output;
+  EXPECT_EQ(result.exit_code, 1) << result.output;
   EXPECT_NE(result.output.find("first divergence: iteration 5"),
             std::string::npos)
       << result.output;
@@ -95,7 +95,7 @@ TEST_F(CliTest, CompareMethodsAgreeOnExitCode) {
   for (const char* method : {"ours", "direct", "allclose"}) {
     const CommandResult result = run_cli("compare " + pair + " --eps 1e-06 " +
                                          "--method " + std::string{method});
-    EXPECT_EQ(result.exit_code, 3) << method << ": " << result.output;
+    EXPECT_EQ(result.exit_code, 1) << method << ": " << result.output;
   }
   // Same file against itself: all methods report agreement.
   const std::string self = pfs() + "/run-1/iter10/rank0.ckpt " + pfs() +
@@ -115,7 +115,7 @@ TEST_F(CliTest, CompareShowsLocalizedDiffs) {
   const CommandResult result = run_cli(
       "compare " + pfs() + "/run-1/iter10/rank0.ckpt " + pfs() +
       "/run-2/iter10/rank0.ckpt --eps 1e-06 --diffs 3");
-  EXPECT_EQ(result.exit_code, 3);
+  EXPECT_EQ(result.exit_code, 1);
   EXPECT_NE(result.output.find("sample differences"), std::string::npos);
   EXPECT_NE(result.output.find("chunks flagged"), std::string::npos);
 }
@@ -142,10 +142,20 @@ TEST_F(CliTest, TreeAndInspect) {
 }
 
 TEST_F(CliTest, CompareMissingFileFailsCleanly) {
+  // Runtime errors share exit code 2 with usage errors, leaving 1 to mean
+  // exactly "ran fine, found divergence" (the diff(1) convention).
   const CommandResult result =
       run_cli("compare /nonexistent/a.ckpt /nonexistent/b.ckpt");
-  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(result.exit_code, 2);
   EXPECT_NE(result.output.find("error:"), std::string::npos);
+}
+
+TEST_F(CliTest, UsagePrintsExitCodeContract) {
+  const CommandResult result = run_cli("");
+  EXPECT_NE(result.output.find("exit codes"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("1 = divergence found"), std::string::npos)
+      << result.output;
 }
 
 TEST_F(CliTest, FieldsPerBoundVerdicts) {
@@ -167,7 +177,7 @@ TEST_F(CliTest, FieldsPerBoundVerdicts) {
   const CommandResult tight = run_cli(
       "fields " + other_pair +
       " --default-eps 10 --bounds VX=1e-9 --chunk 4K");
-  EXPECT_EQ(tight.exit_code, 3) << tight.output;
+  EXPECT_EQ(tight.exit_code, 1) << tight.output;
   EXPECT_NE(tight.output.find("DIVERGED"), std::string::npos);
 }
 
@@ -196,7 +206,7 @@ TEST_F(CliTest, ProveAndVerifyRoundTrip) {
   const CommandResult bad = run_cli("verify " + proof + " " + ckpt +
                                     " --root " + wrong_root +
                                     " --chunk 4K --eps 1e-05");
-  EXPECT_EQ(bad.exit_code, 3) << bad.output;
+  EXPECT_EQ(bad.exit_code, 1) << bad.output;
   EXPECT_NE(bad.output.find("REJECTED"), std::string::npos);
 }
 
@@ -240,7 +250,7 @@ TEST_F(CliTest, TelemetryOutputsProduceTraceAndMetrics) {
       "compare " + pfs() + "/run-1/iter10/rank0.ckpt " + pfs() +
       "/run-2/iter10/rank0.ckpt --eps 1e-06 --trace-out " + trace_path +
       " --metrics-out " + metrics_path);
-  EXPECT_EQ(result.exit_code, 3) << result.output;
+  EXPECT_EQ(result.exit_code, 1) << result.output;
   EXPECT_NE(result.output.find("trace written to"), std::string::npos)
       << result.output;
   EXPECT_NE(result.output.find("metrics written to"), std::string::npos)
@@ -261,6 +271,18 @@ TEST_F(CliTest, TelemetryOutputsProduceTraceAndMetrics) {
     EXPECT_NE(trace.find(std::string{"\""} + span + "\""), std::string::npos)
         << "missing span " << span;
   }
+  // The ResourceSampler auto-starts with --trace-out: "C"-phase counter
+  // samples for process resources and internal queue depths must be there.
+  EXPECT_NE(trace.find("\"ph\": \"C\""), std::string::npos) << trace;
+  for (const char* counter :
+       {"res.rss_bytes", "res.cpu.user_seconds", "io.uring.inflight",
+        "par.pool.queue_depth"}) {
+    EXPECT_NE(trace.find(std::string{"\""} + counter + "\""),
+              std::string::npos)
+        << "missing counter track " << counter;
+  }
+  EXPECT_NE(result.output.find("counter samples"), std::string::npos)
+      << result.output;
 
   // Metrics report: verdict + nonzero io.*, merkle.*, compare.* counters.
   const auto metrics_bytes = repro::read_file(metrics_path);
@@ -287,7 +309,11 @@ TEST_F(CliTest, TelemetryOutputsProduceTraceAndMetrics) {
   counter_positive("compare.pairs");
   counter_positive("compare.chunks.total");
   EXPECT_NE(metrics.find("\"timers\""), std::string::npos);
-  EXPECT_NE(metrics.find("\"exit_code\": 3"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("\"exit_code\": 1"), std::string::npos) << metrics;
+  // Build provenance rides along in every run report.
+  EXPECT_NE(metrics.find("\"provenance\""), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("\"compiler\""), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("\"simd_level\""), std::string::npos) << metrics;
 }
 
 TEST_F(CliTest, CleanIoPrintsMetricsPointerNotRecoveryLine) {
@@ -306,7 +332,129 @@ TEST_F(CliTest, BadFlagValueFailsCleanly) {
   EXPECT_EQ(run_cli("simulate --out " + pfs() +
                     " --run r --particles banana")
                 .exit_code,
-            1);
+            2);
+}
+
+// The forensics acceptance scenario: two runs, two ranks, six capture
+// iterations, noise injected at step 7 so the first divergent capture is
+// iteration 8 — the timeline must recover exactly that, per field and per
+// rank, and degrade gracefully once the history goes ragged.
+TEST_F(CliTest, TimelineReportsInjectedFirstDivergence) {
+  const std::string base =
+      " --particles 4096 --steps 12 --capture-every 2 --mesh 16"
+      " --jitter 1e-3 --noise-start 7";
+  for (const char* rank : {"0", "1"}) {
+    ASSERT_EQ(run_cli("simulate --out " + pfs() + " --run run-1 --rank " +
+                      rank + base + " --noise-seed 11")
+                  .exit_code,
+              0);
+    ASSERT_EQ(run_cli("simulate --out " + pfs() + " --run run-2 --rank " +
+                      rank + base + " --noise-seed 22")
+                  .exit_code,
+              0);
+  }
+  ASSERT_TRUE(std::filesystem::exists(dir_.path() / "run-1" / "iter12" /
+                                      "rank1.ckpt"));
+
+  const std::string ledger_path = pfs() + "/ledger.jsonl";
+  const CommandResult result =
+      run_cli("timeline " + pfs() + " run-1 run-2 --eps 1e-06 --ledger-out " +
+              ledger_path);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("first divergence: iteration 8"),
+            std::string::npos)
+      << result.output;
+  // Captures before the injection point are bit-identical, so nothing may
+  // claim an earlier first divergence...
+  for (const char* early : {"diverged at iteration 2 ",
+                            "diverged at iteration 4 ",
+                            "diverged at iteration 6 "}) {
+    EXPECT_EQ(result.output.find(early), std::string::npos) << result.output;
+  }
+  // ...and the velocity fields (which the jitter hits hardest) must report
+  // exactly the injected iteration.
+  for (const char* field : {"VX", "VY", "VZ"}) {
+    const auto at = result.output.find(std::string{"field "} + field);
+    ASSERT_NE(at, std::string::npos) << field << "\n" << result.output;
+    const std::string line =
+        result.output.substr(at, result.output.find('\n', at) - at);
+    EXPECT_NE(line.find("first diverged at iteration 8 "), std::string::npos)
+        << line;
+  }
+  for (const char* rank_line :
+       {"rank 0   first diverged at iteration 8",
+        "rank 1   first diverged at iteration 8"}) {
+    EXPECT_NE(result.output.find(rank_line), std::string::npos)
+        << result.output;
+  }
+  EXPECT_NE(result.output.find("heatmap"), std::string::npos)
+      << result.output;
+
+  // The persisted ledger opens with the versioned, provenance-carrying
+  // header line.
+  const auto ledger_bytes = repro::read_file(ledger_path);
+  ASSERT_TRUE(ledger_bytes.is_ok()) << ledger_bytes.status().message();
+  const std::string ledger(
+      reinterpret_cast<const char*>(ledger_bytes.value().data()),
+      ledger_bytes.value().size());
+  const std::string header = ledger.substr(0, ledger.find('\n'));
+  EXPECT_NE(header.find("\"repro.divergence.ledger\""), std::string::npos);
+  EXPECT_NE(header.find("\"version\""), std::string::npos);
+  EXPECT_NE(header.find("\"provenance\""), std::string::npos);
+
+  // --json emits the machine form with the same verdict.
+  const CommandResult json =
+      run_cli("timeline " + pfs() + " run-1 run-2 --eps 1e-06 --json");
+  EXPECT_EQ(json.exit_code, 1) << json.output;
+  EXPECT_NE(json.output.find("\"repro.divergence.timeline\""),
+            std::string::npos)
+      << json.output;
+  EXPECT_NE(json.output.find("\"first_divergent_iteration\": 8"),
+            std::string::npos)
+      << json.output;
+
+  // Ragged history: losing run-2's last iteration downgrades coverage but
+  // neither crashes nor changes the (earlier) first-divergence verdict.
+  std::filesystem::remove_all(dir_.path() / "run-2" / "iter12");
+  const CommandResult ragged =
+      run_cli("timeline " + pfs() + " run-1 run-2 --eps 1e-06");
+  EXPECT_EQ(ragged.exit_code, 1) << ragged.output;
+  EXPECT_NE(ragged.output.find("exists only in run-1"), std::string::npos)
+      << ragged.output;
+  EXPECT_NE(ragged.output.find("first divergence: iteration 8"),
+            std::string::npos)
+      << ragged.output;
+
+  // The strict history command refuses the ragged pair without --ragged.
+  EXPECT_EQ(run_cli("history " + pfs() + " run-1 run-2 --eps 1e-06")
+                .exit_code,
+            2);
+  const CommandResult lenient =
+      run_cli("history " + pfs() + " run-1 run-2 --eps 1e-06 --ragged");
+  EXPECT_EQ(lenient.exit_code, 1) << lenient.output;
+  EXPECT_NE(lenient.output.find("first divergence: iteration 8"),
+            std::string::npos)
+      << lenient.output;
+}
+
+TEST_F(CliTest, CompareWritesLedger) {
+  simulate("run-1", "--noise-seed 11 --jitter 1e-4");
+  simulate("run-2", "--noise-seed 22 --jitter 1e-4");
+  const std::string ledger_path = pfs() + "/pair-ledger.jsonl";
+  const CommandResult result = run_cli(
+      "compare " + pfs() + "/run-1/iter10/rank0.ckpt " + pfs() +
+      "/run-2/iter10/rank0.ckpt --eps 1e-06 --ledger-out " + ledger_path);
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_NE(result.output.find("ledger written to"), std::string::npos)
+      << result.output;
+  const auto bytes = repro::read_file(ledger_path);
+  ASSERT_TRUE(bytes.is_ok()) << bytes.status().message();
+  const std::string ledger(
+      reinterpret_cast<const char*>(bytes.value().data()),
+      bytes.value().size());
+  // Per-field records present (not just the "*" whole-pair fallback).
+  EXPECT_NE(ledger.find("\"field\": \"VX\""), std::string::npos) << ledger;
+  EXPECT_NE(ledger.find("\"rel_l2_error\""), std::string::npos) << ledger;
 }
 
 }  // namespace

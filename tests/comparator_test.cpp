@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "baseline/direct.hpp"
 #include "common/fs.hpp"
 #include "sim/workload.hpp"
@@ -29,6 +31,28 @@ void write_checkpoint_with_metadata(const std::filesystem::path& path,
                         .build(writer.data_section());
   ASSERT_TRUE(tree.is_ok());
   ASSERT_TRUE(tree.value().save(path.string() + ".rmrk").is_ok());
+}
+
+/// Write one history-catalog checkpoint (fields X and PHI), optionally with
+/// its .rmrk sidecar.
+void write_history_checkpoint(const ckpt::HistoryCatalog& catalog,
+                              const char* run, std::uint64_t iteration,
+                              std::uint32_t rank, const std::vector<float>& x,
+                              const std::vector<float>& phi,
+                              const merkle::TreeParams& params,
+                              bool with_metadata = true) {
+  const auto ref = catalog.make_ref(run, iteration, rank);
+  ASSERT_TRUE(ref.is_ok());
+  ckpt::CheckpointWriter writer("test", run, iteration, rank);
+  ASSERT_TRUE(writer.add_field_f32("X", x).is_ok());
+  ASSERT_TRUE(writer.add_field_f32("PHI", phi).is_ok());
+  ASSERT_TRUE(writer.write(ref.value().checkpoint_path).is_ok());
+  if (with_metadata) {
+    const auto tree = merkle::TreeBuilder(params, par::Exec::serial())
+                          .build(writer.data_section());
+    ASSERT_TRUE(tree.is_ok());
+    ASSERT_TRUE(tree.value().save(ref.value().metadata_path).is_ok());
+  }
 }
 
 class ComparatorTest : public ::testing::Test {
@@ -282,6 +306,168 @@ TEST_F(ComparatorTest, HistoriesFirstDivergence) {
       compare_histories(catalog, "run-a", "run-b", history_options);
   ASSERT_TRUE(early.is_ok());
   EXPECT_EQ(early.value().pairs.size(), 2U);
+}
+
+TEST_F(ComparatorTest, DiffSampleIsDeterministicAcrossSchedules) {
+  const double eps = 1e-5;
+  const auto x = sim::generate_field(40000, 21);
+  auto x_b = x;
+  // Scatter diffs at known ascending positions across many chunks.
+  std::vector<std::uint64_t> injected;
+  for (std::size_t i = 37; i < x_b.size(); i += 197) {
+    x_b[i] += 1.0f;
+    injected.push_back(i);
+  }
+  ASSERT_GT(injected.size(), 32U);
+  const auto phi = sim::generate_field(40000, 22);
+  const auto params = tree_params(eps, 1024);
+  write_checkpoint_with_metadata(dir_.file("a.ckpt"), x, phi, params);
+  write_checkpoint_with_metadata(dir_.file("b.ckpt"), x_b, phi, params);
+
+  CompareOptions opts = options(eps);
+  opts.tree = params;
+  opts.collect_diffs = true;
+  opts.max_diffs = 16;
+  opts.exec = par::Exec::parallel();
+
+  // The contract (CompareOptions::collect_diffs): the max_diffs smallest
+  // value indices, ascending, independent of the dynamic schedule. X is the
+  // first field, so its element index is its data-section value index.
+  const std::vector<std::uint64_t> expected(injected.begin(),
+                                            injected.begin() + 16);
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const auto report =
+        compare_files(dir_.file("a.ckpt"), dir_.file("b.ckpt"), opts);
+    ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+    EXPECT_EQ(report.value().values_exceeding, injected.size());
+    ASSERT_EQ(report.value().diffs.size(), 16U);
+    std::vector<std::uint64_t> indices;
+    for (const auto& diff : report.value().diffs) {
+      indices.push_back(diff.value_index);
+      EXPECT_EQ(diff.field, "X");
+    }
+    EXPECT_TRUE(std::is_sorted(indices.begin(), indices.end()));
+    EXPECT_EQ(indices, expected) << "attempt " << attempt;
+  }
+}
+
+TEST_F(ComparatorTest, FieldStatsCoverGeometryAndSeverity) {
+  const double eps = 1e-5;
+  const auto x = sim::generate_field(20000, 31);
+  auto x_b = x;
+  sim::apply_divergence(x_b, {.region_fraction = 0.05, .region_values = 200,
+                              .magnitude = 1e-3, .seed = 7});
+  const auto phi = sim::generate_field(20000, 32);
+  const auto params = tree_params(eps, 1024);
+  write_checkpoint_with_metadata(dir_.file("a.ckpt"), x, phi, params);
+  write_checkpoint_with_metadata(dir_.file("b.ckpt"), x_b, phi, params);
+
+  CompareOptions opts = options(eps);
+  opts.tree = params;
+  opts.collect_field_stats = true;
+  const auto report =
+      compare_files(dir_.file("a.ckpt"), dir_.file("b.ckpt"), opts);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  // Clean fields get an entry too — the timeline renders their rows.
+  ASSERT_EQ(report.value().field_divergences.size(), 2U);
+  const FieldDivergence& fx = report.value().field_divergences[0];
+  const FieldDivergence& fphi = report.value().field_divergences[1];
+  EXPECT_EQ(fx.field, "X");
+  EXPECT_EQ(fphi.field, "PHI");
+
+  // Chunk geometry: X fills the first 80000 bytes => chunks [0, 78] at
+  // 1 KiB; PHI starts in the boundary chunk.
+  EXPECT_EQ(fx.chunk_begin, 0U);
+  EXPECT_EQ(fx.chunks_total, 79U);
+  EXPECT_EQ(fphi.chunk_begin, 78U);
+
+  EXPECT_TRUE(fx.diverged());
+  EXPECT_EQ(fx.values_exceeding, sim::count_exceeding(x, x_b, eps));
+  EXPECT_GT(fx.max_abs_diff, eps);
+  EXPECT_GT(fx.rel_l2_error, 0.0);
+  EXPECT_FALSE(fphi.diverged());
+  EXPECT_EQ(fx.values_exceeding + fphi.values_exceeding,
+            report.value().values_exceeding);
+
+  // Flagged ranges: inclusive runs inside the field's chunk window that
+  // cover exactly chunks_flagged chunks.
+  ASSERT_FALSE(fx.flagged_ranges.empty());
+  std::uint64_t covered = 0;
+  for (const auto& [lo, hi] : fx.flagged_ranges) {
+    EXPECT_LE(lo, hi);
+    EXPECT_GE(lo, fx.chunk_begin);
+    EXPECT_LT(hi, fx.chunk_begin + fx.chunks_total);
+    covered += hi - lo + 1;
+  }
+  EXPECT_EQ(covered, fx.chunks_flagged);
+  EXPECT_GT(fx.chunks_flagged, 0U);
+}
+
+TEST_F(ComparatorTest, RaggedHistoryComparesIntersection) {
+  ckpt::HistoryCatalog catalog{dir_.path()};
+  const auto params = tree_params(1e-5);
+  // run-b crashed after iteration 20: its iteration-30 checkpoint is gone.
+  for (const std::uint64_t iteration : {10U, 20U, 30U}) {
+    const auto x = sim::generate_field(4000, iteration);
+    const auto phi = sim::generate_field(4000, iteration + 100);
+    auto x_b = x;
+    if (iteration >= 20) {
+      sim::apply_divergence(x_b, {.region_fraction = 0.05,
+                                  .region_values = 100,
+                                  .magnitude = 1e-3,
+                                  .seed = iteration});
+    }
+    write_history_checkpoint(catalog, "run-a", iteration, 0, x, phi, params);
+    if (iteration != 30) {
+      write_history_checkpoint(catalog, "run-b", iteration, 0, x_b, phi,
+                               params);
+    }
+  }
+
+  HistoryOptions history_options;
+  history_options.pair_options = options(1e-5);
+  // The strict contract still refuses ragged layouts...
+  EXPECT_EQ(compare_histories(catalog, "run-a", "run-b", history_options)
+                .status()
+                .code(),
+            repro::StatusCode::kFailedPrecondition);
+
+  // ...while --ragged semantics compare the intersection and report the
+  // orphan instead of crashing.
+  history_options.allow_ragged = true;
+  const auto history =
+      compare_histories(catalog, "run-a", "run-b", history_options);
+  ASSERT_TRUE(history.is_ok()) << history.status().to_string();
+  EXPECT_EQ(history.value().pairs.size(), 2U);
+  ASSERT_TRUE(history.value().first_divergent_iteration.has_value());
+  EXPECT_EQ(*history.value().first_divergent_iteration, 20U);
+  ASSERT_EQ(history.value().only_in_a.size(), 1U);
+  EXPECT_EQ(history.value().only_in_a[0].iteration, 30U);
+  EXPECT_TRUE(history.value().only_in_b.empty());
+}
+
+TEST_F(ComparatorTest, RaggedHistoryWithMissingSidecarsStillCompares) {
+  ckpt::HistoryCatalog catalog{dir_.path()};
+  const auto params = tree_params(1e-5);
+  for (const std::uint64_t iteration : {10U, 20U}) {
+    const auto x = sim::generate_field(3000, iteration);
+    const auto phi = sim::generate_field(3000, iteration + 50);
+    // Iteration 20 was captured without .rmrk sidecars on either side (the
+    // capture died before the metadata flush): trees rebuild on the fly.
+    const bool with_metadata = iteration == 10;
+    write_history_checkpoint(catalog, "run-a", iteration, 0, x, phi, params,
+                             with_metadata);
+    write_history_checkpoint(catalog, "run-b", iteration, 0, x, phi, params,
+                             with_metadata);
+  }
+  HistoryOptions history_options;
+  history_options.pair_options = options(1e-5);
+  history_options.allow_ragged = true;
+  const auto history =
+      compare_histories(catalog, "run-a", "run-b", history_options);
+  ASSERT_TRUE(history.is_ok()) << history.status().to_string();
+  EXPECT_EQ(history.value().pairs.size(), 2U);
+  EXPECT_FALSE(history.value().first_divergent_iteration.has_value());
 }
 
 }  // namespace

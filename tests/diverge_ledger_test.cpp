@@ -1,0 +1,270 @@
+// DivergenceLedger: JSONL round-trip fidelity, schema validation, and the
+// first-divergence / severity-growth aggregation the timeline renders.
+#include "diverge/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/fs.hpp"
+#include "compare/report.hpp"
+#include "diverge/timeline.hpp"
+
+namespace {
+
+using repro::diverge::DivergenceLedger;
+using repro::diverge::LedgerRecord;
+using repro::diverge::LedgerSummary;
+using repro::diverge::TimelineOptions;
+
+repro::Status write_text(const std::filesystem::path& path,
+                         const std::string& text) {
+  return repro::write_file(
+      path, std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(text.data()),
+                text.size()));
+}
+
+LedgerRecord make_record(std::uint64_t iteration, std::uint32_t rank,
+                         const std::string& field,
+                         std::uint64_t values_exceeding, double max_abs_diff) {
+  LedgerRecord record;
+  record.iteration = iteration;
+  record.rank = rank;
+  record.field = field;
+  record.chunk_begin = 8;
+  record.chunks_total = 16;
+  record.chunks_flagged = values_exceeding > 0 ? 3 : 0;
+  record.values_compared = 4096;
+  record.values_exceeding = values_exceeding;
+  record.max_abs_diff = max_abs_diff;
+  record.rel_l2_error = max_abs_diff > 0 ? 0.25 : 0.0;
+  record.bytes_read = 1 << 20;
+  record.wall_seconds = 0.125;
+  if (values_exceeding > 0) {
+    record.flagged_ranges = {{9, 10}, {20, 20}};
+  }
+  return record;
+}
+
+DivergenceLedger make_ledger() {
+  DivergenceLedger ledger("run-a", "run-b", 1e-6);
+  // Iterations 2 and 4 clean; X diverges at 6 (rank 1 first), growing by 8;
+  // PHI diverges at 8 on rank 0 only; Y never diverges.
+  ledger.add_record(make_record(2, 0, "X", 0, 0.0));
+  ledger.add_record(make_record(2, 1, "X", 0, 0.0));
+  ledger.add_record(make_record(4, 0, "Y", 0, 0.0));
+  ledger.add_record(make_record(6, 1, "X", 5, 1e-4));
+  ledger.add_record(make_record(6, 0, "Y", 0, 0.0));
+  ledger.add_record(make_record(8, 0, "X", 40, 8e-4));
+  ledger.add_record(make_record(8, 0, "PHI", 2, 3e-5));
+  return ledger;
+}
+
+TEST(DivergenceLedgerTest, SummarizeFindsFirstDivergencePerFieldAndRank) {
+  const LedgerSummary summary = make_ledger().summarize();
+  ASSERT_TRUE(summary.first_divergent_iteration.has_value());
+  EXPECT_EQ(*summary.first_divergent_iteration, 6u);
+
+  ASSERT_EQ(summary.fields.size(), 3u);  // PHI, X, Y — sorted by name
+  EXPECT_EQ(summary.fields[0].field, "PHI");
+  EXPECT_EQ(summary.fields[1].field, "X");
+  EXPECT_EQ(summary.fields[2].field, "Y");
+
+  const auto& x = summary.fields[1];
+  ASSERT_TRUE(x.first_divergent_iteration.has_value());
+  EXPECT_EQ(*x.first_divergent_iteration, 6u);
+  EXPECT_EQ(*x.first_divergent_rank, 1u);
+  EXPECT_EQ(x.records_diverged, 2u);
+  EXPECT_DOUBLE_EQ(x.peak_max_abs_diff, 8e-4);
+  EXPECT_DOUBLE_EQ(x.severity_growth(), 8.0);  // 8e-4 / 1e-4
+
+  const auto& phi = summary.fields[0];
+  ASSERT_TRUE(phi.first_divergent_iteration.has_value());
+  EXPECT_EQ(*phi.first_divergent_iteration, 8u);
+  EXPECT_EQ(*phi.first_divergent_rank, 0u);
+
+  const auto& y = summary.fields[2];
+  EXPECT_FALSE(y.first_divergent_iteration.has_value());
+  EXPECT_DOUBLE_EQ(y.severity_growth(), 0.0);
+
+  ASSERT_EQ(summary.ranks.size(), 2u);
+  EXPECT_EQ(summary.ranks[0].rank, 0u);
+  ASSERT_TRUE(summary.ranks[0].first_divergent_iteration.has_value());
+  EXPECT_EQ(*summary.ranks[0].first_divergent_iteration, 8u);
+  EXPECT_EQ(summary.ranks[1].rank, 1u);
+  EXPECT_EQ(*summary.ranks[1].first_divergent_iteration, 6u);
+}
+
+TEST(DivergenceLedgerTest, JsonlRoundTripPreservesRecordsAndAggregation) {
+  const DivergenceLedger original = make_ledger();
+  repro::TempDir dir{"ledger-test"};
+  const auto path = dir.path() / "ledger.jsonl";
+  ASSERT_TRUE(original.write_jsonl(path).is_ok());
+
+  auto loaded = DivergenceLedger::load(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().message();
+  EXPECT_EQ(loaded.value().run_a(), "run-a");
+  EXPECT_EQ(loaded.value().run_b(), "run-b");
+  EXPECT_DOUBLE_EQ(loaded.value().error_bound(), 1e-6);
+
+  const auto& got = loaded.value().records();
+  const auto& want = original.records();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].iteration, want[i].iteration) << i;
+    EXPECT_EQ(got[i].rank, want[i].rank) << i;
+    EXPECT_EQ(got[i].field, want[i].field) << i;
+    EXPECT_EQ(got[i].chunk_begin, want[i].chunk_begin) << i;
+    EXPECT_EQ(got[i].chunks_total, want[i].chunks_total) << i;
+    EXPECT_EQ(got[i].chunks_flagged, want[i].chunks_flagged) << i;
+    EXPECT_EQ(got[i].values_compared, want[i].values_compared) << i;
+    EXPECT_EQ(got[i].values_exceeding, want[i].values_exceeding) << i;
+    EXPECT_DOUBLE_EQ(got[i].max_abs_diff, want[i].max_abs_diff) << i;
+    EXPECT_DOUBLE_EQ(got[i].rel_l2_error, want[i].rel_l2_error) << i;
+    EXPECT_EQ(got[i].bytes_read, want[i].bytes_read) << i;
+    EXPECT_DOUBLE_EQ(got[i].wall_seconds, want[i].wall_seconds) << i;
+    EXPECT_EQ(got[i].flagged_ranges, want[i].flagged_ranges) << i;
+  }
+
+  // Identical records must aggregate identically.
+  const LedgerSummary a = original.summarize();
+  const LedgerSummary b = loaded.value().summarize();
+  ASSERT_EQ(a.fields.size(), b.fields.size());
+  EXPECT_EQ(a.first_divergent_iteration, b.first_divergent_iteration);
+  for (std::size_t i = 0; i < a.fields.size(); ++i) {
+    EXPECT_EQ(a.fields[i].field, b.fields[i].field);
+    EXPECT_EQ(a.fields[i].first_divergent_iteration,
+              b.fields[i].first_divergent_iteration);
+    EXPECT_EQ(a.fields[i].first_divergent_rank,
+              b.fields[i].first_divergent_rank);
+    EXPECT_DOUBLE_EQ(a.fields[i].severity_growth(),
+                     b.fields[i].severity_growth());
+  }
+  ASSERT_EQ(a.ranks.size(), b.ranks.size());
+  for (std::size_t i = 0; i < a.ranks.size(); ++i) {
+    EXPECT_EQ(a.ranks[i].rank, b.ranks[i].rank);
+    EXPECT_EQ(a.ranks[i].first_divergent_iteration,
+              b.ranks[i].first_divergent_iteration);
+  }
+}
+
+TEST(DivergenceLedgerTest, HeaderCarriesSchemaVersionAndProvenance) {
+  repro::TempDir dir{"ledger-test"};
+  const auto path = dir.path() / "ledger.jsonl";
+  ASSERT_TRUE(make_ledger().write_jsonl(path).is_ok());
+  auto bytes = repro::read_file(path);
+  ASSERT_TRUE(bytes.is_ok());
+  const std::string text(
+      reinterpret_cast<const char*>(bytes.value().data()),
+      bytes.value().size());
+  const std::string header = text.substr(0, text.find('\n'));
+  EXPECT_NE(header.find("\"schema\": \"repro.divergence.ledger\""),
+            std::string::npos)
+      << header;
+  EXPECT_NE(header.find("\"version\": 1"), std::string::npos) << header;
+  EXPECT_NE(header.find("\"provenance\""), std::string::npos) << header;
+  EXPECT_NE(header.find("\"compiler\""), std::string::npos) << header;
+  EXPECT_NE(header.find("\"simd_level\""), std::string::npos) << header;
+}
+
+TEST(DivergenceLedgerTest, LoadRejectsWrongSchema) {
+  repro::TempDir dir{"ledger-test"};
+  const auto path = dir.path() / "bad.jsonl";
+  ASSERT_TRUE(
+      write_text(path, "{\"schema\": \"other.thing\", \"version\": 1}\n")
+          .is_ok());
+  const auto loaded = DivergenceLedger::load(path);
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), repro::StatusCode::kCorruptData);
+}
+
+TEST(DivergenceLedgerTest, LoadRejectsFutureVersion) {
+  repro::TempDir dir{"ledger-test"};
+  const auto path = dir.path() / "future.jsonl";
+  ASSERT_TRUE(write_text(path,
+                         "{\"schema\": \"repro.divergence.ledger\", "
+                         "\"version\": 99}\n")
+                  .is_ok());
+  const auto loaded = DivergenceLedger::load(path);
+  ASSERT_FALSE(loaded.is_ok());
+  EXPECT_EQ(loaded.status().code(), repro::StatusCode::kUnsupported);
+}
+
+TEST(DivergenceLedgerTest, LoadRejectsMalformedRecordLine) {
+  repro::TempDir dir{"ledger-test"};
+  const auto path = dir.path() / "mangled.jsonl";
+  ASSERT_TRUE(write_text(path,
+                         "{\"schema\": \"repro.divergence.ledger\", "
+                         "\"version\": 1, \"run_a\": \"a\", "
+                         "\"run_b\": \"b\", \"error_bound\": "
+                         "1e-06}\n{not json\n")
+                  .is_ok());
+  EXPECT_FALSE(DivergenceLedger::load(path).is_ok());
+}
+
+TEST(DivergenceLedgerTest, AddPairWithoutFieldStatsEmitsWholePairRecord) {
+  repro::ckpt::CheckpointPair pair;
+  pair.run_a.iteration = 10;
+  pair.run_a.rank = 3;
+  repro::cmp::CompareReport report;
+  report.values_compared = 100;
+  report.values_exceeding = 7;
+  report.chunks_total = 4;
+  report.chunks_flagged = 2;
+  report.bytes_read_per_file = 512;
+  report.metadata_bytes_read = 64;
+  report.total_seconds = 0.5;
+
+  DivergenceLedger ledger("a", "b", 1e-6);
+  ledger.add_pair(pair, report);
+  ASSERT_EQ(ledger.records().size(), 1u);
+  const LedgerRecord& record = ledger.records().front();
+  EXPECT_EQ(record.field, "*");
+  EXPECT_EQ(record.iteration, 10u);
+  EXPECT_EQ(record.rank, 3u);
+  EXPECT_EQ(record.values_exceeding, 7u);
+  EXPECT_EQ(record.bytes_read, 2u * 512u + 64u);
+  EXPECT_TRUE(record.diverged());
+}
+
+TEST(DivergenceLedgerTest, TimelineRendersTableSummariesAndHeatmap) {
+  const DivergenceLedger ledger = make_ledger();
+  const std::string text = repro::diverge::render_timeline(ledger);
+  EXPECT_NE(text.find("run-a vs run-b"), std::string::npos) << text;
+  EXPECT_NE(text.find("first divergence: iteration 6"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("iter"), std::string::npos);
+  EXPECT_NE(text.find("PHI"), std::string::npos);
+  EXPECT_NE(text.find("heatmap X"), std::string::npos) << text;
+  // Clean field: no heatmap, no per-field divergence line.
+  EXPECT_EQ(text.find("heatmap Y"), std::string::npos) << text;
+
+  TimelineOptions json_options;
+  json_options.json = true;
+  const std::string json =
+      repro::diverge::render_timeline(ledger, json_options);
+  EXPECT_NE(json.find("\"schema\": \"repro.divergence.timeline\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"first_divergent_iteration\": 6"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"field\": \"X\""), std::string::npos) << json;
+}
+
+TEST(DivergenceLedgerTest, CleanLedgerReportsNoDivergence) {
+  DivergenceLedger ledger("a", "b", 1e-6);
+  ledger.add_record(make_record(2, 0, "X", 0, 0.0));
+  const LedgerSummary summary = ledger.summarize();
+  EXPECT_FALSE(summary.first_divergent_iteration.has_value());
+  const std::string text = repro::diverge::render_timeline(ledger);
+  EXPECT_NE(text.find("no divergence within the error bound"),
+            std::string::npos)
+      << text;
+}
+
+}  // namespace

@@ -128,6 +128,81 @@ TEST(PairRuns, MisalignedSchedulesRejected) {
             repro::StatusCode::kFailedPrecondition);
 }
 
+TEST(PairRunsLenient, AlignedHistoriesHaveNoLeftovers) {
+  repro::TempDir dir{"history-test"};
+  HistoryCatalog catalog{dir.path()};
+  for (const std::string run : {"a", "b"}) {
+    write_checkpoint(catalog, run, 10, 0);
+    write_checkpoint(catalog, run, 20, 0);
+  }
+  const auto report = catalog.pair_runs_lenient("a", "b");
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().pairs.size(), 2U);
+  EXPECT_FALSE(report.value().ragged());
+}
+
+TEST(PairRunsLenient, MissingIterationsOnOneSidePairTheRest) {
+  // Run b crashed after iteration 10: its iteration 20/30 checkpoints are
+  // gone. The lenient pairing compares the shared prefix and reports the
+  // orphans instead of refusing.
+  repro::TempDir dir{"history-test"};
+  HistoryCatalog catalog{dir.path()};
+  for (const std::uint64_t iteration : {10U, 20U, 30U}) {
+    write_checkpoint(catalog, "a", iteration, 0);
+  }
+  write_checkpoint(catalog, "b", 10, 0);
+  const auto report = catalog.pair_runs_lenient("a", "b");
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_EQ(report.value().pairs.size(), 1U);
+  EXPECT_EQ(report.value().pairs[0].run_a.iteration, 10U);
+  EXPECT_TRUE(report.value().ragged());
+  ASSERT_EQ(report.value().only_in_a.size(), 2U);
+  EXPECT_EQ(report.value().only_in_a[0].iteration, 20U);
+  EXPECT_EQ(report.value().only_in_a[1].iteration, 30U);
+  EXPECT_TRUE(report.value().only_in_b.empty());
+}
+
+TEST(PairRunsLenient, ExtraRanksInterleaveCorrectly) {
+  // Run b ran with one extra rank and run a has a rank only it captured:
+  // one-sided slots land on the correct side, matched slots still pair.
+  repro::TempDir dir{"history-test"};
+  HistoryCatalog catalog{dir.path()};
+  write_checkpoint(catalog, "a", 10, 0);
+  write_checkpoint(catalog, "a", 10, 2);
+  write_checkpoint(catalog, "b", 10, 0);
+  write_checkpoint(catalog, "b", 10, 1);
+  write_checkpoint(catalog, "b", 10, 3);
+  const auto report = catalog.pair_runs_lenient("a", "b");
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_EQ(report.value().pairs.size(), 1U);
+  EXPECT_EQ(report.value().pairs[0].run_a.rank, 0U);
+  ASSERT_EQ(report.value().only_in_a.size(), 1U);
+  EXPECT_EQ(report.value().only_in_a[0].rank, 2U);
+  ASSERT_EQ(report.value().only_in_b.size(), 2U);
+  EXPECT_EQ(report.value().only_in_b[0].rank, 1U);
+  EXPECT_EQ(report.value().only_in_b[1].rank, 3U);
+}
+
+TEST(PairRunsLenient, DisjointHistoriesPairNothing) {
+  repro::TempDir dir{"history-test"};
+  HistoryCatalog catalog{dir.path()};
+  write_checkpoint(catalog, "a", 10, 0);
+  write_checkpoint(catalog, "b", 20, 0);
+  const auto report = catalog.pair_runs_lenient("a", "b");
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_TRUE(report.value().pairs.empty());
+  EXPECT_EQ(report.value().only_in_a.size(), 1U);
+  EXPECT_EQ(report.value().only_in_b.size(), 1U);
+}
+
+TEST(PairRunsLenient, MissingRunStillErrors) {
+  repro::TempDir dir{"history-test"};
+  HistoryCatalog catalog{dir.path()};
+  write_checkpoint(catalog, "a", 10, 0);
+  EXPECT_EQ(catalog.pair_runs_lenient("a", "ghost").status().code(),
+            repro::StatusCode::kNotFound);
+}
+
 TEST(CheckpointRef, HasMetadataChecksFilesystem) {
   repro::TempDir dir{"history-test"};
   HistoryCatalog catalog{dir.path()};

@@ -1,0 +1,114 @@
+// ResourceSampler: /proc-backed snapshots, background sampling cadence,
+// and republication as trace counter events + registry gauges.
+#include "telemetry/resource_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace {
+
+using repro::telemetry::MetricsRegistry;
+using repro::telemetry::ResourceSampler;
+using repro::telemetry::ResourceSnapshot;
+using repro::telemetry::sample_process_resources;
+using repro::telemetry::Tracer;
+
+TEST(ResourceSnapshotTest, ProcessSnapshotHasPlausibleValues) {
+  const ResourceSnapshot snapshot = sample_process_resources();
+#if defined(__linux__)
+  // A running test binary holds at least a page of RSS.
+  EXPECT_GT(snapshot.rss_bytes, 0.0);
+#endif
+  // CPU counters are monotonic non-negative where available; fields the
+  // platform cannot provide stay at the -1 sentinel, never at fake zero.
+  EXPECT_TRUE(snapshot.user_cpu_seconds >= 0.0 ||
+              snapshot.user_cpu_seconds == -1.0);
+  EXPECT_TRUE(snapshot.read_bytes >= 0.0 || snapshot.read_bytes == -1.0);
+}
+
+TEST(ResourceSamplerTest, StartAndStopTakeSynchronousSamples) {
+  ResourceSampler sampler;
+  EXPECT_FALSE(sampler.running());
+  ResourceSampler::Options options;
+  options.period = std::chrono::milliseconds(1000);  // no periodic ticks
+  options.emit_trace_counters = false;
+  sampler.start(options);
+  EXPECT_TRUE(sampler.running());
+  EXPECT_GE(sampler.samples_taken(), 1u);  // one taken inside start()
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GE(sampler.samples_taken(), 2u);  // and one more inside stop()
+  sampler.stop();  // idempotent
+}
+
+TEST(ResourceSamplerTest, PeriodicSamplingAdvances) {
+  ResourceSampler sampler;
+  ResourceSampler::Options options;
+  options.period = std::chrono::milliseconds(5);
+  options.emit_trace_counters = false;
+  sampler.start(options);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (sampler.samples_taken() < 4 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  sampler.stop();
+  EXPECT_GE(sampler.samples_taken(), 4u);
+}
+
+TEST(ResourceSamplerTest, PublishesResGaugesToRegistry) {
+  ResourceSampler sampler;
+  ResourceSampler::Options options;
+  options.period = std::chrono::milliseconds(1000);
+  options.emit_trace_counters = false;
+  sampler.start(options);
+  sampler.stop();
+#if defined(__linux__)
+  EXPECT_GT(MetricsRegistry::global().gauge("res.rss_bytes").value(), 0.0);
+#endif
+  // The internal in-flight gauges exist (possibly 0) once a sampler ran.
+  MetricsRegistry::global().gauge("io.uring.inflight");
+  MetricsRegistry::global().gauge("par.pool.queue_depth");
+  MetricsRegistry::global().gauge("io.stream.bytes_inflight");
+}
+
+TEST(ResourceSamplerTest, EmitsCounterEventsIntoEnabledTracer) {
+  Tracer::global().clear();
+  Tracer::global().set_enabled(true);
+  ResourceSampler sampler;
+  ResourceSampler::Options options;
+  options.period = std::chrono::milliseconds(1000);
+  sampler.start(options);
+  sampler.stop();
+  Tracer::global().set_enabled(false);
+  EXPECT_GE(Tracer::global().counter_count(), 2u);
+
+  const std::string json = Tracer::global().chrome_trace_json();
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos) << json;
+#if defined(__linux__)
+  EXPECT_NE(json.find("\"res.rss_bytes\""), std::string::npos) << json;
+#endif
+  EXPECT_NE(json.find("\"io.uring.inflight\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"par.pool.queue_depth\""), std::string::npos)
+      << json;
+  Tracer::global().clear();
+}
+
+TEST(ResourceSamplerTest, DisabledTracerRecordsNoCounters) {
+  Tracer::global().clear();
+  Tracer::global().set_enabled(false);
+  ResourceSampler sampler;
+  ResourceSampler::Options options;
+  options.period = std::chrono::milliseconds(1000);
+  sampler.start(options);
+  sampler.stop();
+  EXPECT_EQ(Tracer::global().counter_count(), 0u);
+}
+
+}  // namespace

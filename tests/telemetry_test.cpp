@@ -382,6 +382,13 @@ TEST_F(TracerTest, ChromeTraceIsValidWithMatchedPairsAndMonotonicTs) {
       }
       continue;
     }
+    if (phase == "C") {
+      // Counter samples: named, timestamped, with an args.value payload.
+      ASSERT_TRUE(event.object.count("name"));
+      ASSERT_TRUE(event.object.count("ts"));
+      ASSERT_TRUE(event.object.at("args").object.count("value"));
+      continue;
+    }
     ASSERT_TRUE(phase == "B" || phase == "E") << phase;
     ASSERT_TRUE(event.object.count("ts"));
     ASSERT_TRUE(event.object.count("pid"));
@@ -436,6 +443,46 @@ TEST_F(TracerTest, ClearDropsBufferedSpans) {
   EXPECT_EQ(Tracer::global().span_count(), 1u);
   Tracer::global().clear();
   EXPECT_EQ(Tracer::global().span_count(), 0u);
+}
+
+TEST_F(TracerTest, CounterSamplesEmitAsCPhaseEvents) {
+  Tracer::global().set_enabled(true);
+  Tracer::global().record_counter("res.rss_bytes", 4096.0);
+  Tracer::global().record_counter("par.pool.queue_depth", 3.0);
+  Tracer::global().record_counter("res.rss_bytes", 8192.0);
+  { TraceSpan span("alongside"); }
+  Tracer::global().set_enabled(false);
+  EXPECT_EQ(Tracer::global().counter_count(), 3u);
+
+  const std::string json = Tracer::global().chrome_trace_json();
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(json).parse(&doc)) << json;
+  std::size_t counters = 0;
+  double last_ts = 0;
+  for (const JsonValue& event : doc.object.at("traceEvents").array) {
+    if (event.object.at("ph").string != "C") continue;
+    ++counters;
+    EXPECT_FALSE(event.object.at("name").string.empty());
+    const double ts = event.object.at("ts").number;
+    EXPECT_GE(ts, last_ts) << "counter samples must emit in time order";
+    last_ts = ts;
+    ASSERT_TRUE(event.object.at("args").object.count("value"));
+  }
+  EXPECT_EQ(counters, 3u);
+  EXPECT_NE(json.find("\"res.rss_bytes\""), std::string::npos);
+  // Span events coexist with counter tracks in the same document.
+  EXPECT_NE(json.find("\"alongside\""), std::string::npos);
+}
+
+TEST_F(TracerTest, DisabledCounterRecordingIsDropped) {
+  Tracer::global().record_counter("res.rss_bytes", 1.0);
+  EXPECT_EQ(Tracer::global().counter_count(), 0u);
+  Tracer::global().set_enabled(true);
+  Tracer::global().record_counter("res.rss_bytes", 1.0);
+  Tracer::global().set_enabled(false);
+  EXPECT_EQ(Tracer::global().counter_count(), 1u);
+  Tracer::global().clear();
+  EXPECT_EQ(Tracer::global().counter_count(), 0u);
 }
 
 TEST_F(TracerTest, OversizedArgsTruncateOrDropButStayValidJson) {
