@@ -1,0 +1,250 @@
+// Service bench: cold vs warm COMPARE latency against an in-process reprod
+// daemon (the tentpole claim of docs/SERVICE.md — a resident metadata cache
+// answers repeat divergence queries with zero sidecar I/O).
+//
+// One svc::Server runs on a unix socket in a temp dir; a svc::Client issues
+// COMPARE requests over the real wire protocol. "Cold" clears the metadata
+// cache before every request (each query pays two sidecar loads); "warm"
+// leaves the cache resident. The shape check asserts warm < cold and that
+// warm responses report cache hits with metadata_bytes_read == 0.
+//
+// --json <path> writes a machine-readable summary for plotting scripts.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "common/json.hpp"
+#include "compare/comparator.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "telemetry/json_parse.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace {
+
+using namespace repro;
+
+std::string compare_request(const std::filesystem::path& a,
+                            const std::filesystem::path& b) {
+  std::string out = "{";
+  json_append_string(out, "file_a");
+  out += ':';
+  json_append_string(out, a.string());
+  out += ',';
+  json_append_string(out, "file_b");
+  out += ':';
+  json_append_string(out, b.string());
+  out += '}';
+  return out;
+}
+
+/// One COMPARE round-trip; exits on failure, returns the parsed payload.
+telemetry::JsonValue query(svc::Client& client, const std::string& request) {
+  auto response = client.call(svc::Opcode::kCompare, request);
+  if (!response.is_ok() || !response.value().ok()) {
+    std::fprintf(stderr, "COMPARE failed: %s\n",
+                 response.is_ok() ? response.value().payload.c_str()
+                                  : response.status().to_string().c_str());
+    std::exit(1);
+  }
+  auto parsed = telemetry::json_parse(response.value().payload);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "unparseable payload: %s\n",
+                 response.value().payload.c_str());
+    std::exit(1);
+  }
+  return *parsed;
+}
+
+struct Row {
+  std::string name;
+  double median_ms = 0;
+  double requests_per_second = 0;
+  std::uint64_t metadata_bytes_read = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+
+  bench::print_banner(
+      "Service: cold vs warm COMPARE through the reprod daemon",
+      "compare-as-a-service extension",
+      "Warm queries are served from the sharded metadata cache: zero "
+      "sidecar reads.");
+
+  const std::uint64_t values = (1ULL << 20) * bench::scale_factor();
+  TempDir dir{"bench-service"};
+  const bench::PairFiles pair = bench::make_layered_pair(dir, values, "svc");
+  const double eps = 1e-5;
+  const std::uint64_t chunk = 4 * kKiB;
+  const ckpt::CheckpointPair files = bench::metadata_for(pair, chunk, eps);
+  // An agreeing pair: its whole request cost is metadata (load + tree walk),
+  // the part the resident cache eliminates — the paper's repeat-query
+  // economy in its purest form. Reuses run A's checkpoint and sidecar.
+  bench::PairFiles same;
+  same.values_a = pair.values_a;
+  same.values_b = pair.values_a;
+  same.data_bytes = pair.data_bytes;
+  same.run_a = pair.run_a;
+  same.run_b = dir.file("svc-c.ckpt");
+  bench::write_single_field_checkpoint(same.run_b, pair.values_a, "run-c");
+  const ckpt::CheckpointPair agreeing = bench::metadata_for(same, chunk, eps);
+  std::printf("checkpoint size: %s\n\n",
+              format_size(pair.data_bytes).c_str());
+
+  svc::ServerOptions options;
+  options.socket_path = dir.file("reprod.sock");
+  options.workers = 2;
+  options.compare.error_bound = eps;
+  options.compare.tree.chunk_bytes = chunk;
+  options.compare.tree.hash.error_bound = eps;
+  svc::Server server(std::move(options));
+  if (!server.start().is_ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    return 1;
+  }
+  std::thread serve_thread([&server] { (void)server.serve(); });
+
+  svc::ClientOptions client_options;
+  client_options.socket_path = dir.file("reprod.sock");
+  auto client = svc::Client::connect(client_options);
+  if (!client.is_ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().to_string().c_str());
+    return 1;
+  }
+  const std::string divergent_request =
+      compare_request(files.run_a.checkpoint_path,
+                      files.run_b.checkpoint_path);
+  const std::string agreeing_request =
+      compare_request(agreeing.run_a.checkpoint_path,
+                      agreeing.run_b.checkpoint_path);
+
+  // Ground truth for verdict parity.
+  cmp::CompareOptions one_shot;
+  one_shot.error_bound = eps;
+  one_shot.tree.chunk_bytes = chunk;
+  one_shot.tree.hash.error_bound = eps;
+  const auto reference = cmp::compare_pair(files, one_shot);
+  if (!reference.is_ok()) {
+    std::fprintf(stderr, "one-shot compare failed: %s\n",
+                 reference.status().to_string().c_str());
+    return 1;
+  }
+
+  const int reps = 9;
+  bool shapes_ok = true;
+  std::uint64_t warm_metadata_bytes = 0;
+  bool warm_hits = true;
+
+  // Verdict parity through the daemon (cold, then warm).
+  for (int i = 0; i < 2; ++i) {
+    const auto payload = query(client.value(), divergent_request);
+    if (payload.u64_or("values_exceeding", 0) !=
+        reference.value().values_exceeding) {
+      shapes_ok = false;
+    }
+  }
+
+  // Cold: every request reloads both sidecars into the cache.
+  const double cold_ms = bench::median_of(reps, [&] {
+    server.cache().clear();
+    Stopwatch clock;
+    (void)query(client.value(), agreeing_request);
+    return clock.seconds() * 1e3;
+  });
+  // What each cold query had to load: the two trees now resident.
+  const std::uint64_t cold_sidecar_bytes = server.cache().stats().bytes;
+
+  // Warm: the trees stay resident; only the verdict travels.
+  const double warm_ms = bench::median_of(reps, [&] {
+    Stopwatch clock;
+    const auto payload = query(client.value(), agreeing_request);
+    const double ms = clock.seconds() * 1e3;
+    warm_metadata_bytes = payload.u64_or("metadata_bytes_read", 1);
+    const auto* hit_a = payload.find("cache_hit_a");
+    const auto* hit_b = payload.find("cache_hit_b");
+    warm_hits = hit_a != nullptr && hit_a->boolean && hit_b != nullptr &&
+                hit_b->boolean;
+    if (payload.u64_or("values_exceeding", 99) != 0) shapes_ok = false;
+    return ms;
+  });
+
+  // Warm request throughput over one connection.
+  const int burst = 50;
+  Stopwatch burst_clock;
+  for (int i = 0; i < burst; ++i) query(client.value(), agreeing_request);
+  const double burst_seconds = burst_clock.seconds();
+  const double req_per_s =
+      burst_seconds > 0 ? static_cast<double>(burst) / burst_seconds : 0;
+
+  client.value().close();
+  server.request_stop();
+  serve_thread.join();
+
+  std::vector<Row> rows = {
+      {"cold (cache cleared per request)", cold_ms, 0, cold_sidecar_bytes},
+      {"warm (resident cache)", warm_ms, req_per_s, warm_metadata_bytes},
+  };
+  TextTable table({"Mode", "Median latency (ms)", "Warm req/s",
+                   "Sidecar bytes/query"});
+  for (const Row& row : rows) {
+    table.add_row({row.name, strprintf("%.3f", row.median_ms),
+                   row.requests_per_second > 0
+                       ? strprintf("%.0f", row.requests_per_second)
+                       : "-",
+                   format_size(row.metadata_bytes_read)});
+  }
+  table.print();
+
+  if (!(warm_ms < cold_ms)) shapes_ok = false;
+  if (warm_metadata_bytes != 0 || !warm_hits) shapes_ok = false;
+  std::printf("\nshape check (%s):\n"
+              "  [1] warm median latency < cold median latency\n"
+              "  [2] warm queries hit the cache and read 0 sidecar bytes\n"
+              "  [3] daemon verdicts match the one-shot comparator\n",
+              shapes_ok ? "PASS" : "CHECK FAILED");
+
+  if (!json_path.empty()) {
+    std::string out = "{\"benchmarks\": [";
+    bool first_row = true;
+    for (const Row& row : rows) {
+      if (!first_row) out += ',';
+      first_row = false;
+      out += "{\"name\": ";
+      json_append_string(out, row.name);
+      out += ", \"median_ms\": ";
+      json_append_number(out, row.median_ms);
+      out += ", \"requests_per_second\": ";
+      json_append_number(out, row.requests_per_second);
+      out += ", \"metadata_bytes_read\": ";
+      json_append_number(out, row.metadata_bytes_read);
+      out += '}';
+    }
+    out += "],\n\"metrics\": ";
+    out += telemetry::MetricsRegistry::global().snapshot().to_json();
+    out += "}\n";
+    const auto written = repro::write_file(
+        json_path, std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(out.data()),
+                       out.size()));
+    if (!written.is_ok()) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote benchmark summary to %s\n", json_path.c_str());
+  }
+  return shapes_ok ? 0 : 1;
+}

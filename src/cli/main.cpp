@@ -23,6 +23,7 @@
 #include "cli/args.hpp"
 #include "common/bytes.hpp"
 #include "common/fs.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "compare/comparator.hpp"
 #include "compare/fields.hpp"
@@ -31,6 +32,9 @@
 #include "merkle/compare.hpp"
 #include "merkle/proof.hpp"
 #include "sim/hacc_lite.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "telemetry/json_parse.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/resource_sampler.hpp"
@@ -102,6 +106,20 @@ void print_usage() {
       "  repro-cli delta reconstruct ROOT RUN RANK ITER OUT.bin ...\n"
       "  repro-cli delta stats ROOT RUN RANK ...\n"
       "      delta-compacted checkpoint history store\n"
+      "\n"
+      "  repro-cli serve (--socket PATH | --port N) [--cache-bytes 256M]\n"
+      "            [--cache-shards 8] [--workers 2] [--max-inflight 8]\n"
+      "            [--request-timeout-ms 30000] [--eps 1e-6]\n"
+      "            [--backend uring|mmap|pread|threads]\n"
+      "      run the reprod compare daemon: answers COMPARE/TIMELINE\n"
+      "      queries from a sharded LRU metadata cache; drains cleanly on\n"
+      "      SIGTERM or a SHUTDOWN frame (see docs/SERVICE.md)\n"
+      "\n"
+      "  repro-cli client (--socket PATH | --port N) OP [...]\n"
+      "      one request against a running daemon; OP is one of:\n"
+      "        ping | stats | shutdown | compare A.ckpt B.ckpt [--eps E]\n"
+      "        timeline ROOT RUN_A RUN_B [--eps E] | load-run ROOT RUN\n"
+      "      compare/timeline verdicts map onto exit codes 0/1 as usual\n"
       "\n"
       "exit codes: 0 = within the error bound, 1 = divergence found,\n"
       "            2 = usage or runtime error\n");
@@ -832,6 +850,191 @@ int cmd_delta(const Args& args) {
   return 2;
 }
 
+/// `repro-cli serve`: run the reprod compare daemon until SIGTERM/SIGINT
+/// or a SHUTDOWN frame drains it.
+int cmd_serve(const Args& args) {
+  if (!args.has("socket") && !args.has("port")) {
+    std::fprintf(stderr,
+                 "serve requires --socket PATH or --port N (0 = ephemeral)\n");
+    return 2;
+  }
+  svc::ServerOptions options;
+  options.socket_path = args.get("socket", "");
+  auto port = args.get_u64("port", 0);
+  if (!port.is_ok()) return fail(port.status());
+  options.port = static_cast<std::uint16_t>(port.value());
+  auto cache_bytes = args.get_size("cache-bytes", 256 * repro::kMiB);
+  if (!cache_bytes.is_ok()) return fail(cache_bytes.status());
+  options.cache_bytes = cache_bytes.value();
+  auto cache_shards = args.get_u64("cache-shards", 8);
+  if (!cache_shards.is_ok()) return fail(cache_shards.status());
+  options.cache_shards = cache_shards.value();
+  auto workers = args.get_u64("workers", 2);
+  if (!workers.is_ok()) return fail(workers.status());
+  options.workers = workers.value();
+  auto inflight = args.get_u64("max-inflight", 8);
+  if (!inflight.is_ok()) return fail(inflight.status());
+  options.max_inflight_per_client =
+      static_cast<std::uint32_t>(inflight.value());
+  auto timeout_ms = args.get_u64("request-timeout-ms", 30000);
+  if (!timeout_ms.is_ok()) return fail(timeout_ms.status());
+  options.request_timeout = std::chrono::milliseconds(timeout_ms.value());
+  auto max_frame = args.get_size("max-frame-bytes", svc::kDefaultMaxFrameBytes);
+  if (!max_frame.is_ok()) return fail(max_frame.status());
+  options.max_frame_bytes = static_cast<std::uint32_t>(max_frame.value());
+
+  auto eps = args.get_f64("eps", 1e-6);
+  if (!eps.is_ok()) return fail(eps.status());
+  auto backend = io::parse_backend(args.get("backend", "uring"));
+  if (!backend.is_ok()) return fail(backend.status());
+  auto params = tree_params_from(args);
+  if (!params.is_ok()) return fail(params.status());
+  options.compare.error_bound = eps.value();
+  options.compare.backend = backend.value();
+  options.compare.tree = params.value();
+
+  svc::Server server(std::move(options));
+  repro::Status status = svc::install_signal_handlers(server);
+  if (!status.is_ok()) return fail(status);
+  status = server.start();
+  if (!status.is_ok()) return fail(status);
+  std::printf("reprod listening on %s\n", server.endpoint().c_str());
+  std::fflush(stdout);  // tests poll for this line before connecting
+  status = server.serve();
+  if (!status.is_ok()) return fail(status);
+
+  const svc::CacheStats stats = server.cache().stats();
+  std::printf("drained; cache: %llu hits, %llu misses, %llu evictions, "
+              "%llu bytes resident\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.evictions),
+              static_cast<unsigned long long>(stats.bytes));
+  if (g_run_report != nullptr) {
+    g_run_report->set_verdict("drained");
+    g_run_report->add_info("endpoint", server.endpoint());
+    g_run_report->add_value("cache_hits", static_cast<double>(stats.hits));
+    g_run_report->add_value("cache_misses",
+                            static_cast<double>(stats.misses));
+    g_run_report->add_value("cache_evictions",
+                            static_cast<double>(stats.evictions));
+    g_run_report->add_value("cache_bytes", static_cast<double>(stats.bytes));
+  }
+  return 0;
+}
+
+/// `repro-cli client OP ...`: one request against a running daemon. Prints
+/// the response payload (JSON) and mirrors COMPARE verdicts into the usual
+/// 0/1/2 exit-code contract.
+int cmd_client(const Args& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr,
+                 "client requires an operation: ping | compare A B | "
+                 "timeline ROOT RUN_A RUN_B | load-run ROOT RUN | stats | "
+                 "shutdown\n");
+    return 2;
+  }
+  svc::ClientOptions options;
+  options.socket_path = args.get("socket", "");
+  auto port = args.get_u64("port", 0);
+  if (!port.is_ok()) return fail(port.status());
+  options.port = static_cast<std::uint16_t>(port.value());
+  options.host = args.get("host", "127.0.0.1");
+  if (options.socket_path.empty() && options.port == 0) {
+    std::fprintf(stderr, "client requires --socket PATH or --port N\n");
+    return 2;
+  }
+  auto timeout_ms = args.get_u64("timeout-ms", 30000);
+  if (!timeout_ms.is_ok()) return fail(timeout_ms.status());
+  options.timeout = std::chrono::milliseconds(timeout_ms.value());
+
+  const std::string& op = args.positional()[1];
+  svc::Opcode opcode;
+  std::string payload;
+  auto add_eps = [&](std::string& out) {
+    if (args.has("eps")) {
+      auto eps = args.get_f64("eps", 1e-6);
+      if (eps.is_ok()) {
+        out += ",\"eps\":";
+        repro::json_append_number(out, eps.value());
+      }
+    }
+  };
+  if (op == "ping") {
+    opcode = svc::Opcode::kPing;
+  } else if (op == "stats") {
+    opcode = svc::Opcode::kStats;
+  } else if (op == "shutdown") {
+    opcode = svc::Opcode::kShutdown;
+  } else if (op == "compare") {
+    if (args.positional().size() < 4) {
+      std::fprintf(stderr, "client compare requires A.ckpt B.ckpt\n");
+      return 2;
+    }
+    opcode = svc::Opcode::kCompare;
+    payload = "{\"file_a\":";
+    repro::json_append_string(payload, args.positional()[2]);
+    payload += ",\"file_b\":";
+    repro::json_append_string(payload, args.positional()[3]);
+    add_eps(payload);
+    payload += '}';
+  } else if (op == "timeline") {
+    if (args.positional().size() < 5) {
+      std::fprintf(stderr, "client timeline requires ROOT RUN_A RUN_B\n");
+      return 2;
+    }
+    opcode = svc::Opcode::kTimeline;
+    payload = "{\"root\":";
+    repro::json_append_string(payload, args.positional()[2]);
+    payload += ",\"run_a\":";
+    repro::json_append_string(payload, args.positional()[3]);
+    payload += ",\"run_b\":";
+    repro::json_append_string(payload, args.positional()[4]);
+    add_eps(payload);
+    payload += '}';
+  } else if (op == "load-run") {
+    if (args.positional().size() < 4) {
+      std::fprintf(stderr, "client load-run requires ROOT RUN\n");
+      return 2;
+    }
+    opcode = svc::Opcode::kLoadRun;
+    payload = "{\"root\":";
+    repro::json_append_string(payload, args.positional()[2]);
+    payload += ",\"run\":";
+    repro::json_append_string(payload, args.positional()[3]);
+    payload += '}';
+  } else {
+    std::fprintf(stderr, "unknown client operation '%s'\n", op.c_str());
+    return 2;
+  }
+
+  auto client = svc::Client::connect(options);
+  if (!client.is_ok()) return fail(client.status());
+  auto response = client.value().call(opcode, payload);
+  if (!response.is_ok()) return fail(response.status());
+  std::printf("%s %s\n", svc::wire_status_name(response.value().status),
+              response.value().payload.c_str());
+  if (!response.value().ok()) return 2;
+  if (opcode == svc::Opcode::kCompare ||
+      opcode == svc::Opcode::kTimeline) {
+    // Mirror the server-side verdict into the exit code: COMPARE carries
+    // it directly; TIMELINE diverged iff a first divergence was found.
+    const auto doc = telemetry::json_parse(response.value().payload);
+    if (doc.has_value() && doc->is_object()) {
+      if (opcode == svc::Opcode::kCompare) {
+        return static_cast<int>(doc->u64_or("exit_code", 0));
+      }
+      const telemetry::JsonValue* first =
+          doc->find("first_divergent_iteration");
+      return (first != nullptr &&
+              first->kind != telemetry::JsonValue::Kind::kNull)
+                 ? 1
+                 : 0;
+    }
+  }
+  return 0;
+}
+
 int dispatch(const std::string& command, const Args& args) {
   if (command == "simulate") return cmd_simulate(args);
   if (command == "tree") return cmd_tree(args);
@@ -843,6 +1046,11 @@ int dispatch(const std::string& command, const Args& args) {
   if (command == "prove") return cmd_prove(args);
   if (command == "verify") return cmd_verify(args);
   if (command == "delta") return cmd_delta(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "client") return cmd_client(args);
+  // Explicit usage-error path: say what was wrong, then the usage text,
+  // and exit 2 like every other misuse (not a silent fallthrough).
+  std::fprintf(stderr, "error: unknown subcommand '%s'\n", command.c_str());
   print_usage();
   return 2;
 }

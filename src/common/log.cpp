@@ -1,5 +1,7 @@
 #include "common/log.hpp"
 
+#include "common/json.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -89,27 +91,6 @@ std::string iso8601_now() {
   return buf;
 }
 
-void append_json_escaped(std::string& out, std::string_view text) {
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
-
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept {
@@ -161,7 +142,7 @@ std::string format_log_line(LogLevel level, std::string_view message) {
     line += "\",\"tid\":";
     line += std::to_string(tid);
     line += ",\"message\":\"";
-    append_json_escaped(line, message);
+    json_append_escaped(line, message);
     line += "\"}";
   } else {
     line += '[';

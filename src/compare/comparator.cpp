@@ -117,6 +117,12 @@ repro::Result<std::unique_ptr<io::IoBackend>> open_stage2_backend(
 
 repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
                                           const CompareOptions& options) {
+  return compare_pair(pair, options, PreloadedMetadata{});
+}
+
+repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
+                                          const CompareOptions& options,
+                                          const PreloadedMetadata& preloaded) {
   Stopwatch total;
   CompareReport report;
   telemetry::TraceSpan pair_span("compare.pair");
@@ -163,16 +169,39 @@ repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
   }
   report.data_bytes = reader_a->data_bytes();
 
-  // --- read + deserialization: the Merkle metadata.
+  // --- read + deserialization: the Merkle metadata. A preloaded side skips
+  // both phases — no sidecar read, no decode — which is what keeps warm
+  // service queries at metadata_bytes_read == 0.
   telemetry::TraceSpan metadata_span("compare.load_metadata");
+  auto obtain_tree =
+      [&](const std::shared_ptr<const merkle::MerkleTree>& pinned,
+          const ckpt::CheckpointReader& reader,
+          const std::filesystem::path& metadata_path)
+      -> repro::Result<std::shared_ptr<const merkle::MerkleTree>> {
+    if (pinned != nullptr) {
+      if (pinned->data_bytes() != reader.data_bytes()) {
+        return repro::failed_precondition(
+            "preloaded metadata covers " +
+            std::to_string(pinned->data_bytes()) + " bytes but checkpoint " +
+            reader.path().string() + " has " +
+            std::to_string(reader.data_bytes()));
+      }
+      return pinned;
+    }
+    REPRO_ASSIGN_OR_RETURN(
+        merkle::MerkleTree tree,
+        load_or_build_tree(reader, metadata_path, options, report.timers,
+                           &report.metadata_bytes_read));
+    return std::make_shared<const merkle::MerkleTree>(std::move(tree));
+  };
   REPRO_ASSIGN_OR_RETURN(
-      const merkle::MerkleTree tree_a,
-      load_or_build_tree(*reader_a, pair.run_a.metadata_path, options,
-                         report.timers, &report.metadata_bytes_read));
+      const std::shared_ptr<const merkle::MerkleTree> tree_a_ptr,
+      obtain_tree(preloaded.tree_a, *reader_a, pair.run_a.metadata_path));
   REPRO_ASSIGN_OR_RETURN(
-      const merkle::MerkleTree tree_b,
-      load_or_build_tree(*reader_b, pair.run_b.metadata_path, options,
-                         report.timers, &report.metadata_bytes_read));
+      const std::shared_ptr<const merkle::MerkleTree> tree_b_ptr,
+      obtain_tree(preloaded.tree_b, *reader_b, pair.run_b.metadata_path));
+  const merkle::MerkleTree& tree_a = *tree_a_ptr;
+  const merkle::MerkleTree& tree_b = *tree_b_ptr;
   metadata_span.arg("bytes", report.metadata_bytes_read);
   metadata_span.end();
 

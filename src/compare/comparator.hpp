@@ -15,6 +15,7 @@
 #pragma once
 
 #include <filesystem>
+#include <memory>
 #include <optional>
 
 #include "ckpt/format.hpp"
@@ -72,9 +73,27 @@ struct CompareOptions {
   bool evict_cache = false;
 };
 
+/// Already-decoded Merkle metadata supplied by a caller that keeps trees
+/// resident (the compare service's sharded cache). A non-null side skips the
+/// sidecar read + deserialize phases entirely, so a fully preloaded pair
+/// reports metadata_bytes_read == 0 — the "warm query touches zero sidecar
+/// I/O" guarantee. The shared_ptr doubles as the pin: the tree stays alive
+/// for the duration of the compare even if the cache evicts it concurrently.
+struct PreloadedMetadata {
+  std::shared_ptr<const merkle::MerkleTree> tree_a;
+  std::shared_ptr<const merkle::MerkleTree> tree_b;
+};
+
 /// Compare one aligned checkpoint pair (same iteration, same rank).
 repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
                                           const CompareOptions& options);
+
+/// As above, but any non-null PreloadedMetadata side is used in place of the
+/// on-disk sidecar. Preloaded trees are validated against the checkpoint's
+/// data-section size before use.
+repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
+                                          const CompareOptions& options,
+                                          const PreloadedMetadata& preloaded);
 
 /// Convenience overload for bare file paths: metadata sidecars are looked
 /// up at `<path>.rmrk` next to each checkpoint.

@@ -1,0 +1,161 @@
+#include "svc/cache.hpp"
+
+#include <algorithm>
+
+#include "telemetry/metrics.hpp"
+
+namespace repro::svc {
+
+namespace {
+
+/// Global counters shared by every cache instance (the daemon runs one, but
+/// tests construct more; counters are monotonic so summing is harmless).
+struct CacheMetrics {
+  telemetry::Counter& hits;
+  telemetry::Counter& misses;
+  telemetry::Counter& evictions;
+
+  static CacheMetrics& get() {
+    auto& registry = telemetry::MetricsRegistry::global();
+    static CacheMetrics* metrics = new CacheMetrics{
+        registry.counter("svc.cache.hits"),
+        registry.counter("svc.cache.misses"),
+        registry.counter("svc.cache.evictions"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+MetadataCache::MetadataCache(std::uint64_t byte_budget,
+                             std::size_t num_shards)
+    : budget_(byte_budget) {
+  num_shards = std::max<std::size_t>(1, num_shards);
+  shard_budget_ = byte_budget / num_shards;
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::size_t MetadataCache::shard_for(const std::string& key) const {
+  return std::hash<std::string>{}(key) % shards_.size();
+}
+
+std::uint64_t MetadataCache::charge_for(const std::string& key,
+                                        const TreePtr& tree) {
+  // Decoded trees cost roughly their serialized size; add the key and a
+  // fixed allowance for map/list nodes so byte budgets stay honest for
+  // many tiny trees.
+  constexpr std::uint64_t kEntryOverhead = 128;
+  return tree->metadata_bytes() + key.size() + kEntryOverhead;
+}
+
+TreePtr MetadataCache::insert_locked(Shard& shard, const std::string& key,
+                                     TreePtr tree) {
+  if (auto it = shard.entries.find(key); it != shard.entries.end()) {
+    // A racing loader won; adopt its entry (and refresh recency).
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    return it->second.tree;
+  }
+  const std::uint64_t charge = charge_for(key, tree);
+  if (charge > shard_budget_) {
+    ++shard.bypasses;
+    return tree;  // served, not cached
+  }
+  while (shard.bytes + charge > shard_budget_ && !shard.lru.empty()) {
+    const std::string& victim = shard.lru.back();
+    auto vit = shard.entries.find(victim);
+    shard.bytes -= vit->second.charge;
+    shard.entries.erase(vit);
+    shard.lru.pop_back();
+    ++shard.evictions;
+    CacheMetrics::get().evictions.increment();
+  }
+  shard.lru.push_front(key);
+  Entry entry;
+  entry.tree = tree;
+  entry.charge = charge;
+  entry.lru_pos = shard.lru.begin();
+  shard.entries.emplace(key, std::move(entry));
+  shard.bytes += charge;
+  ++shard.insertions;
+  return tree;
+}
+
+repro::Result<TreePtr> MetadataCache::get_or_load(
+    const std::string& key,
+    const std::function<repro::Result<merkle::MerkleTree>()>& loader,
+    bool* hit) {
+  Shard& shard = *shards_[shard_for(key)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (auto it = shard.entries.find(key); it != shard.entries.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+      ++shard.hits;
+      CacheMetrics::get().hits.increment();
+      if (hit != nullptr) *hit = true;
+      return it->second.tree;
+    }
+    ++shard.misses;
+    CacheMetrics::get().misses.increment();
+    if (hit != nullptr) *hit = false;
+  }
+
+  // Load outside the lock: a slow sidecar read must not serialize every
+  // lookup that hashes to this shard.
+  REPRO_ASSIGN_OR_RETURN(merkle::MerkleTree loaded, loader());
+  TreePtr tree = std::make_shared<const merkle::MerkleTree>(std::move(loaded));
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return insert_locked(shard, key, std::move(tree));
+}
+
+TreePtr MetadataCache::lookup(const std::string& key) {
+  Shard& shard = *shards_[shard_for(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.misses;
+    CacheMetrics::get().misses.increment();
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  ++shard.hits;
+  CacheMetrics::get().hits.increment();
+  return it->second.tree;
+}
+
+void MetadataCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+    shard->lru.clear();
+    shard->bytes = 0;
+  }
+}
+
+CacheStats MetadataCache::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+    total.insertions += shard->insertions;
+    total.bypasses += shard->bypasses;
+    total.bytes += shard->bytes;
+    total.entries += shard->entries.size();
+  }
+  return total;
+}
+
+std::vector<std::string> MetadataCache::shard_keys_mru_first(
+    std::size_t shard_index) const {
+  const Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return {shard.lru.begin(), shard.lru.end()};
+}
+
+}  // namespace repro::svc

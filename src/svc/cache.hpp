@@ -1,0 +1,118 @@
+// Sharded, byte-budgeted LRU cache of decoded Merkle metadata trees.
+//
+// The compare daemon's whole reason to exist: the paper's economy says
+// divergence queries only ever need the ~2·D·(N/C) metadata footprint, so a
+// resident set of decoded trees answers repeat COMPARE/TIMELINE queries with
+// zero sidecar I/O. Keys are canonical sidecar identities (one tree per
+// (run, iteration, rank) — equivalently per metadata path); values are
+// immutable decoded trees behind shared_ptr, so an entry stays alive ("is
+// pinned") for as long as any in-flight compare holds it, even if the shard
+// evicts it concurrently.
+//
+// Concurrency: the key space is hash-partitioned over `num_shards`
+// independent shards, each with its own mutex, LRU list, and slice of the
+// byte budget — 16 handler threads hammering disjoint keys contend only on
+// their own shards. Loads run *outside* the shard lock (sidecar reads can
+// take milliseconds; blocking every same-shard lookup behind one would
+// serialize the daemon); a racing double-load resolves first-insert-wins.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "merkle/tree.hpp"
+
+namespace repro::svc {
+
+using TreePtr = std::shared_ptr<const merkle::MerkleTree>;
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+  /// Entries too large for their shard's budget slice: served to the caller
+  /// but never inserted (they would evict an entire shard for one query).
+  std::uint64_t bypasses = 0;
+  std::uint64_t bytes = 0;    ///< currently charged
+  std::uint64_t entries = 0;  ///< currently resident
+};
+
+class MetadataCache {
+ public:
+  /// `byte_budget` is split evenly across `num_shards` shards; eviction is
+  /// per-shard LRU. A budget of 0 disables caching (every load bypasses).
+  explicit MetadataCache(std::uint64_t byte_budget,
+                         std::size_t num_shards = 8);
+
+  MetadataCache(const MetadataCache&) = delete;
+  MetadataCache& operator=(const MetadataCache&) = delete;
+
+  /// Returns the cached tree for `key`, or runs `loader` and caches the
+  /// result. `*hit` (optional) reports whether the lookup was served from
+  /// cache. On loader failure nothing is cached and the error propagates.
+  repro::Result<TreePtr> get_or_load(
+      const std::string& key,
+      const std::function<repro::Result<merkle::MerkleTree>()>& loader,
+      bool* hit = nullptr);
+
+  /// Peek without loading: nullptr on miss. Counts as a hit/miss.
+  [[nodiscard]] TreePtr lookup(const std::string& key);
+
+  /// Drops every entry (outstanding shared_ptrs keep their trees alive).
+  void clear();
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::uint64_t byte_budget() const noexcept { return budget_; }
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shards_.size();
+  }
+
+  /// Testing hook: keys of one shard, most-recently-used first.
+  [[nodiscard]] std::vector<std::string> shard_keys_mru_first(
+      std::size_t shard) const;
+
+  /// Shard a key would land in (tests pick colliding / disjoint keys).
+  [[nodiscard]] std::size_t shard_for(const std::string& key) const;
+
+ private:
+  struct Entry {
+    TreePtr tree;
+    std::uint64_t charge = 0;
+    /// Position in Shard::lru (front = most recent).
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::string> lru;  ///< front = MRU, back = eviction candidate
+    std::unordered_map<std::string, Entry> entries;
+    std::uint64_t bytes = 0;
+    // Per-shard tallies; stats() sums them under the shard locks.
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t bypasses = 0;
+  };
+
+  /// Bytes charged for one entry: decoded metadata + key + bookkeeping.
+  static std::uint64_t charge_for(const std::string& key, const TreePtr& t);
+
+  /// Insert under the shard lock, evicting LRU entries to make room.
+  /// Returns the resident tree (the racing winner's, if someone beat us).
+  TreePtr insert_locked(Shard& shard, const std::string& key, TreePtr tree);
+
+  std::uint64_t budget_ = 0;
+  std::uint64_t shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace repro::svc

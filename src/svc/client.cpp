@@ -1,0 +1,187 @@
+#include "svc/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <span>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "io/retry.hpp"
+
+namespace repro::svc {
+
+namespace {
+
+repro::Result<int> connect_unix(const std::filesystem::path& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string str = path.string();
+  if (str.size() >= sizeof(addr.sun_path)) {
+    return repro::invalid_argument("socket path too long: " + str);
+  }
+  std::memcpy(addr.sun_path, str.c_str(), str.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return repro::internal_error(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return repro::unavailable("connect(" + str + "): " + std::strerror(err));
+  }
+  return fd;
+}
+
+repro::Result<int> connect_tcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return repro::invalid_argument("not an IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return repro::internal_error(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return repro::unavailable("connect(" + host + ":" +
+                              std::to_string(port) +
+                              "): " + std::strerror(err));
+  }
+  return fd;
+}
+
+}  // namespace
+
+repro::Result<Client> Client::connect(const ClientOptions& options) {
+  repro::Result<int> fd =
+      options.socket_path.empty()
+          ? connect_tcp(options.host, options.port)
+          : connect_unix(options.socket_path);
+  REPRO_RETURN_IF_ERROR(fd.status());
+  ::fcntl(fd.value(), F_SETFD, FD_CLOEXEC);
+  return Client(fd.value(), options);
+}
+
+Client::Client(Client&& other) noexcept
+    : options_(std::move(other.options_)),
+      fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_),
+      rx_(std::move(other.rx_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    options_ = std::move(other.options_);
+    fd_ = std::exchange(other.fd_, -1);
+    next_request_id_ = other.next_request_id_;
+    rx_ = std::move(other.rx_);
+  }
+  return *this;
+}
+
+Client::~Client() { close(); }
+
+void Client::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+repro::Status Client::send_request(Opcode op, std::uint64_t request_id,
+                                   std::string_view json_payload) {
+  if (fd_ < 0) return repro::failed_precondition("client is closed");
+  std::vector<std::uint8_t> frame;
+  append_request(frame, op, request_id, json_payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + sent, frame.size() - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (io::errno_is_interrupt(errno)) continue;
+    return repro::unavailable(std::string("send: ") + std::strerror(errno));
+  }
+  return repro::Status::ok();
+}
+
+repro::Result<Response> Client::recv_response() {
+  if (fd_ < 0) return repro::failed_precondition("client is closed");
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.timeout;
+  while (true) {
+    DecodedFrame frame;
+    const auto outcome = decode_frame(
+        std::span<const std::uint8_t>(rx_.data(), rx_.size()),
+        options_.max_frame_bytes, &frame);
+    if (outcome == DecodeOutcome::kFrame) {
+      rx_.erase(rx_.begin(),
+                rx_.begin() + static_cast<std::ptrdiff_t>(frame.frame_bytes));
+      Response response;
+      response.status = static_cast<WireStatus>(frame.header.code);
+      response.request_id = frame.header.request_id;
+      response.payload = std::move(frame.payload);
+      return response;
+    }
+    if (outcome != DecodeOutcome::kNeedMoreData) {
+      return repro::internal_error("malformed response frame from server");
+    }
+
+    const auto remaining = std::chrono::duration_cast<
+        std::chrono::milliseconds>(deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      return repro::unavailable("timed out waiting for response");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (ready < 0) {
+      if (io::errno_is_interrupt(errno)) continue;
+      return repro::internal_error(std::string("poll: ") +
+                                   std::strerror(errno));
+    }
+    if (ready == 0) {
+      return repro::unavailable("timed out waiting for response");
+    }
+    std::uint8_t buf[64 * 1024];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      rx_.insert(rx_.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      return repro::unavailable("server closed the connection");
+    }
+    if (io::errno_is_interrupt(errno)) continue;
+    return repro::unavailable(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+repro::Result<Response> Client::call(Opcode op,
+                                     std::string_view json_payload) {
+  const std::uint64_t request_id = next_request_id_++;
+  REPRO_RETURN_IF_ERROR(send_request(op, request_id, json_payload));
+  // Responses on this connection are matched by request id; call() keeps
+  // one request outstanding, so the next frame is ours — but skip any
+  // stale frame defensively (a timed-out predecessor's late reply).
+  while (true) {
+    REPRO_ASSIGN_OR_RETURN(Response response, recv_response());
+    if (response.request_id == request_id || response.request_id == 0) {
+      return response;
+    }
+  }
+}
+
+}  // namespace repro::svc

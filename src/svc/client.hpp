@@ -1,0 +1,78 @@
+// Blocking client for the reprod compare daemon.
+//
+// One Client owns one connection. call() is the synchronous happy path —
+// send a request, wait (bounded by ClientOptions::timeout) for the
+// response with the matching direction flag. send_request()/
+// recv_response() are split out so callers can pipeline several requests
+// onto one connection (the loopback test uses this to provoke the
+// server's per-client in-flight cap).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "svc/wire.hpp"
+
+namespace repro::svc {
+
+struct ClientOptions {
+  /// Unix-domain socket path; when empty, TCP to host:port.
+  std::filesystem::path socket_path;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Per-call deadline covering connect, send, and the response wait.
+  std::chrono::milliseconds timeout{30000};
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+struct Response {
+  WireStatus status = WireStatus::kInternal;
+  std::uint64_t request_id = 0;
+  std::string payload;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status == WireStatus::kOk;
+  }
+};
+
+class Client {
+ public:
+  static repro::Result<Client> connect(const ClientOptions& options);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends one request and blocks for its response.
+  repro::Result<Response> call(Opcode op, std::string_view json_payload);
+
+  /// Pipelining primitives: send without waiting / wait for the next
+  /// response frame on the wire (responses arrive in completion order;
+  /// match them up via Response::request_id).
+  repro::Status send_request(Opcode op, std::uint64_t request_id,
+                             std::string_view json_payload);
+  repro::Result<Response> recv_response();
+
+  /// Closes the socket (further calls fail). Idempotent.
+  void close() noexcept;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  explicit Client(int fd, ClientOptions options)
+      : options_(std::move(options)), fd_(fd) {}
+
+  ClientOptions options_;
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  std::vector<std::uint8_t> rx_;
+};
+
+}  // namespace repro::svc

@@ -1,0 +1,1116 @@
+#include "svc/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define REPRO_SVC_HAVE_EPOLL 1
+#endif
+
+#include "ckpt/history.hpp"
+#include "common/json.hpp"
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "par/thread_pool.hpp"
+#include "telemetry/json_parse.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace repro::svc {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Telemetry sites (registered once, process lifetime).
+
+struct SvcMetrics {
+  telemetry::Counter& requests;
+  telemetry::Counter& errors;
+  telemetry::Counter& rejected_frames;
+  telemetry::Counter& accept_errors;
+  telemetry::Histogram& request_seconds;
+  telemetry::Gauge& connections_open;
+  telemetry::Gauge& requests_inflight;
+  telemetry::Gauge& cache_bytes;
+
+  static SvcMetrics& get() {
+    auto& registry = telemetry::MetricsRegistry::global();
+    static SvcMetrics* metrics = new SvcMetrics{
+        registry.counter("svc.requests"),
+        registry.counter("svc.errors"),
+        registry.counter("svc.rejected_frames"),
+        registry.counter("svc.accept.errors"),
+        registry.histogram("svc.request.seconds",
+                           telemetry::latency_buckets_seconds()),
+        registry.gauge("svc.connections.open"),
+        registry.gauge("svc.requests.inflight"),
+        registry.gauge("svc.cache.bytes"),
+    };
+    return *metrics;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Nonblocking-socket plumbing.
+
+repro::Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return repro::internal_error(std::string("fcntl(O_NONBLOCK): ") +
+                                 std::strerror(errno));
+  }
+  ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  return repro::Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Readiness polling: epoll where available, poll(2) everywhere else. The
+// server's fd count is small (listener + wake pipe + clients), so the two
+// implementations only differ in syscall shape, not asymptotics.
+
+struct ReadyEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool hangup = false;
+};
+
+class Poller {
+ public:
+  virtual ~Poller() = default;
+  virtual void add(int fd, bool want_write) = 0;
+  virtual void update(int fd, bool want_write) = 0;
+  virtual void remove(int fd) = 0;
+  /// Blocks up to timeout_ms (-1 = forever); EINTR returns empty.
+  virtual std::vector<ReadyEvent> wait(int timeout_ms) = 0;
+};
+
+#if REPRO_SVC_HAVE_EPOLL
+class EpollPoller final : public Poller {
+ public:
+  explicit EpollPoller(int epfd) : epfd_(epfd) {}
+  ~EpollPoller() override { ::close(epfd_); }
+
+  static std::unique_ptr<Poller> create() {
+    const int epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epfd < 0) return nullptr;
+    return std::make_unique<EpollPoller>(epfd);
+  }
+
+  void add(int fd, bool want_write) override { ctl(EPOLL_CTL_ADD, fd, want_write); }
+  void update(int fd, bool want_write) override { ctl(EPOLL_CTL_MOD, fd, want_write); }
+  void remove(int fd) override {
+    struct epoll_event ev {};
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev);
+  }
+
+  std::vector<ReadyEvent> wait(int timeout_ms) override {
+    struct epoll_event events[64];
+    const int n = ::epoll_wait(epfd_, events, 64, timeout_ms);
+    std::vector<ReadyEvent> ready;
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      ReadyEvent ev;
+      ev.fd = events[i].data.fd;
+      // Hangup counts as readable: the read() that returns 0 (or the
+      // remaining buffered bytes) is how the close is actually observed.
+      ev.readable =
+          (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0;
+      ev.writable = (events[i].events & EPOLLOUT) != 0;
+      ev.hangup = (events[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+      ready.push_back(ev);
+    }
+    return ready;
+  }
+
+ private:
+  void ctl(int op, int fd, bool want_write) {
+    struct epoll_event ev {};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(epfd_, op, fd, &ev);
+  }
+
+  int epfd_;
+};
+#endif  // REPRO_SVC_HAVE_EPOLL
+
+class PollPoller final : public Poller {
+ public:
+  void add(int fd, bool want_write) override {
+    fds_.push_back({fd, events_for(want_write), 0});
+  }
+  void update(int fd, bool want_write) override {
+    for (auto& entry : fds_) {
+      if (entry.fd == fd) entry.events = events_for(want_write);
+    }
+  }
+  void remove(int fd) override {
+    std::erase_if(fds_, [fd](const pollfd& p) { return p.fd == fd; });
+  }
+
+  std::vector<ReadyEvent> wait(int timeout_ms) override {
+    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    std::vector<ReadyEvent> ready;
+    if (n <= 0) return ready;
+    for (const auto& entry : fds_) {
+      if (entry.revents == 0) continue;
+      ReadyEvent ev;
+      ev.fd = entry.fd;
+      ev.readable = (entry.revents & (POLLIN | POLLERR | POLLHUP)) != 0;
+      ev.writable = (entry.revents & POLLOUT) != 0;
+      ev.hangup = (entry.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+      ready.push_back(ev);
+    }
+    return ready;
+  }
+
+ private:
+  static short events_for(bool want_write) {
+    return static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+  }
+  std::vector<pollfd> fds_;
+};
+
+std::unique_ptr<Poller> make_poller() {
+#if REPRO_SVC_HAVE_EPOLL
+  if (auto poller = EpollPoller::create()) return poller;
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+// ---------------------------------------------------------------------------
+// JSON plumbing for handler payloads.
+
+void append_kv(std::string& out, std::string_view key, std::uint64_t value,
+               bool* first) {
+  if (!*first) out += ',';
+  *first = false;
+  json_append_string(out, key);
+  out += ':';
+  json_append_number(out, value);
+}
+
+void append_kv(std::string& out, std::string_view key, double value,
+               bool* first) {
+  if (!*first) out += ',';
+  *first = false;
+  json_append_string(out, key);
+  out += ':';
+  json_append_number(out, value);
+}
+
+void append_kv(std::string& out, std::string_view key, std::string_view value,
+               bool* first) {
+  if (!*first) out += ',';
+  *first = false;
+  json_append_string(out, key);
+  out += ':';
+  json_append_string(out, value);
+}
+
+void append_kv_bool(std::string& out, std::string_view key, bool value,
+                    bool* first) {
+  if (!*first) out += ',';
+  *first = false;
+  json_append_string(out, key);
+  out += ':';
+  out += value ? "true" : "false";
+}
+
+std::string error_payload(std::string_view message) {
+  std::string out = "{\"error\":";
+  json_append_string(out, message);
+  out += '}';
+  return out;
+}
+
+WireStatus wire_status_for(const repro::Status& status) {
+  switch (status.code()) {
+    case repro::StatusCode::kNotFound: return WireStatus::kNotFound;
+    case repro::StatusCode::kInvalidArgument: return WireStatus::kBadRequest;
+    default: return WireStatus::kInternal;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Server implementation.
+
+struct Server::Impl {
+  explicit Impl(ServerOptions opts)
+      : options(std::move(opts)),
+        cache(options.cache_bytes, options.cache_shards) {}
+
+  ~Impl() {
+    close_all();
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (wake_fds[0] >= 0) ::close(wake_fds[0]);
+    if (wake_fds[1] >= 0) ::close(wake_fds[1]);
+    if (!bound_socket_path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(bound_socket_path, ec);
+    }
+  }
+
+  struct Connection {
+    std::uint64_t id = 0;
+    std::vector<std::uint8_t> rx;
+    std::vector<std::uint8_t> tx;
+    std::size_t tx_off = 0;
+    std::uint32_t inflight = 0;
+    bool close_after_flush = false;
+  };
+
+  struct Ticket {
+    int fd = -1;
+    std::uint64_t conn_id = 0;
+    std::uint64_t request_id = 0;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  struct Completion {
+    std::uint64_t ticket = 0;
+    WireStatus status = WireStatus::kOk;
+    std::string payload;
+  };
+
+  ServerOptions options;
+  MetadataCache cache;
+
+  int listen_fd = -1;
+  std::uint16_t bound_port = 0;
+  std::filesystem::path bound_socket_path;
+  int wake_fds[2] = {-1, -1};
+
+  std::unique_ptr<Poller> poller;
+  std::unique_ptr<par::ThreadPool> pool;
+
+  std::unordered_map<int, Connection> connections;
+  std::unordered_map<std::uint64_t, Ticket> tickets;
+  std::uint64_t next_conn_id = 1;
+  std::uint64_t next_ticket = 1;
+
+  std::mutex completion_mu;
+  std::vector<Completion> completions;
+
+  std::atomic<bool> stop_requested{false};
+  bool draining = false;
+  bool started = false;
+  std::chrono::steady_clock::time_point drain_deadline;
+
+  // ---- wakeup ----------------------------------------------------------
+
+  void wake() noexcept {
+    const char byte = 1;
+    // Async-signal-safe; EAGAIN means a wake is already pending.
+    [[maybe_unused]] const auto n = ::write(wake_fds[1], &byte, 1);
+  }
+
+  // ---- lifecycle -------------------------------------------------------
+
+  repro::Status start() {
+    if (started) return repro::Status::ok();
+    if (::pipe(wake_fds) != 0) {
+      return repro::internal_error(std::string("pipe: ") +
+                                   std::strerror(errno));
+    }
+    REPRO_RETURN_IF_ERROR(set_nonblocking(wake_fds[0]));
+    REPRO_RETURN_IF_ERROR(set_nonblocking(wake_fds[1]));
+
+    if (!options.socket_path.empty()) {
+      REPRO_RETURN_IF_ERROR(bind_unix());
+    } else {
+      REPRO_RETURN_IF_ERROR(bind_tcp());
+    }
+    REPRO_RETURN_IF_ERROR(set_nonblocking(listen_fd));
+    if (::listen(listen_fd, 64) != 0) {
+      return repro::internal_error(std::string("listen: ") +
+                                   std::strerror(errno));
+    }
+    poller = make_poller();
+    poller->add(listen_fd, false);
+    poller->add(wake_fds[0], false);
+    pool = std::make_unique<par::ThreadPool>(
+        std::max<std::size_t>(1, options.workers));
+    started = true;
+    return repro::Status::ok();
+  }
+
+  repro::Status bind_unix() {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    const std::string path = options.socket_path.string();
+    if (path.size() >= sizeof(addr.sun_path)) {
+      return repro::invalid_argument("socket path too long: " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+      return repro::internal_error(std::string("socket: ") +
+                                   std::strerror(errno));
+    }
+    // A stale socket file from a crashed daemon blocks bind; remove it.
+    std::error_code ec;
+    std::filesystem::remove(options.socket_path, ec);
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return repro::internal_error("bind(" + path +
+                                   "): " + std::strerror(errno));
+    }
+    bound_socket_path = options.socket_path;
+    return repro::Status::ok();
+  }
+
+  repro::Status bind_tcp() {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+      return repro::internal_error(std::string("socket: ") +
+                                   std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options.port);
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return repro::internal_error(std::string("bind: ") +
+                                   std::strerror(errno));
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    bound_port = ntohs(addr.sin_port);
+    return repro::Status::ok();
+  }
+
+  // ---- event loop ------------------------------------------------------
+
+  repro::Status serve() {
+    REPRO_RETURN_IF_ERROR(start());
+    telemetry::Tracer::global().set_thread_name("svc-loop");
+    REPRO_LOG_INFO << "reprod serving on " << endpoint();
+
+    while (true) {
+      if (stop_requested.load(std::memory_order_relaxed) && !draining) {
+        begin_drain();
+      }
+      if (draining && tickets.empty() && all_flushed()) break;
+      // A peer that never reads its socket must not pin the drain open
+      // forever; past the deadline, buffered responses are abandoned.
+      if (draining && std::chrono::steady_clock::now() >= drain_deadline) {
+        REPRO_LOG_WARN << "drain deadline passed with " << tickets.size()
+                       << " request(s) unfinished; forcing shutdown";
+        break;
+      }
+
+      poll_once();
+    }
+    close_all();
+    pool->wait_idle();
+    SvcMetrics::get().connections_open.set(0);
+    SvcMetrics::get().requests_inflight.set(0);
+    REPRO_LOG_INFO << "reprod drained; " << SvcMetrics::get().requests.value()
+                   << " requests served";
+    return repro::Status::ok();
+  }
+
+  void poll_once() {
+    const auto ready = poller->wait(next_timeout_ms());
+    for (const auto& ev : ready) {
+      if (ev.fd == listen_fd) {
+        accept_ready();
+      } else if (ev.fd == wake_fds[0]) {
+        drain_wake_pipe();
+      } else {
+        connection_ready(ev);
+      }
+    }
+    apply_completions();
+    expire_deadlines();
+    publish_gauges();
+  }
+
+  int next_timeout_ms() {
+    if (tickets.empty()) return 200;  // heartbeat for drain checks
+    auto nearest = std::chrono::steady_clock::time_point::max();
+    for (const auto& [id, ticket] : tickets) {
+      nearest = std::min(nearest, ticket.deadline);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        nearest - now)
+                        .count();
+    return static_cast<int>(std::clamp<long long>(ms, 0, 200));
+  }
+
+  void begin_drain() {
+    draining = true;
+    drain_deadline = std::chrono::steady_clock::now() +
+                     options.request_timeout +
+                     std::chrono::milliseconds(2000);
+    if (listen_fd >= 0) {
+      poller->remove(listen_fd);
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    REPRO_LOG_INFO << "reprod draining: " << tickets.size()
+                   << " request(s) in flight, " << connections.size()
+                   << " connection(s) open";
+  }
+
+  [[nodiscard]] bool all_flushed() const {
+    for (const auto& [fd, conn] : connections) {
+      if (conn.tx_off < conn.tx.size()) return false;
+    }
+    return true;
+  }
+
+  // ---- accept ----------------------------------------------------------
+
+  void accept_ready() {
+    unsigned transient_faults = 0;
+    while (true) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (io::errno_is_interrupt(errno) || errno == ECONNABORTED) continue;
+        // EMFILE/ENFILE/ENOMEM storms: count, back off briefly, retry a
+        // bounded number of times, then leave the listener registered —
+        // the next readiness event retries naturally.
+        SvcMetrics::get().accept_errors.increment();
+        if (io::errno_is_transient_io(errno) &&
+            ++transient_faults < options.socket_retry.max_attempts) {
+          io::backoff_sleep(options.socket_retry, transient_faults);
+          continue;
+        }
+        REPRO_LOG_WARN << "accept failed: " << std::strerror(errno);
+        return;
+      }
+      if (!set_nonblocking(fd).is_ok()) {
+        ::close(fd);
+        continue;
+      }
+      Connection conn;
+      conn.id = next_conn_id++;
+      connections.emplace(fd, std::move(conn));
+      poller->add(fd, false);
+    }
+  }
+
+  // ---- per-connection I/O ---------------------------------------------
+
+  void connection_ready(const ReadyEvent& ev) {
+    if (ev.readable) {
+      auto it = connections.find(ev.fd);
+      if (it == connections.end()) return;
+      if (!read_from(ev.fd, it->second)) {
+        drop_connection(ev.fd);
+        return;
+      }
+      parse_frames(ev.fd, it->second);
+    }
+    // Re-find: parse_frames may have dropped the connection (framing
+    // violation, peer error mid-response).
+    auto it = connections.find(ev.fd);
+    if (it == connections.end()) return;
+    if (ev.writable) {
+      if (!flush_tx(ev.fd, it->second)) drop_connection(ev.fd);
+    }
+  }
+
+  /// Reads until EAGAIN. Returns false when the peer is gone.
+  bool read_from(int fd, Connection& conn) {
+    std::uint8_t buf[64 * 1024];
+    while (true) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n > 0) {
+        conn.rx.insert(conn.rx.end(), buf, buf + n);
+        continue;
+      }
+      if (n == 0) return false;  // orderly shutdown
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (io::errno_is_interrupt(errno)) continue;
+      return false;  // ECONNRESET and friends
+    }
+  }
+
+  void parse_frames(int fd, Connection& conn) {
+    std::size_t consumed = 0;
+    while (consumed < conn.rx.size()) {
+      DecodedFrame frame;
+      const auto outcome = decode_frame(
+          std::span<const std::uint8_t>(conn.rx.data() + consumed,
+                                        conn.rx.size() - consumed),
+          options.max_frame_bytes, &frame);
+      if (outcome == DecodeOutcome::kNeedMoreData) break;
+      if (outcome == DecodeOutcome::kFrame) {
+        consumed += frame.frame_bytes;
+        handle_frame(fd, conn, frame);
+        if (connections.find(fd) == connections.end()) return;  // dropped
+        continue;
+      }
+      // Framing violations: the byte stream cannot be resynchronized, so
+      // answer once and close after the reply flushes. Mutate `conn`
+      // before send_response — it may drop the connection internally.
+      SvcMetrics::get().rejected_frames.increment();
+      const char* reason =
+          outcome == DecodeOutcome::kBadMagic      ? "bad magic"
+          : outcome == DecodeOutcome::kBadVersion  ? "unsupported version"
+                                                   : "oversized frame";
+      const std::uint64_t request_id =
+          outcome == DecodeOutcome::kOversized ? frame.header.request_id : 0;
+      conn.rx.clear();
+      conn.close_after_flush = true;
+      send_response(fd, conn, WireStatus::kBadRequest, request_id,
+                    error_payload(reason));
+      return;
+    }
+    conn.rx.erase(conn.rx.begin(), conn.rx.begin() + consumed);
+  }
+
+  /// Queues one response and flushes what the socket accepts. May drop the
+  /// connection (peer error, or close-after-flush fully drained) — callers
+  /// must not touch `conn` afterwards without re-lookup.
+  void send_response(int fd, Connection& conn, WireStatus status,
+                     std::uint64_t request_id, std::string_view payload) {
+    append_response(conn.tx, status, request_id, payload);
+    if (!flush_tx(fd, conn)) {
+      drop_connection(fd);
+      return;
+    }
+    if (conn.tx_off < conn.tx.size()) poller->update(fd, true);
+  }
+
+  /// Writes as much buffered tx as the socket accepts. Returns false when
+  /// the connection should be dropped: peer gone, or a close-after-flush
+  /// reply fully drained. Never drops the connection itself.
+  [[nodiscard]] bool flush_tx(int fd, Connection& conn) {
+    while (conn.tx_off < conn.tx.size()) {
+      const ssize_t n = ::write(fd, conn.tx.data() + conn.tx_off,
+                                conn.tx.size() - conn.tx_off);
+      if (n > 0) {
+        conn.tx_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (io::errno_is_interrupt(errno)) continue;
+      return false;  // EPIPE/ECONNRESET
+    }
+    conn.tx.clear();
+    conn.tx_off = 0;
+    if (conn.close_after_flush) return false;
+    poller->update(fd, false);
+    return true;
+  }
+
+  void drop_connection(int fd) {
+    auto it = connections.find(fd);
+    if (it == connections.end()) return;
+    // Abandon this connection's in-flight requests: results have nowhere
+    // to go. The handler still runs to completion; apply_completions()
+    // drops results whose ticket is gone.
+    std::erase_if(tickets, [&](const auto& entry) {
+      return entry.second.conn_id == it->second.id;
+    });
+    poller->remove(fd);
+    ::close(fd);
+    connections.erase(it);
+  }
+
+  void close_all() {
+    std::vector<int> fds;
+    fds.reserve(connections.size());
+    for (const auto& [fd, conn] : connections) fds.push_back(fd);
+    for (const int fd : fds) drop_connection(fd);
+  }
+
+  // ---- request handling ------------------------------------------------
+
+  void handle_frame(int fd, Connection& conn, const DecodedFrame& frame) {
+    SvcMetrics::get().requests.increment();
+    const std::uint64_t request_id = frame.header.request_id;
+    if (frame.header.is_response()) {
+      send_response(fd, conn, WireStatus::kBadRequest, request_id,
+                    error_payload("response frame sent to server"));
+      return;
+    }
+    const auto op = static_cast<Opcode>(frame.header.code);
+    switch (op) {
+      case Opcode::kPing:
+        send_response(fd, conn, WireStatus::kOk, request_id, "{\"ok\":true}");
+        return;
+      case Opcode::kStats:
+        send_response(fd, conn, WireStatus::kOk, request_id, stats_payload());
+        return;
+      case Opcode::kShutdown:
+        send_response(fd, conn, WireStatus::kOk, request_id,
+                      "{\"draining\":true}");
+        stop_requested.store(true, std::memory_order_relaxed);
+        return;
+      case Opcode::kCompare:
+      case Opcode::kTimeline:
+      case Opcode::kLoadRun:
+        break;
+      default:
+        SvcMetrics::get().errors.increment();
+        send_response(fd, conn, WireStatus::kBadRequest, request_id,
+                      error_payload("unknown opcode"));
+        return;
+    }
+
+    if (draining) {
+      send_response(fd, conn, WireStatus::kShuttingDown, request_id,
+                    error_payload("daemon is draining"));
+      return;
+    }
+    if (conn.inflight >= options.max_inflight_per_client) {
+      SvcMetrics::get().errors.increment();
+      send_response(fd, conn, WireStatus::kTooManyRequests, request_id,
+                    error_payload("per-client in-flight cap reached"));
+      return;
+    }
+
+    const std::uint64_t ticket_id = next_ticket++;
+    Ticket ticket;
+    ticket.fd = fd;
+    ticket.conn_id = conn.id;
+    ticket.request_id = request_id;
+    ticket.deadline =
+        std::chrono::steady_clock::now() + options.request_timeout;
+    tickets.emplace(ticket_id, ticket);
+    ++conn.inflight;
+
+    pool->submit([this, ticket_id, op, request_id,
+                  payload = frame.payload]() {
+      telemetry::TraceSpan span("svc.request");
+      span.arg("op", opcode_name(op)).arg("id", request_id);
+      Stopwatch clock;
+      Completion done;
+      done.ticket = ticket_id;
+      run_handler(op, payload, &done);
+      SvcMetrics::get().request_seconds.record(clock.seconds());
+      if (done.status != WireStatus::kOk) {
+        SvcMetrics::get().errors.increment();
+      }
+      span.arg("status", wire_status_name(done.status));
+      {
+        std::lock_guard<std::mutex> lock(completion_mu);
+        completions.push_back(std::move(done));
+      }
+      wake();
+    });
+  }
+
+  void apply_completions() {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(completion_mu);
+      batch.swap(completions);
+    }
+    for (auto& done : batch) {
+      auto it = tickets.find(done.ticket);
+      if (it == tickets.end()) continue;  // timed out or client vanished
+      const Ticket ticket = it->second;
+      tickets.erase(it);
+      auto conn_it = connections.find(ticket.fd);
+      if (conn_it == connections.end() ||
+          conn_it->second.id != ticket.conn_id) {
+        continue;
+      }
+      if (conn_it->second.inflight > 0) --conn_it->second.inflight;
+      send_response(ticket.fd, conn_it->second, done.status,
+                    ticket.request_id, done.payload);
+    }
+  }
+
+  void expire_deadlines() {
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<std::uint64_t> expired;
+    for (const auto& [id, ticket] : tickets) {
+      if (ticket.deadline <= now) expired.push_back(id);
+    }
+    for (const std::uint64_t id : expired) {
+      const Ticket ticket = tickets[id];
+      tickets.erase(id);
+      SvcMetrics::get().errors.increment();
+      auto conn_it = connections.find(ticket.fd);
+      if (conn_it == connections.end() ||
+          conn_it->second.id != ticket.conn_id) {
+        continue;
+      }
+      if (conn_it->second.inflight > 0) --conn_it->second.inflight;
+      send_response(ticket.fd, conn_it->second, WireStatus::kDeadlineExceeded,
+                    ticket.request_id, error_payload("request timed out"));
+    }
+  }
+
+  void drain_wake_pipe() {
+    char buf[64];
+    while (::read(wake_fds[0], buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  void publish_gauges() {
+    SvcMetrics::get().connections_open.set(
+        static_cast<double>(connections.size()));
+    SvcMetrics::get().requests_inflight.set(
+        static_cast<double>(tickets.size()));
+    SvcMetrics::get().cache_bytes.set(
+        static_cast<double>(cache.stats().bytes));
+  }
+
+  // ---- handlers (run on the svc worker pool) ---------------------------
+
+  void run_handler(Opcode op, const std::string& payload, Completion* done) {
+    const auto parsed = telemetry::json_parse(
+        payload.empty() ? std::string_view("{}") : std::string_view(payload));
+    if (!parsed.has_value() || !parsed->is_object()) {
+      done->status = WireStatus::kBadRequest;
+      done->payload = error_payload("request payload is not a JSON object");
+      return;
+    }
+    switch (op) {
+      case Opcode::kCompare: handle_compare(*parsed, done); return;
+      case Opcode::kTimeline: handle_timeline(*parsed, done); return;
+      case Opcode::kLoadRun: handle_load_run(*parsed, done); return;
+      default:
+        done->status = WireStatus::kBadRequest;
+        done->payload = error_payload("unknown opcode");
+        return;
+    }
+  }
+
+  /// Cache key: the canonical sidecar path identifies one
+  /// (run, iteration, rank) tree regardless of how the request named it.
+  static std::string cache_key(const std::filesystem::path& metadata_path) {
+    std::error_code ec;
+    const auto canonical =
+        std::filesystem::weakly_canonical(metadata_path, ec);
+    return ec ? metadata_path.string() : canonical.string();
+  }
+
+  /// Pin (or load) both sides' trees and run the two-stage compare with
+  /// preloaded metadata. Sidecar-less checkpoints fall back to the
+  /// comparator's build-on-the-fly path and are cached on the next query.
+  repro::Result<cmp::CompareReport> cached_compare(
+      const ckpt::CheckpointPair& pair, const cmp::CompareOptions& opts,
+      bool* hit_a, bool* hit_b) {
+    cmp::PreloadedMetadata preloaded;
+    auto pin = [&](const std::filesystem::path& metadata_path, bool* hit)
+        -> repro::Result<TreePtr> {
+      if (!std::filesystem::exists(metadata_path)) {
+        *hit = false;
+        return TreePtr{};
+      }
+      return cache.get_or_load(
+          cache_key(metadata_path),
+          [&] { return merkle::MerkleTree::load(metadata_path); }, hit);
+    };
+    REPRO_ASSIGN_OR_RETURN(preloaded.tree_a,
+                           pin(pair.run_a.metadata_path, hit_a));
+    REPRO_ASSIGN_OR_RETURN(preloaded.tree_b,
+                           pin(pair.run_b.metadata_path, hit_b));
+    return cmp::compare_pair(pair, opts, preloaded);
+  }
+
+  cmp::CompareOptions request_options(const telemetry::JsonValue& request) {
+    cmp::CompareOptions opts = options.compare;
+    opts.error_bound = request.number_or("eps", opts.error_bound);
+    return opts;
+  }
+
+  /// COMPARE: {"file_a","file_b"} or
+  /// {"root","run_a","run_b","iteration","rank"}; optional "eps".
+  void handle_compare(const telemetry::JsonValue& request, Completion* done) {
+    ckpt::CheckpointPair pair;
+    if (request.find("file_a") != nullptr) {
+      const std::filesystem::path file_a = request.string_or("file_a", "");
+      const std::filesystem::path file_b = request.string_or("file_b", "");
+      auto sidecar_for = [](const std::filesystem::path& checkpoint) {
+        std::filesystem::path appended = checkpoint.string() + ".rmrk";
+        if (std::filesystem::exists(appended)) return appended;
+        std::filesystem::path replaced = checkpoint;
+        replaced.replace_extension(".rmrk");
+        if (std::filesystem::exists(replaced)) return replaced;
+        return appended;
+      };
+      pair.run_a.checkpoint_path = file_a;
+      pair.run_a.metadata_path = sidecar_for(file_a);
+      pair.run_b.checkpoint_path = file_b;
+      pair.run_b.metadata_path = sidecar_for(file_b);
+    } else if (request.find("root") != nullptr) {
+      const ckpt::HistoryCatalog catalog(request.string_or("root", ""));
+      const std::uint64_t iteration = request.u64_or("iteration", 0);
+      const auto rank = static_cast<std::uint32_t>(request.u64_or("rank", 0));
+      pair.run_a = catalog.ref(request.string_or("run_a", ""), iteration, rank);
+      pair.run_b = catalog.ref(request.string_or("run_b", ""), iteration, rank);
+    } else {
+      done->status = WireStatus::kBadRequest;
+      done->payload =
+          error_payload("COMPARE needs file_a/file_b or root/run_a/run_b");
+      return;
+    }
+    if (!std::filesystem::exists(pair.run_a.checkpoint_path) ||
+        !std::filesystem::exists(pair.run_b.checkpoint_path)) {
+      done->status = WireStatus::kNotFound;
+      done->payload = error_payload("checkpoint not found");
+      return;
+    }
+
+    bool hit_a = false;
+    bool hit_b = false;
+    auto result = cached_compare(pair, request_options(request), &hit_a,
+                                 &hit_b);
+    if (!result.is_ok()) {
+      done->status = wire_status_for(result.status());
+      done->payload = error_payload(result.status().to_string());
+      return;
+    }
+    const cmp::CompareReport& report = result.value();
+    std::string out = "{";
+    bool first = true;
+    const bool identical = report.identical_within_bound();
+    append_kv(out, "verdict", identical ? "within-bound" : "divergent",
+              &first);
+    append_kv(out, "exit_code", std::uint64_t{identical ? 0u : 1u}, &first);
+    append_kv(out, "values_compared", report.values_compared, &first);
+    append_kv(out, "values_exceeding", report.values_exceeding, &first);
+    append_kv(out, "chunks_total", report.chunks_total, &first);
+    append_kv(out, "chunks_flagged", report.chunks_flagged, &first);
+    append_kv(out, "data_bytes", report.data_bytes, &first);
+    append_kv(out, "bytes_read_per_file", report.bytes_read_per_file, &first);
+    append_kv(out, "metadata_bytes_read", report.metadata_bytes_read, &first);
+    append_kv_bool(out, "cache_hit_a", hit_a, &first);
+    append_kv_bool(out, "cache_hit_b", hit_b, &first);
+    append_kv(out, "io_retries", report.io_retries, &first);
+    append_kv(out, "io_fallbacks", report.io_fallbacks, &first);
+    append_kv(out, "total_seconds", report.total_seconds, &first);
+    out += '}';
+    done->payload = std::move(out);
+  }
+
+  /// TIMELINE: {"root","run_a","run_b"}; optional "eps". Pairs leniently
+  /// and compares each (iteration, rank) through the cache.
+  void handle_timeline(const telemetry::JsonValue& request, Completion* done) {
+    const std::string root = request.string_or("root", "");
+    const std::string run_a = request.string_or("run_a", "");
+    const std::string run_b = request.string_or("run_b", "");
+    if (root.empty() || run_a.empty() || run_b.empty()) {
+      done->status = WireStatus::kBadRequest;
+      done->payload = error_payload("TIMELINE needs root, run_a, run_b");
+      return;
+    }
+    const ckpt::HistoryCatalog catalog(root);
+    auto pairing = catalog.pair_runs_lenient(run_a, run_b);
+    if (!pairing.is_ok()) {
+      done->status = wire_status_for(pairing.status());
+      done->payload = error_payload(pairing.status().to_string());
+      return;
+    }
+    const cmp::CompareOptions opts = request_options(request);
+
+    std::string rows = "[";
+    bool first_row = true;
+    std::optional<std::uint64_t> first_iteration;
+    std::optional<std::uint32_t> first_rank;
+    std::uint64_t cache_hits = 0;
+    for (const auto& pair : pairing.value().pairs) {
+      bool hit_a = false;
+      bool hit_b = false;
+      auto result = cached_compare(pair, opts, &hit_a, &hit_b);
+      if (!result.is_ok()) {
+        done->status = wire_status_for(result.status());
+        done->payload = error_payload(result.status().to_string());
+        return;
+      }
+      cache_hits += static_cast<std::uint64_t>(hit_a) +
+                    static_cast<std::uint64_t>(hit_b);
+      const cmp::CompareReport& report = result.value();
+      const bool identical = report.identical_within_bound();
+      if (!identical && !first_iteration.has_value()) {
+        first_iteration = pair.run_a.iteration;
+        first_rank = pair.run_a.rank;
+      }
+      if (!first_row) rows += ',';
+      first_row = false;
+      rows += '{';
+      bool first = true;
+      append_kv(rows, "iteration", pair.run_a.iteration, &first);
+      append_kv(rows, "rank", std::uint64_t{pair.run_a.rank}, &first);
+      append_kv(rows, "exit_code", std::uint64_t{identical ? 0u : 1u},
+                &first);
+      append_kv(rows, "values_exceeding", report.values_exceeding, &first);
+      append_kv(rows, "chunks_flagged", report.chunks_flagged, &first);
+      rows += '}';
+    }
+    rows += ']';
+
+    std::string out = "{\"pairs\":" + rows;
+    out += ",\"first_divergent_iteration\":";
+    if (first_iteration.has_value()) {
+      json_append_number(out, *first_iteration);
+    } else {
+      out += "null";
+    }
+    out += ",\"first_divergent_rank\":";
+    if (first_rank.has_value()) {
+      json_append_number(out, std::uint64_t{*first_rank});
+    } else {
+      out += "null";
+    }
+    out += ',';
+    bool tail = true;  // the comma is already in place for the first pair
+    append_kv(out, "cache_hits", cache_hits, &tail);
+    append_kv(out, "only_in_a",
+              std::uint64_t{pairing.value().only_in_a.size()}, &tail);
+    append_kv(out, "only_in_b",
+              std::uint64_t{pairing.value().only_in_b.size()}, &tail);
+    out += '}';
+    done->payload = std::move(out);
+  }
+
+  /// LOAD_RUN: {"root","run"} — pre-warm the cache with every sidecar of
+  /// one run (the forensics loop's "load once, query many" pattern).
+  void handle_load_run(const telemetry::JsonValue& request, Completion* done) {
+    const std::string root = request.string_or("root", "");
+    const std::string run = request.string_or("run", "");
+    if (root.empty() || run.empty()) {
+      done->status = WireStatus::kBadRequest;
+      done->payload = error_payload("LOAD_RUN needs root and run");
+      return;
+    }
+    const ckpt::HistoryCatalog catalog(root);
+    auto refs = catalog.checkpoints(run);
+    if (!refs.is_ok()) {
+      done->status = wire_status_for(refs.status());
+      done->payload = error_payload(refs.status().to_string());
+      return;
+    }
+    std::uint64_t loaded = 0;
+    std::uint64_t already = 0;
+    std::uint64_t missing = 0;
+    std::uint64_t bytes = 0;
+    for (const auto& ref : refs.value()) {
+      if (!ref.has_metadata()) {
+        ++missing;
+        continue;
+      }
+      bool hit = false;
+      auto tree = cache.get_or_load(
+          cache_key(ref.metadata_path),
+          [&] { return merkle::MerkleTree::load(ref.metadata_path); }, &hit);
+      if (!tree.is_ok()) {
+        done->status = wire_status_for(tree.status());
+        done->payload = error_payload(tree.status().to_string());
+        return;
+      }
+      bytes += tree.value()->metadata_bytes();
+      hit ? ++already : ++loaded;
+    }
+    std::string out = "{";
+    bool first = true;
+    append_kv(out, "loaded", loaded, &first);
+    append_kv(out, "already_cached", already, &first);
+    append_kv(out, "missing_metadata", missing, &first);
+    append_kv(out, "metadata_bytes", bytes, &first);
+    out += '}';
+    done->payload = std::move(out);
+  }
+
+  std::string stats_payload() {
+    const CacheStats cs = cache.stats();
+    std::string out = "{\"cache\":{";
+    bool first = true;
+    append_kv(out, "hits", cs.hits, &first);
+    append_kv(out, "misses", cs.misses, &first);
+    append_kv(out, "evictions", cs.evictions, &first);
+    append_kv(out, "insertions", cs.insertions, &first);
+    append_kv(out, "bypasses", cs.bypasses, &first);
+    append_kv(out, "bytes", cs.bytes, &first);
+    append_kv(out, "entries", cs.entries, &first);
+    append_kv(out, "budget_bytes", cache.byte_budget(), &first);
+    out += "},";
+    bool tail = true;  // the comma is already in place for the first pair
+    append_kv(out, "requests", SvcMetrics::get().requests.value(), &tail);
+    append_kv(out, "errors", SvcMetrics::get().errors.value(), &tail);
+    append_kv(out, "connections",
+              std::uint64_t{connections.size()}, &tail);
+    append_kv(out, "inflight", std::uint64_t{tickets.size()}, &tail);
+    append_kv_bool(out, "draining", draining, &tail);
+    out += '}';
+    return out;
+  }
+
+  std::string endpoint() const {
+    if (!bound_socket_path.empty()) {
+      return "unix:" + bound_socket_path.string();
+    }
+    return "tcp:127.0.0.1:" + std::to_string(bound_port);
+  }
+};
+
+Server::Server(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() = default;
+
+repro::Status Server::start() { return impl_->start(); }
+repro::Status Server::serve() { return impl_->serve(); }
+
+void Server::request_stop() noexcept {
+  impl_->stop_requested.store(true, std::memory_order_relaxed);
+  impl_->wake();
+}
+
+std::uint16_t Server::port() const noexcept { return impl_->bound_port; }
+std::string Server::endpoint() const { return impl_->endpoint(); }
+MetadataCache& Server::cache() noexcept { return impl_->cache; }
+
+// ---------------------------------------------------------------------------
+// Signal routing. One active server; the handler does the minimum that is
+// async-signal-safe (atomic store + pipe write inside request_stop).
+
+namespace {
+std::atomic<Server*> g_signal_server{nullptr};
+
+void drain_signal_handler(int) {
+  if (Server* server = g_signal_server.load(std::memory_order_relaxed)) {
+    server->request_stop();
+  }
+}
+}  // namespace
+
+repro::Status install_signal_handlers(Server& server) {
+  g_signal_server.store(&server, std::memory_order_relaxed);
+  struct sigaction action {};
+  action.sa_handler = drain_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  if (sigaction(SIGTERM, &action, nullptr) != 0 ||
+      sigaction(SIGINT, &action, nullptr) != 0) {
+    return repro::internal_error(std::string("sigaction: ") +
+                                 std::strerror(errno));
+  }
+  return repro::Status::ok();
+}
+
+}  // namespace repro::svc

@@ -1,0 +1,103 @@
+// The `reprod` compare daemon: a long-running, nonblocking socket server
+// that answers divergence queries from a resident metadata cache.
+//
+// One thread runs the event loop (epoll on Linux, poll fallback): accept,
+// frame reassembly, response writes, timeouts. Decoded requests that do
+// real work (COMPARE / TIMELINE / LOAD_RUN) are dispatched onto the
+// existing `par` thread pool machinery — the server owns a dedicated
+// par::ThreadPool instance for handlers, so a handler blocking inside
+// Exec::parallel() (which fans out onto the process-wide default pool and
+// waits) can never deadlock against itself. PING / STATS / SHUTDOWN are
+// answered inline on the loop thread.
+//
+// Robustness contract (docs/SERVICE.md): garbage or oversized frames get
+// an error response and a connection close, never a crash; per-client
+// in-flight caps push back on floods; per-request deadlines bound handler
+// time observable by the client; SIGTERM or a SHUTDOWN frame starts a
+// graceful drain — stop accepting, answer stragglers with SHUTTING_DOWN,
+// finish in-flight work, flush buffered responses, return from serve().
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "compare/comparator.hpp"
+#include "io/retry.hpp"
+#include "svc/cache.hpp"
+#include "svc/wire.hpp"
+
+namespace repro::svc {
+
+struct ServerOptions {
+  /// Unix-domain socket path. When empty, a TCP socket on 127.0.0.1:port
+  /// is used instead (port 0 picks an ephemeral port; see Server::port()).
+  std::filesystem::path socket_path;
+  std::uint16_t port = 0;
+
+  /// Metadata-cache byte budget and shard count (--cache-bytes).
+  std::uint64_t cache_bytes = 256ull << 20;
+  std::size_t cache_shards = 8;
+
+  /// Frames larger than this are rejected without buffering the payload.
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Backpressure: requests in flight per connection beyond this cap are
+  /// answered TOO_MANY_REQUESTS immediately.
+  std::uint32_t max_inflight_per_client = 8;
+
+  /// Server-side deadline per dispatched request. The client receives
+  /// DEADLINE_EXCEEDED; the handler's eventual result is discarded.
+  std::chrono::milliseconds request_timeout{30000};
+
+  /// Handler threads (the server-owned par::ThreadPool).
+  std::size_t workers = 2;
+
+  /// Bounded recovery for transient accept()/socket faults.
+  io::RetryPolicy socket_retry;
+
+  /// Base options for COMPARE/TIMELINE handlers; requests may override the
+  /// error bound ("eps") per call.
+  cmp::CompareOptions compare;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen. After start() returns OK the endpoint is connectable;
+  /// frames queue in the socket backlog until serve() runs.
+  repro::Status start();
+
+  /// Runs the event loop until a graceful drain completes. Calls start()
+  /// first if it has not run.
+  repro::Status serve();
+
+  /// Begins a graceful drain from any thread or signal handler
+  /// (async-signal-safe: one atomic store + one pipe write).
+  void request_stop() noexcept;
+
+  /// Bound TCP port (valid after start(); 0 for unix-domain sockets).
+  [[nodiscard]] std::uint16_t port() const noexcept;
+  /// Printable endpoint ("unix:/path" or "tcp:127.0.0.1:PORT").
+  [[nodiscard]] std::string endpoint() const;
+
+  [[nodiscard]] MetadataCache& cache() noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Routes SIGTERM and SIGINT to server.request_stop(). One server at a
+/// time; the registration is cleared when the server is destroyed.
+repro::Status install_signal_handlers(Server& server);
+
+}  // namespace repro::svc

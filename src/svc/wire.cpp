@@ -1,0 +1,138 @@
+#include "svc/wire.hpp"
+
+#include <cstring>
+
+namespace repro::svc {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t value) {
+  out.push_back(static_cast<std::uint8_t>(value & 0xff));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xff));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xff));
+  }
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) value = (value << 8) | p[i];
+  return value;
+}
+
+}  // namespace
+
+const char* opcode_name(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kPing: return "PING";
+    case Opcode::kLoadRun: return "LOAD_RUN";
+    case Opcode::kCompare: return "COMPARE";
+    case Opcode::kTimeline: return "TIMELINE";
+    case Opcode::kStats: return "STATS";
+    case Opcode::kShutdown: return "SHUTDOWN";
+  }
+  return "UNKNOWN";
+}
+
+const char* wire_status_name(WireStatus status) noexcept {
+  switch (status) {
+    case WireStatus::kOk: return "OK";
+    case WireStatus::kBadRequest: return "BAD_REQUEST";
+    case WireStatus::kNotFound: return "NOT_FOUND";
+    case WireStatus::kTooManyRequests: return "TOO_MANY_REQUESTS";
+    case WireStatus::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case WireStatus::kShuttingDown: return "SHUTTING_DOWN";
+    case WireStatus::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+void append_frame(std::vector<std::uint8_t>& out, const FrameHeader& header,
+                  std::string_view payload) {
+  out.reserve(out.size() + kFrameHeaderBytes + payload.size());
+  out.insert(out.end(), kWireMagic, kWireMagic + 4);
+  put_u16(out, header.version);
+  put_u16(out, header.code);
+  put_u32(out, header.flags);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u64(out, header.request_id);
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void append_request(std::vector<std::uint8_t>& out, Opcode op,
+                    std::uint64_t request_id, std::string_view json_payload) {
+  FrameHeader header;
+  header.code = static_cast<std::uint16_t>(op);
+  header.flags = json_payload.empty() ? 0 : kFlagJsonPayload;
+  header.request_id = request_id;
+  append_frame(out, header, json_payload);
+}
+
+void append_response(std::vector<std::uint8_t>& out, WireStatus status,
+                     std::uint64_t request_id, std::string_view json_payload) {
+  FrameHeader header;
+  header.code = static_cast<std::uint16_t>(status);
+  header.flags =
+      kFlagResponse | (json_payload.empty() ? 0 : kFlagJsonPayload);
+  header.request_id = request_id;
+  append_frame(out, header, json_payload);
+}
+
+DecodeOutcome decode_frame(std::span<const std::uint8_t> buffer,
+                           std::uint32_t max_frame_bytes,
+                           DecodedFrame* frame) {
+  if (buffer.empty()) return DecodeOutcome::kNeedMoreData;
+  if (buffer.size() < 4) {
+    // Reject wrong magic as soon as the mismatch is visible — a peer
+    // speaking HTTP should not be able to stall us waiting for 24 bytes.
+    if (std::memcmp(buffer.data(), kWireMagic, buffer.size()) != 0) {
+      return DecodeOutcome::kBadMagic;
+    }
+    return DecodeOutcome::kNeedMoreData;
+  }
+  if (std::memcmp(buffer.data(), kWireMagic, 4) != 0) {
+    return DecodeOutcome::kBadMagic;
+  }
+  if (buffer.size() < 6) return DecodeOutcome::kNeedMoreData;
+  frame->header.version = get_u16(buffer.data() + 4);
+  if (frame->header.version != kWireVersion) {
+    return DecodeOutcome::kBadVersion;
+  }
+  if (buffer.size() < kFrameHeaderBytes) return DecodeOutcome::kNeedMoreData;
+  frame->header.code = get_u16(buffer.data() + 6);
+  frame->header.flags = get_u32(buffer.data() + 8);
+  frame->header.payload_bytes = get_u32(buffer.data() + 12);
+  frame->header.request_id = get_u64(buffer.data() + 16);
+  const std::uint64_t total =
+      kFrameHeaderBytes + static_cast<std::uint64_t>(
+                              frame->header.payload_bytes);
+  if (total > max_frame_bytes) return DecodeOutcome::kOversized;
+  if (buffer.size() < total) return DecodeOutcome::kNeedMoreData;
+  frame->payload.assign(
+      reinterpret_cast<const char*>(buffer.data()) + kFrameHeaderBytes,
+      frame->header.payload_bytes);
+  frame->frame_bytes = static_cast<std::size_t>(total);
+  return DecodeOutcome::kFrame;
+}
+
+}  // namespace repro::svc

@@ -1,0 +1,111 @@
+// Length-prefixed binary frame protocol spoken between `repro-cli serve`
+// and its clients (docs/SERVICE.md, docs/FORMATS.md "Wire frames").
+//
+// Every message — request or response — is one frame:
+//
+//   offset  size  field
+//   0       4     magic "RSVC"
+//   4       2     version (little-endian u16, currently 1)
+//   6       2     code    (request: Opcode; response: WireStatus)
+//   8       4     flags   (bit 0: response, bit 1: payload is JSON)
+//   12      4     payload_bytes
+//   16      8     request_id (echoed verbatim in the response)
+//   24      payload_bytes of payload
+//
+// All integers are little-endian regardless of host order. The fixed-size
+// header makes framing trivial to validate before any payload is buffered:
+// a reader can reject garbage (bad magic/version) after 8 bytes and
+// oversized frames after 16, without allocating payload space — the
+// daemon's first line of defense against malformed or hostile peers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::svc {
+
+inline constexpr std::uint8_t kWireMagic[4] = {'R', 'S', 'V', 'C'};
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 24;
+
+/// Default cap on one frame's total size (header + payload). Requests are
+/// small JSON documents; responses are bounded reports. Anything larger is
+/// a protocol violation, not a big request.
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+inline constexpr std::uint32_t kFlagResponse = 1u << 0;
+inline constexpr std::uint32_t kFlagJsonPayload = 1u << 1;
+
+enum class Opcode : std::uint16_t {
+  kPing = 1,      ///< liveness probe; empty payload
+  kLoadRun = 2,   ///< pre-warm the metadata cache with one run's sidecars
+  kCompare = 3,   ///< two-stage compare of one checkpoint pair
+  kTimeline = 4,  ///< first-divergence sweep over two runs' histories
+  kStats = 5,     ///< cache + request counters
+  kShutdown = 6,  ///< begin graceful drain
+};
+
+enum class WireStatus : std::uint16_t {
+  kOk = 0,
+  kBadRequest = 1,       ///< malformed payload / unknown opcode
+  kNotFound = 2,         ///< named run / checkpoint does not exist
+  kTooManyRequests = 3,  ///< per-client in-flight cap hit (backpressure)
+  kDeadlineExceeded = 4, ///< request timed out server-side
+  kShuttingDown = 5,     ///< daemon is draining; retry against a new one
+  kInternal = 6,         ///< handler failed; payload carries the status
+};
+
+[[nodiscard]] const char* opcode_name(Opcode op) noexcept;
+[[nodiscard]] const char* wire_status_name(WireStatus status) noexcept;
+
+struct FrameHeader {
+  std::uint16_t version = kWireVersion;
+  std::uint16_t code = 0;
+  std::uint32_t flags = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint64_t request_id = 0;
+
+  [[nodiscard]] bool is_response() const noexcept {
+    return (flags & kFlagResponse) != 0;
+  }
+};
+
+/// Appends one complete frame (header + payload) to `out`.
+void append_frame(std::vector<std::uint8_t>& out, const FrameHeader& header,
+                  std::string_view payload);
+
+/// Request frame: code = opcode, JSON payload flag set when non-empty.
+void append_request(std::vector<std::uint8_t>& out, Opcode op,
+                    std::uint64_t request_id, std::string_view json_payload);
+
+/// Response frame: code = status, response flag set.
+void append_response(std::vector<std::uint8_t>& out, WireStatus status,
+                     std::uint64_t request_id, std::string_view json_payload);
+
+struct DecodedFrame {
+  FrameHeader header;
+  std::string payload;
+  /// Total bytes consumed from the buffer (header + payload).
+  std::size_t frame_bytes = 0;
+};
+
+enum class DecodeOutcome {
+  kNeedMoreData,  ///< prefix is consistent, frame incomplete
+  kFrame,         ///< one complete frame decoded into *frame
+  kBadMagic,      ///< stream is not speaking this protocol
+  kBadVersion,    ///< protocol version mismatch
+  kOversized,     ///< declared size exceeds max_frame_bytes; header fields
+                  ///< (request_id!) are valid in *frame for error replies
+};
+
+/// Attempts to decode one frame from the front of `buffer`. Garbage is
+/// detected as early as the prefix allows: magic after 4 bytes, version
+/// after 6, oversize after 16 — before any payload accumulates.
+[[nodiscard]] DecodeOutcome decode_frame(std::span<const std::uint8_t> buffer,
+                                         std::uint32_t max_frame_bytes,
+                                         DecodedFrame* frame);
+
+}  // namespace repro::svc

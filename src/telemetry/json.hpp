@@ -1,71 +1,15 @@
-// Minimal JSON emission helpers shared by the telemetry writers (metrics
-// snapshots, Chrome trace events, run reports). Emission only — the matching
-// parser (used by the divergence-ledger load path) lives in json_parse.hpp.
+// The JSON emission helpers formerly defined here moved to common/json.hpp so
+// non-telemetry writers (structured logs, the service wire protocol) share one
+// copy. This header keeps the telemetry spelling (`telemetry::json_append_*`)
+// alive for existing call sites.
 #pragma once
 
-#include <cmath>
-#include <cstdint>
-#include <cstdio>
-#include <string>
-#include <string_view>
+#include "common/json.hpp"
 
 namespace repro::telemetry {
 
-/// Appends `text` to `out` with JSON string escaping (quotes, backslash,
-/// control characters). Does not add the surrounding quotes.
-inline void json_append_escaped(std::string& out, std::string_view text) {
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
-
-/// Appends a quoted, escaped JSON string.
-inline void json_append_string(std::string& out, std::string_view text) {
-  out += '"';
-  json_append_escaped(out, text);
-  out += '"';
-}
-
-/// Appends a number. Integers in the double-exact range print without a
-/// fractional part so counters round-trip as integers; NaN/Inf (not
-/// representable in JSON) degrade to 0.
-inline void json_append_number(std::string& out, double value) {
-  if (!std::isfinite(value)) {
-    out += '0';
-    return;
-  }
-  constexpr double kExactIntLimit = 9007199254740992.0;  // 2^53
-  if (value == std::floor(value) && std::fabs(value) < kExactIntLimit) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
-    out += buf;
-    return;
-  }
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.12g", value);
-  out += buf;
-}
-
-inline void json_append_number(std::string& out, std::uint64_t value) {
-  char buf[24];
-  std::snprintf(buf, sizeof buf, "%llu",
-                static_cast<unsigned long long>(value));
-  out += buf;
-}
+using repro::json_append_escaped;
+using repro::json_append_number;
+using repro::json_append_string;
 
 }  // namespace repro::telemetry

@@ -84,12 +84,18 @@ struct InternalGauges {
   Gauge& uring_inflight;
   Gauge& pool_queue_depth;
   Gauge& stream_bytes_inflight;
+  Gauge& svc_connections_open;
+  Gauge& svc_requests_inflight;
+  Gauge& svc_cache_bytes;
 
   static InternalGauges& get() {
     static InternalGauges gauges{
         MetricsRegistry::global().gauge("io.uring.inflight"),
         MetricsRegistry::global().gauge("par.pool.queue_depth"),
-        MetricsRegistry::global().gauge("io.stream.bytes_inflight")};
+        MetricsRegistry::global().gauge("io.stream.bytes_inflight"),
+        MetricsRegistry::global().gauge("svc.connections.open"),
+        MetricsRegistry::global().gauge("svc.requests.inflight"),
+        MetricsRegistry::global().gauge("svc.cache.bytes")};
     return gauges;
   }
 };
@@ -159,6 +165,9 @@ void ResourceSampler::sample_once() {
       {"io.uring.inflight", internal.uring_inflight.value()},
       {"par.pool.queue_depth", internal.pool_queue_depth.value()},
       {"io.stream.bytes_inflight", internal.stream_bytes_inflight.value()},
+      {"svc.connections.open", internal.svc_connections_open.value()},
+      {"svc.requests.inflight", internal.svc_requests_inflight.value()},
+      {"svc.cache.bytes", internal.svc_cache_bytes.value()},
   };
 
   Tracer& tracer = Tracer::global();

@@ -16,9 +16,7 @@ struct CommandResult {
   std::string output;
 };
 
-CommandResult run_cli(const std::string& arguments) {
-  const std::string command =
-      std::string(REPRO_CLI_BINARY) + " " + arguments + " 2>&1";
+CommandResult run_shell(const std::string& command) {
   CommandResult result;
   FILE* pipe = ::popen(command.c_str(), "r");
   if (pipe == nullptr) return result;
@@ -30,6 +28,10 @@ CommandResult run_cli(const std::string& arguments) {
   const int status = ::pclose(pipe);
   result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   return result;
+}
+
+CommandResult run_cli(const std::string& arguments) {
+  return run_shell(std::string(REPRO_CLI_BINARY) + " " + arguments + " 2>&1");
 }
 
 class CliTest : public ::testing::Test {
@@ -55,8 +57,20 @@ TEST_F(CliTest, NoArgumentsPrintsUsage) {
   EXPECT_NE(result.output.find("simulate"), std::string::npos);
 }
 
-TEST_F(CliTest, UnknownCommandPrintsUsage) {
-  EXPECT_EQ(run_cli("frobnicate").exit_code, 2);
+TEST_F(CliTest, UnknownCommandNamesItAndExitsTwo) {
+  const CommandResult result = run_cli("frobnicate");
+  EXPECT_EQ(result.exit_code, 2);
+  // The contract: say which subcommand was unknown, then show usage.
+  EXPECT_NE(result.output.find("error: unknown subcommand 'frobnicate'"),
+            std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("usage"), std::string::npos) << result.output;
+}
+
+TEST_F(CliTest, UsageDocumentsServeAndClient) {
+  const CommandResult result = run_cli("");
+  EXPECT_NE(result.output.find("serve"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("client"), std::string::npos) << result.output;
 }
 
 TEST_F(CliTest, SimulateCapturesHistory) {
@@ -435,6 +449,28 @@ TEST_F(CliTest, TimelineReportsInjectedFirstDivergence) {
   EXPECT_NE(lenient.output.find("first divergence: iteration 8"),
             std::string::npos)
       << lenient.output;
+}
+
+// End-to-end daemon flow through the binary: serve in the background on a
+// unix socket, ping it, ask it to shut down, and check it drains cleanly.
+TEST_F(CliTest, ServeAndClientRoundTrip) {
+  const std::string bin = REPRO_CLI_BINARY;
+  const std::string sock = pfs() + "/reprod.sock";
+  const std::string script =
+      bin + " serve --socket " + sock + " --workers 1 & pid=$!; " +
+      "i=0; while [ $i -lt 200 ] && [ ! -S " + sock + " ]; do " +
+      "sleep 0.05; i=$((i+1)); done; " +
+      bin + " client ping --socket " + sock + "; rc=$?; " +
+      bin + " client stats --socket " + sock + "; " +
+      bin + " client shutdown --socket " + sock + "; " +
+      "wait $pid; serve_rc=$?; exit $((rc + serve_rc))";
+  const CommandResult result = run_shell("sh -c '" + script + "' 2>&1");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("reprod listening on"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("OK"), std::string::npos) << result.output;
+  EXPECT_NE(result.output.find("\"cache\""), std::string::npos)
+      << result.output;
 }
 
 TEST_F(CliTest, CompareWritesLedger) {

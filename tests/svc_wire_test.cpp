@@ -1,0 +1,143 @@
+#include "svc/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace repro::svc {
+namespace {
+
+TEST(WireTest, RequestRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  append_request(buf, Opcode::kCompare, 42,
+                 R"({"file_a":"a.ckpt","file_b":"b.ckpt"})");
+  ASSERT_GT(buf.size(), kFrameHeaderBytes);
+
+  DecodedFrame frame;
+  ASSERT_EQ(decode_frame(buf, kDefaultMaxFrameBytes, &frame),
+            DecodeOutcome::kFrame);
+  EXPECT_EQ(frame.header.version, kWireVersion);
+  EXPECT_EQ(frame.header.code,
+            static_cast<std::uint16_t>(Opcode::kCompare));
+  EXPECT_EQ(frame.header.request_id, 42U);
+  EXPECT_FALSE(frame.header.is_response());
+  EXPECT_NE(frame.header.flags & kFlagJsonPayload, 0U);
+  EXPECT_EQ(frame.payload, R"({"file_a":"a.ckpt","file_b":"b.ckpt"})");
+  EXPECT_EQ(frame.frame_bytes, buf.size());
+}
+
+TEST(WireTest, ResponseRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  append_response(buf, WireStatus::kNotFound, 7, R"({"error":"gone"})");
+
+  DecodedFrame frame;
+  ASSERT_EQ(decode_frame(buf, kDefaultMaxFrameBytes, &frame),
+            DecodeOutcome::kFrame);
+  EXPECT_TRUE(frame.header.is_response());
+  EXPECT_EQ(frame.header.code,
+            static_cast<std::uint16_t>(WireStatus::kNotFound));
+  EXPECT_EQ(frame.header.request_id, 7U);
+  EXPECT_EQ(frame.payload, R"({"error":"gone"})");
+}
+
+TEST(WireTest, EmptyPayloadClearsJsonFlag) {
+  std::vector<std::uint8_t> buf;
+  append_request(buf, Opcode::kPing, 1, "");
+  DecodedFrame frame;
+  ASSERT_EQ(decode_frame(buf, kDefaultMaxFrameBytes, &frame),
+            DecodeOutcome::kFrame);
+  EXPECT_EQ(frame.header.flags & kFlagJsonPayload, 0U);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_EQ(frame.frame_bytes, kFrameHeaderBytes);
+}
+
+TEST(WireTest, PartialHeaderNeedsMoreData) {
+  std::vector<std::uint8_t> buf;
+  append_request(buf, Opcode::kStats, 3, "{}");
+  DecodedFrame frame;
+  // Every consistent prefix short of the full frame asks for more bytes.
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    ASSERT_EQ(decode_frame({buf.data(), len}, kDefaultMaxFrameBytes, &frame),
+              DecodeOutcome::kNeedMoreData)
+        << "prefix length " << len;
+  }
+  EXPECT_EQ(decode_frame(buf, kDefaultMaxFrameBytes, &frame),
+            DecodeOutcome::kFrame);
+}
+
+TEST(WireTest, GarbageRejectedBeforeFullHeader) {
+  // An HTTP request is recognizably not RSVC after four bytes.
+  const std::string garbage = "GET / HTTP/1.1\r\n";
+  DecodedFrame frame;
+  EXPECT_EQ(
+      decode_frame({reinterpret_cast<const std::uint8_t*>(garbage.data()),
+                    garbage.size()},
+                   kDefaultMaxFrameBytes, &frame),
+      DecodeOutcome::kBadMagic);
+  // Even a two-byte prefix that already mismatches is rejected early.
+  const std::uint8_t two[] = {'G', 'E'};
+  EXPECT_EQ(decode_frame({two, 2}, kDefaultMaxFrameBytes, &frame),
+            DecodeOutcome::kBadMagic);
+}
+
+TEST(WireTest, MatchingMagicPrefixWaitsForMore) {
+  const std::uint8_t prefix[] = {'R', 'S'};
+  DecodedFrame frame;
+  EXPECT_EQ(decode_frame({prefix, 2}, kDefaultMaxFrameBytes, &frame),
+            DecodeOutcome::kNeedMoreData);
+}
+
+TEST(WireTest, VersionMismatchRejected) {
+  std::vector<std::uint8_t> buf;
+  append_request(buf, Opcode::kPing, 9, "");
+  buf[4] = 0xFF;  // clobber the version field
+  buf[5] = 0xFF;
+  DecodedFrame frame;
+  EXPECT_EQ(decode_frame(buf, kDefaultMaxFrameBytes, &frame),
+            DecodeOutcome::kBadVersion);
+}
+
+TEST(WireTest, OversizedFrameKeepsRequestIdForErrorReply) {
+  std::vector<std::uint8_t> buf;
+  append_request(buf, Opcode::kCompare, 1234, std::string(1024, 'x'));
+  DecodedFrame frame;
+  // A 64-byte cap rejects the kilobyte payload, but the decoded header
+  // still carries the request id so the server can address its error.
+  EXPECT_EQ(decode_frame(buf, 64, &frame), DecodeOutcome::kOversized);
+  EXPECT_EQ(frame.header.request_id, 1234U);
+  EXPECT_EQ(frame.header.code,
+            static_cast<std::uint16_t>(Opcode::kCompare));
+}
+
+TEST(WireTest, BackToBackFramesDecodeSequentially) {
+  std::vector<std::uint8_t> buf;
+  append_request(buf, Opcode::kPing, 1, "");
+  append_request(buf, Opcode::kStats, 2, R"({"verbose":true})");
+
+  DecodedFrame first;
+  ASSERT_EQ(decode_frame(buf, kDefaultMaxFrameBytes, &first),
+            DecodeOutcome::kFrame);
+  EXPECT_EQ(first.header.request_id, 1U);
+
+  std::span<const std::uint8_t> rest{buf.data() + first.frame_bytes,
+                                     buf.size() - first.frame_bytes};
+  DecodedFrame second;
+  ASSERT_EQ(decode_frame(rest, kDefaultMaxFrameBytes, &second),
+            DecodeOutcome::kFrame);
+  EXPECT_EQ(second.header.request_id, 2U);
+  EXPECT_EQ(second.payload, R"({"verbose":true})");
+  EXPECT_EQ(first.frame_bytes + second.frame_bytes, buf.size());
+}
+
+TEST(WireTest, NamesAreStable) {
+  EXPECT_STREQ(opcode_name(Opcode::kCompare), "COMPARE");
+  EXPECT_STREQ(opcode_name(Opcode::kShutdown), "SHUTDOWN");
+  EXPECT_STREQ(wire_status_name(WireStatus::kOk), "OK");
+  EXPECT_STREQ(wire_status_name(WireStatus::kTooManyRequests),
+               "TOO_MANY_REQUESTS");
+}
+
+}  // namespace
+}  // namespace repro::svc
