@@ -24,6 +24,12 @@
 #define REPRO_SVC_HAVE_EPOLL 1
 #endif
 
+// Platforms without MSG_NOSIGNAL (macOS) rely on the daemon-wide SIGPIPE
+// ignore installed by install_signal_handlers().
+#if !defined(MSG_NOSIGNAL)
+#define MSG_NOSIGNAL 0
+#endif
+
 #include "ckpt/history.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"
@@ -554,6 +560,12 @@ struct Server::Impl {
   }
 
   void parse_frames(int fd, Connection& conn) {
+    if (conn.close_after_flush) {
+      // Connection is already being shed; discard whatever the peer keeps
+      // sending so rx cannot grow while the close drains.
+      conn.rx.clear();
+      return;
+    }
     std::size_t consumed = 0;
     while (consumed < conn.rx.size()) {
       DecodedFrame frame;
@@ -566,6 +578,10 @@ struct Server::Impl {
         consumed += frame.frame_bytes;
         handle_frame(fd, conn, frame);
         if (connections.find(fd) == connections.end()) return;  // dropped
+        if (conn.close_after_flush) {  // shed mid-batch (tx cap)
+          conn.rx.clear();
+          return;
+        }
         continue;
       }
       // Framing violations: the byte stream cannot be resynchronized, so
@@ -593,6 +609,18 @@ struct Server::Impl {
   void send_response(int fd, Connection& conn, WireStatus status,
                      std::uint64_t request_id, std::string_view payload) {
     append_response(conn.tx, status, request_id, payload);
+    if (!conn.close_after_flush &&
+        conn.tx.size() - conn.tx_off > options.max_tx_buffer_bytes) {
+      // The peer is not reading its replies; stop growing tx on its
+      // behalf. parse_frames() ignores further requests from a doomed
+      // connection, so buffered memory stays bounded by the cap plus one
+      // response regardless of flood rate.
+      SvcMetrics::get().errors.increment();
+      REPRO_LOG_WARN << "connection " << conn.id << " exceeded tx cap ("
+                     << conn.tx.size() - conn.tx_off
+                     << " bytes unread); shedding";
+      conn.close_after_flush = true;
+    }
     if (!flush_tx(fd, conn)) {
       drop_connection(fd);
       return;
@@ -605,12 +633,17 @@ struct Server::Impl {
   /// reply fully drained. Never drops the connection itself.
   [[nodiscard]] bool flush_tx(int fd, Connection& conn) {
     while (conn.tx_off < conn.tx.size()) {
-      const ssize_t n = ::write(fd, conn.tx.data() + conn.tx_off,
-                                conn.tx.size() - conn.tx_off);
+      // MSG_NOSIGNAL: a peer that vanished mid-flush must surface as EPIPE
+      // on the drop path below, not as a process-killing SIGPIPE.
+      const ssize_t n = ::send(fd, conn.tx.data() + conn.tx_off,
+                               conn.tx.size() - conn.tx_off, MSG_NOSIGNAL);
       if (n > 0) {
         conn.tx_off += static_cast<std::size_t>(n);
         continue;
       }
+      // A zero return leaves errno stale; treat it as "no progress" and
+      // wait for the next writable event rather than misreading errno.
+      if (n == 0) return true;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
       if (io::errno_is_interrupt(errno)) continue;
       return false;  // EPIPE/ECONNRESET
@@ -1068,23 +1101,6 @@ struct Server::Impl {
   }
 };
 
-Server::Server(ServerOptions options)
-    : impl_(std::make_unique<Impl>(std::move(options))) {}
-
-Server::~Server() = default;
-
-repro::Status Server::start() { return impl_->start(); }
-repro::Status Server::serve() { return impl_->serve(); }
-
-void Server::request_stop() noexcept {
-  impl_->stop_requested.store(true, std::memory_order_relaxed);
-  impl_->wake();
-}
-
-std::uint16_t Server::port() const noexcept { return impl_->bound_port; }
-std::string Server::endpoint() const { return impl_->endpoint(); }
-MetadataCache& Server::cache() noexcept { return impl_->cache; }
-
 // ---------------------------------------------------------------------------
 // Signal routing. One active server; the handler does the minimum that is
 // async-signal-safe (atomic store + pipe write inside request_stop).
@@ -1099,6 +1115,30 @@ void drain_signal_handler(int) {
 }
 }  // namespace
 
+Server::Server(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() {
+  // Deregister from the signal router before any state is torn down: a
+  // SIGTERM/SIGINT arriving after destruction must find no server, not a
+  // dangling pointer and a closed wake pipe.
+  Server* expected = this;
+  g_signal_server.compare_exchange_strong(expected, nullptr,
+                                          std::memory_order_relaxed);
+}
+
+repro::Status Server::start() { return impl_->start(); }
+repro::Status Server::serve() { return impl_->serve(); }
+
+void Server::request_stop() noexcept {
+  impl_->stop_requested.store(true, std::memory_order_relaxed);
+  impl_->wake();
+}
+
+std::uint16_t Server::port() const noexcept { return impl_->bound_port; }
+std::string Server::endpoint() const { return impl_->endpoint(); }
+MetadataCache& Server::cache() noexcept { return impl_->cache; }
+
 repro::Status install_signal_handlers(Server& server) {
   g_signal_server.store(&server, std::memory_order_relaxed);
   struct sigaction action {};
@@ -1110,6 +1150,10 @@ repro::Status install_signal_handlers(Server& server) {
     return repro::internal_error(std::string("sigaction: ") +
                                  std::strerror(errno));
   }
+  // Socket writes use MSG_NOSIGNAL, but belt-and-suspenders for the wake
+  // pipe and any platform lacking the flag: a vanished peer must never
+  // deliver a default-fatal SIGPIPE to the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
   return repro::Status::ok();
 }
 

@@ -49,6 +49,13 @@ struct ServerOptions {
   /// answered TOO_MANY_REQUESTS immediately.
   std::uint32_t max_inflight_per_client = 8;
 
+  /// Cap on buffered-but-unsent response bytes per connection. A peer
+  /// that floods requests without ever reading its replies (including
+  /// the immediate TOO_MANY_REQUESTS errors) is shed once its tx backlog
+  /// exceeds this, so the in-flight cap genuinely bounds per-client
+  /// memory.
+  std::size_t max_tx_buffer_bytes = 8ull << 20;
+
   /// Server-side deadline per dispatched request. The client receives
   /// DEADLINE_EXCEEDED; the handler's eventual result is discarded.
   std::chrono::milliseconds request_timeout{30000};

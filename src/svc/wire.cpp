@@ -69,7 +69,13 @@ const char* wire_status_name(WireStatus status) noexcept {
 
 void append_frame(std::vector<std::uint8_t>& out, const FrameHeader& header,
                   std::string_view payload) {
-  out.reserve(out.size() + kFrameHeaderBytes + payload.size());
+  // Grow geometrically when appending to a nonempty buffer: an exact-size
+  // reserve per frame would defeat amortized growth and make repeated
+  // appends to one backlogged tx buffer quadratic.
+  const std::size_t needed = out.size() + kFrameHeaderBytes + payload.size();
+  if (needed > out.capacity()) {
+    out.reserve(std::max(needed, out.capacity() * 2));
+  }
   out.insert(out.end(), kWireMagic, kWireMagic + 4);
   put_u16(out, header.version);
   put_u16(out, header.code);
@@ -118,15 +124,21 @@ DecodeOutcome decode_frame(std::span<const std::uint8_t> buffer,
   if (frame->header.version != kWireVersion) {
     return DecodeOutcome::kBadVersion;
   }
-  if (buffer.size() < kFrameHeaderBytes) return DecodeOutcome::kNeedMoreData;
+  if (buffer.size() < 16) return DecodeOutcome::kNeedMoreData;
   frame->header.code = get_u16(buffer.data() + 6);
   frame->header.flags = get_u32(buffer.data() + 8);
   frame->header.payload_bytes = get_u32(buffer.data() + 12);
-  frame->header.request_id = get_u64(buffer.data() + 16);
+  // request_id occupies bytes [16, 24); when the oversize rejection below
+  // fires from a 16-byte prefix those bytes may not have arrived yet, so
+  // the error reply falls back to id 0.
+  frame->header.request_id = buffer.size() >= kFrameHeaderBytes
+                                 ? get_u64(buffer.data() + 16)
+                                 : 0;
   const std::uint64_t total =
       kFrameHeaderBytes + static_cast<std::uint64_t>(
                               frame->header.payload_bytes);
   if (total > max_frame_bytes) return DecodeOutcome::kOversized;
+  if (buffer.size() < kFrameHeaderBytes) return DecodeOutcome::kNeedMoreData;
   if (buffer.size() < total) return DecodeOutcome::kNeedMoreData;
   frame->payload.assign(
       reinterpret_cast<const char*>(buffer.data()) + kFrameHeaderBytes,

@@ -97,8 +97,9 @@ enum class DecodeOutcome {
   kFrame,         ///< one complete frame decoded into *frame
   kBadMagic,      ///< stream is not speaking this protocol
   kBadVersion,    ///< protocol version mismatch
-  kOversized,     ///< declared size exceeds max_frame_bytes; header fields
-                  ///< (request_id!) are valid in *frame for error replies
+  kOversized,     ///< declared size exceeds max_frame_bytes; decoded header
+                  ///< fields are valid in *frame for error replies
+                  ///< (request_id when its 8 bytes have arrived, else 0)
 };
 
 /// Attempts to decode one frame from the front of `buffer`. Garbage is

@@ -341,6 +341,52 @@ TEST_F(LoopbackTest, PipelinedFloodHitsPerClientInflightCap) {
   stop_server();
 }
 
+TEST_F(LoopbackTest, UnreadRepliesHitTxCapAndShedTheConnection) {
+  ServerOptions opts = base_options();
+  opts.max_tx_buffer_bytes = 2048;  // a few dozen ping replies
+  start_server(std::move(opts));
+
+  auto client = connect_client();
+  ASSERT_TRUE(client.is_ok());
+
+  // Pipeline far more PINGs than the socket buffer plus cap can absorb in
+  // replies, never reading one. Once the kernel buffer fills, unsent
+  // replies accumulate in the server's tx until the cap sheds us.
+  constexpr int kPings = 16384;  // ~570 KB of replies
+  std::vector<std::uint8_t> burst;
+  for (int i = 0; i < kPings; ++i) {
+    append_request(burst, Opcode::kPing, static_cast<std::uint64_t>(i + 1),
+                   "");
+  }
+  std::size_t off = 0;
+  while (off < burst.size()) {
+    const ssize_t n = ::send(client.value().fd(), burst.data() + off,
+                             burst.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) break;  // server may already have shed us mid-send
+    off += static_cast<std::size_t>(n);
+  }
+
+  // Now drain: some replies, then EOF from the shed — never all kPings.
+  int ok = 0;
+  while (true) {
+    auto response = client.value().recv_response();
+    if (!response.is_ok()) break;
+    ASSERT_EQ(response.value().status, WireStatus::kOk);
+    ++ok;
+  }
+  EXPECT_GT(ok, 0);
+  EXPECT_LT(ok, kPings);
+
+  // The daemon is unharmed and still serves other clients.
+  auto healthy = connect_client();
+  ASSERT_TRUE(healthy.is_ok());
+  auto ping = healthy.value().call(Opcode::kPing, "");
+  ASSERT_TRUE(ping.is_ok());
+  EXPECT_TRUE(ping.value().ok());
+
+  stop_server();
+}
+
 TEST_F(LoopbackTest, GarbageFramesAreRejectedWithoutKillingTheDaemon) {
   start_server(base_options());
 

@@ -111,6 +111,21 @@ TEST(WireTest, OversizedFrameKeepsRequestIdForErrorReply) {
             static_cast<std::uint16_t>(Opcode::kCompare));
 }
 
+TEST(WireTest, OversizedFrameDetectedFromSixteenBytePrefix) {
+  std::vector<std::uint8_t> buf;
+  append_request(buf, Opcode::kCompare, 77, std::string(1024, 'x'));
+  DecodedFrame frame;
+  // The size declaration ends at offset 16; rejection must not wait for
+  // the request id (docs/FORMATS.md: "oversize after 16").
+  EXPECT_EQ(decode_frame({buf.data(), 16}, 64, &frame),
+            DecodeOutcome::kOversized);
+  EXPECT_EQ(frame.header.request_id, 0U);  // id bytes not buffered yet
+  // Once the full header is present the id is decoded for the reply.
+  EXPECT_EQ(decode_frame({buf.data(), kFrameHeaderBytes}, 64, &frame),
+            DecodeOutcome::kOversized);
+  EXPECT_EQ(frame.header.request_id, 77U);
+}
+
 TEST(WireTest, BackToBackFramesDecodeSequentially) {
   std::vector<std::uint8_t> buf;
   append_request(buf, Opcode::kPing, 1, "");
