@@ -1,0 +1,117 @@
+// Perf-trajectory artifacts: BENCH_<area>.json files committed at the repo
+// root so performance history travels with the code. Each PR that touches a
+// benchmarked area regenerates its artifact; reviewers diff the JSON instead
+// of re-reading prose claims in old PR descriptions (docs/PERF.md).
+//
+// Schema (repro-bench-trajectory/v1): one document per area with build
+// provenance and one row per benchmark — name, human-readable config,
+// median + p90 wall time, and the byte count the numbers are over.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/build_info.hpp"
+#include "common/fs.hpp"
+#include "common/json.hpp"
+
+namespace repro::bench {
+
+/// One benchmark line of a trajectory artifact.
+struct TrajectoryRow {
+  std::string name;            ///< stable benchmark identifier
+  std::string config;          ///< workload knobs, e.g. "64 MiB, 4 KiB chunks"
+  double median_wall_ms = 0;
+  double p90_wall_ms = 0;
+  std::uint64_t bytes = 0;     ///< bytes the timings are over
+};
+
+/// Median and p90 of repeated wall-time samples (ms). p90 makes latency
+/// spikes visible in the trajectory without letting one outlier own the
+/// headline number the way max would.
+struct WallStats {
+  double median_ms = 0;
+  double p90_ms = 0;
+};
+
+/// Run `fn` (returning one wall-time sample in ms) `reps` times.
+template <typename Fn>
+WallStats wall_stats_of(int reps, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) samples.push_back(fn());
+  std::sort(samples.begin(), samples.end());
+  WallStats stats;
+  stats.median_ms = samples[samples.size() / 2];
+  stats.p90_ms = samples[std::min(samples.size() - 1,
+                                  samples.size() * 9 / 10)];
+  return stats;
+}
+
+/// Write `BENCH_<area>.json` content for `rows` to `path`. Keys are emitted
+/// in a fixed order and numbers with plain formatting so successive runs
+/// diff cleanly line-by-line.
+inline repro::Status write_trajectory(const std::filesystem::path& path,
+                                      std::string_view area,
+                                      std::span<const TrajectoryRow> rows) {
+  const BuildInfo build = build_info();
+  std::string out = "{\n  \"schema\": \"repro-bench-trajectory/v1\",\n";
+  out += "  \"area\": ";
+  json_append_string(out, std::string(area));
+  out += ",\n  \"build\": {\"compiler\": ";
+  json_append_string(out, build.compiler);
+  out += ", \"build_type\": ";
+  json_append_string(out, build.build_type);
+  out += ", \"version\": ";
+  json_append_string(out, build.version);
+  out += ", \"simd_level\": ";
+  json_append_string(out, build.simd_level);
+  out += "},\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const TrajectoryRow& row = rows[i];
+    out += "    {\"name\": ";
+    json_append_string(out, row.name);
+    out += ", \"config\": ";
+    json_append_string(out, row.config);
+    out += ", \"median_wall_ms\": ";
+    json_append_number(out, row.median_wall_ms);
+    out += ", \"p90_wall_ms\": ";
+    json_append_number(out, row.p90_wall_ms);
+    out += ", \"bytes\": ";
+    json_append_number(out, row.bytes);
+    out += i + 1 < rows.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return repro::write_file(
+             path, std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(out.data()),
+                       out.size()))
+      .with_context("writing bench trajectory artifact");
+}
+
+/// Extracts `--artifact-out <path>` / `--artifact-out=<path>` from argv
+/// (compacting it away, same contract as extract_json_path). Returns ""
+/// when absent — benches then skip artifact emission.
+inline std::string extract_artifact_path(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--artifact-out" && i + 1 < *argc) {
+      path = argv[++i];
+    } else if (arg.starts_with("--artifact-out=")) {
+      path = argv[i] + 15;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+}  // namespace repro::bench

@@ -21,6 +21,7 @@
 #include "ckpt/history.hpp"
 #include "common/fs.hpp"
 #include "common/table.hpp"
+#include "merkle/flat.hpp"
 #include "merkle/tree.hpp"
 #include "sim/workload.hpp"
 
@@ -151,7 +152,10 @@ inline ckpt::CheckpointPair metadata_for(const PairFiles& pair,
               .build(std::span<const std::uint8_t>(
                   reinterpret_cast<const std::uint8_t*>(values.data()),
                   values.size() * sizeof(float)));
-      if (!tree.is_ok() || !tree.value().save(meta_path).is_ok()) {
+      // Flat v2, the default sidecar encoding: service warm paths map these
+      // in place (bench_metadata covers the v1 legacy load explicitly).
+      if (!tree.is_ok() ||
+          !merkle::save_flat(tree.value(), meta_path).is_ok()) {
         std::fprintf(stderr, "bench metadata build failed\n");
         std::exit(1);
       }

@@ -1,0 +1,181 @@
+// Metadata-load bench: legacy v1 deserialization vs flat v2 mmap, both with
+// a warm page cache — the tentpole claim of the RMF2 format (docs/FORMATS.md,
+// docs/PERF.md). A v1 load re-parses the byte stream into heap node vectors
+// on every open; a v2 load maps the file and validates offsets + checksums,
+// after which node reads are memcpys straight out of the page cache.
+//
+// The shape check asserts the v2 mmap-warm load is at least 3x faster than
+// the v1 deserialize-warm load at the default scale, and that both paths
+// produce identical tree content (same root, same params).
+//
+// --artifact-out <path> writes the repro-bench-trajectory/v1 document that
+// is committed as BENCH_metadata.json at the repo root.
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "bench/bench_artifact.hpp"
+#include "bench/bench_common.hpp"
+#include "common/fs.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "merkle/flat.hpp"
+#include "merkle/tree.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+using namespace repro;
+
+[[noreturn]] void die(const char* what, const repro::Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.to_string().c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string artifact_path =
+      bench::extract_artifact_path(&argc, argv);
+
+  bench::print_banner(
+      "Metadata sidecar load: v1 deserialize vs v2 mmap (warm page cache)",
+      "zero-copy metadata extension",
+      "Flat v2 sidecars are used in place: open cost is validation, not "
+      "parsing.");
+
+  // 8M floats (32 MiB) at 4 KiB chunks -> 8192 leaves, ~256 KiB metadata:
+  // big enough that per-node decode work dominates the v1 numbers.
+  const std::uint64_t values = (8ULL << 20) * bench::scale_factor();
+  const std::vector<float> data = sim::generate_field(values, /*seed=*/7);
+  const std::uint64_t chunk = 4 * kKiB;
+  const double eps = 1e-5;
+
+  merkle::TreeParams params;
+  params.chunk_bytes = chunk;
+  params.hash.error_bound = eps;
+  auto tree = merkle::TreeBuilder(params, par::Exec::parallel())
+                  .build(std::span<const std::uint8_t>(
+                      reinterpret_cast<const std::uint8_t*>(data.data()),
+                      data.size() * sizeof(float)));
+  if (!tree.is_ok()) die("tree build failed", tree.status());
+
+  TempDir dir{"bench-metadata"};
+  const std::filesystem::path v1_path = dir.file("tree.v1.rmrk");
+  const std::filesystem::path v2_path = dir.file("tree.v2.rmrk");
+  if (const auto saved = tree.value().save(v1_path); !saved.is_ok()) {
+    die("v1 save failed", saved);
+  }
+  if (const auto saved = merkle::save_flat(tree.value(), v2_path);
+      !saved.is_ok()) {
+    die("v2 save failed", saved);
+  }
+  const auto file_bytes = [](const std::filesystem::path& path) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    return ec ? std::uint64_t{0} : static_cast<std::uint64_t>(size);
+  };
+  const std::uint64_t v1_bytes = file_bytes(v1_path);
+  const std::uint64_t v2_bytes = file_bytes(v2_path);
+  std::printf("data: %s   metadata: v1 %s, v2 %s\n\n",
+              format_size(data.size() * sizeof(float)).c_str(),
+              format_size(v1_bytes).c_str(), format_size(v2_bytes).c_str());
+
+  const hash::Digest128 want_root = tree.value().root();
+  const std::uint64_t want_chunks = tree.value().num_chunks();
+
+  // Warm both files into the page cache and sanity-check content parity
+  // before timing anything.
+  {
+    auto v1 = merkle::MerkleTree::load(v1_path);
+    if (!v1.is_ok()) die("v1 warmup load failed", v1.status());
+    auto v2 = merkle::MappedBundle::open(v2_path);
+    if (!v2.is_ok()) die("v2 warmup open failed", v2.status());
+    auto view = v2.value().sole_tree();
+    if (!view.is_ok()) die("v2 sole_tree failed", view.status());
+    if (!(v1.value().root() == want_root) ||
+        !(view.value().root() == want_root) ||
+        view.value().num_chunks() != want_chunks) {
+      std::fprintf(stderr, "v1/v2 content mismatch\n");
+      return 1;
+    }
+    if (!v2.value().mapped()) {
+      std::fprintf(stderr, "warning: v2 open fell back to a heap read\n");
+    }
+  }
+
+  const int reps = 15;
+  // v1: read_file + full node-stream deserialization, every open.
+  const bench::WallStats v1_stats = bench::wall_stats_of(reps, [&] {
+    Stopwatch clock;
+    auto loaded = merkle::MerkleTree::load(v1_path);
+    if (!loaded.is_ok() || !(loaded.value().root() == want_root)) {
+      die("v1 load failed", loaded.status());
+    }
+    return clock.seconds() * 1e3;
+  });
+  // v2: mmap + header/offset validation + per-section checksum pass; the
+  // root read is a 16-byte memcpy out of the mapping.
+  const bench::WallStats v2_stats = bench::wall_stats_of(reps, [&] {
+    Stopwatch clock;
+    auto opened = merkle::MappedBundle::open(v2_path);
+    if (!opened.is_ok()) die("v2 open failed", opened.status());
+    auto view = opened.value().sole_tree();
+    if (!view.is_ok() || !(view.value().root() == want_root)) {
+      die("v2 view failed", view.status());
+    }
+    return clock.seconds() * 1e3;
+  });
+  // Compat shim: a v1 file through MappedBundle pays one legacy decode plus
+  // a flat re-encode — the one-time migration cost the shim hides.
+  const bench::WallStats shim_stats = bench::wall_stats_of(reps, [&] {
+    Stopwatch clock;
+    auto opened = merkle::MappedBundle::open(v1_path);
+    if (!opened.is_ok() || !opened.value().converted_from_v1()) {
+      die("v1-through-shim open failed", opened.status());
+    }
+    return clock.seconds() * 1e3;
+  });
+
+  const std::string config =
+      strprintf("%s data, %s chunks, eps=%g",
+                format_size(data.size() * sizeof(float)).c_str(),
+                format_size(chunk).c_str(), eps);
+  const std::vector<bench::TrajectoryRow> rows = {
+      {"metadata_load_v1_deserialize_warm", config, v1_stats.median_ms,
+       v1_stats.p90_ms, v1_bytes},
+      {"metadata_load_v2_mmap_warm", config, v2_stats.median_ms,
+       v2_stats.p90_ms, v2_bytes},
+      {"metadata_load_v1_via_compat_shim", config, shim_stats.median_ms,
+       shim_stats.p90_ms, v1_bytes},
+  };
+
+  TextTable table({"Load path", "Median (ms)", "p90 (ms)", "File size"});
+  for (const bench::TrajectoryRow& row : rows) {
+    table.add_row({row.name, strprintf("%.4f", row.median_wall_ms),
+                   strprintf("%.4f", row.p90_wall_ms),
+                   format_size(row.bytes).c_str()});
+  }
+  table.print();
+
+  const double speedup = v2_stats.median_ms > 0
+                             ? v1_stats.median_ms / v2_stats.median_ms
+                             : 0;
+  const bool shapes_ok = speedup >= 3.0;
+  std::printf("\nv2 mmap-warm speedup over v1 deserialize-warm: %.1fx\n",
+              speedup);
+  std::printf("shape check (%s):\n"
+              "  [1] v2 mmap-warm load >= 3x faster than v1 "
+              "deserialize-warm load\n"
+              "  [2] v1 and v2 loads yield identical tree content\n",
+              shapes_ok ? "PASS" : "CHECK FAILED");
+
+  if (!artifact_path.empty()) {
+    const auto written =
+        bench::write_trajectory(artifact_path, "metadata", rows);
+    if (!written.is_ok()) die("artifact write failed", written);
+    std::printf("\nwrote trajectory artifact to %s\n", artifact_path.c_str());
+  }
+  return shapes_ok ? 0 : 1;
+}

@@ -32,6 +32,8 @@
 #include "hash/murmur3.hpp"
 #include "hash/quantize.hpp"
 #include "merkle/compare.hpp"
+#include "merkle/flat.hpp"
+#include "svc/cache.hpp"
 
 namespace {
 
@@ -364,11 +366,65 @@ int resource_sampler_overhead_check() {
   return 1;
 }
 
+// Guards the zero-copy service warm path: flat-v2 metadata served from the
+// MetadataCache must never run a deserializer — neither on the first load
+// (v2 is parsed-in-place, not decoded) nor on warm hits. A regression that
+// reintroduces decode work on this path moves svc.cache.deserialize_count
+// and fails the ctest perf_smoke target, not just a slow benchmark number.
+int metadata_cache_smoke_check() {
+  const auto values = sim::generate_field(1 << 14, 13);
+  merkle::TreeParams params;
+  params.chunk_bytes = 4096;
+  params.hash.error_bound = 1e-6;
+  const auto tree =
+      merkle::TreeBuilder(params, par::Exec::serial())
+          .build(std::span<const std::uint8_t>(
+              reinterpret_cast<const std::uint8_t*>(values.data()),
+              values.size() * 4));
+  if (!tree.is_ok()) {
+    std::fprintf(stderr, "metadata cache smoke FAILED: tree build\n");
+    return 1;
+  }
+
+  auto& deserializes = telemetry::MetricsRegistry::global().counter(
+      "svc.cache.deserialize_count");
+  const std::uint64_t before = deserializes.value();
+
+  svc::MetadataCache cache(1 << 20, 2);
+  for (int i = 0; i < 8; ++i) {
+    bool hit = false;
+    const auto bundle = cache.get_or_load(
+        "smoke",
+        [&] {
+          return merkle::MappedBundle::from_bytes(
+              merkle::flat_serialize(tree.value()));
+        },
+        &hit);
+    if (!bundle.is_ok() || (i > 0 && !hit)) {
+      std::fprintf(stderr, "metadata cache smoke FAILED: load/hit\n");
+      return 1;
+    }
+  }
+
+  if (deserializes.value() != before || cache.stats().deserializes != 0) {
+    std::fprintf(stderr,
+                 "metadata cache smoke FAILED: svc.cache.deserialize_count "
+                 "moved on flat-v2 loads/hits (%llu -> %llu)\n",
+                 static_cast<unsigned long long>(before),
+                 static_cast<unsigned long long>(deserializes.value()));
+    return 1;
+  }
+  std::fprintf(stderr,
+               "metadata cache smoke OK (8 warm hits, 0 deserializations)\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (kernel_smoke_check() != 0) return 1;
   if (telemetry_overhead_check() != 0) return 1;
   if (resource_sampler_overhead_check() != 0) return 1;
+  if (metadata_cache_smoke_check() != 0) return 1;
   return repro::bench::run_benchmarks_with_json(argc, argv);
 }

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_artifact.hpp"
 #include "bench/bench_common.hpp"
 #include "common/json.hpp"
 #include "compare/comparator.hpp"
@@ -69,6 +70,8 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string artifact_path =
+      bench::extract_artifact_path(&argc, argv);
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
@@ -159,17 +162,18 @@ int main(int argc, char** argv) {
   }
 
   // Cold: every request reloads both sidecars into the cache.
-  const double cold_ms = bench::median_of(reps, [&] {
+  const bench::WallStats cold_stats = bench::wall_stats_of(reps, [&] {
     server.cache().clear();
     Stopwatch clock;
     (void)query(client.value(), agreeing_request);
     return clock.seconds() * 1e3;
   });
+  const double cold_ms = cold_stats.median_ms;
   // What each cold query had to load: the two trees now resident.
   const std::uint64_t cold_sidecar_bytes = server.cache().stats().bytes;
 
   // Warm: the trees stay resident; only the verdict travels.
-  const double warm_ms = bench::median_of(reps, [&] {
+  const bench::WallStats warm_stats = bench::wall_stats_of(reps, [&] {
     Stopwatch clock;
     const auto payload = query(client.value(), agreeing_request);
     const double ms = clock.seconds() * 1e3;
@@ -181,6 +185,12 @@ int main(int argc, char** argv) {
     if (payload.u64_or("values_exceeding", 99) != 0) shapes_ok = false;
     return ms;
   });
+  const double warm_ms = warm_stats.median_ms;
+
+  // Every warm query above was served without running a deserializer:
+  // flat v2 sidecars are mapped in place, so svc.cache.deserialize_count
+  // only moves for legacy v1 loads (none in this bench).
+  const std::uint64_t warm_deserializes = server.cache().stats().deserializes;
 
   // Warm request throughput over one connection.
   const int burst = 50;
@@ -211,11 +221,36 @@ int main(int argc, char** argv) {
 
   if (!(warm_ms < cold_ms)) shapes_ok = false;
   if (warm_metadata_bytes != 0 || !warm_hits) shapes_ok = false;
+  if (warm_deserializes != 0) shapes_ok = false;
   std::printf("\nshape check (%s):\n"
               "  [1] warm median latency < cold median latency\n"
               "  [2] warm queries hit the cache and read 0 sidecar bytes\n"
-              "  [3] daemon verdicts match the one-shot comparator\n",
+              "  [3] daemon verdicts match the one-shot comparator\n"
+              "  [4] no query deserialized metadata "
+              "(svc.cache.deserialize_count == 0)\n",
               shapes_ok ? "PASS" : "CHECK FAILED");
+
+  if (!artifact_path.empty()) {
+    const std::string config = strprintf(
+        "%s checkpoint, %s chunks, eps=%g, 2 workers",
+        format_size(pair.data_bytes).c_str(), format_size(chunk).c_str(),
+        eps);
+    const std::vector<bench::TrajectoryRow> trajectory = {
+        {"svc_compare_cold", config, cold_stats.median_ms, cold_stats.p90_ms,
+         cold_sidecar_bytes},
+        {"svc_compare_warm", config, warm_stats.median_ms, warm_stats.p90_ms,
+         warm_metadata_bytes},
+    };
+    const auto written =
+        bench::write_trajectory(artifact_path, "service", trajectory);
+    if (!written.is_ok()) {
+      std::fprintf(stderr, "error: artifact write failed: %s\n",
+                   written.to_string().c_str());
+      return 1;
+    }
+    std::printf("\nwrote trajectory artifact to %s\n",
+                artifact_path.c_str());
+  }
 
   if (!json_path.empty()) {
     std::string out = "{\"benchmarks\": [";

@@ -156,7 +156,10 @@ repro::Status DeltaStore::append(std::uint64_t iteration,
   encode_delta(header, changed, effective_, options_.tree.chunk_bytes, file);
   REPRO_RETURN_IF_ERROR(repro::write_file(data_path(iteration, is_base), file)
                             .with_context("writing delta"));
-  REPRO_RETURN_IF_ERROR(effective_tree_.save(tree_path(iteration)));
+  // Flat v2 sidecar: timeline/compare reads map it in place (loads via
+  // MerkleTree::load stay compatible through the format-detecting shim).
+  REPRO_RETURN_IF_ERROR(merkle::save_flat(effective_tree_,
+                                          tree_path(iteration)));
 
   stats_.captures += 1;
   stats_.raw_bytes += data.size();

@@ -46,20 +46,27 @@ merkle::ValueKind dominant_kind(const ckpt::CheckpointInfo& info) {
   return kind;
 }
 
-/// Load the sidecar metadata, or build (and persist) it when permitted.
-repro::Result<merkle::MerkleTree> load_or_build_tree(
+/// Open (preferably map) the sidecar metadata, or build and persist it when
+/// permitted. Returns the view + its owning pin.
+repro::Result<PinnedTree> load_or_build_tree(
     const ckpt::CheckpointReader& reader,
     const std::filesystem::path& metadata_path, const CompareOptions& options,
     TimerSet& timers, std::uint64_t* metadata_bytes_read) {
   if (std::filesystem::exists(metadata_path)) {
-    std::vector<std::uint8_t> bytes;
+    // Flat v2 sidecars map straight into place — the deserialize phase
+    // vanishes (the Figure-6 breakdown shows it as ~0). Legacy v1 sidecars
+    // still decode inside open(); that one-time conversion is charged to
+    // the read phase it replaces.
+    merkle::MappedBundle opened;
     {
       PhaseTimer timer(timers, kPhaseRead);
-      REPRO_ASSIGN_OR_RETURN(bytes, repro::read_file(metadata_path));
+      REPRO_ASSIGN_OR_RETURN(opened, merkle::MappedBundle::open(metadata_path));
     }
-    *metadata_bytes_read += bytes.size();
+    *metadata_bytes_read += opened.resident_bytes();
+    auto pin = std::make_shared<const merkle::MappedBundle>(std::move(opened));
     PhaseTimer timer(timers, kPhaseDeserialize);
-    return merkle::MerkleTree::deserialize(bytes);
+    REPRO_ASSIGN_OR_RETURN(const merkle::TreeView view, pin->sole_tree());
+    return PinnedTree{view, pin};
   }
 
   if (!options.build_metadata_if_missing) {
@@ -75,13 +82,14 @@ repro::Result<merkle::MerkleTree> load_or_build_tree(
   REPRO_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> data,
                          reader.read_data());
   merkle::TreeBuilder builder(params, options.exec);
-  REPRO_ASSIGN_OR_RETURN(merkle::MerkleTree tree, builder.build(data));
-  const repro::Status saved = tree.save(metadata_path);
+  REPRO_ASSIGN_OR_RETURN(merkle::MerkleTree built, builder.build(data));
+  auto pin = std::make_shared<const merkle::MerkleTree>(std::move(built));
+  const repro::Status saved = merkle::save_flat(*pin, metadata_path);
   if (!saved.is_ok()) {
     REPRO_LOG_WARN << "could not persist metadata sidecar: "
                    << saved.to_string();
   }
-  return tree;
+  return PinnedTree{merkle::TreeView(*pin), pin};
 }
 
 /// Running per-field severity totals while stage 2 streams; folded into
@@ -173,35 +181,31 @@ repro::Result<CompareReport> compare_pair(const ckpt::CheckpointPair& pair,
   // both phases — no sidecar read, no decode — which is what keeps warm
   // service queries at metadata_bytes_read == 0.
   telemetry::TraceSpan metadata_span("compare.load_metadata");
-  auto obtain_tree =
-      [&](const std::shared_ptr<const merkle::MerkleTree>& pinned,
-          const ckpt::CheckpointReader& reader,
-          const std::filesystem::path& metadata_path)
-      -> repro::Result<std::shared_ptr<const merkle::MerkleTree>> {
-    if (pinned != nullptr) {
-      if (pinned->data_bytes() != reader.data_bytes()) {
+  auto obtain_tree = [&](const PinnedTree& pinned,
+                         const ckpt::CheckpointReader& reader,
+                         const std::filesystem::path& metadata_path)
+      -> repro::Result<PinnedTree> {
+    if (pinned.valid()) {
+      if (pinned.view.data_bytes() != reader.data_bytes()) {
         return repro::failed_precondition(
             "preloaded metadata covers " +
-            std::to_string(pinned->data_bytes()) + " bytes but checkpoint " +
-            reader.path().string() + " has " +
+            std::to_string(pinned.view.data_bytes()) +
+            " bytes but checkpoint " + reader.path().string() + " has " +
             std::to_string(reader.data_bytes()));
       }
       return pinned;
     }
-    REPRO_ASSIGN_OR_RETURN(
-        merkle::MerkleTree tree,
-        load_or_build_tree(reader, metadata_path, options, report.timers,
-                           &report.metadata_bytes_read));
-    return std::make_shared<const merkle::MerkleTree>(std::move(tree));
+    return load_or_build_tree(reader, metadata_path, options, report.timers,
+                              &report.metadata_bytes_read);
   };
   REPRO_ASSIGN_OR_RETURN(
-      const std::shared_ptr<const merkle::MerkleTree> tree_a_ptr,
+      const PinnedTree pinned_a,
       obtain_tree(preloaded.tree_a, *reader_a, pair.run_a.metadata_path));
   REPRO_ASSIGN_OR_RETURN(
-      const std::shared_ptr<const merkle::MerkleTree> tree_b_ptr,
+      const PinnedTree pinned_b,
       obtain_tree(preloaded.tree_b, *reader_b, pair.run_b.metadata_path));
-  const merkle::MerkleTree& tree_a = *tree_a_ptr;
-  const merkle::MerkleTree& tree_b = *tree_b_ptr;
+  const merkle::TreeView& tree_a = pinned_a.view;
+  const merkle::TreeView& tree_b = pinned_b.view;
   metadata_span.arg("bytes", report.metadata_bytes_read);
   metadata_span.end();
 

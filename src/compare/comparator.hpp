@@ -73,15 +73,25 @@ struct CompareOptions {
   bool evict_cache = false;
 };
 
-/// Already-decoded Merkle metadata supplied by a caller that keeps trees
-/// resident (the compare service's sharded cache). A non-null side skips the
+/// A zero-copy tree view plus whatever owns its backing bytes. The view is
+/// what the comparison walks; the type-erased pin (a MappedBundle, a decoded
+/// MerkleTree, …) keeps those bytes alive for the duration of the compare
+/// even if the supplying cache evicts the entry concurrently.
+struct PinnedTree {
+  merkle::TreeView view;
+  std::shared_ptr<const void> pin;
+
+  [[nodiscard]] bool valid() const noexcept { return view.valid(); }
+};
+
+/// Already-resident Merkle metadata supplied by a caller that keeps sidecars
+/// mapped (the compare service's sharded cache). A valid side skips the
 /// sidecar read + deserialize phases entirely, so a fully preloaded pair
 /// reports metadata_bytes_read == 0 — the "warm query touches zero sidecar
-/// I/O" guarantee. The shared_ptr doubles as the pin: the tree stays alive
-/// for the duration of the compare even if the cache evicts it concurrently.
+/// I/O" guarantee.
 struct PreloadedMetadata {
-  std::shared_ptr<const merkle::MerkleTree> tree_a;
-  std::shared_ptr<const merkle::MerkleTree> tree_b;
+  PinnedTree tree_a;
+  PinnedTree tree_b;
 };
 
 /// Compare one aligned checkpoint pair (same iteration, same rank).

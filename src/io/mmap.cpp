@@ -1,0 +1,133 @@
+#include "io/mmap.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#include "telemetry/metrics.hpp"
+
+namespace repro::io {
+
+namespace {
+
+struct MmapMetrics {
+  telemetry::Counter& maps;
+  telemetry::Counter& map_bytes;
+  telemetry::Counter& failures;
+
+  static MmapMetrics& get() {
+    auto& registry = telemetry::MetricsRegistry::global();
+    static MmapMetrics* metrics = new MmapMetrics{
+        registry.counter("io.mmap.maps"),
+        registry.counter("io.mmap.bytes"),
+        registry.counter("io.mmap.failures"),
+    };
+    return *metrics;
+  }
+};
+
+std::mutex g_fault_mu;
+unsigned g_fail_next_mmaps = 0;
+std::string g_fail_path_substring;
+
+bool consume_injected_failure(const std::filesystem::path& path) {
+  std::lock_guard<std::mutex> lock(g_fault_mu);
+  if (g_fail_next_mmaps == 0) return false;
+  if (!g_fail_path_substring.empty() &&
+      path.string().find(g_fail_path_substring) == std::string::npos) {
+    return false;
+  }
+  --g_fail_next_mmaps;
+  return true;
+}
+
+}  // namespace
+
+void set_fail_next_mmaps_for_testing(unsigned count,
+                                     std::string path_substring) {
+  std::lock_guard<std::mutex> lock(g_fault_mu);
+  g_fail_next_mmaps = count;
+  g_fail_path_substring = std::move(path_substring);
+}
+
+void MmapRegion::reset() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+}
+
+MmapRegion::~MmapRegion() { reset(); }
+
+MmapRegion::MmapRegion(MmapRegion&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MmapRegion& MmapRegion::operator=(MmapRegion&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+repro::Result<MmapRegion> MmapRegion::open(
+    const std::filesystem::path& path) {
+  if (consume_injected_failure(path)) {
+    MmapMetrics::get().failures.increment();
+    return repro::unavailable("mmap failure injected for testing: " +
+                              path.string());
+  }
+
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    MmapMetrics::get().failures.increment();
+    return repro::io_error_errno("open " + path.string(), errno);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    MmapMetrics::get().failures.increment();
+    return repro::io_error_errno("fstat " + path.string(), saved);
+  }
+
+  MmapRegion region;
+  if (st.st_size == 0) {
+    ::close(fd);
+    return region;  // valid empty region; nothing to map
+  }
+
+  // MAP_PRIVATE read-only still shares page-cache pages with every other
+  // reader of the file; there are no writes, so no COW copies ever happen.
+  void* addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                      PROT_READ, MAP_PRIVATE, fd, 0);
+  const int map_errno = errno;
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    MmapMetrics::get().failures.increment();
+    return repro::io_error_errno("mmap " + path.string(), map_errno);
+  }
+  // Best-effort: the caller is about to walk the metadata, so start faulting
+  // pages in now instead of one major fault per 4 KiB of tree.
+  (void)::madvise(addr, static_cast<std::size_t>(st.st_size), MADV_WILLNEED);
+
+  region.data_ = static_cast<const std::uint8_t*>(addr);
+  region.size_ = static_cast<std::size_t>(st.st_size);
+  MmapMetrics::get().maps.increment();
+  MmapMetrics::get().map_bytes.add(region.size_);
+  return region;
+}
+
+}  // namespace repro::io

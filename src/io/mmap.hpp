@@ -1,0 +1,64 @@
+// Read-only memory-mapped file region.
+//
+// The flat sidecar format (src/merkle/flat.hpp) is laid out for mapping,
+// not parsing: a mapped sidecar is used in place, its pages are backed by
+// the OS page cache, and a second process mapping the same file shares the
+// physical pages read-only — the property ROADMAP item 1's multi-worker
+// daemon tier needs for one warm metadata set per box, not per worker.
+//
+// MmapRegion is the RAII wrapper: open + mmap(PROT_READ) + madvise(WILLNEED)
+// on success, munmap on destruction. Callers that can also work from heap
+// bytes (merkle::MappedBundle) treat a failed map as a soft error and fall
+// back to a plain read — mapping is an optimization, never a requirement.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace repro::io {
+
+class MmapRegion {
+ public:
+  MmapRegion() = default;
+  ~MmapRegion();
+
+  MmapRegion(MmapRegion&& other) noexcept;
+  MmapRegion& operator=(MmapRegion&& other) noexcept;
+  MmapRegion(const MmapRegion&) = delete;
+  MmapRegion& operator=(const MmapRegion&) = delete;
+
+  /// Map `path` read-only. The file descriptor is closed before returning
+  /// (the mapping keeps the inode alive). Advises WILLNEED so the kernel
+  /// starts readahead for the soon-to-be-walked metadata. An empty file
+  /// yields a valid region with data() == nullptr and size() == 0.
+  static repro::Result<MmapRegion> open(const std::filesystem::path& path);
+
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return {data_, size_};
+  }
+  /// True when an actual mapping is held (false for default-constructed or
+  /// moved-from regions and for empty files).
+  [[nodiscard]] bool mapped() const noexcept { return data_ != nullptr; }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+
+  void reset() noexcept;
+};
+
+/// Test-only: make the next `count` MmapRegion::open calls fail as if mmap
+/// itself had failed (exercises the heap-read fallback without needing a
+/// kernel that refuses mappings). A non-empty `path_substring` restricts the
+/// injected failures to paths containing it.
+void set_fail_next_mmaps_for_testing(unsigned count,
+                                     std::string path_substring = "");
+
+}  // namespace repro::io

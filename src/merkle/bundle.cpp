@@ -2,6 +2,7 @@
 
 #include "common/bytes.hpp"
 #include "common/fs.hpp"
+#include "merkle/flat.hpp"
 
 namespace repro::merkle {
 
@@ -34,17 +35,23 @@ std::uint64_t TreeBundle::metadata_bytes() const noexcept {
 }
 
 std::vector<std::uint8_t> TreeBundle::serialize() const {
+  // Exact output size, reserved once: no geometric regrowth while
+  // appending, and no per-tree temporary buffers — each entry is encoded
+  // straight into the shared writer.
+  std::uint64_t total = 4 + 4 + 4;
+  for (const auto& [name, tree] : entries_) {
+    total += 4 + name.size() + 8 + tree.serialized_bytes();
+  }
   std::vector<std::uint8_t> out;
-  out.reserve(metadata_bytes());
+  out.reserve(total);
   ByteWriter writer(out);
   writer.put_u32(kMagic);
   writer.put_u32(kVersion);
   writer.put_u32(static_cast<std::uint32_t>(entries_.size()));
   for (const auto& [name, tree] : entries_) {
     writer.put_string(name);
-    const auto tree_bytes = tree.serialize();
-    writer.put_u64(tree_bytes.size());
-    writer.put_bytes(tree_bytes);
+    writer.put_u64(tree.serialized_bytes());
+    tree.serialize_into(writer);
   }
   return out;
 }
@@ -61,7 +68,10 @@ repro::Result<TreeBundle> TreeBundle::deserialize(
   if (magic != kMagic) return repro::corrupt_data("bad bundle magic");
   REPRO_ASSIGN_OR_RETURN(const std::uint32_t version, reader.get_u32());
   if (version != kVersion) {
-    return repro::unsupported("unknown bundle version");
+    return repro::unsupported(
+        "merkle bundle version " + std::to_string(version) +
+        " (this build reads RMRB v1 and RMF2 v2); `repro-cli migrate` "
+        "rewrites sidecars between supported formats");
   }
   REPRO_ASSIGN_OR_RETURN(const std::uint32_t count, reader.get_u32());
   TreeBundle bundle;
@@ -84,6 +94,18 @@ repro::Result<TreeBundle> TreeBundle::load(
     const std::filesystem::path& path) {
   REPRO_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> bytes,
                          repro::read_file(path));
+  // Compat shim: flat v2 sidecars are materialized tree by tree; anything
+  // else goes to the legacy RMRB decoder (which reports bad magic itself).
+  if (detect_sidecar_format(bytes) == SidecarFormat::kV2Flat) {
+    REPRO_ASSIGN_OR_RETURN(const BundleView view, BundleView::parse(bytes));
+    TreeBundle bundle;
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      REPRO_ASSIGN_OR_RETURN(MerkleTree tree, view.tree(i).materialize());
+      REPRO_RETURN_IF_ERROR(
+          bundle.add(std::string(view.name(i)), std::move(tree)));
+    }
+    return bundle;
+  }
   return deserialize(bytes);
 }
 

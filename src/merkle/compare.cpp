@@ -39,8 +39,11 @@ std::uint32_t auto_start_level(const TreeLayout& layout, std::size_t ways) {
 }
 
 repro::Result<std::vector<std::uint64_t>> compare_trees(
-    const MerkleTree& run_a, const MerkleTree& run_b,
+    const TreeView& run_a, const TreeView& run_b,
     const TreeCompareOptions& options, TreeCompareStats* stats) {
+  if (!run_a.valid() || !run_b.valid()) {
+    return repro::failed_precondition("cannot compare an empty tree view");
+  }
   if (run_a.params() != run_b.params()) {
     return repro::failed_precondition(
         "merkle trees built with different parameters");
@@ -127,8 +130,14 @@ repro::Result<std::vector<std::uint64_t>> compare_trees(
   return diff_leaves;
 }
 
-std::vector<std::uint64_t> compare_leaves_bruteforce(const MerkleTree& run_a,
-                                                     const MerkleTree& run_b) {
+repro::Result<std::vector<std::uint64_t>> compare_trees(
+    const MerkleTree& run_a, const MerkleTree& run_b,
+    const TreeCompareOptions& options, TreeCompareStats* stats) {
+  return compare_trees(TreeView(run_a), TreeView(run_b), options, stats);
+}
+
+std::vector<std::uint64_t> compare_leaves_bruteforce(const TreeView& run_a,
+                                                     const TreeView& run_b) {
   std::vector<std::uint64_t> diff;
   const std::uint64_t count =
       std::min(run_a.num_chunks(), run_b.num_chunks());
@@ -136,6 +145,11 @@ std::vector<std::uint64_t> compare_leaves_bruteforce(const MerkleTree& run_a,
     if (run_a.leaf(chunk) != run_b.leaf(chunk)) diff.push_back(chunk);
   }
   return diff;
+}
+
+std::vector<std::uint64_t> compare_leaves_bruteforce(const MerkleTree& run_a,
+                                                     const MerkleTree& run_b) {
+  return compare_leaves_bruteforce(TreeView(run_a), TreeView(run_b));
 }
 
 std::vector<bool> flagged_bitmap(std::span<const std::uint64_t> flagged,

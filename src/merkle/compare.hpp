@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "merkle/flat.hpp"
 #include "merkle/tree.hpp"
 #include "par/exec.hpp"
 
@@ -32,6 +33,14 @@ struct TreeCompareStats {
 /// the two trees. Errors if the trees were built with incompatible
 /// parameters (chunk size, error bound, value kind) or over different data
 /// sizes — the paper's model aligns checkpoints across runs one-to-one.
+///
+/// The core implementation runs over TreeView, so a mapped flat sidecar is
+/// compared in place with no node materialization; the MerkleTree overload
+/// wraps the decoded trees in aliasing views (same digests, same walk).
+repro::Result<std::vector<std::uint64_t>> compare_trees(
+    const TreeView& run_a, const TreeView& run_b,
+    const TreeCompareOptions& options = {},
+    TreeCompareStats* stats = nullptr);
 repro::Result<std::vector<std::uint64_t>> compare_trees(
     const MerkleTree& run_a, const MerkleTree& run_b,
     const TreeCompareOptions& options = {},
@@ -39,6 +48,8 @@ repro::Result<std::vector<std::uint64_t>> compare_trees(
 
 /// Reference implementation: compare every real leaf pair directly. Used by
 /// tests to prove the pruned BFS is exact, and by the start-level ablation.
+std::vector<std::uint64_t> compare_leaves_bruteforce(const TreeView& run_a,
+                                                     const TreeView& run_b);
 std::vector<std::uint64_t> compare_leaves_bruteforce(const MerkleTree& run_a,
                                                      const MerkleTree& run_b);
 

@@ -1,0 +1,492 @@
+#include "merkle/flat.hpp"
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+#include "common/fs.hpp"
+#include "hash/murmur3.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace repro::merkle {
+
+namespace {
+
+constexpr std::uint64_t kHeaderBytes = 32;
+constexpr std::uint64_t kSectionRowBytes = 32;
+constexpr std::uint64_t kTreeRecordBytes = 72;
+constexpr std::uint32_t kMaxSections = 16;
+// Matches the v1 deserializer's plausibility bound: a leaf count beyond
+// this would overflow the padded-layout math before any size check fires.
+constexpr std::uint64_t kMaxLeaves = std::uint64_t{1} << 50;
+
+constexpr std::uint64_t align_up(std::uint64_t value) noexcept {
+  return (value + (kFlatSectionAlign - 1)) & ~(kFlatSectionAlign - 1);
+}
+
+// All flat-blob access goes through these: unaligned-safe, strict-aliasing
+// safe, and little-endian by virtue of running on LE hosts (the same
+// contract ByteWriter/ByteReader already rely on).
+void store_u32(std::uint8_t* at, std::uint32_t v) noexcept {
+  std::memcpy(at, &v, sizeof v);
+}
+void store_u64(std::uint8_t* at, std::uint64_t v) noexcept {
+  std::memcpy(at, &v, sizeof v);
+}
+void store_f64(std::uint8_t* at, double v) noexcept {
+  std::memcpy(at, &v, sizeof v);
+}
+std::uint32_t load_u32(const std::uint8_t* at) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, at, sizeof v);
+  return v;
+}
+std::uint64_t load_u64(const std::uint8_t* at) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, at, sizeof v);
+  return v;
+}
+double load_f64(const std::uint8_t* at) noexcept {
+  double v;
+  std::memcpy(&v, at, sizeof v);
+  return v;
+}
+
+std::uint64_t section_checksum(std::span<const std::uint8_t> bytes,
+                               std::uint32_t id) noexcept {
+  return hash::murmur3f(bytes, id).lo;
+}
+
+struct FlatMetrics {
+  telemetry::Counter& opens;
+  telemetry::Counter& mapped_opens;
+  telemetry::Counter& heap_fallbacks;
+  telemetry::Counter& v1_conversions;
+
+  static FlatMetrics& get() {
+    auto& registry = telemetry::MetricsRegistry::global();
+    static FlatMetrics* metrics = new FlatMetrics{
+        registry.counter("merkle.flat.opens"),
+        registry.counter("merkle.flat.mapped_opens"),
+        registry.counter("merkle.flat.heap_fallbacks"),
+        registry.counter("merkle.flat.v1_conversions"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+SidecarFormat detect_sidecar_format(
+    std::span<const std::uint8_t> bytes) noexcept {
+  if (bytes.size() < sizeof(std::uint32_t)) return SidecarFormat::kUnknown;
+  switch (load_u32(bytes.data())) {
+    case 0x4B524D52: return SidecarFormat::kV1Tree;    // "RMRK"
+    case 0x42524D52: return SidecarFormat::kV1Bundle;  // "RMRB"
+    case kFlatMagic: return SidecarFormat::kV2Flat;    // "RMF2"
+    default: return SidecarFormat::kUnknown;
+  }
+}
+
+std::string_view sidecar_format_name(SidecarFormat format) noexcept {
+  switch (format) {
+    case SidecarFormat::kV1Tree: return "RMRK v1 (legacy tree)";
+    case SidecarFormat::kV1Bundle: return "RMRB v1 (legacy bundle)";
+    case SidecarFormat::kV2Flat: return "RMF2 v2 (flat, mmap-able)";
+    case SidecarFormat::kUnknown: break;
+  }
+  return "unknown";
+}
+
+// ---- TreeView --------------------------------------------------------------
+
+repro::Result<MerkleTree> TreeView::materialize() const {
+  if (!valid()) {
+    return repro::failed_precondition("cannot materialize an empty TreeView");
+  }
+  std::vector<hash::Digest128> nodes(layout_.num_nodes());
+  std::memcpy(nodes.data(), nodes_, nodes.size() * hash::kDigestBytes);
+  return MerkleTree::from_parts(params_, data_bytes_, layout_.num_leaves,
+                                std::move(nodes));
+}
+
+// ---- BundleView ------------------------------------------------------------
+
+const TreeView* BundleView::find(std::string_view name) const noexcept {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) return &entry.view;
+  }
+  return nullptr;
+}
+
+repro::Result<BundleView> BundleView::parse(
+    std::span<const std::uint8_t> bytes, bool verify_checksums) {
+  const std::uint8_t* base = bytes.data();
+  if (bytes.size() < kHeaderBytes) {
+    return repro::corrupt_data("flat sidecar shorter than its header");
+  }
+  if (load_u32(base) != kFlatMagic) {
+    return repro::corrupt_data("bad flat sidecar magic");
+  }
+  const std::uint32_t version = load_u32(base + 4);
+  if (version != kFlatVersion) {
+    return repro::unsupported(
+        "flat sidecar version " + std::to_string(version) +
+        " (this build reads RMRK v1 and RMF2 v2); `repro-cli migrate` "
+        "rewrites sidecars between supported formats");
+  }
+  if (load_u32(base + 8) != kHeaderBytes) {
+    return repro::corrupt_data("flat sidecar header size mismatch");
+  }
+  const std::uint32_t section_count = load_u32(base + 12);
+  if (section_count == 0 || section_count > kMaxSections) {
+    return repro::corrupt_data("implausible flat sidecar section count");
+  }
+  const std::uint64_t total_bytes = load_u64(base + 16);
+  if (total_bytes != bytes.size()) {
+    return repro::corrupt_data(
+        "flat sidecar truncated: header declares " +
+        std::to_string(total_bytes) + " bytes, file holds " +
+        std::to_string(bytes.size()));
+  }
+  const std::uint64_t table_end =
+      kHeaderBytes + std::uint64_t{section_count} * kSectionRowBytes;
+  if (table_end > bytes.size()) {
+    return repro::corrupt_data("flat sidecar section table truncated");
+  }
+
+  BundleView view;
+  view.total_bytes_ = total_bytes;
+  view.sections_.reserve(section_count);
+  const SectionInfo* tree_table = nullptr;
+  const SectionInfo* names = nullptr;
+  const SectionInfo* nodes = nullptr;
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const std::uint8_t* row = base + kHeaderBytes + i * kSectionRowBytes;
+    SectionInfo info;
+    info.id = load_u32(row);
+    info.offset = load_u64(row + 8);
+    info.length = load_u64(row + 16);
+    info.checksum = load_u64(row + 24);
+    if (info.offset % kFlatSectionAlign != 0) {
+      return repro::corrupt_data("flat sidecar section " +
+                                 std::to_string(info.id) + " misaligned");
+    }
+    if (info.offset < table_end || info.offset > bytes.size() ||
+        info.length > bytes.size() - info.offset) {
+      return repro::corrupt_data("flat sidecar section " +
+                                 std::to_string(info.id) +
+                                 " extends past the file");
+    }
+    if (verify_checksums) {
+      const std::uint64_t actual = section_checksum(
+          bytes.subspan(info.offset, info.length), info.id);
+      if (actual != info.checksum) {
+        return repro::corrupt_data("flat sidecar section " +
+                                   std::to_string(info.id) +
+                                   " checksum mismatch");
+      }
+    }
+    view.sections_.push_back(info);
+    const SectionInfo* stored = &view.sections_.back();
+    switch (static_cast<SectionId>(info.id)) {
+      case SectionId::kTreeTable:
+        if (tree_table != nullptr) {
+          return repro::corrupt_data("duplicate flat sidecar tree table");
+        }
+        tree_table = stored;
+        break;
+      case SectionId::kNames:
+        if (names != nullptr) {
+          return repro::corrupt_data("duplicate flat sidecar name section");
+        }
+        names = stored;
+        break;
+      case SectionId::kNodes:
+        if (nodes != nullptr) {
+          return repro::corrupt_data("duplicate flat sidecar node section");
+        }
+        nodes = stored;
+        break;
+      default:
+        break;  // unknown sections are skippable by design (forward compat)
+    }
+  }
+  if (tree_table == nullptr || names == nullptr || nodes == nullptr) {
+    return repro::corrupt_data(
+        "flat sidecar is missing a required section (tree table, names, "
+        "nodes)");
+  }
+
+  if (tree_table->length < 8) {
+    return repro::corrupt_data("flat sidecar tree table truncated");
+  }
+  const std::uint8_t* table = base + tree_table->offset;
+  const std::uint32_t tree_count = load_u32(table);
+  if (tree_table->length != 8 + std::uint64_t{tree_count} * kTreeRecordBytes) {
+    return repro::corrupt_data(
+        "flat sidecar tree table length inconsistent with its tree count");
+  }
+
+  view.entries_.reserve(tree_count);
+  for (std::uint32_t i = 0; i < tree_count; ++i) {
+    const std::uint8_t* rec = table + 8 + i * kTreeRecordBytes;
+    const std::uint64_t data_bytes = load_u64(rec);
+    const std::uint64_t chunk_bytes = load_u64(rec + 8);
+    const std::uint64_t num_leaves = load_u64(rec + 16);
+    const std::uint64_t num_nodes = load_u64(rec + 24);
+    const std::uint64_t nodes_offset = load_u64(rec + 32);
+    const std::uint64_t name_offset = load_u64(rec + 40);
+    const std::uint32_t name_length = load_u32(rec + 48);
+    const std::uint32_t value_kind = load_u32(rec + 52);
+    const double error_bound = load_f64(rec + 56);
+    const std::uint32_t values_per_block = load_u32(rec + 64);
+
+    if (num_leaves > kMaxLeaves) {
+      return repro::corrupt_data("implausible leaf count in flat sidecar");
+    }
+    if (value_kind > static_cast<std::uint32_t>(ValueKind::kBytes)) {
+      return repro::corrupt_data("bad value kind in flat sidecar");
+    }
+
+    Entry entry;
+    entry.view.params_.chunk_bytes = chunk_bytes;
+    entry.view.params_.value_kind = static_cast<ValueKind>(value_kind);
+    entry.view.params_.hash.error_bound = error_bound;
+    entry.view.params_.hash.values_per_block = values_per_block;
+    entry.view.data_bytes_ = data_bytes;
+    entry.view.layout_ = TreeLayout::for_leaves(num_leaves);
+    REPRO_RETURN_IF_ERROR(validate(entry.view.params_));
+    if (num_nodes != entry.view.layout_.num_nodes()) {
+      return repro::corrupt_data(
+          "flat sidecar node count inconsistent with leaf count");
+    }
+    // num_nodes <= 2^51 after the leaf check, so the multiply cannot wrap.
+    const std::uint64_t node_bytes = num_nodes * hash::kDigestBytes;
+    if (nodes_offset > nodes->length ||
+        node_bytes > nodes->length - nodes_offset) {
+      return repro::corrupt_data(
+          "flat sidecar tree digests extend past the node section");
+    }
+    entry.view.nodes_ = base + nodes->offset + nodes_offset;
+    if (name_offset > names->length ||
+        name_length > names->length - name_offset) {
+      return repro::corrupt_data(
+          "flat sidecar tree name extends past the name section");
+    }
+    entry.name = std::string_view(
+        reinterpret_cast<const char*>(base + names->offset + name_offset),
+        name_length);
+    view.entries_.push_back(entry);
+  }
+  return view;
+}
+
+// ---- FlatBuilder -----------------------------------------------------------
+
+repro::Status FlatBuilder::add(std::string name, const MerkleTree& tree) {
+  for (const Entry& entry : entries_) {
+    if (entry.name == name) {
+      return repro::already_exists("flat sidecar already holds a tree named " +
+                                   name);
+    }
+  }
+  REPRO_RETURN_IF_ERROR(validate(tree.params()));
+  entries_.push_back(Entry{std::move(name), &tree});
+  return repro::Status::ok();
+}
+
+std::uint64_t FlatBuilder::output_bytes() const noexcept {
+  std::uint64_t names_len = 0;
+  std::uint64_t nodes_len = 0;
+  for (const Entry& entry : entries_) {
+    names_len += entry.name.size();
+    nodes_len += entry.tree->nodes().size() * hash::kDigestBytes;
+  }
+  const std::uint64_t table_len = 8 + entries_.size() * kTreeRecordBytes;
+  const std::uint64_t table_off = kHeaderBytes + 3 * kSectionRowBytes;
+  const std::uint64_t names_off = align_up(table_off + table_len);
+  const std::uint64_t nodes_off = align_up(names_off + names_len);
+  return nodes_off + nodes_len;
+}
+
+std::vector<std::uint8_t> FlatBuilder::finish() const {
+  const std::uint64_t table_len = 8 + entries_.size() * kTreeRecordBytes;
+  std::uint64_t names_len = 0;
+  std::uint64_t nodes_len = 0;
+  for (const Entry& entry : entries_) {
+    names_len += entry.name.size();
+    nodes_len += entry.tree->nodes().size() * hash::kDigestBytes;
+  }
+  const std::uint64_t table_off = kHeaderBytes + 3 * kSectionRowBytes;
+  const std::uint64_t names_off = align_up(table_off + table_len);
+  const std::uint64_t nodes_off = align_up(names_off + names_len);
+  const std::uint64_t total = nodes_off + nodes_len;
+
+  // One exact-size allocation, zero-initialized so alignment gaps are
+  // deterministic bytes (checksummed files must not leak heap garbage).
+  std::vector<std::uint8_t> out(total, 0);
+  std::uint8_t* base = out.data();
+
+  store_u32(base, kFlatMagic);
+  store_u32(base + 4, kFlatVersion);
+  store_u32(base + 8, static_cast<std::uint32_t>(kHeaderBytes));
+  store_u32(base + 12, 3);
+  store_u64(base + 16, total);
+
+  // Section payloads first, then the table rows (checksums need the bytes).
+  store_u32(base + table_off, static_cast<std::uint32_t>(entries_.size()));
+  std::uint64_t name_cursor = 0;
+  std::uint64_t node_cursor = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    const MerkleTree& tree = *entry.tree;
+    std::uint8_t* rec = base + table_off + 8 + i * kTreeRecordBytes;
+    store_u64(rec, tree.data_bytes());
+    store_u64(rec + 8, tree.params().chunk_bytes);
+    store_u64(rec + 16, tree.layout().num_leaves);
+    store_u64(rec + 24, tree.nodes().size());
+    store_u64(rec + 32, node_cursor);
+    store_u64(rec + 40, name_cursor);
+    store_u32(rec + 48, static_cast<std::uint32_t>(entry.name.size()));
+    store_u32(rec + 52, static_cast<std::uint32_t>(tree.params().value_kind));
+    store_f64(rec + 56, tree.params().hash.error_bound);
+    store_u32(rec + 64, tree.params().hash.values_per_block);
+
+    std::memcpy(base + names_off + name_cursor, entry.name.data(),
+                entry.name.size());
+    const std::uint64_t tree_node_bytes =
+        tree.nodes().size() * hash::kDigestBytes;
+    std::memcpy(base + nodes_off + node_cursor, tree.nodes().data(),
+                tree_node_bytes);
+    name_cursor += entry.name.size();
+    node_cursor += tree_node_bytes;
+  }
+
+  const auto write_row = [&](std::size_t row, SectionId id,
+                             std::uint64_t offset, std::uint64_t length) {
+    std::uint8_t* at = base + kHeaderBytes + row * kSectionRowBytes;
+    store_u32(at, static_cast<std::uint32_t>(id));
+    store_u64(at + 8, offset);
+    store_u64(at + 16, length);
+    store_u64(at + 24,
+              section_checksum(
+                  std::span<const std::uint8_t>(base + offset, length),
+                  static_cast<std::uint32_t>(id)));
+  };
+  write_row(0, SectionId::kTreeTable, table_off, table_len);
+  write_row(1, SectionId::kNames, names_off, names_len);
+  write_row(2, SectionId::kNodes, nodes_off, nodes_len);
+  return out;
+}
+
+std::vector<std::uint8_t> flat_serialize(const MerkleTree& tree) {
+  FlatBuilder builder;
+  // add() only rejects duplicates/invalid params; a built tree is valid.
+  (void)builder.add("", tree);
+  return builder.finish();
+}
+
+std::vector<std::uint8_t> flat_serialize(const TreeBundle& bundle) {
+  FlatBuilder builder;
+  for (const auto& [name, tree] : bundle.entries()) {
+    (void)builder.add(name, tree);
+  }
+  return builder.finish();
+}
+
+repro::Status save_flat(const MerkleTree& tree,
+                        const std::filesystem::path& path) {
+  return repro::write_file(path, flat_serialize(tree))
+      .with_context("saving flat merkle metadata");
+}
+
+repro::Status save_flat(const TreeBundle& bundle,
+                        const std::filesystem::path& path) {
+  return repro::write_file(path, flat_serialize(bundle))
+      .with_context("saving flat merkle bundle");
+}
+
+repro::Status save_sidecar(const MerkleTree& tree,
+                           const std::filesystem::path& path,
+                           SidecarWriteFormat format) {
+  if (format == SidecarWriteFormat::kLegacyV1) return tree.save(path);
+  return save_flat(tree, path);
+}
+
+// ---- MappedBundle ----------------------------------------------------------
+
+repro::Result<MappedBundle> MappedBundle::adopt(
+    MappedBundle bundle, std::span<const std::uint8_t> raw) {
+  switch (detect_sidecar_format(raw)) {
+    case SidecarFormat::kV2Flat: {
+      REPRO_ASSIGN_OR_RETURN(bundle.view_, BundleView::parse(raw));
+      return bundle;
+    }
+    case SidecarFormat::kV1Tree: {
+      FlatMetrics::get().v1_conversions.increment();
+      REPRO_ASSIGN_OR_RETURN(MerkleTree tree, MerkleTree::deserialize(raw));
+      std::vector<std::uint8_t> flat = flat_serialize(tree);
+      bundle.region_ = io::MmapRegion{};  // raw may alias the mapping
+      bundle.heap_ = std::move(flat);
+      bundle.converted_ = true;
+      REPRO_ASSIGN_OR_RETURN(bundle.view_,
+                             BundleView::parse(bundle.heap_, false));
+      return bundle;
+    }
+    case SidecarFormat::kV1Bundle: {
+      FlatMetrics::get().v1_conversions.increment();
+      REPRO_ASSIGN_OR_RETURN(TreeBundle legacy, TreeBundle::deserialize(raw));
+      std::vector<std::uint8_t> flat = flat_serialize(legacy);
+      bundle.region_ = io::MmapRegion{};
+      bundle.heap_ = std::move(flat);
+      bundle.converted_ = true;
+      REPRO_ASSIGN_OR_RETURN(bundle.view_,
+                             BundleView::parse(bundle.heap_, false));
+      return bundle;
+    }
+    case SidecarFormat::kUnknown:
+      break;
+  }
+  return repro::corrupt_data(
+      "unrecognized sidecar magic (expected RMRK, RMRB, or RMF2)");
+}
+
+repro::Result<MappedBundle> MappedBundle::open(
+    const std::filesystem::path& path) {
+  FlatMetrics::get().opens.increment();
+  auto region = io::MmapRegion::open(path);
+  if (region.is_ok()) {
+    MappedBundle bundle;
+    bundle.region_ = std::move(region.value());
+    const std::span<const std::uint8_t> raw = bundle.region_.bytes();
+    FlatMetrics::get().mapped_opens.increment();
+    return adopt(std::move(bundle), raw);
+  }
+  // Missing files stay hard errors; only the map step degrades to a read.
+  if (!std::filesystem::exists(path)) {
+    return repro::not_found("no merkle sidecar at " + path.string());
+  }
+  FlatMetrics::get().heap_fallbacks.increment();
+  REPRO_ASSIGN_OR_RETURN(std::vector<std::uint8_t> bytes,
+                         repro::read_file(path));
+  return from_bytes(std::move(bytes));
+}
+
+repro::Result<MappedBundle> MappedBundle::from_bytes(
+    std::vector<std::uint8_t> bytes) {
+  MappedBundle bundle;
+  bundle.heap_ = std::move(bytes);
+  const std::span<const std::uint8_t> raw{bundle.heap_};
+  return adopt(std::move(bundle), raw);
+}
+
+repro::Result<TreeView> MappedBundle::sole_tree() const {
+  if (view_.size() != 1) {
+    return repro::failed_precondition(
+        "sidecar holds " + std::to_string(view_.size()) +
+        " trees; expected a single-tree sidecar");
+  }
+  return view_.tree(0);
+}
+
+}  // namespace repro::merkle

@@ -1,0 +1,271 @@
+// Sidecar format v2 ("RMF2"): flat, offset-based Merkle metadata laid out
+// for mapping, not parsing.
+//
+// The v1 codecs (tree.cpp / bundle.cpp) parse byte streams into heap node
+// vectors, so every load — even a warm service cache hit used to — pays
+// O(nodes) decode work and allocator traffic. v2 stores the same content as
+// a fixed little-endian layout that is *used in place*: a header, a section
+// table, and 8-byte-aligned checksummed sections holding fixed-size tree
+// records, a name blob, and the raw digest array. Readers are non-owning
+// views over `const std::uint8_t*`; every multi-byte access goes through a
+// memcpy helper, so views are alignment- and strict-aliasing-safe on any
+// byte span (mapped, heap, or mid-buffer).
+//
+//   offset 0                      FlatHeader (32 bytes)
+//   offset 32                     section table: section_count x 32 bytes
+//   8-aligned                     sections (zero padding between)
+//
+// Sections (ids in SectionId; lengths are unpadded, checksums are the low
+// word of Murmur3F over the section bytes seeded with the section id):
+//   kTreeTable   u32 tree_count, u32 pad, tree_count x TreeRecord (72 B)
+//   kNames       concatenated name bytes (records hold offset + length)
+//   kNodes       digests, 16 bytes each {u64 lo, u64 hi}, all trees
+//                concatenated (records hold byte offsets into this section)
+//
+// A single-tree `.rmrk` sidecar is the one-entry case with an empty name; a
+// per-field bundle stores one record per field. v1 files remain readable
+// through the compat shims (MerkleTree::load / TreeBundle::load detect the
+// magic and fall back to the legacy deserializers); `repro-cli migrate`
+// rewrites between formats. See docs/FORMATS.md.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "io/mmap.hpp"
+#include "merkle/bundle.hpp"
+#include "merkle/tree.hpp"
+
+namespace repro::merkle {
+
+inline constexpr std::uint32_t kFlatMagic = 0x32464D52;  // "RMF2"
+inline constexpr std::uint32_t kFlatVersion = 2;
+inline constexpr std::uint64_t kFlatSectionAlign = 8;
+
+enum class SectionId : std::uint32_t {
+  kTreeTable = 1,
+  kNames = 2,
+  kNodes = 3,
+};
+
+/// One decoded section-table row (exposed by `repro-cli info`).
+struct SectionInfo {
+  std::uint32_t id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Which on-disk encoding a sidecar byte blob carries.
+enum class SidecarFormat : std::uint8_t {
+  kUnknown = 0,
+  kV1Tree,    ///< "RMRK" legacy single tree
+  kV1Bundle,  ///< "RMRB" legacy named-tree bundle
+  kV2Flat,    ///< "RMF2" flat mmap-able layout (tree or bundle)
+};
+
+SidecarFormat detect_sidecar_format(
+    std::span<const std::uint8_t> bytes) noexcept;
+std::string_view sidecar_format_name(SidecarFormat format) noexcept;
+
+/// Non-owning zero-copy accessor over one tree of a flat sidecar. Behaves
+/// like a read-only MerkleTree (same accessor names) but performs no parse
+/// and owns no storage: node() memcpys one 16-byte digest out of the backing
+/// bytes on demand. The backing blob must outlive the view — owning callers
+/// hold a MappedBundle (below) or the MerkleTree the view aliases.
+class TreeView {
+ public:
+  TreeView() = default;
+
+  /// View over an in-memory tree's node array (LE hosts lay Digest128 out
+  /// exactly as the flat nodes section does). Lets one compare/BFS
+  /// implementation serve both decoded trees and mapped sidecars.
+  explicit TreeView(const MerkleTree& tree) noexcept
+      : params_(tree.params()),
+        layout_(tree.layout()),
+        data_bytes_(tree.data_bytes()),
+        nodes_(reinterpret_cast<const std::uint8_t*>(tree.nodes().data())) {}
+
+  [[nodiscard]] bool valid() const noexcept { return nodes_ != nullptr; }
+  [[nodiscard]] const TreeParams& params() const noexcept { return params_; }
+  [[nodiscard]] const TreeLayout& layout() const noexcept { return layout_; }
+  [[nodiscard]] std::uint64_t data_bytes() const noexcept {
+    return data_bytes_;
+  }
+  [[nodiscard]] std::uint64_t num_chunks() const noexcept {
+    return layout_.num_leaves;
+  }
+
+  [[nodiscard]] hash::Digest128 node(std::uint64_t index) const noexcept {
+    hash::Digest128 digest;
+    std::memcpy(&digest, nodes_ + index * hash::kDigestBytes,
+                hash::kDigestBytes);
+    return digest;
+  }
+  [[nodiscard]] hash::Digest128 root() const noexcept { return node(0); }
+  [[nodiscard]] hash::Digest128 leaf(std::uint64_t chunk) const noexcept {
+    return node(layout_.leaf_node(chunk));
+  }
+
+  /// Byte range of chunk `i` within the covered data.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> chunk_range(
+      std::uint64_t chunk) const noexcept {
+    const std::uint64_t begin = chunk * params_.chunk_bytes;
+    const std::uint64_t end =
+        std::min(begin + params_.chunk_bytes, data_bytes_);
+    return {begin, end};
+  }
+
+  /// Metadata footprint of this tree (digest bytes + fixed record).
+  [[nodiscard]] std::uint64_t metadata_bytes() const noexcept {
+    return 72 + layout_.num_nodes() * hash::kDigestBytes;
+  }
+
+  /// Copy out an owning MerkleTree (the v2 -> v1 compat direction; also
+  /// used where a caller genuinely needs mutable nodes, e.g. DeltaStore).
+  [[nodiscard]] repro::Result<MerkleTree> materialize() const;
+
+ private:
+  friend class BundleView;
+
+  TreeParams params_;
+  TreeLayout layout_;
+  std::uint64_t data_bytes_ = 0;
+  const std::uint8_t* nodes_ = nullptr;
+};
+
+/// Non-owning accessor over a whole flat sidecar: header + section table +
+/// per-tree views. parse() validates structure (magic, version, section
+/// bounds, alignment, per-tree record consistency) and, by default, the
+/// per-section checksums; after that every access is offset arithmetic.
+class BundleView {
+ public:
+  BundleView() = default;
+
+  /// Parse and validate `bytes` (which the caller keeps alive). Checksum
+  /// verification is one Murmur3F pass per section — cheap relative to a v1
+  /// decode, but skippable for hot in-process paths that just built the
+  /// blob themselves.
+  static repro::Result<BundleView> parse(std::span<const std::uint8_t> bytes,
+                                         bool verify_checksums = true);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::string_view name(std::size_t i) const noexcept {
+    return entries_[i].name;
+  }
+  [[nodiscard]] const TreeView& tree(std::size_t i) const noexcept {
+    return entries_[i].view;
+  }
+  [[nodiscard]] const TreeView* find(std::string_view name) const noexcept;
+
+  [[nodiscard]] const std::vector<SectionInfo>& sections() const noexcept {
+    return sections_;
+  }
+  /// Total bytes of the underlying blob.
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return total_bytes_;
+  }
+
+ private:
+  struct Entry {
+    std::string_view name;  ///< points into the backing names section
+    TreeView view;
+  };
+
+  std::vector<Entry> entries_;
+  std::vector<SectionInfo> sections_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// Writes flat sidecars. Computes the exact output size up front and fills
+/// one allocation — no geometric regrowth, no per-tree temporaries.
+class FlatBuilder {
+ public:
+  /// Add a named tree; names must be unique. A single-tree sidecar is one
+  /// entry with an empty name.
+  repro::Status add(std::string name, const MerkleTree& tree);
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  /// Exact byte size finish() will produce for the current entries.
+  [[nodiscard]] std::uint64_t output_bytes() const noexcept;
+  [[nodiscard]] std::vector<std::uint8_t> finish() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    const MerkleTree* tree;  ///< caller keeps the tree alive until finish()
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Single-tree / bundle conveniences (what v2-writing call sites use).
+std::vector<std::uint8_t> flat_serialize(const MerkleTree& tree);
+std::vector<std::uint8_t> flat_serialize(const TreeBundle& bundle);
+repro::Status save_flat(const MerkleTree& tree,
+                        const std::filesystem::path& path);
+repro::Status save_flat(const TreeBundle& bundle,
+                        const std::filesystem::path& path);
+
+/// Which encoding sidecar writers emit. v2 is the default everywhere; v1
+/// remains writable so compat fixtures and downgrade migrations exist.
+enum class SidecarWriteFormat : std::uint8_t { kFlatV2 = 0, kLegacyV1 = 1 };
+
+repro::Status save_sidecar(const MerkleTree& tree,
+                           const std::filesystem::path& path,
+                           SidecarWriteFormat format);
+
+/// Owning handle over a sidecar's bytes plus its parsed BundleView: the
+/// value type of the service metadata cache and of every zero-copy load
+/// path. open() prefers mmap (page-cache backed, shareable read-only across
+/// processes) and degrades to a heap read when mapping fails; v1 files are
+/// transparently converted through the legacy deserializers into a
+/// heap-backed v2 blob, so downstream code sees exactly one representation.
+class MappedBundle {
+ public:
+  MappedBundle() = default;
+  MappedBundle(MappedBundle&&) = default;
+  MappedBundle& operator=(MappedBundle&&) = default;
+  MappedBundle(const MappedBundle&) = delete;
+  MappedBundle& operator=(const MappedBundle&) = delete;
+
+  static repro::Result<MappedBundle> open(const std::filesystem::path& path);
+  /// Adopt an in-memory blob (either format; v1 is converted).
+  static repro::Result<MappedBundle> from_bytes(
+      std::vector<std::uint8_t> bytes);
+
+  [[nodiscard]] const BundleView& view() const noexcept { return view_; }
+  /// The raw flat-v2 bytes backing the views (mapped or heap; a converted
+  /// v1 source is already re-encoded). What `repro-cli migrate` writes out.
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return region_.mapped() ? region_.bytes()
+                            : std::span<const std::uint8_t>(heap_);
+  }
+  /// The single tree of a plain `.rmrk` sidecar; errors when the sidecar
+  /// holds several named trees (use view() for those).
+  [[nodiscard]] repro::Result<TreeView> sole_tree() const;
+
+  /// True when the bytes are an active file mapping (zero-copy path).
+  [[nodiscard]] bool mapped() const noexcept { return region_.mapped(); }
+  /// True when the source was a v1 sidecar that had to be deserialized.
+  [[nodiscard]] bool converted_from_v1() const noexcept { return converted_; }
+  /// Resident footprint: mapped or heap-held bytes backing the views.
+  [[nodiscard]] std::uint64_t resident_bytes() const noexcept {
+    return region_.mapped() ? region_.size() : heap_.size();
+  }
+
+ private:
+  static repro::Result<MappedBundle> adopt(MappedBundle bundle,
+                                           std::span<const std::uint8_t> raw);
+
+  io::MmapRegion region_;           ///< set when mapped
+  std::vector<std::uint8_t> heap_;  ///< set on fallback / conversion
+  BundleView view_;
+  bool converted_ = false;
+};
+
+}  // namespace repro::merkle

@@ -5,6 +5,7 @@
 #include "common/fs.hpp"
 #include "common/timer.hpp"
 #include "hash/murmur3.hpp"
+#include "merkle/flat.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -63,10 +64,21 @@ std::uint64_t MerkleTree::metadata_bytes() const noexcept {
   return 64 + layout_.num_nodes() * hash::kDigestBytes;
 }
 
+std::uint64_t MerkleTree::serialized_bytes() const noexcept {
+  // Field-by-field sum of the v1 header (see serialize_into) + digests.
+  return 4 + 4 + 8 + 8 + 1 + 8 + 4 + 8 + 8 +
+         nodes_.size() * hash::kDigestBytes;
+}
+
 std::vector<std::uint8_t> MerkleTree::serialize() const {
   std::vector<std::uint8_t> out;
-  out.reserve(metadata_bytes());
+  out.reserve(serialized_bytes());
   ByteWriter writer(out);
+  serialize_into(writer);
+  return out;
+}
+
+void MerkleTree::serialize_into(ByteWriter& writer) const {
   writer.put_u32(kMagic);
   writer.put_u32(kVersion);
   writer.put_u64(data_bytes_);
@@ -80,7 +92,6 @@ std::vector<std::uint8_t> MerkleTree::serialize() const {
     writer.put_u64(digest.lo);
     writer.put_u64(digest.hi);
   }
-  return out;
 }
 
 repro::Status MerkleTree::save(const std::filesystem::path& path) const {
@@ -98,8 +109,10 @@ repro::Result<MerkleTree> MerkleTree::deserialize(
   }
   REPRO_ASSIGN_OR_RETURN(const std::uint32_t version, reader.get_u32());
   if (version != kVersion) {
-    return repro::unsupported("unknown merkle metadata version " +
-                              std::to_string(version));
+    return repro::unsupported(
+        "merkle metadata version " + std::to_string(version) +
+        " (this build reads RMRK v1 and RMF2 v2); `repro-cli migrate` "
+        "rewrites sidecars between supported formats");
   }
   MerkleTree tree;
   REPRO_ASSIGN_OR_RETURN(tree.data_bytes_, reader.get_u64());
@@ -141,7 +154,32 @@ repro::Result<MerkleTree> MerkleTree::load(
     const std::filesystem::path& path) {
   REPRO_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> bytes,
                          repro::read_file(path));
+  if (detect_sidecar_format(bytes) == SidecarFormat::kV2Flat) {
+    REPRO_ASSIGN_OR_RETURN(const BundleView view, BundleView::parse(bytes));
+    if (view.size() != 1) {
+      return repro::failed_precondition(
+          path.string() + " holds " + std::to_string(view.size()) +
+          " named trees; load it as a bundle");
+    }
+    return view.tree(0).materialize();
+  }
   return deserialize(bytes);
+}
+
+repro::Result<MerkleTree> MerkleTree::from_parts(
+    TreeParams params, std::uint64_t data_bytes, std::uint64_t num_leaves,
+    std::vector<hash::Digest128> nodes) {
+  REPRO_RETURN_IF_ERROR(validate(params));
+  MerkleTree tree;
+  tree.params_ = std::move(params);
+  tree.data_bytes_ = data_bytes;
+  tree.layout_ = TreeLayout::for_leaves(num_leaves);
+  if (nodes.size() != tree.layout_.num_nodes()) {
+    return repro::invalid_argument(
+        "node count inconsistent with leaf count");
+  }
+  tree.nodes_ = std::move(nodes);
+  return tree;
 }
 
 hash::Digest128 TreeBuilder::hash_chunk(std::span<const std::uint8_t> data,

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "hash/chunk_hasher.hpp"
 #include "hash/digest.hpp"
@@ -80,13 +81,30 @@ class MerkleTree {
   /// plus a fixed header).
   [[nodiscard]] std::uint64_t metadata_bytes() const noexcept;
 
-  /// Serialize to a byte buffer / file ("RMRK" format, version 1).
+  /// Exact byte size serialize() produces (header + digest payload).
+  [[nodiscard]] std::uint64_t serialized_bytes() const noexcept;
+
+  /// Serialize to a byte buffer / file ("RMRK" format, version 1). The
+  /// buffer behind `serialize` is reserved to the exact output size up
+  /// front; `serialize_into` appends the same encoding to a caller-owned
+  /// writer (lets bundles emit entries without per-tree temporaries).
   [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  void serialize_into(ByteWriter& writer) const;
   repro::Status save(const std::filesystem::path& path) const;
 
+  /// Parse the legacy "RMRK" v1 stream specifically. load() is the compat
+  /// shim: it detects the on-disk format by magic and accepts both v1
+  /// sidecars and single-tree flat v2 sidecars (see merkle/flat.hpp).
   static repro::Result<MerkleTree> deserialize(
       std::span<const std::uint8_t> bytes);
   static repro::Result<MerkleTree> load(const std::filesystem::path& path);
+
+  /// Assemble a tree from already-validated components (the materialize
+  /// path of flat v2 views). `nodes` must hold exactly the layout's node
+  /// count for `num_leaves`.
+  static repro::Result<MerkleTree> from_parts(
+      TreeParams params, std::uint64_t data_bytes, std::uint64_t num_leaves,
+      std::vector<hash::Digest128> nodes);
 
   friend class TreeBuilder;
 

@@ -14,6 +14,7 @@ struct CacheMetrics {
   telemetry::Counter& hits;
   telemetry::Counter& misses;
   telemetry::Counter& evictions;
+  telemetry::Counter& deserializes;
 
   static CacheMetrics& get() {
     auto& registry = telemetry::MetricsRegistry::global();
@@ -21,6 +22,7 @@ struct CacheMetrics {
         registry.counter("svc.cache.hits"),
         registry.counter("svc.cache.misses"),
         registry.counter("svc.cache.evictions"),
+        registry.counter("svc.cache.deserialize_count"),
     };
     return *metrics;
   }
@@ -44,25 +46,26 @@ std::size_t MetadataCache::shard_for(const std::string& key) const {
 }
 
 std::uint64_t MetadataCache::charge_for(const std::string& key,
-                                        const TreePtr& tree) {
-  // Decoded trees cost roughly their serialized size; add the key and a
+                                        const BundlePtr& bundle) {
+  // Mapped bundles cost their file size (the pages the mapping can keep
+  // resident); converted/heap bundles cost their blob. Add the key and a
   // fixed allowance for map/list nodes so byte budgets stay honest for
   // many tiny trees.
   constexpr std::uint64_t kEntryOverhead = 128;
-  return tree->metadata_bytes() + key.size() + kEntryOverhead;
+  return bundle->resident_bytes() + key.size() + kEntryOverhead;
 }
 
-TreePtr MetadataCache::insert_locked(Shard& shard, const std::string& key,
-                                     TreePtr tree) {
+BundlePtr MetadataCache::insert_locked(Shard& shard, const std::string& key,
+                                       BundlePtr bundle) {
   if (auto it = shard.entries.find(key); it != shard.entries.end()) {
     // A racing loader won; adopt its entry (and refresh recency).
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
-    return it->second.tree;
+    return it->second.bundle;
   }
-  const std::uint64_t charge = charge_for(key, tree);
+  const std::uint64_t charge = charge_for(key, bundle);
   if (charge > shard_budget_) {
     ++shard.bypasses;
-    return tree;  // served, not cached
+    return bundle;  // served, not cached
   }
   while (shard.bytes + charge > shard_budget_ && !shard.lru.empty()) {
     const std::string& victim = shard.lru.back();
@@ -75,18 +78,18 @@ TreePtr MetadataCache::insert_locked(Shard& shard, const std::string& key,
   }
   shard.lru.push_front(key);
   Entry entry;
-  entry.tree = tree;
+  entry.bundle = bundle;
   entry.charge = charge;
   entry.lru_pos = shard.lru.begin();
   shard.entries.emplace(key, std::move(entry));
   shard.bytes += charge;
   ++shard.insertions;
-  return tree;
+  return bundle;
 }
 
-repro::Result<TreePtr> MetadataCache::get_or_load(
+repro::Result<BundlePtr> MetadataCache::get_or_load(
     const std::string& key,
-    const std::function<repro::Result<merkle::MerkleTree>()>& loader,
+    const std::function<repro::Result<merkle::MappedBundle>()>& loader,
     bool* hit) {
   Shard& shard = *shards_[shard_for(key)];
   {
@@ -96,7 +99,7 @@ repro::Result<TreePtr> MetadataCache::get_or_load(
       ++shard.hits;
       CacheMetrics::get().hits.increment();
       if (hit != nullptr) *hit = true;
-      return it->second.tree;
+      return it->second.bundle;
     }
     ++shard.misses;
     CacheMetrics::get().misses.increment();
@@ -105,14 +108,22 @@ repro::Result<TreePtr> MetadataCache::get_or_load(
 
   // Load outside the lock: a slow sidecar read must not serialize every
   // lookup that hashes to this shard.
-  REPRO_ASSIGN_OR_RETURN(merkle::MerkleTree loaded, loader());
-  TreePtr tree = std::make_shared<const merkle::MerkleTree>(std::move(loaded));
+  REPRO_ASSIGN_OR_RETURN(merkle::MappedBundle loaded, loader());
+  if (loaded.converted_from_v1()) {
+    // The one case a load still parses: a legacy v1 sidecar went through
+    // its deserializer. Warm hits and v2 loads never bump this.
+    CacheMetrics::get().deserializes.increment();
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.deserializes;
+  }
+  BundlePtr bundle =
+      std::make_shared<const merkle::MappedBundle>(std::move(loaded));
 
   std::lock_guard<std::mutex> lock(shard.mu);
-  return insert_locked(shard, key, std::move(tree));
+  return insert_locked(shard, key, std::move(bundle));
 }
 
-TreePtr MetadataCache::lookup(const std::string& key) {
+BundlePtr MetadataCache::lookup(const std::string& key) {
   Shard& shard = *shards_[shard_for(key)];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(key);
@@ -124,7 +135,7 @@ TreePtr MetadataCache::lookup(const std::string& key) {
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
   ++shard.hits;
   CacheMetrics::get().hits.increment();
-  return it->second.tree;
+  return it->second.bundle;
 }
 
 void MetadataCache::clear() {
@@ -145,6 +156,7 @@ CacheStats MetadataCache::stats() const {
     total.evictions += shard->evictions;
     total.insertions += shard->insertions;
     total.bypasses += shard->bypasses;
+    total.deserializes += shard->deserializes;
     total.bytes += shard->bytes;
     total.entries += shard->entries.size();
   }

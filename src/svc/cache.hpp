@@ -1,13 +1,19 @@
-// Sharded, byte-budgeted LRU cache of decoded Merkle metadata trees.
+// Sharded, byte-budgeted LRU cache of mapped Merkle metadata sidecars.
 //
 // The compare daemon's whole reason to exist: the paper's economy says
 // divergence queries only ever need the ~2·D·(N/C) metadata footprint, so a
-// resident set of decoded trees answers repeat COMPARE/TIMELINE queries with
-// zero sidecar I/O. Keys are canonical sidecar identities (one tree per
-// (run, iteration, rank) — equivalently per metadata path); values are
-// immutable decoded trees behind shared_ptr, so an entry stays alive ("is
-// pinned") for as long as any in-flight compare holds it, even if the shard
-// evicts it concurrently.
+// resident set of sidecars answers repeat COMPARE/TIMELINE queries with zero
+// sidecar I/O. Keys are canonical sidecar identities (one tree per (run,
+// iteration, rank) — equivalently per metadata path); values are immutable
+// MappedBundles behind shared_ptr: for flat v2 sidecars that is an mmap'd
+// region used in place (zero parse work, page-cache-backed, shareable
+// read-only across processes), for legacy v1 sidecars a one-time converted
+// heap blob. An entry stays alive ("is pinned") for as long as any in-flight
+// compare holds it, even if the shard evicts it concurrently.
+//
+// The `svc.cache.deserialize_count` counter records how many loads had to
+// run a v1 deserializer; warm hits — and every v2 load — keep it flat, which
+// perf_smoke asserts.
 //
 // Concurrency: the key space is hash-partitioned over `num_shards`
 // independent shards, each with its own mutex, LRU list, and slice of the
@@ -27,11 +33,11 @@
 #include <vector>
 
 #include "common/status.hpp"
-#include "merkle/tree.hpp"
+#include "merkle/flat.hpp"
 
 namespace repro::svc {
 
-using TreePtr = std::shared_ptr<const merkle::MerkleTree>;
+using BundlePtr = std::shared_ptr<const merkle::MappedBundle>;
 
 struct CacheStats {
   std::uint64_t hits = 0;
@@ -41,6 +47,8 @@ struct CacheStats {
   /// Entries too large for their shard's budget slice: served to the caller
   /// but never inserted (they would evict an entire shard for one query).
   std::uint64_t bypasses = 0;
+  /// Loads that ran a legacy v1 deserializer (flat v2 loads never do).
+  std::uint64_t deserializes = 0;
   std::uint64_t bytes = 0;    ///< currently charged
   std::uint64_t entries = 0;  ///< currently resident
 };
@@ -55,18 +63,19 @@ class MetadataCache {
   MetadataCache(const MetadataCache&) = delete;
   MetadataCache& operator=(const MetadataCache&) = delete;
 
-  /// Returns the cached tree for `key`, or runs `loader` and caches the
+  /// Returns the cached sidecar for `key`, or runs `loader` and caches the
   /// result. `*hit` (optional) reports whether the lookup was served from
   /// cache. On loader failure nothing is cached and the error propagates.
-  repro::Result<TreePtr> get_or_load(
+  repro::Result<BundlePtr> get_or_load(
       const std::string& key,
-      const std::function<repro::Result<merkle::MerkleTree>()>& loader,
+      const std::function<repro::Result<merkle::MappedBundle>()>& loader,
       bool* hit = nullptr);
 
   /// Peek without loading: nullptr on miss. Counts as a hit/miss.
-  [[nodiscard]] TreePtr lookup(const std::string& key);
+  [[nodiscard]] BundlePtr lookup(const std::string& key);
 
-  /// Drops every entry (outstanding shared_ptrs keep their trees alive).
+  /// Drops every entry (outstanding shared_ptrs keep their bundles — and
+  /// therefore their mappings — alive).
   void clear();
 
   [[nodiscard]] CacheStats stats() const;
@@ -84,7 +93,7 @@ class MetadataCache {
 
  private:
   struct Entry {
-    TreePtr tree;
+    BundlePtr bundle;
     std::uint64_t charge = 0;
     /// Position in Shard::lru (front = most recent).
     std::list<std::string>::iterator lru_pos;
@@ -101,14 +110,17 @@ class MetadataCache {
     std::uint64_t evictions = 0;
     std::uint64_t insertions = 0;
     std::uint64_t bypasses = 0;
+    std::uint64_t deserializes = 0;
   };
 
-  /// Bytes charged for one entry: decoded metadata + key + bookkeeping.
-  static std::uint64_t charge_for(const std::string& key, const TreePtr& t);
+  /// Bytes charged for one entry: resident sidecar bytes (mapped or heap) +
+  /// key + bookkeeping.
+  static std::uint64_t charge_for(const std::string& key, const BundlePtr& b);
 
   /// Insert under the shard lock, evicting LRU entries to make room.
-  /// Returns the resident tree (the racing winner's, if someone beat us).
-  TreePtr insert_locked(Shard& shard, const std::string& key, TreePtr tree);
+  /// Returns the resident bundle (the racing winner's, if someone beat us).
+  BundlePtr insert_locked(Shard& shard, const std::string& key,
+                          BundlePtr bundle);
 
   std::uint64_t budget_ = 0;
   std::uint64_t shard_budget_ = 0;

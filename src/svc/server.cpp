@@ -849,14 +849,24 @@ struct Server::Impl {
       bool* hit_a, bool* hit_b) {
     cmp::PreloadedMetadata preloaded;
     auto pin = [&](const std::filesystem::path& metadata_path, bool* hit)
-        -> repro::Result<TreePtr> {
+        -> repro::Result<cmp::PinnedTree> {
       if (!std::filesystem::exists(metadata_path)) {
         *hit = false;
-        return TreePtr{};
+        return cmp::PinnedTree{};
       }
-      return cache.get_or_load(
-          cache_key(metadata_path),
-          [&] { return merkle::MerkleTree::load(metadata_path); }, hit);
+      // The bundle shared_ptr doubles as the pin: the mapped bytes stay
+      // valid for the duration of the compare even if the shard evicts
+      // this entry concurrently. Warm hits hand back the resident mapping
+      // with zero parse work.
+      REPRO_ASSIGN_OR_RETURN(
+          BundlePtr bundle,
+          cache.get_or_load(
+              cache_key(metadata_path),
+              [&] { return merkle::MappedBundle::open(metadata_path); },
+              hit));
+      REPRO_ASSIGN_OR_RETURN(const merkle::TreeView view,
+                             bundle->sole_tree());
+      return cmp::PinnedTree{view, std::move(bundle)};
     };
     REPRO_ASSIGN_OR_RETURN(preloaded.tree_a,
                            pin(pair.run_a.metadata_path, hit_a));
@@ -1048,15 +1058,16 @@ struct Server::Impl {
         continue;
       }
       bool hit = false;
-      auto tree = cache.get_or_load(
+      auto bundle = cache.get_or_load(
           cache_key(ref.metadata_path),
-          [&] { return merkle::MerkleTree::load(ref.metadata_path); }, &hit);
-      if (!tree.is_ok()) {
-        done->status = wire_status_for(tree.status());
-        done->payload = error_payload(tree.status().to_string());
+          [&] { return merkle::MappedBundle::open(ref.metadata_path); },
+          &hit);
+      if (!bundle.is_ok()) {
+        done->status = wire_status_for(bundle.status());
+        done->payload = error_payload(bundle.status().to_string());
         return;
       }
-      bytes += tree.value()->metadata_bytes();
+      bytes += bundle.value()->resident_bytes();
       hit ? ++already : ++loaded;
     }
     std::string out = "{";
@@ -1078,6 +1089,7 @@ struct Server::Impl {
     append_kv(out, "evictions", cs.evictions, &first);
     append_kv(out, "insertions", cs.insertions, &first);
     append_kv(out, "bypasses", cs.bypasses, &first);
+    append_kv(out, "deserializes", cs.deserializes, &first);
     append_kv(out, "bytes", cs.bytes, &first);
     append_kv(out, "entries", cs.entries, &first);
     append_kv(out, "budget_bytes", cache.byte_budget(), &first);

@@ -75,6 +75,40 @@ TEST_F(CaptureTest, MetadataMatchesOfflineRebuild) {
   EXPECT_EQ(loaded.value().num_chunks(), rebuilt.value().num_chunks());
 }
 
+TEST_F(CaptureTest, SidecarFormatFlagControlsEncoding) {
+  // Default captures flush flat-v2 sidecars; the flag selects legacy v1.
+  // Both load back through the format-detecting shim with identical trees,
+  // so a mixed-format history stays comparable end-to-end.
+  CaptureOptions v1_options = options();
+  v1_options.sidecar_format = merkle::SidecarWriteFormat::kLegacyV1;
+  {
+    CaptureEngine engine(local_.path(), catalog_, options());
+    ASSERT_TRUE(engine.capture(make_writer("run-v2", 10, 0, 21)).is_ok());
+    ASSERT_TRUE(engine.wait_all().is_ok());
+  }
+  {
+    CaptureEngine engine(local_.path(), catalog_, v1_options);
+    ASSERT_TRUE(engine.capture(make_writer("run-v1", 10, 0, 21)).is_ok());
+    ASSERT_TRUE(engine.wait_all().is_ok());
+  }
+
+  const CheckpointRef v2_ref = catalog_.ref("run-v2", 10, 0);
+  const CheckpointRef v1_ref = catalog_.ref("run-v1", 10, 0);
+  auto v2_bytes = repro::read_file(v2_ref.metadata_path);
+  auto v1_bytes = repro::read_file(v1_ref.metadata_path);
+  ASSERT_TRUE(v2_bytes.is_ok() && v1_bytes.is_ok());
+  EXPECT_EQ(merkle::detect_sidecar_format(v2_bytes.value()),
+            merkle::SidecarFormat::kV2Flat);
+  EXPECT_EQ(merkle::detect_sidecar_format(v1_bytes.value()),
+            merkle::SidecarFormat::kV1Tree);
+
+  auto v2_tree = merkle::MerkleTree::load(v2_ref.metadata_path);
+  auto v1_tree = merkle::MerkleTree::load(v1_ref.metadata_path);
+  ASSERT_TRUE(v2_tree.is_ok()) << v2_tree.status().to_string();
+  ASSERT_TRUE(v1_tree.is_ok()) << v1_tree.status().to_string();
+  EXPECT_EQ(v2_tree.value().root(), v1_tree.value().root());
+}
+
 TEST_F(CaptureTest, StatsAccumulate) {
   CaptureEngine engine(local_.path(), catalog_, options());
   ASSERT_TRUE(engine.capture(make_writer("run-1", 10, 0, 3)).is_ok());

@@ -1,0 +1,358 @@
+#include "merkle/flat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/fs.hpp"
+#include "common/rng.hpp"
+#include "io/mmap.hpp"
+#include "merkle/bundle.hpp"
+#include "merkle/tree.hpp"
+#include "par/exec.hpp"
+
+namespace repro::merkle {
+namespace {
+
+std::vector<std::uint8_t> random_f32_bytes(std::size_t count,
+                                           std::uint64_t seed) {
+  repro::Xoshiro256 rng(seed);
+  std::vector<float> values(count);
+  for (auto& v : values) {
+    v = static_cast<float>((rng.next_double() * 2 - 1) * 10.0);
+  }
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(values.data());
+  return {bytes, bytes + values.size() * sizeof(float)};
+}
+
+TreeParams small_params(std::uint64_t chunk_bytes = 1024) {
+  TreeParams params;
+  params.chunk_bytes = chunk_bytes;
+  params.hash.error_bound = 1e-5;
+  return params;
+}
+
+MerkleTree make_tree(std::size_t values, std::uint64_t seed = 1) {
+  auto tree = TreeBuilder(small_params(), par::Exec::serial())
+                  .build(random_f32_bytes(values, seed));
+  EXPECT_TRUE(tree.is_ok()) << tree.status().to_string();
+  return std::move(tree).value();
+}
+
+/// Every node, every accessor: the view must agree with the source tree.
+void expect_same_tree(const TreeView& view, const MerkleTree& tree) {
+  ASSERT_TRUE(view.valid());
+  EXPECT_EQ(view.data_bytes(), tree.data_bytes());
+  EXPECT_EQ(view.num_chunks(), tree.num_chunks());
+  EXPECT_EQ(view.params().chunk_bytes, tree.params().chunk_bytes);
+  EXPECT_EQ(view.params().hash.error_bound, tree.params().hash.error_bound);
+  EXPECT_EQ(view.layout().num_nodes(), tree.layout().num_nodes());
+  EXPECT_TRUE(view.root() == tree.root());
+  for (std::uint64_t i = 0; i < tree.layout().num_nodes(); ++i) {
+    EXPECT_TRUE(view.node(i) == tree.nodes()[i]) << "node " << i;
+  }
+  EXPECT_EQ(view.chunk_range(0), tree.chunk_range(0));
+}
+
+TEST(FlatFormat, DetectsAllMagics) {
+  const MerkleTree tree = make_tree(1024);
+  EXPECT_EQ(detect_sidecar_format(flat_serialize(tree)),
+            SidecarFormat::kV2Flat);
+  EXPECT_EQ(detect_sidecar_format(tree.serialize()), SidecarFormat::kV1Tree);
+  TreeBundle bundle;
+  ASSERT_TRUE(bundle.add("f", make_tree(512)).is_ok());
+  EXPECT_EQ(detect_sidecar_format(bundle.serialize()),
+            SidecarFormat::kV1Bundle);
+  EXPECT_EQ(detect_sidecar_format({}), SidecarFormat::kUnknown);
+  const std::vector<std::uint8_t> junk = {1, 2, 3, 4, 5};
+  EXPECT_EQ(detect_sidecar_format(junk), SidecarFormat::kUnknown);
+}
+
+TEST(FlatFormat, TreeRoundTripMatchesSource) {
+  const MerkleTree tree = make_tree(4096);
+  const std::vector<std::uint8_t> flat = flat_serialize(tree);
+  auto view = BundleView::parse(flat);
+  ASSERT_TRUE(view.is_ok()) << view.status().to_string();
+  ASSERT_EQ(view.value().size(), 1U);
+  EXPECT_EQ(view.value().name(0), "");
+  expect_same_tree(view.value().tree(0), tree);
+
+  // materialize() is the exact inverse of flat_serialize.
+  auto owned = view.value().tree(0).materialize();
+  ASSERT_TRUE(owned.is_ok());
+  EXPECT_TRUE(owned.value().root() == tree.root());
+  EXPECT_TRUE(std::equal(owned.value().nodes().begin(),
+                         owned.value().nodes().end(), tree.nodes().begin(),
+                         tree.nodes().end()));
+}
+
+TEST(FlatFormat, RoundTripAgreesWithV1Codec) {
+  // The two encodings carry identical content: decoding the v1 stream and
+  // viewing the v2 blob must agree node-for-node.
+  const MerkleTree tree = make_tree(8192, 3);
+  auto v1 = MerkleTree::deserialize(tree.serialize());
+  ASSERT_TRUE(v1.is_ok());
+  auto v2 = BundleView::parse(flat_serialize(tree));
+  ASSERT_TRUE(v2.is_ok());
+  expect_same_tree(v2.value().tree(0), v1.value());
+}
+
+TEST(FlatFormat, BundleRoundTripPreservesNamesAndOrder) {
+  TreeBundle bundle;
+  ASSERT_TRUE(bundle.add("POSITION", make_tree(2048, 1)).is_ok());
+  ASSERT_TRUE(bundle.add("VELOCITY", make_tree(1024, 2)).is_ok());
+  ASSERT_TRUE(bundle.add("PHI", make_tree(512, 3)).is_ok());
+
+  const std::vector<std::uint8_t> flat = flat_serialize(bundle);
+  auto view = BundleView::parse(flat);
+  ASSERT_TRUE(view.is_ok()) << view.status().to_string();
+  ASSERT_EQ(view.value().size(), 3U);
+  EXPECT_EQ(view.value().name(0), "POSITION");
+  EXPECT_EQ(view.value().name(1), "VELOCITY");
+  EXPECT_EQ(view.value().name(2), "PHI");
+  for (std::size_t i = 0; i < 3; ++i) {
+    expect_same_tree(view.value().tree(i), *bundle.find(view.value().name(i)));
+  }
+  EXPECT_NE(view.value().find("VELOCITY"), nullptr);
+  EXPECT_TRUE(view.value().find("VELOCITY")->root() ==
+              bundle.find("VELOCITY")->root());
+  EXPECT_EQ(view.value().find("MISSING"), nullptr);
+}
+
+TEST(FlatFormat, BuilderReportsExactOutputSize) {
+  FlatBuilder builder;
+  ASSERT_TRUE(builder.add("a", make_tree(1024, 1)).is_ok());
+  ASSERT_TRUE(builder.add("bb", make_tree(512, 2)).is_ok());
+  EXPECT_EQ(builder.finish().size(), builder.output_bytes());
+  EXPECT_FALSE(builder.add("a", make_tree(256, 3)).is_ok())
+      << "duplicate names must be rejected";
+}
+
+TEST(FlatFormat, ViewAliasesInMemoryTree) {
+  const MerkleTree tree = make_tree(4096, 5);
+  expect_same_tree(TreeView(tree), tree);
+  EXPECT_FALSE(TreeView().valid());
+}
+
+// --- hostile-input coverage -------------------------------------------------
+
+TEST(FlatFormat, RejectsBadMagicAndUnknownVersion) {
+  const MerkleTree tree = make_tree(1024);
+  std::vector<std::uint8_t> flat = flat_serialize(tree);
+
+  std::vector<std::uint8_t> bad_magic = flat;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(BundleView::parse(bad_magic).is_ok());
+
+  // Future version: the error must point the operator at the migrate tool.
+  std::vector<std::uint8_t> future = flat;
+  const std::uint32_t v99 = 99;
+  std::memcpy(future.data() + 4, &v99, sizeof v99);
+  const auto parsed = BundleView::parse(future);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().to_string().find("migrate"), std::string::npos)
+      << parsed.status().to_string();
+}
+
+TEST(FlatFormat, V1UnknownVersionErrorNamesMigrate) {
+  const MerkleTree tree = make_tree(1024);
+  std::vector<std::uint8_t> v1 = tree.serialize();
+  const std::uint32_t v99 = 99;
+  std::memcpy(v1.data() + 4, &v99, sizeof v99);
+  const auto parsed = MerkleTree::deserialize(v1);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().to_string().find("migrate"), std::string::npos);
+}
+
+TEST(FlatFormat, RejectsCorruptSectionViaChecksum) {
+  const MerkleTree tree = make_tree(2048);
+  const std::vector<std::uint8_t> flat = flat_serialize(tree);
+  // Flip one byte in the nodes payload (well past header + table).
+  std::vector<std::uint8_t> corrupt = flat;
+  corrupt[corrupt.size() - 5] ^= 0xFF;
+  const auto parsed = BundleView::parse(corrupt);
+  ASSERT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().to_string().find("checksum"), std::string::npos)
+      << parsed.status().to_string();
+  // The same bytes pass when checksum verification is off: the structural
+  // validation alone cannot see a payload bit-flip.
+  EXPECT_TRUE(BundleView::parse(corrupt, /*verify_checksums=*/false).is_ok());
+}
+
+TEST(FlatFormat, EveryTruncationFailsCleanly) {
+  // ASan builds make this a memory-safety proof: no truncation length may
+  // read out of bounds or crash; each must return a clean error.
+  const MerkleTree tree = make_tree(1024);
+  const std::vector<std::uint8_t> flat = flat_serialize(tree);
+  for (std::size_t len = 0; len < flat.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(flat.data(), len);
+    EXPECT_FALSE(BundleView::parse(prefix).is_ok()) << "length " << len;
+  }
+  // Trailing garbage is also rejected: total_bytes must match exactly.
+  std::vector<std::uint8_t> padded = flat;
+  padded.push_back(0);
+  EXPECT_FALSE(BundleView::parse(padded).is_ok());
+}
+
+TEST(FlatFormat, FuzzedHeaderFieldsFailCleanly) {
+  // Random byte-flips across header + section table: never a crash, and a
+  // changed blob must not validate against its stale checksums (except
+  // flips that only touch reserved padding).
+  const MerkleTree tree = make_tree(2048, 7);
+  const std::vector<std::uint8_t> flat = flat_serialize(tree);
+  repro::Xoshiro256 rng(99);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::uint8_t> mutated = flat;
+    const std::size_t pos = rng.next() % std::min<std::size_t>(
+                                                 mutated.size(), 160);
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.next() % 255);
+    (void)BundleView::parse(mutated);  // must not crash under ASan
+  }
+}
+
+// --- v1 compat shim ---------------------------------------------------------
+
+TEST(FlatFormat, LoadShimReadsBothFormatsFromDisk) {
+  TempDir dir{"flat-compat"};
+  const MerkleTree tree = make_tree(4096, 11);
+
+  const auto v1_path = dir.file("tree.v1.rmrk");
+  const auto v2_path = dir.file("tree.v2.rmrk");
+  ASSERT_TRUE(tree.save(v1_path).is_ok());  // MerkleTree::save writes v1
+  ASSERT_TRUE(save_flat(tree, v2_path).is_ok());
+
+  for (const auto& path : {v1_path, v2_path}) {
+    auto loaded = MerkleTree::load(path);
+    ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+    EXPECT_TRUE(loaded.value().root() == tree.root());
+    EXPECT_TRUE(std::equal(loaded.value().nodes().begin(),
+                           loaded.value().nodes().end(),
+                           tree.nodes().begin(), tree.nodes().end()));
+  }
+}
+
+TEST(FlatFormat, BundleLoadShimReadsBothFormats) {
+  TempDir dir{"flat-bundle-compat"};
+  TreeBundle bundle;
+  ASSERT_TRUE(bundle.add("A", make_tree(1024, 1)).is_ok());
+  ASSERT_TRUE(bundle.add("B", make_tree(2048, 2)).is_ok());
+
+  const auto v1_path = dir.file("fields.v1.rmrk");
+  const auto v2_path = dir.file("fields.v2.rmrk");
+  ASSERT_TRUE(bundle.save(v1_path).is_ok());
+  ASSERT_TRUE(save_flat(bundle, v2_path).is_ok());
+
+  for (const auto& path : {v1_path, v2_path}) {
+    auto loaded = TreeBundle::load(path);
+    ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+    ASSERT_EQ(loaded.value().size(), 2U);
+    EXPECT_TRUE(loaded.value().find("A")->root() ==
+                bundle.find("A")->root());
+    EXPECT_TRUE(loaded.value().find("B")->root() ==
+                bundle.find("B")->root());
+  }
+}
+
+TEST(FlatFormat, SaveSidecarWritesRequestedFormat) {
+  TempDir dir{"flat-save-sidecar"};
+  const MerkleTree tree = make_tree(512);
+  const auto v2_path = dir.file("v2.rmrk");
+  const auto v1_path = dir.file("v1.rmrk");
+  ASSERT_TRUE(
+      save_sidecar(tree, v2_path, SidecarWriteFormat::kFlatV2).is_ok());
+  ASSERT_TRUE(
+      save_sidecar(tree, v1_path, SidecarWriteFormat::kLegacyV1).is_ok());
+  auto v2_bytes = repro::read_file(v2_path);
+  auto v1_bytes = repro::read_file(v1_path);
+  ASSERT_TRUE(v2_bytes.is_ok() && v1_bytes.is_ok());
+  EXPECT_EQ(detect_sidecar_format(v2_bytes.value()), SidecarFormat::kV2Flat);
+  EXPECT_EQ(detect_sidecar_format(v1_bytes.value()), SidecarFormat::kV1Tree);
+}
+
+// --- MappedBundle -----------------------------------------------------------
+
+TEST(MappedBundleTest, OpensV2FilesMapped) {
+  TempDir dir{"flat-mapped"};
+  const MerkleTree tree = make_tree(4096, 13);
+  const auto path = dir.file("tree.rmrk");
+  ASSERT_TRUE(save_flat(tree, path).is_ok());
+
+  auto bundle = MappedBundle::open(path);
+  ASSERT_TRUE(bundle.is_ok()) << bundle.status().to_string();
+  EXPECT_TRUE(bundle.value().mapped());
+  EXPECT_FALSE(bundle.value().converted_from_v1());
+  EXPECT_GT(bundle.value().resident_bytes(), 0U);
+  auto view = bundle.value().sole_tree();
+  ASSERT_TRUE(view.is_ok());
+  expect_same_tree(view.value(), tree);
+}
+
+TEST(MappedBundleTest, ConvertsV1FilesTransparently) {
+  TempDir dir{"flat-mapped-v1"};
+  const MerkleTree tree = make_tree(2048, 17);
+  const auto path = dir.file("tree.rmrk");
+  ASSERT_TRUE(tree.save(path).is_ok());
+
+  auto bundle = MappedBundle::open(path);
+  ASSERT_TRUE(bundle.is_ok()) << bundle.status().to_string();
+  EXPECT_TRUE(bundle.value().converted_from_v1());
+  EXPECT_FALSE(bundle.value().mapped()) << "converted blobs are heap-backed";
+  auto view = bundle.value().sole_tree();
+  ASSERT_TRUE(view.is_ok());
+  expect_same_tree(view.value(), tree);
+  // The re-encoded bytes are exactly what flat_serialize would produce.
+  const std::vector<std::uint8_t> expected = flat_serialize(tree);
+  ASSERT_EQ(bundle.value().bytes().size(), expected.size());
+  EXPECT_EQ(std::memcmp(bundle.value().bytes().data(), expected.data(),
+                        expected.size()),
+            0);
+}
+
+TEST(MappedBundleTest, MmapFailureFallsBackToHeapRead) {
+  TempDir dir{"flat-fallback"};
+  const MerkleTree tree = make_tree(1024, 19);
+  const auto path = dir.file("tree.rmrk");
+  ASSERT_TRUE(save_flat(tree, path).is_ok());
+
+  io::set_fail_next_mmaps_for_testing(1, "flat-fallback");
+  auto bundle = MappedBundle::open(path);
+  ASSERT_TRUE(bundle.is_ok()) << bundle.status().to_string();
+  EXPECT_FALSE(bundle.value().mapped());
+  EXPECT_FALSE(bundle.value().converted_from_v1())
+      << "a heap-read v2 blob is still zero-parse";
+  auto view = bundle.value().sole_tree();
+  ASSERT_TRUE(view.is_ok());
+  expect_same_tree(view.value(), tree);
+  // The injection is consumed: the next open maps again.
+  auto remapped = MappedBundle::open(path);
+  ASSERT_TRUE(remapped.is_ok());
+  EXPECT_TRUE(remapped.value().mapped());
+}
+
+TEST(MappedBundleTest, MissingFileIsNotFound) {
+  const auto bundle = MappedBundle::open("/nonexistent/tree.rmrk");
+  ASSERT_FALSE(bundle.is_ok());
+  EXPECT_EQ(bundle.status().code(), repro::StatusCode::kNotFound);
+}
+
+TEST(MappedBundleTest, SoleTreeRejectsMultiTreeBundles) {
+  TreeBundle bundle;
+  ASSERT_TRUE(bundle.add("A", make_tree(512, 1)).is_ok());
+  ASSERT_TRUE(bundle.add("B", make_tree(512, 2)).is_ok());
+  auto mapped = MappedBundle::from_bytes(flat_serialize(bundle));
+  ASSERT_TRUE(mapped.is_ok());
+  EXPECT_FALSE(mapped.value().sole_tree().is_ok());
+  EXPECT_EQ(mapped.value().view().size(), 2U);
+}
+
+TEST(MappedBundleTest, FromBytesRejectsGarbage) {
+  const std::vector<std::uint8_t> junk = {0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4};
+  EXPECT_FALSE(MappedBundle::from_bytes(junk).is_ok());
+  EXPECT_FALSE(MappedBundle::from_bytes({}).is_ok());
+}
+
+}  // namespace
+}  // namespace repro::merkle

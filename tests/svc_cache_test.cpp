@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "merkle/flat.hpp"
 #include "merkle/tree.hpp"
 #include "par/exec.hpp"
 #include "telemetry/metrics.hpp"
@@ -32,11 +33,27 @@ repro::Result<merkle::MerkleTree> make_tree(std::size_t bytes,
   return merkle::TreeBuilder(small_params(), par::Exec::serial()).build(data);
 }
 
+/// A heap-backed flat-v2 bundle over `bytes` of deterministic data — what
+/// MappedBundle::open would produce for a v2 sidecar, minus the file.
+repro::Result<merkle::MappedBundle> make_bundle(std::size_t bytes,
+                                                std::uint8_t seed = 0) {
+  auto tree = make_tree(bytes, seed);
+  if (!tree.is_ok()) return tree.status();
+  return merkle::MappedBundle::from_bytes(
+      merkle::flat_serialize(tree.value()));
+}
+
+std::uint64_t data_bytes_of(const BundlePtr& bundle) {
+  auto view = bundle->sole_tree();
+  EXPECT_TRUE(view.is_ok());
+  return view.is_ok() ? view.value().data_bytes() : 0;
+}
+
 std::uint64_t charge_of(const std::string& key, std::size_t bytes) {
-  auto tree = make_tree(bytes);
-  EXPECT_TRUE(tree.is_ok());
-  // Mirrors MetadataCache::charge_for: metadata + key + fixed overhead.
-  return tree.value().metadata_bytes() + key.size() + 128;
+  auto bundle = make_bundle(bytes);
+  EXPECT_TRUE(bundle.is_ok());
+  // Mirrors MetadataCache::charge_for: resident bytes + key + overhead.
+  return bundle.value().resident_bytes() + key.size() + 128;
 }
 
 TEST(MetadataCacheTest, HitMissAndInsertionCounters) {
@@ -48,7 +65,7 @@ TEST(MetadataCacheTest, HitMissAndInsertionCounters) {
   int loads = 0;
   const auto loader = [&] {
     ++loads;
-    return make_tree(1024);
+    return make_bundle(1024);
   };
 
   bool hit = true;
@@ -75,6 +92,46 @@ TEST(MetadataCacheTest, HitMissAndInsertionCounters) {
   EXPECT_EQ(registry.counter("svc.cache.misses").value() - misses0, 2U);
 }
 
+TEST(MetadataCacheTest, V2LoadsAndWarmHitsNeverDeserialize) {
+  auto& registry = telemetry::MetricsRegistry::global();
+  const std::uint64_t deser0 =
+      registry.counter("svc.cache.deserialize_count").value();
+
+  MetadataCache cache(1 << 20, 1);
+  for (int i = 0; i < 3; ++i) {
+    bool hit = false;
+    auto bundle =
+        cache.get_or_load("v2", [] { return make_bundle(2048); }, &hit);
+    ASSERT_TRUE(bundle.is_ok());
+    EXPECT_EQ(hit, i > 0);
+    EXPECT_FALSE(bundle.value()->converted_from_v1());
+  }
+  // Flat v2 loads parse nothing, warm hits parse nothing: the counter the
+  // perf_smoke gate watches stays flat.
+  EXPECT_EQ(registry.counter("svc.cache.deserialize_count").value(), deser0);
+  EXPECT_EQ(cache.stats().deserializes, 0U);
+
+  // A legacy v1 blob is the one load that must run a deserializer.
+  auto v1 = cache.get_or_load("v1", [] {
+    auto tree = make_tree(2048);
+    EXPECT_TRUE(tree.is_ok());
+    return merkle::MappedBundle::from_bytes(tree.value().serialize());
+  });
+  ASSERT_TRUE(v1.is_ok());
+  EXPECT_TRUE(v1.value()->converted_from_v1());
+  EXPECT_EQ(registry.counter("svc.cache.deserialize_count").value(),
+            deser0 + 1);
+  EXPECT_EQ(cache.stats().deserializes, 1U);
+
+  // …and only that load: its warm hit serves the converted blob as-is.
+  bool hit = false;
+  ASSERT_TRUE(cache.get_or_load("v1", [] { return make_bundle(2048); }, &hit)
+                  .is_ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(registry.counter("svc.cache.deserialize_count").value(),
+            deser0 + 1);
+}
+
 TEST(MetadataCacheTest, EvictionFollowsLruOrder) {
   // Uniform entries: same data size, same key length => same charge.
   const std::uint64_t charge = charge_of("k0", 1024);
@@ -82,7 +139,7 @@ TEST(MetadataCacheTest, EvictionFollowsLruOrder) {
   ASSERT_EQ(cache.num_shards(), 1U);
 
   for (const char* key : {"k0", "k1", "k2"}) {
-    ASSERT_TRUE(cache.get_or_load(key, [] { return make_tree(1024); })
+    ASSERT_TRUE(cache.get_or_load(key, [] { return make_bundle(1024); })
                     .is_ok());
   }
   EXPECT_EQ(cache.stats().entries, 3U);
@@ -90,12 +147,12 @@ TEST(MetadataCacheTest, EvictionFollowsLruOrder) {
   // Touch k0 so k1 becomes the eviction candidate.
   EXPECT_NE(cache.lookup("k0"), nullptr);
   ASSERT_TRUE(
-      cache.get_or_load("k3", [] { return make_tree(1024); }).is_ok());
+      cache.get_or_load("k3", [] { return make_bundle(1024); }).is_ok());
   EXPECT_EQ(cache.shard_keys_mru_first(0),
             (std::vector<std::string>{"k3", "k0", "k2"}));
 
   ASSERT_TRUE(
-      cache.get_or_load("k4", [] { return make_tree(1024); }).is_ok());
+      cache.get_or_load("k4", [] { return make_bundle(1024); }).is_ok());
   EXPECT_EQ(cache.shard_keys_mru_first(0),
             (std::vector<std::string>{"k4", "k3", "k0"}));
 
@@ -107,33 +164,35 @@ TEST(MetadataCacheTest, EvictionFollowsLruOrder) {
   // Evicted keys reload (evicting k0, now the LRU); resident keys do not.
   bool hit = true;
   ASSERT_TRUE(
-      cache.get_or_load("k1", [] { return make_tree(1024); }, &hit).is_ok());
+      cache.get_or_load("k1", [] { return make_bundle(1024); }, &hit)
+          .is_ok());
   EXPECT_FALSE(hit);
   EXPECT_EQ(cache.shard_keys_mru_first(0),
             (std::vector<std::string>{"k1", "k4", "k3"}));
   ASSERT_TRUE(
-      cache.get_or_load("k3", [] { return make_tree(1024); }, &hit).is_ok());
+      cache.get_or_load("k3", [] { return make_bundle(1024); }, &hit)
+          .is_ok());
   EXPECT_TRUE(hit);
 }
 
 TEST(MetadataCacheTest, ZeroBudgetServesWithoutCaching) {
   MetadataCache cache(0, 4);
   bool hit = true;
-  auto tree = cache.get_or_load("k", [] { return make_tree(512); }, &hit);
-  ASSERT_TRUE(tree.is_ok());
+  auto bundle = cache.get_or_load("k", [] { return make_bundle(512); }, &hit);
+  ASSERT_TRUE(bundle.is_ok());
   EXPECT_FALSE(hit);
-  EXPECT_EQ(tree.value()->data_bytes(), 512U);
+  EXPECT_EQ(data_bytes_of(bundle.value()), 512U);
   const CacheStats stats = cache.stats();
   EXPECT_EQ(stats.entries, 0U);
   EXPECT_EQ(stats.bypasses, 1U);
 }
 
 TEST(MetadataCacheTest, EntryLargerThanShardBudgetBypasses) {
-  // Budget holds the small tree but not the big one.
+  // Budget holds the small bundle but not the big one.
   MetadataCache cache(charge_of("small", 1024), 1);
   ASSERT_TRUE(
-      cache.get_or_load("small", [] { return make_tree(1024); }).is_ok());
-  auto big = cache.get_or_load("big", [] { return make_tree(64 * 1024); });
+      cache.get_or_load("small", [] { return make_bundle(1024); }).is_ok());
+  auto big = cache.get_or_load("big", [] { return make_bundle(64 * 1024); });
   ASSERT_TRUE(big.is_ok());
   const CacheStats stats = cache.stats();
   EXPECT_EQ(stats.bypasses, 1U);
@@ -145,7 +204,7 @@ TEST(MetadataCacheTest, EntryLargerThanShardBudgetBypasses) {
 TEST(MetadataCacheTest, LoaderFailureCachesNothing) {
   MetadataCache cache(1 << 20, 1);
   int loads = 0;
-  const auto failing = [&]() -> repro::Result<merkle::MerkleTree> {
+  const auto failing = [&]() -> repro::Result<merkle::MappedBundle> {
     ++loads;
     return repro::not_found("sidecar missing");
   };
@@ -157,14 +216,15 @@ TEST(MetadataCacheTest, LoaderFailureCachesNothing) {
 
 TEST(MetadataCacheTest, ClearDropsEntriesButPinsSurvive) {
   MetadataCache cache(1 << 20, 2);
-  auto tree = cache.get_or_load("k", [] { return make_tree(2048); });
-  ASSERT_TRUE(tree.is_ok());
-  TreePtr pinned = tree.value();
+  auto bundle = cache.get_or_load("k", [] { return make_bundle(2048); });
+  ASSERT_TRUE(bundle.is_ok());
+  BundlePtr pinned = bundle.value();
   cache.clear();
   EXPECT_EQ(cache.stats().entries, 0U);
   EXPECT_EQ(cache.stats().bytes, 0U);
-  // The shared_ptr pin keeps the evicted tree fully usable.
-  EXPECT_EQ(pinned->data_bytes(), 2048U);
+  // The shared_ptr pin keeps the evicted bundle (and the bytes its views
+  // point into) fully usable.
+  EXPECT_EQ(data_bytes_of(pinned), 2048U);
 }
 
 // 16 threads hammering a mix of shared and thread-private keys under byte
@@ -191,10 +251,14 @@ TEST(MetadataCacheTest, ConcurrentHammerStaysConsistent) {
                                     ? "shared-" + std::to_string(slot)
                                     : "own-" + std::to_string(t) + "-" +
                                           std::to_string(slot);
-        auto tree = cache.get_or_load(
-            key, [bytes] { return make_tree(bytes); });
-        if (!tree.is_ok() || tree.value() == nullptr ||
-            tree.value()->data_bytes() != bytes) {
+        auto bundle = cache.get_or_load(
+            key, [bytes] { return make_bundle(bytes); });
+        if (!bundle.is_ok() || bundle.value() == nullptr) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        auto view = bundle.value()->sole_tree();
+        if (!view.is_ok() || view.value().data_bytes() != bytes) {
           failures.fetch_add(1, std::memory_order_relaxed);
         }
       }
