@@ -88,7 +88,10 @@ int main() {
       table.add_row(
           {strprintf("%g", eps), format_size(chunk),
            format_size(stats.raw_bytes), format_size(stats.stored_bytes),
-           strprintf("%.2fx", stats.compaction_ratio()),
+           // An empty store reports ratio 1.0; label it rather than print a
+           // misleading "1.00x compaction" for zero captures.
+           stats.captures > 0 ? strprintf("%.2fx", stats.compaction_ratio())
+                              : std::string("n/a (empty)"),
            strprintf("%llu/%llu",
                      static_cast<unsigned long long>(stats.chunks_total -
                                                      stats.chunks_stored),

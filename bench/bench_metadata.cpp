@@ -17,6 +17,7 @@
 
 #include "bench/bench_artifact.hpp"
 #include "bench/bench_common.hpp"
+#include "ckpt/delta_store.hpp"
 #include "common/fs.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
@@ -138,10 +139,125 @@ int main(int argc, char** argv) {
     return clock.seconds() * 1e3;
   });
 
+  // ---- Differential metadata: 90%-stable workload over 64 iterations ----
+  //
+  // Two runs capture the same drifting field (a contiguous 10% window of
+  // chunks changes each iteration — localized dynamics, the common HPC
+  // case); run B additionally diverges in its first chunks from the
+  // midpoint on. Differential RMFD sidecars should shrink metadata bytes by
+  // roughly the stability fraction, and the incremental timeline should
+  // visit O(divergence) nodes instead of reloading both full trees per
+  // iteration.
+  const std::uint64_t diff_values = (2ULL << 20) * bench::scale_factor();
+  const std::uint64_t iterations = 64;
+  std::vector<float> field_a = sim::generate_field(diff_values, /*seed=*/11);
+  std::vector<float> field_b = field_a;
+  const std::uint64_t values_per_chunk = chunk / sizeof(float);
+  const std::uint64_t diff_chunks = diff_values / values_per_chunk;
+  const std::uint64_t window = diff_chunks / 10;  // 10% churn -> 90% stable
+
+  merkle::TreeParams diff_params = params;
+  ckpt::DeltaStoreOptions store_options;
+  store_options.tree = diff_params;
+
+  TempDir diff_dir{"bench-metadata-diff"};
+  auto store_a = ckpt::DeltaStore::open(diff_dir.path(), "run_a", 0,
+                                        store_options);
+  if (!store_a.is_ok()) die("delta store open failed", store_a.status());
+  auto store_b = ckpt::DeltaStore::open(diff_dir.path(), "run_b", 0,
+                                        store_options);
+  if (!store_b.is_ok()) die("delta store open failed", store_b.status());
+
+  const auto mutate = [&](std::vector<float>& field, std::uint64_t iter,
+                          bool diverge) {
+    const std::uint64_t start = (iter * window) % diff_chunks;
+    for (std::uint64_t c = 0; c < window; ++c) {
+      const std::uint64_t chunk_index = (start + c) % diff_chunks;
+      const std::uint64_t begin = chunk_index * values_per_chunk;
+      for (std::uint64_t v = 0; v < values_per_chunk; ++v) {
+        field[begin + v] += 0.5f;
+      }
+    }
+    if (diverge) {
+      // Persistent drift in the first 2% of chunks from the midpoint on.
+      const std::uint64_t drift = std::max<std::uint64_t>(diff_chunks / 50, 1);
+      for (std::uint64_t v = 0; v < drift * values_per_chunk; ++v) {
+        field[v] += 0.25f;
+      }
+    }
+  };
+  const auto bytes_of = [](const std::vector<float>& field) {
+    return std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(field.data()),
+        field.size() * sizeof(float));
+  };
+
+  Stopwatch append_clock;
+  for (std::uint64_t iter = 0; iter < iterations; ++iter) {
+    if (iter > 0) {
+      mutate(field_a, iter, false);
+      mutate(field_b, iter, iter >= iterations / 2);
+    }
+    if (const auto appended = store_a.value().append(iter, bytes_of(field_a));
+        !appended.is_ok()) {
+      die("append run_a failed", appended);
+    }
+    if (const auto appended = store_b.value().append(iter, bytes_of(field_b));
+        !appended.is_ok()) {
+      die("append run_b failed", appended);
+    }
+  }
+  const double append_ms = append_clock.seconds() * 1e3;
+
+  const ckpt::DeltaStoreStats& diff_stats = store_a.value().stats();
+  const double savings = diff_stats.metadata_savings();
+
+  ckpt::TimelineStats timeline_stats;
+  const int timeline_reps = 5;
+  const bench::WallStats timeline_wall =
+      bench::wall_stats_of(timeline_reps, [&] {
+        Stopwatch clock;
+        auto timeline = ckpt::incremental_timeline(
+            store_a.value(), store_b.value(), &timeline_stats);
+        if (!timeline.is_ok()) die("timeline failed", timeline.status());
+        if (timeline.value().size() != iterations ||
+            timeline.value().back().diverged_chunks == 0) {
+          std::fprintf(stderr, "timeline shape unexpected\n");
+          std::exit(1);
+        }
+        return clock.seconds() * 1e3;
+      });
+  const double visit_reduction =
+      timeline_stats.node_visits > 0
+          ? static_cast<double>(timeline_stats.full_visit_equiv) /
+                static_cast<double>(timeline_stats.node_visits)
+          : 0;
+
+  std::printf("\ndifferential history: %llu iterations, %s deduped metadata "
+              "vs %s full-per-iteration (%.1fx), %llu anchors\n",
+              static_cast<unsigned long long>(iterations),
+              format_size(diff_stats.metadata_bytes).c_str(),
+              format_size(diff_stats.metadata_full_bytes).c_str(), savings,
+              static_cast<unsigned long long>(
+                  store_a.value().anchors().size()));
+  std::printf("incremental timeline: %llu node visits vs %llu full-reload "
+              "equivalent (%.1fx fewer), %.2f ms\n",
+              static_cast<unsigned long long>(timeline_stats.node_visits),
+              static_cast<unsigned long long>(
+                  timeline_stats.full_visit_equiv),
+              visit_reduction, timeline_wall.median_ms);
+
   const std::string config =
       strprintf("%s data, %s chunks, eps=%g",
                 format_size(data.size() * sizeof(float)).c_str(),
                 format_size(chunk).c_str(), eps);
+  const std::string diff_config =
+      strprintf("%s data, %s chunks, %llu iters, 90%% stable, anchor=%llu",
+                format_size(diff_values * sizeof(float)).c_str(),
+                format_size(chunk).c_str(),
+                static_cast<unsigned long long>(iterations),
+                static_cast<unsigned long long>(
+                    store_options.anchor_interval));
   const std::vector<bench::TrajectoryRow> rows = {
       {"metadata_load_v1_deserialize_warm", config, v1_stats.median_ms,
        v1_stats.p90_ms, v1_bytes},
@@ -149,6 +265,13 @@ int main(int argc, char** argv) {
        v2_stats.p90_ms, v2_bytes},
       {"metadata_load_v1_via_compat_shim", config, shim_stats.median_ms,
        shim_stats.p90_ms, v1_bytes},
+      {"metadata_differential_sidecars_64iter", diff_config, append_ms,
+       append_ms, diff_stats.metadata_bytes},
+      {"metadata_full_per_iteration_equiv", diff_config, 0.0, 0.0,
+       diff_stats.metadata_full_bytes},
+      {"metadata_timeline_incremental", diff_config,
+       timeline_wall.median_ms, timeline_wall.p90_ms,
+       timeline_stats.node_visits * hash::kDigestBytes},
   };
 
   TextTable table({"Load path", "Median (ms)", "p90 (ms)", "File size"});
@@ -162,14 +285,41 @@ int main(int argc, char** argv) {
   const double speedup = v2_stats.median_ms > 0
                              ? v1_stats.median_ms / v2_stats.median_ms
                              : 0;
-  const bool shapes_ok = speedup >= 3.0;
+  const bool shapes_ok =
+      speedup >= 3.0 && savings >= 3.0 && visit_reduction >= 3.0;
   std::printf("\nv2 mmap-warm speedup over v1 deserialize-warm: %.1fx\n",
               speedup);
   std::printf("shape check (%s):\n"
               "  [1] v2 mmap-warm load >= 3x faster than v1 "
               "deserialize-warm load\n"
-              "  [2] v1 and v2 loads yield identical tree content\n",
-              shapes_ok ? "PASS" : "CHECK FAILED");
+              "  [2] v1 and v2 loads yield identical tree content\n"
+              "  [3] differential sidecars >= 3x smaller than "
+              "full-per-iteration (%.1fx)\n"
+              "  [4] incremental timeline >= 3x fewer node visits than "
+              "per-iteration reloads (%.1fx)\n",
+              shapes_ok ? "PASS" : "CHECK FAILED", savings,
+              visit_reduction);
+
+  bool want_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) want_json = true;
+  }
+  if (want_json) {
+    std::printf("{\"metadata_bytes\":%llu,\"metadata_full_bytes\":%llu,"
+                "\"metadata_savings\":%.3f,\"node_visits\":%llu,"
+                "\"full_visit_equiv\":%llu,\"visit_reduction\":%.3f,"
+                "\"iterations\":%llu,\"shapes_ok\":%s}\n",
+                static_cast<unsigned long long>(diff_stats.metadata_bytes),
+                static_cast<unsigned long long>(
+                    diff_stats.metadata_full_bytes),
+                savings,
+                static_cast<unsigned long long>(timeline_stats.node_visits),
+                static_cast<unsigned long long>(
+                    timeline_stats.full_visit_equiv),
+                visit_reduction,
+                static_cast<unsigned long long>(iterations),
+                shapes_ok ? "true" : "false");
+  }
 
   if (!artifact_path.empty()) {
     const auto written =

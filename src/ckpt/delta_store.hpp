@@ -7,18 +7,30 @@
 // exploits that: the first capture is stored in full; every later capture
 // stores only the chunks whose error-bounded digest differs from the
 // previous iteration's, plus the (tiny) tree. Reconstructing iteration j
-// replays deltas over the base — and because the *unstored* chunks were
-// proven unchanged within the error bound, the reconstruction is exact for
-// stored chunks and within-bound for elided ones. The store diffs each new
-// capture against the *effective* (reconstructable) state, not the previous
-// raw capture, so elision error never accumulates beyond one error bound no
-// matter how long the history grows. For bitwise-exact reconstruction,
-// capture with ValueKind::kBytes (bitwise hashing).
+// replays deltas over the nearest anchor — and because the *unstored*
+// chunks were proven unchanged within the error bound, the reconstruction
+// is exact for stored chunks and within-bound for elided ones. The store
+// diffs each new capture against the *effective* (reconstructable) state,
+// not the previous raw capture, so elision error never accumulates beyond
+// one error bound no matter how long the history grows. For bitwise-exact
+// reconstruction, capture with ValueKind::kBytes (bitwise hashing).
+//
+// Metadata is deduplicated the same way (ROADMAP item 2): between anchors,
+// the per-iteration sidecar is *differential* — an RMFD section carrying
+// only the tree nodes whose digests changed (merkle/nodestore.hpp) — so
+// metadata bytes grow with divergence, not with iterations. Every
+// `anchor_interval`-th capture writes a full snapshot of both data and tree
+// (the tree sidecar also carries its RMFD vs the previous iteration, so
+// incremental consumers never lose the per-step diff), bounding
+// reconstruct()/tree() replay to at most `anchor_interval` deltas.
 //
 // Layout under the store root:
-//   <run>/rank<i>/base.iter<j0>.rdlt       full snapshot (first capture)
+//   <run>/rank<i>/base.iter<j>.rdlt        full snapshot (first capture and
+//                                          every anchor)
 //   <run>/rank<i>/delta.iter<j>.rdlt       changed chunks vs previous
-//   <run>/rank<i>/iter<j>.rmrk             tree of iteration j
+//   <run>/rank<i>/iter<j>.rmrk             tree sidecar of iteration j:
+//                                          full RMF2 at anchors, RMFD-only
+//                                          (differential) otherwise
 #pragma once
 
 #include <cstdint>
@@ -29,6 +41,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "merkle/nodestore.hpp"
 #include "merkle/tree.hpp"
 #include "par/exec.hpp"
 
@@ -37,21 +50,39 @@ namespace repro::ckpt {
 struct DeltaStoreOptions {
   merkle::TreeParams tree;
   par::Exec exec = par::Exec::parallel();
+  /// Every K-th capture is a full anchor (data + tree), bounding delta
+  /// replay chains to K. 0 disables anchoring beyond the base capture.
+  std::uint64_t anchor_interval = 16;
+  /// When false, every sidecar is a full tree (pre-dedup behavior); the
+  /// bench uses this to measure the differential savings against the
+  /// full-per-iteration baseline.
+  bool differential_metadata = true;
 };
 
 struct DeltaStoreStats {
   std::uint64_t captures = 0;
   std::uint64_t raw_bytes = 0;      ///< sum of full checkpoint sizes
   std::uint64_t stored_bytes = 0;   ///< bytes actually written (data files)
-  std::uint64_t metadata_bytes = 0; ///< tree sidecars
+  std::uint64_t metadata_bytes = 0; ///< sidecar bytes written (deduplicated)
+  /// What full-per-iteration flat sidecars would have cost — the dedup
+  /// denominator of the ≥3x gate in bench_metadata.
+  std::uint64_t metadata_full_bytes = 0;
   std::uint64_t chunks_total = 0;
   std::uint64_t chunks_stored = 0;
 
   [[nodiscard]] double compaction_ratio() const noexcept {
+    // An empty store has compacted nothing: ratio 1.0, not 0 (a bare
+    // stats read before the first append must not print "0x compaction").
     return stored_bytes > 0
                ? static_cast<double>(raw_bytes) /
                      static_cast<double>(stored_bytes)
-               : 0.0;
+               : 1.0;
+  }
+  [[nodiscard]] double metadata_savings() const noexcept {
+    return metadata_bytes > 0
+               ? static_cast<double>(metadata_full_bytes) /
+                     static_cast<double>(metadata_bytes)
+               : 1.0;
   }
 };
 
@@ -66,19 +97,33 @@ class DeltaStore {
                                         DeltaStoreOptions options);
 
   /// Append the checkpoint of `iteration` (strictly increasing). Stores the
-  /// full data on the first call, changed chunks only afterwards.
+  /// full data on the first call and at every anchor, changed chunks only
+  /// otherwise.
   repro::Status append(std::uint64_t iteration,
                        std::span<const std::uint8_t> data);
 
-  /// Reconstruct the full data of a previously appended iteration.
+  /// Reconstruct the full data of a previously appended iteration. Replays
+  /// from the nearest anchor at or before `iteration` — at most
+  /// `anchor_interval` delta files.
   [[nodiscard]] repro::Result<std::vector<std::uint8_t>> reconstruct(
       std::uint64_t iteration) const;
 
   /// Load the tree stored for an iteration: the tree of the *effective*
   /// state reconstruct() returns (per-chunk within one error bound of the
-  /// captured data). Usable directly with merkle::compare_trees —
+  /// captured data). Differential sidecars are resolved against their
+  /// anchor transparently. Usable directly with merkle::compare_trees —
   /// cross-run comparison needs no reconstruction.
   [[nodiscard]] repro::Result<merkle::MerkleTree> tree(
+      std::uint64_t iteration) const;
+
+  /// The RMFD delta the sidecar of `iteration` carries (vs the previous
+  /// appended iteration). Errors for the base capture, which has none.
+  [[nodiscard]] repro::Result<merkle::TreeDelta> tree_delta(
+      std::uint64_t iteration) const;
+
+  /// Chunks whose digests changed at `iteration` relative to the previous
+  /// appended iteration (every chunk for the base capture).
+  [[nodiscard]] repro::Result<std::vector<std::uint64_t>> changed_chunks(
       std::uint64_t iteration) const;
 
   /// Iterations appended so far, ascending.
@@ -86,11 +131,29 @@ class DeltaStore {
     return iterations_;
   }
 
+  /// Iterations stored as full anchors (always includes the base capture),
+  /// ascending.
+  [[nodiscard]] const std::vector<std::uint64_t>& anchors() const noexcept {
+    return anchors_;
+  }
+
   [[nodiscard]] const DeltaStoreStats& stats() const noexcept {
     return stats_;
   }
 
-  /// Re-open an existing stream from disk (scans the directory).
+  /// Content-addressed refcounts over every node digest referenced by the
+  /// appended sidecars — the exact dedup accounting behind
+  /// stats().metadata_bytes.
+  [[nodiscard]] const merkle::NodeStore& node_store() const noexcept {
+    return node_store_;
+  }
+
+  /// Re-open an existing stream from disk (scans the directory). Orphaned
+  /// data files (crash between the data and sidecar publishes) are skipped
+  /// with a warning, stray mid-publish temp files are removed, and each
+  /// listed iteration's data file is verified to exist with a matching
+  /// header before it is trusted; the history is truncated at the first
+  /// broken link so reconstruct() never fails late on a torn chain.
   static repro::Result<DeltaStore> load(std::filesystem::path root,
                                         std::string run_id,
                                         std::uint32_t rank,
@@ -108,12 +171,37 @@ class DeltaStore {
   std::filesystem::path dir_;
   DeltaStoreOptions options_;
   std::vector<std::uint64_t> iterations_;
+  std::vector<std::uint64_t> anchors_;
+  std::uint64_t appends_since_anchor_ = 0;
   /// The reconstructable state after the latest append (diff baseline) and
   /// its tree. Kept in memory so every delta is computed against what a
   /// reader will actually see.
   std::vector<std::uint8_t> effective_;
   merkle::MerkleTree effective_tree_;
+  merkle::NodeStore node_store_;
   DeltaStoreStats stats_;
 };
+
+/// One timeline step: how many chunks diverge between the two runs at this
+/// iteration.
+struct TimelineEntry {
+  std::uint64_t iteration = 0;
+  std::uint64_t diverged_chunks = 0;
+};
+
+struct TimelineStats {
+  std::uint64_t iterations = 0;   ///< timeline entries produced
+  std::uint64_t node_visits = 0;  ///< tree nodes actually examined
+  /// What a full per-iteration compare would have examined — the
+  /// O(iterations × tree) baseline the incremental walk avoids.
+  std::uint64_t full_visit_equiv = 0;
+};
+
+/// Divergence timeline across the iterations both stores hold, computed
+/// incrementally: one full tree compare at the first common iteration, then
+/// only the subtrees whose root digests changed on either side (read from
+/// the RMFD sidecars) — O(divergence) instead of O(iterations × tree).
+repro::Result<std::vector<TimelineEntry>> incremental_timeline(
+    const DeltaStore& a, const DeltaStore& b, TimelineStats* stats = nullptr);
 
 }  // namespace repro::ckpt

@@ -111,6 +111,7 @@ void print_usage() {
       "      check a chunk of CKPT against a pinned root via the proof\n"
       "\n"
       "  repro-cli delta append ROOT RUN RANK ITER CKPT [--chunk 64K]\n"
+      "  repro-cli delta timeline ROOT RUN_A RUN_B RANK [--json]\n"
       "            [--eps 1e-6]\n"
       "  repro-cli delta reconstruct ROOT RUN RANK ITER OUT.bin ...\n"
       "  repro-cli delta stats ROOT RUN RANK ...\n"
@@ -637,6 +638,7 @@ const char* section_name(std::uint32_t id) {
     case merkle::SectionId::kTreeTable: return "tree-table";
     case merkle::SectionId::kNames: return "names";
     case merkle::SectionId::kNodes: return "nodes";
+    case merkle::SectionId::kDelta: return "delta";
   }
   return "unknown";
 }
@@ -687,6 +689,25 @@ int cmd_info(const Args& args) {
                     repro::format_size(tree.params().chunk_bytes).c_str(),
                     tree.params().hash.error_bound,
                     tree.root().hex().c_str());
+      }
+      if (view.value().has_delta()) {
+        auto delta = view.value().delta();
+        if (!delta.is_ok()) return fail(delta.status());
+        std::printf("  differential  iteration %llu vs %llu: %zu changed "
+                    "nodes (%zu chunks) of %llu leaves\n",
+                    static_cast<unsigned long long>(delta.value().iteration),
+                    static_cast<unsigned long long>(
+                        delta.value().base_iteration),
+                    delta.value().nodes.size(),
+                    delta.value().changed_chunks().size(),
+                    static_cast<unsigned long long>(
+                        delta.value().num_leaves));
+        if (view.value().size() == 0) {
+          std::printf("  note: delta-only sidecar — trees resolve against "
+                      "iter%llu.rmrk in the same directory\n",
+                      static_cast<unsigned long long>(
+                          delta.value().base_iteration));
+        }
       }
       return 0;
     }
@@ -777,6 +798,13 @@ int cmd_migrate(const Args& args) {
     auto bundle = merkle::MappedBundle::from_bytes(std::move(bytes).value());
     if (!bundle.is_ok()) return fail(bundle.status());
     const merkle::BundleView& view = bundle.value().view();
+    if (view.size() == 0 && view.has_delta()) {
+      // A delta-only sidecar has no trees to downgrade; resolving the chain
+      // would silently bake a different file's content into the output.
+      return fail(repro::failed_precondition(
+          "differential (RMFD-only) sidecar cannot be migrated to v1; "
+          "resolve it against its anchor chain first"));
+    }
     if (view.size() == 1 && view.name(0).empty()) {
       auto tree = view.tree(0).materialize();
       if (!tree.is_ok()) return fail(tree.status());
@@ -960,6 +988,72 @@ int cmd_delta(const Args& args) {
   }
   const std::string& action = args.positional()[1];
   const std::filesystem::path root = args.positional()[2];
+  auto params = tree_params_from(args);
+  if (!params.is_ok()) return fail(params.status());
+  ckpt::DeltaStoreOptions options;
+  options.tree = params.value();
+
+  if (action == "timeline") {
+    // delta timeline ROOT RUN_A RUN_B RANK: incremental divergence walk —
+    // one full compare at the first common iteration, then only the chunks
+    // the RMFD sidecars say moved (O(divergence), not O(iterations*tree)).
+    if (args.positional().size() < 6) {
+      std::fprintf(stderr, "delta timeline requires ROOT RUN_A RUN_B RANK\n");
+      return 2;
+    }
+    std::uint64_t timeline_rank = 0;
+    try {
+      timeline_rank = std::stoull(args.positional()[5]);
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "RANK must be an integer\n");
+      return 2;
+    }
+    auto store_a = ckpt::DeltaStore::load(
+        root, args.positional()[3],
+        static_cast<std::uint32_t>(timeline_rank), options);
+    if (!store_a.is_ok()) return fail(store_a.status());
+    auto store_b = ckpt::DeltaStore::load(
+        root, args.positional()[4],
+        static_cast<std::uint32_t>(timeline_rank), options);
+    if (!store_b.is_ok()) return fail(store_b.status());
+    ckpt::TimelineStats timeline_stats;
+    auto timeline = ckpt::incremental_timeline(store_a.value(),
+                                               store_b.value(),
+                                               &timeline_stats);
+    if (!timeline.is_ok()) return fail(timeline.status());
+    if (args.has("json")) {
+      std::printf("{\"iterations\":%llu,\"node_visits\":%llu,"
+                  "\"full_visit_equiv\":%llu,\"timeline\":[",
+                  static_cast<unsigned long long>(timeline_stats.iterations),
+                  static_cast<unsigned long long>(timeline_stats.node_visits),
+                  static_cast<unsigned long long>(
+                      timeline_stats.full_visit_equiv));
+      for (std::size_t i = 0; i < timeline.value().size(); ++i) {
+        std::printf("%s{\"iteration\":%llu,\"diverged_chunks\":%llu}",
+                    i == 0 ? "" : ",",
+                    static_cast<unsigned long long>(
+                        timeline.value()[i].iteration),
+                    static_cast<unsigned long long>(
+                        timeline.value()[i].diverged_chunks));
+      }
+      std::printf("]}\n");
+      return 0;
+    }
+    repro::TextTable table({"iteration", "diverged chunks"});
+    for (const auto& entry : timeline.value()) {
+      table.add_row({std::to_string(entry.iteration),
+                     std::to_string(entry.diverged_chunks)});
+    }
+    table.print();
+    std::printf("%llu node visits over %llu iterations (full re-compare "
+                "would have visited %llu)\n",
+                static_cast<unsigned long long>(timeline_stats.node_visits),
+                static_cast<unsigned long long>(timeline_stats.iterations),
+                static_cast<unsigned long long>(
+                    timeline_stats.full_visit_equiv));
+    return 0;
+  }
+
   const std::string run = args.positional()[3];
   std::uint64_t rank = 0;
   try {
@@ -968,10 +1062,6 @@ int cmd_delta(const Args& args) {
     std::fprintf(stderr, "RANK must be an integer\n");
     return 2;
   }
-  auto params = tree_params_from(args);
-  if (!params.is_ok()) return fail(params.status());
-  ckpt::DeltaStoreOptions options;
-  options.tree = params.value();
 
   auto store = ckpt::DeltaStore::load(root, run,
                                       static_cast<std::uint32_t>(rank),
@@ -987,14 +1077,19 @@ int cmd_delta(const Args& args) {
              root / run / ("rank" + std::to_string(rank)))) {
       if (entry.is_regular_file()) on_disk += entry.file_size();
     }
-    std::printf("delta store %s/%s/rank%llu: %zu iterations, %s on disk\n",
+    std::printf("delta store %s/%s/rank%llu: %zu iterations (%zu anchors), "
+                "%s on disk\n",
                 root.c_str(), run.c_str(),
                 static_cast<unsigned long long>(rank),
                 store.value().iterations().size(),
+                store.value().anchors().size(),
                 repro::format_size(on_disk).c_str());
     if (stats.captures > 0) {
-      std::printf("session stats: %.2fx compaction\n",
-                  stats.compaction_ratio());
+      std::printf("session stats: %.2fx compaction, %.2fx metadata dedup "
+                  "(%s vs %s full-per-iteration)\n",
+                  stats.compaction_ratio(), stats.metadata_savings(),
+                  repro::format_size(stats.metadata_bytes).c_str(),
+                  repro::format_size(stats.metadata_full_bytes).c_str());
     }
     return 0;
   }

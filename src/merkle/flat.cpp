@@ -109,6 +109,20 @@ repro::Result<MerkleTree> TreeView::materialize() const {
                                 std::move(nodes));
 }
 
+// ---- TreeDelta -------------------------------------------------------------
+
+std::vector<std::uint64_t> TreeDelta::changed_chunks() const {
+  const TreeLayout layout = TreeLayout::for_leaves(num_leaves);
+  const std::uint64_t first_leaf = layout.padded_leaves - 1;
+  std::vector<std::uint64_t> chunks;
+  for (const DeltaNode& node : nodes) {
+    if (node.index < first_leaf) continue;
+    const std::uint64_t leaf = node.index - first_leaf;
+    if (leaf < num_leaves) chunks.push_back(leaf);
+  }
+  return chunks;  // entries are sorted, so the leaf slice already is
+}
+
 // ---- BundleView ------------------------------------------------------------
 
 const TreeView* BundleView::find(std::string_view name) const noexcept {
@@ -160,6 +174,7 @@ repro::Result<BundleView> BundleView::parse(
   const SectionInfo* tree_table = nullptr;
   const SectionInfo* names = nullptr;
   const SectionInfo* nodes = nullptr;
+  const SectionInfo* delta = nullptr;
   for (std::uint32_t i = 0; i < section_count; ++i) {
     const std::uint8_t* row = base + kHeaderBytes + i * kSectionRowBytes;
     SectionInfo info;
@@ -207,9 +222,19 @@ repro::Result<BundleView> BundleView::parse(
         }
         nodes = stored;
         break;
+      case SectionId::kDelta:
+        if (delta != nullptr) {
+          return repro::corrupt_data("duplicate flat sidecar delta section");
+        }
+        delta = stored;
+        break;
       default:
         break;  // unknown sections are skippable by design (forward compat)
     }
+  }
+  if (delta != nullptr) {
+    view.delta_bytes_ = base + delta->offset;
+    view.delta_length_ = delta->length;
   }
   if (tree_table == nullptr || names == nullptr || nodes == nullptr) {
     return repro::corrupt_data(
@@ -281,6 +306,72 @@ repro::Result<BundleView> BundleView::parse(
   return view;
 }
 
+repro::Result<TreeDelta> BundleView::delta() const {
+  if (delta_bytes_ == nullptr) {
+    return repro::failed_precondition("sidecar carries no delta section");
+  }
+  constexpr std::uint64_t kDeltaHeaderBytes = 72;
+  constexpr std::uint64_t kDeltaEntryBytes = 24;
+  const std::uint8_t* at = delta_bytes_;
+  if (delta_length_ < kDeltaHeaderBytes) {
+    return repro::corrupt_data("delta section shorter than its header");
+  }
+  if (load_u32(at) != kDeltaMagic) {
+    return repro::corrupt_data("bad delta section magic");
+  }
+  if (load_u32(at + 4) != kDeltaVersion) {
+    return repro::unsupported("unsupported delta section version " +
+                              std::to_string(load_u32(at + 4)));
+  }
+  TreeDelta delta;
+  delta.iteration = load_u64(at + 8);
+  delta.base_iteration = load_u64(at + 16);
+  delta.data_bytes = load_u64(at + 24);
+  delta.params.chunk_bytes = load_u64(at + 32);
+  delta.num_leaves = load_u64(at + 40);
+  const std::uint32_t value_kind = load_u32(at + 48);
+  delta.params.hash.values_per_block = load_u32(at + 52);
+  delta.params.hash.error_bound = load_f64(at + 56);
+  const std::uint64_t entry_count = load_u64(at + 64);
+
+  if (delta.base_iteration >= delta.iteration) {
+    return repro::corrupt_data("delta section base iteration not before its "
+                               "own iteration");
+  }
+  if (value_kind > static_cast<std::uint32_t>(ValueKind::kBytes)) {
+    return repro::corrupt_data("bad value kind in delta section");
+  }
+  delta.params.value_kind = static_cast<ValueKind>(value_kind);
+  if (delta.num_leaves > kMaxLeaves) {
+    return repro::corrupt_data("implausible leaf count in delta section");
+  }
+  REPRO_RETURN_IF_ERROR(validate(delta.params));
+  if (delta_length_ != kDeltaHeaderBytes + entry_count * kDeltaEntryBytes) {
+    return repro::corrupt_data(
+        "delta section length inconsistent with its entry count");
+  }
+  const TreeLayout layout = TreeLayout::for_leaves(delta.num_leaves);
+  const std::uint64_t num_nodes = layout.num_nodes();
+  delta.nodes.reserve(entry_count);
+  std::uint64_t prev_index = 0;
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    const std::uint8_t* rec = at + kDeltaHeaderBytes + i * kDeltaEntryBytes;
+    DeltaNode node;
+    node.index = load_u64(rec);
+    node.digest.lo = load_u64(rec + 8);
+    node.digest.hi = load_u64(rec + 16);
+    if (node.index >= num_nodes) {
+      return repro::corrupt_data("delta section node index out of range");
+    }
+    if (i > 0 && node.index <= prev_index) {
+      return repro::corrupt_data("delta section entries not strictly sorted");
+    }
+    prev_index = node.index;
+    delta.nodes.push_back(node);
+  }
+  return delta;
+}
+
 // ---- FlatBuilder -----------------------------------------------------------
 
 repro::Status FlatBuilder::add(std::string name, const MerkleTree& tree) {
@@ -295,32 +386,69 @@ repro::Status FlatBuilder::add(std::string name, const MerkleTree& tree) {
   return repro::Status::ok();
 }
 
-std::uint64_t FlatBuilder::output_bytes() const noexcept {
+namespace {
+
+/// Shared offset math for output_bytes()/finish(): sections in table order,
+/// each 8-aligned, with the optional RMFD delta section last.
+struct FlatLayout {
+  std::uint32_t section_count = 3;
+  std::uint64_t table_off = 0;
+  std::uint64_t table_len = 0;
+  std::uint64_t names_off = 0;
   std::uint64_t names_len = 0;
+  std::uint64_t nodes_off = 0;
   std::uint64_t nodes_len = 0;
+  std::uint64_t delta_off = 0;
+  std::uint64_t delta_len = 0;
+  std::uint64_t total = 0;
+};
+
+}  // namespace
+
+std::uint64_t FlatBuilder::output_bytes() const noexcept {
+  FlatLayout layout;
+  layout.section_count = delta_.has_value() ? 4 : 3;
+  layout.table_len = 8 + entries_.size() * kTreeRecordBytes;
   for (const Entry& entry : entries_) {
-    names_len += entry.name.size();
-    nodes_len += entry.tree->nodes().size() * hash::kDigestBytes;
+    layout.names_len += entry.name.size();
+    layout.nodes_len += entry.tree->nodes().size() * hash::kDigestBytes;
   }
-  const std::uint64_t table_len = 8 + entries_.size() * kTreeRecordBytes;
-  const std::uint64_t table_off = kHeaderBytes + 3 * kSectionRowBytes;
-  const std::uint64_t names_off = align_up(table_off + table_len);
-  const std::uint64_t nodes_off = align_up(names_off + names_len);
-  return nodes_off + nodes_len;
+  layout.table_off = kHeaderBytes + layout.section_count * kSectionRowBytes;
+  layout.names_off = align_up(layout.table_off + layout.table_len);
+  layout.nodes_off = align_up(layout.names_off + layout.names_len);
+  layout.total = layout.nodes_off + layout.nodes_len;
+  if (delta_.has_value()) {
+    layout.delta_off = align_up(layout.total);
+    layout.delta_len = delta_->encoded_bytes();
+    layout.total = layout.delta_off + layout.delta_len;
+  }
+  return layout.total;
 }
 
 std::vector<std::uint8_t> FlatBuilder::finish() const {
-  const std::uint64_t table_len = 8 + entries_.size() * kTreeRecordBytes;
-  std::uint64_t names_len = 0;
-  std::uint64_t nodes_len = 0;
+  FlatLayout layout;
+  layout.section_count = delta_.has_value() ? 4 : 3;
+  layout.table_len = 8 + entries_.size() * kTreeRecordBytes;
   for (const Entry& entry : entries_) {
-    names_len += entry.name.size();
-    nodes_len += entry.tree->nodes().size() * hash::kDigestBytes;
+    layout.names_len += entry.name.size();
+    layout.nodes_len += entry.tree->nodes().size() * hash::kDigestBytes;
   }
-  const std::uint64_t table_off = kHeaderBytes + 3 * kSectionRowBytes;
-  const std::uint64_t names_off = align_up(table_off + table_len);
-  const std::uint64_t nodes_off = align_up(names_off + names_len);
-  const std::uint64_t total = nodes_off + nodes_len;
+  layout.table_off = kHeaderBytes + layout.section_count * kSectionRowBytes;
+  layout.names_off = align_up(layout.table_off + layout.table_len);
+  layout.nodes_off = align_up(layout.names_off + layout.names_len);
+  layout.total = layout.nodes_off + layout.nodes_len;
+  if (delta_.has_value()) {
+    layout.delta_off = align_up(layout.total);
+    layout.delta_len = delta_->encoded_bytes();
+    layout.total = layout.delta_off + layout.delta_len;
+  }
+  const std::uint64_t table_off = layout.table_off;
+  const std::uint64_t table_len = layout.table_len;
+  const std::uint64_t names_off = layout.names_off;
+  const std::uint64_t names_len = layout.names_len;
+  const std::uint64_t nodes_off = layout.nodes_off;
+  const std::uint64_t nodes_len = layout.nodes_len;
+  const std::uint64_t total = layout.total;
 
   // One exact-size allocation, zero-initialized so alignment gaps are
   // deterministic bytes (checksummed files must not leak heap garbage).
@@ -330,7 +458,7 @@ std::vector<std::uint8_t> FlatBuilder::finish() const {
   store_u32(base, kFlatMagic);
   store_u32(base + 4, kFlatVersion);
   store_u32(base + 8, static_cast<std::uint32_t>(kHeaderBytes));
-  store_u32(base + 12, 3);
+  store_u32(base + 12, layout.section_count);
   store_u64(base + 16, total);
 
   // Section payloads first, then the table rows (checksums need the bytes).
@@ -373,9 +501,35 @@ std::vector<std::uint8_t> FlatBuilder::finish() const {
                   std::span<const std::uint8_t>(base + offset, length),
                   static_cast<std::uint32_t>(id)));
   };
+  if (delta_.has_value()) {
+    const TreeDelta& delta = *delta_;
+    std::uint8_t* at = base + layout.delta_off;
+    store_u32(at, kDeltaMagic);
+    store_u32(at + 4, kDeltaVersion);
+    store_u64(at + 8, delta.iteration);
+    store_u64(at + 16, delta.base_iteration);
+    store_u64(at + 24, delta.data_bytes);
+    store_u64(at + 32, delta.params.chunk_bytes);
+    store_u64(at + 40, delta.num_leaves);
+    store_u32(at + 48, static_cast<std::uint32_t>(delta.params.value_kind));
+    store_u32(at + 52, delta.params.hash.values_per_block);
+    store_f64(at + 56, delta.params.hash.error_bound);
+    store_u64(at + 64, delta.nodes.size());
+    std::uint8_t* entry_at = at + 72;
+    for (const DeltaNode& node : delta.nodes) {
+      store_u64(entry_at, node.index);
+      store_u64(entry_at + 8, node.digest.lo);
+      store_u64(entry_at + 16, node.digest.hi);
+      entry_at += 24;
+    }
+  }
+
   write_row(0, SectionId::kTreeTable, table_off, table_len);
   write_row(1, SectionId::kNames, names_off, names_len);
   write_row(2, SectionId::kNodes, nodes_off, nodes_len);
+  if (delta_.has_value()) {
+    write_row(3, SectionId::kDelta, layout.delta_off, layout.delta_len);
+  }
   return out;
 }
 
@@ -404,6 +558,21 @@ repro::Status save_flat(const TreeBundle& bundle,
                         const std::filesystem::path& path) {
   return repro::write_file(path, flat_serialize(bundle))
       .with_context("saving flat merkle bundle");
+}
+
+std::vector<std::uint8_t> flat_serialize_delta(const TreeDelta& delta) {
+  // A delta-only sidecar is a normal RMF2 file whose standard sections are
+  // empty (tree_count == 0); readers without RMFD support parse it and see
+  // zero trees instead of failing on an unknown format.
+  FlatBuilder builder;
+  builder.set_delta(delta);
+  return builder.finish();
+}
+
+repro::Status save_flat_delta(const TreeDelta& delta,
+                              const std::filesystem::path& path) {
+  return repro::write_file(path, flat_serialize_delta(delta))
+      .with_context("saving differential merkle sidecar");
 }
 
 repro::Status save_sidecar(const MerkleTree& tree,
@@ -482,6 +651,11 @@ repro::Result<MappedBundle> MappedBundle::from_bytes(
 
 repro::Result<TreeView> MappedBundle::sole_tree() const {
   if (view_.size() != 1) {
+    if (view_.size() == 0 && view_.has_delta()) {
+      return repro::failed_precondition(
+          "sidecar is differential (RMFD only); resolve its delta chain "
+          "against an anchor before reading trees");
+    }
     return repro::failed_precondition(
         "sidecar holds " + std::to_string(view_.size()) +
         " trees; expected a single-tree sidecar");

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -46,11 +47,14 @@ namespace repro::merkle {
 inline constexpr std::uint32_t kFlatMagic = 0x32464D52;  // "RMF2"
 inline constexpr std::uint32_t kFlatVersion = 2;
 inline constexpr std::uint64_t kFlatSectionAlign = 8;
+inline constexpr std::uint32_t kDeltaMagic = 0x44464D52;  // "RMFD"
+inline constexpr std::uint32_t kDeltaVersion = 1;
 
 enum class SectionId : std::uint32_t {
   kTreeTable = 1,
   kNames = 2,
   kNodes = 3,
+  kDelta = 4,  ///< "RMFD" differential payload; skippable by older readers
 };
 
 /// One decoded section-table row (exposed by `repro-cli info`).
@@ -72,6 +76,37 @@ enum class SidecarFormat : std::uint8_t {
 SidecarFormat detect_sidecar_format(
     std::span<const std::uint8_t> bytes) noexcept;
 std::string_view sidecar_format_name(SidecarFormat format) noexcept;
+
+/// One changed node of a differential sidecar: flat-layout index + digest.
+struct DeltaNode {
+  std::uint64_t index = 0;
+  hash::Digest128 digest;
+
+  friend bool operator==(const DeltaNode&, const DeltaNode&) = default;
+};
+
+/// The payload of an RMFD section: the Merkle nodes whose digest changed
+/// between `base_iteration` and `iteration`, plus the full tree geometry so
+/// a resolver can validate a chain link without opening its base first.
+/// Entries are sorted strictly ascending by node index; the set is closed
+/// under ancestry (a changed leaf's dirtied root path is included), so
+/// applying a delta onto its base yields an internally consistent tree.
+struct TreeDelta {
+  std::uint64_t iteration = 0;
+  std::uint64_t base_iteration = 0;
+  TreeParams params;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t num_leaves = 0;
+  std::vector<DeltaNode> nodes;
+
+  /// Encoded RMFD section payload size (72-byte header + 24 B per entry).
+  [[nodiscard]] std::uint64_t encoded_bytes() const noexcept {
+    return 72 + nodes.size() * 24;
+  }
+  /// Chunk indices of the leaf-level entries (ascending) — the changed
+  /// chunks this iteration, for incremental timeline walks.
+  [[nodiscard]] std::vector<std::uint64_t> changed_chunks() const;
+};
 
 /// Non-owning zero-copy accessor over one tree of a flat sidecar. Behaves
 /// like a read-only MerkleTree (same accessor names) but performs no parse
@@ -171,6 +206,16 @@ class BundleView {
     return total_bytes_;
   }
 
+  /// True when the sidecar carries an RMFD differential section. A
+  /// delta-only sidecar has has_delta() && size() == 0; an anchor written
+  /// with its delta has both the full tree table and the section.
+  [[nodiscard]] bool has_delta() const noexcept {
+    return delta_bytes_ != nullptr;
+  }
+  /// Decode and validate the RMFD section. Errors (never crashes) on a
+  /// truncated, misdeclared, or unsorted payload.
+  [[nodiscard]] repro::Result<TreeDelta> delta() const;
+
  private:
   struct Entry {
     std::string_view name;  ///< points into the backing names section
@@ -180,6 +225,8 @@ class BundleView {
   std::vector<Entry> entries_;
   std::vector<SectionInfo> sections_;
   std::uint64_t total_bytes_ = 0;
+  const std::uint8_t* delta_bytes_ = nullptr;  ///< RMFD section payload
+  std::uint64_t delta_length_ = 0;
 };
 
 /// Writes flat sidecars. Computes the exact output size up front and fills
@@ -189,6 +236,12 @@ class FlatBuilder {
   /// Add a named tree; names must be unique. A single-tree sidecar is one
   /// entry with an empty name.
   repro::Status add(std::string name, const MerkleTree& tree);
+
+  /// Attach an RMFD differential section to the output. Valid with zero
+  /// entries (a delta-only sidecar: old readers parse the empty tree table
+  /// and skip the section) or alongside a full tree (an anchor that also
+  /// records what changed since its base).
+  void set_delta(TreeDelta delta) { delta_ = std::move(delta); }
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   /// Exact byte size finish() will produce for the current entries.
@@ -201,15 +254,20 @@ class FlatBuilder {
     const MerkleTree* tree;  ///< caller keeps the tree alive until finish()
   };
   std::vector<Entry> entries_;
+  std::optional<TreeDelta> delta_;
 };
 
 /// Single-tree / bundle conveniences (what v2-writing call sites use).
 std::vector<std::uint8_t> flat_serialize(const MerkleTree& tree);
 std::vector<std::uint8_t> flat_serialize(const TreeBundle& bundle);
+/// Delta-only differential sidecar: empty tree table + RMFD section.
+std::vector<std::uint8_t> flat_serialize_delta(const TreeDelta& delta);
 repro::Status save_flat(const MerkleTree& tree,
                         const std::filesystem::path& path);
 repro::Status save_flat(const TreeBundle& bundle,
                         const std::filesystem::path& path);
+repro::Status save_flat_delta(const TreeDelta& delta,
+                              const std::filesystem::path& path);
 
 /// Which encoding sidecar writers emit. v2 is the default everywhere; v1
 /// remains writable so compat fixtures and downgrade migrations exist.

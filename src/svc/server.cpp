@@ -34,6 +34,7 @@
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "merkle/nodestore.hpp"
 #include "par/thread_pool.hpp"
 #include "telemetry/json_parse.hpp"
 #include "telemetry/metrics.hpp"
@@ -854,16 +855,33 @@ struct Server::Impl {
         *hit = false;
         return cmp::PinnedTree{};
       }
+      // Differential delta-store sidecars ("iter<j>.rmrk", RMFD-only) hold
+      // no tree in place; resolve the chain once and cache the flat
+      // re-encoding. The key carries the anchor + chain length so distinct
+      // resolutions never alias and hits skip the whole replay.
+      std::string key = cache_key(metadata_path);
+      bool differential = false;
+      const std::string filename = metadata_path.filename().string();
+      if (filename.starts_with("iter") && filename.ends_with(".rmrk")) {
+        const auto probe = merkle::probe_delta_chain(metadata_path);
+        if (probe.is_ok() && probe.value().differential) {
+          differential = true;
+          key += "#a" + std::to_string(probe.value().anchor_iteration) +
+                 "+" + std::to_string(probe.value().chain_length);
+        }
+      }
       // The bundle shared_ptr doubles as the pin: the mapped bytes stay
       // valid for the duration of the compare even if the shard evicts
       // this entry concurrently. Warm hits hand back the resident mapping
-      // with zero parse work.
-      REPRO_ASSIGN_OR_RETURN(
-          BundlePtr bundle,
-          cache.get_or_load(
-              cache_key(metadata_path),
-              [&] { return merkle::MappedBundle::open(metadata_path); },
-              hit));
+      // (or the already-resolved chain) with zero parse work.
+      auto load = [&]() -> repro::Result<merkle::MappedBundle> {
+        if (!differential) return merkle::MappedBundle::open(metadata_path);
+        REPRO_ASSIGN_OR_RETURN(const merkle::MerkleTree tree,
+                               merkle::resolve_delta_chain(metadata_path));
+        return merkle::MappedBundle::from_bytes(merkle::flat_serialize(tree));
+      };
+      REPRO_ASSIGN_OR_RETURN(BundlePtr bundle,
+                             cache.get_or_load(key, load, hit));
       REPRO_ASSIGN_OR_RETURN(const merkle::TreeView view,
                              bundle->sole_tree());
       return cmp::PinnedTree{view, std::move(bundle)};
