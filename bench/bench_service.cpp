@@ -8,6 +8,11 @@
 // leaves the cache resident. The shape check asserts warm < cold and that
 // warm responses report cache hits with metadata_bytes_read == 0.
 //
+// A third section saturates the live monitoring plane: one WATCH session
+// streams alternating delta frontiers against per-iteration references,
+// measuring push round-trip latency and pushes/s in the all-clean steady
+// state (docs/OBSERVABILITY.md "Live divergence monitoring").
+//
 // --json <path> writes a machine-readable summary for plotting scripts.
 #include <cstdio>
 #include <cstring>
@@ -17,9 +22,12 @@
 
 #include "bench/bench_artifact.hpp"
 #include "bench/bench_common.hpp"
+#include "ckpt/history.hpp"
 #include "common/json.hpp"
 #include "compare/comparator.hpp"
+#include "merkle/nodestore.hpp"
 #include "svc/client.hpp"
+#include "svc/monitor.hpp"
 #include "svc/server.hpp"
 #include "telemetry/json_parse.hpp"
 #include "telemetry/metrics.hpp"
@@ -200,6 +208,122 @@ int main(int argc, char** argv) {
   const double req_per_s =
       burst_seconds > 0 ? static_cast<double>(burst) / burst_seconds : 0;
 
+  // WATCH saturation: one streaming session pushing delta frontiers against
+  // per-iteration references (the live monitoring plane's steady state).
+  // The live run alternates between two frontiers so every push carries a
+  // real (non-empty) delta, and every reference matches, so each verdict is
+  // the cheap clean path: one root compare, no leaf sweep, no alert.
+  merkle::TreeParams watch_params;
+  watch_params.chunk_bytes = chunk;
+  watch_params.hash.error_bound = eps;
+  ckpt::CheckpointWriter writer_a("bench", "watch-live", 1, 0);
+  ckpt::CheckpointWriter writer_b("bench", "watch-live", 2, 0);
+  (void)writer_a.add_field_f32("X", pair.values_a);
+  (void)writer_b.add_field_f32("X", pair.values_b);
+  const std::uint64_t watch_data_bytes = writer_a.data_section().size();
+  auto tree_a = merkle::TreeBuilder(watch_params, par::Exec::serial())
+                    .build(writer_a.data_section());
+  auto tree_b = merkle::TreeBuilder(watch_params, par::Exec::serial())
+                    .build(writer_b.data_section());
+  if (!tree_a.is_ok() || !tree_b.is_ok()) {
+    std::fprintf(stderr, "watch frontier build failed\n");
+    return 1;
+  }
+  auto delta_ab = merkle::compute_tree_delta(tree_a.value(), tree_b.value(),
+                                             0, 1);
+  auto delta_ba = merkle::compute_tree_delta(tree_b.value(), tree_a.value(),
+                                             0, 1);
+  if (!delta_ab.is_ok() || !delta_ba.is_ok()) {
+    std::fprintf(stderr, "watch delta build failed\n");
+    return 1;
+  }
+
+  const int watch_reps = 40;
+  const ckpt::HistoryCatalog catalog{dir.path()};
+  for (int i = 1; i <= watch_reps + 1; ++i) {
+    auto ref = catalog.make_ref("watch-ref", static_cast<std::uint64_t>(i), 0);
+    const auto& tree = (i % 2 == 1) ? tree_a.value() : tree_b.value();
+    if (!ref.is_ok() || !tree.save(ref.value().metadata_path).is_ok()) {
+      std::fprintf(stderr, "watch reference seed failed\n");
+      return 1;
+    }
+  }
+
+  std::string open_request = "{";
+  json_append_string(open_request, "root");
+  open_request += ':';
+  json_append_string(open_request, dir.path().string());
+  open_request += strprintf(
+      ",\"run\":\"watch-live\",\"reference\":\"watch-ref\",\"rank\":0,"
+      "\"data_bytes\":%llu,\"eps\":%g,\"chunk_bytes\":%llu}",
+      static_cast<unsigned long long>(watch_data_bytes), eps,
+      static_cast<unsigned long long>(chunk));
+  auto opened = client.value().watch_open(open_request);
+  if (!opened.is_ok() || !opened.value().ok()) {
+    std::fprintf(stderr, "WATCH_OPEN failed: %s\n",
+                 opened.is_ok() ? opened.value().payload.c_str()
+                                : opened.status().to_string().c_str());
+    return 1;
+  }
+
+  bool watch_clean = true;
+  auto push = [&](std::uint64_t iteration, bool is_delta,
+                  const std::vector<merkle::DeltaNode>& entries) {
+    svc::WatchPushFrame frame;
+    frame.iteration = iteration;
+    frame.delta = is_delta;
+    frame.entries = entries;
+    auto response = client.value().watch_push(frame);
+    if (!response.is_ok() || !response.value().ok()) {
+      std::fprintf(stderr, "WATCH_PUSH failed: %s\n",
+                   response.is_ok() ? response.value().payload.c_str()
+                                    : response.status().to_string().c_str());
+      std::exit(1);
+    }
+    auto payload = telemetry::json_parse(response.value().payload);
+    if (!payload.has_value() ||
+        payload->string_or("verdict", "") != "clean") {
+      watch_clean = false;
+    }
+  };
+
+  // First push establishes the full frontier; the timed loop streams deltas.
+  std::vector<merkle::DeltaNode> full_nodes;
+  const merkle::TreeView view_a(tree_a.value());
+  full_nodes.reserve(view_a.layout().num_nodes());
+  for (std::uint64_t i = 0; i < view_a.layout().num_nodes(); ++i) {
+    full_nodes.push_back({i, view_a.node(i)});
+  }
+  push(1, false, full_nodes);
+
+  std::uint64_t watch_iter = 2;
+  const std::uint64_t delta_payload_bytes =
+      svc::kWatchPushHeaderBytes +
+      std::max(delta_ab.value().nodes.size(), delta_ba.value().nodes.size()) *
+          svc::kWatchPushEntryBytes;
+  Stopwatch watch_burst;
+  const bench::WallStats watch_stats = bench::wall_stats_of(watch_reps, [&] {
+    const auto& entries = (watch_iter % 2 == 0) ? delta_ab.value().nodes
+                                                : delta_ba.value().nodes;
+    Stopwatch clock;
+    push(watch_iter, true, entries);
+    ++watch_iter;
+    return clock.seconds() * 1e3;
+  });
+  const double watch_seconds = watch_burst.seconds();
+  const double pushes_per_s =
+      watch_seconds > 0 ? static_cast<double>(watch_reps) / watch_seconds : 0;
+  auto watch_summary = client.value().watch_close();
+  if (!watch_summary.is_ok() || !watch_summary.value().ok()) {
+    std::fprintf(stderr, "WATCH_CLOSE failed\n");
+    return 1;
+  }
+  const auto summary_json =
+      telemetry::json_parse(watch_summary.value().payload);
+  const bool watch_alerted =
+      summary_json.has_value() && summary_json->find("alerted") != nullptr &&
+      summary_json->find("alerted")->boolean;
+
   client.value().close();
   server.request_stop();
   serve_thread.join();
@@ -207,9 +331,11 @@ int main(int argc, char** argv) {
   std::vector<Row> rows = {
       {"cold (cache cleared per request)", cold_ms, 0, cold_sidecar_bytes},
       {"warm (resident cache)", warm_ms, req_per_s, warm_metadata_bytes},
+      {"watch (streamed delta push)", watch_stats.median_ms, pushes_per_s,
+       delta_payload_bytes},
   };
-  TextTable table({"Mode", "Median latency (ms)", "Warm req/s",
-                   "Sidecar bytes/query"});
+  TextTable table({"Mode", "Median latency (ms)", "Req/s",
+                   "Bytes/query"});
   for (const Row& row : rows) {
     table.add_row({row.name, strprintf("%.3f", row.median_ms),
                    row.requests_per_second > 0
@@ -222,12 +348,15 @@ int main(int argc, char** argv) {
   if (!(warm_ms < cold_ms)) shapes_ok = false;
   if (warm_metadata_bytes != 0 || !warm_hits) shapes_ok = false;
   if (warm_deserializes != 0) shapes_ok = false;
+  if (!watch_clean || watch_alerted) shapes_ok = false;
   std::printf("\nshape check (%s):\n"
               "  [1] warm median latency < cold median latency\n"
               "  [2] warm queries hit the cache and read 0 sidecar bytes\n"
               "  [3] daemon verdicts match the one-shot comparator\n"
               "  [4] no query deserialized metadata "
-              "(svc.cache.deserialize_count == 0)\n",
+              "(svc.cache.deserialize_count == 0)\n"
+              "  [5] every streamed WATCH push verified clean against its "
+              "reference (no false alert)\n",
               shapes_ok ? "PASS" : "CHECK FAILED");
 
   if (!artifact_path.empty()) {
@@ -240,6 +369,11 @@ int main(int argc, char** argv) {
          cold_sidecar_bytes},
         {"svc_compare_warm", config, warm_stats.median_ms, warm_stats.p90_ms,
          warm_metadata_bytes},
+        {"svc_watch_push",
+         strprintf("%s frontier, %s chunks, eps=%g, streamed deltas",
+                   format_size(watch_data_bytes).c_str(),
+                   format_size(chunk).c_str(), eps),
+         watch_stats.median_ms, watch_stats.p90_ms, delta_payload_bytes},
     };
     const auto written =
         bench::write_trajectory(artifact_path, "service", trajectory);

@@ -11,10 +11,18 @@
 // Exit codes follow the diff(1) convention so scripts can branch on the
 // verdict: 0 = within bound, 1 = divergence found, 2 = usage or runtime
 // error.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "baseline/allclose.hpp"
 #include "baseline/direct.hpp"
@@ -32,10 +40,13 @@
 #include "merkle/compare.hpp"
 #include "merkle/proof.hpp"
 #include "sim/hacc_lite.hpp"
+#include "merkle/nodestore.hpp"
 #include "svc/client.hpp"
+#include "svc/monitor.hpp"
 #include "svc/server.hpp"
 #include "telemetry/json_parse.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/report.hpp"
 #include "telemetry/resource_sampler.hpp"
 #include "telemetry/trace.hpp"
@@ -121,15 +132,31 @@ void print_usage() {
       "            [--cache-shards 8] [--workers 2] [--max-inflight 8]\n"
       "            [--request-timeout-ms 30000] [--eps 1e-6]\n"
       "            [--backend uring|mmap|pread|threads]\n"
+      "            [--alert-out FILE] [--max-watch-sessions 64]\n"
+      "            [--metrics-port N] [--metrics-flush-ms 10000]\n"
       "      run the reprod compare daemon: answers COMPARE/TIMELINE\n"
-      "      queries from a sharded LRU metadata cache; drains cleanly on\n"
-      "      SIGTERM or a SHUTDOWN frame (see docs/SERVICE.md)\n"
+      "      queries from a sharded LRU metadata cache and hosts live\n"
+      "      WATCH divergence sessions; drains cleanly on SIGTERM or a\n"
+      "      SHUTDOWN frame (see docs/SERVICE.md). --alert-out collects\n"
+      "      first-divergence alerts (JSONL); --metrics-port exposes the\n"
+      "      Prometheus text exposition on a loopback TCP port; with\n"
+      "      --metrics-out a snapshot is also flushed every\n"
+      "      --metrics-flush-ms while serving\n"
+      "\n"
+      "  repro-cli watch ROOT RUN --reference REF [--rank 0]\n"
+      "            (--socket PATH | --port N) [--eps 1e-6] [--chunk 64K]\n"
+      "      stream RUN's captured checkpoints to a reprod daemon as a\n"
+      "      WATCH session: Merkle digests only (full nodes first, deltas\n"
+      "      after), one live verdict per iteration, exit 1 on the first\n"
+      "      divergence against REF\n"
       "\n"
       "  repro-cli client (--socket PATH | --port N) OP [...]\n"
       "      one request against a running daemon; OP is one of:\n"
-      "        ping | stats | shutdown | compare A.ckpt B.ckpt [--eps E]\n"
+      "        ping | stats | shutdown | metrics\n"
+      "        compare A.ckpt B.ckpt [--eps E]\n"
       "        timeline ROOT RUN_A RUN_B [--eps E] | load-run ROOT RUN\n"
-      "      compare/timeline verdicts map onto exit codes 0/1 as usual\n"
+      "      compare/timeline verdicts map onto exit codes 0/1 as usual;\n"
+      "      stats also prints the daemon's build/uptime summary\n"
       "\n"
       "exit codes: 0 = within the error bound, 1 = divergence found,\n"
       "            2 = usage or runtime error\n");
@@ -1180,15 +1207,102 @@ int cmd_serve(const Args& args) {
   options.compare.error_bound = eps.value();
   options.compare.backend = backend.value();
   options.compare.tree = params.value();
+  options.alert_path = args.get("alert-out", "");
+  auto watch_sessions = args.get_u64("max-watch-sessions", 64);
+  if (!watch_sessions.is_ok()) return fail(watch_sessions.status());
+  options.max_watch_sessions = watch_sessions.value();
 
   svc::Server server(std::move(options));
   repro::Status status = svc::install_signal_handlers(server);
   if (!status.is_ok()) return fail(status);
   status = server.start();
   if (!status.is_ok()) return fail(status);
+
+  // Scrape endpoint: a loopback TCP listener that writes the Prometheus
+  // text exposition and closes — no HTTP layer, so `nc 127.0.0.1 PORT`
+  // (or any raw-TCP scraper) gets the page. Runs on its own thread; the
+  // daemon's event loop never blocks on a slow scraper.
+  std::atomic<bool> sidecars_stop{false};
+  int metrics_fd = -1;
+  std::thread metrics_thread;
+  if (args.has("metrics-port")) {
+    auto metrics_port = args.get_u64("metrics-port", 0);
+    if (!metrics_port.is_ok()) return fail(metrics_port.status());
+    metrics_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (metrics_fd < 0) {
+      return fail(repro::internal_error("metrics socket failed"));
+    }
+    const int one = 1;
+    ::setsockopt(metrics_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(metrics_port.value()));
+    if (::bind(metrics_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(metrics_fd, 16) != 0) {
+      ::close(metrics_fd);
+      return fail(repro::internal_error("metrics bind/listen failed on port " +
+                                        std::to_string(metrics_port.value())));
+    }
+    socklen_t addr_len = sizeof(addr);
+    ::getsockname(metrics_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+    std::printf("metrics exposition on tcp:127.0.0.1:%u\n",
+                ntohs(addr.sin_port));
+    metrics_thread = std::thread([fd = metrics_fd, &sidecars_stop] {
+      while (!sidecars_stop.load(std::memory_order_relaxed)) {
+        pollfd pfd{fd, POLLIN, 0};
+        if (::poll(&pfd, 1, 200) <= 0) continue;
+        const int peer = ::accept(fd, nullptr, nullptr);
+        if (peer < 0) continue;
+        const std::string page = telemetry::render_prometheus(
+            telemetry::MetricsRegistry::global().snapshot());
+        std::size_t sent = 0;
+        while (sent < page.size()) {
+          const ssize_t n = ::send(peer, page.data() + sent,
+                                   page.size() - sent, MSG_NOSIGNAL);
+          if (n <= 0) break;
+          sent += static_cast<std::size_t>(n);
+        }
+        ::shutdown(peer, SHUT_WR);
+        ::close(peer);
+      }
+    });
+  }
+
+  // Periodic --metrics-out flush: the standard run() publish only fires
+  // after serve() returns, which for a daemon is "never, until shutdown" —
+  // a monitoring agent tailing the file would see nothing. Re-publish the
+  // snapshot on a timer so the file tracks the live registry.
+  const std::string metrics_out = args.get("metrics-out", "");
+  auto flush_ms = args.get_u64("metrics-flush-ms", 10000);
+  if (!flush_ms.is_ok()) return fail(flush_ms.status());
+  std::thread flush_thread;
+  if (!metrics_out.empty() && flush_ms.value() > 0) {
+    flush_thread = std::thread([&sidecars_stop, &server, metrics_out,
+                                period_ms = flush_ms.value()] {
+      std::uint64_t slept = 0;
+      while (!sidecars_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        slept += 50;
+        if (slept < period_ms) continue;
+        slept = 0;
+        telemetry::RunReport snapshot("serve");
+        snapshot.set_verdict("serving");
+        snapshot.add_info("endpoint", server.endpoint());
+        snapshot.set_metrics(telemetry::MetricsRegistry::global().snapshot());
+        (void)snapshot.write_json(metrics_out);
+      }
+    });
+  }
+
   std::printf("reprod listening on %s\n", server.endpoint().c_str());
   std::fflush(stdout);  // tests poll for this line before connecting
   status = server.serve();
+  sidecars_stop.store(true, std::memory_order_relaxed);
+  if (metrics_thread.joinable()) metrics_thread.join();
+  if (flush_thread.joinable()) flush_thread.join();
+  if (metrics_fd >= 0) ::close(metrics_fd);
   if (!status.is_ok()) return fail(status);
 
   const svc::CacheStats stats = server.cache().stats();
@@ -1209,6 +1323,172 @@ int cmd_serve(const Args& args) {
     g_run_report->add_value("cache_bytes", static_cast<double>(stats.bytes));
   }
   return 0;
+}
+
+/// `repro-cli watch ROOT RUN --reference REF`: stream one run's captured
+/// checkpoints to a reprod daemon as a live WATCH session. Only Merkle
+/// digests cross the wire — the full node array on the first push, then
+/// compute_tree_delta() deltas — and the daemon answers each push with a
+/// verdict against the reference run's resident sidecar. Exit codes follow
+/// the compare convention: 0 clean, 1 diverged, 2 error.
+int cmd_watch(const Args& args) {
+  if (args.positional().size() < 3 || !args.has("reference")) {
+    std::fprintf(stderr, "watch requires ROOT RUN and --reference REF\n");
+    return 2;
+  }
+  const std::string root = args.positional()[1];
+  const std::string run = args.positional()[2];
+  const std::string reference = args.get("reference", "");
+  auto rank = args.get_u64("rank", 0);
+  if (!rank.is_ok()) return fail(rank.status());
+  auto params = tree_params_from(args);
+  if (!params.is_ok()) return fail(params.status());
+
+  svc::ClientOptions options;
+  options.socket_path = args.get("socket", "");
+  auto port = args.get_u64("port", 0);
+  if (!port.is_ok()) return fail(port.status());
+  options.port = static_cast<std::uint16_t>(port.value());
+  options.host = args.get("host", "127.0.0.1");
+  if (options.socket_path.empty() && options.port == 0) {
+    std::fprintf(stderr, "watch requires --socket PATH or --port N\n");
+    return 2;
+  }
+  auto timeout_ms = args.get_u64("timeout-ms", 30000);
+  if (!timeout_ms.is_ok()) return fail(timeout_ms.status());
+  options.timeout = std::chrono::milliseconds(timeout_ms.value());
+
+  ckpt::HistoryCatalog catalog{root};
+  auto refs = catalog.checkpoints(run);
+  if (!refs.is_ok()) return fail(refs.status());
+  std::vector<ckpt::CheckpointRef> work;
+  for (auto& ref : refs.value()) {
+    if (ref.rank == rank.value()) work.push_back(std::move(ref));
+  }
+  if (work.empty()) {
+    std::fprintf(stderr, "no rank%llu checkpoints under %s/%s\n",
+                 static_cast<unsigned long long>(rank.value()), root.c_str(),
+                 run.c_str());
+    return 2;
+  }
+
+  auto client = svc::Client::connect(options);
+  if (!client.is_ok()) return fail(client.status());
+
+  bool opened = false;
+  bool diverged = false;
+  merkle::MerkleTree previous;
+  std::uint64_t previous_iteration = 0;
+  for (const auto& ref : work) {
+    auto reader = ckpt::CheckpointReader::open(ref.checkpoint_path);
+    if (!reader.is_ok()) return fail(reader.status());
+    auto data = reader.value().read_data();
+    if (!data.is_ok()) return fail(data.status());
+    auto tree = merkle::TreeBuilder(params.value(), par::Exec::parallel())
+                    .build(data.value());
+    if (!tree.is_ok()) return fail(tree.status());
+
+    if (!opened) {
+      std::string open_payload = "{\"root\":";
+      repro::json_append_string(open_payload, root);
+      open_payload += ",\"run\":";
+      repro::json_append_string(open_payload, run);
+      open_payload += ",\"reference\":";
+      repro::json_append_string(open_payload, reference);
+      open_payload += ",\"rank\":" + std::to_string(rank.value());
+      open_payload +=
+          ",\"data_bytes\":" + std::to_string(data.value().size());
+      open_payload += ",\"eps\":";
+      repro::json_append_number(open_payload,
+                                params.value().hash.error_bound);
+      open_payload +=
+          ",\"chunk_bytes\":" + std::to_string(params.value().chunk_bytes);
+      open_payload +=
+          ",\"values_per_block\":" +
+          std::to_string(params.value().hash.values_per_block) + "}";
+      auto open_reply = client.value().watch_open(open_payload);
+      if (!open_reply.is_ok()) return fail(open_reply.status());
+      if (!open_reply.value().ok()) {
+        std::fprintf(stderr, "WATCH_OPEN %s %s\n",
+                     svc::wire_status_name(open_reply.value().status),
+                     open_reply.value().payload.c_str());
+        return 2;
+      }
+      std::printf("watching %s/%s rank%llu against %s (%zu checkpoints)\n",
+                  root.c_str(), run.c_str(),
+                  static_cast<unsigned long long>(rank.value()),
+                  reference.c_str(), work.size());
+      opened = true;
+    }
+
+    svc::WatchPushFrame frame;
+    frame.iteration = ref.iteration;
+    if (previous.num_chunks() == 0) {
+      // First push: the complete node array, so the daemon can seed its
+      // frontier without ever touching this run's files.
+      const merkle::TreeView view(tree.value());
+      const std::uint64_t num_nodes = view.layout().num_nodes();
+      frame.entries.reserve(num_nodes);
+      for (std::uint64_t i = 0; i < num_nodes; ++i) {
+        frame.entries.push_back({i, view.node(i)});
+      }
+    } else {
+      auto delta = merkle::compute_tree_delta(previous, tree.value(),
+                                              previous_iteration,
+                                              ref.iteration);
+      if (!delta.is_ok()) return fail(delta.status());
+      frame.delta = true;
+      frame.entries = std::move(delta.value().nodes);
+      if (frame.entries.empty()) {
+        // Identical iteration: an empty push is a protocol violation, so
+        // re-assert the (unchanged) root to advance the session's cursor.
+        frame.entries.push_back({0, merkle::TreeView(tree.value()).node(0)});
+      }
+    }
+    auto reply = client.value().watch_push(frame);
+    if (!reply.is_ok()) return fail(reply.status());
+    if (!reply.value().ok()) {
+      std::fprintf(stderr, "WATCH_PUSH %s %s\n",
+                   svc::wire_status_name(reply.value().status),
+                   reply.value().payload.c_str());
+      return 2;
+    }
+    const auto doc = telemetry::json_parse(reply.value().payload);
+    std::string verdict = "?";
+    std::uint64_t flagged = 0;
+    std::uint64_t total = 0;
+    if (doc.has_value() && doc->is_object()) {
+      verdict = doc->string_or("verdict", "?");
+      flagged = doc->u64_or("chunks_flagged", 0);
+      total = doc->u64_or("chunks_total", 0);
+    }
+    std::printf("iter%-6llu %-12s", static_cast<unsigned long long>(
+                                        ref.iteration),
+                verdict.c_str());
+    if (verdict == "divergent") {
+      std::printf(" %llu/%llu chunks flagged",
+                  static_cast<unsigned long long>(flagged),
+                  static_cast<unsigned long long>(total));
+      diverged = true;
+    }
+    std::printf(" (%zu digest entries%s)\n", frame.entries.size(),
+                frame.delta ? ", delta" : ", full");
+    previous = std::move(tree).value();
+    previous_iteration = ref.iteration;
+  }
+
+  auto summary = client.value().watch_close();
+  if (!summary.is_ok()) return fail(summary.status());
+  std::printf("%s %s\n", svc::wire_status_name(summary.value().status),
+              summary.value().payload.c_str());
+  if (g_run_report != nullptr) {
+    g_run_report->set_verdict(diverged ? "diverged" : "within-bound");
+    g_run_report->add_info("run", run);
+    g_run_report->add_info("reference", reference);
+    g_run_report->add_value("iterations_pushed",
+                            static_cast<double>(work.size()));
+  }
+  return diverged ? 1 : 0;
 }
 
 /// `repro-cli client OP ...`: one request against a running daemon. Prints
@@ -1252,6 +1532,8 @@ int cmd_client(const Args& args) {
     opcode = svc::Opcode::kPing;
   } else if (op == "stats") {
     opcode = svc::Opcode::kStats;
+  } else if (op == "metrics") {
+    opcode = svc::Opcode::kMetrics;
   } else if (op == "shutdown") {
     opcode = svc::Opcode::kShutdown;
   } else if (op == "compare") {
@@ -1300,9 +1582,31 @@ int cmd_client(const Args& args) {
   if (!client.is_ok()) return fail(client.status());
   auto response = client.value().call(opcode, payload);
   if (!response.is_ok()) return fail(response.status());
+  if (opcode == svc::Opcode::kMetrics && response.value().ok()) {
+    // The exposition page is multi-line plain text; print it verbatim so
+    // `repro-cli client ... metrics | promtool check metrics` works.
+    std::fputs(response.value().payload.c_str(), stdout);
+    return 0;
+  }
   std::printf("%s %s\n", svc::wire_status_name(response.value().status),
               response.value().payload.c_str());
   if (!response.value().ok()) return 2;
+  if (opcode == svc::Opcode::kStats) {
+    // Satellite readability: surface the build/uptime identity fields the
+    // daemon now reports without making callers parse the JSON.
+    const auto doc = telemetry::json_parse(response.value().payload);
+    if (doc.has_value() && doc->is_object()) {
+      std::printf("daemon %s (%s, %s, simd=%s), up %llus, "
+                  "%llu watch sessions\n",
+                  doc->string_or("version", "?").c_str(),
+                  doc->string_or("compiler", "?").c_str(),
+                  doc->string_or("build_type", "?").c_str(),
+                  doc->string_or("simd_level", "?").c_str(),
+                  static_cast<unsigned long long>(doc->u64_or("uptime_s", 0)),
+                  static_cast<unsigned long long>(
+                      doc->u64_or("watch_sessions", 0)));
+    }
+  }
   if (opcode == svc::Opcode::kCompare ||
       opcode == svc::Opcode::kTimeline) {
     // Mirror the server-side verdict into the exit code: COMPARE carries
@@ -1337,6 +1641,7 @@ int dispatch(const std::string& command, const Args& args) {
   if (command == "verify") return cmd_verify(args);
   if (command == "delta") return cmd_delta(args);
   if (command == "serve") return cmd_serve(args);
+  if (command == "watch") return cmd_watch(args);
   if (command == "client") return cmd_client(args);
   // Explicit usage-error path: say what was wrong, then the usage text,
   // and exit 2 like every other misuse (not a silent fallthrough).

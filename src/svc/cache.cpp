@@ -2,9 +2,38 @@
 
 #include <algorithm>
 
+#include "merkle/nodestore.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace repro::svc {
+
+SidecarKey sidecar_cache_key(const std::filesystem::path& metadata_path) {
+  SidecarKey out;
+  std::error_code ec;
+  const auto canonical = std::filesystem::weakly_canonical(metadata_path, ec);
+  out.key = ec ? metadata_path.string() : canonical.string();
+  // Differential delta-store sidecars ("iter<j>.rmrk", RMFD-only) hold no
+  // tree in place; the key carries the anchor + chain length so distinct
+  // resolutions never alias and hits skip the whole replay.
+  const std::string filename = metadata_path.filename().string();
+  if (filename.starts_with("iter") && filename.ends_with(".rmrk")) {
+    const auto probe = merkle::probe_delta_chain(metadata_path);
+    if (probe.is_ok() && probe.value().differential) {
+      out.differential = true;
+      out.key += "#a" + std::to_string(probe.value().anchor_iteration) + "+" +
+                 std::to_string(probe.value().chain_length);
+    }
+  }
+  return out;
+}
+
+repro::Result<merkle::MappedBundle> open_sidecar(
+    const std::filesystem::path& metadata_path, bool differential) {
+  if (!differential) return merkle::MappedBundle::open(metadata_path);
+  REPRO_ASSIGN_OR_RETURN(const merkle::MerkleTree tree,
+                         merkle::resolve_delta_chain(metadata_path));
+  return merkle::MappedBundle::from_bytes(merkle::flat_serialize(tree));
+}
 
 namespace {
 

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <list>
 #include <memory>
@@ -38,6 +39,27 @@
 namespace repro::svc {
 
 using BundlePtr = std::shared_ptr<const merkle::MappedBundle>;
+
+/// Canonical cache identity of one sidecar file. The key is the weakly
+/// canonical path — one (run, iteration, rank) tree regardless of how a
+/// request named it — and, for differential delta-store sidecars
+/// ("iter<j>.rmrk" carrying only an RMFD section), a "#a<anchor>+<len>"
+/// suffix describing the resolved chain so distinct resolutions never
+/// alias. Shared by every service-side load path (COMPARE pins, LOAD_RUN
+/// prewarm, WATCH reference lookups).
+struct SidecarKey {
+  std::string key;
+  bool differential = false;  ///< true when the sidecar is an RMFD chain link
+};
+
+[[nodiscard]] SidecarKey sidecar_cache_key(
+    const std::filesystem::path& metadata_path);
+
+/// The matching loader for MetadataCache::get_or_load: maps the sidecar in
+/// place, or — for a differential link — resolves the delta chain once and
+/// adopts the flat re-encoding (so cache hits skip the whole replay).
+[[nodiscard]] repro::Result<merkle::MappedBundle> open_sidecar(
+    const std::filesystem::path& metadata_path, bool differential);
 
 struct CacheStats {
   std::uint64_t hits = 0;

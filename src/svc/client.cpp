@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include "io/retry.hpp"
+#include "svc/monitor.hpp"
 
 // Platforms without MSG_NOSIGNAL (macOS) would need SO_NOSIGPIPE or a
 // process-wide SIGPIPE ignore; on the targets we build for, the flag turns
@@ -108,10 +109,10 @@ void Client::close() noexcept {
 }
 
 repro::Status Client::send_request(Opcode op, std::uint64_t request_id,
-                                   std::string_view json_payload) {
+                                   std::string_view payload, bool json) {
   if (fd_ < 0) return repro::failed_precondition("client is closed");
   std::vector<std::uint8_t> frame;
-  append_request(frame, op, request_id, json_payload);
+  append_request(frame, op, request_id, payload, json);
   std::size_t sent = 0;
   while (sent < frame.size()) {
     const ssize_t n =
@@ -180,10 +181,10 @@ repro::Result<Response> Client::recv_response() {
   }
 }
 
-repro::Result<Response> Client::call(Opcode op,
-                                     std::string_view json_payload) {
+repro::Result<Response> Client::call(Opcode op, std::string_view payload,
+                                     bool json) {
   const std::uint64_t request_id = next_request_id_++;
-  REPRO_RETURN_IF_ERROR(send_request(op, request_id, json_payload));
+  REPRO_RETURN_IF_ERROR(send_request(op, request_id, payload, json));
   // Responses on this connection are matched by request id; call() keeps
   // one request outstanding, so the next frame is ours — but skip any
   // stale frame defensively (a timed-out predecessor's late reply).
@@ -193,6 +194,23 @@ repro::Result<Response> Client::call(Opcode op,
       return response;
     }
   }
+}
+
+repro::Result<Response> Client::watch_open(std::string_view json_payload) {
+  return call(Opcode::kWatchOpen, json_payload);
+}
+
+repro::Result<Response> Client::watch_push(const WatchPushFrame& frame) {
+  std::vector<std::uint8_t> payload;
+  encode_watch_push(payload, frame);
+  return call(Opcode::kWatchPush,
+              std::string_view(reinterpret_cast<const char*>(payload.data()),
+                               payload.size()),
+              /*json=*/false);
+}
+
+repro::Result<Response> Client::watch_close() {
+  return call(Opcode::kWatchClose, {});
 }
 
 }  // namespace repro::svc

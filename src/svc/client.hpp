@@ -20,6 +20,8 @@
 
 namespace repro::svc {
 
+struct WatchPushFrame;  // svc/monitor.hpp
+
 struct ClientOptions {
   /// Unix-domain socket path; when empty, TCP to host:port.
   std::filesystem::path socket_path;
@@ -50,14 +52,24 @@ class Client {
   Client& operator=(const Client&) = delete;
   ~Client();
 
-  /// Sends one request and blocks for its response.
-  repro::Result<Response> call(Opcode op, std::string_view json_payload);
+  /// Sends one request and blocks for its response. `json` clears the
+  /// payload-format flag for binary payloads (WATCH_PUSH).
+  repro::Result<Response> call(Opcode op, std::string_view payload,
+                               bool json = true);
+
+  /// WATCH session lifecycle (docs/SERVICE.md "Live monitoring").
+  /// watch_open takes the session spec as a JSON document; watch_push
+  /// encodes the frame's digest entries into the binary WATCH_PUSH
+  /// payload; watch_close returns the session summary.
+  repro::Result<Response> watch_open(std::string_view json_payload);
+  repro::Result<Response> watch_push(const WatchPushFrame& frame);
+  repro::Result<Response> watch_close();
 
   /// Pipelining primitives: send without waiting / wait for the next
   /// response frame on the wire (responses arrive in completion order;
   /// match them up via Response::request_id).
   repro::Status send_request(Opcode op, std::uint64_t request_id,
-                             std::string_view json_payload);
+                             std::string_view payload, bool json = true);
   repro::Result<Response> recv_response();
 
   /// Closes the socket (further calls fail). Idempotent.

@@ -34,10 +34,13 @@
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "common/build_info.hpp"
 #include "merkle/nodestore.hpp"
 #include "par/thread_pool.hpp"
+#include "svc/monitor.hpp"
 #include "telemetry/json_parse.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/trace.hpp"
 
 namespace repro::svc {
@@ -264,7 +267,11 @@ WireStatus wire_status_for(const repro::Status& status) {
 struct Server::Impl {
   explicit Impl(ServerOptions opts)
       : options(std::move(opts)),
-        cache(options.cache_bytes, options.cache_shards) {}
+        cache(options.cache_bytes, options.cache_shards),
+        monitor(MonitorOptions{.alert_path = options.alert_path,
+                               .compare = options.compare,
+                               .max_sessions = options.max_watch_sessions},
+                &cache) {}
 
   ~Impl() {
     close_all();
@@ -301,6 +308,9 @@ struct Server::Impl {
 
   ServerOptions options;
   MetadataCache cache;
+  /// WATCH session table; loop-thread-owned like the connection map.
+  Monitor monitor;
+  std::chrono::steady_clock::time_point started_at;
 
   int listen_fd = -1;
   std::uint16_t bound_port = 0;
@@ -357,6 +367,7 @@ struct Server::Impl {
     poller->add(wake_fds[0], false);
     pool = std::make_unique<par::ThreadPool>(
         std::max<std::size_t>(1, options.workers));
+    started_at = std::chrono::steady_clock::now();
     started = true;
     return repro::Status::ok();
   }
@@ -608,8 +619,9 @@ struct Server::Impl {
   /// connection (peer error, or close-after-flush fully drained) — callers
   /// must not touch `conn` afterwards without re-lookup.
   void send_response(int fd, Connection& conn, WireStatus status,
-                     std::uint64_t request_id, std::string_view payload) {
-    append_response(conn.tx, status, request_id, payload);
+                     std::uint64_t request_id, std::string_view payload,
+                     bool json = true) {
+    append_response(conn.tx, status, request_id, payload, json);
     if (!conn.close_after_flush &&
         conn.tx.size() - conn.tx_off > options.max_tx_buffer_bytes) {
       // The peer is not reading its replies; stop growing tx on its
@@ -661,7 +673,9 @@ struct Server::Impl {
     if (it == connections.end()) return;
     // Abandon this connection's in-flight requests: results have nowhere
     // to go. The handler still runs to completion; apply_completions()
-    // drops results whose ticket is gone.
+    // drops results whose ticket is gone. A WATCH session dies with its
+    // connection (one session per connection).
+    monitor.drop(it->second.id);
     std::erase_if(tickets, [&](const auto& entry) {
       return entry.second.conn_id == it->second.id;
     });
@@ -699,6 +713,30 @@ struct Server::Impl {
         send_response(fd, conn, WireStatus::kOk, request_id,
                       "{\"draining\":true}");
         stop_requested.store(true, std::memory_order_relaxed);
+        return;
+      case Opcode::kMetrics: {
+        // Prometheus 0.0.4 text exposition of the whole registry; the
+        // payload is plain text, so the JSON flag stays clear.
+        telemetry::TraceSpan span("svc.metrics");
+        span.arg("id", request_id);
+        send_response(fd, conn, WireStatus::kOk, request_id,
+                      telemetry::render_prometheus(
+                          telemetry::MetricsRegistry::global().snapshot()),
+                      /*json=*/false);
+        return;
+      }
+      case Opcode::kWatchOpen:
+      case Opcode::kWatchPush:
+      case Opcode::kWatchClose:
+        // WATCH sessions are loop-thread state (no ticket, no pool hop):
+        // frontier updates are cheap digest work and per-connection push
+        // ordering falls out of the single-threaded dispatch.
+        if (draining) {
+          send_response(fd, conn, WireStatus::kShuttingDown, request_id,
+                        error_payload("daemon is draining"));
+          return;
+        }
+        handle_watch(fd, conn, op, frame);
         return;
       case Opcode::kCompare:
       case Opcode::kTimeline:
@@ -752,6 +790,43 @@ struct Server::Impl {
       }
       wake();
     });
+  }
+
+  /// WATCH_OPEN / WATCH_PUSH / WATCH_CLOSE, inline on the loop thread. The
+  /// span carries the client's request_id, so a slow push is attributable
+  /// end-to-end in the Chrome trace.
+  void handle_watch(int fd, Connection& conn, Opcode op,
+                    const DecodedFrame& frame) {
+    telemetry::TraceSpan span("svc.watch");
+    span.arg("op", opcode_name(op)).arg("id", frame.header.request_id);
+    WatchReply reply;
+    switch (op) {
+      case Opcode::kWatchOpen:
+        reply = monitor.open(conn.id, frame.payload);
+        break;
+      case Opcode::kWatchPush:
+        reply = monitor.push(conn.id, frame.payload);
+        break;
+      default:
+        reply = monitor.close(conn.id);
+        break;
+    }
+    span.arg("status", wire_status_name(reply.status));
+    if (reply.status != WireStatus::kOk) {
+      SvcMetrics::get().errors.increment();
+      if (op == Opcode::kWatchPush &&
+          reply.status == WireStatus::kBadRequest) {
+        // A malformed or out-of-order push poisons the digest stream the
+        // same way a framing violation poisons the byte stream: answer
+        // once, then close (docs/SERVICE.md robustness contract).
+        SvcMetrics::get().rejected_frames.increment();
+        monitor.drop(conn.id);
+        conn.rx.clear();
+        conn.close_after_flush = true;
+      }
+    }
+    send_response(fd, conn, reply.status, frame.header.request_id,
+                  reply.payload);
   }
 
   void apply_completions() {
@@ -833,15 +908,6 @@ struct Server::Impl {
     }
   }
 
-  /// Cache key: the canonical sidecar path identifies one
-  /// (run, iteration, rank) tree regardless of how the request named it.
-  static std::string cache_key(const std::filesystem::path& metadata_path) {
-    std::error_code ec;
-    const auto canonical =
-        std::filesystem::weakly_canonical(metadata_path, ec);
-    return ec ? metadata_path.string() : canonical.string();
-  }
-
   /// Pin (or load) both sides' trees and run the two-stage compare with
   /// preloaded metadata. Sidecar-less checkpoints fall back to the
   /// comparator's build-on-the-fly path and are cached on the next query.
@@ -855,33 +921,16 @@ struct Server::Impl {
         *hit = false;
         return cmp::PinnedTree{};
       }
-      // Differential delta-store sidecars ("iter<j>.rmrk", RMFD-only) hold
-      // no tree in place; resolve the chain once and cache the flat
-      // re-encoding. The key carries the anchor + chain length so distinct
-      // resolutions never alias and hits skip the whole replay.
-      std::string key = cache_key(metadata_path);
-      bool differential = false;
-      const std::string filename = metadata_path.filename().string();
-      if (filename.starts_with("iter") && filename.ends_with(".rmrk")) {
-        const auto probe = merkle::probe_delta_chain(metadata_path);
-        if (probe.is_ok() && probe.value().differential) {
-          differential = true;
-          key += "#a" + std::to_string(probe.value().anchor_iteration) +
-                 "+" + std::to_string(probe.value().chain_length);
-        }
-      }
+      const SidecarKey sidecar = sidecar_cache_key(metadata_path);
       // The bundle shared_ptr doubles as the pin: the mapped bytes stay
       // valid for the duration of the compare even if the shard evicts
       // this entry concurrently. Warm hits hand back the resident mapping
       // (or the already-resolved chain) with zero parse work.
       auto load = [&]() -> repro::Result<merkle::MappedBundle> {
-        if (!differential) return merkle::MappedBundle::open(metadata_path);
-        REPRO_ASSIGN_OR_RETURN(const merkle::MerkleTree tree,
-                               merkle::resolve_delta_chain(metadata_path));
-        return merkle::MappedBundle::from_bytes(merkle::flat_serialize(tree));
+        return open_sidecar(metadata_path, sidecar.differential);
       };
       REPRO_ASSIGN_OR_RETURN(BundlePtr bundle,
-                             cache.get_or_load(key, load, hit));
+                             cache.get_or_load(sidecar.key, load, hit));
       REPRO_ASSIGN_OR_RETURN(const merkle::TreeView view,
                              bundle->sole_tree());
       return cmp::PinnedTree{view, std::move(bundle)};
@@ -1076,9 +1125,10 @@ struct Server::Impl {
         continue;
       }
       bool hit = false;
+      const SidecarKey sidecar = sidecar_cache_key(ref.metadata_path);
       auto bundle = cache.get_or_load(
-          cache_key(ref.metadata_path),
-          [&] { return merkle::MappedBundle::open(ref.metadata_path); },
+          sidecar.key,
+          [&] { return open_sidecar(ref.metadata_path, sidecar.differential); },
           &hit);
       if (!bundle.is_ok()) {
         done->status = wire_status_for(bundle.status());
@@ -1118,7 +1168,22 @@ struct Server::Impl {
     append_kv(out, "connections",
               std::uint64_t{connections.size()}, &tail);
     append_kv(out, "inflight", std::uint64_t{tickets.size()}, &tail);
+    append_kv(out, "watch_sessions",
+              std::uint64_t{monitor.session_count()}, &tail);
     append_kv_bool(out, "draining", draining, &tail);
+    const auto uptime = std::chrono::duration_cast<std::chrono::seconds>(
+        std::chrono::steady_clock::now() - started_at);
+    append_kv(out, "uptime_s",
+              static_cast<std::uint64_t>(std::max<long long>(
+                  0, static_cast<long long>(uptime.count()))),
+              &tail);
+    // Build provenance: a fleet operator scraping many daemons needs to
+    // know which toolchain each verdict came from (docs/OBSERVABILITY.md).
+    const BuildInfo build = repro::build_info();
+    append_kv(out, "version", build.version, &tail);
+    append_kv(out, "compiler", build.compiler, &tail);
+    append_kv(out, "build_type", build.build_type, &tail);
+    append_kv(out, "simd_level", build.simd_level, &tail);
     out += '}';
     return out;
   }

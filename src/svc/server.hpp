@@ -7,8 +7,10 @@
 // existing `par` thread pool machinery — the server owns a dedicated
 // par::ThreadPool instance for handlers, so a handler blocking inside
 // Exec::parallel() (which fans out onto the process-wide default pool and
-// waits) can never deadlock against itself. PING / STATS / SHUTDOWN are
-// answered inline on the loop thread.
+// waits) can never deadlock against itself. PING / STATS / SHUTDOWN /
+// METRICS and the WATCH_* monitoring verbs (svc/monitor.hpp) are answered
+// inline on the loop thread — WATCH sessions are loop-owned state, so
+// frontier updates need no locking and push ordering is natural.
 //
 // Robustness contract (docs/SERVICE.md): garbage or oversized frames get
 // an error response and a connection close, never a crash; per-client
@@ -67,8 +69,17 @@ struct ServerOptions {
   io::RetryPolicy socket_retry;
 
   /// Base options for COMPARE/TIMELINE handlers; requests may override the
-  /// error bound ("eps") per call.
+  /// error bound ("eps") per call. WATCH sessions inherit the same tree/ε
+  /// defaults.
   cmp::CompareOptions compare;
+
+  /// JSONL file WATCH first-divergence alerts are appended to
+  /// (`repro.divergence.alert` v1, docs/FORMATS.md); empty disables alert
+  /// persistence — verdict frames still carry the divergence.
+  std::filesystem::path alert_path;
+
+  /// Concurrent WATCH session cap (one session per connection).
+  std::size_t max_watch_sessions = 64;
 };
 
 class Server {

@@ -50,6 +50,10 @@ const char* opcode_name(Opcode op) noexcept {
     case Opcode::kTimeline: return "TIMELINE";
     case Opcode::kStats: return "STATS";
     case Opcode::kShutdown: return "SHUTDOWN";
+    case Opcode::kWatchOpen: return "WATCH_OPEN";
+    case Opcode::kWatchPush: return "WATCH_PUSH";
+    case Opcode::kWatchClose: return "WATCH_CLOSE";
+    case Opcode::kMetrics: return "METRICS";
   }
   return "UNKNOWN";
 }
@@ -86,22 +90,24 @@ void append_frame(std::vector<std::uint8_t>& out, const FrameHeader& header,
 }
 
 void append_request(std::vector<std::uint8_t>& out, Opcode op,
-                    std::uint64_t request_id, std::string_view json_payload) {
+                    std::uint64_t request_id, std::string_view payload,
+                    bool json) {
   FrameHeader header;
   header.code = static_cast<std::uint16_t>(op);
-  header.flags = json_payload.empty() ? 0 : kFlagJsonPayload;
+  header.flags = payload.empty() || !json ? 0 : kFlagJsonPayload;
   header.request_id = request_id;
-  append_frame(out, header, json_payload);
+  append_frame(out, header, payload);
 }
 
 void append_response(std::vector<std::uint8_t>& out, WireStatus status,
-                     std::uint64_t request_id, std::string_view json_payload) {
+                     std::uint64_t request_id, std::string_view payload,
+                     bool json) {
   FrameHeader header;
   header.code = static_cast<std::uint16_t>(status);
   header.flags =
-      kFlagResponse | (json_payload.empty() ? 0 : kFlagJsonPayload);
+      kFlagResponse | (payload.empty() || !json ? 0 : kFlagJsonPayload);
   header.request_id = request_id;
-  append_frame(out, header, json_payload);
+  append_frame(out, header, payload);
 }
 
 DecodeOutcome decode_frame(std::span<const std::uint8_t> buffer,

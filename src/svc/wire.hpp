@@ -46,6 +46,11 @@ enum class Opcode : std::uint16_t {
   kTimeline = 4,  ///< first-divergence sweep over two runs' histories
   kStats = 5,     ///< cache + request counters
   kShutdown = 6,  ///< begin graceful drain
+  // RSVC v2 verb set: live divergence monitoring (docs/SERVICE.md).
+  kWatchOpen = 7,   ///< open a watch session against a reference run
+  kWatchPush = 8,   ///< push one iteration's digests (binary RMFD entries)
+  kWatchClose = 9,  ///< close the watch session; summary reply
+  kMetrics = 10,    ///< Prometheus 0.0.4 text exposition of the registry
 };
 
 enum class WireStatus : std::uint16_t {
@@ -77,13 +82,17 @@ struct FrameHeader {
 void append_frame(std::vector<std::uint8_t>& out, const FrameHeader& header,
                   std::string_view payload);
 
-/// Request frame: code = opcode, JSON payload flag set when non-empty.
+/// Request frame: code = opcode, JSON payload flag set when non-empty and
+/// `json` (WATCH_PUSH requests carry a binary digest payload instead).
 void append_request(std::vector<std::uint8_t>& out, Opcode op,
-                    std::uint64_t request_id, std::string_view json_payload);
+                    std::uint64_t request_id, std::string_view payload,
+                    bool json = true);
 
-/// Response frame: code = status, response flag set.
+/// Response frame: code = status, response flag set. `json` controls the
+/// payload-format flag: METRICS replies carry Prometheus text, not JSON.
 void append_response(std::vector<std::uint8_t>& out, WireStatus status,
-                     std::uint64_t request_id, std::string_view json_payload);
+                     std::uint64_t request_id, std::string_view payload,
+                     bool json = true);
 
 struct DecodedFrame {
   FrameHeader header;

@@ -1,0 +1,82 @@
+#include "telemetry/prometheus.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace repro::telemetry {
+
+namespace {
+
+bool prometheus_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void append_double(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) out += prometheus_char(c) ? c : '_';
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " ";
+    append_u64(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " ";
+    append_double(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " histogram\n";
+    // The snapshot's counts are per-bucket; Prometheus buckets are
+    // cumulative ("samples <= le"), so accumulate while emitting.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < data.bounds.size(); ++i) {
+      cumulative += i < data.counts.size() ? data.counts[i] : 0;
+      out += prom + "_bucket{le=\"";
+      append_double(out, data.bounds[i]);
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += '\n';
+    }
+    out += prom + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, data.count);
+    out += '\n';
+    out += prom + "_sum ";
+    append_double(out, data.sum);
+    out += '\n';
+    out += prom + "_count ";
+    append_u64(out, data.count);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace repro::telemetry

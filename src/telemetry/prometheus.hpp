@@ -1,0 +1,33 @@
+// Prometheus text exposition (format version 0.0.4) rendered from a
+// MetricsSnapshot, so any scraper that speaks the de-facto fleet standard
+// can collect a daemon's registry without an HTTP stack on our side.
+//
+// Mapping rules:
+//   * metric names keep the registry's dotted path with every character
+//     outside [a-zA-Z0-9_:] rewritten to '_' ("svc.watch.sessions" becomes
+//     "svc_watch_sessions");
+//   * counters render as `# TYPE <name> counter` plus one sample line;
+//   * gauges render as `# TYPE <name> gauge`;
+//   * histograms render as cumulative `<name>_bucket{le="..."}` series
+//     (the registry snapshot stores per-bucket counts; this renderer
+//     accumulates them), a closing `le="+Inf"` bucket equal to the total
+//     count, and the standard `<name>_sum` / `<name>_count` pair.
+//
+// Output is deterministic for a given snapshot — maps iterate sorted, and
+// numbers use fixed printf formats — so tests can assert on exact lines.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace repro::telemetry {
+
+/// Renders `snapshot` as Prometheus 0.0.4 text exposition.
+[[nodiscard]] std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+/// Rewrites one registry metric name into the Prometheus alphabet
+/// ([a-zA-Z0-9_:], no leading digit).
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+}  // namespace repro::telemetry

@@ -87,6 +87,8 @@ struct InternalGauges {
   Gauge& svc_connections_open;
   Gauge& svc_requests_inflight;
   Gauge& svc_cache_bytes;
+  Gauge& svc_watch_sessions;
+  Gauge& svc_watch_buffered_bytes;
 
   static InternalGauges& get() {
     static InternalGauges gauges{
@@ -95,7 +97,9 @@ struct InternalGauges {
         MetricsRegistry::global().gauge("io.stream.bytes_inflight"),
         MetricsRegistry::global().gauge("svc.connections.open"),
         MetricsRegistry::global().gauge("svc.requests.inflight"),
-        MetricsRegistry::global().gauge("svc.cache.bytes")};
+        MetricsRegistry::global().gauge("svc.cache.bytes"),
+        MetricsRegistry::global().gauge("svc.watch.sessions"),
+        MetricsRegistry::global().gauge("svc.watch.buffered_bytes")};
     return gauges;
   }
 };
@@ -168,6 +172,8 @@ void ResourceSampler::sample_once() {
       {"svc.connections.open", internal.svc_connections_open.value()},
       {"svc.requests.inflight", internal.svc_requests_inflight.value()},
       {"svc.cache.bytes", internal.svc_cache_bytes.value()},
+      {"svc.watch.sessions", internal.svc_watch_sessions.value()},
+      {"svc.watch.buffered_bytes", internal.svc_watch_buffered_bytes.value()},
   };
 
   Tracer& tracer = Tracer::global();

@@ -1,0 +1,81 @@
+// Golden tests for the Prometheus 0.0.4 text exposition renderer backing
+// the daemon's METRICS verb and `repro-cli serve --metrics-port`. The
+// output must be byte-deterministic for a given snapshot — scrape tooling
+// diffs expositions, and the service tests grep them.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/prometheus.hpp"
+
+namespace repro::telemetry {
+namespace {
+
+TEST(PrometheusName, SanitizesToMetricCharset) {
+  EXPECT_EQ(prometheus_name("svc.watch.push_latency_us"),
+            "svc_watch_push_latency_us");
+  EXPECT_EQ(prometheus_name("io-uring/depth"), "io_uring_depth");
+  EXPECT_EQ(prometheus_name("res.cpu.user_seconds"), "res_cpu_user_seconds");
+  // Colons are legal in Prometheus names (recording-rule convention).
+  EXPECT_EQ(prometheus_name("job:latency:p99"), "job:latency:p99");
+  // A leading digit is not; prepend an underscore rather than drop it.
+  EXPECT_EQ(prometheus_name("9lives"), "_9lives");
+  EXPECT_EQ(prometheus_name(""), "");
+}
+
+TEST(PrometheusRender, GoldenExposition) {
+  MetricsRegistry registry;
+  registry.counter("svc.watch.alerts_total").add(3);
+  registry.counter("svc.watch.pushes").add(7);
+  registry.gauge("svc.watch.sessions").set(2);
+  const double bounds[] = {1, 10, 100};
+  Histogram& latency =
+      registry.histogram("svc.watch.push_latency_us", bounds);
+  latency.record(0.5);   // <= 1
+  latency.record(5);     // <= 10
+  latency.record(50);    // <= 100
+  latency.record(5000);  // overflow: only visible in +Inf / _count
+
+  // Counters, then gauges, then histograms, each name-sorted; histogram
+  // buckets are cumulative with a +Inf terminator equal to _count.
+  const std::string expected =
+      "# TYPE svc_watch_alerts_total counter\n"
+      "svc_watch_alerts_total 3\n"
+      "# TYPE svc_watch_pushes counter\n"
+      "svc_watch_pushes 7\n"
+      "# TYPE svc_watch_sessions gauge\n"
+      "svc_watch_sessions 2\n"
+      "# TYPE svc_watch_push_latency_us histogram\n"
+      "svc_watch_push_latency_us_bucket{le=\"1\"} 1\n"
+      "svc_watch_push_latency_us_bucket{le=\"10\"} 2\n"
+      "svc_watch_push_latency_us_bucket{le=\"100\"} 3\n"
+      "svc_watch_push_latency_us_bucket{le=\"+Inf\"} 4\n"
+      "svc_watch_push_latency_us_sum 5055.5\n"
+      "svc_watch_push_latency_us_count 4\n";
+  EXPECT_EQ(render_prometheus(registry.snapshot()), expected);
+}
+
+TEST(PrometheusRender, EmptyRegistryRendersEmptyPage) {
+  MetricsRegistry registry;
+  EXPECT_EQ(render_prometheus(registry.snapshot()), "");
+}
+
+TEST(PrometheusRender, UnrecordedHistogramStillEmitsAllSeries) {
+  // A scraper must see every series from the first scrape on, flat at
+  // zero, so rate() and histogram_quantile() have a defined baseline.
+  MetricsRegistry registry;
+  const double bounds[] = {0.5, 2};
+  registry.histogram("svc.watch.detection_latency_iters", bounds);
+  const std::string expected =
+      "# TYPE svc_watch_detection_latency_iters histogram\n"
+      "svc_watch_detection_latency_iters_bucket{le=\"0.5\"} 0\n"
+      "svc_watch_detection_latency_iters_bucket{le=\"2\"} 0\n"
+      "svc_watch_detection_latency_iters_bucket{le=\"+Inf\"} 0\n"
+      "svc_watch_detection_latency_iters_sum 0\n"
+      "svc_watch_detection_latency_iters_count 0\n";
+  EXPECT_EQ(render_prometheus(registry.snapshot()), expected);
+}
+
+}  // namespace
+}  // namespace repro::telemetry
