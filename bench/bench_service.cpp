@@ -13,9 +13,17 @@
 // measuring push round-trip latency and pushes/s in the all-clean steady
 // state (docs/OBSERVABILITY.md "Live divergence monitoring").
 //
+// A final section reads the per-phase request breakdown back out of the
+// svc.request.phase.* histograms and the structured access log the daemon
+// wrote while serving the sections above (docs/OBSERVABILITY.md "Per-request
+// phase breakdown") — the attributed sum per COMPARE becomes the
+// svc_request_phase trajectory row.
+//
 // --json <path> writes a machine-readable summary for plotting scripts.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -118,6 +126,7 @@ int main(int argc, char** argv) {
   svc::ServerOptions options;
   options.socket_path = dir.file("reprod.sock");
   options.workers = 2;
+  options.access_log_path = dir.file("access.jsonl");
   options.compare.error_bound = eps;
   options.compare.tree.chunk_bytes = chunk;
   options.compare.tree.hash.error_bound = eps;
@@ -328,6 +337,70 @@ int main(int argc, char** argv) {
   server.request_stop();
   serve_thread.join();
 
+  // Per-phase breakdown: the svc.request.phase.* histograms aggregate every
+  // request the sections above pushed through the daemon; the access log
+  // gives the same phases attributed per request.
+  static constexpr const char* kPhaseMetrics[] = {
+      "svc.request.phase.queue_us",
+      "svc.request.phase.cache_lookup_us",
+      "svc.request.phase.sidecar_load_us",
+      "svc.request.phase.compute_us",
+      "svc.request.phase.serialize_us",
+      "svc.request.phase.tx_flush_us",
+  };
+  const auto metrics = telemetry::MetricsRegistry::global().snapshot();
+  std::printf("\nper-phase request latency (svc.request.phase.* histograms):\n");
+  TextTable phase_table({"Phase", "Count", "Mean (us)", "Max (us)"});
+  for (const char* metric : kPhaseMetrics) {
+    const auto found = metrics.histograms.find(metric);
+    if (found == metrics.histograms.end()) continue;
+    phase_table.add_row(
+        {metric,
+         strprintf("%llu",
+                   static_cast<unsigned long long>(found->second.count)),
+         strprintf("%.1f", found->second.mean()),
+         strprintf("%.1f", found->second.max)});
+  }
+  phase_table.print();
+
+  // Attributed latency per COMPARE from the access log: the sum of the six
+  // phase fields of each record, and how much of the served wall time the
+  // phases explain.
+  std::vector<double> attributed_ms;
+  double attributed_us = 0;
+  double logged_wall_us = 0;
+  {
+    std::ifstream access_log(dir.file("access.jsonl"));
+    std::string line;
+    while (std::getline(access_log, line)) {
+      const auto record = telemetry::json_parse(line);
+      if (!record.has_value() ||
+          record->string_or("verb", "") != "COMPARE") {
+        continue;
+      }
+      double request_us = 0;
+      for (const char* metric : kPhaseMetrics) {
+        // Access-log field names drop the "svc.request.phase." prefix.
+        request_us += record->number_or(metric + 18, 0);
+      }
+      attributed_ms.push_back(request_us / 1e3);
+      attributed_us += request_us;
+      logged_wall_us += record->number_or("wall_us", 0);
+    }
+  }
+  std::sort(attributed_ms.begin(), attributed_ms.end());
+  bench::WallStats phase_stats;
+  if (!attributed_ms.empty()) {
+    phase_stats.median_ms = attributed_ms[attributed_ms.size() / 2];
+    phase_stats.p90_ms = attributed_ms[std::min(
+        attributed_ms.size() - 1, attributed_ms.size() * 9 / 10)];
+  }
+  std::printf("access log: %zu COMPARE records, phases explain %.1f%% of "
+              "served wall time\n",
+              attributed_ms.size(),
+              logged_wall_us > 0 ? 100.0 * attributed_us / logged_wall_us
+                                 : 0.0);
+
   std::vector<Row> rows = {
       {"cold (cache cleared per request)", cold_ms, 0, cold_sidecar_bytes},
       {"warm (resident cache)", warm_ms, req_per_s, warm_metadata_bytes},
@@ -374,6 +447,10 @@ int main(int argc, char** argv) {
                    format_size(watch_data_bytes).c_str(),
                    format_size(chunk).c_str(), eps),
          watch_stats.median_ms, watch_stats.p90_ms, delta_payload_bytes},
+        {"svc_request_phase",
+         strprintf("six-phase attributed sum per COMPARE, %zu requests",
+                   attributed_ms.size()),
+         phase_stats.median_ms, phase_stats.p90_ms, pair.data_bytes},
     };
     const auto written =
         bench::write_trajectory(artifact_path, "service", trajectory);

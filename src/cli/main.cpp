@@ -134,6 +134,7 @@ void print_usage() {
       "            [--backend uring|mmap|pread|threads]\n"
       "            [--alert-out FILE] [--max-watch-sessions 64]\n"
       "            [--metrics-port N] [--metrics-flush-ms 10000]\n"
+      "            [--access-log FILE] [--slow-request-ms 1000]\n"
       "      run the reprod compare daemon: answers COMPARE/TIMELINE\n"
       "      queries from a sharded LRU metadata cache and hosts live\n"
       "      WATCH divergence sessions; drains cleanly on SIGTERM or a\n"
@@ -141,7 +142,10 @@ void print_usage() {
       "      first-divergence alerts (JSONL); --metrics-port exposes the\n"
       "      Prometheus text exposition on a loopback TCP port; with\n"
       "      --metrics-out a snapshot is also flushed every\n"
-      "      --metrics-flush-ms while serving\n"
+      "      --metrics-flush-ms while serving. --access-log appends one\n"
+      "      repro.svc.access v1 JSON record per request with the\n"
+      "      per-phase latency breakdown; requests at or beyond\n"
+      "      --slow-request-ms wall time are flagged slow\n"
       "\n"
       "  repro-cli watch ROOT RUN --reference REF [--rank 0]\n"
       "            (--socket PATH | --port N) [--eps 1e-6] [--chunk 64K]\n"
@@ -157,6 +161,14 @@ void print_usage() {
       "        timeline ROOT RUN_A RUN_B [--eps E] | load-run ROOT RUN\n"
       "      compare/timeline verdicts map onto exit codes 0/1 as usual;\n"
       "      stats also prints the daemon's build/uptime summary\n"
+      "\n"
+      "  repro-cli trace-merge A.json B.json --out MERGED.json\n"
+      "      join two --trace-out files (e.g. a client's and the daemon's)\n"
+      "      into one causal timeline: spans are matched by the propagated\n"
+      "      trace_id, the clock offset is estimated from matched\n"
+      "      request-span midpoints (PING round trips preferred), and the\n"
+      "      merged view shows each source file as its own process\n"
+      "      (docs/OBSERVABILITY.md)\n"
       "\n"
       "exit codes: 0 = within the error bound, 1 = divergence found,\n"
       "            2 = usage or runtime error\n");
@@ -1211,6 +1223,10 @@ int cmd_serve(const Args& args) {
   auto watch_sessions = args.get_u64("max-watch-sessions", 64);
   if (!watch_sessions.is_ok()) return fail(watch_sessions.status());
   options.max_watch_sessions = watch_sessions.value();
+  options.access_log_path = args.get("access-log", "");
+  auto slow_ms = args.get_u64("slow-request-ms", 1000);
+  if (!slow_ms.is_ok()) return fail(slow_ms.status());
+  options.slow_request_ms = slow_ms.value();
 
   svc::Server server(std::move(options));
   repro::Status status = svc::install_signal_handlers(server);
@@ -1627,6 +1643,254 @@ int cmd_client(const Args& args) {
   return 0;
 }
 
+/// Re-serializes a parsed JsonValue (used by trace-merge to re-emit trace
+/// events it did not need to understand, e.g. counter samples and args).
+void append_json_value(std::string& out, const telemetry::JsonValue& value) {
+  using Kind = telemetry::JsonValue::Kind;
+  switch (value.kind) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += value.boolean ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      repro::json_append_number(out, value.number);
+      break;
+    case Kind::kString:
+      repro::json_append_string(out, value.string);
+      break;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& item : value.array) {
+        if (!first) out += ',';
+        first = false;
+        append_json_value(out, item);
+      }
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, item] : value.object) {
+        if (!first) out += ',';
+        first = false;
+        repro::json_append_string(out, key);
+        out += ':';
+        append_json_value(out, item);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+/// One completed span reconstructed from a Chrome trace's B/E event pair,
+/// with the trace-context identity the tracer attaches to span args.
+struct MergeSpan {
+  std::string name;
+  std::string op;
+  std::string trace_id;
+  std::string span_id;
+  std::string parent_span_id;
+  double begin_us = 0;
+  double end_us = 0;
+
+  [[nodiscard]] double midpoint_us() const { return (begin_us + end_us) / 2; }
+};
+
+/// Pairs B/E events per (pid, tid) stack and returns the completed spans
+/// that carry a trace_id. Unbalanced events are tolerated and skipped.
+std::vector<MergeSpan> collect_spans(const telemetry::JsonValue& events) {
+  std::vector<MergeSpan> spans;
+  std::map<std::string, std::vector<MergeSpan>> stacks;
+  for (const auto& event : events.array) {
+    if (!event.is_object()) continue;
+    const std::string ph = event.string_or("ph", "");
+    const std::string key = std::to_string(event.u64_or("pid", 0)) + "/" +
+                            std::to_string(event.u64_or("tid", 0));
+    if (ph == "B") {
+      MergeSpan span;
+      span.name = event.string_or("name", "");
+      span.begin_us = event.number_or("ts", 0);
+      if (const telemetry::JsonValue* span_args = event.find("args")) {
+        span.op = span_args->string_or("op", "");
+        span.trace_id = span_args->string_or("trace_id", "");
+        span.span_id = span_args->string_or("span_id", "");
+        span.parent_span_id = span_args->string_or("parent_span_id", "");
+      }
+      stacks[key].push_back(std::move(span));
+    } else if (ph == "E") {
+      auto& stack = stacks[key];
+      if (stack.empty()) continue;
+      MergeSpan span = std::move(stack.back());
+      stack.pop_back();
+      span.end_us = event.number_or("ts", span.begin_us);
+      if (!span.trace_id.empty()) spans.push_back(std::move(span));
+    }
+  }
+  return spans;
+}
+
+/// Re-emits one trace event with its pid forced to `pid` and (for non-
+/// metadata events) its timestamp shifted by `ts_shift_us`.
+void append_merged_event(std::string& out, const telemetry::JsonValue& event,
+                         std::uint64_t pid, double ts_shift_us) {
+  const bool metadata = event.string_or("ph", "") == "M";
+  out += '{';
+  bool first = true;
+  bool saw_pid = false;
+  for (const auto& [key, value] : event.object) {
+    if (!first) out += ',';
+    first = false;
+    repro::json_append_string(out, key);
+    out += ':';
+    if (key == "pid") {
+      repro::json_append_number(out, pid);
+      saw_pid = true;
+    } else if (key == "ts" && !metadata &&
+               value.kind == telemetry::JsonValue::Kind::kNumber) {
+      repro::json_append_number(out, value.number + ts_shift_us);
+    } else {
+      append_json_value(out, value);
+    }
+  }
+  if (!saw_pid) {
+    if (!first) out += ',';
+    out += "\"pid\":";
+    repro::json_append_number(out, pid);
+  }
+  out += '}';
+}
+
+/// `repro-cli trace-merge A B --out MERGED`: joins two --trace-out files
+/// into one Chrome trace. Steady-clock timestamps from different processes
+/// share no epoch, so the offset applied to file B is estimated from spans
+/// the trace-context trailer causally linked across the files: a matched
+/// (parent, child) pair should be centered on the same instant under
+/// symmetric network delay, and PING round trips (no handler work) bound
+/// the estimate tightest. No matched pair ⇒ offset 0 plus a warning.
+int cmd_trace_merge(const Args& args) {
+  if (args.positional().size() < 3 || !args.has("out")) {
+    std::fprintf(stderr,
+                 "trace-merge requires A.json B.json and --out FILE\n");
+    return 2;
+  }
+  const std::string path_a = args.positional()[1];
+  const std::string path_b = args.positional()[2];
+  const std::string out_path = args.get("out", "");
+
+  std::optional<telemetry::JsonValue> docs[2];
+  const std::string* paths[2] = {&path_a, &path_b};
+  const telemetry::JsonValue* events[2] = {nullptr, nullptr};
+  for (int i = 0; i < 2; ++i) {
+    auto bytes = repro::read_file(*paths[i]);
+    if (!bytes.is_ok()) return fail(bytes.status());
+    docs[i] = telemetry::json_parse(std::string(
+        reinterpret_cast<const char*>(bytes.value().data()),
+        bytes.value().size()));
+    if (!docs[i].has_value() || !docs[i]->is_object()) {
+      std::fprintf(stderr, "error: %s is not a JSON trace document\n",
+                   paths[i]->c_str());
+      return 2;
+    }
+    events[i] = docs[i]->find("traceEvents");
+    if (events[i] == nullptr || !events[i]->is_array()) {
+      std::fprintf(stderr, "error: %s has no traceEvents array\n",
+                   paths[i]->c_str());
+      return 2;
+    }
+  }
+
+  const std::vector<MergeSpan> spans_a = collect_spans(*events[0]);
+  const std::vector<MergeSpan> spans_b = collect_spans(*events[1]);
+
+  // Matched causal pairs: same trace_id across the files, one span the
+  // direct parent of the other. The parent is the request round trip and
+  // the child the remote handler, whichever file each lives in, so the
+  // midpoint-difference formula is direction-independent.
+  double offset_sum = 0;
+  std::uint64_t offset_count = 0;
+  double ping_offset_sum = 0;
+  std::uint64_t ping_offset_count = 0;
+  for (const auto& a : spans_a) {
+    for (const auto& b : spans_b) {
+      if (a.trace_id != b.trace_id) continue;
+      const bool a_parent =
+          !a.span_id.empty() && b.parent_span_id == a.span_id;
+      const bool b_parent =
+          !b.span_id.empty() && a.parent_span_id == b.span_id;
+      if (!a_parent && !b_parent) continue;
+      const double offset = a.midpoint_us() - b.midpoint_us();
+      offset_sum += offset;
+      ++offset_count;
+      if ((a_parent ? a.op : b.op) == "PING") {
+        ping_offset_sum += offset;
+        ++ping_offset_count;
+      }
+    }
+  }
+  double offset_us = 0;
+  if (ping_offset_count > 0) {
+    offset_us = ping_offset_sum / static_cast<double>(ping_offset_count);
+  } else if (offset_count > 0) {
+    offset_us = offset_sum / static_cast<double>(offset_count);
+  } else {
+    std::fprintf(stderr,
+                 "warning: no spans share a trace_id across the files; "
+                 "merging with zero clock offset\n");
+  }
+
+  std::string merged;
+  merged.reserve(256);
+  merged += "{\"traceEvents\":[";
+  bool first = true;
+  for (int i = 0; i < 2; ++i) {
+    // Name each merged process after its source file so the viewer's
+    // process lanes identify which side emitted which spans.
+    if (!first) merged += ',';
+    first = false;
+    merged += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    merged += std::to_string(i + 1);
+    merged += ",\"tid\":0,\"args\":{\"name\":";
+    repro::json_append_string(merged, *paths[i]);
+    merged += "}}";
+    for (const auto& event : events[i]->array) {
+      if (!event.is_object()) continue;
+      merged += ',';
+      append_merged_event(merged, event, static_cast<std::uint64_t>(i + 1),
+                          i == 0 ? 0.0 : offset_us);
+    }
+  }
+  merged += "],\"otherData\":{\"clock_offset_us\":";
+  repro::json_append_number(merged, offset_us);
+  merged += ",\"matched_span_pairs\":";
+  repro::json_append_number(merged,
+                            static_cast<std::uint64_t>(offset_count));
+  merged += "}}";
+
+  const repro::Status status = repro::write_file(
+      out_path, std::span<const std::uint8_t>(
+                    reinterpret_cast<const std::uint8_t*>(merged.data()),
+                    merged.size()));
+  if (!status.is_ok()) return fail(status);
+  std::printf("merged %zu + %zu events into %s "
+              "(%llu matched span pairs, clock offset %+.1f us; "
+              "load in https://ui.perfetto.dev)\n",
+              events[0]->array.size(), events[1]->array.size(),
+              out_path.c_str(),
+              static_cast<unsigned long long>(offset_count), offset_us);
+  if (g_run_report != nullptr) {
+    g_run_report->set_verdict("merged");
+    g_run_report->add_value("matched_span_pairs",
+                            static_cast<double>(offset_count));
+    g_run_report->add_value("clock_offset_us", offset_us);
+  }
+  return 0;
+}
+
 int dispatch(const std::string& command, const Args& args) {
   if (command == "simulate") return cmd_simulate(args);
   if (command == "tree") return cmd_tree(args);
@@ -1643,6 +1907,7 @@ int dispatch(const std::string& command, const Args& args) {
   if (command == "serve") return cmd_serve(args);
   if (command == "watch") return cmd_watch(args);
   if (command == "client") return cmd_client(args);
+  if (command == "trace-merge") return cmd_trace_merge(args);
   // Explicit usage-error path: say what was wrong, then the usage text,
   // and exit 2 like every other misuse (not a silent fallthrough).
   std::fprintf(stderr, "error: unknown subcommand '%s'\n", command.c_str());

@@ -15,6 +15,7 @@
 
 #include "io/retry.hpp"
 #include "svc/monitor.hpp"
+#include "telemetry/trace.hpp"
 
 // Platforms without MSG_NOSIGNAL (macOS) would need SO_NOSIGPIPE or a
 // process-wide SIGPIPE ignore; on the targets we build for, the flag turns
@@ -109,10 +110,11 @@ void Client::close() noexcept {
 }
 
 repro::Status Client::send_request(Opcode op, std::uint64_t request_id,
-                                   std::string_view payload, bool json) {
+                                   std::string_view payload, bool json,
+                                   const WireTraceContext* trace) {
   if (fd_ < 0) return repro::failed_precondition("client is closed");
   std::vector<std::uint8_t> frame;
-  append_request(frame, op, request_id, payload, json);
+  append_request(frame, op, request_id, payload, json, trace);
   std::size_t sent = 0;
   while (sent < frame.size()) {
     const ssize_t n =
@@ -184,13 +186,30 @@ repro::Result<Response> Client::recv_response() {
 repro::Result<Response> Client::call(Opcode op, std::string_view payload,
                                      bool json) {
   const std::uint64_t request_id = next_request_id_++;
-  REPRO_RETURN_IF_ERROR(send_request(op, request_id, payload, json));
+  // The client-side request span is the root of the distributed trace: its
+  // identity rides to the daemon in the trace-context trailer, where the
+  // handler span adopts the trace id and links under this span. With
+  // tracing disabled new_root() is invalid, no trailer is sent, and the
+  // wire bytes are identical to a trailer-less peer's.
+  telemetry::TraceSpan span("svc.client.call",
+                            telemetry::TraceContext::new_root());
+  span.arg("op", opcode_name(op)).arg("id", request_id);
+  WireTraceContext trace;
+  const telemetry::TraceContext ctx = span.context();
+  if (ctx.valid()) {
+    trace.trace_lo = ctx.trace_lo;
+    trace.trace_hi = ctx.trace_hi;
+    trace.parent_span_id = ctx.span_id;
+  }
+  REPRO_RETURN_IF_ERROR(send_request(op, request_id, payload, json,
+                                     trace.valid() ? &trace : nullptr));
   // Responses on this connection are matched by request id; call() keeps
   // one request outstanding, so the next frame is ours — but skip any
   // stale frame defensively (a timed-out predecessor's late reply).
   while (true) {
     REPRO_ASSIGN_OR_RETURN(Response response, recv_response());
     if (response.request_id == request_id || response.request_id == 0) {
+      span.arg("status", wire_status_name(response.status));
       return response;
     }
   }

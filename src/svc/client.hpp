@@ -53,7 +53,10 @@ class Client {
   ~Client();
 
   /// Sends one request and blocks for its response. `json` clears the
-  /// payload-format flag for binary payloads (WATCH_PUSH).
+  /// payload-format flag for binary payloads (WATCH_PUSH). While tracing
+  /// is enabled the call is wrapped in a `svc.client.call` TraceSpan whose
+  /// identity travels to the daemon in the frame's trace-context trailer,
+  /// so server-side handler spans link under this client span.
   repro::Result<Response> call(Opcode op, std::string_view payload,
                                bool json = true);
 
@@ -67,9 +70,11 @@ class Client {
 
   /// Pipelining primitives: send without waiting / wait for the next
   /// response frame on the wire (responses arrive in completion order;
-  /// match them up via Response::request_id).
+  /// match them up via Response::request_id). `trace`, when non-null and
+  /// valid, rides as the frame's trace-context trailer.
   repro::Status send_request(Opcode op, std::uint64_t request_id,
-                             std::string_view payload, bool json = true);
+                             std::string_view payload, bool json = true,
+                             const WireTraceContext* trace = nullptr);
   repro::Result<Response> recv_response();
 
   /// Closes the socket (further calls fail). Idempotent.

@@ -20,12 +20,6 @@ namespace {
 // pair is the SLO of the monitoring plane: wall microseconds (and reference-
 // gap iterations) between a divergent push arriving and its alert existing.
 
-std::span<const double> micros_buckets() noexcept {
-  static const double buckets[] = {1.0,    10.0,   100.0,  1000.0,
-                                   1e4,    1e5,    1e6,    1e7};
-  return buckets;
-}
-
 std::span<const double> iters_buckets() noexcept {
   static const double buckets[] = {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
   return buckets;
@@ -47,9 +41,10 @@ struct WatchMetrics {
         registry.gauge("svc.watch.buffered_bytes"),
         registry.counter("svc.watch.pushes"),
         registry.counter("svc.watch.alerts_total"),
-        registry.histogram("svc.watch.push_latency_us", micros_buckets()),
+        registry.histogram("svc.watch.push_latency_us",
+                           telemetry::micros_buckets()),
         registry.histogram("svc.watch.detection_latency_us",
-                           micros_buckets()),
+                           telemetry::micros_buckets()),
         registry.histogram("svc.watch.detection_latency_iters",
                            iters_buckets()),
     };
@@ -242,7 +237,9 @@ void Monitor::publish_gauges() {
 }
 
 WatchReply Monitor::open(std::uint64_t conn_id,
-                         const std::string& json_payload) {
+                         const std::string& json_payload,
+                         const telemetry::TraceContext& parent) {
+  telemetry::TraceSpan span("svc.watch.open", parent);
   if (sessions_.find(conn_id) != sessions_.end()) {
     return bad_request("watch session already open on this connection");
   }
@@ -298,7 +295,8 @@ WatchReply Monitor::open(std::uint64_t conn_id,
   return {WireStatus::kOk, std::move(out)};
 }
 
-WatchReply Monitor::push(std::uint64_t conn_id, const std::string& payload) {
+WatchReply Monitor::push(std::uint64_t conn_id, const std::string& payload,
+                         const telemetry::TraceContext& parent) {
   const Stopwatch push_clock;
   auto it = sessions_.find(conn_id);
   if (it == sessions_.end()) {
@@ -369,7 +367,17 @@ WatchReply Monitor::push(std::uint64_t conn_id, const std::string& payload) {
   publish_gauges();
   WatchMetrics::get().pushes.increment();
 
-  WatchReply reply = compare_iteration(session, frame.iteration, push_clock);
+  WatchReply reply;
+  {
+    // Linked child of the server's svc.watch span (itself linked under the
+    // client's request span when the frame carried a trailer): the compare
+    // is the expensive part of a push, worth its own slice in the merged
+    // timeline.
+    telemetry::TraceSpan compare_span("svc.watch.compare", parent);
+    compare_span.arg("iteration", frame.iteration);
+    reply = compare_iteration(session, frame.iteration, push_clock);
+    compare_span.arg("status", wire_status_name(reply.status));
+  }
   WatchMetrics::get().push_latency_us.record(push_clock.seconds() * 1e6);
   return reply;
 }

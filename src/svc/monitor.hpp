@@ -38,6 +38,7 @@
 #include "merkle/tree.hpp"
 #include "svc/cache.hpp"
 #include "svc/wire.hpp"
+#include "telemetry/trace.hpp"
 
 namespace repro::svc {
 
@@ -105,13 +106,18 @@ class Monitor {
   Monitor& operator=(const Monitor&) = delete;
 
   /// WATCH_OPEN: {"root","run","reference","data_bytes"} plus optional
-  /// "rank", "eps", "chunk_bytes", "values_per_block".
-  WatchReply open(std::uint64_t conn_id, const std::string& json_payload);
+  /// "rank", "eps", "chunk_bytes", "values_per_block". `parent` is the
+  /// server-side span handling the verb (invalid when tracing is off or
+  /// the request carried no trace-context trailer); monitor-internal spans
+  /// link under it so a merged timeline keeps the causal chain.
+  WatchReply open(std::uint64_t conn_id, const std::string& json_payload,
+                  const telemetry::TraceContext& parent = {});
 
   /// WATCH_PUSH: binary payload (encode_watch_push). A kBadRequest reply
   /// means the digest stream is poisoned — the caller must close the
   /// connection after the reply, per the framing-violation contract.
-  WatchReply push(std::uint64_t conn_id, const std::string& payload);
+  WatchReply push(std::uint64_t conn_id, const std::string& payload,
+                  const telemetry::TraceContext& parent = {});
 
   /// WATCH_CLOSE: session summary reply; the session is torn down.
   WatchReply close(std::uint64_t conn_id);

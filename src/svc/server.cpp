@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cerrno>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <mutex>
 #include <optional>
@@ -12,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
@@ -50,29 +52,102 @@ namespace {
 // ---------------------------------------------------------------------------
 // Telemetry sites (registered once, process lifetime).
 
+/// Microseconds elapsed since `start` (fractional; steady clock).
+double us_since(std::chrono::steady_clock::time_point start) noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Per-request phase breakdown (docs/OBSERVABILITY.md). The six phases
+/// partition a request's server-side wall time: queue wait, then the
+/// handler's time split into cache lookup / sidecar load / compute /
+/// serialize, then the synchronous tx flush. `compute_us` is derived as
+/// handler wall minus the attributed phases, so the sum never undercounts
+/// work the finer stopwatches did not claim (JSON parse, catalog walks).
+struct RequestTimings {
+  double queue_us = 0;
+  double cache_lookup_us = 0;
+  double sidecar_load_us = 0;
+  double compute_us = 0;
+  double serialize_us = 0;
+  double tx_flush_us = 0;
+
+  [[nodiscard]] double sum_us() const noexcept {
+    return queue_us + cache_lookup_us + sidecar_load_us + compute_us +
+           serialize_us + tx_flush_us;
+  }
+};
+
 struct SvcMetrics {
   telemetry::Counter& requests;
   telemetry::Counter& errors;
   telemetry::Counter& rejected_frames;
   telemetry::Counter& accept_errors;
   telemetry::Histogram& request_seconds;
+  telemetry::Histogram& phase_queue;
+  telemetry::Histogram& phase_cache_lookup;
+  telemetry::Histogram& phase_sidecar_load;
+  telemetry::Histogram& phase_compute;
+  telemetry::Histogram& phase_serialize;
+  telemetry::Histogram& phase_tx_flush;
   telemetry::Gauge& connections_open;
   telemetry::Gauge& requests_inflight;
   telemetry::Gauge& cache_bytes;
 
+  void record_phases(const RequestTimings& t) noexcept {
+    phase_queue.record(t.queue_us);
+    phase_cache_lookup.record(t.cache_lookup_us);
+    phase_sidecar_load.record(t.sidecar_load_us);
+    phase_compute.record(t.compute_us);
+    phase_serialize.record(t.serialize_us);
+    phase_tx_flush.record(t.tx_flush_us);
+  }
+
   static SvcMetrics& get() {
-    auto& registry = telemetry::MetricsRegistry::global();
-    static SvcMetrics* metrics = new SvcMetrics{
-        registry.counter("svc.requests"),
-        registry.counter("svc.errors"),
-        registry.counter("svc.rejected_frames"),
-        registry.counter("svc.accept.errors"),
-        registry.histogram("svc.request.seconds",
-                           telemetry::latency_buckets_seconds()),
-        registry.gauge("svc.connections.open"),
-        registry.gauge("svc.requests.inflight"),
-        registry.gauge("svc.cache.bytes"),
-    };
+    static SvcMetrics* metrics = [] {
+      auto& registry = telemetry::MetricsRegistry::global();
+      registry.describe("svc.request.phase.queue_us",
+                        "Microseconds a request waited between frame decode "
+                        "and a worker picking it up.");
+      registry.describe("svc.request.phase.cache_lookup_us",
+                        "Microseconds spent in metadata-cache lookups "
+                        "(excluding loader time on a miss).");
+      registry.describe("svc.request.phase.sidecar_load_us",
+                        "Microseconds spent loading and mapping sidecars on "
+                        "cache misses.");
+      registry.describe("svc.request.phase.compute_us",
+                        "Microseconds of handler compute: payload parse, "
+                        "compare and timeline work.");
+      registry.describe("svc.request.phase.serialize_us",
+                        "Microseconds spent building the response payload.");
+      registry.describe("svc.request.phase.tx_flush_us",
+                        "Microseconds spent flushing the response to the "
+                        "socket on the loop thread.");
+      return new SvcMetrics{
+          registry.counter("svc.requests"),
+          registry.counter("svc.errors"),
+          registry.counter("svc.rejected_frames"),
+          registry.counter("svc.accept.errors"),
+          registry.histogram("svc.request.seconds",
+                             telemetry::latency_buckets_seconds()),
+          registry.histogram("svc.request.phase.queue_us",
+                             telemetry::micros_buckets()),
+          registry.histogram("svc.request.phase.cache_lookup_us",
+                             telemetry::micros_buckets()),
+          registry.histogram("svc.request.phase.sidecar_load_us",
+                             telemetry::micros_buckets()),
+          registry.histogram("svc.request.phase.compute_us",
+                             telemetry::micros_buckets()),
+          registry.histogram("svc.request.phase.serialize_us",
+                             telemetry::micros_buckets()),
+          registry.histogram("svc.request.phase.tx_flush_us",
+                             telemetry::micros_buckets()),
+          registry.gauge("svc.connections.open"),
+          registry.gauge("svc.requests.inflight"),
+          registry.gauge("svc.cache.bytes"),
+      };
+    }();
     return *metrics;
   }
 };
@@ -88,6 +163,18 @@ repro::Status set_nonblocking(int fd) {
   }
   ::fcntl(fd, F_SETFD, FD_CLOEXEC);
   return repro::Status::ok();
+}
+
+/// Printable peer identity for the access log: "tcp:ip:port" for TCP
+/// clients, "unix" for unix-domain peers (anonymous by design).
+std::string peer_name(const sockaddr_storage& addr) {
+  if (addr.ss_family == AF_INET) {
+    const auto& in = reinterpret_cast<const sockaddr_in&>(addr);
+    char buf[INET_ADDRSTRLEN] = {};
+    ::inet_ntop(AF_INET, &in.sin_addr, buf, sizeof(buf));
+    return std::string("tcp:") + buf + ":" + std::to_string(ntohs(in.sin_port));
+  }
+  return "unix";
 }
 
 // ---------------------------------------------------------------------------
@@ -286,6 +373,7 @@ struct Server::Impl {
 
   struct Connection {
     std::uint64_t id = 0;
+    std::string peer;
     std::vector<std::uint8_t> rx;
     std::vector<std::uint8_t> tx;
     std::size_t tx_off = 0;
@@ -297,6 +385,12 @@ struct Server::Impl {
     int fd = -1;
     std::uint64_t conn_id = 0;
     std::uint64_t request_id = 0;
+    Opcode op = Opcode::kPing;
+    /// Client trace identity from the request's trace-context trailer
+    /// (invalid when the peer sent none); echoed into the access record.
+    WireTraceContext trace;
+    std::uint64_t bytes_in = 0;
+    std::chrono::steady_clock::time_point enqueued_at;
     std::chrono::steady_clock::time_point deadline;
   };
 
@@ -304,6 +398,8 @@ struct Server::Impl {
     std::uint64_t ticket = 0;
     WireStatus status = WireStatus::kOk;
     std::string payload;
+    RequestTimings timings;
+    bool cache_hit = false;
   };
 
   ServerOptions options;
@@ -507,7 +603,10 @@ struct Server::Impl {
   void accept_ready() {
     unsigned transient_faults = 0;
     while (true) {
-      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      sockaddr_storage addr{};
+      socklen_t addr_len = sizeof(addr);
+      const int fd = ::accept(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                              &addr_len);
       if (fd < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) return;
         if (io::errno_is_interrupt(errno) || errno == ECONNABORTED) continue;
@@ -529,6 +628,7 @@ struct Server::Impl {
       }
       Connection conn;
       conn.id = next_conn_id++;
+      conn.peer = peer_name(addr);
       connections.emplace(fd, std::move(conn));
       poller->add(fd, false);
     }
@@ -601,11 +701,16 @@ struct Server::Impl {
       // before send_response — it may drop the connection internally.
       SvcMetrics::get().rejected_frames.increment();
       const char* reason =
-          outcome == DecodeOutcome::kBadMagic      ? "bad magic"
-          : outcome == DecodeOutcome::kBadVersion  ? "unsupported version"
-                                                   : "oversized frame";
+          outcome == DecodeOutcome::kBadMagic     ? "bad magic"
+          : outcome == DecodeOutcome::kBadVersion ? "unsupported version"
+          : outcome == DecodeOutcome::kBadTraceContext
+              ? "malformed trace context"
+              : "oversized frame";
       const std::uint64_t request_id =
-          outcome == DecodeOutcome::kOversized ? frame.header.request_id : 0;
+          outcome == DecodeOutcome::kOversized ||
+                  outcome == DecodeOutcome::kBadTraceContext
+              ? frame.header.request_id
+              : 0;
       conn.rx.clear();
       conn.close_after_flush = true;
       send_response(fd, conn, WireStatus::kBadRequest, request_id,
@@ -691,27 +796,126 @@ struct Server::Impl {
     for (const int fd : fds) drop_connection(fd);
   }
 
+  // ---- access log ------------------------------------------------------
+
+  /// Appends one `repro.svc.access` v1 record (flat JSON, one line) to the
+  /// configured access log. Loop-thread only, so plain append semantics
+  /// suffice; a failed write degrades to a warning — the response already
+  /// went out, losing a log line must not fail the request.
+  void emit_access(std::string_view verb, WireStatus status,
+                   std::uint64_t request_id, std::uint64_t conn_id,
+                   std::string_view peer, std::uint64_t bytes_in,
+                   std::uint64_t bytes_out, double wall_us,
+                   const RequestTimings& t, bool cache_hit,
+                   const WireTraceContext& trace) {
+    if (options.access_log_path.empty()) return;
+    std::string line = "{";
+    bool first = true;
+    append_kv(line, "schema", "repro.svc.access", &first);
+    append_kv(line, "version", std::uint64_t{1}, &first);
+    append_kv(line, "verb", verb, &first);
+    append_kv(line, "status", wire_status_name(status), &first);
+    append_kv(line, "request_id", request_id, &first);
+    append_kv(line, "conn", conn_id, &first);
+    append_kv(line, "peer", peer, &first);
+    append_kv(line, "bytes_in", bytes_in, &first);
+    append_kv(line, "bytes_out", bytes_out, &first);
+    append_kv(line, "wall_us", wall_us, &first);
+    append_kv(line, "queue_us", t.queue_us, &first);
+    append_kv(line, "cache_lookup_us", t.cache_lookup_us, &first);
+    append_kv(line, "sidecar_load_us", t.sidecar_load_us, &first);
+    append_kv(line, "compute_us", t.compute_us, &first);
+    append_kv(line, "serialize_us", t.serialize_us, &first);
+    append_kv(line, "tx_flush_us", t.tx_flush_us, &first);
+    append_kv_bool(line, "cache_hit", cache_hit, &first);
+    append_kv_bool(
+        line, "slow",
+        wall_us >= static_cast<double>(options.slow_request_ms) * 1000.0,
+        &first);
+    if (trace.valid()) {
+      const telemetry::TraceContext ctx{trace.trace_hi, trace.trace_lo, 0};
+      append_kv(line, "trace_id", ctx.trace_id_hex(), &first);
+      append_kv(line, "parent_span_id",
+                telemetry::span_id_hex(trace.parent_span_id), &first);
+    }
+    line += "}\n";
+    FILE* file = std::fopen(options.access_log_path.string().c_str(), "ab");
+    if (file == nullptr) {
+      REPRO_LOG_WARN << "access log open failed: "
+                     << options.access_log_path.string();
+      return;
+    }
+    if (std::fwrite(line.data(), 1, line.size(), file) != line.size()) {
+      REPRO_LOG_WARN << "access log write failed: "
+                     << options.access_log_path.string();
+    }
+    std::fclose(file);
+  }
+
+  /// Inline replies (answered on the loop thread, no ticket) funnel through
+  /// here so PING/STATS/METRICS and immediate errors land in the access log
+  /// and phase histograms alongside dispatched work. The caller fills in
+  /// whatever phases it measured (serialize, compute); tx flush and wall
+  /// time are measured here. May drop the connection via send_response —
+  /// conn state is snapshotted first.
+  void reply_logged(int fd, Connection& conn, std::string_view verb,
+                    WireStatus status, const DecodedFrame& frame,
+                    std::string_view payload, RequestTimings t,
+                    std::chrono::steady_clock::time_point received_at,
+                    bool json = true) {
+    const std::uint64_t conn_id = conn.id;
+    const std::string peer = conn.peer;
+    const std::uint64_t bytes_out = kFrameHeaderBytes + payload.size();
+    // The server-side handler span for inline verbs. Linking under the
+    // client's request span (via the trace-context trailer, when present)
+    // is what lets trace-merge join the two --trace-out files — PING pairs
+    // especially, which anchor the clock-offset estimate.
+    telemetry::TraceSpan span(
+        "svc.request",
+        telemetry::TraceContext{frame.trace.trace_hi, frame.trace.trace_lo,
+                                frame.trace.parent_span_id});
+    span.arg("op", verb)
+        .arg("id", frame.header.request_id)
+        .arg("status", wire_status_name(status));
+    Stopwatch tx_clock;
+    send_response(fd, conn, status, frame.header.request_id, payload, json);
+    t.tx_flush_us = tx_clock.seconds() * 1e6;
+    SvcMetrics::get().record_phases(t);
+    emit_access(verb, status, frame.header.request_id, conn_id, peer,
+                frame.frame_bytes, bytes_out, us_since(received_at), t,
+                /*cache_hit=*/false, frame.trace);
+  }
+
   // ---- request handling ------------------------------------------------
 
   void handle_frame(int fd, Connection& conn, const DecodedFrame& frame) {
     SvcMetrics::get().requests.increment();
+    const auto received_at = std::chrono::steady_clock::now();
     const std::uint64_t request_id = frame.header.request_id;
     if (frame.header.is_response()) {
-      send_response(fd, conn, WireStatus::kBadRequest, request_id,
-                    error_payload("response frame sent to server"));
+      reply_logged(fd, conn, "RESPONSE", WireStatus::kBadRequest, frame,
+                   error_payload("response frame sent to server"),
+                   RequestTimings{}, received_at);
       return;
     }
     const auto op = static_cast<Opcode>(frame.header.code);
     switch (op) {
       case Opcode::kPing:
-        send_response(fd, conn, WireStatus::kOk, request_id, "{\"ok\":true}");
+        reply_logged(fd, conn, opcode_name(op), WireStatus::kOk, frame,
+                     "{\"ok\":true}", RequestTimings{}, received_at);
         return;
-      case Opcode::kStats:
-        send_response(fd, conn, WireStatus::kOk, request_id, stats_payload());
+      case Opcode::kStats: {
+        RequestTimings t;
+        Stopwatch serialize_clock;
+        const std::string payload = stats_payload();
+        t.serialize_us = serialize_clock.seconds() * 1e6;
+        reply_logged(fd, conn, opcode_name(op), WireStatus::kOk, frame,
+                     payload, t, received_at);
         return;
+      }
       case Opcode::kShutdown:
-        send_response(fd, conn, WireStatus::kOk, request_id,
-                      "{\"draining\":true}");
+        reply_logged(fd, conn, opcode_name(op), WireStatus::kOk, frame,
+                     "{\"draining\":true}", RequestTimings{}, received_at);
         stop_requested.store(true, std::memory_order_relaxed);
         return;
       case Opcode::kMetrics: {
@@ -719,10 +923,13 @@ struct Server::Impl {
         // payload is plain text, so the JSON flag stays clear.
         telemetry::TraceSpan span("svc.metrics");
         span.arg("id", request_id);
-        send_response(fd, conn, WireStatus::kOk, request_id,
-                      telemetry::render_prometheus(
-                          telemetry::MetricsRegistry::global().snapshot()),
-                      /*json=*/false);
+        RequestTimings t;
+        Stopwatch serialize_clock;
+        const std::string payload = telemetry::render_prometheus(
+            telemetry::MetricsRegistry::global().snapshot());
+        t.serialize_us = serialize_clock.seconds() * 1e6;
+        reply_logged(fd, conn, opcode_name(op), WireStatus::kOk, frame,
+                     payload, t, received_at, /*json=*/false);
         return;
       }
       case Opcode::kWatchOpen:
@@ -732,8 +939,9 @@ struct Server::Impl {
         // frontier updates are cheap digest work and per-connection push
         // ordering falls out of the single-threaded dispatch.
         if (draining) {
-          send_response(fd, conn, WireStatus::kShuttingDown, request_id,
-                        error_payload("daemon is draining"));
+          reply_logged(fd, conn, opcode_name(op), WireStatus::kShuttingDown,
+                       frame, error_payload("daemon is draining"),
+                       RequestTimings{}, received_at);
           return;
         }
         handle_watch(fd, conn, op, frame);
@@ -744,20 +952,23 @@ struct Server::Impl {
         break;
       default:
         SvcMetrics::get().errors.increment();
-        send_response(fd, conn, WireStatus::kBadRequest, request_id,
-                      error_payload("unknown opcode"));
+        reply_logged(fd, conn, opcode_name(op), WireStatus::kBadRequest,
+                     frame, error_payload("unknown opcode"), RequestTimings{},
+                     received_at);
         return;
     }
 
     if (draining) {
-      send_response(fd, conn, WireStatus::kShuttingDown, request_id,
-                    error_payload("daemon is draining"));
+      reply_logged(fd, conn, opcode_name(op), WireStatus::kShuttingDown,
+                   frame, error_payload("daemon is draining"),
+                   RequestTimings{}, received_at);
       return;
     }
     if (conn.inflight >= options.max_inflight_per_client) {
       SvcMetrics::get().errors.increment();
-      send_response(fd, conn, WireStatus::kTooManyRequests, request_id,
-                    error_payload("per-client in-flight cap reached"));
+      reply_logged(fd, conn, opcode_name(op), WireStatus::kTooManyRequests,
+                   frame, error_payload("per-client in-flight cap reached"),
+                   RequestTimings{}, received_at);
       return;
     }
 
@@ -766,20 +977,38 @@ struct Server::Impl {
     ticket.fd = fd;
     ticket.conn_id = conn.id;
     ticket.request_id = request_id;
-    ticket.deadline =
-        std::chrono::steady_clock::now() + options.request_timeout;
+    ticket.op = op;
+    ticket.trace = frame.trace;
+    ticket.bytes_in = frame.frame_bytes;
+    ticket.enqueued_at = received_at;
+    ticket.deadline = received_at + options.request_timeout;
     tickets.emplace(ticket_id, ticket);
     ++conn.inflight;
 
-    pool->submit([this, ticket_id, op, request_id,
-                  payload = frame.payload]() {
-      telemetry::TraceSpan span("svc.request");
-      span.arg("op", opcode_name(op)).arg("id", request_id);
-      Stopwatch clock;
+    pool->submit([this, ticket_id, op, request_id, received_at,
+                  trace = frame.trace, payload = frame.payload]() {
       Completion done;
       done.ticket = ticket_id;
+      done.timings.queue_us = us_since(received_at);
+      // The handler span adopts the trace identity from the request's
+      // trace-context trailer (when present) and links under the client's
+      // request span, so both processes' --trace-out files join into one
+      // causal timeline. A trailer-less request gets a plain root span.
+      telemetry::TraceSpan span(
+          "svc.request",
+          telemetry::TraceContext{trace.trace_hi, trace.trace_lo,
+                                  trace.parent_span_id});
+      span.arg("op", opcode_name(op)).arg("id", request_id);
+      Stopwatch clock;
       run_handler(op, payload, &done);
+      const double handler_us = clock.seconds() * 1e6;
       SvcMetrics::get().request_seconds.record(clock.seconds());
+      // Whatever the finer stopwatches did not claim (payload parse,
+      // catalog walks, the compare itself) is compute: the phases then
+      // partition the handler's wall time exactly.
+      done.timings.compute_us = std::max(
+          0.0, handler_us - done.timings.cache_lookup_us -
+                   done.timings.sidecar_load_us - done.timings.serialize_us);
       if (done.status != WireStatus::kOk) {
         SvcMetrics::get().errors.increment();
       }
@@ -793,24 +1022,32 @@ struct Server::Impl {
   }
 
   /// WATCH_OPEN / WATCH_PUSH / WATCH_CLOSE, inline on the loop thread. The
-  /// span carries the client's request_id, so a slow push is attributable
-  /// end-to-end in the Chrome trace.
+  /// span carries the client's request_id — and, when the frame arrived
+  /// with a trace-context trailer, links under the client's request span —
+  /// so a slow push is attributable end-to-end in the merged trace.
   void handle_watch(int fd, Connection& conn, Opcode op,
                     const DecodedFrame& frame) {
-    telemetry::TraceSpan span("svc.watch");
+    const auto received_at = std::chrono::steady_clock::now();
+    telemetry::TraceSpan span(
+        "svc.watch",
+        telemetry::TraceContext{frame.trace.trace_hi, frame.trace.trace_lo,
+                                frame.trace.parent_span_id});
     span.arg("op", opcode_name(op)).arg("id", frame.header.request_id);
+    RequestTimings t;
+    Stopwatch compute_clock;
     WatchReply reply;
     switch (op) {
       case Opcode::kWatchOpen:
-        reply = monitor.open(conn.id, frame.payload);
+        reply = monitor.open(conn.id, frame.payload, span.context());
         break;
       case Opcode::kWatchPush:
-        reply = monitor.push(conn.id, frame.payload);
+        reply = monitor.push(conn.id, frame.payload, span.context());
         break;
       default:
         reply = monitor.close(conn.id);
         break;
     }
+    t.compute_us = compute_clock.seconds() * 1e6;
     span.arg("status", wire_status_name(reply.status));
     if (reply.status != WireStatus::kOk) {
       SvcMetrics::get().errors.increment();
@@ -825,8 +1062,8 @@ struct Server::Impl {
         conn.close_after_flush = true;
       }
     }
-    send_response(fd, conn, reply.status, frame.header.request_id,
-                  reply.payload);
+    reply_logged(fd, conn, opcode_name(op), reply.status, frame,
+                 reply.payload, t, received_at);
   }
 
   void apply_completions() {
@@ -837,7 +1074,12 @@ struct Server::Impl {
     }
     for (auto& done : batch) {
       auto it = tickets.find(done.ticket);
-      if (it == tickets.end()) continue;  // timed out or client vanished
+      if (it == tickets.end()) {
+        // Timed out or client vanished: the response has nowhere to go,
+        // but the work happened — the phase histograms still count it.
+        SvcMetrics::get().record_phases(done.timings);
+        continue;
+      }
       const Ticket ticket = it->second;
       tickets.erase(it);
       auto conn_it = connections.find(ticket.fd);
@@ -846,8 +1088,19 @@ struct Server::Impl {
         continue;
       }
       if (conn_it->second.inflight > 0) --conn_it->second.inflight;
+      // Snapshot before send_response: it may drop the connection.
+      const std::string peer = conn_it->second.peer;
+      const std::uint64_t bytes_out =
+          kFrameHeaderBytes + done.payload.size();
+      Stopwatch tx_clock;
       send_response(ticket.fd, conn_it->second, done.status,
                     ticket.request_id, done.payload);
+      done.timings.tx_flush_us = tx_clock.seconds() * 1e6;
+      SvcMetrics::get().record_phases(done.timings);
+      emit_access(opcode_name(ticket.op), done.status, ticket.request_id,
+                  ticket.conn_id, peer, ticket.bytes_in, bytes_out,
+                  us_since(ticket.enqueued_at), done.timings, done.cache_hit,
+                  ticket.trace);
     }
   }
 
@@ -867,8 +1120,18 @@ struct Server::Impl {
         continue;
       }
       if (conn_it->second.inflight > 0) --conn_it->second.inflight;
+      const std::string peer = conn_it->second.peer;
+      const std::string payload = error_payload("request timed out");
       send_response(ticket.fd, conn_it->second, WireStatus::kDeadlineExceeded,
-                    ticket.request_id, error_payload("request timed out"));
+                    ticket.request_id, payload);
+      // The handler is still running; its phases land in the histograms
+      // when it completes (the completion is then dropped). The access
+      // record carries zero phases — the wall time is the story here.
+      emit_access(opcode_name(ticket.op), WireStatus::kDeadlineExceeded,
+                  ticket.request_id, ticket.conn_id, peer, ticket.bytes_in,
+                  kFrameHeaderBytes + payload.size(),
+                  us_since(ticket.enqueued_at), RequestTimings{},
+                  /*cache_hit=*/false, ticket.trace);
     }
   }
 
@@ -911,9 +1174,12 @@ struct Server::Impl {
   /// Pin (or load) both sides' trees and run the two-stage compare with
   /// preloaded metadata. Sidecar-less checkpoints fall back to the
   /// comparator's build-on-the-fly path and are cached on the next query.
+  /// `timings` accumulates the cache-lookup / sidecar-load split: loader
+  /// time on a miss counts as sidecar load, the remainder of get_or_load
+  /// as cache lookup.
   repro::Result<cmp::CompareReport> cached_compare(
       const ckpt::CheckpointPair& pair, const cmp::CompareOptions& opts,
-      bool* hit_a, bool* hit_b) {
+      bool* hit_a, bool* hit_b, RequestTimings* timings) {
     cmp::PreloadedMetadata preloaded;
     auto pin = [&](const std::filesystem::path& metadata_path, bool* hit)
         -> repro::Result<cmp::PinnedTree> {
@@ -926,11 +1192,19 @@ struct Server::Impl {
       // valid for the duration of the compare even if the shard evicts
       // this entry concurrently. Warm hits hand back the resident mapping
       // (or the already-resolved chain) with zero parse work.
+      double load_us = 0;
       auto load = [&]() -> repro::Result<merkle::MappedBundle> {
-        return open_sidecar(metadata_path, sidecar.differential);
+        Stopwatch load_clock;
+        auto bundle = open_sidecar(metadata_path, sidecar.differential);
+        load_us = load_clock.seconds() * 1e6;
+        return bundle;
       };
+      Stopwatch lookup_clock;
       REPRO_ASSIGN_OR_RETURN(BundlePtr bundle,
                              cache.get_or_load(sidecar.key, load, hit));
+      timings->cache_lookup_us +=
+          std::max(0.0, lookup_clock.seconds() * 1e6 - load_us);
+      timings->sidecar_load_us += load_us;
       REPRO_ASSIGN_OR_RETURN(const merkle::TreeView view,
                              bundle->sole_tree());
       return cmp::PinnedTree{view, std::move(bundle)};
@@ -989,13 +1263,15 @@ struct Server::Impl {
     bool hit_a = false;
     bool hit_b = false;
     auto result = cached_compare(pair, request_options(request), &hit_a,
-                                 &hit_b);
+                                 &hit_b, &done->timings);
     if (!result.is_ok()) {
       done->status = wire_status_for(result.status());
       done->payload = error_payload(result.status().to_string());
       return;
     }
+    done->cache_hit = hit_a && hit_b;
     const cmp::CompareReport& report = result.value();
+    Stopwatch serialize_clock;
     std::string out = "{";
     bool first = true;
     const bool identical = report.identical_within_bound();
@@ -1016,6 +1292,7 @@ struct Server::Impl {
     append_kv(out, "total_seconds", report.total_seconds, &first);
     out += '}';
     done->payload = std::move(out);
+    done->timings.serialize_us += serialize_clock.seconds() * 1e6;
   }
 
   /// TIMELINE: {"root","run_a","run_b"}; optional "eps". Pairs leniently
@@ -1046,7 +1323,8 @@ struct Server::Impl {
     for (const auto& pair : pairing.value().pairs) {
       bool hit_a = false;
       bool hit_b = false;
-      auto result = cached_compare(pair, opts, &hit_a, &hit_b);
+      auto result = cached_compare(pair, opts, &hit_a, &hit_b,
+                                   &done->timings);
       if (!result.is_ok()) {
         done->status = wire_status_for(result.status());
         done->payload = error_payload(result.status().to_string());
@@ -1073,7 +1351,11 @@ struct Server::Impl {
       rows += '}';
     }
     rows += ']';
+    done->cache_hit =
+        !pairing.value().pairs.empty() &&
+        cache_hits == 2 * std::uint64_t{pairing.value().pairs.size()};
 
+    Stopwatch serialize_clock;
     std::string out = "{\"pairs\":" + rows;
     out += ",\"first_divergent_iteration\":";
     if (first_iteration.has_value()) {
@@ -1096,6 +1378,7 @@ struct Server::Impl {
               std::uint64_t{pairing.value().only_in_b.size()}, &tail);
     out += '}';
     done->payload = std::move(out);
+    done->timings.serialize_us += serialize_clock.seconds() * 1e6;
   }
 
   /// LOAD_RUN: {"root","run"} — pre-warm the cache with every sidecar of
@@ -1126,10 +1409,20 @@ struct Server::Impl {
       }
       bool hit = false;
       const SidecarKey sidecar = sidecar_cache_key(ref.metadata_path);
+      double load_us = 0;
+      Stopwatch lookup_clock;
       auto bundle = cache.get_or_load(
           sidecar.key,
-          [&] { return open_sidecar(ref.metadata_path, sidecar.differential); },
+          [&] {
+            Stopwatch load_clock;
+            auto opened = open_sidecar(ref.metadata_path, sidecar.differential);
+            load_us = load_clock.seconds() * 1e6;
+            return opened;
+          },
           &hit);
+      done->timings.cache_lookup_us +=
+          std::max(0.0, lookup_clock.seconds() * 1e6 - load_us);
+      done->timings.sidecar_load_us += load_us;
       if (!bundle.is_ok()) {
         done->status = wire_status_for(bundle.status());
         done->payload = error_payload(bundle.status().to_string());
@@ -1138,6 +1431,8 @@ struct Server::Impl {
       bytes += bundle.value()->resident_bytes();
       hit ? ++already : ++loaded;
     }
+    done->cache_hit = loaded == 0 && already > 0;
+    Stopwatch serialize_clock;
     std::string out = "{";
     bool first = true;
     append_kv(out, "loaded", loaded, &first);
@@ -1146,6 +1441,7 @@ struct Server::Impl {
     append_kv(out, "metadata_bytes", bytes, &first);
     out += '}';
     done->payload = std::move(out);
+    done->timings.serialize_us += serialize_clock.seconds() * 1e6;
   }
 
   std::string stats_payload() {

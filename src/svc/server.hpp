@@ -80,6 +80,17 @@ struct ServerOptions {
 
   /// Concurrent WATCH session cap (one session per connection).
   std::size_t max_watch_sessions = 64;
+
+  /// Structured access log: one flat JSON record per completed request
+  /// (`repro.svc.access` v1, docs/OBSERVABILITY.md) appended here, carrying
+  /// the per-phase latency breakdown and — when the request arrived with a
+  /// trace-context trailer — the client's trace identity. Empty disables.
+  std::filesystem::path access_log_path;
+
+  /// Requests whose wall time reaches this many milliseconds are flagged
+  /// `"slow": true` in their access record, so tail-latency forensics can
+  /// grep the log instead of replaying traffic.
+  std::uint64_t slow_request_ms = 1000;
 };
 
 class Server {

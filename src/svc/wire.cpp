@@ -72,31 +72,39 @@ const char* wire_status_name(WireStatus status) noexcept {
 }
 
 void append_frame(std::vector<std::uint8_t>& out, const FrameHeader& header,
-                  std::string_view payload) {
+                  std::string_view payload, const WireTraceContext* trace) {
+  const bool with_trace = trace != nullptr && trace->valid();
   // Grow geometrically when appending to a nonempty buffer: an exact-size
   // reserve per frame would defeat amortized growth and make repeated
   // appends to one backlogged tx buffer quadratic.
-  const std::size_t needed = out.size() + kFrameHeaderBytes + payload.size();
+  const std::size_t needed = out.size() + kFrameHeaderBytes + payload.size() +
+                             (with_trace ? kTraceContextBytes : 0);
   if (needed > out.capacity()) {
     out.reserve(std::max(needed, out.capacity() * 2));
   }
   out.insert(out.end(), kWireMagic, kWireMagic + 4);
   put_u16(out, header.version);
   put_u16(out, header.code);
-  put_u32(out, header.flags);
+  put_u32(out, with_trace ? header.flags | kFlagTraceContext
+                          : header.flags & ~kFlagTraceContext);
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
   put_u64(out, header.request_id);
   out.insert(out.end(), payload.begin(), payload.end());
+  if (with_trace) {
+    put_u64(out, trace->trace_lo);
+    put_u64(out, trace->trace_hi);
+    put_u64(out, trace->parent_span_id);
+  }
 }
 
 void append_request(std::vector<std::uint8_t>& out, Opcode op,
                     std::uint64_t request_id, std::string_view payload,
-                    bool json) {
+                    bool json, const WireTraceContext* trace) {
   FrameHeader header;
   header.code = static_cast<std::uint16_t>(op);
   header.flags = payload.empty() || !json ? 0 : kFlagJsonPayload;
   header.request_id = request_id;
-  append_frame(out, header, payload);
+  append_frame(out, header, payload, trace);
 }
 
 void append_response(std::vector<std::uint8_t>& out, WireStatus status,
@@ -140,15 +148,29 @@ DecodeOutcome decode_frame(std::span<const std::uint8_t> buffer,
   frame->header.request_id = buffer.size() >= kFrameHeaderBytes
                                  ? get_u64(buffer.data() + 16)
                                  : 0;
+  // The flags field lives in the 16-byte prefix, so trailer bytes are part
+  // of the early oversize check: a hostile peer cannot smuggle extra bytes
+  // past max_frame_bytes by flagging a trailer.
+  const std::uint64_t trailer_bytes =
+      frame->header.has_trace_context() ? kTraceContextBytes : 0;
   const std::uint64_t total =
-      kFrameHeaderBytes + static_cast<std::uint64_t>(
-                              frame->header.payload_bytes);
+      kFrameHeaderBytes +
+      static_cast<std::uint64_t>(frame->header.payload_bytes) + trailer_bytes;
   if (total > max_frame_bytes) return DecodeOutcome::kOversized;
   if (buffer.size() < kFrameHeaderBytes) return DecodeOutcome::kNeedMoreData;
   if (buffer.size() < total) return DecodeOutcome::kNeedMoreData;
   frame->payload.assign(
       reinterpret_cast<const char*>(buffer.data()) + kFrameHeaderBytes,
       frame->header.payload_bytes);
+  frame->trace = WireTraceContext{};
+  if (trailer_bytes != 0) {
+    const std::uint8_t* trailer =
+        buffer.data() + kFrameHeaderBytes + frame->header.payload_bytes;
+    frame->trace.trace_lo = get_u64(trailer);
+    frame->trace.trace_hi = get_u64(trailer + 8);
+    frame->trace.parent_span_id = get_u64(trailer + 16);
+    if (!frame->trace.valid()) return DecodeOutcome::kBadTraceContext;
+  }
   frame->frame_bytes = static_cast<std::size_t>(total);
   return DecodeOutcome::kFrame;
 }

@@ -7,16 +7,23 @@
 //   0       4     magic "RSVC"
 //   4       2     version (little-endian u16, currently 1)
 //   6       2     code    (request: Opcode; response: WireStatus)
-//   8       4     flags   (bit 0: response, bit 1: payload is JSON)
-//   12      4     payload_bytes
+//   8       4     flags   (bit 0: response, bit 1: payload is JSON,
+//                          bit 2: trace-context trailer follows payload)
+//   12      4     payload_bytes (payload only; excludes the trailer)
 //   16      8     request_id (echoed verbatim in the response)
 //   24      payload_bytes of payload
+//   +0      24    optional trace-context trailer (only when bit 2 is set):
+//                 trace_id lo u64, trace_id hi u64, parent_span_id u64
 //
 // All integers are little-endian regardless of host order. The fixed-size
 // header makes framing trivial to validate before any payload is buffered:
 // a reader can reject garbage (bad magic/version) after 8 bytes and
 // oversized frames after 16, without allocating payload space — the
 // daemon's first line of defense against malformed or hostile peers.
+// The trailer is strictly optional: peers that never set kFlagTraceContext
+// interoperate with trace-aware peers unchanged, and the flags field is
+// decodable from the same 16-byte prefix, so the early oversize rejection
+// accounts for trailer bytes too.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +45,25 @@ inline constexpr std::uint32_t kDefaultMaxFrameBytes = 16u << 20;
 
 inline constexpr std::uint32_t kFlagResponse = 1u << 0;
 inline constexpr std::uint32_t kFlagJsonPayload = 1u << 1;
+/// A 24-byte trace-context trailer follows the payload.
+inline constexpr std::uint32_t kFlagTraceContext = 1u << 2;
+
+/// Size of the optional trace-context trailer.
+inline constexpr std::size_t kTraceContextBytes = 24;
+
+/// Wire form of a propagated trace context: a 128-bit trace id plus the
+/// sender's span id (which becomes the receiver's parent span). A context
+/// with an all-zero trace id is meaningless; encoders must not emit one and
+/// decoders reject it (DecodeOutcome::kBadTraceContext).
+struct WireTraceContext {
+  std::uint64_t trace_lo = 0;        ///< trace_id bytes [0, 8), LE
+  std::uint64_t trace_hi = 0;        ///< trace_id bytes [8, 16), LE
+  std::uint64_t parent_span_id = 0;  ///< trailer bytes [16, 24), LE
+
+  [[nodiscard]] bool valid() const noexcept {
+    return (trace_lo | trace_hi) != 0;
+  }
+};
 
 enum class Opcode : std::uint16_t {
   kPing = 1,      ///< liveness probe; empty payload
@@ -76,17 +102,26 @@ struct FrameHeader {
   [[nodiscard]] bool is_response() const noexcept {
     return (flags & kFlagResponse) != 0;
   }
+  [[nodiscard]] bool has_trace_context() const noexcept {
+    return (flags & kFlagTraceContext) != 0;
+  }
 };
 
-/// Appends one complete frame (header + payload) to `out`.
+/// Appends one complete frame (header + payload, plus the trace-context
+/// trailer when `trace` is non-null and valid — the flag bit is set
+/// automatically). A null or invalid `trace` emits exactly the pre-trailer
+/// byte stream.
 void append_frame(std::vector<std::uint8_t>& out, const FrameHeader& header,
-                  std::string_view payload);
+                  std::string_view payload,
+                  const WireTraceContext* trace = nullptr);
 
 /// Request frame: code = opcode, JSON payload flag set when non-empty and
 /// `json` (WATCH_PUSH requests carry a binary digest payload instead).
+/// `trace`, when non-null and valid, appends the trace-context trailer.
 void append_request(std::vector<std::uint8_t>& out, Opcode op,
                     std::uint64_t request_id, std::string_view payload,
-                    bool json = true);
+                    bool json = true,
+                    const WireTraceContext* trace = nullptr);
 
 /// Response frame: code = status, response flag set. `json` controls the
 /// payload-format flag: METRICS replies carry Prometheus text, not JSON.
@@ -97,7 +132,9 @@ void append_response(std::vector<std::uint8_t>& out, WireStatus status,
 struct DecodedFrame {
   FrameHeader header;
   std::string payload;
-  /// Total bytes consumed from the buffer (header + payload).
+  /// Trailer contents; valid() only when the frame carried one.
+  WireTraceContext trace;
+  /// Total bytes consumed from the buffer (header + payload + trailer).
   std::size_t frame_bytes = 0;
 };
 
@@ -109,11 +146,15 @@ enum class DecodeOutcome {
   kOversized,     ///< declared size exceeds max_frame_bytes; decoded header
                   ///< fields are valid in *frame for error replies
                   ///< (request_id when its 8 bytes have arrived, else 0)
+  kBadTraceContext,  ///< trailer flag set but the trace id is all-zero —
+                     ///< a malformed trailer, treated like bad framing
 };
 
 /// Attempts to decode one frame from the front of `buffer`. Garbage is
 /// detected as early as the prefix allows: magic after 4 bytes, version
-/// after 6, oversize after 16 — before any payload accumulates.
+/// after 6, oversize after 16 (trailer bytes included in the size check,
+/// since the flags live in the same prefix) — before any payload
+/// accumulates.
 [[nodiscard]] DecodeOutcome decode_frame(std::span<const std::uint8_t> buffer,
                                          std::uint32_t max_frame_bytes,
                                          DecodedFrame* frame);

@@ -75,6 +75,12 @@ std::span<const double> size_buckets_bytes() noexcept {
   return buckets;
 }
 
+std::span<const double> micros_buckets() noexcept {
+  static const double buckets[] = {1.0,     10.0,     100.0,     1000.0,
+                                   10000.0, 100000.0, 1000000.0, 10000000.0};
+  return buckets;
+}
+
 std::string MetricsSnapshot::to_json() const {
   std::string out;
   out.reserve(1024);
@@ -175,6 +181,11 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
   return *it->second;
 }
 
+void MetricsRegistry::describe(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  descriptions_.insert_or_assign(std::string{name}, std::string{help});
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;
@@ -187,6 +198,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   for (const auto& [name, histogram] : histograms_) {
     snapshot.histograms.emplace(name, histogram->snapshot());
   }
+  snapshot.descriptions.insert(descriptions_.begin(), descriptions_.end());
   return snapshot;
 }
 

@@ -187,12 +187,19 @@ class Histogram {
 std::span<const double> latency_buckets_seconds() noexcept;
 /// Exponential size buckets in bytes: 4 KiB .. 1 GiB.
 std::span<const double> size_buckets_bytes() noexcept;
+/// Decade buckets in microseconds: 1us .. 10s. Used by the per-request
+/// phase histograms and the WATCH push-latency SLO instruments.
+std::span<const double> micros_buckets() noexcept;
 
 /// Point-in-time merge of every registered metric, ready for JSON emission.
 struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramData> histograms;
+  /// Registered metric descriptions (MetricsRegistry::describe), keyed by
+  /// the source metric name; the Prometheus renderer turns each into a
+  /// `# HELP` line. Metrics without an entry render without HELP.
+  std::map<std::string, std::string> descriptions;
 
   [[nodiscard]] std::string to_json() const;
 };
@@ -214,6 +221,12 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name, std::span<const double> bounds);
 
+  /// Attaches a human-readable description to `name` (need not be
+  /// registered yet); rendered as a `# HELP` line by the Prometheus
+  /// exposition. Last writer wins. Optional: undescribed metrics render
+  /// exactly as they did before descriptions existed.
+  void describe(std::string_view name, std::string_view help);
+
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
   /// Zeroes every metric in place; outstanding references stay valid.
@@ -224,6 +237,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> descriptions_;
 };
 
 }  // namespace repro::telemetry

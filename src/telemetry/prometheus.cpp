@@ -2,6 +2,8 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <set>
 
 namespace repro::telemetry {
 
@@ -13,8 +15,17 @@ bool prometheus_char(char c) {
 }
 
 void append_double(std::string& out, double value) {
+  // %g alone truncates to 6 significant digits — large cumulative _sum
+  // values (e.g. microseconds) silently lose precision on every scrape.
+  // Emit the shortest %g form that round-trips back to the exact double;
+  // trailing-zero trimming is inherent to %g. Non-finite values never
+  // round-trip through strtod equality, so they fall out of the loop at
+  // %.17g, which prints inf/-inf/nan as %g would.
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%g", value);
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
   out += buf;
 }
 
@@ -22,6 +33,40 @@ void append_u64(std::string& out, std::uint64_t value) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
   out += buf;
+}
+
+/// Sanitized name, de-duplicated against every name this exposition has
+/// already emitted: the sanitizer is not injective ("9lives" and "_9lives"
+/// both map to "_9lives"), and duplicate series would make the exposition
+/// invalid. First mapped name wins; later collisions get "_2", "_3", ...
+std::string unique_prometheus_name(std::string_view name,
+                                   std::set<std::string>& used) {
+  const std::string base = prometheus_name(name);
+  std::string candidate = base;
+  for (std::uint64_t ordinal = 2; !used.insert(candidate).second;
+       ++ordinal) {
+    candidate = base + "_" + std::to_string(ordinal);
+  }
+  return candidate;
+}
+
+/// `# HELP <prom> <text>` when `name` has a registered description.
+/// Backslash and newline are escaped per the exposition format.
+void append_help(std::string& out, const MetricsSnapshot& snapshot,
+                 const std::string& name, const std::string& prom) {
+  const auto it = snapshot.descriptions.find(name);
+  if (it == snapshot.descriptions.end()) return;
+  out += "# HELP " + prom + " ";
+  for (const char c : it->second) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  out += '\n';
 }
 
 }  // namespace
@@ -38,22 +83,26 @@ std::string prometheus_name(std::string_view name) {
 
 std::string render_prometheus(const MetricsSnapshot& snapshot) {
   std::string out;
+  std::set<std::string> used;
   for (const auto& [name, value] : snapshot.counters) {
-    const std::string prom = prometheus_name(name);
+    const std::string prom = unique_prometheus_name(name, used);
+    append_help(out, snapshot, name, prom);
     out += "# TYPE " + prom + " counter\n";
     out += prom + " ";
     append_u64(out, value);
     out += '\n';
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    const std::string prom = prometheus_name(name);
+    const std::string prom = unique_prometheus_name(name, used);
+    append_help(out, snapshot, name, prom);
     out += "# TYPE " + prom + " gauge\n";
     out += prom + " ";
     append_double(out, value);
     out += '\n';
   }
   for (const auto& [name, data] : snapshot.histograms) {
-    const std::string prom = prometheus_name(name);
+    const std::string prom = unique_prometheus_name(name, used);
+    append_help(out, snapshot, name, prom);
     out += "# TYPE " + prom + " histogram\n";
     // The snapshot's counts are per-bucket; Prometheus buckets are
     // cumulative ("samples <= le"), so accumulate while emitting.

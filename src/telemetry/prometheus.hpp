@@ -5,7 +5,17 @@
 // Mapping rules:
 //   * metric names keep the registry's dotted path with every character
 //     outside [a-zA-Z0-9_:] rewritten to '_' ("svc.watch.sessions" becomes
-//     "svc_watch_sessions");
+//     "svc_watch_sessions"); a leading digit gains a '_' prefix ("9lives"
+//     becomes "_9lives");
+//   * the mapping is not injective — distinct registry names can collapse
+//     onto one Prometheus name ("9lives" and "_9lives" both map to
+//     "_9lives"). The renderer de-duplicates per exposition: the first
+//     name (registry order, i.e. sorted) keeps the mapped form, later
+//     collisions get an ordinal suffix ("_9lives_2", "_9lives_3", ...);
+//   * a name with a registered description (MetricsRegistry::describe)
+//     gains a `# HELP <name> <text>` line before its `# TYPE` line, with
+//     backslash and newline escaped per the exposition format. Undescribed
+//     metrics render without HELP, byte-identical to the pre-HELP output;
 //   * counters render as `# TYPE <name> counter` plus one sample line;
 //   * gauges render as `# TYPE <name> gauge`;
 //   * histograms render as cumulative `<name>_bucket{le="..."}` series
@@ -14,7 +24,9 @@
 //     count, and the standard `<name>_sum` / `<name>_count` pair.
 //
 // Output is deterministic for a given snapshot — maps iterate sorted, and
-// numbers use fixed printf formats — so tests can assert on exact lines.
+// floating-point samples print with round-trip precision (shortest %g form
+// whose strtod parse equals the value) — so tests can assert exact lines
+// and scrapers never lose digits of large cumulative sums.
 #pragma once
 
 #include <string>

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <random>
 
 #include "common/fs.hpp"
 #include "telemetry/json.hpp"
@@ -23,12 +24,29 @@ std::uint64_t trace_now_ns() noexcept {
           .count());
 }
 
+std::uint64_t random_trace_id() noexcept {
+  static const std::uint64_t seed = [] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }();
+  static std::atomic<std::uint64_t> counter{0};
+  // splitmix64: each increment yields an independent-looking 64-bit value.
+  std::uint64_t z =
+      seed + 0x9e3779b97f4a7c15ull *
+                 (counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;
+}
+
 namespace {
 
 /// One buffered span. Fixed-size payloads keep the ring allocation-free.
 struct TraceEvent {
   std::uint64_t begin_ns = 0;
   std::uint64_t end_ns = 0;
+  SpanIds ids;
   std::uint8_t name_len = 0;
   std::uint8_t args_len = 0;
   char name[48];
@@ -61,11 +79,13 @@ struct TraceBuffer {
   std::string name;            ///< optional thread name
 
   void push(std::string_view span_name, std::uint64_t begin_ns,
-            std::uint64_t end_ns, std::string_view args_json) {
+            std::uint64_t end_ns, std::string_view args_json,
+            const SpanIds& ids) {
     if (ring.empty()) ring.resize(ring_capacity());
     TraceEvent& event = ring[recorded % ring.size()];
     event.begin_ns = begin_ns;
     event.end_ns = end_ns;
+    event.ids = ids;
     event.name_len = static_cast<std::uint8_t>(
         std::min(span_name.size(), sizeof(event.name)));
     std::memcpy(event.name, span_name.data(), event.name_len);
@@ -107,10 +127,42 @@ void Tracer::set_thread_name(std::string_view name) {
 }
 
 void Tracer::record(std::string_view name, std::uint64_t begin_ns,
-                    std::uint64_t end_ns, std::string_view args_json) {
+                    std::uint64_t end_ns, std::string_view args_json,
+                    const SpanIds& ids) {
   detail::TraceBuffer& buffer = thread_buffer();
   std::lock_guard<std::mutex> lock(buffer.mu);
-  buffer.push(name, begin_ns, end_ns, args_json);
+  buffer.push(name, begin_ns, end_ns, args_json, ids);
+}
+
+TraceContext TraceContext::new_root() noexcept {
+  if (!Tracer::enabled()) return {};
+  return {detail::random_trace_id(), detail::random_trace_id(), 0};
+}
+
+namespace {
+
+void append_hex_u64(std::string& out, std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  out.append(buf, 16);
+}
+
+}  // namespace
+
+std::string TraceContext::trace_id_hex() const {
+  std::string out;
+  out.reserve(32);
+  append_hex_u64(out, trace_hi);
+  append_hex_u64(out, trace_lo);
+  return out;
+}
+
+std::string span_id_hex(std::uint64_t id) {
+  std::string out;
+  out.reserve(16);
+  append_hex_u64(out, id);
+  return out;
 }
 
 namespace {
@@ -227,9 +279,27 @@ void emit_thread_events(std::string& out, const ThreadSpans& thread,
     append_ts_us(out, last_ts);
     out += ", \"pid\": 1, \"tid\": ";
     json_append_number(out, thread.tid);
-    if (is_begin && event.args_len > 0) {
+    // Trace identity rides in args so merged traces (repro-cli trace-merge)
+    // can join client and server spans by trace_id / parent_span_id.
+    const bool has_ids =
+        (event.ids.trace_hi | event.ids.trace_lo) != 0;
+    if (is_begin && (event.args_len > 0 || has_ids)) {
       out += ", \"args\": {";
       out.append(event.args, event.args_len);
+      if (has_ids) {
+        if (event.args_len > 0) out += ',';
+        out += "\"trace_id\": \"";
+        out += TraceContext{event.ids.trace_hi, event.ids.trace_lo, 0}
+                   .trace_id_hex();
+        out += "\", \"span_id\": \"";
+        out += span_id_hex(event.ids.span_id);
+        out += '"';
+        if (event.ids.parent_id != 0) {
+          out += ", \"parent_span_id\": \"";
+          out += span_id_hex(event.ids.parent_id);
+          out += '"';
+        }
+      }
       out += '}';
     }
     out += '}';
@@ -338,6 +408,22 @@ repro::Status Tracer::write_chrome_trace(const std::filesystem::path& path) {
                        reinterpret_cast<const std::uint8_t*>(json.data()),
                        json.size()))
       .with_context("writing chrome trace");
+}
+
+TraceSpan::TraceSpan(std::string_view name,
+                     const TraceContext& parent) noexcept {
+  if (!Tracer::enabled()) return;
+  active_ = true;
+  name_len_ =
+      static_cast<std::uint8_t>(std::min(name.size(), sizeof(name_)));
+  std::memcpy(name_, name.data(), name_len_);
+  if (parent.valid()) {
+    ids_.trace_hi = parent.trace_hi;
+    ids_.trace_lo = parent.trace_lo;
+    ids_.parent_id = parent.span_id;
+    ids_.span_id = detail::random_trace_id();
+  }
+  begin_ns_ = detail::trace_now_ns();
 }
 
 bool TraceSpan::append_key(std::string_view key,

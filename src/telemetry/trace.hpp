@@ -43,7 +43,46 @@ extern std::atomic<bool> g_trace_enabled;
 /// call). All spans share this epoch, so cross-thread ordering is honest.
 std::uint64_t trace_now_ns() noexcept;
 
+/// Nonzero pseudo-random 64-bit id (splitmix64 over a per-process seed).
+/// Not cryptographic — ids only need to be unique enough to join traces.
+std::uint64_t random_trace_id() noexcept;
+
 }  // namespace detail
+
+/// Trace identity carried across process boundaries (the RSVC wire
+/// trailer). `trace_hi`/`trace_lo` form a 128-bit trace id shared by every
+/// span in one causal chain; `span_id` names the span that acts as parent
+/// for linked children. A default-constructed context is invalid — spans
+/// built from it stay unlinked, so propagation degrades to today's
+/// behavior when either end has no identity to offer.
+struct TraceContext {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return (trace_hi | trace_lo) != 0;
+  }
+
+  /// Fresh 128-bit trace id with no parent span (a root). Returns an
+  /// invalid context while tracing is disabled, so callers can branch on
+  /// valid() to decide whether to propagate anything at all.
+  [[nodiscard]] static TraceContext new_root() noexcept;
+
+  /// 32 lowercase hex chars (OpenTelemetry-style trace id rendering).
+  [[nodiscard]] std::string trace_id_hex() const;
+};
+
+/// 16 lowercase hex chars for one span id.
+[[nodiscard]] std::string span_id_hex(std::uint64_t id);
+
+/// Identity attached to one recorded span; all-zero for unlinked spans.
+struct SpanIds {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+};
 
 class Tracer {
  public:
@@ -83,9 +122,11 @@ class Tracer {
   /// Writes chrome_trace_json() to `path` (atomic publish).
   repro::Status write_chrome_trace(const std::filesystem::path& path);
 
-  /// Called by ~TraceSpan; not for direct use.
+  /// Called by ~TraceSpan; not for direct use. `ids` carries the span's
+  /// trace identity (all-zero for unlinked spans).
   void record(std::string_view name, std::uint64_t begin_ns,
-              std::uint64_t end_ns, std::string_view args_json);
+              std::uint64_t end_ns, std::string_view args_json,
+              const SpanIds& ids = {});
 
  private:
   struct CounterSample {
@@ -117,6 +158,12 @@ class TraceSpan {
     begin_ns_ = detail::trace_now_ns();
   }
 
+  /// Span linked under `parent`: adopts the parent's trace id, records
+  /// parent.span_id as its parent span, and mints a fresh span id of its
+  /// own. An invalid parent degrades to the plain unlinked constructor —
+  /// callers can pass a context decoded from the wire unconditionally.
+  TraceSpan(std::string_view name, const TraceContext& parent) noexcept;
+
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
@@ -127,13 +174,19 @@ class TraceSpan {
   TraceSpan& arg(std::string_view key, double value) noexcept;
   TraceSpan& arg(std::string_view key, std::string_view value) noexcept;
 
+  /// This span's identity for propagation (e.g. into the RSVC trailer or a
+  /// child span). Invalid when the span is unlinked or tracing is off.
+  [[nodiscard]] TraceContext context() const noexcept {
+    return {ids_.trace_hi, ids_.trace_lo, ids_.span_id};
+  }
+
   /// Ends the span now; the destructor becomes a no-op.
   void end() noexcept {
     if (!active_) return;
     active_ = false;
     Tracer::global().record(std::string_view{name_, name_len_}, begin_ns_,
                             detail::trace_now_ns(),
-                            std::string_view{args_, args_len_});
+                            std::string_view{args_, args_len_}, ids_);
   }
 
  private:
@@ -145,6 +198,7 @@ class TraceSpan {
   std::uint8_t name_len_ = 0;
   std::uint8_t args_len_ = 0;
   std::uint64_t begin_ns_ = 0;
+  SpanIds ids_;
   char name_[48];
   char args_[168];
 };

@@ -473,6 +473,75 @@ TEST_F(CliTest, ServeAndClientRoundTrip) {
       << result.output;
 }
 
+// The observability acceptance flow across two real processes: a daemon
+// and a client, each with its own --trace-out file, joined offline by
+// trace-merge via the trace-context trailer the client propagated. The
+// daemon's access log carries the same trace identity.
+TEST_F(CliTest, TraceMergeJoinsClientAndServerTimelines) {
+  const std::string bin = REPRO_CLI_BINARY;
+  const std::string sock = pfs() + "/reprod.sock";
+  const std::string server_trace = pfs() + "/server-trace.json";
+  const std::string client_trace = pfs() + "/client-trace.json";
+  const std::string access_log = pfs() + "/access.jsonl";
+  const std::string script =
+      bin + " serve --socket " + sock + " --workers 1 --trace-out " +
+      server_trace + " --access-log " + access_log +
+      " --slow-request-ms 0 & pid=$!; " +
+      "i=0; while [ $i -lt 200 ] && [ ! -S " + sock + " ]; do " +
+      "sleep 0.05; i=$((i+1)); done; " +
+      bin + " client ping --socket " + sock + " --trace-out " +
+      client_trace + "; rc=$?; " +
+      bin + " client shutdown --socket " + sock + "; " +
+      "wait $pid; serve_rc=$?; exit $((rc + serve_rc))";
+  const CommandResult serve = run_shell("sh -c '" + script + "' 2>&1");
+  ASSERT_EQ(serve.exit_code, 0) << serve.output;
+  ASSERT_TRUE(std::filesystem::exists(server_trace));
+  ASSERT_TRUE(std::filesystem::exists(client_trace));
+
+  const std::string merged_path = pfs() + "/merged.json";
+  const CommandResult merged = run_cli("trace-merge " + client_trace + " " +
+                                       server_trace + " --out " +
+                                       merged_path);
+  EXPECT_EQ(merged.exit_code, 0) << merged.output;
+  // The PING round trip must have produced at least one causally matched
+  // pair — zero pairs means the trailer never reached the server's span.
+  EXPECT_NE(merged.output.find("matched span pairs"), std::string::npos)
+      << merged.output;
+  EXPECT_EQ(merged.output.find("(0 matched span pairs"), std::string::npos)
+      << merged.output;
+
+  const auto merged_bytes = repro::read_file(merged_path);
+  ASSERT_TRUE(merged_bytes.is_ok()) << merged_bytes.status().message();
+  const std::string doc(
+      reinterpret_cast<const char*>(merged_bytes.value().data()),
+      merged_bytes.value().size());
+  // Both sides' spans in one document, each source named as a process.
+  EXPECT_NE(doc.find("\"svc.client.call\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"svc.request\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(doc.find("clock_offset_us"), std::string::npos);
+
+  // The access log records the request under the same schema, slow-flagged
+  // (threshold 0) and carrying the client's propagated trace id.
+  const auto log_bytes = repro::read_file(access_log);
+  ASSERT_TRUE(log_bytes.is_ok()) << log_bytes.status().message();
+  const std::string log(
+      reinterpret_cast<const char*>(log_bytes.value().data()),
+      log_bytes.value().size());
+  EXPECT_NE(log.find("\"schema\":\"repro.svc.access\""), std::string::npos)
+      << log;
+  EXPECT_NE(log.find("\"verb\":\"PING\""), std::string::npos) << log;
+  EXPECT_NE(log.find("\"slow\":true"), std::string::npos) << log;
+  EXPECT_NE(log.find("\"trace_id\":\""), std::string::npos) << log;
+
+  // Usage errors exit 2: a missing input or --out is a misuse, not a crash.
+  EXPECT_EQ(run_cli("trace-merge " + client_trace).exit_code, 2);
+  EXPECT_EQ(run_cli("trace-merge " + pfs() + "/absent.json " + server_trace +
+                    " --out " + merged_path)
+                .exit_code,
+            2);
+}
+
 TEST_F(CliTest, CompareWritesLedger) {
   simulate("run-1", "--noise-seed 11 --jitter 1e-4");
   simulate("run-2", "--noise-seed 22 --jitter 1e-4");

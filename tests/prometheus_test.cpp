@@ -77,5 +77,77 @@ TEST(PrometheusRender, UnrecordedHistogramStillEmitsAllSeries) {
   EXPECT_EQ(render_prometheus(registry.snapshot()), expected);
 }
 
+TEST(PrometheusRender, DoubleValuesRoundTripExactly) {
+  // %g alone truncates to 6 significant digits: a cumulative _sum of
+  // 1234567.25 microseconds would scrape as 1.23457e+06 and silently lose
+  // the tail on every export. The renderer must emit the shortest form
+  // that parses back to the exact double.
+  MetricsRegistry registry;
+  registry.gauge("precise").set(1234567.25);
+  registry.gauge("short").set(0.1);
+  const double bounds[] = {1e6};
+  Histogram& h = registry.histogram("sum_check", bounds);
+  h.record(1234567.25);
+  h.record(8901234.5);
+  const std::string page = render_prometheus(registry.snapshot());
+  EXPECT_NE(page.find("precise 1234567.25\n"), std::string::npos) << page;
+  // Short representations stay short — no forced 17-digit noise.
+  EXPECT_NE(page.find("short 0.1\n"), std::string::npos) << page;
+  EXPECT_NE(page.find("sum_check_sum 10135801.75\n"), std::string::npos)
+      << page;
+}
+
+TEST(PrometheusRender, HelpLinesComeFromDescriptions) {
+  MetricsRegistry registry;
+  registry.counter("svc.watch.pushes").add(7);
+  registry.counter("svc.watch.alerts_total").add(1);
+  registry.describe("svc.watch.pushes",
+                    "WATCH_PUSH frames accepted.\nBack\\slash escaped.");
+  // Described series gain a HELP line (with exposition-format escaping of
+  // backslash and newline); undescribed ones render byte-identically to a
+  // description-free registry.
+  const std::string expected =
+      "# TYPE svc_watch_alerts_total counter\n"
+      "svc_watch_alerts_total 1\n"
+      "# HELP svc_watch_pushes WATCH_PUSH frames accepted.\\nBack\\\\slash "
+      "escaped.\n"
+      "# TYPE svc_watch_pushes counter\n"
+      "svc_watch_pushes 7\n";
+  EXPECT_EQ(render_prometheus(registry.snapshot()), expected);
+}
+
+TEST(PrometheusRender, CollidingSanitizedNamesAreDeduplicated) {
+  // The sanitizer is not injective: "9lives" and "_9lives" both map to
+  // "_9lives", and a duplicate series would make the whole exposition
+  // invalid. First mapped name wins; later collisions get ordinal
+  // suffixes. The dedup set spans sections, so a gauge colliding with a
+  // counter is renamed too.
+  MetricsRegistry registry;
+  registry.counter("9lives").add(1);
+  registry.counter("_9lives").add(2);
+  registry.gauge("9lives ").set(3);  // sanitizes to "_9lives_" — no clash
+  registry.gauge("9lives").set(4);   // clashes with the counter's name
+  const std::string page = render_prometheus(registry.snapshot());
+  EXPECT_NE(page.find("# TYPE _9lives counter\n_9lives 1\n"),
+            std::string::npos)
+      << page;
+  EXPECT_NE(page.find("# TYPE _9lives_2 counter\n_9lives_2 2\n"),
+            std::string::npos)
+      << page;
+  EXPECT_NE(page.find("# TYPE _9lives_3 gauge\n_9lives_3 4\n"),
+            std::string::npos)
+      << page;
+  EXPECT_NE(page.find("# TYPE _9lives_ gauge\n_9lives_ 3\n"),
+            std::string::npos)
+      << page;
+  // Exactly one series per source metric: no stray duplicates.
+  std::size_t count = 0;
+  for (std::size_t pos = page.find("# TYPE"); pos != std::string::npos;
+       pos = page.find("# TYPE", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4U);
+}
+
 }  // namespace
 }  // namespace repro::telemetry

@@ -146,6 +146,104 @@ TEST(WireTest, BackToBackFramesDecodeSequentially) {
   EXPECT_EQ(first.frame_bytes + second.frame_bytes, buf.size());
 }
 
+TEST(WireTest, TraceContextTrailerRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  const WireTraceContext trace{0x1122334455667788ULL, 0x99aabbccddeeff00ULL,
+                               0x0123456789abcdefULL};
+  append_request(buf, Opcode::kCompare, 55, R"({"file_a":"a"})", true,
+                 &trace);
+
+  DecodedFrame frame;
+  ASSERT_EQ(decode_frame(buf, kDefaultMaxFrameBytes, &frame),
+            DecodeOutcome::kFrame);
+  EXPECT_NE(frame.header.flags & kFlagTraceContext, 0U);
+  EXPECT_TRUE(frame.header.has_trace_context());
+  EXPECT_TRUE(frame.trace.valid());
+  EXPECT_EQ(frame.trace.trace_lo, trace.trace_lo);
+  EXPECT_EQ(frame.trace.trace_hi, trace.trace_hi);
+  EXPECT_EQ(frame.trace.parent_span_id, trace.parent_span_id);
+  EXPECT_EQ(frame.payload, R"({"file_a":"a"})");
+  // payload_bytes excludes the trailer; frame_bytes includes it.
+  EXPECT_EQ(frame.header.payload_bytes, frame.payload.size());
+  EXPECT_EQ(frame.frame_bytes,
+            kFrameHeaderBytes + frame.payload.size() + kTraceContextBytes);
+  EXPECT_EQ(frame.frame_bytes, buf.size());
+}
+
+TEST(WireTest, InvalidTraceContextEmitsTrailerlessFrame) {
+  // A null or all-zero trace context must produce exactly the byte stream
+  // a trailer-unaware peer would: interop is bytewise, not best-effort.
+  std::vector<std::uint8_t> plain;
+  append_request(plain, Opcode::kPing, 3, "");
+  std::vector<std::uint8_t> zeroed;
+  const WireTraceContext invalid{};  // all-zero trace id: not valid()
+  append_request(zeroed, Opcode::kPing, 3, "", true, &invalid);
+  EXPECT_EQ(plain, zeroed);
+}
+
+TEST(WireTest, TraceContextTrailerEveryPrefixNeedsMoreData) {
+  // The trailer extends the frame past header + payload; a truncated
+  // trailer must never decode as a complete frame (or worse, as the next
+  // frame's header).
+  std::vector<std::uint8_t> buf;
+  const WireTraceContext trace{7, 0, 9};
+  append_request(buf, Opcode::kStats, 4, "{}", true, &trace);
+  DecodedFrame frame;
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    ASSERT_EQ(decode_frame({buf.data(), len}, kDefaultMaxFrameBytes, &frame),
+              DecodeOutcome::kNeedMoreData)
+        << "prefix length " << len;
+  }
+  EXPECT_EQ(decode_frame(buf, kDefaultMaxFrameBytes, &frame),
+            DecodeOutcome::kFrame);
+}
+
+TEST(WireTest, ZeroTraceIdTrailerIsBadTraceContext) {
+  // Hand-craft a frame whose trailer flag is set but whose trace id is
+  // all-zero: the decoder must flag it (the server answers one BAD_REQUEST
+  // and closes) rather than hand the handler a meaningless identity.
+  std::vector<std::uint8_t> buf;
+  const WireTraceContext trace{1, 0, 2};
+  append_request(buf, Opcode::kPing, 88, "", true, &trace);
+  // Zero the 16 trace-id bytes (trailer starts right after the header —
+  // the PING payload is empty).
+  for (std::size_t i = kFrameHeaderBytes; i < kFrameHeaderBytes + 16; ++i) {
+    buf[i] = 0;
+  }
+  DecodedFrame frame;
+  EXPECT_EQ(decode_frame(buf, kDefaultMaxFrameBytes, &frame),
+            DecodeOutcome::kBadTraceContext);
+  // The request id survives for the error reply.
+  EXPECT_EQ(frame.header.request_id, 88U);
+}
+
+TEST(WireTest, TrailerCountsTowardOversizeFromSixteenBytePrefix) {
+  // A frame whose payload alone fits the cap but whose trailer pushes the
+  // total past it must be rejected — from the 16-byte prefix, where both
+  // the size and the flags are known.
+  std::vector<std::uint8_t> buf;
+  const WireTraceContext trace{11, 22, 33};
+  const std::string payload(40, 'p');  // 24 + 40 = 64 fits; + 24 does not
+  append_request(buf, Opcode::kCompare, 5, payload, true, &trace);
+  DecodedFrame frame;
+  EXPECT_EQ(decode_frame({buf.data(), 16}, 64, &frame),
+            DecodeOutcome::kOversized);
+  // Without the trailer the same payload squeaks under the cap.
+  std::vector<std::uint8_t> plain;
+  append_request(plain, Opcode::kCompare, 5, payload);
+  EXPECT_EQ(decode_frame(plain, 64, &frame), DecodeOutcome::kFrame);
+}
+
+TEST(WireTest, ResponsesNeverCarryTrailer) {
+  std::vector<std::uint8_t> buf;
+  append_response(buf, WireStatus::kOk, 12, "{}");
+  DecodedFrame frame;
+  ASSERT_EQ(decode_frame(buf, kDefaultMaxFrameBytes, &frame),
+            DecodeOutcome::kFrame);
+  EXPECT_EQ(frame.header.flags & kFlagTraceContext, 0U);
+  EXPECT_FALSE(frame.trace.valid());
+}
+
 TEST(WireTest, NamesAreStable) {
   EXPECT_STREQ(opcode_name(Opcode::kCompare), "COMPARE");
   EXPECT_STREQ(opcode_name(Opcode::kShutdown), "SHUTDOWN");
