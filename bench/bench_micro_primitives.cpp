@@ -9,7 +9,10 @@
 // gates on *correctness* of the dispatched kernels, never on timing — CI
 // machines are too noisy for wall-clock assertions.
 //
-// Supports `--json <path>` for machine-readable results (bench_json.hpp).
+// Supports `--json <path>` for machine-readable results (bench_json.hpp)
+// and `--artifact-out <path>` to (re)generate the committed
+// BENCH_kernels.json perf-trajectory artifact (docs/PERF.md §7) with
+// throughput rows for the quantize and fused quantize+hash kernels.
 #include <benchmark/benchmark.h>
 
 #include <array>
@@ -21,6 +24,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 
+#include "bench/bench_artifact.hpp"
 #include "bench/bench_common.hpp"
 #include "bench/bench_json.hpp"
 #include "telemetry/metrics.hpp"
@@ -419,12 +423,75 @@ int metadata_cache_smoke_check() {
   return 0;
 }
 
+// Trajectory rows for the two kernels the compare hot path is built from:
+// the batched quantizer and the fused quantize+hash chunk pass, both
+// through the dispatched (kAuto) backend. Each sample times enough batches
+// over a 64K-value field to dampen timer granularity; bytes is the f32
+// payload one sample processes.
+int emit_kernel_trajectory(const std::string& path) {
+  constexpr std::size_t kValues = 1 << 16;
+  constexpr int kBatches = 16;
+  constexpr int kReps = 21;
+  const auto values = sim::generate_field(kValues, 3);
+  const std::uint64_t bytes_per_sample =
+      static_cast<std::uint64_t>(kValues) * sizeof(float) * kBatches;
+
+  std::vector<std::int64_t> lattice(values.size());
+  const bench::WallStats quantize = bench::wall_stats_of(kReps, [&] {
+    Stopwatch clock;
+    for (int i = 0; i < kBatches; ++i) {
+      hash::quantize_block_f32(values.data(), values.size(), 1e-6,
+                               lattice.data());
+      benchmark::DoNotOptimize(lattice.data());
+    }
+    return clock.seconds() * 1e3;
+  });
+
+  const hash::HashParams params{.error_bound = 1e-6, .values_per_block = 64};
+  const bench::WallStats fused = bench::wall_stats_of(kReps, [&] {
+    Stopwatch clock;
+    for (int i = 0; i < kBatches; ++i) {
+      benchmark::DoNotOptimize(hash::hash_chunk_f32(values, params));
+    }
+    return clock.seconds() * 1e3;
+  });
+
+  const std::string backend(hash::active_kernel_name());
+  const std::string config = strprintf(
+      "%d x 64K f32 values, eps=1e-06, %s kernel", kBatches, backend.c_str());
+  const std::vector<bench::TrajectoryRow> trajectory = {
+      {"kernel_quantize_block_f32", config, quantize.median_ms,
+       quantize.p90_ms, bytes_per_sample},
+      {"kernel_hash_chunk_fused",
+       strprintf("%s, 64-value blocks", config.c_str()), fused.median_ms,
+       fused.p90_ms, bytes_per_sample},
+  };
+  const auto written = bench::write_trajectory(path, "kernels", trajectory);
+  if (!written.is_ok()) {
+    std::fprintf(stderr, "error: artifact write failed: %s\n",
+                 written.to_string().c_str());
+    return 1;
+  }
+  const double gib = static_cast<double>(bytes_per_sample) / (1ULL << 30);
+  std::fprintf(stderr,
+               "kernel trajectory: quantize %.2f GiB/s, fused hash %.2f "
+               "GiB/s (%s) -> %s\n",
+               gib / (quantize.median_ms / 1e3),
+               gib / (fused.median_ms / 1e3), backend.c_str(), path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string artifact_path =
+      repro::bench::extract_artifact_path(&argc, argv);
   if (kernel_smoke_check() != 0) return 1;
   if (telemetry_overhead_check() != 0) return 1;
   if (resource_sampler_overhead_check() != 0) return 1;
   if (metadata_cache_smoke_check() != 0) return 1;
+  if (!artifact_path.empty() && emit_kernel_trajectory(artifact_path) != 0) {
+    return 1;
+  }
   return repro::bench::run_benchmarks_with_json(argc, argv);
 }

@@ -13,6 +13,7 @@
 // error.
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -43,6 +44,7 @@
 #include "merkle/nodestore.hpp"
 #include "svc/client.hpp"
 #include "svc/monitor.hpp"
+#include "svc/router.hpp"
 #include "svc/server.hpp"
 #include "telemetry/json_parse.hpp"
 #include "telemetry/metrics.hpp"
@@ -146,6 +148,17 @@ void print_usage() {
       "      repro.svc.access v1 JSON record per request with the\n"
       "      per-phase latency breakdown; requests at or beyond\n"
       "      --slow-request-ms wall time are flagged slow\n"
+      "\n"
+      "  repro-cli route (--socket PATH | --port N)\n"
+      "            --workers EP[=W],EP[=W],... [--health-interval-ms 250]\n"
+      "            [--upstream-timeout-ms 30000] [--pool-per-worker 4]\n"
+      "            [--access-log FILE] [--max-frame-bytes N]\n"
+      "      run the reprod-router front proxy: shards requests over a\n"
+      "      worker pool by rendezvous-hashed run id, with PING health\n"
+      "      checks, ejection + backoff re-admission, and streamed\n"
+      "      TIMELINE_CHUNK passthrough (docs/SERVICE.md \"Scale-out\n"
+      "      topology\"). Worker endpoints are unix socket paths or\n"
+      "      host:port, with an optional =WEIGHT ring weight\n"
       "\n"
       "  repro-cli watch ROOT RUN --reference REF [--rank 0]\n"
       "            (--socket PATH | --port N) [--eps 1e-6] [--chunk 64K]\n"
@@ -1341,6 +1354,106 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+namespace {
+svc::Router* g_router = nullptr;
+
+void router_signal_handler(int) {
+  if (g_router != nullptr) g_router->request_stop();
+}
+
+/// Parses a --workers value: comma-separated endpoints, each optionally
+/// suffixed "=WEIGHT" (ring weight, default 1.0).
+repro::Result<std::vector<svc::RingWorker>> parse_worker_list(
+    std::string_view spec) {
+  std::vector<svc::RingWorker> workers;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    std::string_view item = spec.substr(
+        start, comma == std::string_view::npos ? spec.size() - start
+                                               : comma - start);
+    if (!item.empty()) {
+      svc::RingWorker worker;
+      const std::size_t eq = item.rfind('=');
+      if (eq != std::string_view::npos) {
+        const std::string weight_text(item.substr(eq + 1));
+        char* end = nullptr;
+        const double weight = std::strtod(weight_text.c_str(), &end);
+        if (end == weight_text.c_str() || *end != '\0' || weight <= 0) {
+          return repro::invalid_argument("bad worker weight: " +
+                                         std::string(item));
+        }
+        worker.weight = weight;
+        item = item.substr(0, eq);
+      }
+      worker.endpoint = std::string(item);
+      workers.push_back(std::move(worker));
+    }
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (workers.empty()) {
+    return repro::invalid_argument("--workers needs at least one endpoint");
+  }
+  return workers;
+}
+}  // namespace
+
+/// `repro-cli route`: run the reprod-router front proxy until
+/// SIGTERM/SIGINT or a SHUTDOWN frame drains the fabric (docs/SERVICE.md
+/// "Scale-out topology").
+int cmd_route(const Args& args) {
+  if (!args.has("socket") && !args.has("port")) {
+    std::fprintf(stderr,
+                 "route requires --socket PATH or --port N (0 = ephemeral)\n");
+    return 2;
+  }
+  if (!args.has("workers")) {
+    std::fprintf(stderr, "route requires --workers EP[=W],EP[=W],...\n");
+    return 2;
+  }
+  svc::RouterOptions options;
+  options.socket_path = args.get("socket", "");
+  auto port = args.get_u64("port", 0);
+  if (!port.is_ok()) return fail(port.status());
+  options.port = static_cast<std::uint16_t>(port.value());
+  auto workers = parse_worker_list(args.get("workers", ""));
+  if (!workers.is_ok()) return fail(workers.status());
+  options.workers = std::move(workers).value();
+  auto health_ms = args.get_u64("health-interval-ms", 250);
+  if (!health_ms.is_ok()) return fail(health_ms.status());
+  options.health_interval = std::chrono::milliseconds(health_ms.value());
+  auto upstream_ms = args.get_u64("upstream-timeout-ms", 30000);
+  if (!upstream_ms.is_ok()) return fail(upstream_ms.status());
+  options.upstream_timeout = std::chrono::milliseconds(upstream_ms.value());
+  auto pool = args.get_u64("pool-per-worker", 4);
+  if (!pool.is_ok()) return fail(pool.status());
+  options.pool_per_worker = pool.value();
+  auto max_frame = args.get_size("max-frame-bytes", svc::kDefaultMaxFrameBytes);
+  if (!max_frame.is_ok()) return fail(max_frame.status());
+  options.max_frame_bytes = static_cast<std::uint32_t>(max_frame.value());
+  options.access_log_path = args.get("access-log", "");
+
+  svc::Router router(std::move(options));
+  repro::Status status = router.start();
+  if (!status.is_ok()) return fail(status);
+  g_router = &router;
+  std::signal(SIGINT, router_signal_handler);
+  std::signal(SIGTERM, router_signal_handler);
+
+  std::printf("reprod-router listening on %s\n", router.endpoint().c_str());
+  std::fflush(stdout);  // tests poll for this line before connecting
+  status = router.serve();
+  g_router = nullptr;
+  if (!status.is_ok()) return fail(status);
+  std::printf("drained; %zu workers live at exit\n", router.live_workers());
+  if (g_run_report != nullptr) {
+    g_run_report->set_verdict("drained");
+    g_run_report->add_info("endpoint", router.endpoint());
+  }
+  return 0;
+}
+
 /// `repro-cli watch ROOT RUN --reference REF`: stream one run's captured
 /// checkpoints to a reprod daemon as a live WATCH session. Only Merkle
 /// digests cross the wire — the full node array on the first push, then
@@ -1905,6 +2018,7 @@ int dispatch(const std::string& command, const Args& args) {
   if (command == "verify") return cmd_verify(args);
   if (command == "delta") return cmd_delta(args);
   if (command == "serve") return cmd_serve(args);
+  if (command == "route") return cmd_route(args);
   if (command == "watch") return cmd_watch(args);
   if (command == "client") return cmd_client(args);
   if (command == "trace-merge") return cmd_trace_merge(args);

@@ -1,8 +1,10 @@
 #include "svc/client.hpp"
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <span>
+#include <thread>
 #include <utility>
 
 #include <arpa/inet.h>
@@ -15,6 +17,7 @@
 
 #include "io/retry.hpp"
 #include "svc/monitor.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
 // Platforms without MSG_NOSIGNAL (macOS) would need SO_NOSIGPIPE or a
@@ -71,13 +74,53 @@ repro::Result<int> connect_tcp(const std::string& host, std::uint16_t port) {
   return fd;
 }
 
+repro::Result<int> connect_once(const ClientOptions& options) {
+  return options.socket_path.empty()
+             ? connect_tcp(options.host, options.port)
+             : connect_unix(options.socket_path);
+}
+
 }  // namespace
 
+ClientOptions endpoint_client_options(std::string_view endpoint,
+                                      const ClientOptions& base) {
+  ClientOptions options = base;
+  options.socket_path.clear();
+  options.port = 0;
+  const std::size_t colon = endpoint.rfind(':');
+  if (endpoint.find('/') != std::string_view::npos ||
+      colon == std::string_view::npos) {
+    options.socket_path = std::filesystem::path(endpoint);
+    return options;
+  }
+  options.host = std::string(endpoint.substr(0, colon));
+  options.port = static_cast<std::uint16_t>(
+      std::strtoul(std::string(endpoint.substr(colon + 1)).c_str(),
+                   nullptr, 10));
+  return options;
+}
+
 repro::Result<Client> Client::connect(const ClientOptions& options) {
-  repro::Result<int> fd =
-      options.socket_path.empty()
-          ? connect_tcp(options.host, options.port)
-          : connect_unix(options.socket_path);
+  // A refused or not-yet-bound socket at connect time is usually a startup
+  // race against the daemon, not a dead daemon: retry with the policy's
+  // capped backoff before giving up. Misconfiguration (bad address, too-long
+  // path) fails immediately — no amount of waiting fixes it.
+  static auto& connect_retries = [] () -> telemetry::Counter& {
+    auto& registry = telemetry::MetricsRegistry::global();
+    registry.describe("svc.client.connect_retries",
+                      "client connect attempts retried after a transient "
+                      "connect failure");
+    return registry.counter("svc.client.connect_retries");
+  }();
+  const io::RetryPolicy& policy = options.connect_retry;
+  const unsigned attempts = std::max(1u, policy.max_attempts);
+  repro::Result<int> fd = connect_once(options);
+  for (unsigned attempt = 1; !fd.is_ok() && attempt < attempts; ++attempt) {
+    if (fd.status().code() == repro::StatusCode::kInvalidArgument) break;
+    connect_retries.increment();
+    io::backoff_sleep(policy, attempt);
+    fd = connect_once(options);
+  }
   REPRO_RETURN_IF_ERROR(fd.status());
   ::fcntl(fd.value(), F_SETFD, FD_CLOEXEC);
   return Client(fd.value(), options);
@@ -87,7 +130,8 @@ Client::Client(Client&& other) noexcept
     : options_(std::move(other.options_)),
       fd_(std::exchange(other.fd_, -1)),
       next_request_id_(other.next_request_id_),
-      rx_(std::move(other.rx_)) {}
+      rx_(std::move(other.rx_)),
+      chunk_rx_(std::move(other.chunk_rx_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -96,6 +140,7 @@ Client& Client::operator=(Client&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     next_request_id_ = other.next_request_id_;
     rx_ = std::move(other.rx_);
+    chunk_rx_ = std::move(other.chunk_rx_);
   }
   return *this;
 }
@@ -144,6 +189,24 @@ repro::Result<Response> Client::recv_response() {
     if (outcome == DecodeOutcome::kFrame) {
       rx_.erase(rx_.begin(),
                 rx_.begin() + static_cast<std::ptrdiff_t>(frame.frame_bytes));
+      if (frame.header.is_response() &&
+          frame.header.code ==
+              static_cast<std::uint16_t>(Opcode::kTimelineChunk)) {
+        // One slice of a streamed response. Other responses may interleave
+        // between a stream's chunks, so slices accumulate per request id
+        // until the final-chunk frame completes the reassembly.
+        ChunkAccum& accum = chunk_rx_[frame.header.request_id];
+        accum.payload += frame.payload;
+        ++accum.chunks;
+        if ((frame.header.flags & kFlagFinalChunk) == 0) continue;
+        Response response;
+        response.status = WireStatus::kOk;
+        response.request_id = frame.header.request_id;
+        response.payload = std::move(accum.payload);
+        response.chunks = accum.chunks;
+        chunk_rx_.erase(frame.header.request_id);
+        return response;
+      }
       Response response;
       response.status = static_cast<WireStatus>(frame.header.code);
       response.request_id = frame.header.request_id;
@@ -230,6 +293,70 @@ repro::Result<Response> Client::watch_push(const WatchPushFrame& frame) {
 
 repro::Result<Response> Client::watch_close() {
   return call(Opcode::kWatchClose, {});
+}
+
+// ---- FabricClient ---------------------------------------------------------
+
+FabricClient::FabricClient(FabricOptions options)
+    : options_(std::move(options)), ring_(options_.workers) {}
+
+repro::Result<FabricClient> FabricClient::connect(FabricOptions options) {
+  if (options.workers.empty()) {
+    return repro::invalid_argument("fabric client needs at least one worker");
+  }
+  // Connections are opened lazily on first use per endpoint; validating the
+  // ring here keeps construction infallible afterwards.
+  return FabricClient(std::move(options));
+}
+
+std::string FabricClient::endpoint_for(std::string_view payload) const {
+  const RingWorker* worker = ring_.owner(routing_key(payload));
+  return worker == nullptr ? std::string() : worker->endpoint;
+}
+
+repro::Result<Response> FabricClient::call(Opcode op,
+                                           std::string_view payload,
+                                           bool json) {
+  const std::string key = routing_key(payload);
+  const auto now = std::chrono::steady_clock::now();
+  repro::Status last = repro::unavailable("no live worker for shard");
+  // Walk the key's deterministic failover order: the owner first, then the
+  // rendezvous runners-up. Workers inside their down-backoff window are
+  // skipped on the first pass; if that leaves nothing to try (every worker
+  // marked down), retry everyone once rather than failing attempt-free.
+  const auto ranked = ring_.ranked(key);
+  bool attempted = false;
+  for (const bool respect_down_marks : {true, false}) {
+    for (const RingWorker* worker : ranked) {
+      Upstream& upstream = upstreams_[worker->endpoint];
+      if (respect_down_marks && !upstream.client.has_value() &&
+          upstream.down_until > now) {
+        continue;
+      }
+      attempted = true;
+      if (!upstream.client.has_value()) {
+        auto connected = Client::connect(
+            endpoint_client_options(worker->endpoint, options_.base));
+        if (!connected.is_ok()) {
+          last = connected.status();
+          upstream.down_until = now + options_.down_backoff;
+          continue;
+        }
+        upstream.client.emplace(std::move(connected).value());
+      }
+      repro::Result<Response> response =
+          upstream.client->call(op, payload, json);
+      if (response.is_ok()) return response;
+      // Transport failure: drop the cached connection, mark the worker
+      // down, and fail over. Wire-level error statuses (NOT_FOUND and
+      // friends) arrive as decoded frames and never reach this path.
+      last = response.status();
+      upstream.client.reset();
+      upstream.down_until = now + options_.down_backoff;
+    }
+    if (attempted) break;
+  }
+  return last;
 }
 
 }  // namespace repro::svc

@@ -1,0 +1,104 @@
+#include "svc/hash_ring.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+#include "hash/murmur3.hpp"
+#include "telemetry/json_parse.hpp"
+
+namespace repro::svc {
+
+namespace {
+
+std::span<const std::uint8_t> bytes_of(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+}  // namespace
+
+RunIdRing::RunIdRing(std::vector<RingWorker> workers) {
+  for (auto& worker : workers) add(std::move(worker));
+}
+
+void RunIdRing::add(RingWorker worker) {
+  for (auto& existing : workers_) {
+    if (existing.endpoint == worker.endpoint) {
+      existing.weight = worker.weight;
+      return;
+    }
+  }
+  workers_.push_back(std::move(worker));
+}
+
+bool RunIdRing::remove(std::string_view endpoint) {
+  const auto it = std::find_if(
+      workers_.begin(), workers_.end(),
+      [&](const RingWorker& w) { return w.endpoint == endpoint; });
+  if (it == workers_.end()) return false;
+  workers_.erase(it);
+  return true;
+}
+
+double RunIdRing::score(std::string_view key, const RingWorker& worker) {
+  // Seed the key hash with the worker's identity so each worker draws an
+  // independent uniform variate for the same key. The weighted-rendezvous
+  // transform weight / -ln(u) makes the argmax land on worker i with
+  // probability weight_i / total_weight, exactly (Thaler–Ravishankar HRW
+  // with the standard weighting fix).
+  const std::uint64_t seed =
+      hash::murmur3f(bytes_of(worker.endpoint)).fold();
+  const hash::Digest128 h = hash::murmur3f(bytes_of(key), seed);
+  // Top 53 bits → u strictly inside (0, 1): the +0.5 offset keeps u off
+  // both endpoints, so -ln(u) is finite and positive.
+  const double u =
+      (static_cast<double>(h.lo >> 11) + 0.5) * 0x1.0p-53;
+  const double w = worker.weight > 0 ? worker.weight : 0.0;
+  return -w / std::log(u);
+}
+
+const RingWorker* RunIdRing::owner(std::string_view key) const {
+  const RingWorker* best = nullptr;
+  double best_score = -1.0;
+  for (const auto& worker : workers_) {
+    const double s = score(key, worker);
+    if (best == nullptr || s > best_score ||
+        (s == best_score && worker.endpoint < best->endpoint)) {
+      best = &worker;
+      best_score = s;
+    }
+  }
+  return best;
+}
+
+std::vector<const RingWorker*> RunIdRing::ranked(std::string_view key) const {
+  std::vector<const RingWorker*> out;
+  out.reserve(workers_.size());
+  for (const auto& worker : workers_) out.push_back(&worker);
+  std::stable_sort(out.begin(), out.end(),
+                   [&](const RingWorker* a, const RingWorker* b) {
+                     const double sa = score(key, *a);
+                     const double sb = score(key, *b);
+                     if (sa != sb) return sa > sb;
+                     return a->endpoint < b->endpoint;
+                   });
+  return out;
+}
+
+std::string routing_key(std::string_view json_payload) {
+  if (json_payload.empty()) return "";
+  const auto parsed = telemetry::json_parse(json_payload);
+  if (!parsed.has_value() || !parsed->is_object()) return "";
+  const std::string run_a = parsed->string_or("run_a", "");
+  const std::string run_b = parsed->string_or("run_b", "");
+  if (!run_a.empty() || !run_b.empty()) return run_a + "|" + run_b;
+  const std::string file_a = parsed->string_or("file_a", "");
+  const std::string file_b = parsed->string_or("file_b", "");
+  if (!file_a.empty() || !file_b.empty()) return file_a + "|" + file_b;
+  const std::string run = parsed->string_or("run", "");
+  if (!run.empty()) return run;
+  return parsed->string_or("reference", "");
+}
+
+}  // namespace repro::svc

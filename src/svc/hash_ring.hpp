@@ -1,0 +1,75 @@
+// Run-id → worker placement for the scale-out compare fabric
+// (docs/SERVICE.md "Scale-out topology").
+//
+// RunIdRing is weighted rendezvous (highest-random-weight) hashing: every
+// worker scores every key independently, the highest score owns the key.
+// Compared to a vnode ring this needs no token table, gives perfectly
+// deterministic placement from (key, endpoint, weight) alone, and has the
+// property the fabric leans on for failover: removing a worker moves only
+// that worker's keys (each survivor's scores are untouched), and adding one
+// steals ~weight/total of the keyspace from the others — nothing else moves.
+// Scores derive from Murmur3F, so placement is golden-pinnable across
+// builds and platforms (tests/svc_hash_ring_test.cpp pins it).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::svc {
+
+struct RingWorker {
+  /// Worker endpoint: a unix-socket path (contains '/') or "host:port".
+  /// The endpoint string is the worker's identity in the score function —
+  /// renaming a worker moves its shard.
+  std::string endpoint;
+  /// Relative capacity; owns ~weight/total_weight of the keyspace.
+  double weight = 1.0;
+};
+
+class RunIdRing {
+ public:
+  RunIdRing() = default;
+  explicit RunIdRing(std::vector<RingWorker> workers);
+
+  /// Adds (or, for a known endpoint, re-weights) one worker.
+  void add(RingWorker worker);
+  /// Removes the worker with this endpoint. Returns false when absent.
+  bool remove(std::string_view endpoint);
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+  [[nodiscard]] const std::vector<RingWorker>& workers() const noexcept {
+    return workers_;
+  }
+
+  /// The worker owning `key` — highest rendezvous score, ties broken by
+  /// endpoint ordering (ties are a measure-zero event but must not make
+  /// placement platform-dependent). Null on an empty ring.
+  [[nodiscard]] const RingWorker* owner(std::string_view key) const;
+
+  /// Every worker ordered best-first for `key`. Element 0 is owner(); the
+  /// rest is the deterministic failover order the router walks when the
+  /// owner is ejected.
+  [[nodiscard]] std::vector<const RingWorker*> ranked(
+      std::string_view key) const;
+
+  /// The raw rendezvous score of one worker for one key: weight / -ln(u)
+  /// with u drawn uniformly from Murmur3F(key, seed(endpoint)). Exposed so
+  /// tests can pin the arithmetic, not just the argmax.
+  [[nodiscard]] static double score(std::string_view key,
+                                    const RingWorker& worker);
+
+ private:
+  std::vector<RingWorker> workers_;
+};
+
+/// Extracts the ring routing key from an RSVC JSON request payload: the
+/// run pair for COMPARE/TIMELINE ("run_a|run_b", falling back to
+/// "file_a|file_b" for pathwise compares), the run name for LOAD_RUN and
+/// WATCH_OPEN ("run", falling back to "reference"). Unroutable payloads (no key fields,
+/// binary, malformed) yield "" — still a valid ring key, so every request
+/// has exactly one deterministic owner.
+[[nodiscard]] std::string routing_key(std::string_view json_payload);
+
+}  // namespace repro::svc

@@ -6,6 +6,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -371,6 +372,15 @@ struct Server::Impl {
     }
   }
 
+  /// One response being streamed as TIMELINE_CHUNK frames: the full
+  /// payload is held here and sliced into bounded frames as the socket
+  /// drains, so the tx buffer never holds more than a few chunks.
+  struct ChunkStream {
+    std::uint64_t request_id = 0;
+    std::string payload;
+    std::size_t offset = 0;
+  };
+
   struct Connection {
     std::uint64_t id = 0;
     std::string peer;
@@ -379,6 +389,9 @@ struct Server::Impl {
     std::size_t tx_off = 0;
     std::uint32_t inflight = 0;
     bool close_after_flush = false;
+    /// Pending chunked responses, streamed FIFO (ordinary responses may
+    /// still interleave into tx between one stream's chunks).
+    std::deque<ChunkStream> streams;
   };
 
   struct Ticket {
@@ -594,6 +607,7 @@ struct Server::Impl {
   [[nodiscard]] bool all_flushed() const {
     for (const auto& [fd, conn] : connections) {
       if (conn.tx_off < conn.tx.size()) return false;
+      if (!conn.streams.empty()) return false;
     }
     return true;
   }
@@ -651,7 +665,11 @@ struct Server::Impl {
     auto it = connections.find(ev.fd);
     if (it == connections.end()) return;
     if (ev.writable) {
-      if (!flush_tx(ev.fd, it->second)) drop_connection(ev.fd);
+      if (!flush_tx(ev.fd, it->second)) {
+        drop_connection(ev.fd);
+        return;
+      }
+      pump_streams(ev.fd, it->second);
     }
   }
 
@@ -771,6 +789,56 @@ struct Server::Impl {
     if (conn.close_after_flush) return false;
     poller->update(fd, false);
     return true;
+  }
+
+  /// Slice size for streamed responses: small enough that pacing keeps the
+  /// tx backlog well under the shed cap, large enough to amortize the
+  /// 24-byte header.
+  [[nodiscard]] std::size_t stream_chunk_bytes() const {
+    return std::clamp<std::size_t>(options.max_tx_buffer_bytes / 4,
+                                   std::size_t{1} << 10,
+                                   std::size_t{256} << 10);
+  }
+
+  /// Appends chunk frames from the connection's pending streams while the
+  /// tx backlog sits below half the shed cap. Combined with the chunk size
+  /// cap this bounds the backlog at ~3/4 of max_tx_buffer_bytes, so a
+  /// streamed response can never trip the flood-shedding path in
+  /// send_response — that path is for peers that stop reading, and a
+  /// stream only advances when the peer drains tx. May drop the connection
+  /// (peer gone mid-flush); callers must re-look-up `conn` afterwards.
+  void pump_streams(int fd, Connection& conn) {
+    if (conn.streams.empty()) return;
+    if (conn.close_after_flush) {
+      // The connection is doomed; its streams have nowhere to go.
+      conn.streams.clear();
+      return;
+    }
+    const std::size_t chunk = stream_chunk_bytes();
+    const std::size_t high_water = options.max_tx_buffer_bytes / 2;
+    bool appended = false;
+    while (!conn.streams.empty() &&
+           conn.tx.size() - conn.tx_off < high_water) {
+      ChunkStream& stream = conn.streams.front();
+      const std::size_t n =
+          std::min(chunk, stream.payload.size() - stream.offset);
+      const bool final = stream.offset + n == stream.payload.size();
+      append_chunk(conn.tx, stream.request_id,
+                   std::string_view(stream.payload)
+                       .substr(stream.offset, n),
+                   final);
+      stream.offset += n;
+      appended = true;
+      if (final) conn.streams.pop_front();
+    }
+    if (!appended) return;
+    if (!flush_tx(fd, conn)) {
+      drop_connection(fd);
+      return;
+    }
+    if (conn.tx_off < conn.tx.size() || !conn.streams.empty()) {
+      poller->update(fd, true);
+    }
   }
 
   void drop_connection(int fd) {
@@ -1090,6 +1158,31 @@ struct Server::Impl {
       if (conn_it->second.inflight > 0) --conn_it->second.inflight;
       // Snapshot before send_response: it may drop the connection.
       const std::string peer = conn_it->second.peer;
+      // Successful TIMELINE replies larger than one chunk stream as
+      // TIMELINE_CHUNK continuation frames instead of landing in tx as one
+      // giant buffer — the whole point of the streamed-partial-results
+      // path: a sweep over thousands of iterations must not trip the
+      // per-connection tx cap that protects the daemon from slow readers.
+      if (ticket.op == Opcode::kTimeline && done.status == WireStatus::kOk &&
+          done.payload.size() > stream_chunk_bytes() &&
+          !conn_it->second.close_after_flush) {
+        const std::size_t chunk = stream_chunk_bytes();
+        const std::uint64_t frames =
+            (done.payload.size() + chunk - 1) / chunk;
+        const std::uint64_t stream_bytes_out =
+            done.payload.size() + frames * kFrameHeaderBytes;
+        conn_it->second.streams.push_back(
+            ChunkStream{ticket.request_id, std::move(done.payload), 0});
+        Stopwatch stream_clock;
+        pump_streams(ticket.fd, conn_it->second);
+        done.timings.tx_flush_us = stream_clock.seconds() * 1e6;
+        SvcMetrics::get().record_phases(done.timings);
+        emit_access(opcode_name(ticket.op), done.status, ticket.request_id,
+                    ticket.conn_id, peer, ticket.bytes_in, stream_bytes_out,
+                    us_since(ticket.enqueued_at), done.timings,
+                    done.cache_hit, ticket.trace);
+        continue;
+      }
       const std::uint64_t bytes_out =
           kFrameHeaderBytes + done.payload.size();
       Stopwatch tx_clock;

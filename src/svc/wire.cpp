@@ -54,6 +54,7 @@ const char* opcode_name(Opcode op) noexcept {
     case Opcode::kWatchPush: return "WATCH_PUSH";
     case Opcode::kWatchClose: return "WATCH_CLOSE";
     case Opcode::kMetrics: return "METRICS";
+    case Opcode::kTimelineChunk: return "TIMELINE_CHUNK";
   }
   return "UNKNOWN";
 }
@@ -118,6 +119,16 @@ void append_response(std::vector<std::uint8_t>& out, WireStatus status,
   append_frame(out, header, payload);
 }
 
+void append_chunk(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                  std::string_view slice, bool final) {
+  FrameHeader header;
+  header.code = static_cast<std::uint16_t>(Opcode::kTimelineChunk);
+  header.flags =
+      kFlagResponse | kFlagJsonPayload | (final ? kFlagFinalChunk : 0);
+  header.request_id = request_id;
+  append_frame(out, header, slice);
+}
+
 DecodeOutcome decode_frame(std::span<const std::uint8_t> buffer,
                            std::uint32_t max_frame_bytes,
                            DecodedFrame* frame) {
@@ -135,7 +146,8 @@ DecodeOutcome decode_frame(std::span<const std::uint8_t> buffer,
   }
   if (buffer.size() < 6) return DecodeOutcome::kNeedMoreData;
   frame->header.version = get_u16(buffer.data() + 4);
-  if (frame->header.version != kWireVersion) {
+  if (frame->header.version < kWireMinVersion ||
+      frame->header.version > kWireVersion) {
     return DecodeOutcome::kBadVersion;
   }
   if (buffer.size() < 16) return DecodeOutcome::kNeedMoreData;

@@ -5,10 +5,15 @@
 //
 //   offset  size  field
 //   0       4     magic "RSVC"
-//   4       2     version (little-endian u16, currently 1)
-//   6       2     code    (request: Opcode; response: WireStatus)
+//   4       2     version (little-endian u16, currently 2; v1 frames are
+//                          still accepted — v2 only adds the TIMELINE_CHUNK
+//                          continuation frame and the final-chunk flag)
+//   6       2     code    (request: Opcode; response: WireStatus;
+//                          chunked-response continuation: Opcode
+//                          kTimelineChunk with the response flag set)
 //   8       4     flags   (bit 0: response, bit 1: payload is JSON,
-//                          bit 2: trace-context trailer follows payload)
+//                          bit 2: trace-context trailer follows payload,
+//                          bit 3: final chunk of a streamed response)
 //   12      4     payload_bytes (payload only; excludes the trailer)
 //   16      8     request_id (echoed verbatim in the response)
 //   24      payload_bytes of payload
@@ -35,7 +40,10 @@
 namespace repro::svc {
 
 inline constexpr std::uint8_t kWireMagic[4] = {'R', 'S', 'V', 'C'};
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;
+/// Oldest protocol revision decode_frame still accepts. v1 peers never emit
+/// chunked responses, so their byte streams parse identically under v2.
+inline constexpr std::uint16_t kWireMinVersion = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 24;
 
 /// Default cap on one frame's total size (header + payload). Requests are
@@ -47,6 +55,11 @@ inline constexpr std::uint32_t kFlagResponse = 1u << 0;
 inline constexpr std::uint32_t kFlagJsonPayload = 1u << 1;
 /// A 24-byte trace-context trailer follows the payload.
 inline constexpr std::uint32_t kFlagTraceContext = 1u << 2;
+/// Marks the last TIMELINE_CHUNK frame of a streamed response. A streamed
+/// response is a run of kTimelineChunk frames sharing one request id whose
+/// payload slices concatenate to the full (JSON) reply; every frame but the
+/// last has this bit clear. Single-frame responses never set it.
+inline constexpr std::uint32_t kFlagFinalChunk = 1u << 3;
 
 /// Size of the optional trace-context trailer.
 inline constexpr std::size_t kTraceContextBytes = 24;
@@ -77,6 +90,10 @@ enum class Opcode : std::uint16_t {
   kWatchPush = 8,   ///< push one iteration's digests (binary RMFD entries)
   kWatchClose = 9,  ///< close the watch session; summary reply
   kMetrics = 10,    ///< Prometheus 0.0.4 text exposition of the registry
+  // RSVC v2: streamed partial results (docs/FORMATS.md "Chunked responses").
+  kTimelineChunk = 11,  ///< one bounded slice of a streamed TIMELINE reply;
+                        ///< carried with kFlagResponse set, terminated by
+                        ///< kFlagFinalChunk
 };
 
 enum class WireStatus : std::uint16_t {
@@ -128,6 +145,14 @@ void append_request(std::vector<std::uint8_t>& out, Opcode op,
 void append_response(std::vector<std::uint8_t>& out, WireStatus status,
                      std::uint64_t request_id, std::string_view payload,
                      bool json = true);
+
+/// One continuation frame of a streamed (chunked) response: code =
+/// kTimelineChunk with the response flag set, `slice` holding the next run
+/// of payload bytes. `final` sets kFlagFinalChunk on the terminating frame.
+/// The JSON flag is set on every chunk — it describes the reassembled
+/// payload, not the individual slice.
+void append_chunk(std::vector<std::uint8_t>& out, std::uint64_t request_id,
+                  std::string_view slice, bool final);
 
 struct DecodedFrame {
   FrameHeader header;

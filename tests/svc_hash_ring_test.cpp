@@ -1,0 +1,168 @@
+// RunIdRing placement is part of the fabric's wire contract: clients and
+// the router both compute it independently, so the same key MUST land on
+// the same worker from both sides, across processes and releases. The
+// golden tests below pin exact placements for a fixed worker set — if a
+// hashing change moves them, every deployed fabric reshuffles its shards
+// (and warm caches) on upgrade, which is a breaking change to call out,
+// not a test to casually re-pin.
+#include "svc/hash_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace repro::svc {
+namespace {
+
+std::vector<RingWorker> three_workers() {
+  return {{"alpha:9001", 1.0}, {"beta:9002", 1.0}, {"gamma:9003", 1.0}};
+}
+
+TEST(RunIdRingTest, GoldenPlacementIsPinned) {
+  const RunIdRing ring(three_workers());
+  const std::map<std::string, std::string> golden = {
+      {"run-000|run-001", "gamma:9003"}, {"run-002|run-003", "gamma:9003"},
+      {"run-004|run-005", "beta:9002"},  {"run-006|run-007", "alpha:9001"},
+      {"run-008|run-009", "alpha:9001"}, {"run-010|run-011", "gamma:9003"},
+      {"run-012|run-013", "gamma:9003"}, {"run-014|run-015", "alpha:9001"},
+      {"run-016|run-017", "beta:9002"},  {"run-018|run-019", "alpha:9001"},
+      {"run-020|run-021", "alpha:9001"}, {"run-022|run-023", "beta:9002"},
+  };
+  for (const auto& [key, endpoint] : golden) {
+    const RingWorker* owner = ring.owner(key);
+    ASSERT_NE(owner, nullptr) << key;
+    EXPECT_EQ(owner->endpoint, endpoint) << key;
+  }
+}
+
+TEST(RunIdRingTest, PlacementIsDeterministicAcrossInstances) {
+  const RunIdRing a(three_workers());
+  // Same workers inserted in a different order: placement must not depend
+  // on insertion order.
+  RunIdRing b;
+  b.add({"gamma:9003", 1.0});
+  b.add({"alpha:9001", 1.0});
+  b.add({"beta:9002", 1.0});
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "run-" + std::to_string(i) + "|run-ref";
+    ASSERT_EQ(a.owner(key)->endpoint, b.owner(key)->endpoint) << key;
+  }
+}
+
+TEST(RunIdRingTest, AddingWorkerMovesExactlyTheStolenKeys) {
+  const RunIdRing before(three_workers());
+  RunIdRing after(three_workers());
+  after.add({"delta:9004", 1.0});
+
+  // The exact movement set for the golden keys: rendezvous hashing moves a
+  // key only when the new worker out-scores the incumbent, so adding
+  // delta steals this one key and leaves all others in place.
+  const std::set<std::string> expected_moves = {"run-002|run-003"};
+  std::set<std::string> moved;
+  for (int i = 0; i < 12; ++i) {
+    char key[32];
+    std::snprintf(key, sizeof(key), "run-%03d|run-%03d", 2 * i, 2 * i + 1);
+    if (before.owner(key)->endpoint != after.owner(key)->endpoint) {
+      moved.insert(key);
+      EXPECT_EQ(after.owner(key)->endpoint, "delta:9004") << key;
+    }
+  }
+  EXPECT_EQ(moved, expected_moves);
+
+  // Over a large key population the stolen share is ~1/N and every moved
+  // key lands on the new worker (the minimal-disruption property).
+  int total_moved = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const std::string key = "run-" + std::to_string(i) + "|run-ref";
+    const std::string& was = before.owner(key)->endpoint;
+    const std::string& now = after.owner(key)->endpoint;
+    if (was == now) continue;
+    ++total_moved;
+    ASSERT_EQ(now, "delta:9004") << key;
+  }
+  EXPECT_NEAR(static_cast<double>(total_moved) / n, 0.25, 0.03);
+}
+
+TEST(RunIdRingTest, RemovingWorkerOnlyMovesItsKeys) {
+  const RunIdRing before(three_workers());
+  RunIdRing after(three_workers());
+  ASSERT_TRUE(after.remove("beta:9002"));
+  EXPECT_FALSE(after.remove("beta:9002"));
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "run-" + std::to_string(i) + "|run-ref";
+    const std::string& was = before.owner(key)->endpoint;
+    const std::string& now = after.owner(key)->endpoint;
+    if (was == "beta:9002") {
+      EXPECT_NE(now, "beta:9002") << key;
+    } else {
+      EXPECT_EQ(now, was) << key;  // survivors' shards are untouched
+    }
+  }
+}
+
+TEST(RunIdRingTest, WeightsBiasOwnership) {
+  const RunIdRing ring({{"small:1", 1.0}, {"big:2", 3.0}});
+  int big = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (ring.owner("key-" + std::to_string(i))->endpoint == "big:2") ++big;
+  }
+  // weight 3 of 4 total → ~75% of keys.
+  EXPECT_NEAR(static_cast<double>(big) / n, 0.75, 0.02);
+}
+
+TEST(RunIdRingTest, RankedIsAFailoverPermutation) {
+  const RunIdRing ring(three_workers());
+  const auto ranked = ring.ranked("run-123|run-ref");
+  ASSERT_EQ(ranked.size(), 3U);
+  // Best-first: head of the ranking is the owner; the rest is the
+  // deterministic failover order (golden-pinned like placement).
+  EXPECT_EQ(ranked[0]->endpoint, ring.owner("run-123|run-ref")->endpoint);
+  EXPECT_EQ(ranked[0]->endpoint, "beta:9002");
+  EXPECT_EQ(ranked[1]->endpoint, "alpha:9001");
+  EXPECT_EQ(ranked[2]->endpoint, "gamma:9003");
+  std::set<std::string> distinct;
+  for (const RingWorker* worker : ranked) distinct.insert(worker->endpoint);
+  EXPECT_EQ(distinct.size(), 3U);
+}
+
+TEST(RunIdRingTest, EmptyRingHasNoOwner) {
+  const RunIdRing ring;
+  EXPECT_EQ(ring.owner("anything"), nullptr);
+  EXPECT_TRUE(ring.ranked("anything").empty());
+}
+
+TEST(RunIdRingTest, ReAddingEndpointReWeights) {
+  RunIdRing ring(three_workers());
+  ring.add({"alpha:9001", 5.0});
+  ASSERT_EQ(ring.size(), 3U);
+  double weight = 0;
+  for (const RingWorker& worker : ring.workers()) {
+    if (worker.endpoint == "alpha:9001") weight = worker.weight;
+  }
+  EXPECT_EQ(weight, 5.0);
+}
+
+TEST(RoutingKeyTest, ExtractsRunPairAndFallbacks) {
+  // COMPARE/TIMELINE by run pair: the pair is the shard key, so both runs'
+  // sidecars warm the same worker's cache.
+  EXPECT_EQ(routing_key(R"({"root":"/x","run_a":"a1","run_b":"b1"})"),
+            "a1|b1");
+  // COMPARE by explicit file pair.
+  EXPECT_EQ(routing_key(R"({"file_a":"a.ckpt","file_b":"b.ckpt"})"),
+            "a.ckpt|b.ckpt");
+  // LOAD_RUN pre-warm and WATCH_OPEN route by run.
+  EXPECT_EQ(routing_key(R"({"root":"/x","run":"r7"})"), "r7");
+  EXPECT_EQ(routing_key(R"({"run":"r7","reference":"ref1"})"), "r7");
+  EXPECT_EQ(routing_key(R"({"reference":"ref1"})"), "ref1");
+  // Unroutable payloads key to "" (callers fall back to any live worker).
+  EXPECT_EQ(routing_key("not json"), "");
+  EXPECT_EQ(routing_key(R"({"other":1})"), "");
+}
+
+}  // namespace
+}  // namespace repro::svc

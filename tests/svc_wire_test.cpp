@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -247,9 +248,56 @@ TEST(WireTest, ResponsesNeverCarryTrailer) {
 TEST(WireTest, NamesAreStable) {
   EXPECT_STREQ(opcode_name(Opcode::kCompare), "COMPARE");
   EXPECT_STREQ(opcode_name(Opcode::kShutdown), "SHUTDOWN");
+  EXPECT_STREQ(opcode_name(Opcode::kTimelineChunk), "TIMELINE_CHUNK");
   EXPECT_STREQ(wire_status_name(WireStatus::kOk), "OK");
   EXPECT_STREQ(wire_status_name(WireStatus::kTooManyRequests),
                "TOO_MANY_REQUESTS");
+}
+
+TEST(WireTest, ChunkFrameRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  append_chunk(buf, 99, R"({"part":)", /*final=*/false);
+  append_chunk(buf, 99, "1}", /*final=*/true);
+
+  DecodedFrame first;
+  ASSERT_EQ(decode_frame(buf, kDefaultMaxFrameBytes, &first),
+            DecodeOutcome::kFrame);
+  EXPECT_TRUE(first.header.is_response());
+  EXPECT_EQ(first.header.code,
+            static_cast<std::uint16_t>(Opcode::kTimelineChunk));
+  EXPECT_EQ(first.header.request_id, 99U);
+  EXPECT_NE(first.header.flags & kFlagJsonPayload, 0U);
+  EXPECT_EQ(first.header.flags & kFlagFinalChunk, 0U);
+  EXPECT_EQ(first.payload, R"({"part":)");
+
+  DecodedFrame last;
+  const std::span<const std::uint8_t> rest{buf.data() + first.frame_bytes,
+                                           buf.size() - first.frame_bytes};
+  ASSERT_EQ(decode_frame(rest, kDefaultMaxFrameBytes, &last),
+            DecodeOutcome::kFrame);
+  EXPECT_NE(last.header.flags & kFlagFinalChunk, 0U);
+  EXPECT_EQ(last.header.request_id, 99U);
+  // The slices concatenate to the full logical payload.
+  EXPECT_EQ(first.payload + last.payload, R"({"part":1})");
+}
+
+TEST(WireTest, Version1FramesStillAccepted) {
+  // v1 peers predate chunked streaming; the v2 decoder must keep
+  // accepting their frames (kWireMinVersion).
+  std::vector<std::uint8_t> buf;
+  append_request(buf, Opcode::kPing, 5, "");
+  const std::uint16_t v1 = 1;
+  std::memcpy(buf.data() + 4, &v1, sizeof(v1));
+  DecodedFrame frame;
+  ASSERT_EQ(decode_frame(buf, kDefaultMaxFrameBytes, &frame),
+            DecodeOutcome::kFrame);
+  EXPECT_EQ(frame.header.version, 1U);
+  EXPECT_EQ(frame.header.request_id, 5U);
+
+  const std::uint16_t v3 = 3;
+  std::memcpy(buf.data() + 4, &v3, sizeof(v3));
+  EXPECT_EQ(decode_frame(buf, kDefaultMaxFrameBytes, &frame),
+            DecodeOutcome::kBadVersion);
 }
 
 }  // namespace
